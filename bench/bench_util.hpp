@@ -1,0 +1,46 @@
+// Shared helpers for the benchmark harnesses: wall-clock timing of complete
+// simulator runs and environment-controlled workload scaling.
+//
+// REPRO_SCALE (float, default 1.0) multiplies every workload's default
+// iteration count, so the paper-sized runs can be stretched for more stable
+// numbers or shrunk for smoke testing.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/workloads.hpp"
+
+namespace bench {
+
+inline double repro_scale() {
+  if (const char* env = std::getenv("REPRO_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline unsigned scaled(const rcpn::workloads::Workload& w) {
+  const double s = static_cast<double>(w.default_scale) * repro_scale();
+  return s < 1.0 ? 1u : static_cast<unsigned>(s);
+}
+
+/// Run `fn` once and return (result, seconds).
+template <typename Fn>
+auto timed(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = fn();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return std::pair{std::move(result), secs};
+}
+
+inline std::string mcps(std::uint64_t cycles, double secs) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(cycles) / secs / 1e6);
+  return buf;
+}
+
+}  // namespace bench

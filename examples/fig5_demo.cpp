@@ -1,0 +1,47 @@
+// The paper's §3.2 example processor (Fig 4/5): out-of-order completion,
+// a feedback path captured by two prioritized issue transitions, branch
+// stalls via reservation tokens and data-dependent memory delay.
+//
+//   $ ./fig5_demo
+#include <cstdio>
+
+#include "machines/fig5_processor.hpp"
+
+using namespace rcpn;
+using I = machines::Fig5Instr;
+
+int main() {
+  machines::Fig5Processor cpu;
+
+  // A small program exercising every sub-net: a dependent ALU chain (uses
+  // the L3 feedback path), loads/stores with cache-made-visible delays, and
+  // a branch (stalls fetch with a reservation token for one cycle).
+  cpu.load({
+      I::alui(I::AluOp::add, 1, 0, 5),    // r1 = 5
+      I::alui(I::AluOp::add, 2, 1, 10),   // r2 = r1 + 10   (feedback path)
+      I::alu(I::AluOp::mul, 3, 1, 2),     // r3 = r1 * r2
+      I::store(3, 0x100),                 // mem[0x100] = r3
+      I::load(4, 0x100),                  // r4 = mem[0x100] (cache hit/miss)
+      I::branch(2),                       // skip the next instruction
+      I::alui(I::AluOp::add, 5, 0, 99),   // (squashed path — never fetched)
+      I::alu(I::AluOp::xor_op, 6, 4, 3),  // r6 = r4 ^ r3 = 0
+  });
+
+  const std::uint64_t cycles = cpu.run();
+
+  std::printf("ran %llu cycles\n", static_cast<unsigned long long>(cycles));
+  for (unsigned r = 1; r <= 6; ++r) std::printf("  r%u = %u\n", r, cpu.reg(r));
+  std::printf("ALU issues: %llu via register file, %llu via L3 feedback\n",
+              static_cast<unsigned long long>(cpu.alu_issues_direct()),
+              static_cast<unsigned long long>(cpu.alu_issues_forwarded()));
+  std::printf("reservation tokens used: %llu (branch fetch-stall)\n",
+              static_cast<unsigned long long>(cpu.engine().stats().reservations));
+  std::printf("dcache: %llu accesses, %llu misses\n",
+              static_cast<unsigned long long>(cpu.dcache().stats().accesses),
+              static_cast<unsigned long long>(cpu.dcache().stats().misses));
+  std::printf("L3 uses the two-list algorithm: %s (circular canRead(L3) reference)\n",
+              cpu.engine().stage_is_two_list(cpu.net().place(cpu.l3()).stage)
+                  ? "yes"
+                  : "no");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Run a paper benchmark (or your own .s file) on the RCPN-generated
+// StrongArm cycle-accurate simulator and print the run summary.
+//
+//   $ ./strongarm_run [workload|path.s] [scale]
+//   $ ./strongarm_run crc 5
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "arm/assembler.hpp"
+#include "machines/strongarm.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rcpn;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "crc";
+  const unsigned scale = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 2;
+
+  sys::Program prog;
+  if (const workloads::Workload* w = workloads::find(which)) {
+    prog = workloads::build(*w, scale);
+    std::printf("workload: %s (%s), scale %u\n", w->name.c_str(),
+                w->description.c_str(), scale);
+  } else {
+    std::ifstream in(which);
+    if (!in) {
+      std::fprintf(stderr, "unknown workload / unreadable file: %s\n", which.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    prog = arm::assemble(ss.str(), which).program;
+    std::printf("assembled %s: %zu bytes at 0x%x\n", which.c_str(),
+                prog.image_size(), prog.entry);
+  }
+
+  machines::StrongArmSim sim;
+  sim.machine().sys.set_echo(true);
+  std::printf("--- program output ---\n");
+  const machines::RunResult r = sim.run(prog, 2'000'000'000ull);
+  std::printf("----------------------\n");
+
+  std::printf("exited:        %s (code %d)\n", r.exited ? "yes" : "no", r.exit_code);
+  std::printf("cycles:        %llu\n", static_cast<unsigned long long>(r.cycles));
+  std::printf("instructions:  %llu\n", static_cast<unsigned long long>(r.instructions));
+  std::printf("CPI:           %.2f\n", r.cpi);
+  std::printf("icache hits:   %.1f%%  dcache hits: %.1f%%\n",
+              100.0 * r.icache_hit_ratio, 100.0 * r.dcache_hit_ratio);
+  std::printf("redirects:     %llu (branch resolution)\n",
+              static_cast<unsigned long long>(r.mispredicts));
+  return r.exited ? 0 : 2;
+}

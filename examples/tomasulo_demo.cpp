@@ -1,0 +1,41 @@
+// The technical-report extension: Tomasulo's algorithm as an RCPN —
+// reservation stations as a multi-capacity stage, register renaming through
+// the multi-writer register file, and a unit-capacity CDB stage.
+//
+//   $ ./tomasulo_demo
+#include <cstdio>
+
+#include "machines/tomasulo.hpp"
+
+using namespace rcpn;
+using I = machines::Fig5Instr;
+
+int main() {
+  machines::TomasuloCore core(/*rs_entries=*/4, /*num_fus=*/2);
+
+  // A slow dependent multiply chain plus independent adds: the adds overtake
+  // the chain inside the reservation station (out-of-order issue), and two
+  // in-flight writers of r1 demonstrate renaming.
+  core.load({
+      I::alui(I::AluOp::add, 1, 0, 3),   // r1 = 3
+      I::alu(I::AluOp::mul, 2, 1, 1),    // r2 = r1*r1      (waits)
+      I::alu(I::AluOp::mul, 3, 2, 2),    // r3 = r2*r2      (waits longer)
+      I::alui(I::AluOp::add, 4, 0, 7),   // independent — overtakes
+      I::alui(I::AluOp::add, 5, 0, 8),   // independent — overtakes
+      I::alui(I::AluOp::add, 1, 0, 42),  // second writer of r1 (renamed)
+  });
+
+  const std::uint64_t cycles = core.run();
+
+  std::printf("ran %llu cycles\n", static_cast<unsigned long long>(cycles));
+  for (unsigned r = 1; r <= 5; ++r) std::printf("  r%u = %u\n", r, core.reg(r));
+  std::printf("out-of-order issue observed: %s\n",
+              core.observed_ooo_issue() ? "yes" : "no");
+  std::printf("CDB stage two-listed by the engine's analysis: %s\n",
+              core.engine().stage_is_two_list(
+                  core.net().place(core.net().find_place("CDB")).stage)
+                  ? "yes"
+                  : "no");
+  std::printf("%s", core.engine().stats().report(core.net()).c_str());
+  return 0;
+}

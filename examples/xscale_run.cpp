@@ -1,0 +1,54 @@
+// Run a paper benchmark on the RCPN-generated XScale simulator (the Fig 9
+// superpipeline: 7 stages, three parallel pipes, BTB, out-of-order
+// completion) and compare its timing against the StrongArm model.
+//
+//   $ ./xscale_run [workload] [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "machines/strongarm.hpp"
+#include "machines/xscale.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rcpn;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "g721";
+  const unsigned scale = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 2;
+
+  const workloads::Workload* w = workloads::find(which);
+  if (w == nullptr) {
+    std::fprintf(stderr, "unknown workload: %s\n", which.c_str());
+    return 1;
+  }
+  const sys::Program prog = workloads::build(*w, scale);
+  std::printf("workload: %s, scale %u\n\n", w->name.c_str(), scale);
+
+  machines::XScaleSim xs;
+  const machines::RunResult rx = xs.run(prog, 2'000'000'000ull);
+  machines::StrongArmSim sa;
+  const machines::RunResult rs = sa.run(prog, 2'000'000'000ull);
+
+  std::printf("                 XScale     StrongArm\n");
+  std::printf("cycles:      %10llu  %10llu\n",
+              static_cast<unsigned long long>(rx.cycles),
+              static_cast<unsigned long long>(rs.cycles));
+  std::printf("instructions:%10llu  %10llu\n",
+              static_cast<unsigned long long>(rx.instructions),
+              static_cast<unsigned long long>(rs.instructions));
+  std::printf("CPI:         %10.2f  %10.2f\n", rx.cpi, rs.cpi);
+  std::printf("mispredicts: %10llu  %10llu   (XScale: BTB; StrongArm: none)\n",
+              static_cast<unsigned long long>(rx.mispredicts),
+              static_cast<unsigned long long>(rs.mispredicts));
+  std::printf("output match: %s\n", rx.output == rs.output ? "yes" : "NO (bug!)");
+
+  // The models' relative complexity, visible in their static structure
+  // (paper: the StrongArm simulator is faster because its net is simpler).
+  const auto mx = xs.net().model_stats();
+  const auto ms = sa.net().model_stats();
+  std::printf("\nmodel size (places/transitions/arcs): XScale %u/%u/%u,"
+              " StrongArm %u/%u/%u\n",
+              mx.places, mx.transitions, mx.arcs, ms.places, ms.transitions,
+              ms.arcs);
+  return 0;
+}

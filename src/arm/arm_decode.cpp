@@ -1,0 +1,148 @@
+// Binary decoder: raw ARM word -> DecodedInstruction, classified into the
+// paper's six operation classes. Runs once per static instruction; the
+// result is cached inside the instruction token (paper §4: "we do not need
+// to re-decode the instruction in different pipeline stages").
+#include "arm/arm_isa.hpp"
+
+#include "util/bits.hpp"
+
+namespace rcpn::arm {
+
+using util::bit;
+using util::bits;
+
+namespace {
+
+void decode_shifter(DecodedInstruction& d, std::uint32_t raw) {
+  if (bit(raw, 25)) {  // immediate
+    d.imm_operand = true;
+    const std::uint32_t rot = bits(raw, 11, 8) * 2;
+    const std::uint32_t imm8 = bits(raw, 7, 0);
+    d.imm = util::rotr32(imm8, rot);
+    d.imm_carry_valid = rot != 0;
+    d.imm_carry = (d.imm >> 31) != 0;
+    return;
+  }
+  d.imm_operand = false;
+  d.rm = static_cast<std::uint8_t>(bits(raw, 3, 0));
+  const auto kind = static_cast<ShiftKind>(bits(raw, 6, 5));
+  if (bit(raw, 4)) {  // shift by register
+    d.shift_by_reg = true;
+    d.shift = kind;
+    d.rs = static_cast<std::uint8_t>(bits(raw, 11, 8));
+  } else {
+    d.shift_by_reg = false;
+    const std::uint32_t amount = bits(raw, 11, 7);
+    // ROR #0 encodes RRX.
+    d.shift = (kind == ShiftKind::ror && amount == 0) ? ShiftKind::rrx : kind;
+    d.shift_amount = static_cast<std::uint8_t>(amount);
+  }
+}
+
+}  // namespace
+
+DecodedInstruction decode(std::uint32_t raw, std::uint32_t pc) {
+  DecodedInstruction d;
+  d.raw = raw;
+  d.pc = pc;
+  d.cond = static_cast<Cond>(bits(raw, 31, 28));
+
+  // SWI: cond 1111 imm24.
+  if ((raw & 0x0f00'0000u) == 0x0f00'0000u) {
+    d.cls = OpClass::swi;
+    d.swi_imm = bits(raw, 23, 0);
+    return d;
+  }
+
+  // Branch: cond 101 L offset24.
+  if ((raw & 0x0e00'0000u) == 0x0a00'0000u) {
+    d.cls = OpClass::branch;
+    d.link = bit(raw, 24) != 0;
+    d.branch_offset = util::sign_extend(bits(raw, 23, 0), 24) << 2;
+    return d;
+  }
+
+  // Multiply: cond 000000 A S Rd Rn Rs 1001 Rm.
+  if ((raw & 0x0fc0'00f0u) == 0x0000'0090u) {
+    d.cls = OpClass::multiply;
+    d.accumulate = bit(raw, 21) != 0;
+    d.sets_flags = bit(raw, 20) != 0;
+    d.rd = static_cast<std::uint8_t>(bits(raw, 19, 16));
+    d.rn = static_cast<std::uint8_t>(bits(raw, 15, 12));  // accumulator
+    d.rs = static_cast<std::uint8_t>(bits(raw, 11, 8));
+    d.rm = static_cast<std::uint8_t>(bits(raw, 3, 0));
+    if (!d.accumulate) d.rn = kNumRegs;
+    return d;
+  }
+
+  // Load/store multiple: cond 100 P U S W L Rn reglist.
+  if ((raw & 0x0e00'0000u) == 0x0800'0000u) {
+    d.cls = OpClass::load_store_multiple;
+    d.lsm_before = bit(raw, 24) != 0;
+    d.lsm_up = bit(raw, 23) != 0;
+    d.writeback = bit(raw, 21) != 0;
+    d.is_load = bit(raw, 20) != 0;
+    d.rn = static_cast<std::uint8_t>(bits(raw, 19, 16));
+    d.reg_list = static_cast<std::uint16_t>(bits(raw, 15, 0));
+    return d;
+  }
+
+  // Undefined space: cond 011 xxxx with bit 4 set (ARMv4 reserves it).
+  if ((raw & 0x0e00'0010u) == 0x0600'0010u) {
+    d.cls = OpClass::swi;
+    d.swi_imm = 0xdead00;
+    return d;
+  }
+
+  // Load/store single: cond 01 I P U B W L Rn Rd offset.
+  if ((raw & 0x0c00'0000u) == 0x0400'0000u) {
+    d.cls = OpClass::load_store;
+    d.reg_offset = bit(raw, 25) != 0;
+    d.pre_index = bit(raw, 24) != 0;
+    d.add_offset = bit(raw, 23) != 0;
+    d.is_byte = bit(raw, 22) != 0;
+    d.writeback = bit(raw, 21) != 0;
+    d.is_load = bit(raw, 20) != 0;
+    d.rn = static_cast<std::uint8_t>(bits(raw, 19, 16));
+    d.rd = static_cast<std::uint8_t>(bits(raw, 15, 12));
+    if (d.reg_offset) {
+      d.rm = static_cast<std::uint8_t>(bits(raw, 3, 0));
+      d.shift = static_cast<ShiftKind>(bits(raw, 6, 5));
+      const std::uint32_t amount = bits(raw, 11, 7);
+      if (d.shift == ShiftKind::ror && amount == 0) d.shift = ShiftKind::rrx;
+      d.shift_amount = static_cast<std::uint8_t>(amount);
+      d.imm_operand = false;
+    } else {
+      d.offset_imm = bits(raw, 11, 0);
+    }
+    return d;
+  }
+
+  // Data processing: cond 00 I opcode S Rn Rd shifter.
+  if ((raw & 0x0c00'0000u) == 0x0000'0000u) {
+    d.cls = OpClass::data_proc;
+    d.dp_op = static_cast<DpOp>(bits(raw, 24, 21));
+    d.sets_flags = bit(raw, 20) != 0;
+    d.rn = static_cast<std::uint8_t>(bits(raw, 19, 16));
+    d.rd = static_cast<std::uint8_t>(bits(raw, 15, 12));
+    decode_shifter(d, raw);
+    if (dp_no_rn(d.dp_op)) d.rn = kNumRegs;
+    if (dp_no_result(d.dp_op)) d.rd = kNumRegs;
+    // A data-processing write to the PC is architecturally a branch
+    // (`mov pc, lr` returns); classify it into the Branch sub-net so the
+    // pipeline model handles the control transfer.
+    if (d.rd == kRegPc) {
+      d.cls = OpClass::branch;
+      d.branch_via_reg = true;
+    }
+    return d;
+  }
+
+  // Unknown encoding: decode to a trapping SWI so all simulators fail loudly
+  // and identically.
+  d.cls = OpClass::swi;
+  d.swi_imm = 0xdead00;
+  return d;
+}
+
+}  // namespace rcpn::arm

@@ -1,0 +1,104 @@
+// Encoders (see encode.hpp). Kept next to the decoder so the two sides of
+// the encoding tables can be reviewed together.
+#include "arm/encode.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace rcpn::arm::enc {
+
+namespace {
+constexpr std::uint32_t cond_bits(Cond c) { return static_cast<std::uint32_t>(c) << 28; }
+}  // namespace
+
+std::optional<std::uint32_t> encode_imm(std::uint32_t value) {
+  for (unsigned rot = 0; rot < 16; ++rot) {
+    const std::uint32_t rotated = util::rotr32(value, 32 - 2 * rot) ;
+    // value == imm8 ror (2*rot)  <=>  imm8 == value rol (2*rot)
+    if ((rotated & ~0xffu) == 0) return (rot << 8) | rotated;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t dataproc_imm(Cond cond, DpOp op, bool s, unsigned rd, unsigned rn,
+                           std::uint32_t imm12) {
+  assert(imm12 <= 0xfff);
+  return cond_bits(cond) | (1u << 25) | (static_cast<std::uint32_t>(op) << 21) |
+         (s ? 1u << 20 : 0) | (rn << 16) | (rd << 12) | imm12;
+}
+
+std::uint32_t dataproc_reg(Cond cond, DpOp op, bool s, unsigned rd, unsigned rn,
+                           unsigned rm, ShiftKind shift, unsigned amount) {
+  assert(amount < 32);
+  std::uint32_t sh = static_cast<std::uint32_t>(shift);
+  if (shift == ShiftKind::rrx) {
+    sh = static_cast<std::uint32_t>(ShiftKind::ror);
+    amount = 0;
+  }
+  return cond_bits(cond) | (static_cast<std::uint32_t>(op) << 21) |
+         (s ? 1u << 20 : 0) | (rn << 16) | (rd << 12) | (amount << 7) | (sh << 5) | rm;
+}
+
+std::uint32_t dataproc_regshift(Cond cond, DpOp op, bool s, unsigned rd, unsigned rn,
+                                unsigned rm, ShiftKind shift, unsigned rs) {
+  assert(shift != ShiftKind::rrx);
+  return cond_bits(cond) | (static_cast<std::uint32_t>(op) << 21) |
+         (s ? 1u << 20 : 0) | (rn << 16) | (rd << 12) | (rs << 8) |
+         (static_cast<std::uint32_t>(shift) << 5) | (1u << 4) | rm;
+}
+
+std::uint32_t mul(Cond cond, bool s, unsigned rd, unsigned rm, unsigned rs) {
+  return cond_bits(cond) | (s ? 1u << 20 : 0) | (rd << 16) | (rs << 8) | (0x9u << 4) |
+         rm;
+}
+
+std::uint32_t mla(Cond cond, bool s, unsigned rd, unsigned rm, unsigned rs,
+                  unsigned rn) {
+  return cond_bits(cond) | (1u << 21) | (s ? 1u << 20 : 0) | (rd << 16) | (rn << 12) |
+         (rs << 8) | (0x9u << 4) | rm;
+}
+
+std::uint32_t ldr_str_imm(Cond cond, bool load, bool byte, unsigned rd, unsigned rn,
+                          std::int32_t offset, bool pre, bool writeback) {
+  const bool add = offset >= 0;
+  const std::uint32_t mag = static_cast<std::uint32_t>(add ? offset : -offset);
+  assert(mag <= 0xfff);
+  return cond_bits(cond) | (1u << 26) | (pre ? 1u << 24 : 0) | (add ? 1u << 23 : 0) |
+         (byte ? 1u << 22 : 0) | (writeback ? 1u << 21 : 0) | (load ? 1u << 20 : 0) |
+         (rn << 16) | (rd << 12) | mag;
+}
+
+std::uint32_t ldr_str_reg(Cond cond, bool load, bool byte, unsigned rd, unsigned rn,
+                          unsigned rm, ShiftKind shift, unsigned amount, bool add,
+                          bool pre, bool writeback) {
+  assert(amount < 32);
+  std::uint32_t sh = static_cast<std::uint32_t>(shift);
+  if (shift == ShiftKind::rrx) {
+    sh = static_cast<std::uint32_t>(ShiftKind::ror);
+    amount = 0;
+  }
+  return cond_bits(cond) | (1u << 26) | (1u << 25) | (pre ? 1u << 24 : 0) |
+         (add ? 1u << 23 : 0) | (byte ? 1u << 22 : 0) | (writeback ? 1u << 21 : 0) |
+         (load ? 1u << 20 : 0) | (rn << 16) | (rd << 12) | (amount << 7) | (sh << 5) |
+         rm;
+}
+
+std::uint32_t ldm_stm(Cond cond, bool load, bool before, bool up, bool writeback,
+                      unsigned rn, std::uint16_t reg_list) {
+  return cond_bits(cond) | (1u << 27) | (before ? 1u << 24 : 0) | (up ? 1u << 23 : 0) |
+         (writeback ? 1u << 21 : 0) | (load ? 1u << 20 : 0) | (rn << 16) | reg_list;
+}
+
+std::uint32_t branch(Cond cond, bool link, std::int32_t offset) {
+  assert((offset & 3) == 0);
+  const std::uint32_t field = static_cast<std::uint32_t>(offset >> 2) & 0x00ff'ffffu;
+  return cond_bits(cond) | (0x5u << 25) | (link ? 1u << 24 : 0) | field;
+}
+
+std::uint32_t swi(Cond cond, std::uint32_t imm24) {
+  assert(imm24 <= 0x00ff'ffffu);
+  return cond_bits(cond) | (0xfu << 24) | imm24;
+}
+
+}  // namespace rcpn::arm::enc

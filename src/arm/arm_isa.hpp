@@ -1,0 +1,188 @@
+// ARM7 (ARMv4, ARM state, user mode) instruction-set subset.
+//
+// This is the ISA the paper's evaluation uses ("the compiler only uses ARM7
+// instruction-set and therefore we only needed to model those instructions").
+// The subset covers everything our six benchmark kernels and the assembler
+// emit: all 16 data-processing opcodes with the full shifter-operand forms,
+// MUL/MLA, LDR/STR (word/byte, immediate/register offset, pre/post-indexed,
+// writeback), LDM/STM (all four address modes, writeback), B/BL, SWI and the
+// usual condition codes. Instructions are grouped into the paper's six
+// operation classes (§5: "The ARM instruction set was implemented using six
+// operation-classes").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rcpn::arm {
+
+// -- architectural constants ---------------------------------------------------
+
+constexpr unsigned kNumRegs = 16;   // r0..r15 (r13=sp, r14=lr, r15=pc)
+constexpr unsigned kRegSp = 13;
+constexpr unsigned kRegLr = 14;
+constexpr unsigned kRegPc = 15;
+/// Register-file cell index of the CPSR; flags take part in the same hazard
+/// machinery as general registers (a RegRef over cell 16).
+constexpr unsigned kCpsrCell = 16;
+constexpr unsigned kNumCells = 17;
+
+// CPSR flag bits.
+constexpr std::uint32_t kFlagN = 1u << 31;
+constexpr std::uint32_t kFlagZ = 1u << 30;
+constexpr std::uint32_t kFlagC = 1u << 29;
+constexpr std::uint32_t kFlagV = 1u << 28;
+
+enum class Cond : std::uint8_t {
+  eq = 0x0, ne = 0x1, cs = 0x2, cc = 0x3, mi = 0x4, pl = 0x5, vs = 0x6, vc = 0x7,
+  hi = 0x8, ls = 0x9, ge = 0xA, lt = 0xB, gt = 0xC, le = 0xD, al = 0xE, nv = 0xF,
+};
+
+/// True iff `cond` passes under the given CPSR value.
+bool cond_pass(Cond cond, std::uint32_t cpsr);
+const char* cond_name(Cond cond);
+
+enum class DpOp : std::uint8_t {
+  and_ = 0x0, eor = 0x1, sub = 0x2, rsb = 0x3, add = 0x4, adc = 0x5, sbc = 0x6,
+  rsc = 0x7, tst = 0x8, teq = 0x9, cmp = 0xA, cmn = 0xB, orr = 0xC, mov = 0xD,
+  bic = 0xE, mvn = 0xF,
+};
+const char* dp_op_name(DpOp op);
+/// TST/TEQ/CMP/CMN: flags only, no destination write.
+constexpr bool dp_no_result(DpOp op) {
+  return op == DpOp::tst || op == DpOp::teq || op == DpOp::cmp || op == DpOp::cmn;
+}
+/// MOV/MVN ignore Rn.
+constexpr bool dp_no_rn(DpOp op) { return op == DpOp::mov || op == DpOp::mvn; }
+
+enum class ShiftKind : std::uint8_t { lsl = 0, lsr = 1, asr = 2, ror = 3, rrx = 4 };
+const char* shift_name(ShiftKind k);
+
+/// The paper's six operation classes for ARM7. Values double as the RCPN
+/// TypeId of each class's sub-net, so decode can route tokens directly.
+enum class OpClass : std::uint8_t {
+  data_proc = 0,
+  multiply = 1,
+  load_store = 2,
+  load_store_multiple = 3,
+  branch = 4,
+  swi = 5,
+  kCount = 6,
+};
+const char* op_class_name(OpClass c);
+constexpr unsigned kNumOpClasses = static_cast<unsigned>(OpClass::kCount);
+
+// -- decoded form ---------------------------------------------------------------
+
+/// Fully decoded instruction: computed once per static instruction and cached
+/// (carried by the RCPN instruction token so no stage ever re-decodes).
+struct DecodedInstruction {
+  std::uint32_t raw = 0;
+  std::uint32_t pc = 0;
+  OpClass cls = OpClass::data_proc;
+  Cond cond = Cond::al;
+
+  // Register operand indices (kNumRegs when absent).
+  std::uint8_t rd = kNumRegs;
+  std::uint8_t rn = kNumRegs;
+  std::uint8_t rm = kNumRegs;
+  std::uint8_t rs = kNumRegs;
+
+  // Data processing.
+  DpOp dp_op = DpOp::mov;
+  bool sets_flags = false;
+  bool imm_operand = false;       // shifter operand is an immediate
+  std::uint32_t imm = 0;          // rotated immediate value (already expanded)
+  bool imm_carry_valid = false;   // rotate != 0 -> shifter carry := imm bit 31
+  bool imm_carry = false;
+  ShiftKind shift = ShiftKind::lsl;
+  std::uint8_t shift_amount = 0;  // when shifting by immediate
+  bool shift_by_reg = false;      // shift amount in Rs
+
+  // Multiply: rd = rm * rs (+ rn when accumulate).
+  bool accumulate = false;
+
+  // Load/store single.
+  bool is_load = false;
+  bool is_byte = false;
+  bool pre_index = true;
+  bool add_offset = true;
+  bool writeback = false;
+  bool reg_offset = false;
+  std::uint32_t offset_imm = 0;
+
+  // Load/store multiple.
+  std::uint16_t reg_list = 0;
+  bool lsm_before = false;  // increment/decrement before
+  bool lsm_up = true;
+
+  // Branch.
+  std::int32_t branch_offset = 0;  // already shifted, relative to pc+8
+  bool link = false;
+  bool branch_via_reg = false;     // data-processing write to pc (mov pc, lr)
+
+  // SWI.
+  std::uint32_t swi_imm = 0;
+
+  /// Does this instruction (when it passes its condition) write Rd?
+  bool writes_rd() const;
+  /// Does it read CPSR beyond the condition check (ADC/SBC/RSC/RRX)?
+  bool reads_carry() const;
+};
+
+/// Decode `raw` fetched from `pc`. Unrecognised encodings decode to a SWI
+/// with imm 0xdead00 so simulators fail loudly rather than silently.
+DecodedInstruction decode(std::uint32_t raw, std::uint32_t pc);
+
+// -- pure semantics (shared by ISS, RCPN models and the baseline) ---------------
+
+struct ShifterOut {
+  std::uint32_t value = 0;
+  bool carry = false;
+};
+
+/// Evaluate the shifter operand given the register values it needs.
+ShifterOut eval_shifter(const DecodedInstruction& d, std::uint32_t rm_val,
+                        std::uint32_t rs_val, bool carry_in);
+
+struct DataProcOut {
+  std::uint32_t result = 0;
+  bool writes_rd = false;
+  std::uint32_t nzcv = 0;   // new flag bits (positioned)
+  bool writes_flags = false;
+};
+
+/// Execute a data-processing instruction (condition already checked).
+DataProcOut exec_dataproc(const DecodedInstruction& d, std::uint32_t rn_val,
+                          std::uint32_t rm_val, std::uint32_t rs_val,
+                          std::uint32_t cpsr);
+
+struct MulOut {
+  std::uint32_t result = 0;
+  std::uint32_t nzcv = 0;
+  bool writes_flags = false;
+};
+MulOut exec_mul(const DecodedInstruction& d, std::uint32_t rm_val,
+                std::uint32_t rs_val, std::uint32_t rn_val, std::uint32_t cpsr);
+
+/// Multiply timing: ARM7/StrongArm early-terminate on small multipliers.
+/// Returns extra execute cycles (0 for an 8-bit multiplier).
+std::uint32_t mul_extra_cycles(std::uint32_t rs_val);
+
+struct LsAddress {
+  std::uint32_t ea = 0;        // effective address of the access
+  std::uint32_t rn_after = 0;  // base register value after the access
+  bool rn_writeback = false;
+};
+LsAddress ls_address(const DecodedInstruction& d, std::uint32_t rn_val,
+                     std::uint32_t rm_val, std::uint32_t cpsr);
+
+/// LDM/STM: starting address and whether the base is written back.
+struct LsmPlan {
+  std::uint32_t start = 0;      // address of the lowest register slot
+  std::uint32_t rn_after = 0;
+  unsigned count = 0;
+};
+LsmPlan lsm_plan(const DecodedInstruction& d, std::uint32_t rn_val);
+
+}  // namespace rcpn::arm

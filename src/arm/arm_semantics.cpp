@@ -1,0 +1,268 @@
+// Pure instruction semantics, shared verbatim by the functional ISS, the
+// RCPN processor models and the SimpleScalar-style baseline so that all three
+// simulators are architecturally identical by construction.
+#include "arm/arm_isa.hpp"
+
+#include "util/bits.hpp"
+
+namespace rcpn::arm {
+
+using util::add_carry;
+using util::add_overflow;
+
+bool cond_pass(Cond cond, std::uint32_t cpsr) {
+  const bool n = (cpsr & kFlagN) != 0;
+  const bool z = (cpsr & kFlagZ) != 0;
+  const bool c = (cpsr & kFlagC) != 0;
+  const bool v = (cpsr & kFlagV) != 0;
+  switch (cond) {
+    case Cond::eq: return z;
+    case Cond::ne: return !z;
+    case Cond::cs: return c;
+    case Cond::cc: return !c;
+    case Cond::mi: return n;
+    case Cond::pl: return !n;
+    case Cond::vs: return v;
+    case Cond::vc: return !v;
+    case Cond::hi: return c && !z;
+    case Cond::ls: return !c || z;
+    case Cond::ge: return n == v;
+    case Cond::lt: return n != v;
+    case Cond::gt: return !z && n == v;
+    case Cond::le: return z || n != v;
+    case Cond::al: return true;
+    case Cond::nv: return false;
+  }
+  return false;
+}
+
+const char* cond_name(Cond cond) {
+  static const char* names[16] = {"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+                                  "hi", "ls", "ge", "lt", "gt", "le", "", "nv"};
+  return names[static_cast<unsigned>(cond)];
+}
+
+const char* dp_op_name(DpOp op) {
+  static const char* names[16] = {"and", "eor", "sub", "rsb", "add", "adc",
+                                  "sbc", "rsc", "tst", "teq", "cmp", "cmn",
+                                  "orr", "mov", "bic", "mvn"};
+  return names[static_cast<unsigned>(op)];
+}
+
+const char* shift_name(ShiftKind k) {
+  static const char* names[5] = {"lsl", "lsr", "asr", "ror", "rrx"};
+  return names[static_cast<unsigned>(k)];
+}
+
+const char* op_class_name(OpClass c) {
+  static const char* names[kNumOpClasses] = {"DataProc", "Multiply", "LoadStore",
+                                             "LoadStoreMultiple", "Branch", "Swi"};
+  return names[static_cast<unsigned>(c)];
+}
+
+bool DecodedInstruction::writes_rd() const {
+  switch (cls) {
+    case OpClass::data_proc: return !dp_no_result(dp_op) && !branch_via_reg;
+    case OpClass::multiply: return true;
+    case OpClass::load_store: return is_load;
+    default: return false;
+  }
+}
+
+bool DecodedInstruction::reads_carry() const {
+  if (cls != OpClass::data_proc) return false;
+  if (dp_op == DpOp::adc || dp_op == DpOp::sbc || dp_op == DpOp::rsc) return true;
+  // RRX and LSR/ASR/ROR #0 forms consume the carry via the shifter; also any
+  // logical op with S must preserve C/V which requires reading the old CPSR.
+  if (!imm_operand && shift == ShiftKind::rrx) return true;
+  return sets_flags;
+}
+
+ShifterOut eval_shifter(const DecodedInstruction& d, std::uint32_t rm_val,
+                        std::uint32_t rs_val, bool carry_in) {
+  ShifterOut out;
+  if (d.imm_operand) {
+    out.value = d.imm;
+    out.carry = d.imm_carry_valid ? d.imm_carry : carry_in;
+    return out;
+  }
+  const std::uint32_t v = rm_val;
+  std::uint32_t amount;
+  if (d.shift_by_reg) {
+    amount = rs_val & 0xff;
+    if (amount == 0) return {v, carry_in};
+  } else {
+    amount = d.shift_amount;
+  }
+  switch (d.shift) {
+    case ShiftKind::lsl:
+      if (amount == 0) return {v, carry_in};
+      if (amount < 32) return {v << amount, util::bit(v, 32 - amount) != 0};
+      if (amount == 32) return {0, (v & 1) != 0};
+      return {0, false};
+    case ShiftKind::lsr:
+      // Immediate LSR #0 encodes LSR #32.
+      if (!d.shift_by_reg && amount == 0) amount = 32;
+      if (amount < 32) return {v >> amount, util::bit(v, amount - 1) != 0};
+      if (amount == 32) return {0, (v >> 31) != 0};
+      return {0, false};
+    case ShiftKind::asr: {
+      if (!d.shift_by_reg && amount == 0) amount = 32;
+      if (amount < 32)
+        return {static_cast<std::uint32_t>(static_cast<std::int32_t>(v) >>
+                                           amount),
+                util::bit(v, amount - 1) != 0};
+      const bool sign = (v >> 31) != 0;
+      return {sign ? 0xffff'ffffu : 0u, sign};
+    }
+    case ShiftKind::ror: {
+      const std::uint32_t r = amount & 31;
+      if (amount == 0) return {v, carry_in};
+      if (r == 0) return {v, (v >> 31) != 0};  // multiple of 32
+      return {util::rotr32(v, r), util::bit(v, r - 1) != 0};
+    }
+    case ShiftKind::rrx:
+      return {(v >> 1) | (carry_in ? 0x8000'0000u : 0u), (v & 1) != 0};
+  }
+  return out;
+}
+
+namespace {
+
+std::uint32_t pack_nzcv(bool n, bool z, bool c, bool v) {
+  return (n ? kFlagN : 0) | (z ? kFlagZ : 0) | (c ? kFlagC : 0) | (v ? kFlagV : 0);
+}
+
+}  // namespace
+
+DataProcOut exec_dataproc(const DecodedInstruction& d, std::uint32_t rn_val,
+                          std::uint32_t rm_val, std::uint32_t rs_val,
+                          std::uint32_t cpsr) {
+  const bool carry_in = (cpsr & kFlagC) != 0;
+  const ShifterOut sh = eval_shifter(d, rm_val, rs_val, carry_in);
+  const std::uint32_t a = rn_val;
+  const std::uint32_t b = sh.value;
+
+  DataProcOut out;
+  out.writes_rd = !dp_no_result(d.dp_op);
+  bool c = sh.carry;            // logical ops: shifter carry
+  bool v = (cpsr & kFlagV) != 0;  // logical ops: V unchanged
+  std::uint32_t r = 0;
+  switch (d.dp_op) {
+    case DpOp::and_: r = a & b; break;
+    case DpOp::eor: r = a ^ b; break;
+    case DpOp::sub:
+      r = a - b;
+      c = add_carry(a, ~b, true);
+      v = add_overflow(a, ~b, true);
+      break;
+    case DpOp::rsb:
+      r = b - a;
+      c = add_carry(b, ~a, true);
+      v = add_overflow(b, ~a, true);
+      break;
+    case DpOp::add:
+      r = a + b;
+      c = add_carry(a, b, false);
+      v = add_overflow(a, b, false);
+      break;
+    case DpOp::adc:
+      r = a + b + (carry_in ? 1 : 0);
+      c = add_carry(a, b, carry_in);
+      v = add_overflow(a, b, carry_in);
+      break;
+    case DpOp::sbc:
+      r = a - b - (carry_in ? 0 : 1);
+      c = add_carry(a, ~b, carry_in);
+      v = add_overflow(a, ~b, carry_in);
+      break;
+    case DpOp::rsc:
+      r = b - a - (carry_in ? 0 : 1);
+      c = add_carry(b, ~a, carry_in);
+      v = add_overflow(b, ~a, carry_in);
+      break;
+    case DpOp::tst: r = a & b; break;
+    case DpOp::teq: r = a ^ b; break;
+    case DpOp::cmp:
+      r = a - b;
+      c = add_carry(a, ~b, true);
+      v = add_overflow(a, ~b, true);
+      break;
+    case DpOp::cmn:
+      r = a + b;
+      c = add_carry(a, b, false);
+      v = add_overflow(a, b, false);
+      break;
+    case DpOp::orr: r = a | b; break;
+    case DpOp::mov: r = b; break;
+    case DpOp::bic: r = a & ~b; break;
+    case DpOp::mvn: r = ~b; break;
+  }
+  out.result = r;
+  out.writes_flags = d.sets_flags;
+  out.nzcv = pack_nzcv((r >> 31) != 0, r == 0, c, v);
+  return out;
+}
+
+MulOut exec_mul(const DecodedInstruction& d, std::uint32_t rm_val,
+                std::uint32_t rs_val, std::uint32_t rn_val, std::uint32_t cpsr) {
+  MulOut out;
+  out.result = rm_val * rs_val + (d.accumulate ? rn_val : 0);
+  out.writes_flags = d.sets_flags;
+  // MUL S: N and Z from the result, C unpredictable-but-preserved here,
+  // V unchanged.
+  out.nzcv = pack_nzcv((out.result >> 31) != 0, out.result == 0,
+                       (cpsr & kFlagC) != 0, (cpsr & kFlagV) != 0);
+  return out;
+}
+
+std::uint32_t mul_extra_cycles(std::uint32_t rs_val) {
+  // ARM7/SA-110-style early termination on the magnitude of the multiplier.
+  if ((rs_val & 0xffff'ff00u) == 0 || (rs_val & 0xffff'ff00u) == 0xffff'ff00u)
+    return 0;
+  if ((rs_val & 0xffff'0000u) == 0 || (rs_val & 0xffff'0000u) == 0xffff'0000u)
+    return 1;
+  if ((rs_val & 0xff00'0000u) == 0 || (rs_val & 0xff00'0000u) == 0xff00'0000u)
+    return 2;
+  return 3;
+}
+
+LsAddress ls_address(const DecodedInstruction& d, std::uint32_t rn_val,
+                     std::uint32_t rm_val, std::uint32_t cpsr) {
+  std::uint32_t offset;
+  if (d.reg_offset) {
+    // Scaled register offset uses the immediate-shift forms only.
+    const ShifterOut sh = eval_shifter(d, rm_val, 0, (cpsr & kFlagC) != 0);
+    offset = sh.value;
+  } else {
+    offset = d.offset_imm;
+  }
+  const std::uint32_t applied = d.add_offset ? rn_val + offset : rn_val - offset;
+  LsAddress out;
+  if (d.pre_index) {
+    out.ea = applied;
+    out.rn_after = applied;
+    out.rn_writeback = d.writeback;
+  } else {
+    out.ea = rn_val;
+    out.rn_after = applied;
+    out.rn_writeback = true;  // post-indexed always writes back
+  }
+  return out;
+}
+
+LsmPlan lsm_plan(const DecodedInstruction& d, std::uint32_t rn_val) {
+  LsmPlan plan;
+  plan.count = util::popcount32(d.reg_list);
+  const std::uint32_t bytes = 4 * plan.count;
+  if (d.lsm_up) {
+    plan.start = d.lsm_before ? rn_val + 4 : rn_val;
+    plan.rn_after = rn_val + bytes;
+  } else {
+    plan.start = d.lsm_before ? rn_val - bytes : rn_val - bytes + 4;
+    plan.rn_after = rn_val - bytes;
+  }
+  return plan;
+}
+
+}  // namespace rcpn::arm

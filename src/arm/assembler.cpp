@@ -1,0 +1,1031 @@
+#include "arm/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "arm/encode.hpp"
+
+namespace rcpn::arm {
+
+namespace {
+
+// -- lexical helpers -----------------------------------------------------------
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string strip_comment(const std::string& line) {
+  bool in_str = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') in_str = !in_str;
+    if (in_str) continue;
+    if (c == ';' || c == '@') return line.substr(0, i);
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Split on top-level commas ([...] and {...} protected).
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : s) {
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!strip(cur).empty()) out.push_back(strip(cur));
+  return out;
+}
+
+// -- parsed line ----------------------------------------------------------------
+
+struct ParsedLine {
+  int number = 0;
+  std::vector<std::string> labels;
+  std::string op;                  // lowered mnemonic or directive (with '.')
+  std::vector<std::string> args;   // top-level comma-split operands
+  std::string raw_args;            // joined operand text (directive payloads)
+};
+
+struct Mnemonic {
+  enum class Family {
+    data_proc,
+    mul,
+    mla,
+    load_store,
+    load_store_multiple,
+    branch,
+    swi,
+    push,
+    pop,
+    nop,
+    adr,
+  };
+  Family family = Family::nop;
+  DpOp dp_op = DpOp::mov;
+  Cond cond = Cond::al;
+  bool sets_flags = false;
+  bool is_load = false;
+  bool is_byte = false;
+  bool link = false;
+  bool lsm_before = false;
+  bool lsm_up = true;
+};
+
+std::optional<Cond> parse_cond(const std::string& s) {
+  static const std::pair<const char*, Cond> table[] = {
+      {"eq", Cond::eq}, {"ne", Cond::ne}, {"cs", Cond::cs}, {"hs", Cond::cs},
+      {"cc", Cond::cc}, {"lo", Cond::cc}, {"mi", Cond::mi}, {"pl", Cond::pl},
+      {"vs", Cond::vs}, {"vc", Cond::vc}, {"hi", Cond::hi}, {"ls", Cond::ls},
+      {"ge", Cond::ge}, {"lt", Cond::lt}, {"gt", Cond::gt}, {"le", Cond::le},
+      {"al", Cond::al}};
+  for (const auto& [name, cond] : table)
+    if (s == name) return cond;
+  return std::nullopt;
+}
+
+std::optional<DpOp> parse_dp_base(const std::string& s) {
+  static const std::pair<const char*, DpOp> table[] = {
+      {"and", DpOp::and_}, {"eor", DpOp::eor}, {"sub", DpOp::sub},
+      {"rsb", DpOp::rsb},  {"add", DpOp::add}, {"adc", DpOp::adc},
+      {"sbc", DpOp::sbc},  {"rsc", DpOp::rsc}, {"tst", DpOp::tst},
+      {"teq", DpOp::teq},  {"cmp", DpOp::cmp}, {"cmn", DpOp::cmn},
+      {"orr", DpOp::orr},  {"mov", DpOp::mov}, {"bic", DpOp::bic},
+      {"mvn", DpOp::mvn}};
+  for (const auto& [name, op] : table)
+    if (s == name) return op;
+  return std::nullopt;
+}
+
+/// Suffix = [cond][extra] where extra is "s" (dp/mul), "b" (ldr/str) or "".
+/// ARM order is {cond} before the qualifier (LDREQB), but unconditioned
+/// qualifiers are plain suffixes (LDRB); both parse here.
+bool parse_suffix(const std::string& suffix, bool allow_s, bool allow_b, Cond* cond,
+                  bool* s_flag, bool* b_flag) {
+  *cond = Cond::al;
+  *s_flag = false;
+  *b_flag = false;
+  std::string rest = suffix;
+  if (rest.size() >= 2) {
+    if (auto c = parse_cond(rest.substr(0, 2))) {
+      *cond = *c;
+      rest = rest.substr(2);
+    }
+  }
+  if (!rest.empty() && allow_s && rest == "s") {
+    *s_flag = true;
+    rest.clear();
+  }
+  if (!rest.empty() && allow_b && rest == "b") {
+    *b_flag = true;
+    rest.clear();
+  }
+  return rest.empty();
+}
+
+/// LDM/STM address-mode suffix; `load` disambiguates the stack aliases.
+std::optional<std::pair<bool, bool>> parse_lsm_mode(const std::string& m, bool load) {
+  // {before, up}
+  if (m == "ia") return {{false, true}};
+  if (m == "ib") return {{true, true}};
+  if (m == "da") return {{false, false}};
+  if (m == "db") return {{true, false}};
+  if (m == "fd") return load ? std::optional<std::pair<bool, bool>>{{false, true}}
+                             : std::optional<std::pair<bool, bool>>{{true, false}};
+  if (m == "ed") return load ? std::optional<std::pair<bool, bool>>{{true, true}}
+                             : std::optional<std::pair<bool, bool>>{{false, false}};
+  if (m == "fa") return load ? std::optional<std::pair<bool, bool>>{{false, false}}
+                             : std::optional<std::pair<bool, bool>>{{true, true}};
+  if (m == "ea") return load ? std::optional<std::pair<bool, bool>>{{true, false}}
+                             : std::optional<std::pair<bool, bool>>{{false, true}};
+  return std::nullopt;
+}
+
+std::optional<Mnemonic> parse_mnemonic(const std::string& word) {
+  Mnemonic m;
+  Cond cond;
+  bool s_flag, b_flag;
+
+  // Fixed words first.
+  if (word == "nop") {
+    m.family = Mnemonic::Family::nop;
+    return m;
+  }
+
+  // Data processing (longest bases first is unnecessary: all are 3 chars and
+  // no dp base is a prefix of another).
+  if (word.size() >= 3) {
+    if (auto op = parse_dp_base(word.substr(0, 3))) {
+      if (parse_suffix(word.substr(3), /*s*/ true, /*b*/ false, &cond, &s_flag,
+                       &b_flag)) {
+        m.family = Mnemonic::Family::data_proc;
+        m.dp_op = *op;
+        m.cond = cond;
+        m.sets_flags = s_flag || dp_no_result(*op);
+        return m;
+      }
+    }
+  }
+
+  // mul / mla.
+  if (word.size() >= 3 && (word.substr(0, 3) == "mul" || word.substr(0, 3) == "mla")) {
+    if (parse_suffix(word.substr(3), true, false, &cond, &s_flag, &b_flag)) {
+      m.family =
+          word.substr(0, 3) == "mul" ? Mnemonic::Family::mul : Mnemonic::Family::mla;
+      m.cond = cond;
+      m.sets_flags = s_flag;
+      return m;
+    }
+  }
+
+  // ldr / str (with optional b).
+  if (word.size() >= 3 && (word.substr(0, 3) == "ldr" || word.substr(0, 3) == "str")) {
+    std::string suffix = word.substr(3);
+    // Accept both ldrb and ldreqb orders.
+    if (!suffix.empty() && suffix[0] == 'b' &&
+        parse_suffix(suffix.substr(1), false, false, &cond, &s_flag, &b_flag)) {
+      m.family = Mnemonic::Family::load_store;
+      m.is_load = word[0] == 'l';
+      m.is_byte = true;
+      m.cond = cond;
+      return m;
+    }
+    if (parse_suffix(suffix, false, true, &cond, &s_flag, &b_flag)) {
+      m.family = Mnemonic::Family::load_store;
+      m.is_load = word[0] == 'l';
+      m.is_byte = b_flag;
+      m.cond = cond;
+      return m;
+    }
+  }
+
+  // ldm / stm: base + [cond] + mode, or base + mode + [cond].
+  if (word.size() >= 5 && (word.substr(0, 3) == "ldm" || word.substr(0, 3) == "stm")) {
+    const bool load = word[0] == 'l';
+    std::string suffix = word.substr(3);
+    Cond c = Cond::al;
+    if (suffix.size() == 4) {
+      // condmode or modecond
+      if (auto cc = parse_cond(suffix.substr(0, 2))) {
+        if (auto mode = parse_lsm_mode(suffix.substr(2), load)) {
+          m.family = Mnemonic::Family::load_store_multiple;
+          m.is_load = load;
+          m.cond = *cc;
+          m.lsm_before = mode->first;
+          m.lsm_up = mode->second;
+          return m;
+        }
+      }
+      if (auto mode = parse_lsm_mode(suffix.substr(0, 2), load)) {
+        if (auto cc = parse_cond(suffix.substr(2))) {
+          m.family = Mnemonic::Family::load_store_multiple;
+          m.is_load = load;
+          m.cond = *cc;
+          m.lsm_before = mode->first;
+          m.lsm_up = mode->second;
+          return m;
+        }
+      }
+    } else if (suffix.size() == 2) {
+      if (auto mode = parse_lsm_mode(suffix, load)) {
+        m.family = Mnemonic::Family::load_store_multiple;
+        m.is_load = load;
+        m.cond = c;
+        m.lsm_before = mode->first;
+        m.lsm_up = mode->second;
+        return m;
+      }
+    }
+  }
+
+  // push / pop.
+  if (word.size() >= 4 && word.substr(0, 4) == "push") {
+    if (parse_suffix(word.substr(4), false, false, &cond, &s_flag, &b_flag)) {
+      m.family = Mnemonic::Family::push;
+      m.cond = cond;
+      return m;
+    }
+  }
+  if (word.size() >= 3 && word.substr(0, 3) == "pop") {
+    if (parse_suffix(word.substr(3), false, false, &cond, &s_flag, &b_flag)) {
+      m.family = Mnemonic::Family::pop;
+      m.cond = cond;
+      return m;
+    }
+  }
+
+  // swi / svc.
+  if (word.size() >= 3 && (word.substr(0, 3) == "swi" || word.substr(0, 3) == "svc")) {
+    if (parse_suffix(word.substr(3), false, false, &cond, &s_flag, &b_flag)) {
+      m.family = Mnemonic::Family::swi;
+      m.cond = cond;
+      return m;
+    }
+  }
+
+  // adr pseudo.
+  if (word.size() >= 3 && word.substr(0, 3) == "adr") {
+    if (parse_suffix(word.substr(3), false, false, &cond, &s_flag, &b_flag)) {
+      m.family = Mnemonic::Family::adr;
+      m.cond = cond;
+      return m;
+    }
+  }
+
+  // Branches last: "b", "bl", each with optional cond ("bls" parses as
+  // b + ls because bl + "s" is rejected above by the suffix grammar).
+  if (word == "b") {
+    m.family = Mnemonic::Family::branch;
+    return m;
+  }
+  if (word == "bl") {
+    m.family = Mnemonic::Family::branch;
+    m.link = true;
+    return m;
+  }
+  if (word.size() == 3 && word[0] == 'b') {
+    if (auto c = parse_cond(word.substr(1))) {
+      m.family = Mnemonic::Family::branch;
+      m.cond = *c;
+      return m;
+    }
+  }
+  if (word.size() == 4 && word.substr(0, 2) == "bl") {
+    if (auto c = parse_cond(word.substr(2))) {
+      m.family = Mnemonic::Family::branch;
+      m.link = true;
+      m.cond = *c;
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+// -- the assembler --------------------------------------------------------------
+
+class Assembler {
+ public:
+  Assembler(const std::string& source, const std::string& name, std::uint32_t origin)
+      : name_(name), origin_(origin) {
+    parse_lines(source);
+  }
+
+  AssemblyResult run() {
+    pass(/*emit=*/false);
+    bytes_.clear();
+    pool_pending_.clear();
+    pass(/*emit=*/true);
+
+    AssemblyResult result;
+    result.program.name = name_;
+    result.program.entry = origin_;
+    if (auto it = symbols_.find("_start"); it != symbols_.end())
+      result.program.entry = it->second;
+    result.program.add_segment(origin_, std::move(bytes_));
+    result.symbols = symbols_;
+    return result;
+  }
+
+ private:
+  struct PoolEntry {
+    std::string expr;
+    std::uint32_t addr = 0;  // assigned when the pool is flushed
+    std::vector<std::uint32_t> fixup_sites;  // instruction addresses
+  };
+
+  // ---- parsing ----
+  void parse_lines(const std::string& source) {
+    int number = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t nl = source.find('\n', pos);
+      std::string text = source.substr(
+          pos, nl == std::string::npos ? std::string::npos : nl - pos);
+      pos = nl == std::string::npos ? source.size() + 1 : nl + 1;
+      ++number;
+
+      text = strip(strip_comment(text));
+      ParsedLine pl;
+      pl.number = number;
+      // Peel labels.
+      for (;;) {
+        const std::size_t colon = text.find(':');
+        if (colon == std::string::npos) break;
+        const std::string head = strip(text.substr(0, colon));
+        if (head.empty() || !is_identifier(head)) break;
+        pl.labels.push_back(head);
+        text = strip(text.substr(colon + 1));
+      }
+      if (!text.empty()) {
+        const std::size_t sp = text.find_first_of(" \t");
+        pl.op = lower(text.substr(0, sp));
+        pl.raw_args = sp == std::string::npos ? "" : strip(text.substr(sp + 1));
+        pl.args = split_operands(pl.raw_args);
+      }
+      if (!pl.labels.empty() || !pl.op.empty()) lines_.push_back(std::move(pl));
+    }
+  }
+
+  static bool is_identifier(const std::string& s) {
+    if (s.empty()) return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_' && s[0] != '.')
+      return false;
+    return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+      return std::isalnum(c) || c == '_' || c == '.';
+    });
+  }
+
+  // ---- expression evaluation ----
+  std::optional<std::int64_t> eval(const std::string& expr_in) const {
+    const std::string expr = strip(expr_in);
+    if (expr.empty()) return std::nullopt;
+    // symbol/number [+|- number/symbol]*
+    std::int64_t acc = 0;
+    int sign = 1;
+    std::size_t i = 0;
+    bool first = true;
+    while (i < expr.size()) {
+      while (i < expr.size() && std::isspace(static_cast<unsigned char>(expr[i]))) ++i;
+      if (!first || expr[i] == '+' || expr[i] == '-') {
+        if (expr[i] == '+') {
+          sign = 1;
+          ++i;
+        } else if (expr[i] == '-') {
+          sign = -1;
+          ++i;
+        } else if (!first) {
+          return std::nullopt;
+        }
+      }
+      while (i < expr.size() && std::isspace(static_cast<unsigned char>(expr[i]))) ++i;
+      std::size_t j = i;
+      while (j < expr.size() && expr[j] != '+' && expr[j] != '-' &&
+             !std::isspace(static_cast<unsigned char>(expr[j])))
+        ++j;
+      const std::string tok = expr.substr(i, j - i);
+      if (tok.empty()) return std::nullopt;
+      std::int64_t v;
+      if (auto n = parse_number(tok)) {
+        v = *n;
+      } else if (auto it = symbols_.find(tok); it != symbols_.end()) {
+        v = it->second;
+      } else {
+        return std::nullopt;
+      }
+      acc += sign * v;
+      sign = 1;
+      i = j;
+      first = false;
+    }
+    return acc;
+  }
+
+  static std::optional<std::int64_t> parse_number(const std::string& tok) {
+    if (tok.empty()) return std::nullopt;
+    if (tok.size() == 3 && tok.front() == '\'' && tok.back() == '\'')
+      return static_cast<std::int64_t>(static_cast<unsigned char>(tok[1]));
+    std::size_t i = 0;
+    std::int64_t sign = 1;
+    if (tok[i] == '-') {
+      sign = -1;
+      ++i;
+    } else if (tok[i] == '+') {
+      ++i;
+    }
+    if (i >= tok.size()) return std::nullopt;
+    int base = 10;
+    if (tok.size() - i > 2 && tok[i] == '0' && (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+      base = 16;
+      i += 2;
+    } else if (tok.size() - i > 2 && tok[i] == '0' &&
+               (tok[i + 1] == 'b' || tok[i + 1] == 'B')) {
+      base = 2;
+      i += 2;
+    }
+    std::int64_t v = 0;
+    for (; i < tok.size(); ++i) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(tok[i])));
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = 10 + (c - 'a');
+      } else {
+        return std::nullopt;
+      }
+      if (digit >= base) return std::nullopt;
+      v = v * base + digit;
+    }
+    return sign * v;
+  }
+
+  std::int64_t eval_or_throw(const std::string& expr, int line) const {
+    if (auto v = eval(expr)) return *v;
+    throw AsmError(line, "cannot evaluate expression '" + expr + "'");
+  }
+
+  // ---- register parsing ----
+  static std::optional<unsigned> parse_reg(const std::string& tok_in) {
+    const std::string tok = lower(strip(tok_in));
+    if (tok == "sp") return 13;
+    if (tok == "lr") return 14;
+    if (tok == "pc") return 15;
+    if (tok == "ip") return 12;
+    if (tok == "fp") return 11;
+    if (tok == "sl") return 10;
+    if (tok.size() >= 2 && tok[0] == 'r') {
+      if (auto n = parse_number(tok.substr(1)); n && *n >= 0 && *n <= 15)
+        return static_cast<unsigned>(*n);
+    }
+    return std::nullopt;
+  }
+
+  unsigned reg_or_throw(const std::string& tok, int line) const {
+    if (auto r = parse_reg(tok)) return *r;
+    throw AsmError(line, "expected register, got '" + tok + "'");
+  }
+
+  std::uint16_t parse_reg_list(const std::string& tok, int line) const {
+    const std::string t = strip(tok);
+    if (t.size() < 2 || t.front() != '{' || t.back() != '}')
+      throw AsmError(line, "expected register list {..}, got '" + tok + "'");
+    std::uint16_t mask = 0;
+    for (const std::string& part : split_operands(t.substr(1, t.size() - 2))) {
+      const std::size_t dash = part.find('-');
+      if (dash != std::string::npos) {
+        const unsigned lo = reg_or_throw(part.substr(0, dash), line);
+        const unsigned hi = reg_or_throw(part.substr(dash + 1), line);
+        if (lo > hi) throw AsmError(line, "bad register range '" + part + "'");
+        for (unsigned r = lo; r <= hi; ++r) mask |= static_cast<std::uint16_t>(1u << r);
+      } else {
+        mask |= static_cast<std::uint16_t>(1u << reg_or_throw(part, line));
+      }
+    }
+    if (mask == 0) throw AsmError(line, "empty register list");
+    return mask;
+  }
+
+  // ---- emission ----
+  void emit_word(std::uint32_t w) {
+    bytes_.push_back(static_cast<std::uint8_t>(w));
+    bytes_.push_back(static_cast<std::uint8_t>(w >> 8));
+    bytes_.push_back(static_cast<std::uint8_t>(w >> 16));
+    bytes_.push_back(static_cast<std::uint8_t>(w >> 24));
+  }
+
+  void patch_word(std::uint32_t addr, std::uint32_t w) {
+    const std::size_t off = addr - origin_;
+    bytes_[off] = static_cast<std::uint8_t>(w);
+    bytes_[off + 1] = static_cast<std::uint8_t>(w >> 8);
+    bytes_[off + 2] = static_cast<std::uint8_t>(w >> 16);
+    bytes_[off + 3] = static_cast<std::uint8_t>(w >> 24);
+  }
+
+  void advance(std::uint32_t n, bool emit, std::uint8_t fill = 0) {
+    lc_ += n;
+    if (emit) bytes_.insert(bytes_.end(), n, fill);
+  }
+
+  // ---- literal pool ----
+  /// Register a `ldr rX, =expr` use at instruction address `site`.
+  void pool_add(const std::string& expr, std::uint32_t site) {
+    for (PoolEntry& e : pool_pending_)
+      if (e.expr == expr) {
+        e.fixup_sites.push_back(site);
+        return;
+      }
+    PoolEntry e;
+    e.expr = expr;
+    e.fixup_sites.push_back(site);
+    pool_pending_.push_back(std::move(e));
+  }
+
+  void flush_pool(bool emit, int line) {
+    for (PoolEntry& e : pool_pending_) {
+      e.addr = lc_;
+      if (emit) {
+        const std::int64_t v = eval_or_throw(e.expr, line);
+        emit_word(static_cast<std::uint32_t>(v));
+        for (std::uint32_t site : e.fixup_sites) {
+          const std::int32_t off =
+              static_cast<std::int32_t>(e.addr) - static_cast<std::int32_t>(site + 8);
+          if (off < -4095 || off > 4095)
+            throw AsmError(line, "literal pool out of range for '" + e.expr + "'");
+          // Rebuild the ldr with the now-known offset; rd was stashed in the
+          // placeholder instruction's Rd field.
+          const std::uint32_t placeholder = read_word(site);
+          const unsigned rd = (placeholder >> 12) & 0xf;
+          const Cond cond = static_cast<Cond>(placeholder >> 28);
+          patch_word(site, enc::ldr_str_imm(cond, true, false, rd, kRegPc, off,
+                                            /*pre=*/true, /*wb=*/false));
+        }
+      } else {
+        lc_ += 4;
+        continue;
+      }
+      lc_ += 4;
+    }
+    pool_pending_.clear();
+  }
+
+  std::uint32_t read_word(std::uint32_t addr) const {
+    const std::size_t off = addr - origin_;
+    return static_cast<std::uint32_t>(bytes_[off]) |
+           (static_cast<std::uint32_t>(bytes_[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[off + 3]) << 24);
+  }
+
+  // ---- shifter operand parsing (dp instructions) ----
+  struct ShifterSpec {
+    bool is_imm = false;
+    std::uint32_t imm12 = 0;   // encoded rotated immediate
+    unsigned rm = 0;
+    ShiftKind shift = ShiftKind::lsl;
+    unsigned amount = 0;
+    bool by_reg = false;
+    unsigned rs = 0;
+  };
+
+  /// Parse trailing operands `rm {, shift #n | shift rs | rrx}` or `#imm`.
+  ShifterSpec parse_shifter(const std::vector<std::string>& ops, std::size_t first,
+                            int line, bool emit) const {
+    ShifterSpec sp;
+    if (ops.size() <= first) throw AsmError(line, "missing operand");
+    const std::string& o = ops[first];
+    if (o.size() >= 1 && o[0] == '#') {
+      const std::int64_t v =
+          emit ? eval_or_throw(o.substr(1), line) : eval(o.substr(1)).value_or(0);
+      const auto enc12 = enc::encode_imm(static_cast<std::uint32_t>(v));
+      if (!enc12) {
+        if (emit)
+          throw AsmError(line, "immediate " + o + " not encodable; use ldr =");
+        sp.is_imm = true;
+        return sp;
+      }
+      sp.is_imm = true;
+      sp.imm12 = *enc12;
+      return sp;
+    }
+    sp.rm = reg_or_throw(o, line);
+    if (ops.size() == first + 1) return sp;
+    if (ops.size() > first + 2) throw AsmError(line, "too many operands");
+    // shift spec: "lsl #3" | "lsl r4" | "rrx"
+    const std::string spec = lower(strip(ops[first + 1]));
+    if (spec == "rrx") {
+      sp.shift = ShiftKind::rrx;
+      return sp;
+    }
+    const std::size_t sep = spec.find_first_of(" \t");
+    if (sep == std::string::npos) throw AsmError(line, "bad shift '" + spec + "'");
+    const std::string kind = strip(spec.substr(0, sep));
+    const std::string arg = strip(spec.substr(sep));
+    static const std::pair<const char*, ShiftKind> kinds[] = {{"lsl", ShiftKind::lsl},
+                                                              {"lsr", ShiftKind::lsr},
+                                                              {"asr", ShiftKind::asr},
+                                                              {"ror", ShiftKind::ror}};
+    bool found = false;
+    for (const auto& [n, k] : kinds)
+      if (kind == n) {
+        sp.shift = k;
+        found = true;
+      }
+    if (!found) throw AsmError(line, "unknown shift '" + kind + "'");
+    if (!arg.empty() && arg[0] == '#') {
+      const std::int64_t amount = eval_or_throw(arg.substr(1), line);
+      if (amount < 0 || amount > 32) throw AsmError(line, "shift amount out of range");
+      // LSR/ASR #32 encode as amount 0.
+      sp.amount = static_cast<unsigned>(amount) & 31u;
+      if (amount == 32 && (sp.shift == ShiftKind::lsr || sp.shift == ShiftKind::asr))
+        sp.amount = 0;
+    } else {
+      sp.by_reg = true;
+      sp.rs = reg_or_throw(arg, line);
+    }
+    return sp;
+  }
+
+  std::uint32_t encode_dp(const Mnemonic& m, const ShifterSpec& sp, unsigned rd,
+                          unsigned rn) const {
+    if (sp.is_imm) return enc::dataproc_imm(m.cond, m.dp_op, m.sets_flags, rd, rn, sp.imm12);
+    if (sp.by_reg)
+      return enc::dataproc_regshift(m.cond, m.dp_op, m.sets_flags, rd, rn, sp.rm,
+                                    sp.shift, sp.rs);
+    return enc::dataproc_reg(m.cond, m.dp_op, m.sets_flags, rd, rn, sp.rm, sp.shift,
+                             sp.amount);
+  }
+
+  // ---- addressing mode parsing (ldr/str) ----
+  std::uint32_t encode_load_store(const Mnemonic& m, const ParsedLine& pl, bool emit) {
+    const int line = pl.number;
+    if (pl.args.size() < 2) throw AsmError(line, "ldr/str needs 2 operands");
+    const unsigned rd = reg_or_throw(pl.args[0], line);
+
+    // ldr rX, =expr  — literal pool pseudo. The mov/mvn shortcut decision is
+    // taken in pass 1 and recorded, because in pass 2 forward labels become
+    // evaluable and a different choice would shift every following address.
+    const std::string second = strip(pl.args[1]);
+    if (second.size() >= 1 && second[0] == '=') {
+      if (!m.is_load || m.is_byte) throw AsmError(line, "'=' only valid with ldr");
+      if (!emit) {
+        bool use_mov = false;
+        if (auto v = eval(second.substr(1))) {
+          use_mov = enc::encode_imm(static_cast<std::uint32_t>(*v)).has_value() ||
+                    enc::encode_imm(~static_cast<std::uint32_t>(*v)).has_value();
+        }
+        ldr_eq_uses_mov_[lc_] = use_mov;
+        if (!use_mov) pool_add(second.substr(1), lc_);
+        return enc::ldr_str_imm(m.cond, true, false, rd, kRegPc, 0, true, false);
+      }
+      const auto decision = ldr_eq_uses_mov_.find(lc_);
+      if (decision != ldr_eq_uses_mov_.end() && decision->second) {
+        const auto v = static_cast<std::uint32_t>(eval_or_throw(second.substr(1), line));
+        if (auto imm = enc::encode_imm(v))
+          return enc::dataproc_imm(m.cond, DpOp::mov, false, rd, 0, *imm);
+        if (auto imm = enc::encode_imm(~v))
+          return enc::dataproc_imm(m.cond, DpOp::mvn, false, rd, 0, *imm);
+        throw AsmError(line, "internal: ldr= shortcut no longer encodable");
+      }
+      pool_add(second.substr(1), lc_);
+      // Placeholder carrying cond+rd; patched when the pool is flushed.
+      return enc::ldr_str_imm(m.cond, true, false, rd, kRegPc, 0, true, false);
+    }
+
+    if (second.front() != '[')
+      throw AsmError(line, "expected address operand, got '" + second + "'");
+
+    // Post-indexed: "[rn]" followed by an extra operand.
+    const bool post = second.back() == ']' && pl.args.size() > 2;
+    if (post) {
+      if (pl.args.size() > 3)
+        throw AsmError(line, "scaled post-indexed addressing not supported");
+      const std::string inner = strip(second.substr(1, second.size() - 2));
+      const unsigned rn = reg_or_throw(inner, line);
+      const std::string& off = pl.args[2];
+      if (off[0] == '#') {
+        const std::int64_t v =
+            emit ? eval_or_throw(off.substr(1), line) : eval(off.substr(1)).value_or(0);
+        return enc::ldr_str_imm(m.cond, m.is_load, m.is_byte, rd, rn,
+                                static_cast<std::int32_t>(v), /*pre=*/false,
+                                /*wb=*/false);
+      }
+      bool add = true;
+      std::string rtok = strip(off);
+      if (!rtok.empty() && rtok[0] == '-') {
+        add = false;
+        rtok = strip(rtok.substr(1));
+      }
+      return enc::ldr_str_reg(m.cond, m.is_load, m.is_byte, rd, rn,
+                              reg_or_throw(rtok, line), ShiftKind::lsl, 0, add,
+                              /*pre=*/false, /*wb=*/false);
+    }
+
+    // Pre-indexed / offset: "[ ... ]" with optional "!".
+    std::string addr = second;
+    bool writeback = false;
+    if (addr.back() == '!') {
+      writeback = true;
+      addr = strip(addr.substr(0, addr.size() - 1));
+    }
+    if (addr.front() != '[' || addr.back() != ']')
+      throw AsmError(line, "malformed address '" + second + "'");
+    const std::vector<std::string> parts =
+        split_operands(addr.substr(1, addr.size() - 2));
+    if (parts.empty()) throw AsmError(line, "empty address");
+    const unsigned rn = reg_or_throw(parts[0], line);
+    if (parts.size() == 1)
+      return enc::ldr_str_imm(m.cond, m.is_load, m.is_byte, rd, rn, 0, true, writeback);
+    if (parts[1][0] == '#') {
+      const std::int64_t v = emit ? eval_or_throw(parts[1].substr(1), line)
+                                  : eval(parts[1].substr(1)).value_or(0);
+      if (v < -4095 || v > 4095) throw AsmError(line, "offset out of range");
+      return enc::ldr_str_imm(m.cond, m.is_load, m.is_byte, rd, rn,
+                              static_cast<std::int32_t>(v), true, writeback);
+    }
+    bool add = true;
+    std::string rtok = strip(parts[1]);
+    if (rtok[0] == '-') {
+      add = false;
+      rtok = strip(rtok.substr(1));
+    }
+    const unsigned rm = reg_or_throw(rtok, line);
+    ShiftKind shift = ShiftKind::lsl;
+    unsigned amount = 0;
+    if (parts.size() >= 3) {
+      const std::string spec = lower(strip(parts[2]));
+      const std::size_t sep = spec.find_first_of(" \t");
+      if (sep == std::string::npos) throw AsmError(line, "bad shift in address");
+      static const std::pair<const char*, ShiftKind> kinds[] = {
+          {"lsl", ShiftKind::lsl},
+          {"lsr", ShiftKind::lsr},
+          {"asr", ShiftKind::asr},
+          {"ror", ShiftKind::ror}};
+      bool found = false;
+      for (const auto& [n, k] : kinds)
+        if (strip(spec.substr(0, sep)) == n) {
+          shift = k;
+          found = true;
+        }
+      if (!found) throw AsmError(line, "unknown shift in address");
+      const std::string arg = strip(spec.substr(sep));
+      if (arg.empty() || arg[0] != '#')
+        throw AsmError(line, "address shift must be immediate");
+      amount = static_cast<unsigned>(eval_or_throw(arg.substr(1), line)) & 31u;
+    }
+    return enc::ldr_str_reg(m.cond, m.is_load, m.is_byte, rd, rn, rm, shift, amount,
+                            add, true, writeback);
+  }
+
+  // ---- one full pass ----
+  void pass(bool emit) {
+    lc_ = origin_;
+    for (const ParsedLine& pl : lines_) {
+      for (const std::string& label : pl.labels) {
+        if (!emit) {
+          if (symbols_.count(label))
+            throw AsmError(pl.number, "duplicate label '" + label + "'");
+          symbols_[label] = lc_;
+        }
+      }
+      if (pl.op.empty()) continue;
+      if (pl.op[0] == '.') {
+        directive(pl, emit);
+        continue;
+      }
+      instruction(pl, emit);
+    }
+    flush_pool(emit, lines_.empty() ? 0 : lines_.back().number);
+  }
+
+  void directive(const ParsedLine& pl, bool emit) {
+    const int line = pl.number;
+    if (pl.op == ".org") {
+      const std::int64_t target = eval_or_throw(pl.raw_args, line);
+      if (static_cast<std::uint32_t>(target) < lc_)
+        throw AsmError(line, ".org goes backwards");
+      advance(static_cast<std::uint32_t>(target) - lc_, emit);
+    } else if (pl.op == ".word") {
+      for (const std::string& a : pl.args) {
+        if (emit) {
+          emit_word(static_cast<std::uint32_t>(eval_or_throw(a, line)));
+          lc_ += 4;
+        } else {
+          lc_ += 4;
+        }
+      }
+    } else if (pl.op == ".byte") {
+      for (const std::string& a : pl.args) {
+        if (emit) {
+          bytes_.push_back(
+              static_cast<std::uint8_t>(eval_or_throw(a, line) & 0xff));
+        }
+        lc_ += 1;
+      }
+    } else if (pl.op == ".space") {
+      const std::int64_t n = eval_or_throw(pl.args.at(0), line);
+      const std::uint8_t fill =
+          pl.args.size() > 1
+              ? static_cast<std::uint8_t>(eval_or_throw(pl.args[1], line))
+              : 0;
+      advance(static_cast<std::uint32_t>(n), emit, fill);
+    } else if (pl.op == ".align") {
+      const std::uint32_t align =
+          pl.args.empty() ? 4
+                          : (1u << static_cast<unsigned>(eval_or_throw(pl.args[0], line)));
+      const std::uint32_t pad = (align - (lc_ % align)) % align;
+      advance(pad, emit);
+    } else if (pl.op == ".ascii" || pl.op == ".asciz") {
+      const std::string s = parse_string(pl.raw_args, line);
+      for (char c : s) {
+        if (emit) bytes_.push_back(static_cast<std::uint8_t>(c));
+        lc_ += 1;
+      }
+      if (pl.op == ".asciz") {
+        if (emit) bytes_.push_back(0);
+        lc_ += 1;
+      }
+    } else if (pl.op == ".equ" || pl.op == ".set") {
+      if (pl.args.size() != 2) throw AsmError(line, ".equ needs name, value");
+      if (!emit)
+        symbols_[strip(pl.args[0])] =
+            static_cast<std::uint32_t>(eval_or_throw(pl.args[1], line));
+    } else if (pl.op == ".ltorg") {
+      flush_pool(emit, line);
+    } else if (pl.op == ".global" || pl.op == ".globl" || pl.op == ".text" ||
+               pl.op == ".data") {
+      // Accepted for familiarity; a flat image needs no sections.
+    } else {
+      throw AsmError(line, "unknown directive '" + pl.op + "'");
+    }
+  }
+
+  static std::string parse_string(const std::string& raw, int line) {
+    const std::string s = strip(raw);
+    if (s.size() < 2 || s.front() != '"' || s.back() != '"')
+      throw AsmError(line, "expected quoted string");
+    std::string out;
+    for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+      char c = s[i];
+      if (c == '\\' && i + 2 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: c = s[i]; break;
+        }
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void instruction(const ParsedLine& pl, bool emit) {
+    const int line = pl.number;
+    const auto mn = parse_mnemonic(pl.op);
+    if (!mn) throw AsmError(line, "unknown mnemonic '" + pl.op + "'");
+    const Mnemonic& m = *mn;
+    std::uint32_t word = 0;
+
+    switch (m.family) {
+      case Mnemonic::Family::nop:
+        word = enc::dataproc_reg(Cond::al, DpOp::mov, false, 0, 0, 0, ShiftKind::lsl, 0);
+        break;
+      case Mnemonic::Family::data_proc: {
+        unsigned rd = 0, rn = 0;
+        std::size_t shifter_at;
+        if (m.dp_op == DpOp::mov || m.dp_op == DpOp::mvn) {
+          rd = reg_or_throw(pl.args.at(0), line);
+          shifter_at = 1;
+        } else if (dp_no_result(m.dp_op)) {
+          rn = reg_or_throw(pl.args.at(0), line);
+          shifter_at = 1;
+        } else {
+          rd = reg_or_throw(pl.args.at(0), line);
+          rn = reg_or_throw(pl.args.at(1), line);
+          shifter_at = 2;
+        }
+        ShifterSpec sp = parse_shifter(pl.args, shifter_at, line, emit);
+        word = encode_dp(m, sp, rd, rn);
+        break;
+      }
+      case Mnemonic::Family::mul: {
+        const unsigned rd = reg_or_throw(pl.args.at(0), line);
+        const unsigned rm = reg_or_throw(pl.args.at(1), line);
+        const unsigned rs = reg_or_throw(pl.args.at(2), line);
+        word = enc::mul(m.cond, m.sets_flags, rd, rm, rs);
+        break;
+      }
+      case Mnemonic::Family::mla: {
+        const unsigned rd = reg_or_throw(pl.args.at(0), line);
+        const unsigned rm = reg_or_throw(pl.args.at(1), line);
+        const unsigned rs = reg_or_throw(pl.args.at(2), line);
+        const unsigned rn = reg_or_throw(pl.args.at(3), line);
+        word = enc::mla(m.cond, m.sets_flags, rd, rm, rs, rn);
+        break;
+      }
+      case Mnemonic::Family::load_store:
+        word = encode_load_store(m, pl, emit);
+        break;
+      case Mnemonic::Family::load_store_multiple: {
+        std::string base = strip(pl.args.at(0));
+        bool wb = false;
+        if (!base.empty() && base.back() == '!') {
+          wb = true;
+          base = strip(base.substr(0, base.size() - 1));
+        }
+        const unsigned rn = reg_or_throw(base, line);
+        const std::uint16_t list = parse_reg_list(pl.args.at(1), line);
+        word = enc::ldm_stm(m.cond, m.is_load, m.lsm_before, m.lsm_up, wb, rn, list);
+        break;
+      }
+      case Mnemonic::Family::push: {
+        const std::uint16_t list = parse_reg_list(pl.args.at(0), line);
+        word = enc::ldm_stm(m.cond, false, /*before=*/true, /*up=*/false, true,
+                            kRegSp, list);
+        break;
+      }
+      case Mnemonic::Family::pop: {
+        const std::uint16_t list = parse_reg_list(pl.args.at(0), line);
+        word = enc::ldm_stm(m.cond, true, /*before=*/false, /*up=*/true, true,
+                            kRegSp, list);
+        break;
+      }
+      case Mnemonic::Family::branch: {
+        std::int64_t target = 0;
+        if (emit) target = eval_or_throw(pl.args.at(0), line);
+        const std::int32_t off =
+            static_cast<std::int32_t>(target) - static_cast<std::int32_t>(lc_ + 8);
+        word = enc::branch(m.cond, m.link, emit ? off : 0);
+        break;
+      }
+      case Mnemonic::Family::swi: {
+        std::string a = pl.args.empty() ? "0" : strip(pl.args[0]);
+        if (!a.empty() && a[0] == '#') a = a.substr(1);
+        word = enc::swi(m.cond, static_cast<std::uint32_t>(eval_or_throw(a, line)));
+        break;
+      }
+      case Mnemonic::Family::adr: {
+        const unsigned rd = reg_or_throw(pl.args.at(0), line);
+        std::int64_t target = emit ? eval_or_throw(pl.args.at(1), line) : lc_;
+        const std::int32_t off =
+            static_cast<std::int32_t>(target) - static_cast<std::int32_t>(lc_ + 8);
+        const auto enc_pos = enc::encode_imm(static_cast<std::uint32_t>(off));
+        const auto enc_neg = enc::encode_imm(static_cast<std::uint32_t>(-off));
+        if (emit && !enc_pos && !enc_neg)
+          throw AsmError(line, "adr target out of range");
+        if (off >= 0)
+          word = enc::dataproc_imm(m.cond, DpOp::add, false, rd, kRegPc,
+                                   enc_pos.value_or(0));
+        else
+          word = enc::dataproc_imm(m.cond, DpOp::sub, false, rd, kRegPc,
+                                   enc_neg.value_or(0));
+        break;
+      }
+    }
+
+    if (emit) emit_word(word);
+    lc_ += 4;
+  }
+
+  std::string name_;
+  std::uint32_t origin_;
+  std::uint32_t lc_ = 0;
+  std::vector<ParsedLine> lines_;
+  std::map<std::string, std::uint32_t> symbols_;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<PoolEntry> pool_pending_;
+  std::map<std::uint32_t, bool> ldr_eq_uses_mov_;  // keyed by instruction address
+};
+
+}  // namespace
+
+AssemblyResult assemble(const std::string& source, const std::string& name,
+                        std::uint32_t origin) {
+  Assembler as(source, name, origin);
+  return as.run();
+}
+
+}  // namespace rcpn::arm

@@ -1,0 +1,50 @@
+// Two-pass ARM assembler.
+//
+// Stands in for the paper's arm-linux-gcc toolchain (see DESIGN.md §2): the
+// six benchmark kernels are written in this assembly dialect, assembled at
+// runtime and loaded into the simulated memory. Supports the full ARM7
+// subset of arm_isa.hpp plus the usual conveniences:
+//
+//   labels:            loop:  ldr r0, [r1], #4
+//   condition codes:   addne, blt, movges, ...
+//   aliases:           sp lr pc ip fp sl, hs/lo, nop, push/pop
+//   pseudo:            ldr rX, =imm_or_label   (literal pools, .ltorg)
+//                      adr rX, label           (pc-relative add/sub)
+//   directives:        .org .word .byte .space .align .ascii .asciz
+//                      .equ .ltorg .global (ignored)
+//   comments:          ; @ //
+//
+// Errors carry the 1-based source line for actionable messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "sys/program.hpp"
+
+namespace rcpn::arm {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct AssemblyResult {
+  sys::Program program;
+  std::map<std::string, std::uint32_t> symbols;
+};
+
+/// Assemble `source`; the image starts at `origin` (also the entry point
+/// unless a `_start` label exists). Throws AsmError on the first error.
+AssemblyResult assemble(const std::string& source, const std::string& name = "prog",
+                        std::uint32_t origin = 0x8000);
+
+}  // namespace rcpn::arm

@@ -1,0 +1,157 @@
+#include "arm/disassembler.hpp"
+
+#include <cstdio>
+
+namespace rcpn::arm {
+
+namespace {
+
+std::string reg_name(unsigned r) {
+  switch (r) {
+    case 13: return "sp";
+    case 14: return "lr";
+    case 15: return "pc";
+    default: return "r" + std::to_string(r);
+  }
+}
+
+std::string imm_str(std::uint32_t v) {
+  char buf[16];
+  if (v < 16)
+    std::snprintf(buf, sizeof(buf), "#%u", v);
+  else
+    std::snprintf(buf, sizeof(buf), "#0x%x", v);
+  return buf;
+}
+
+std::string shifter_str(const DecodedInstruction& d) {
+  if (d.imm_operand) return imm_str(d.imm);
+  std::string s = reg_name(d.rm);
+  if (d.shift_by_reg) {
+    s += ", ";
+    s += shift_name(d.shift);
+    s += " " + reg_name(d.rs);
+  } else if (d.shift == ShiftKind::rrx) {
+    s += ", rrx";
+  } else if (d.shift_amount != 0 ||
+             (d.shift != ShiftKind::lsl && d.shift_amount == 0)) {
+    const unsigned amount =
+        (d.shift_amount == 0 &&
+         (d.shift == ShiftKind::lsr || d.shift == ShiftKind::asr))
+            ? 32
+            : d.shift_amount;
+    s += ", ";
+    s += shift_name(d.shift);
+    s += " #" + std::to_string(amount);
+  }
+  return s;
+}
+
+std::string reg_list_str(std::uint16_t mask) {
+  std::string s = "{";
+  bool first = true;
+  for (unsigned r = 0; r < 16; ++r) {
+    if (!(mask & (1u << r))) continue;
+    // Collapse runs r..r+k.
+    unsigned hi = r;
+    while (hi + 1 < 16 && (mask & (1u << (hi + 1)))) ++hi;
+    if (!first) s += ", ";
+    first = false;
+    s += reg_name(r);
+    if (hi > r) {
+      s += "-" + reg_name(hi);
+      r = hi;
+    }
+  }
+  return s + "}";
+}
+
+}  // namespace
+
+std::string disassemble(const DecodedInstruction& d) {
+  const std::string cond = cond_name(d.cond);
+  switch (d.cls) {
+    case OpClass::data_proc: {
+      std::string s = dp_op_name(d.dp_op);
+      s += cond;
+      if (d.sets_flags && !dp_no_result(d.dp_op)) s += "s";
+      s += " ";
+      if (dp_no_result(d.dp_op)) {
+        s += reg_name(d.rn) + ", " + shifter_str(d);
+      } else if (dp_no_rn(d.dp_op)) {
+        s += reg_name(d.rd) + ", " + shifter_str(d);
+      } else {
+        s += reg_name(d.rd) + ", " + reg_name(d.rn) + ", " + shifter_str(d);
+      }
+      return s;
+    }
+    case OpClass::multiply: {
+      std::string s = d.accumulate ? "mla" : "mul";
+      s += cond;
+      if (d.sets_flags) s += "s";
+      s += " " + reg_name(d.rd) + ", " + reg_name(d.rm) + ", " + reg_name(d.rs);
+      if (d.accumulate) s += ", " + reg_name(d.rn);
+      return s;
+    }
+    case OpClass::load_store: {
+      std::string s = d.is_load ? "ldr" : "str";
+      s += cond;
+      if (d.is_byte) s += "b";
+      s += " " + reg_name(d.rd) + ", [" + reg_name(d.rn);
+      std::string off;
+      if (d.reg_offset) {
+        off = std::string(d.add_offset ? "" : "-") + reg_name(d.rm);
+        if (d.shift_amount != 0)
+          off += std::string(", ") + shift_name(d.shift) + " #" +
+                 std::to_string(d.shift_amount);
+      } else if (d.offset_imm != 0) {
+        off = std::string("#") + (d.add_offset ? "" : "-") +
+              std::to_string(d.offset_imm);
+      }
+      if (d.pre_index) {
+        if (!off.empty()) s += ", " + off;
+        s += "]";
+        if (d.writeback) s += "!";
+      } else {
+        s += "]";
+        if (!off.empty()) s += ", " + off;
+      }
+      return s;
+    }
+    case OpClass::load_store_multiple: {
+      std::string s = d.is_load ? "ldm" : "stm";
+      s += cond;
+      s += d.lsm_before ? (d.lsm_up ? "ib" : "db") : (d.lsm_up ? "ia" : "da");
+      s += " " + reg_name(d.rn);
+      if (d.writeback) s += "!";
+      s += ", " + reg_list_str(d.reg_list);
+      return s;
+    }
+    case OpClass::branch: {
+      if (d.branch_via_reg) {
+        std::string s = dp_op_name(d.dp_op);
+        s += cond;
+        return s + " pc, " + shifter_str(d);
+      }
+      std::string s = d.link ? "bl" : "b";
+      s += cond;
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "0x%x",
+                    d.pc + 8 + static_cast<std::uint32_t>(d.branch_offset));
+      return s + " " + buf;
+    }
+    case OpClass::swi: {
+      std::string s = "swi";
+      s += cond;
+      return s + " " + std::to_string(d.swi_imm);
+    }
+    default:
+      return "<unknown>";
+  }
+}
+
+std::string disassemble(std::uint32_t raw, std::uint32_t pc) {
+  return disassemble(decode(raw, pc));
+}
+
+}  // namespace rcpn::arm

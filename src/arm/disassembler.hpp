@@ -1,0 +1,16 @@
+// Disassembler: DecodedInstruction -> assembly text. Primarily a debugging
+// and trace aid; round-trip tests (assemble -> decode -> disassemble ->
+// re-assemble) pin down both directions of the encoding tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arm/arm_isa.hpp"
+
+namespace rcpn::arm {
+
+std::string disassemble(const DecodedInstruction& d);
+std::string disassemble(std::uint32_t raw, std::uint32_t pc);
+
+}  // namespace rcpn::arm

@@ -1,0 +1,36 @@
+// Instruction encoders: the inverse of decode(), used by the assembler and
+// by round-trip tests (encode -> decode -> re-encode must be the identity).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "arm/arm_isa.hpp"
+
+namespace rcpn::arm::enc {
+
+/// Encode a 32-bit value as an ARM rotated immediate (imm8 ror 2*rot4);
+/// std::nullopt if not representable.
+std::optional<std::uint32_t> encode_imm(std::uint32_t value);
+
+std::uint32_t dataproc_imm(Cond cond, DpOp op, bool s, unsigned rd, unsigned rn,
+                           std::uint32_t imm12);
+std::uint32_t dataproc_reg(Cond cond, DpOp op, bool s, unsigned rd, unsigned rn,
+                           unsigned rm, ShiftKind shift, unsigned amount);
+std::uint32_t dataproc_regshift(Cond cond, DpOp op, bool s, unsigned rd, unsigned rn,
+                                unsigned rm, ShiftKind shift, unsigned rs);
+std::uint32_t mul(Cond cond, bool s, unsigned rd, unsigned rm, unsigned rs);
+std::uint32_t mla(Cond cond, bool s, unsigned rd, unsigned rm, unsigned rs,
+                  unsigned rn);
+std::uint32_t ldr_str_imm(Cond cond, bool load, bool byte, unsigned rd, unsigned rn,
+                          std::int32_t offset, bool pre, bool writeback);
+std::uint32_t ldr_str_reg(Cond cond, bool load, bool byte, unsigned rd, unsigned rn,
+                          unsigned rm, ShiftKind shift, unsigned amount, bool add,
+                          bool pre, bool writeback);
+std::uint32_t ldm_stm(Cond cond, bool load, bool before, bool up, bool writeback,
+                      unsigned rn, std::uint16_t reg_list);
+/// `offset` is relative to pc+8, in bytes, and must be word-aligned.
+std::uint32_t branch(Cond cond, bool link, std::int32_t offset);
+std::uint32_t swi(Cond cond, std::uint32_t imm24);
+
+}  // namespace rcpn::arm::enc

@@ -1,0 +1,166 @@
+#include "baseline/functional_iss.hpp"
+
+#include "util/bits.hpp"
+
+namespace rcpn::baseline {
+
+using namespace rcpn::arm;
+
+FunctionalIss::FunctionalIss(mem::Memory& memory, sys::SyscallHandler& syscalls)
+    : mem_(memory), sys_(syscalls) {}
+
+void FunctionalIss::reset(const sys::Program& program) {
+  program.load_into(mem_);
+  reset(program.entry, program.initial_sp);
+}
+
+void FunctionalIss::reset(std::uint32_t entry, std::uint32_t sp) {
+  regs_.fill(0);
+  regs_[kRegSp] = sp;
+  cpsr_ = 0;
+  pc_ = entry;
+  instret_ = 0;
+  exited_ = false;
+}
+
+const DecodedInstruction& FunctionalIss::decoded(std::uint32_t pc, std::uint32_t raw) {
+  auto [it, inserted] = decode_cache_.try_emplace(pc);
+  if (inserted || it->second.raw != raw) it->second = decode(raw, pc);
+  return it->second;
+}
+
+void FunctionalIss::write_flags(std::uint32_t nzcv) {
+  cpsr_ = (cpsr_ & ~(kFlagN | kFlagZ | kFlagC | kFlagV)) | nzcv;
+}
+
+void FunctionalIss::exec_load_store(const DecodedInstruction& d) {
+  const LsAddress a = ls_address(d, operand(d.rn), d.rm < kNumRegs ? operand(d.rm) : 0,
+                                 cpsr_);
+  if (d.is_load) {
+    const std::uint32_t v = d.is_byte ? mem_.read8(a.ea) : mem_.read32(a.ea);
+    if (a.rn_writeback) regs_[d.rn] = a.rn_after;
+    // Load value takes precedence over base writeback when rd == rn.
+    if (d.rd == kRegPc) {
+      pc_ = v & ~3u;
+      return;  // pc already updated; caller must not advance
+    }
+    regs_[d.rd] = v;
+  } else {
+    const std::uint32_t v = operand(d.rd);
+    if (d.is_byte)
+      mem_.write8(a.ea, static_cast<std::uint8_t>(v));
+    else
+      mem_.write32(a.ea, v);
+    if (a.rn_writeback) regs_[d.rn] = a.rn_after;
+  }
+}
+
+void FunctionalIss::exec_lsm(const DecodedInstruction& d) {
+  const LsmPlan plan = lsm_plan(d, regs_[d.rn]);
+  std::uint32_t addr = plan.start;
+  bool loaded_pc = false;
+  std::uint32_t base_original = regs_[d.rn];
+  for (unsigned r = 0; r < 16; ++r) {
+    if (!(d.reg_list & (1u << r))) continue;
+    if (d.is_load) {
+      const std::uint32_t v = mem_.read32(addr);
+      if (r == kRegPc) {
+        pc_ = v & ~3u;
+        loaded_pc = true;
+      } else {
+        regs_[r] = v;
+      }
+    } else {
+      // STM stores the original base value when rn is in the list.
+      const std::uint32_t v =
+          r == d.rn ? base_original : (r == kRegPc ? pc_ + 8 : regs_[r]);
+      mem_.write32(addr, v);
+    }
+    addr += 4;
+  }
+  if (d.writeback) {
+    // LDM with rn in the list: the loaded value wins (writeback suppressed).
+    if (!(d.is_load && (d.reg_list & (1u << d.rn)))) regs_[d.rn] = plan.rn_after;
+  }
+  if (d.is_load && loaded_pc) return;  // control transfer already applied
+  pc_ += 4;
+}
+
+bool FunctionalIss::step() {
+  if (exited_) return false;
+  const std::uint32_t raw = mem_.read32(pc_);
+  const DecodedInstruction& d = decoded(pc_, raw);
+  ++instret_;
+
+  if (!cond_pass(d.cond, cpsr_)) {
+    pc_ += 4;
+    return true;
+  }
+
+  switch (d.cls) {
+    case OpClass::data_proc: {
+      const DataProcOut out =
+          exec_dataproc(d, d.rn < kNumRegs ? operand(d.rn) : 0,
+                        d.rm < kNumRegs ? operand(d.rm) : 0,
+                        d.rs < kNumRegs ? operand(d.rs) : 0, cpsr_);
+      if (out.writes_flags) write_flags(out.nzcv);
+      if (out.writes_rd) regs_[d.rd] = out.result;
+      pc_ += 4;
+      break;
+    }
+    case OpClass::multiply: {
+      const MulOut out = exec_mul(d, operand(d.rm), operand(d.rs),
+                                  d.rn < kNumRegs ? operand(d.rn) : 0, cpsr_);
+      if (out.writes_flags) write_flags(out.nzcv);
+      regs_[d.rd] = out.result;
+      pc_ += 4;
+      break;
+    }
+    case OpClass::load_store: {
+      const bool to_pc = d.is_load && d.rd == kRegPc;
+      exec_load_store(d);
+      if (!to_pc) pc_ += 4;
+      break;
+    }
+    case OpClass::load_store_multiple:
+      exec_lsm(d);  // advances pc itself
+      break;
+    case OpClass::branch: {
+      if (d.branch_via_reg) {
+        const DataProcOut out =
+            exec_dataproc(d, d.rn < kNumRegs ? operand(d.rn) : 0,
+                          d.rm < kNumRegs ? operand(d.rm) : 0,
+                          d.rs < kNumRegs ? operand(d.rs) : 0, cpsr_);
+        if (out.writes_flags) write_flags(out.nzcv);
+        pc_ = out.result & ~3u;
+      } else {
+        if (d.link) regs_[kRegLr] = pc_ + 4;
+        pc_ = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc_) + 8 +
+                                         d.branch_offset);
+      }
+      break;
+    }
+    case OpClass::swi: {
+      const sys::SyscallResult res =
+          sys_.handle({d.swi_imm, regs_[0], regs_[1]}, mem_);
+      if (res.writes_r0) regs_[0] = res.r0_out;
+      if (res.exited) exited_ = true;
+      pc_ += 4;
+      break;
+    }
+    default:
+      pc_ += 4;
+      break;
+  }
+  return !exited_;
+}
+
+std::uint64_t FunctionalIss::run(std::uint64_t max_instructions) {
+  const std::uint64_t start = instret_;
+  while (!exited_ && instret_ - start < max_instructions) {
+    if (!step()) break;
+  }
+  return instret_ - start;
+}
+
+}  // namespace rcpn::baseline

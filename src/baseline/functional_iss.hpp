@@ -1,0 +1,62 @@
+// Functional instruction-set simulator (no timing).
+//
+// Serves two roles from the paper's world:
+//  * the golden architectural model every cycle-accurate simulator is
+//    co-simulated against in the test suite (registers, memory and program
+//    output must match instruction for instruction);
+//  * the "fast functional simulator" the paper's conclusion mentions
+//    extracting from the same models.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "arm/arm_isa.hpp"
+#include "mem/memory.hpp"
+#include "sys/program.hpp"
+#include "sys/syscalls.hpp"
+
+namespace rcpn::baseline {
+
+class FunctionalIss {
+ public:
+  FunctionalIss(mem::Memory& memory, sys::SyscallHandler& syscalls);
+
+  /// Load `program` and prepare for execution.
+  void reset(const sys::Program& program);
+  void reset(std::uint32_t entry, std::uint32_t sp);
+
+  /// Execute one instruction; false once the program has exited.
+  bool step();
+  /// Run until exit or `max_instructions`; returns instructions executed.
+  std::uint64_t run(std::uint64_t max_instructions = ~0ull);
+
+  std::uint32_t reg(unsigned i) const { return regs_[i]; }
+  void set_reg(unsigned i, std::uint32_t v) { regs_[i] = v; }
+  std::uint32_t cpsr() const { return cpsr_; }
+  std::uint32_t pc() const { return pc_; }
+  std::uint64_t instret() const { return instret_; }
+  bool exited() const { return exited_; }
+
+ private:
+  const arm::DecodedInstruction& decoded(std::uint32_t pc, std::uint32_t raw);
+  /// Operand read with the architectural r15 = pc + 8 rule.
+  std::uint32_t operand(unsigned r) const {
+    return r == arm::kRegPc ? pc_ + 8 : regs_[r];
+  }
+  void write_flags(std::uint32_t nzcv);
+  void exec_load_store(const arm::DecodedInstruction& d);
+  void exec_lsm(const arm::DecodedInstruction& d);
+
+  mem::Memory& mem_;
+  sys::SyscallHandler& sys_;
+  std::array<std::uint32_t, arm::kNumRegs> regs_{};
+  std::uint32_t cpsr_ = 0;
+  std::uint32_t pc_ = 0;
+  std::uint64_t instret_ = 0;
+  bool exited_ = false;
+  std::unordered_map<std::uint32_t, arm::DecodedInstruction> decode_cache_;
+};
+
+}  // namespace rcpn::baseline

@@ -1,0 +1,497 @@
+#include "baseline/simplescalar_sim.hpp"
+
+#include <cassert>
+
+namespace rcpn::baseline {
+
+using namespace rcpn::arm;
+
+SimpleScalarConfig::SimpleScalarConfig() {
+  // StrongArm-flavoured memory system, same geometry as the RCPN model.
+  mem.icache = {16 * 1024, 32, 32, 1, 24, true};
+  mem.dcache = {16 * 1024, 32, 32, 1, 24, true};
+}
+
+namespace {
+SsCache make_cache(const char* name, const mem::CacheConfig& c) {
+  const std::uint32_t nsets = c.size_bytes / (c.line_bytes * c.assoc);
+  return SsCache(name, nsets == 0 ? 1 : nsets, c.line_bytes, c.assoc, c.hit_latency,
+                 c.miss_penalty);
+}
+}  // namespace
+
+SimpleScalarSim::SimpleScalarSim(SimpleScalarConfig config)
+    : cfg_(config),
+      icache_(make_cache("il1", config.mem.icache)),
+      dcache_(make_cache("dl1", config.mem.dcache)),
+      // sim-outorder defaults: itlb:16:4096:4, dtlb:32:4096:4.
+      itlb_("itlb", 4, 4096, 4, 1, 30),
+      dtlb_("dtlb", 8, 4096, 4, 1, 30),
+      readyq_(pool_),
+      eventq_(pool_) {
+  ifq_.reserve(cfg_.ifq_size);
+  ruu_.resize(cfg_.ruu_size);
+}
+
+void SimpleScalarSim::reset(const sys::Program& program) {
+  mem_.clear();
+  program.load_into(mem_);
+  icache_.reset();
+  dcache_.reset();
+  itlb_.reset();
+  dtlb_.reset();
+  sys_.reset();
+  bpred_.reset();
+  regs_.fill(0);
+  regs_[kRegSp] = program.initial_sp;
+  cpsr_ = 0;
+  true_pc_ = fetch_pc_ = program.entry;
+  cycle_ = committed_ = fetched_ = squashed_ = mispredicts_ = 0;
+  seq_ = 0;
+  halted_ = false;
+  fetch_resume_cycle_ = 0;
+  ifq_.clear();
+  for (RuuEntry& e : ruu_) {
+    while (e.consumers != nullptr) {
+      RsLink* n = e.consumers->next;
+      pool_.release(e.consumers);
+      e.consumers = n;
+    }
+    e.valid = false;
+  }
+  ruu_head_ = ruu_tail_ = ruu_count_ = 0;
+  lsq_used_ = 0;
+  readyq_.clear();
+  eventq_.clear();
+  producer_.fill(Producer{});
+  acc_ruu_occ_ = acc_ifq_occ_ = acc_lsq_occ_ = 0;
+  sim_issue_ = sim_wb_ = sim_dispatch_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Functional-first execution (dispatch time)
+// ---------------------------------------------------------------------------
+
+std::uint32_t SimpleScalarSim::exec_functional(const DecodedInstruction& d,
+                                               std::uint32_t pc) {
+  auto operand = [&](std::uint8_t r) -> std::uint32_t {
+    if (r >= kNumRegs) return 0;
+    return r == kRegPc ? pc + 8 : regs_[r];
+  };
+  auto write_flags = [&](std::uint32_t nzcv) {
+    cpsr_ = (cpsr_ & ~(kFlagN | kFlagZ | kFlagC | kFlagV)) | nzcv;
+  };
+
+  if (!cond_pass(d.cond, cpsr_)) return pc + 4;
+
+  switch (d.cls) {
+    case OpClass::data_proc: {
+      const DataProcOut out = exec_dataproc(d, operand(d.rn), operand(d.rm),
+                                            operand(d.rs), cpsr_);
+      if (out.writes_flags) write_flags(out.nzcv);
+      if (out.writes_rd) regs_[d.rd] = out.result;
+      return pc + 4;
+    }
+    case OpClass::multiply: {
+      const MulOut out =
+          exec_mul(d, operand(d.rm), operand(d.rs), operand(d.rn), cpsr_);
+      if (out.writes_flags) write_flags(out.nzcv);
+      regs_[d.rd] = out.result;
+      return pc + 4;
+    }
+    case OpClass::load_store: {
+      const LsAddress a = ls_address(d, operand(d.rn), operand(d.rm), cpsr_);
+      if (d.is_load) {
+        const std::uint32_t v = d.is_byte ? mem_.read8(a.ea) : mem_.read32(a.ea);
+        if (a.rn_writeback) regs_[d.rn] = a.rn_after;
+        if (d.rd == kRegPc) return v & ~3u;
+        regs_[d.rd] = v;
+      } else {
+        const std::uint32_t v = operand(d.rd);
+        if (d.is_byte)
+          mem_.write8(a.ea, static_cast<std::uint8_t>(v));
+        else
+          mem_.write32(a.ea, v);
+        if (a.rn_writeback) regs_[d.rn] = a.rn_after;
+      }
+      return pc + 4;
+    }
+    case OpClass::load_store_multiple: {
+      const LsmPlan plan = lsm_plan(d, regs_[d.rn]);
+      std::uint32_t addr = plan.start;
+      const std::uint32_t base_original = regs_[d.rn];
+      std::uint32_t next = pc + 4;
+      for (unsigned r = 0; r < 16; ++r) {
+        if (!(d.reg_list & (1u << r))) continue;
+        if (d.is_load) {
+          const std::uint32_t v = mem_.read32(addr);
+          if (r == kRegPc)
+            next = v & ~3u;
+          else
+            regs_[r] = v;
+        } else {
+          const std::uint32_t v =
+              r == d.rn ? base_original : (r == kRegPc ? pc + 8 : regs_[r]);
+          mem_.write32(addr, v);
+        }
+        addr += 4;
+      }
+      if (d.writeback && !(d.is_load && (d.reg_list & (1u << d.rn))))
+        regs_[d.rn] = plan.rn_after;
+      return next;
+    }
+    case OpClass::branch: {
+      if (d.branch_via_reg) {
+        const DataProcOut out = exec_dataproc(d, operand(d.rn), operand(d.rm),
+                                              operand(d.rs), cpsr_);
+        if (out.writes_flags) write_flags(out.nzcv);
+        return out.result & ~3u;
+      }
+      if (d.link) regs_[kRegLr] = pc + 4;
+      return static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + 8 +
+                                        d.branch_offset);
+    }
+    case OpClass::swi: {
+      const sys::SyscallResult res =
+          sys_.handle({d.swi_imm, regs_[0], regs_[1]}, mem_);
+      if (res.writes_r0) regs_[0] = res.r0_out;
+      if (res.exited) halted_ = true;
+      return pc + 4;
+    }
+    default:
+      return pc + 4;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generic dependence bookkeeping (rebuilt for every dynamic instruction)
+// ---------------------------------------------------------------------------
+
+void SimpleScalarSim::build_dep_lists(RuuEntry& e) {
+  const DecodedInstruction& d = e.d;
+  e.num_ideps = e.num_odeps = 0;
+  auto in = [&](std::uint8_t r) {
+    if (r < kNumRegs && r != kRegPc) e.ideps[e.num_ideps++] = r;
+  };
+  auto out = [&](std::uint8_t r) {
+    if (r < kNumRegs && r != kRegPc) e.odeps[e.num_odeps++] = r;
+  };
+  const bool uses_flags = d.cond != Cond::al || d.reads_carry();
+  if (uses_flags) e.ideps[e.num_ideps++] = kCpsrCell;
+  if (d.sets_flags) e.odeps[e.num_odeps++] = kCpsrCell;
+  switch (d.cls) {
+    case OpClass::data_proc:
+      in(d.rn);
+      if (!d.imm_operand) in(d.rm);
+      if (d.shift_by_reg) in(d.rs);
+      if (d.writes_rd()) out(d.rd);
+      break;
+    case OpClass::multiply:
+      in(d.rm);
+      in(d.rs);
+      if (d.accumulate) in(d.rn);
+      out(d.rd);
+      break;
+    case OpClass::load_store:
+      in(d.rn);
+      if (d.reg_offset) in(d.rm);
+      if (d.is_load)
+        out(d.rd);
+      else
+        in(d.rd);
+      if (!d.pre_index || d.writeback) out(d.rn);
+      break;
+    case OpClass::load_store_multiple:
+      in(d.rn);
+      if (d.writeback) out(d.rn);
+      break;
+    case OpClass::branch:
+      if (d.branch_via_reg) {
+        in(d.rn);
+        if (!d.imm_operand) in(d.rm);
+        if (d.shift_by_reg) in(d.rs);
+      }
+      if (d.link) out(kRegLr);
+      break;
+    case OpClass::swi:
+      in(0);
+      in(1);
+      break;
+    default:
+      break;
+  }
+}
+
+unsigned SimpleScalarSim::exec_latency(const RuuEntry& e) {
+  switch (e.d.cls) {
+    case OpClass::multiply:
+      return 2 + mul_extra_cycles(regs_[e.d.rs]);
+    case OpClass::load_store: {
+      if (!e.d.is_load) return 1;  // stores hit the dcache at commit
+      const unsigned tlb = dtlb_.access(e.ea, false);
+      const unsigned cache = dcache_.access(e.ea, false);
+      // +1: address generation precedes the access (one load-use bubble on a
+      // hit, as on the SA-110).
+      return 1 + (tlb > cache ? tlb : cache);
+    }
+    case OpClass::load_store_multiple: {
+      unsigned total = 0;
+      std::uint32_t addr = e.ea;
+      for (unsigned r = 0; r < 16; ++r) {
+        if (!(e.d.reg_list & (1u << r))) continue;
+        dtlb_.access(addr, false);
+        total += dcache_.access(addr, !e.d.is_load);
+        addr += 4;
+      }
+      return total == 0 ? 1 : total;
+    }
+    default:
+      return 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline stages
+// ---------------------------------------------------------------------------
+
+void SimpleScalarSim::fetch_stage() {
+  if (halted_ || cycle_ < fetch_resume_cycle_) return;
+  for (unsigned n = 0; n < cfg_.width; ++n) {
+    if (ifq_.size() >= cfg_.ifq_size) return;
+    FetchEntry fe;
+    fe.pc = fetch_pc_;
+    fe.raw = mem_.read32(fetch_pc_);
+    const unsigned tlb = itlb_.access(fetch_pc_, false);
+    const unsigned cache = icache_.access(fetch_pc_, false);
+    fe.ready_cycle = cycle_ + (tlb > cache ? tlb : cache);
+    // Next-pc prediction consulted for every fetched instruction (static
+    // not-taken under the paper's "simplest parameter values").
+    const predictor::Prediction pred = bpred_.predict(fetch_pc_);
+    ifq_.push_back(fe);
+    ++fetched_;
+    fetch_pc_ = pred.taken && pred.target_known ? pred.target : fetch_pc_ + 4;
+  }
+}
+
+void SimpleScalarSim::dispatch_stage() {
+  for (unsigned n = 0; n < cfg_.width; ++n) {
+    if (halted_ || ifq_.empty() || ruu_count_ >= cfg_.ruu_size) return;
+    const FetchEntry fe = ifq_.front();
+    if (fe.ready_cycle > cycle_) return;  // icache miss pending
+    assert(fe.pc == true_pc_ && "in-order dispatch lost the program counter");
+
+    RuuEntry& e = ruu_[ruu_tail_];
+    assert(!e.valid);
+    const int idx = static_cast<int>(ruu_tail_);
+    e = RuuEntry{};
+    e.valid = true;
+    e.pc = fe.pc;
+    e.raw = fe.raw;
+    // Re-decode from the raw word on every occurrence (table-driven
+    // interpretation, no decoded-instruction cache).
+    e.d = decode(fe.raw, fe.pc);
+    e.seq = seq_++;
+    e.is_mem = e.d.cls == OpClass::load_store ||
+               e.d.cls == OpClass::load_store_multiple;
+    e.is_store = e.is_mem && !e.d.is_load;
+    if (e.is_mem) {
+      if (lsq_used_ >= cfg_.lsq_size) {  // structural stall
+        e.valid = false;
+        --seq_;
+        return;
+      }
+      ++lsq_used_;
+      if (e.d.cls == OpClass::load_store) {
+        const std::uint32_t rnv = e.d.rn == kRegPc ? fe.pc + 8 : regs_[e.d.rn];
+        const std::uint32_t rmv = e.d.rm < kNumRegs ? regs_[e.d.rm] : 0;
+        e.ea = ls_address(e.d, rnv, rmv, cpsr_).ea;
+      } else {
+        e.ea = lsm_plan(e.d, regs_[e.d.rn]).start;
+      }
+    }
+    ifq_.erase(ifq_.begin());
+    build_dep_lists(e);
+
+    // Wire input dependences onto producers' consumer chains (RS_links).
+    e.missing_inputs = 0;
+    for (unsigned k = 0; k < e.num_ideps; ++k) {
+      const Producer& p = producer_[e.ideps[k]];
+      if (p.entry >= 0) {
+        RuuEntry& prod = ruu_[static_cast<unsigned>(p.entry)];
+        if (prod.valid && prod.seq == p.seq && !prod.completed) {
+          RsLink* link = pool_.alloc();
+          link->entry = idx;
+          link->tag = e.seq;
+          link->next = prod.consumers;
+          prod.consumers = link;
+          ++e.missing_inputs;
+        }
+      }
+    }
+    // Register this entry as the newest producer of its outputs.
+    for (unsigned k = 0; k < e.num_odeps; ++k)
+      producer_[e.odeps[k]] = Producer{idx, e.seq};
+
+    if (e.missing_inputs == 0) {
+      e.queued = true;
+      readyq_.push(idx);
+    }
+
+    // Functional-first execution; timing follows behind.
+    const std::uint32_t next = exec_functional(e.d, fe.pc);
+    const std::uint32_t predicted = fe.pc + 4;
+    if (next != predicted) {
+      ++mispredicts_;
+      bpred_.update(fe.pc, true, next, true);
+      squashed_ += ifq_.size();
+      ifq_.clear();
+      fetch_pc_ = next;
+      fetch_resume_cycle_ = cycle_ + cfg_.branch_penalty;
+    } else if (e.d.cls == OpClass::branch) {
+      bpred_.update(fe.pc, false, next, false);
+    }
+    true_pc_ = next;
+    ++sim_dispatch_;
+
+    ruu_tail_ = (ruu_tail_ + 1) % cfg_.ruu_size;
+    ++ruu_count_;
+    if (halted_) return;
+  }
+}
+
+bool SimpleScalarSim::oldest_unissued(int idx) const {
+  // In-order issue check: scan from the head for the first unissued entry
+  // (a genuine per-cycle scan in the original's in-order mode).
+  for (unsigned i = 0, cur = ruu_head_; i < ruu_count_;
+       ++i, cur = (cur + 1) % cfg_.ruu_size) {
+    const RuuEntry& e = ruu_[cur];
+    if (!e.valid) continue;
+    if (!e.issued) return static_cast<int>(cur) == idx;
+  }
+  return false;
+}
+
+bool SimpleScalarSim::load_blocked_by_store(int idx) const {
+  // lsq_refresh: a load may not issue past an older in-flight store to the
+  // same word (conservative memory disambiguation; the original walks the
+  // LSQ every cycle looking for exactly this).
+  const RuuEntry& load = ruu_[static_cast<unsigned>(idx)];
+  for (unsigned i = 0, cur = ruu_head_; i < ruu_count_;
+       ++i, cur = (cur + 1) % cfg_.ruu_size) {
+    const RuuEntry& e = ruu_[cur];
+    if (!e.valid || e.seq >= load.seq) break;
+    if (e.is_store && !e.completed && (e.ea & ~3u) == (load.ea & ~3u)) return true;
+  }
+  return false;
+}
+
+void SimpleScalarSim::issue_stage() {
+  unsigned issued_this_cycle = 0;
+  issue_scratch_.clear();
+  readyq_.drain([&](int idx) { issue_scratch_.push_back(idx); });
+  for (int idx : issue_scratch_) {
+    RuuEntry& e = ruu_[static_cast<unsigned>(idx)];
+    if (!e.valid || e.issued) continue;
+    const bool can_issue =
+        issued_this_cycle < cfg_.width &&
+        (!cfg_.in_order_issue || oldest_unissued(idx)) &&
+        !(e.is_mem && e.d.is_load && load_blocked_by_store(idx));
+    if (!can_issue) {
+      readyq_.push(idx);  // re-queue for the next cycle's scan
+      continue;
+    }
+    e.issued = true;
+    e.queued = false;
+    ++issued_this_cycle;
+    ++sim_issue_;
+    eventq_.schedule(idx, cycle_ + exec_latency(e));
+  }
+}
+
+void SimpleScalarSim::writeback_stage() {
+  for (;;) {
+    const int idx = eventq_.pop_due(cycle_);
+    if (idx < 0) break;
+    RuuEntry& e = ruu_[static_cast<unsigned>(idx)];
+    if (!e.valid || e.completed) continue;
+    e.completed = true;
+    ++sim_wb_;
+    // Wake consumers by walking the output-dependence chain.
+    while (e.consumers != nullptr) {
+      RsLink* link = e.consumers;
+      e.consumers = link->next;
+      RuuEntry& c = ruu_[static_cast<unsigned>(link->entry)];
+      if (c.valid && c.seq == link->tag && !c.issued) {
+        assert(c.missing_inputs > 0);
+        if (--c.missing_inputs == 0 && !c.queued) {
+          c.queued = true;
+          readyq_.push(link->entry);
+        }
+      }
+      pool_.release(link);
+    }
+  }
+}
+
+void SimpleScalarSim::commit_stage() {
+  for (unsigned n = 0; n < cfg_.width; ++n) {
+    if (ruu_count_ == 0) return;
+    RuuEntry& e = ruu_[ruu_head_];
+    if (!e.valid || !e.completed) return;
+    if (e.is_store) {
+      // Stores perform their cache access at commit (sim-outorder rule).
+      dtlb_.access(e.ea, true);
+      dcache_.access(e.ea, true);
+    }
+    if (e.is_mem) --lsq_used_;
+    // Retire producer registrations that still point at this entry.
+    for (unsigned k = 0; k < e.num_odeps; ++k) {
+      Producer& p = producer_[e.odeps[k]];
+      if (p.entry == static_cast<int>(ruu_head_) && p.seq == e.seq)
+        p = Producer{};
+    }
+    e.valid = false;
+    ruu_head_ = (ruu_head_ + 1) % cfg_.ruu_size;
+    --ruu_count_;
+    ++committed_;
+  }
+}
+
+void SimpleScalarSim::tally_cycle_stats() {
+  acc_ruu_occ_ += ruu_count_;
+  acc_ifq_occ_ += ifq_.size();
+  acc_lsq_occ_ += lsq_used_;
+}
+
+machines::RunResult SimpleScalarSim::run(const sys::Program& program,
+                                         std::uint64_t max_cycles) {
+  reset(program);
+  while (cycle_ < max_cycles) {
+    // sim-outorder stage order: commit, writeback, issue, dispatch, fetch.
+    commit_stage();
+    writeback_stage();
+    issue_stage();
+    dispatch_stage();
+    fetch_stage();
+    tally_cycle_stats();
+    ++cycle_;
+    if (halted_ && ruu_count_ == 0) break;
+  }
+
+  machines::RunResult r;
+  r.cycles = cycle_;
+  r.instructions = committed_;
+  r.cpi = committed_ ? static_cast<double>(cycle_) / static_cast<double>(committed_)
+                     : 0.0;
+  r.output = sys_.output();
+  r.exit_code = sys_.exit_code();
+  r.exited = sys_.exited();
+  r.icache_misses = icache_.stats().misses;
+  r.dcache_misses = dcache_.stats().misses;
+  r.icache_hit_ratio = icache_.stats().hit_ratio();
+  r.dcache_hit_ratio = dcache_.stats().hit_ratio();
+  r.mispredicts = mispredicts_;
+  return r;
+}
+
+}  // namespace rcpn::baseline

@@ -1,0 +1,147 @@
+// SimpleScalar-style fixed-architecture cycle-accurate simulator — the
+// paper's comparison point ("SimpleScalarArm ... implements StrongArm
+// architecture and we disabled all checkings and used simplest parameter
+// values", §5).
+//
+// Faithful to the sim-outorder construction rather than to its source text:
+//  * functional-first execution at dispatch, with timing tracked behind it
+//    by a register-update-unit (RUU) window, a fetch queue and an LSQ;
+//  * the RS_link machinery: a ready queue and a sorted completion event
+//    queue built from pooled list nodes, and per-entry output-dependence
+//    chains walked at writeback to wake consumers;
+//  * per-cycle queue scans and occupancy statistics;
+//  * caches and TLBs accessed through the generic linked-list cache walker
+//    (SsCache) on every reference — fetch pays icache+itlb, memory ops pay
+//    dcache+dtlb, stores access the dcache again at commit;
+//  * instructions re-decoded from the raw word at dispatch on every dynamic
+//    occurrence (no token caching, no per-instance specialization) — the
+//    exact overheads RCPN §4 removes.
+//
+// Configured as an in-order single-issue StrongArm. Architecturally
+// identical to the functional ISS by construction (same semantics helpers).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arm/arm_isa.hpp"
+#include "baseline/ss_structures.hpp"
+#include "machines/strongarm.hpp"  // RunResult
+#include "mem/memory.hpp"
+#include "predictor/predictor.hpp"
+#include "sys/program.hpp"
+#include "sys/syscalls.hpp"
+
+namespace rcpn::baseline {
+
+struct SimpleScalarConfig {
+  unsigned ifq_size = 4;    // fetch queue entries
+  unsigned ruu_size = 16;   // register update unit entries (sim-outorder default)
+  unsigned lsq_size = 8;    // load/store queue entries
+  unsigned width = 1;       // decode/issue/commit width (StrongArm: scalar)
+  bool in_order_issue = true;
+  unsigned branch_penalty = 2;  // mispredicted-path squash cost
+  mem::MemorySystemConfig mem;  // cache geometry (TLBs are fixed SS defaults)
+
+  SimpleScalarConfig();
+};
+
+class SimpleScalarSim {
+ public:
+  explicit SimpleScalarSim(SimpleScalarConfig config = SimpleScalarConfig());
+
+  machines::RunResult run(const sys::Program& program,
+                          std::uint64_t max_cycles = ~0ull);
+
+  std::uint32_t reg(unsigned i) const { return regs_[i]; }
+  const sys::SyscallHandler& syscalls() const { return sys_; }
+  std::uint64_t cycles() const { return cycle_; }
+  std::uint64_t instructions() const { return committed_; }
+
+ private:
+  struct RuuEntry {
+    std::uint32_t pc = 0;
+    std::uint32_t raw = 0;
+    arm::DecodedInstruction d;  // re-decoded at dispatch, every occurrence
+    std::uint32_t seq = 0;
+    bool valid = false;
+    bool queued = false;   // in the ready queue
+    bool issued = false;
+    bool completed = false;
+    bool is_mem = false;
+    bool is_store = false;
+    std::uint32_t ea = 0;
+    unsigned missing_inputs = 0;
+    RsLink* consumers = nullptr;  // output-dependence chain (woken at WB)
+    std::array<std::uint8_t, 4> ideps{};
+    unsigned num_ideps = 0;
+    std::array<std::uint8_t, 3> odeps{};
+    unsigned num_odeps = 0;
+  };
+
+  struct FetchEntry {
+    std::uint32_t pc = 0;
+    std::uint32_t raw = 0;
+    std::uint64_t ready_cycle = 0;  // icache+itlb delay
+  };
+
+  struct Producer {
+    int entry = -1;
+    std::uint32_t seq = 0;
+  };
+
+  void reset(const sys::Program& program);
+  void fetch_stage();
+  void dispatch_stage();
+  void issue_stage();
+  void writeback_stage();
+  void commit_stage();
+  void tally_cycle_stats();
+  bool oldest_unissued(int idx) const;
+  bool load_blocked_by_store(int idx) const;
+  std::uint32_t exec_functional(const arm::DecodedInstruction& d, std::uint32_t pc);
+  void build_dep_lists(RuuEntry& e);
+  unsigned exec_latency(const RuuEntry& e);
+
+  SimpleScalarConfig cfg_;
+  mem::Memory mem_;
+  SsCache icache_, dcache_, itlb_, dtlb_;
+  sys::SyscallHandler sys_;
+  predictor::StaticNotTaken bpred_;  // "simplest parameter values"
+
+  // Architectural state (functional-first).
+  std::array<std::uint32_t, arm::kNumRegs> regs_{};
+  std::uint32_t cpsr_ = 0;
+  std::uint32_t true_pc_ = 0;
+  std::uint32_t fetch_pc_ = 0;
+
+  // Timing state.
+  std::uint64_t cycle_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t fetched_ = 0;
+  std::uint64_t squashed_ = 0;
+  std::uint64_t mispredicts_ = 0;
+  std::uint32_t seq_ = 0;
+  bool halted_ = false;
+  std::uint64_t fetch_resume_cycle_ = 0;
+
+  std::vector<FetchEntry> ifq_;
+  std::vector<RuuEntry> ruu_;
+  unsigned ruu_head_ = 0, ruu_tail_ = 0, ruu_count_ = 0;
+  unsigned lsq_used_ = 0;
+
+  RsLinkPool pool_;
+  ReadyQueue readyq_;
+  EventQueue eventq_;
+  std::array<Producer, arm::kNumCells> producer_{};
+  std::vector<int> issue_scratch_;
+
+  // Occupancy/rate statistics accumulated every cycle (sim-outorder's stat
+  // database tallies).
+  std::uint64_t acc_ruu_occ_ = 0, acc_ifq_occ_ = 0, acc_lsq_occ_ = 0;
+  std::uint64_t sim_issue_ = 0, sim_wb_ = 0, sim_dispatch_ = 0;
+};
+
+}  // namespace rcpn::baseline

@@ -1,0 +1,79 @@
+#include "baseline/ss_structures.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace rcpn::baseline {
+
+SsCache::SsCache(std::string name, std::uint32_t nsets, std::uint32_t bsize,
+                 std::uint32_t assoc, std::uint32_t hit_latency,
+                 std::uint32_t miss_latency)
+    : name_(std::move(name)),
+      nsets_(nsets),
+      bsize_(bsize),
+      assoc_(assoc),
+      hit_latency_(hit_latency),
+      miss_latency_(miss_latency) {
+  assert(util::is_pow2(nsets) && util::is_pow2(bsize));
+  offset_bits_ = util::log2_exact(bsize);
+  index_bits_ = util::log2_exact(nsets);
+  blocks_.resize(static_cast<std::size_t>(nsets) * assoc);
+  heads_.resize(nsets);
+  reset();
+}
+
+void SsCache::reset() {
+  for (std::uint32_t s = 0; s < nsets_; ++s) {
+    Block* head = nullptr;
+    for (std::uint32_t w = assoc_; w > 0; --w) {
+      Block& b = blocks_[static_cast<std::size_t>(s) * assoc_ + (w - 1)];
+      b = Block{};
+      b.next = head;
+      head = &b;
+    }
+    heads_[s] = head;
+  }
+  stats_ = Stats{};
+}
+
+std::uint32_t SsCache::access(std::uint32_t addr, bool is_write) {
+  ++stats_.accesses;
+  const std::uint32_t set = (addr >> offset_bits_) & (nsets_ - 1);
+  const std::uint32_t tag = addr >> (offset_bits_ + index_bits_);
+
+  // Walk the way list (pointer chasing, as cache_access does).
+  Block* prev = nullptr;
+  Block* cur = heads_[set];
+  while (cur != nullptr) {
+    if (cur->valid && cur->tag == tag) {
+      ++stats_.hits;
+      if (is_write) cur->dirty = true;
+      // Move to head (MRU).
+      if (prev != nullptr) {
+        prev->next = cur->next;
+        cur->next = heads_[set];
+        heads_[set] = cur;
+      }
+      return hit_latency_;
+    }
+    if (cur->next == nullptr) break;  // cur = LRU tail
+    prev = cur;
+    cur = cur->next;
+  }
+
+  // Miss: replace the tail block and move it to the head.
+  ++stats_.misses;
+  assert(cur != nullptr);
+  cur->valid = true;
+  cur->tag = tag;
+  cur->dirty = is_write;
+  if (prev != nullptr) {
+    prev->next = cur->next;
+    cur->next = heads_[set];
+    heads_[set] = cur;
+  }
+  return hit_latency_ + miss_latency_;
+}
+
+}  // namespace rcpn::baseline

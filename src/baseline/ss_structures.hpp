@@ -1,0 +1,181 @@
+// sim-outorder's core data structures, re-created for the baseline:
+//
+//  * SsCache  — per-set singly-linked way lists with move-to-head on hit
+//               (sim-outorder's cache_access walks a block list and performs
+//               pointer surgery; the pointer chasing is a real, honest cost
+//               of the generic framework);
+//  * RsLink / RsLinkPool — the RS_link free-list machinery used for ready
+//               queues, event queues and output-dependence chains;
+//  * EventQueue — completion events kept sorted by cycle via insertion into
+//               a linked list (ruu_event_queue);
+//  * ReadyQueue — linked list of issue-ready window entries (ruu_ready_queue).
+//
+// These are deliberately *not* micro-optimized: they model the cost profile
+// of the original tool, which is exactly what the paper compares against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rcpn::baseline {
+
+class SsCache {
+ public:
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double hit_ratio() const {
+      return accesses ? static_cast<double>(hits) / static_cast<double>(accesses) : 0.0;
+    }
+  };
+
+  SsCache(std::string name, std::uint32_t nsets, std::uint32_t bsize,
+          std::uint32_t assoc, std::uint32_t hit_latency, std::uint32_t miss_latency);
+
+  /// Walk the set's block list; on hit move the block to the head (MRU), on
+  /// miss evict the tail (LRU). Returns the access latency.
+  std::uint32_t access(std::uint32_t addr, bool is_write);
+
+  const Stats& stats() const { return stats_; }
+  void reset();
+
+ private:
+  struct Block {
+    std::uint32_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    Block* next = nullptr;
+  };
+
+  std::string name_;
+  std::uint32_t nsets_, bsize_, assoc_, hit_latency_, miss_latency_;
+  unsigned offset_bits_, index_bits_;
+  std::vector<Block> blocks_;
+  std::vector<Block*> heads_;
+  Stats stats_;
+};
+
+/// The RS_link of sim-outorder: a pooled list node referencing a window entry.
+struct RsLink {
+  RsLink* next = nullptr;
+  int entry = -1;           // RUU index
+  std::uint32_t tag = 0;    // squash detection
+  std::uint64_t when = 0;   // event time (event queue use)
+};
+
+class RsLinkPool {
+ public:
+  RsLink* alloc() {
+    if (free_ == nullptr) grow();
+    RsLink* l = free_;
+    free_ = l->next;
+    l->next = nullptr;
+    return l;
+  }
+  void release(RsLink* l) {
+    l->next = free_;
+    free_ = l;
+  }
+
+ private:
+  void grow() {
+    constexpr unsigned kChunk = 256;
+    blocks_.push_back(std::make_unique<RsLink[]>(kChunk));
+    RsLink* chunk = blocks_.back().get();
+    for (unsigned i = 0; i < kChunk; ++i) {
+      chunk[i].next = free_;
+      free_ = &chunk[i];
+    }
+  }
+  RsLink* free_ = nullptr;
+  std::vector<std::unique_ptr<RsLink[]>> blocks_;
+};
+
+/// Completion events sorted by `when` (insertion sort into a linked list,
+/// exactly ruu_event_queue).
+class EventQueue {
+ public:
+  explicit EventQueue(RsLinkPool& pool) : pool_(pool) {}
+
+  void schedule(int entry, std::uint64_t when) {
+    RsLink* ev = pool_.alloc();
+    ev->entry = entry;
+    ev->when = when;
+    RsLink** prev = &head_;
+    while (*prev != nullptr && (*prev)->when <= when) prev = &(*prev)->next;
+    ev->next = *prev;
+    *prev = ev;
+  }
+
+  /// Pop the next event due at or before `now`; -1 if none.
+  int pop_due(std::uint64_t now) {
+    if (head_ == nullptr || head_->when > now) return -1;
+    RsLink* ev = head_;
+    head_ = ev->next;
+    const int entry = ev->entry;
+    pool_.release(ev);
+    return entry;
+  }
+
+  void clear() {
+    while (head_ != nullptr) {
+      RsLink* n = head_->next;
+      pool_.release(head_);
+      head_ = n;
+    }
+  }
+
+ private:
+  RsLinkPool& pool_;
+  RsLink* head_ = nullptr;
+};
+
+/// Issue-ready window entries (ruu_ready_queue), FIFO by insertion (oldest
+/// first since dispatch inserts in program order and wakeups append).
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(RsLinkPool& pool) : pool_(pool) {}
+
+  void push(int entry) {
+    RsLink* l = pool_.alloc();
+    l->entry = entry;
+    if (tail_ == nullptr) {
+      head_ = tail_ = l;
+    } else {
+      tail_->next = l;
+      tail_ = l;
+    }
+  }
+
+  /// Walk and collect entries into `out` (the per-cycle issue scan); the
+  /// queue is rebuilt by the caller re-pushing the entries it did not issue.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    RsLink* cur = head_;
+    head_ = tail_ = nullptr;
+    while (cur != nullptr) {
+      RsLink* next = cur->next;
+      cur->next = nullptr;
+      const int e = cur->entry;
+      pool_.release(cur);
+      fn(e);
+      cur = next;
+    }
+  }
+
+  bool empty() const { return head_ == nullptr; }
+
+  void clear() {
+    drain([](int) {});
+  }
+
+ private:
+  RsLinkPool& pool_;
+  RsLink* head_ = nullptr;
+  RsLink* tail_ = nullptr;
+};
+
+}  // namespace rcpn::baseline

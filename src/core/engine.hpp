@@ -1,0 +1,172 @@
+// The cycle-accurate simulation engine "generated" from an RCPN model.
+//
+// build() performs the static extraction the paper describes in §4:
+//   * Fig 6 — for every (place, instruction type) pair, the priority-sorted
+//     list of candidate transitions is computed once, before simulation;
+//   * the places are ordered in reverse topological order of the token-flow
+//     graph so that almost no place needs the expensive two-list
+//     (master/slave) algorithm;
+//   * strongly-connected components and circular guard references
+//     (reads_state) identify the few stages that *do* need two-list
+//     insertion semantics.
+//
+// step() is the Fig 8 main loop: promote two-list stages, Process() every
+// place in order (Fig 7), run the instruction-independent sub-net, advance
+// the clock.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/net.hpp"
+#include "core/stats.hpp"
+
+namespace rcpn::core {
+
+/// Options for the static analysis; the defaults follow the paper. The
+/// ablation benches flip them to quantify each optimization.
+struct EngineOptions {
+  /// Mark stages targeted by circular guard references (reads_state) as
+  /// two-list, as the paper does for L3 in Fig 5. Models may still override
+  /// per stage with force_two_list().
+  bool two_list_state_refs = true;
+  /// Ablation: use the two-list algorithm for *every* stage (the
+  /// "computationally expensive usual solution" of §4).
+  bool force_two_list_all = false;
+  /// Ablation: ignore the Fig 6 sorted-transition table and search all
+  /// transitions of the net for every token (CPN-style global search).
+  bool linear_search = false;
+  /// Stop with an error after this many cycles without any firing while
+  /// tokens are still in flight (model deadlock watchdog).
+  std::uint64_t deadlock_limit = 100000;
+};
+
+class Engine {
+ public:
+  struct Hooks {
+    /// Called when an instruction token reaches the virtual end stage.
+    std::function<void(InstructionToken*)> on_retire;
+    /// Called when an instruction token is squashed by a flush.
+    std::function<void(InstructionToken*)> on_squash;
+  };
+
+  explicit Engine(Net& net, void* machine = nullptr, EngineOptions options = {});
+
+  Net& net() { return net_; }
+  const Net& net() const { return net_; }
+
+  /// Static extraction (Fig 6 + ordering analysis). Called automatically by
+  /// the first step() if needed.
+  void build();
+  bool built() const { return built_; }
+
+  /// Clear all dynamic state (tokens, stats, clock); keeps build products.
+  void reset();
+
+  /// Simulate one clock cycle. Returns false once stop() has been called.
+  bool step();
+  /// Run until stop() or `max_cycles`; returns cycles executed.
+  std::uint64_t run(std::uint64_t max_cycles = ~0ull);
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  Cycle clock() const { return clock_; }
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+  Hooks& hooks() { return hooks_; }
+  EngineOptions& options() { return options_; }
+
+  /// The machine context (register files, memories, pc, ...) the model's
+  /// guards and actions operate on.
+  template <typename T>
+  T& machine() {
+    assert(machine_ != nullptr);
+    return *static_cast<T*>(machine_);
+  }
+  void set_machine(void* m) { machine_ = m; }
+
+  // -- services available to transition actions -------------------------------
+
+  /// Inject an instruction token into place `p` (fetch / µ-op expansion).
+  /// Honors the token's next_delay. The caller is responsible for capacity
+  /// (see place_has_room), mirroring the paper's fetch-transition guard.
+  void emit_instruction(InstructionToken* t, PlaceId p);
+  /// Emit a reservation token into `p`.
+  void emit_reservation(PlaceId p);
+  bool place_has_room(PlaceId p, std::uint32_t n = 1) const;
+  /// Number of visible instruction tokens currently in place `p`.
+  unsigned tokens_in_place(PlaceId p) const;
+
+  /// Squash every token in stage `s` (branch flush). Instruction tokens get
+  /// their register reservations released and on_squash fires.
+  void flush_stage(StageId s);
+  /// Squash only tokens satisfying `pred` (e.g. younger than a branch).
+  void flush_stage_if(StageId s, const std::function<bool(const Token&)>& pred);
+
+  /// Acquire a pooled instruction token (for models that do not manage their
+  /// own decode cache); recycled automatically on retire/squash.
+  InstructionToken* acquire_pooled_instruction();
+
+  std::uint64_t tokens_in_flight() const { return in_flight_; }
+
+  // -- introspection (tests, benches, CPN conversion) --------------------------
+  const std::vector<PlaceId>& process_order() const { return order_; }
+  const std::vector<const Transition*>& candidates(PlaceId p, TypeId type) const;
+  bool stage_is_two_list(StageId s) const { return net_.stage(s).two_list(); }
+
+ private:
+  struct StageDelta {
+    StageId stage = kNoStage;
+    int removals = 0;
+    int additions = 0;
+  };
+
+  void compute_sorted_transitions();
+  void compute_process_order();
+  void process_place(PlaceId p);
+  void run_independent();
+  bool try_fire(const Transition& t, InstructionToken* tok);
+  bool independent_enabled(const Transition& t);
+  void fire_independent(const Transition& t);
+  void enter_place(Token* tok, PlaceId p, std::uint32_t transition_delay);
+  void retire(InstructionToken* tok);
+  Token* find_ready_reservation(PlaceId p) const;
+  Token* acquire_reservation();
+  void recycle(Token* t);
+  void squash_token(Token* t);
+
+  Net& net_;
+  void* machine_;
+  EngineOptions options_;
+  Hooks hooks_;
+  Stats stats_;
+  Cycle clock_ = 0;
+  bool stopped_ = false;
+  bool built_ = false;
+  std::uint64_t in_flight_ = 0;
+  std::uint32_t seq_counter_ = 0;
+  std::uint64_t last_activity_clock_ = 0;
+  std::uint64_t activity_snapshot_ = 0;
+
+  /// Fig 6 table: [place * num_types + type] -> sorted candidate list.
+  std::vector<std::vector<const Transition*>> sorted_;
+  std::vector<PlaceId> order_;
+  std::vector<StageId> two_list_stages_;
+  /// Hot-path caches built by build(): place -> stage object / residence.
+  std::vector<PipelineStage*> place_stage_;
+  std::vector<std::uint32_t> place_delay_;
+
+  // Token pools (allocation-free steady state).
+  std::vector<std::unique_ptr<InstructionToken>> instr_storage_;
+  std::vector<InstructionToken*> instr_free_;
+  std::vector<std::unique_ptr<Token>> res_storage_;
+  std::vector<Token*> res_free_;
+
+  // Per-cycle scratch, reused to avoid allocation in the hot loop.
+  std::vector<InstructionToken*> scratch_;
+  std::vector<Token*> scratch_flush_;
+};
+
+}  // namespace rcpn::core

@@ -1,0 +1,152 @@
+#include "core/net.hpp"
+
+namespace rcpn::core {
+
+Net::Net(std::string name) : name_(std::move(name)) {
+  // Virtual final stage & place: unlimited capacity, id 0.
+  stages_.emplace_back("end", /*id=*/0, /*capacity=*/0, /*is_end=*/true);
+  places_.push_back(Place{"end", /*id=*/0, /*stage=*/0, /*delay=*/1});
+}
+
+StageId Net::add_stage(const std::string& name, std::uint32_t capacity) {
+  assert(capacity > 0 && "capacity 0 is reserved for the end stage");
+  const StageId id = static_cast<StageId>(stages_.size());
+  stages_.emplace_back(name, id, capacity, /*is_end=*/false);
+  return id;
+}
+
+PlaceId Net::add_place(const std::string& name, StageId stage, std::uint32_t delay) {
+  assert(stage >= 0 && static_cast<unsigned>(stage) < stages_.size());
+  assert(delay >= 1 && "a place holds its token for at least one cycle");
+  const PlaceId id = static_cast<PlaceId>(places_.size());
+  places_.push_back(Place{name, id, stage, delay});
+  return id;
+}
+
+PlaceId Net::add_end_place(const std::string& name) {
+  return add_place(name, end_stage(), 1);
+}
+
+TypeId Net::add_type(const std::string& name) {
+  const TypeId id = static_cast<TypeId>(types_.size());
+  types_.push_back(name);
+  return id;
+}
+
+TransitionBuilder Net::add_transition(const std::string& name, TypeId subnet) {
+  assert(subnet >= 0 && static_cast<unsigned>(subnet) < types_.size());
+  const TransitionId id = static_cast<TransitionId>(transitions_.size());
+  transitions_.push_back(std::make_unique<Transition>(name, id, subnet));
+  return TransitionBuilder(this, transitions_.back().get());
+}
+
+TransitionBuilder Net::add_independent_transition(const std::string& name) {
+  const TransitionId id = static_cast<TransitionId>(transitions_.size());
+  transitions_.push_back(std::make_unique<Transition>(name, id, kNoType));
+  independent_.push_back(id);
+  return TransitionBuilder(this, transitions_.back().get());
+}
+
+PlaceId Net::find_place(const std::string& name) const {
+  for (const Place& p : places_)
+    if (p.name == name) return p.id;
+  return kNoPlace;
+}
+
+StageId Net::find_stage(const std::string& name) const {
+  for (const PipelineStage& s : stages_)
+    if (s.name() == name) return s.id();
+  return kNoStage;
+}
+
+TypeId Net::find_type(const std::string& name) const {
+  for (unsigned i = 0; i < types_.size(); ++i)
+    if (types_[i] == name) return static_cast<TypeId>(i);
+  return kNoType;
+}
+
+Net::ModelStats Net::model_stats() const {
+  ModelStats ms;
+  ms.stages = num_stages();
+  ms.places = num_places();
+  ms.transitions = num_transitions();
+  ms.subnets = num_types();
+  for (const auto& t : transitions_)
+    ms.arcs += static_cast<unsigned>(t->inputs().size() + t->outputs().size());
+  return ms;
+}
+
+// -- TransitionBuilder --------------------------------------------------------
+
+TransitionBuilder& TransitionBuilder::from(PlaceId p, std::uint8_t priority) {
+  assert(t_->trigger_place() == kNoPlace && "a transition has one trigger arc");
+  t_->in_.push_back(InArc{p, ArcNeed::trigger, priority});
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::consume_reservation(PlaceId p) {
+  t_->in_.push_back(InArc{p, ArcNeed::reservation, 0});
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::to(PlaceId p) {
+#ifndef NDEBUG
+  for (const OutArc& a : t_->out_)
+    assert(a.emit != ArcEmit::move && "a transition moves its token once");
+#endif
+  t_->out_.push_back(OutArc{p, ArcEmit::move});
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::emit_reservation(PlaceId p) {
+  t_->out_.push_back(OutArc{p, ArcEmit::reservation});
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::guard(Guard g) {
+  t_->guard_boxed_ = std::move(g);
+  t_->guard_env_ = &t_->guard_boxed_;
+  t_->guard_fn_ = [](void* env, FireCtx& ctx) {
+    return (*static_cast<Guard*>(env))(ctx);
+  };
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::action(Action a) {
+  t_->action_boxed_ = std::move(a);
+  t_->action_env_ = &t_->action_boxed_;
+  t_->action_fn_ = [](void* env, FireCtx& ctx) {
+    (*static_cast<Action*>(env))(ctx);
+  };
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::guard(GuardFn fn, void* env) {
+  t_->guard_fn_ = fn;
+  t_->guard_env_ = env;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::action(ActionFn fn, void* env) {
+  t_->action_fn_ = fn;
+  t_->action_env_ = env;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::reads_state(PlaceId p) {
+  t_->state_refs_.push_back(p);
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::delay(std::uint32_t d) {
+  t_->delay_ = d;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::max_fires_per_cycle(int n) {
+  assert(t_->independent() && "per-cycle fire count applies to independent transitions");
+  t_->max_fires_ = n;
+  return *this;
+}
+
+}  // namespace rcpn::core

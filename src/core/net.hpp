@@ -1,0 +1,120 @@
+// Net: the static structure of an RCPN model — stages, places, operation
+// classes (sub-net ids), transitions and the instruction-independent sub-net.
+// Models are built with the fluent TransitionBuilder; the Engine then
+// "generates the simulator" from the finished net (Fig 6 + topological
+// analysis) without any further interpretation of the structure.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline_stage.hpp"
+#include "core/place.hpp"
+#include "core/transition.hpp"
+
+namespace rcpn::core {
+
+class Net;
+
+/// Fluent construction handle for one transition.
+class TransitionBuilder {
+ public:
+  /// Trigger input arc: the instruction token is consumed from `p`.
+  TransitionBuilder& from(PlaceId p, std::uint8_t priority = 0);
+  /// Extra input arc consuming one reservation token from `p`.
+  TransitionBuilder& consume_reservation(PlaceId p);
+  /// Output arc moving the instruction token to `p`.
+  TransitionBuilder& to(PlaceId p);
+  /// Output arc emitting a reservation token into `p` (dotted arcs of Fig 5).
+  TransitionBuilder& emit_reservation(PlaceId p);
+  TransitionBuilder& guard(Guard g);
+  TransitionBuilder& action(Action a);
+  /// Raw-delegate forms: a single indirect call in the hot loop.
+  TransitionBuilder& guard(GuardFn fn, void* env);
+  TransitionBuilder& action(ActionFn fn, void* env);
+  /// Declare that the guard queries the state of place `p`
+  /// (can_read_in(p) etc.); feeds the circular-reference analysis.
+  TransitionBuilder& reads_state(PlaceId p);
+  TransitionBuilder& delay(std::uint32_t d);
+  TransitionBuilder& max_fires_per_cycle(int n);
+
+  TransitionId id() const { return t_->id(); }
+  Transition& transition() { return *t_; }
+
+ private:
+  friend class Net;
+  TransitionBuilder(Net* net, Transition* t) : net_(net), t_(t) {}
+  Net* net_;
+  Transition* t_;
+};
+
+class Net {
+ public:
+  explicit Net(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// The virtual final stage/place every instruction ends in (paper §3);
+  /// created automatically with unlimited capacity.
+  StageId end_stage() const { return 0; }
+  PlaceId end_place() const { return 0; }
+
+  StageId add_stage(const std::string& name, std::uint32_t capacity);
+  /// Place bound to `stage`; `delay` is its residence time (>= 1).
+  PlaceId add_place(const std::string& name, StageId stage, std::uint32_t delay = 1);
+  /// Additional end place (shares the unlimited end stage).
+  PlaceId add_end_place(const std::string& name);
+
+  /// Register an operation class (instruction type). Each gets its own
+  /// sub-net, identified by the TypeId on transitions.
+  TypeId add_type(const std::string& name);
+
+  TransitionBuilder add_transition(const std::string& name, TypeId subnet);
+  /// Instruction-independent transition (fetch/decode); runs at the end of
+  /// every cycle in declaration order (Fig 8).
+  TransitionBuilder add_independent_transition(const std::string& name);
+
+  // -- accessors --------------------------------------------------------------
+  unsigned num_stages() const { return static_cast<unsigned>(stages_.size()); }
+  unsigned num_places() const { return static_cast<unsigned>(places_.size()); }
+  unsigned num_types() const { return static_cast<unsigned>(types_.size()); }
+  unsigned num_transitions() const { return static_cast<unsigned>(transitions_.size()); }
+
+  PipelineStage& stage(StageId s) { return stages_[static_cast<unsigned>(s)]; }
+  const PipelineStage& stage(StageId s) const { return stages_[static_cast<unsigned>(s)]; }
+  Place& place(PlaceId p) { return places_[static_cast<unsigned>(p)]; }
+  const Place& place(PlaceId p) const { return places_[static_cast<unsigned>(p)]; }
+  PipelineStage& stage_of(PlaceId p) { return stage(place(p).stage); }
+  const PipelineStage& stage_of(PlaceId p) const { return stage(place(p).stage); }
+  Transition& transition(TransitionId t) { return *transitions_[static_cast<unsigned>(t)]; }
+  const Transition& transition(TransitionId t) const {
+    return *transitions_[static_cast<unsigned>(t)];
+  }
+  const std::string& type_name(TypeId t) const { return types_[static_cast<unsigned>(t)]; }
+  const std::vector<TransitionId>& independent_transitions() const { return independent_; }
+
+  /// Look up ids by name (nullptr-safe helpers for tests/tools).
+  PlaceId find_place(const std::string& name) const;
+  StageId find_stage(const std::string& name) const;
+  TypeId find_type(const std::string& name) const;
+
+  /// Static model-complexity statistics (used by bench_model_stats).
+  struct ModelStats {
+    unsigned stages = 0, places = 0, transitions = 0, subnets = 0, arcs = 0;
+  };
+  ModelStats model_stats() const;
+
+ private:
+  friend class TransitionBuilder;
+
+  std::string name_;
+  std::vector<PipelineStage> stages_;
+  std::vector<Place> places_;
+  std::vector<std::string> types_;
+  std::vector<std::unique_ptr<Transition>> transitions_;
+  std::vector<TransitionId> independent_;
+};
+
+}  // namespace rcpn::core

@@ -1,0 +1,32 @@
+#include "core/pipeline_stage.hpp"
+
+#include <algorithm>
+
+namespace rcpn::core {
+
+bool PipelineStage::remove(Token* t) {
+  auto it = std::find(tokens_.begin(), tokens_.end(), t);
+  if (it == tokens_.end()) return false;
+  tokens_.erase(it);
+  return true;
+}
+
+bool PipelineStage::remove_any(Token* t) {
+  if (remove(t)) return true;
+  auto it = std::find(incoming_.begin(), incoming_.end(), t);
+  if (it == incoming_.end()) return false;
+  incoming_.erase(it);
+  return true;
+}
+
+void PipelineStage::promote_incoming() {
+  if (incoming_.empty()) return;
+  for (Token* t : incoming_) {
+    tokens_.push_back(t);
+    if (t->kind == TokenKind::instruction)
+      static_cast<InstructionToken*>(t)->state = t->place;
+  }
+  incoming_.clear();
+}
+
+}  // namespace rcpn::core

@@ -1,0 +1,95 @@
+// Pipeline stages: the storage elements instructions reside in (latches,
+// reservation stations, ...). Every place is assigned to a stage; places with
+// the same stage share its capacity, and the tokens of a place are physically
+// stored in its stage (paper §3, "Places").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/token.hpp"
+
+namespace rcpn::core {
+
+class PipelineStage {
+ public:
+  PipelineStage(std::string name, StageId id, std::uint32_t capacity, bool is_end)
+      : name_(std::move(name)), id_(id), capacity_(capacity), is_end_(is_end) {}
+
+  const std::string& name() const { return name_; }
+  StageId id() const { return id_; }
+  /// 0 means unlimited (the virtual `end` stage).
+  std::uint32_t capacity() const { return capacity_; }
+  bool unlimited() const { return capacity_ == 0; }
+  bool is_end() const { return is_end_; }
+
+  /// Two-list (master/slave) insertion semantics: tokens added during a cycle
+  /// are parked in the incoming buffer and only become visible/consumable
+  /// after promote_incoming() at the start of the next cycle (Fig 8, first
+  /// loop). Set automatically for circularly-referenced stages, or forced by
+  /// a model for conservative forwarding timing.
+  bool two_list() const { return two_list_; }
+  void set_two_list(bool v) { two_list_ = v; }
+  /// True if a model pinned the flag; the engine's analysis then leaves it.
+  bool two_list_forced() const { return two_list_forced_; }
+  void force_two_list(bool v) {
+    two_list_ = v;
+    two_list_forced_ = true;
+  }
+
+  /// Occupancy counts both visible and not-yet-promoted tokens: a latch is
+  /// physically occupied the moment something is written into it.
+  std::uint32_t occupancy() const {
+    return static_cast<std::uint32_t>(tokens_.size() + incoming_.size());
+  }
+
+  /// Can `additions` more tokens enter, given `removals` tokens leaving this
+  /// stage in the same firing?
+  bool has_room(std::uint32_t additions, std::uint32_t removals = 0) const {
+    if (unlimited()) return true;
+    return occupancy() - removals + additions <= capacity_;
+  }
+
+  const std::vector<Token*>& tokens() const { return tokens_; }
+  const std::vector<Token*>& incoming() const { return incoming_; }
+
+  void insert(Token* t) {
+    if (two_list_) {
+      incoming_.push_back(t);
+    } else {
+      tokens_.push_back(t);
+    }
+  }
+
+  /// Remove a (visible) token; returns false if absent.
+  bool remove(Token* t);
+
+  /// Remove a token from either list (flush path); returns false if absent.
+  bool remove_any(Token* t);
+
+  /// Make tokens written during the previous cycle visible.
+  void promote_incoming();
+
+  /// Drop every token; invokes `fn(token)` for each so the caller can run
+  /// squash hooks / recycle storage.
+  template <typename Fn>
+  void clear_tokens(Fn&& fn) {
+    for (Token* t : tokens_) fn(t);
+    for (Token* t : incoming_) fn(t);
+    tokens_.clear();
+    incoming_.clear();
+  }
+
+ private:
+  std::string name_;
+  StageId id_;
+  std::uint32_t capacity_;
+  bool is_end_;
+  bool two_list_ = false;
+  bool two_list_forced_ = false;
+  std::vector<Token*> tokens_;
+  std::vector<Token*> incoming_;
+};
+
+}  // namespace rcpn::core

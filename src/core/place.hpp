@@ -1,0 +1,24 @@
+// Places: the states an instruction moves through. Each place is bound to a
+// pipeline stage and may carry a default residence delay (paper §3: "the
+// delay of a place determines how long a token should reside in that place
+// before it can be considered for enabling an output transition").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/token.hpp"
+
+namespace rcpn::core {
+
+struct Place {
+  std::string name;
+  PlaceId id = kNoPlace;
+  StageId stage = kNoStage;
+  /// Residence in cycles before output transitions may consume a token here;
+  /// >= 1 (a normal latch holds its token for one cycle). A token's
+  /// next_delay overrides this on entry.
+  std::uint32_t delay = 1;
+};
+
+}  // namespace rcpn::core

@@ -1,0 +1,38 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+#include "core/net.hpp"
+
+namespace rcpn::core {
+
+void Stats::reset(unsigned num_transitions, unsigned num_places) {
+  cycles = retired = fetched = squashed = reservations = firings = 0;
+  transition_fires.assign(num_transitions, 0);
+  place_stalls.assign(num_places, 0);
+}
+
+std::string Stats::report(const Net& net) const {
+  std::ostringstream out;
+  out << "cycles:        " << cycles << '\n'
+      << "instructions:  " << retired << '\n'
+      << "CPI:           " << (retired ? cpi() : 0.0) << '\n'
+      << "fetched:       " << fetched << '\n'
+      << "squashed:      " << squashed << '\n'
+      << "firings:       " << firings << '\n';
+  out << "transition firings:\n";
+  for (unsigned i = 0; i < transition_fires.size(); ++i) {
+    if (transition_fires[i] == 0) continue;
+    out << "  " << net.transition(static_cast<TransitionId>(i)).name() << ": "
+        << transition_fires[i] << '\n';
+  }
+  out << "place stalls:\n";
+  for (unsigned i = 0; i < place_stalls.size(); ++i) {
+    if (place_stalls[i] == 0) continue;
+    out << "  " << net.place(static_cast<PlaceId>(i)).name << ": " << place_stalls[i]
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rcpn::core

@@ -1,0 +1,43 @@
+// Execution statistics collected by the engine: cycle counts, retired
+// instructions (CPI), per-transition firing counts and per-place stall
+// counts. These feed the Fig 10 / Fig 11 benchmark harnesses directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcpn::core {
+
+class Net;
+
+struct Stats {
+  std::uint64_t cycles = 0;
+  /// Instruction tokens that reached the virtual end stage.
+  std::uint64_t retired = 0;
+  /// Instruction tokens emitted into the net (fetch).
+  std::uint64_t fetched = 0;
+  /// Instruction tokens squashed by flushes.
+  std::uint64_t squashed = 0;
+  /// Reservation tokens created.
+  std::uint64_t reservations = 0;
+  /// Total transition firings (instruction + independent).
+  std::uint64_t firings = 0;
+
+  std::vector<std::uint64_t> transition_fires;  // indexed by TransitionId
+  std::vector<std::uint64_t> place_stalls;      // token present, nothing fired
+
+  double cpi() const {
+    return retired == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(retired);
+  }
+  double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(retired) / static_cast<double>(cycles);
+  }
+
+  void reset(unsigned num_transitions, unsigned num_places);
+
+  /// Human-readable per-model report (examples use it; benches print tables).
+  std::string report(const Net& net) const;
+};
+
+}  // namespace rcpn::core

@@ -1,0 +1,104 @@
+// Tokens: the moving parts of an RCPN.
+//
+// The paper distinguishes two token groups (§3):
+//  * reservation tokens — carry no data; their presence in a place marks the
+//    occupancy of the place's pipeline stage (e.g. a branch parking a
+//    reservation token in the fetch latch to stall fetch);
+//  * instruction tokens — one per in-flight instruction; they carry the full
+//    decode result so the instruction is decoded exactly once and never
+//    re-decoded in later pipeline stages (§4, third bullet of the speedup
+//    list).
+#pragma once
+
+#include <cstdint>
+
+#include "regfile/operand.hpp"
+
+namespace rcpn::core {
+
+using PlaceId = std::int16_t;
+using StageId = std::int16_t;
+using TypeId = std::int16_t;
+using TransitionId = std::int16_t;
+using Cycle = std::uint64_t;
+
+constexpr PlaceId kNoPlace = -1;
+constexpr StageId kNoStage = -1;
+constexpr TypeId kNoType = -1;
+
+static_assert(static_cast<PlaceId>(regfile::kNoPlace) == kNoPlace,
+              "core and regfile must agree on place ids");
+
+enum class TokenKind : std::uint8_t { reservation, instruction };
+
+struct Token {
+  TokenKind kind = TokenKind::reservation;
+  /// Operation class for instruction tokens; kNoType for reservations.
+  TypeId type = kNoType;
+  /// Where the token currently resides (kNoPlace while being moved).
+  PlaceId place = kNoPlace;
+  /// First cycle at which output transitions of the current place may
+  /// consume this token (entry cycle + residence delay).
+  Cycle ready = 0;
+  /// Token delay override for the *next* place entry (paper: "the delay of a
+  /// token overwrites the delay of its containing place"); 0 = use the
+  /// place's delay. Consumed and cleared on entry.
+  std::uint32_t next_delay = 0;
+};
+
+class InstructionToken : public Token {
+ public:
+  static constexpr int kMaxOps = 6;
+
+  InstructionToken() { kind = TokenKind::instruction; }
+
+  /// Program counter and raw encoding of the instruction instance.
+  std::uint64_t pc = 0;
+  std::uint32_t raw = 0;
+  /// Dynamic sequence number (fetch order); used for age-based squash.
+  std::uint32_t seq = 0;
+
+  /// The instruction's visible pipeline state for hazard queries
+  /// (RegRef::owner_place points here). For stages with two-list semantics
+  /// this lags `place` until the written tokens are promoted at the start of
+  /// the next cycle, so guards never observe mid-cycle state.
+  PlaceId state = kNoPlace;
+
+  /// Operand symbols bound at decode time (RegRef / ConstOperand).
+  regfile::Operand* ops[kMaxOps] = {};
+
+  /// ISA-specific decode payload (e.g. arm::DecodedInstruction). The token
+  /// does not own it; the decode cache does.
+  void* payload = nullptr;
+
+  /// Lifecycle flags. `in_flight` guards decode-cache reuse; `pool_owned`
+  /// tokens are recycled by the engine on retire/squash.
+  bool in_flight = false;
+  bool pool_owned = false;
+  bool squashed = false;
+
+  regfile::Operand* op(int i) const { return ops[i]; }
+
+  /// Reset the dynamic fields for a fresh execution of the same static
+  /// instruction (decode-cache hit). Operand reservations need no release
+  /// here: a reusable token either retired (all reservations written back)
+  /// or was squashed (squash_release dropped them), and stale value-ready
+  /// flags are harmless — forwarding only consults registered writers.
+  void reset_dynamic() {
+    place = kNoPlace;
+    state = kNoPlace;
+    ready = 0;
+    next_delay = 0;
+    in_flight = false;
+    squashed = false;
+  }
+
+  /// Squash: drop all operand reservations (mis-speculation / flush path).
+  void squash_release() {
+    squashed = true;
+    for (auto* o : ops)
+      if (o) o->release();
+  }
+};
+
+}  // namespace rcpn::core

@@ -1,0 +1,17 @@
+#include "core/transition.hpp"
+
+namespace rcpn::core {
+
+PlaceId Transition::trigger_place() const {
+  for (const InArc& a : in_)
+    if (a.need == ArcNeed::trigger) return a.place;
+  return kNoPlace;
+}
+
+std::uint8_t Transition::trigger_priority() const {
+  for (const InArc& a : in_)
+    if (a.need == ArcNeed::trigger) return a.priority;
+  return 0;
+}
+
+}  // namespace rcpn::core

@@ -1,0 +1,50 @@
+#include "cpn/analysis.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace rcpn::cpn {
+
+AnalysisResult analyze(const CpnNet& net, const AnalysisOptions& opt) {
+  AnalysisResult res;
+  res.place_bound.assign(net.num_places(), 0);
+  res.fireable.assign(net.num_transitions(), false);
+
+  std::unordered_set<std::string> seen;
+  std::deque<Marking> frontier;
+  frontier.push_back(net.initial_marking());
+  seen.insert(net.initial_marking().key());
+
+  auto note_bounds = [&](const Marking& m) {
+    for (unsigned p = 0; p < net.num_places(); ++p) {
+      const unsigned total = m.place_total(static_cast<int>(p));
+      if (total > res.place_bound[p]) res.place_bound[p] = total;
+    }
+  };
+  note_bounds(net.initial_marking());
+
+  while (!frontier.empty()) {
+    if (seen.size() >= opt.max_states) {
+      res.truncated = true;
+      break;
+    }
+    const Marking m = std::move(frontier.front());
+    frontier.pop_front();
+    ++res.states;
+
+    bool any_enabled = false;
+    for (unsigned t = 0; t < net.num_transitions(); ++t) {
+      if (!net.enabled(t, m)) continue;
+      any_enabled = true;
+      res.fireable[t] = true;
+      Marking next = m;
+      net.fire(t, next);
+      note_bounds(next);
+      if (seen.insert(next.key()).second) frontier.push_back(std::move(next));
+    }
+    if (!any_enabled) ++res.deadlocks;
+  }
+  return res;
+}
+
+}  // namespace rcpn::cpn

@@ -1,0 +1,46 @@
+// Reachability-based CPN analyses — the "rich varieties of analysis [and]
+// verification techniques" the paper gains by converting RCPN models to
+// standard CPN: boundedness per place, deadlock detection and transition
+// quasi-liveness over the explicit reachability graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpn/cpn.hpp"
+
+namespace rcpn::cpn {
+
+struct AnalysisOptions {
+  std::size_t max_states = 100'000;
+};
+
+struct AnalysisResult {
+  /// Number of distinct reachable markings explored.
+  std::size_t states = 0;
+  /// True if exploration stopped at max_states (results are then partial).
+  bool truncated = false;
+  /// Max tokens observed per place (the k of k-boundedness).
+  std::vector<unsigned> place_bound;
+  /// Transitions that fired at least once (quasi-live).
+  std::vector<bool> fireable;
+  /// Reachable markings with no enabled transition.
+  std::size_t deadlocks = 0;
+
+  bool bounded(unsigned k) const {
+    for (unsigned b : place_bound)
+      if (b > k) return false;
+    return true;
+  }
+  bool all_fireable() const {
+    for (bool f : fireable)
+      if (!f) return false;
+    return true;
+  }
+};
+
+/// Breadth-first exploration of the reachability graph from the initial
+/// marking.
+AnalysisResult analyze(const CpnNet& net, const AnalysisOptions& opt = {});
+
+}  // namespace rcpn::cpn

@@ -1,0 +1,23 @@
+#include "cpn/cpn.hpp"
+
+namespace rcpn::cpn {
+
+bool CpnNet::enabled(unsigned t, const Marking& m) const {
+  for (const CpnArc& a : transitions_[t].in)
+    if (m(a.place, a.color) < a.count) return false;
+  return true;
+}
+
+void CpnNet::fire(unsigned t, Marking& m) const {
+  for (const CpnArc& a : transitions_[t].in) m.remove(a.place, a.color, a.count);
+  for (const CpnArc& a : transitions_[t].out) m.add(a.place, a.color, a.count);
+}
+
+unsigned CpnNet::num_arcs() const {
+  unsigned n = 0;
+  for (const CpnTransition& t : transitions_)
+    n += static_cast<unsigned>(t.in.size() + t.out.size());
+  return n;
+}
+
+}  // namespace rcpn::cpn

@@ -1,0 +1,130 @@
+// Standard Colored Petri Net (untimed, analysis-level).
+//
+// RCPN redefines CPN concepts to stay simple and fast; the paper's claim is
+// that an RCPN "can be converted to standard CPN and use all the tools and
+// algorithms that are available for CPN". This module provides that other
+// side: a classical CPN with token multisets and the back-edge capacity
+// loops RCPN eliminates (Fig 2b), plus reachability-based analyses.
+//
+// Colors are small integers: color 0 is the uncolored/black token
+// (reservation and capacity tokens); colors 1..n map to RCPN instruction
+// types (type t -> color t+1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcpn::cpn {
+
+using ColorId = int;
+constexpr ColorId kBlack = 0;
+
+struct CpnArc {
+  int place = -1;
+  ColorId color = kBlack;
+  unsigned count = 1;
+};
+
+struct CpnTransition {
+  std::string name;
+  std::vector<CpnArc> in;
+  std::vector<CpnArc> out;
+};
+
+/// A marking: tokens-per-(place, color).
+class Marking {
+ public:
+  Marking() = default;
+  Marking(unsigned num_places, unsigned num_colors)
+      : num_colors_(num_colors), counts_(num_places * num_colors, 0) {}
+
+  unsigned operator()(int place, ColorId color) const {
+    return counts_[static_cast<unsigned>(place) * num_colors_ +
+                   static_cast<unsigned>(color)];
+  }
+  void add(int place, ColorId color, unsigned n) {
+    counts_[static_cast<unsigned>(place) * num_colors_ +
+            static_cast<unsigned>(color)] += n;
+  }
+  void remove(int place, ColorId color, unsigned n) {
+    counts_[static_cast<unsigned>(place) * num_colors_ +
+            static_cast<unsigned>(color)] -= n;
+  }
+  unsigned place_total(int place) const {
+    unsigned total = 0;
+    for (unsigned c = 0; c < num_colors_; ++c)
+      total += counts_[static_cast<unsigned>(place) * num_colors_ + c];
+    return total;
+  }
+  /// Component-wise addition (two-list merge in the naive engine).
+  void merge(const Marking& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  }
+  void clear() { counts_.assign(counts_.size(), 0); }
+
+  /// Canonical key for reachability hashing.
+  std::string key() const {
+    return std::string(reinterpret_cast<const char*>(counts_.data()),
+                       counts_.size() * sizeof(std::uint16_t));
+  }
+  bool operator==(const Marking& other) const { return counts_ == other.counts_; }
+
+ private:
+  unsigned num_colors_ = 0;
+  std::vector<std::uint16_t> counts_;
+};
+
+class CpnNet {
+ public:
+  explicit CpnNet(std::string name, unsigned num_colors = 1)
+      : name_(std::move(name)), num_colors_(num_colors) {}
+
+  const std::string& name() const { return name_; }
+  unsigned num_colors() const { return num_colors_; }
+
+  int add_place(const std::string& name) {
+    places_.push_back(name);
+    return static_cast<int>(places_.size() - 1);
+  }
+  CpnTransition& add_transition(const std::string& name) {
+    transitions_.push_back(CpnTransition{name, {}, {}});
+    return transitions_.back();
+  }
+
+  unsigned num_places() const { return static_cast<unsigned>(places_.size()); }
+  unsigned num_transitions() const {
+    return static_cast<unsigned>(transitions_.size());
+  }
+  const std::string& place_name(int p) const {
+    return places_[static_cast<unsigned>(p)];
+  }
+  int find_place(const std::string& name) const {
+    for (unsigned i = 0; i < places_.size(); ++i)
+      if (places_[i] == name) return static_cast<int>(i);
+    return -1;
+  }
+  const CpnTransition& transition(unsigned t) const { return transitions_[t]; }
+
+  Marking empty_marking() const { return Marking(num_places(), num_colors_); }
+  Marking& initial_marking() { return initial_; }
+  const Marking& initial_marking() const { return initial_; }
+  void set_initial_marking(Marking m) { initial_ = std::move(m); }
+
+  /// Classical CPN enabling: every input arc satisfiable in `m`.
+  bool enabled(unsigned t, const Marking& m) const;
+  /// Fire (must be enabled): consume inputs, produce outputs.
+  void fire(unsigned t, Marking& m) const;
+
+  /// Structural statistics (arcs include both directions).
+  unsigned num_arcs() const;
+
+ private:
+  std::string name_;
+  unsigned num_colors_;
+  std::vector<std::string> places_;
+  std::vector<CpnTransition> transitions_;
+  Marking initial_;
+};
+
+}  // namespace rcpn::cpn

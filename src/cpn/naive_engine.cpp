@@ -1,0 +1,32 @@
+#include "cpn/naive_engine.hpp"
+
+namespace rcpn::cpn {
+
+unsigned NaiveEngine::step() {
+  unsigned fired_this_cycle = 0;
+  // Global search sweeps: every sweep re-examines every transition (there is
+  // no sorted per-place candidate table in a generic CPN simulator).
+  for (;;) {
+    unsigned fired_this_sweep = 0;
+    for (unsigned t = 0; t < net_.num_transitions(); ++t) {
+      ++search_visits_;
+      if (!net_.enabled(t, current_)) continue;
+      // Consume from the read list, produce into the write list.
+      for (const CpnArc& a : net_.transition(t).in)
+        current_.remove(a.place, a.color, a.count);
+      for (const CpnArc& a : net_.transition(t).out)
+        written_.add(a.place, a.color, a.count);
+      ++fired_this_sweep;
+      ++firings_;
+    }
+    fired_this_cycle += fired_this_sweep;
+    if (fired_this_sweep == 0) break;
+  }
+  // Master/slave copy: tokens written this cycle become readable.
+  current_.merge(written_);
+  written_.clear();
+  ++cycles_;
+  return fired_this_cycle;
+}
+
+}  // namespace rcpn::cpn

@@ -1,0 +1,47 @@
+// Naive CPN simulation engine: the expensive baseline the paper's §4
+// optimizations are measured against. Every step performs a *global search*
+// over all transitions for an enabled binding (no per-(place,type) candidate
+// lists) and all places use two token storages (the "two-list algorithm"
+// everywhere), since in CPN every resource-sharing loop is a circular
+// structure that forbids the reverse-topological trick.
+#pragma once
+
+#include <cstdint>
+
+#include "cpn/cpn.hpp"
+
+namespace rcpn::cpn {
+
+class NaiveEngine {
+ public:
+  explicit NaiveEngine(const CpnNet& net)
+      : net_(net), current_(net.initial_marking()), written_(net.empty_marking()) {}
+
+  /// One synchronous cycle: repeatedly scan all transitions against the
+  /// read-list marking, firing each enabled transition once per sweep, until
+  /// a sweep fires nothing; then merge the write-list (master/slave copy).
+  /// Returns the number of firings this cycle.
+  unsigned step();
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t firings() const { return firings_; }
+  /// Enabled-transition search visits (the cost Fig 6 removes).
+  std::uint64_t search_visits() const { return search_visits_; }
+  const Marking& marking() const { return current_; }
+
+  void reset() {
+    current_ = net_.initial_marking();
+    written_ = net_.empty_marking();
+    cycles_ = firings_ = search_visits_ = 0;
+  }
+
+ private:
+  const CpnNet& net_;
+  Marking current_;   // read list
+  Marking written_;   // write list (merged at end of cycle)
+  std::uint64_t cycles_ = 0;
+  std::uint64_t firings_ = 0;
+  std::uint64_t search_visits_ = 0;
+};
+
+}  // namespace rcpn::cpn

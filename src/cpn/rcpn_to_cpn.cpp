@@ -1,0 +1,107 @@
+#include "cpn/rcpn_to_cpn.hpp"
+
+namespace rcpn::cpn {
+
+using core::ArcEmit;
+using core::ArcNeed;
+using core::InArc;
+using core::OutArc;
+using core::PlaceId;
+using core::StageId;
+using core::Transition;
+using core::TypeId;
+
+namespace {
+ColorId color_of(TypeId type) { return static_cast<ColorId>(type) + 1; }
+}  // namespace
+
+ConversionResult convert(const core::Net& rcpn, const ConversionOptions& opt) {
+  // Colors: black + one per instruction type.
+  ConversionResult out{CpnNet(rcpn.name() + ".cpn", rcpn.num_types() + 1), {}, {}};
+  CpnNet& net = out.net;
+
+  out.place_map.assign(rcpn.num_places(), -1);
+  out.free_place_map.assign(rcpn.num_stages(), -1);
+
+  for (unsigned p = 0; p < rcpn.num_places(); ++p) {
+    if (rcpn.stage_of(static_cast<PlaceId>(p)).is_end()) continue;  // dropped
+    out.place_map[p] = net.add_place(rcpn.place(static_cast<PlaceId>(p)).name);
+  }
+  for (unsigned s = 0; s < rcpn.num_stages(); ++s) {
+    const core::PipelineStage& st = rcpn.stage(static_cast<StageId>(s));
+    if (st.is_end()) continue;
+    out.free_place_map[s] = net.add_place("free(" + st.name() + ")");
+  }
+
+  // Initial marking: every stage starts empty, so its resource place holds
+  // `capacity` black tokens (Fig 2b's tokens in L1/L2).
+  Marking m0 = net.empty_marking();
+  for (unsigned s = 0; s < rcpn.num_stages(); ++s) {
+    if (out.free_place_map[s] < 0) continue;
+    m0.add(out.free_place_map[s], kBlack,
+           rcpn.stage(static_cast<StageId>(s)).capacity());
+  }
+  net.set_initial_marking(std::move(m0));
+
+  auto stage_of_place = [&](PlaceId p) {
+    return rcpn.place(p).stage;
+  };
+
+  // Emit one CPN transition per (RCPN transition [, type for independents]).
+  auto convert_transition = [&](const Transition& t, TypeId emit_type) {
+    CpnTransition& ct = net.add_transition(
+        t.independent() ? t.name() + "#" + rcpn.type_name(emit_type) : t.name());
+
+    // Capacity accounting: +1 free slot per vacated input place, -1 per
+    // occupied output place, netted per stage. Netting matters: a transition
+    // that both vacates and refills a stage (the branch reservation into its
+    // own L1, Fig 5) must not demand a spare slot it is about to create —
+    // RCPN's enabling rule counts removals, and the complementary-place
+    // construction mirrors that by cancelling self-loops.
+    std::vector<int> free_delta(rcpn.num_stages(), 0);
+
+    for (const InArc& a : t.inputs()) {
+      const ColorId color =
+          a.need == ArcNeed::trigger ? color_of(t.subnet()) : kBlack;
+      ct.in.push_back(CpnArc{out.place_map[static_cast<unsigned>(a.place)], color, 1});
+      ++free_delta[static_cast<unsigned>(stage_of_place(a.place))];
+    }
+    for (const OutArc& a : t.outputs()) {
+      const StageId s = stage_of_place(a.place);
+      if (rcpn.stage(s).is_end()) continue;  // retirement: token dropped
+      const ColorId color = a.emit == ArcEmit::move
+                                ? (t.independent() ? color_of(emit_type)
+                                                   : color_of(t.subnet()))
+                                : kBlack;
+      ct.out.push_back(CpnArc{out.place_map[static_cast<unsigned>(a.place)], color, 1});
+      --free_delta[static_cast<unsigned>(s)];
+    }
+    for (unsigned s = 0; s < rcpn.num_stages(); ++s) {
+      const int fp = out.free_place_map[s];
+      if (fp < 0 || free_delta[s] == 0) continue;
+      if (free_delta[s] > 0)
+        ct.out.push_back(CpnArc{fp, kBlack, static_cast<unsigned>(free_delta[s])});
+      else
+        ct.in.push_back(CpnArc{fp, kBlack, static_cast<unsigned>(-free_delta[s])});
+    }
+  };
+
+  for (unsigned ti = 0; ti < rcpn.num_transitions(); ++ti) {
+    const Transition& t = rcpn.transition(static_cast<core::TransitionId>(ti));
+    if (!t.independent()) {
+      convert_transition(t, t.subnet());
+      continue;
+    }
+    // Token generators become a free-choice conflict over the emitted types.
+    if (opt.independent_emits.empty()) {
+      for (unsigned ty = 0; ty < rcpn.num_types(); ++ty)
+        convert_transition(t, static_cast<TypeId>(ty));
+    } else {
+      for (TypeId ty : opt.independent_emits) convert_transition(t, ty);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace rcpn::cpn

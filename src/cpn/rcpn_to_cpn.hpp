@@ -1,0 +1,39 @@
+// RCPN -> standard CPN conversion (paper §3 / Fig 2).
+//
+// The reduction RCPN performs on CPN is undone explicitly:
+//  * every finite-capacity pipeline stage becomes a complementary resource
+//    place `free(stage)` initially holding `capacity` black tokens;
+//  * every transition additionally consumes one `free` token per output
+//    stage and returns one per input stage — the back-edge circular loops of
+//    Fig 2(b) that RCPN replaces with the output-capacity enabling rule;
+//  * instruction types become token colors (type t -> color t+1; black = 0);
+//  * reservation arcs become black-token arcs on the same places;
+//  * instruction-independent transitions (fetch) become one CPN transition
+//    per instruction type they can generate (a free-choice conflict);
+//  * guards, delays and actions are abstracted away: the CPN is an untimed
+//    over-approximation, sound for boundedness/safety analysis;
+//  * arcs into the virtual end stage drop their token (retirement), keeping
+//    the net bounded.
+#pragma once
+
+#include "core/net.hpp"
+#include "cpn/cpn.hpp"
+
+namespace rcpn::cpn {
+
+struct ConversionOptions {
+  /// Types each independent transition can emit; empty = all types.
+  std::vector<core::TypeId> independent_emits;
+};
+
+struct ConversionResult {
+  CpnNet net;
+  /// RCPN place id -> CPN place id.
+  std::vector<int> place_map;
+  /// RCPN stage id -> CPN resource place id (-1 for the end stage).
+  std::vector<int> free_place_map;
+};
+
+ConversionResult convert(const core::Net& rcpn, const ConversionOptions& opt = {});
+
+}  // namespace rcpn::cpn

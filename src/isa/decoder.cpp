@@ -1,0 +1,76 @@
+#include "isa/decoder.hpp"
+
+namespace rcpn::isa {
+
+DecodeCache::Entry* DecodeCache::build_entry(Entry* e, std::uint32_t pc,
+                                             std::uint32_t raw) {
+  e->pc = pc;
+  e->raw = raw;
+  e->operands.clear();
+  e->token = core::InstructionToken{};
+  e->token.pc = pc;
+  e->token.raw = raw;
+  factory_(*e);
+  return e;
+}
+
+core::InstructionToken* DecodeCache::get_slow(std::uint32_t pc, std::uint32_t raw) {
+  if (bypass_) {
+    // Ablation: decode and bind from scratch on every fetch. Entries that
+    // may still be in flight are parked in a graveyard instead of freed.
+    // Reclaim drained entries *before* allocating: the fresh entry's token
+    // is not marked in-flight until emit_instruction.
+    if (bypass_graveyard_.size() > 4096) {
+      std::erase_if(bypass_graveyard_, [](const std::unique_ptr<Entry>& g) {
+        return !g->token.in_flight;
+      });
+    }
+    ++stats_.misses;
+    auto fresh = std::make_unique<Entry>();
+    Entry* e = build_entry(fresh.get(), pc, raw);
+    bypass_graveyard_.push_back(std::move(fresh));
+    return &e->token;
+  }
+
+  auto [it, inserted] = entries_.try_emplace(pc, nullptr);
+  if (inserted) {
+    ++stats_.misses;
+    it->second = std::make_unique<Entry>();
+    Entry* e = build_entry(it->second.get(), pc, raw);
+    fast_[fast_index(pc)] = FastSlot{pc, e};
+    return &e->token;
+  }
+
+  Entry* e = it->second.get();
+  if (e->raw != raw) {
+    // Self-modifying code: rebuild in place.
+    ++stats_.rebuilds;
+    return &build_entry(e, pc, raw)->token;
+  }
+  fast_[fast_index(pc)] = FastSlot{pc, e};
+
+  // Walk the clone chain for a token that is not in flight.
+  for (Entry* cur = e; cur != nullptr; cur = cur->clone.get()) {
+    if (!cur->token.in_flight) {
+      ++stats_.hits;
+      cur->token.reset_dynamic();
+      cur->token.pc = pc;
+      return &cur->token;
+    }
+    if (cur->clone == nullptr) {
+      ++stats_.clones;
+      cur->clone = std::make_unique<Entry>();
+      return &build_entry(cur->clone.get(), pc, raw)->token;
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+void DecodeCache::clear() {
+  entries_.clear();
+  bypass_graveyard_.clear();
+  fast_.assign(fast_.size(), FastSlot{});
+  stats_ = Stats{};
+}
+
+}  // namespace rcpn::isa

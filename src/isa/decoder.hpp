@@ -1,0 +1,99 @@
+// Decode cache: decode-once, token-cached instruction instances.
+//
+// This implements two of the paper's three §5 speedup ingredients:
+//  * "when an instruction token is generated, the corresponding instruction
+//    is decoded and stored in the token … we do not need to re-decode the
+//    instruction in different pipeline stages";
+//  * "the tokens are cached for later reuse in the simulator" — a static
+//    instruction keeps its fully-bound token (operands already pointing at
+//    RegRefs/Consts, sub-net already selected via token.type) across dynamic
+//    executions. If the same static instruction is in flight more than once
+//    (tight loop shorter than the pipeline), the cache transparently chains
+//    clones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/token.hpp"
+#include "isa/operation_class.hpp"
+#include "regfile/operand.hpp"
+
+namespace rcpn::isa {
+
+class DecodeCache {
+ public:
+  struct Entry {
+    core::InstructionToken token;
+    /// Owned operand objects the token's slots point into.
+    std::vector<std::unique_ptr<regfile::Operand>> operands;
+    std::unique_ptr<Payload> payload;
+    std::uint32_t pc = 0;
+    std::uint32_t raw = 0;
+    /// Next clone for in-flight collisions.
+    std::unique_ptr<Entry> clone;
+  };
+
+  /// Fills a fresh entry: sets token.type/payload and binds the operand
+  /// slots. token.pc/raw are pre-set by the cache.
+  using Factory = std::function<void(Entry&)>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t clones = 0;
+    std::uint64_t rebuilds = 0;
+  };
+
+  explicit DecodeCache(Factory factory) : factory_(std::move(factory)) {}
+
+  /// Get a ready-to-issue token for the instruction at `pc` with encoding
+  /// `raw`. Never returns a token that is still in flight. A direct-mapped
+  /// index makes the steady-state (loop) lookup a couple of loads.
+  core::InstructionToken* get(std::uint32_t pc, std::uint32_t raw) {
+    if (!bypass_) {
+      const FastSlot& slot = fast_[fast_index(pc)];
+      if (slot.pc == pc && slot.entry->raw == raw &&
+          !slot.entry->token.in_flight) {
+        ++stats_.hits;
+        slot.entry->token.reset_dynamic();
+        slot.entry->token.pc = pc;
+        return &slot.entry->token;
+      }
+    }
+    return get_slow(pc, raw);
+  }
+
+  /// Ablation hook (bench_ablation_decode): bypass the cache entirely —
+  /// every fetch re-decodes and re-binds as if tokens were not cached.
+  void set_bypass(bool v) { bypass_ = v; }
+
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+  void clear();
+
+ private:
+  Entry* build_entry(Entry* e, std::uint32_t pc, std::uint32_t raw);
+  core::InstructionToken* get_slow(std::uint32_t pc, std::uint32_t raw);
+
+  static constexpr unsigned kFastBits = 12;  // 4096-slot direct-mapped index
+  struct FastSlot {
+    std::uint32_t pc = 0xffff'ffff;
+    Entry* entry = nullptr;
+  };
+  static unsigned fast_index(std::uint32_t pc) {
+    return (pc >> 2) & ((1u << kFastBits) - 1);
+  }
+
+  Factory factory_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Entry>> entries_;
+  std::vector<FastSlot> fast_ = std::vector<FastSlot>(1u << kFastBits);
+  std::vector<std::unique_ptr<Entry>> bypass_graveyard_;
+  Stats stats_;
+  bool bypass_ = false;
+};
+
+}  // namespace rcpn::isa

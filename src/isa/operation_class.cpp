@@ -1,0 +1,1 @@
+#include "isa/operation_class.hpp"

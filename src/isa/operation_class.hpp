@@ -1,0 +1,54 @@
+// Operation classes and operand-slot conventions.
+//
+// An operation class groups instructions that flow through the same pipeline
+// path and share a binary format (paper §3). Its symbols — Constant, µ-op or
+// Register — are bound to concrete Operand objects (ConstOperand / RegRef)
+// when an instruction is decoded, producing a customized instance of the
+// class's RCPN sub-net for that instruction ("partial evaluation").
+//
+// The machine models in src/machines agree on which token operand slot holds
+// which symbol so that sub-net guards/actions can be written once per class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/net.hpp"
+
+namespace rcpn::isa {
+
+/// Machine-specific decode payload carried by instruction tokens.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+/// Token operand-slot conventions shared by the processor models.
+/// (InstructionToken::kMaxOps is 6.)
+enum OperandSlot : int {
+  kSlotDst = 0,    // destination register (rd)
+  kSlotSrc1 = 1,   // first source / base / accumulator (rn)
+  kSlotSrc2 = 2,   // second source (rm / shifter register)
+  kSlotSrc3 = 3,   // shift-amount register (rs)
+  kSlotFlags = 4,  // CPSR reference (condition / flag writes)
+  kSlotExtra = 5,  // model-specific (e.g. LDM/STM µ-op register)
+};
+
+/// Registry mapping operation-class names to the RCPN TypeIds of a net, so
+/// decoders and models stay consistent about sub-net identity.
+class OperationClassSet {
+ public:
+  core::TypeId add(core::Net& net, const std::string& name) {
+    const core::TypeId id = net.add_type(name);
+    if (static_cast<std::size_t>(id) >= names_.size()) names_.resize(id + 1);
+    names_[id] = name;
+    return id;
+  }
+  const std::string& name(core::TypeId id) const { return names_[id]; }
+  unsigned size() const { return static_cast<unsigned>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace rcpn::isa

@@ -1,0 +1,148 @@
+// Shared machine context + instruction behaviour for the ARM pipeline models
+// (StrongArm §5 / XScale Fig 9).
+//
+// The paper's recipe: each operation class has a sub-net; decode binds the
+// class's symbols (Register -> RegRef, Constant -> Const, µ-op -> semantic
+// function) producing a customized sub-net instance carried by the token.
+// This file implements the per-class issue/execute/mem/writeback behaviours
+// once; the two pipeline models instantiate them as transitions over their
+// own stage structure.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arm/arm_isa.hpp"
+#include "core/engine.hpp"
+#include "isa/decoder.hpp"
+#include "mem/memory_system.hpp"
+#include "predictor/predictor.hpp"
+#include "regfile/reg_ref.hpp"
+#include "sys/program.hpp"
+#include "sys/syscalls.hpp"
+
+namespace rcpn::machines {
+
+/// Decode payload: the static decode result plus the per-dynamic-instance
+/// scratch the sub-net transitions communicate through. Token, decode-cache
+/// entry and payload are 1:1, so per-instance state is safe here.
+struct ArmPayload final : isa::Payload {
+  arm::DecodedInstruction d;
+
+  // -- per-instance state (written before read on every execution) ----------
+  bool nullified = false;  // condition failed at issue
+  bool resolved = false;   // branch reached its resolve transition
+  std::uint32_t ea = 0;    // load/store effective address
+  std::uint32_t result = 0;     // deferred result (mul)
+  std::uint32_t pred_next = 0;  // next-pc predicted at fetch
+  std::uint32_t base_after = 0; // base register after auto-index / LSM
+  bool base_wb = false;
+
+  // Load/store-multiple: one RegRef per listed register (owned by the decode
+  // cache entry). r15 never appears here; has_pc flags a pop-to-pc.
+  std::vector<regfile::RegRef*> list_refs;
+  bool has_pc = false;
+  std::uint32_t loaded_pc = 0;
+
+  // -- partially-evaluated issue plan (static; built at decode) --------------
+  // The customized sub-net instance of the paper: only the register symbols
+  // that actually bind to RegRefs appear here, so the per-cycle hazard check
+  // walks a handful of direct (devirtualized) RegRef operations and constant
+  // operands cost nothing.
+  regfile::RegRef* reads[4] = {};
+  unsigned n_reads = 0;
+  regfile::RegRef* reserves[4] = {};
+  unsigned n_reserves = 0;
+  regfile::RegRef* flags_ref = nullptr;  // CPSR
+  bool check_cond = false;   // cond != AL
+  bool read_flags = false;   // cond / carry-in / S-preserved bits / RRX offset
+  bool write_flags = false;  // S bit
+  bool base_wb_static = false;  // auto-index / LSM writeback commits the base
+  bool needs_class_guard = false;  // LSM lists, SWI / pop-to-pc drains
+};
+
+/// Fixed operand-slot meanings for the ARM models (see isa::OperandSlot).
+/// dst=rd (or lr for BL; also the store data register), src1=rn,
+/// src2=rm, src3=rs, flags=CPSR.
+
+class ArmMachine {
+ public:
+  struct Config {
+    mem::MemorySystemConfig mem;
+    regfile::WritePolicy policy = regfile::WritePolicy::single_writer;
+  };
+
+  explicit ArmMachine(const Config& config);
+  ArmMachine(const ArmMachine&) = delete;
+  ArmMachine& operator=(const ArmMachine&) = delete;
+
+  /// Load a program and reset all architectural + micro-architectural state.
+  void load_program(const sys::Program& program);
+
+  static ArmPayload& payload(core::InstructionToken& t) {
+    return *static_cast<ArmPayload*>(t.payload);
+  }
+
+  regfile::RegisterFile rf;
+  mem::MemorySystem mem;
+  sys::SyscallHandler sys;
+  isa::DecodeCache dcache;
+  std::unique_ptr<predictor::BranchPredictor> bp;  // models install one
+  std::uint32_t pc = 0;
+
+  // model statistics
+  std::uint64_t nullified_count = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t taken_branches = 0;
+
+ private:
+  /// DecodeCache factory: decode + bind operands (partial evaluation).
+  void bind(isa::DecodeCache::Entry& e);
+};
+
+/// Environment a pipeline model passes to the shared behaviours: where
+/// results can be forwarded from and which stages to flush on redirect.
+struct PipeEnv {
+  ArmMachine* m = nullptr;
+  /// Forwarding-source places, checked in order (can_read_in / read_in).
+  std::vector<core::PlaceId> fwd;
+  /// Fetch-side stages squashed when a branch redirects.
+  std::vector<core::StageId> flush_on_redirect;
+  /// Places that must be empty before a serializing instruction (SWI,
+  /// pop-to-pc) may issue — i.e. all downstream pipeline latches.
+  std::vector<core::PlaceId> drain;
+  bool use_predictor = false;
+};
+
+// -- shared per-class behaviours (used as transition guards/actions) ----------
+
+/// Issue: hazard checks (paper §3.1 interface pairing) for the token's class.
+bool issue_guard(const PipeEnv& env, core::FireCtx& ctx);
+/// Issue: read sources, take write reservations, compute addresses.
+void issue_action(const PipeEnv& env, core::FireCtx& ctx);
+
+/// Execute: ALU result / branch resolve + redirect / SWI / mul start.
+void execute_action(const PipeEnv& env, core::FireCtx& ctx);
+
+/// Memory access: functional load/store (+ LSM burst) with the cache delay
+/// applied as a token delay (the paper's t.delay = mem.delay(addr)). With
+/// `publish` the load/mul result also becomes forwardable immediately
+/// (single-transition memory stage as in the 5-stage StrongArm); without it,
+/// publish_action exposes the value in a later stage (XScale's D2/M2).
+void mem_action(const PipeEnv& env, core::FireCtx& ctx, bool publish);
+
+/// Expose a deferred load/multiply result for forwarding.
+void publish_action(const PipeEnv& env, core::FireCtx& ctx);
+
+/// Writeback: commit every reservation this instruction holds.
+void wb_action(const PipeEnv& env, core::FireCtx& ctx);
+
+/// Instruction-independent fetch: predict, decode (cached), emit the token.
+void fetch_action(const PipeEnv& env, core::FireCtx& ctx, core::PlaceId into);
+
+/// True if `op` is readable now, either from the register file or forwarded
+/// out of one of the `fwd` places.
+bool operand_ready(const regfile::Operand* op, std::span<const core::PlaceId> fwd);
+
+}  // namespace rcpn::machines

@@ -1,0 +1,303 @@
+#include "machines/fig5_processor.hpp"
+
+#include <cassert>
+
+#include "isa/operation_class.hpp"
+
+namespace rcpn::machines {
+
+using core::FireCtx;
+using core::InstructionToken;
+using isa::kSlotDst;
+using isa::kSlotSrc1;
+using isa::kSlotSrc2;
+using regfile::ConstOperand;
+using regfile::Operand;
+using regfile::RegRef;
+
+// -- instruction constructors ---------------------------------------------------
+
+Fig5Instr Fig5Instr::alu(AluOp op, unsigned d, unsigned s1, unsigned s2) {
+  Fig5Instr i;
+  i.kind = Kind::alu;
+  i.op = op;
+  i.d = static_cast<std::uint8_t>(d);
+  i.s1 = static_cast<std::uint8_t>(s1);
+  i.s2 = static_cast<std::uint8_t>(s2);
+  return i;
+}
+
+Fig5Instr Fig5Instr::alui(AluOp op, unsigned d, unsigned s1, std::uint32_t imm) {
+  Fig5Instr i = alu(op, d, s1, 0);
+  i.s2_is_imm = true;
+  i.imm = imm;
+  return i;
+}
+
+Fig5Instr Fig5Instr::load(unsigned r, std::uint32_t addr) {
+  Fig5Instr i;
+  i.kind = Kind::load_store;
+  i.is_load = true;
+  i.r = static_cast<std::uint8_t>(r);
+  i.addr = addr;
+  return i;
+}
+
+Fig5Instr Fig5Instr::store(unsigned r, std::uint32_t addr) {
+  Fig5Instr i = load(r, addr);
+  i.is_load = false;
+  return i;
+}
+
+Fig5Instr Fig5Instr::branch(std::int32_t offset) {
+  Fig5Instr i;
+  i.kind = Kind::branch;
+  i.offset = offset;
+  return i;
+}
+
+// -- payload ---------------------------------------------------------------------
+
+struct Fig5Processor::Payload final : isa::Payload {
+  Fig5Instr instr;
+};
+
+namespace {
+std::uint32_t alu_eval(Fig5Instr::AluOp op, std::uint32_t a, std::uint32_t b) {
+  switch (op) {
+    case Fig5Instr::AluOp::add: return a + b;
+    case Fig5Instr::AluOp::sub: return a - b;
+    case Fig5Instr::AluOp::mul: return a * b;
+    case Fig5Instr::AluOp::xor_op: return a ^ b;
+  }
+  return 0;
+}
+}  // namespace
+
+// -- machine ----------------------------------------------------------------------
+
+Fig5Processor::Fig5Processor()
+    : net_("Fig5"),
+      rf_(kNumRegs, regfile::WritePolicy::single_writer),
+      cache_({/*size*/ 256, /*line*/ 16, /*assoc*/ 2, /*hit*/ 1, /*miss*/ 6, true},
+             "fig5-dcache"),
+      dcache_([this](isa::DecodeCache::Entry& e) { bind(e); }),
+      eng_(net_, this) {
+  rf_.add_identity_registers(kNumRegs);
+  build();
+}
+
+void Fig5Processor::bind(isa::DecodeCache::Entry& e) {
+  auto pl = std::make_unique<Payload>();
+  pl->instr = program_[e.pc];
+  const Fig5Instr& i = pl->instr;
+  InstructionToken& t = e.token;
+  const core::PlaceId* owner = &t.state;
+
+  auto make_reg = [&](unsigned r) -> Operand* {
+    auto ref = std::make_unique<RegRef>();
+    ref->bind(&rf_, static_cast<regfile::RegisterId>(r), owner);
+    Operand* raw = ref.get();
+    e.operands.push_back(std::move(ref));
+    return raw;
+  };
+  auto make_const = [&](std::uint32_t v) -> Operand* {
+    auto c = std::make_unique<ConstOperand>(v);
+    Operand* raw = c.get();
+    e.operands.push_back(std::move(c));
+    return raw;
+  };
+
+  switch (i.kind) {
+    case Fig5Instr::Kind::alu:
+      t.type = ty_alu_;
+      t.ops[kSlotDst] = make_reg(i.d);
+      t.ops[kSlotSrc1] = make_reg(i.s1);
+      t.ops[kSlotSrc2] = i.s2_is_imm ? make_const(i.imm) : make_reg(i.s2);
+      break;
+    case Fig5Instr::Kind::load_store:
+      t.type = ty_ls_;
+      t.ops[kSlotDst] = make_reg(i.r);  // the r symbol: dest (load) or data (store)
+      t.ops[kSlotSrc1] =
+          i.addr_is_imm ? make_const(i.addr) : make_reg(i.addr_reg);
+      break;
+    case Fig5Instr::Kind::branch:
+      t.type = ty_br_;
+      // offset: {Register | Constant} — constant form here.
+      t.ops[kSlotSrc1] = make_const(static_cast<std::uint32_t>(i.offset));
+      break;
+  }
+  t.payload = pl.get();
+  e.payload = std::move(pl);
+}
+
+void Fig5Processor::build() {
+  const core::StageId s1 = net_.add_stage("L1", 1);
+  const core::StageId s2 = net_.add_stage("L2", 1);
+  const core::StageId s3 = net_.add_stage("L3", 1);
+  const core::StageId s4 = net_.add_stage("L4", 1);
+  l1_ = net_.add_place("L1", s1);
+  l2_ = net_.add_place("L2", s2);
+  // L3 holds results for two cycles before writeback (a result latch ahead
+  // of the register-file port). That residence is what makes the feedback
+  // path useful: a dependent instruction can take the priority-1 canRead(L3)
+  // route one cycle before the value commits.
+  l3_ = net_.add_place("L3", s3, /*delay=*/2);
+  l4_ = net_.add_place("L4", s4);
+  ty_alu_ = net_.add_type("ALU");
+  ty_ls_ = net_.add_type("LoadStore");
+  ty_br_ = net_.add_type("Branch");
+
+  // ---- ALU sub-net (two prioritized issue transitions, Fig 5 left) ---------
+  // priority 0: [t.s1.canRead(), t.s2.canRead(), t.d.canWrite()]
+  d0_ = net_.add_transition("ALU.D0", ty_alu_)
+            .from(l1_, /*priority=*/0)
+            .guard([](FireCtx& ctx) {
+              InstructionToken& t = *ctx.token;
+              return t.ops[kSlotSrc1]->can_read() && t.ops[kSlotSrc2]->can_read() &&
+                     t.ops[kSlotDst]->can_write();
+            })
+            .action([](FireCtx& ctx) {
+              InstructionToken& t = *ctx.token;
+              t.ops[kSlotSrc1]->read();
+              t.ops[kSlotSrc2]->read();
+              t.ops[kSlotDst]->reserve_write();
+            })
+            .to(l2_)
+            .id();
+  // priority 1: [t.s1.canRead(L3), ...] — the feedback path, s1 only (§3.2).
+  d1_ = net_.add_transition("ALU.D1", ty_alu_)
+            .from(l1_, /*priority=*/1)
+            .guard([this](FireCtx& ctx) {
+              InstructionToken& t = *ctx.token;
+              return t.ops[kSlotSrc1]->can_read_in(l3_) &&
+                     t.ops[kSlotSrc2]->can_read() && t.ops[kSlotDst]->can_write();
+            })
+            .action([this](FireCtx& ctx) {
+              InstructionToken& t = *ctx.token;
+              t.ops[kSlotSrc1]->read_in(l3_);
+              t.ops[kSlotSrc2]->read();
+              t.ops[kSlotDst]->reserve_write();
+            })
+            .to(l2_)
+            .reads_state(l3_)
+            .id();
+  net_.add_transition("ALU.E", ty_alu_)
+      .from(l2_)
+      .action([this](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        t.ops[kSlotDst]->set_value(
+            alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
+      })
+      .to(l3_);
+  net_.add_transition("ALU.We", ty_alu_)
+      .from(l3_)
+      .action([](FireCtx& ctx) { ctx.token->ops[kSlotDst]->writeback(); })
+      .to(net_.end_place());
+
+  // ---- LoadStore sub-net (variable memory delay, Fig 5 bottom) -------------
+  net_.add_transition("LS.D", ty_ls_)
+      .from(l1_)
+      .guard([](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        // [!t.L || t.r.canWrite(), t.L || t.r.canRead(), t.addr.canRead()]
+        if (!t.ops[kSlotSrc1]->can_read()) return false;
+        return i.is_load ? t.ops[kSlotDst]->can_write()
+                         : t.ops[kSlotDst]->can_read();
+      })
+      .action([](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        t.ops[kSlotSrc1]->read();
+        if (i.is_load)
+          t.ops[kSlotDst]->reserve_write();
+        else
+          t.ops[kSlotDst]->read();
+      })
+      .to(l2_);
+  net_.add_transition("LS.M", ty_ls_)
+      .from(l2_)
+      .action([this](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        const std::uint32_t addr = t.ops[kSlotSrc1]->value();
+        // if (t.L) t.r = mem[addr]; else mem[addr] = t.r;
+        if (i.is_load)
+          t.ops[kSlotDst]->set_value(mem_.read32(addr));
+        else
+          mem_.write32(addr, t.ops[kSlotDst]->value());
+        // t.delay = mem.delay(addr);
+        t.next_delay = cache_.access(addr, !i.is_load);
+      })
+      .to(l4_);
+  net_.add_transition("LS.Wm", ty_ls_)
+      .from(l4_)
+      .action([](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        if (i.is_load) t.ops[kSlotDst]->writeback();
+      })
+      .to(net_.end_place());
+
+  // ---- Branch sub-net (reservation-token fetch stall, Fig 5 right) ---------
+  net_.add_transition("BR.D", ty_br_)
+      .from(l1_)
+      .guard([](FireCtx& ctx) { return ctx.token->ops[kSlotSrc1]->can_read(); })
+      .action([](FireCtx& ctx) { ctx.token->ops[kSlotSrc1]->read(); })
+      .to(l2_)
+      .emit_reservation(l1_);
+  net_.add_transition("BR.B", ty_br_)
+      .from(l2_)
+      .consume_reservation(l1_)
+      .action([this](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        // pc = pc + offset (relative to the branch's own index).
+        pc_ = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(t.pc) +
+            static_cast<std::int32_t>(t.ops[kSlotSrc1]->value()));
+      })
+      .to(net_.end_place());
+
+  // ---- instruction-independent sub-net (F) ----------------------------------
+  net_.add_independent_transition("F")
+      .guard([this](FireCtx&) { return pc_ < program_.size(); })
+      .action([this](FireCtx& ctx) {
+        InstructionToken* t = dcache_.get(pc_, /*raw=*/0);
+        ++pc_;
+        ctx.engine->emit_instruction(t, l1_);
+      })
+      .to(l1_);
+
+  eng_.build();
+}
+
+void Fig5Processor::load(std::vector<Fig5Instr> program) {
+  program_ = std::move(program);
+  pc_ = 0;
+  rf_.reset();
+  mem_.clear();
+  cache_.reset();
+  dcache_.clear();
+  eng_.reset();
+}
+
+std::uint64_t Fig5Processor::run(std::uint64_t max_cycles) {
+  const core::Cycle start = eng_.clock();
+  while (!eng_.stopped() && eng_.clock() - start < max_cycles) {
+    eng_.step();
+    if (pc_ >= program_.size() && eng_.tokens_in_flight() == 0) break;
+  }
+  return eng_.clock() - start;
+}
+
+std::uint64_t Fig5Processor::alu_issues_direct() const {
+  return eng_.stats().transition_fires[static_cast<unsigned>(d0_)];
+}
+
+std::uint64_t Fig5Processor::alu_issues_forwarded() const {
+  return eng_.stats().transition_fires[static_cast<unsigned>(d1_)];
+}
+
+}  // namespace rcpn::machines

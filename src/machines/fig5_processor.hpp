@@ -1,0 +1,108 @@
+// The paper's Figure 4/5 "representative out-of-order completion processor
+// with a feedback path", reproduced literally:
+//
+//  * three operation classes — ALU {op, d, s1, s2}, LoadStore {L, r, addr},
+//    Branch {offset} — with Register|Constant symbols (Fig 4b);
+//  * the ALU sub-net's two prioritized issue transitions: priority 0 reads
+//    s1 from the register file, priority 1 forwards it from state L3 via
+//    canRead(L3)/read(L3) (the feedback path, used only for s1 as in §3.2);
+//  * the Branch sub-net stalls fetch with a reservation token in L1 that B
+//    consumes one cycle later;
+//  * the LoadStore sub-net's M transition sets the token delay from
+//    mem.delay(addr) (a small data cache), modeling data-dependent latency.
+//
+// L3 is circularly referenced, so the engine's analysis gives it the
+// two-list algorithm — exactly the paper's example of the optimization.
+#pragma once
+
+#include "core/engine.hpp"
+#include "isa/decoder.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+#include "regfile/reg_ref.hpp"
+
+namespace rcpn::machines {
+
+struct Fig5Instr {
+  enum class Kind : std::uint8_t { alu, load_store, branch };
+  enum class AluOp : std::uint8_t { add, sub, mul, xor_op };
+
+  Kind kind = Kind::alu;
+
+  // ALU: d = s1 op (s2 | imm)
+  AluOp op = AluOp::add;
+  std::uint8_t d = 0;
+  std::uint8_t s1 = 0;
+  bool s2_is_imm = false;
+  std::uint8_t s2 = 0;
+  std::uint32_t imm = 0;
+
+  // LoadStore: L ? r = mem[addr] : mem[addr] = r; addr is Register|Constant.
+  bool is_load = true;
+  std::uint8_t r = 0;
+  bool addr_is_imm = true;
+  std::uint8_t addr_reg = 0;
+  std::uint32_t addr = 0;
+
+  // Branch: target instruction index = own index + offset (unconditional,
+  // as in Fig 4b where offset is the only symbol).
+  std::int32_t offset = 0;
+
+  // -- convenience constructors ------------------------------------------------
+  static Fig5Instr alu(AluOp op, unsigned d, unsigned s1, unsigned s2);
+  static Fig5Instr alui(AluOp op, unsigned d, unsigned s1, std::uint32_t imm);
+  static Fig5Instr load(unsigned r, std::uint32_t addr);
+  static Fig5Instr store(unsigned r, std::uint32_t addr);
+  static Fig5Instr branch(std::int32_t offset);
+};
+
+class Fig5Processor {
+ public:
+  static constexpr unsigned kNumRegs = 8;
+
+  Fig5Processor();
+
+  void load(std::vector<Fig5Instr> program);
+  /// Run until all tokens drain and fetch passes the end of the program.
+  std::uint64_t run(std::uint64_t max_cycles = 1u << 20);
+
+  std::uint32_t reg(unsigned i) const { return rf_.read_cell(i); }
+  void set_reg(unsigned i, std::uint32_t v) { rf_.write_cell(i, v); }
+  mem::Memory& memory() { return mem_; }
+  mem::Cache& dcache() { return cache_; }
+
+  core::Net& net() { return net_; }
+  core::Engine& engine() { return eng_; }
+
+  /// Paper-behaviour counters for tests: how often the feedback path
+  /// (priority-1 issue) fired vs the register-file path.
+  std::uint64_t alu_issues_direct() const;
+  std::uint64_t alu_issues_forwarded() const;
+
+  core::PlaceId l1() const { return l1_; }
+  core::PlaceId l2() const { return l2_; }
+  core::PlaceId l3() const { return l3_; }
+  core::PlaceId l4() const { return l4_; }
+
+ private:
+  struct Payload;
+  void build();
+  void bind(isa::DecodeCache::Entry& e);
+
+  core::Net net_;
+  regfile::RegisterFile rf_;
+  mem::Memory mem_;
+  mem::Cache cache_;
+  isa::DecodeCache dcache_;
+  core::Engine eng_;
+  std::vector<Fig5Instr> program_;
+  std::uint32_t pc_ = 0;
+
+  core::TypeId ty_alu_ = core::kNoType, ty_ls_ = core::kNoType,
+               ty_br_ = core::kNoType;
+  core::PlaceId l1_ = core::kNoPlace, l2_ = core::kNoPlace, l3_ = core::kNoPlace,
+                l4_ = core::kNoPlace;
+  core::TransitionId d0_ = -1, d1_ = -1;
+};
+
+}  // namespace rcpn::machines

@@ -1,0 +1,41 @@
+// The paper's Figure 2 example: a two-latch, four-unit pipeline, expressed
+// as an RCPN with one instruction-independent sub-net (U1, the generator)
+// and two instruction-type sub-nets: type A flows U2 -> U3 through latch L2,
+// type B leaves from L1 through U4. Used by the quickstart example, the core
+// integration tests and the CPN-conversion demo.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace rcpn::machines {
+
+class SimplePipeline {
+ public:
+  /// `to_generate` tokens are produced by U1, alternating type A / type B.
+  explicit SimplePipeline(std::uint64_t to_generate);
+
+  /// Run until every token drained (or `max_cycles`); returns cycles used.
+  std::uint64_t run(std::uint64_t max_cycles = 1u << 20);
+
+  core::Net& net() { return net_; }
+  core::Engine& engine() { return eng_; }
+
+  std::uint64_t generated() const { return generated_; }
+  std::uint64_t u2_fires() const;
+  std::uint64_t u3_fires() const;
+  std::uint64_t u4_fires() const;
+
+  core::PlaceId l1() const { return l1_; }
+  core::PlaceId l2() const { return l2_; }
+
+ private:
+  core::Net net_;
+  core::Engine eng_;
+  std::uint64_t to_generate_;
+  std::uint64_t generated_ = 0;
+  core::TypeId type_a_ = core::kNoType, type_b_ = core::kNoType;
+  core::PlaceId l1_ = core::kNoPlace, l2_ = core::kNoPlace;
+  core::TransitionId u2_ = -1, u3_ = -1, u4_ = -1;
+};
+
+}  // namespace rcpn::machines

@@ -1,0 +1,128 @@
+#include "machines/strongarm.hpp"
+
+namespace rcpn::machines {
+
+using arm::OpClass;
+using core::FireCtx;
+
+StrongArmConfig::StrongArmConfig() {
+  // SA-110: 16 KiB / 32-way / 32 B-line caches; ~180 ns memory at 200 MHz.
+  mem.icache = {16 * 1024, 32, 32, 1, 24, true};
+  mem.dcache = {16 * 1024, 32, 32, 1, 24, true};
+}
+
+StrongArmSim::StrongArmSim(StrongArmConfig config)
+    : cfg_(std::move(config)),
+      net_("StrongArm"),
+      // multi_writer: the SA-110 is in-order with a single pipe, so
+      // writebacks are naturally ordered and back-to-back writers of the
+      // same register (most importantly consecutive CPSR setters in
+      // compare/branch loops) do not stall — a single-writer scoreboard
+      // would over-serialize them by the full pipeline depth.
+      m_(ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}),
+      eng_(net_, &m_, cfg_.engine) {
+  build();
+}
+
+void StrongArmSim::build() {
+  const core::StageId sFD = net_.add_stage("FD", 1);
+  const core::StageId sDE = net_.add_stage("DE", 1);
+  const core::StageId sEM = net_.add_stage("EM", 1);
+  const core::StageId sMW = net_.add_stage("MW", 1);
+  fd_ = net_.add_place("FD", sFD);
+  de_ = net_.add_place("DE", sDE);
+  em_ = net_.add_place("EM", sEM);
+  mw_ = net_.add_place("MW", sMW);
+
+  // ALU results forward out of EM in the same cycle (E->D bypass, 0-bubble
+  // back-to-back ALU). MW stays on the engine's default two-list analysis:
+  // load/multiply results become visible one cycle after entering MW, giving
+  // the SA-110's one-cycle load-use penalty.
+  net_.stage(sEM).force_two_list(false);
+
+  env_ = PipeEnv{&m_,
+                 /*fwd=*/{em_, mw_},
+                 /*flush_on_redirect=*/{sFD},
+                 /*drain=*/{de_, em_, mw_},
+                 /*use_predictor=*/false};
+
+  // Raw delegates: the generated-simulator shape — one indirect call per
+  // guard/action, environment passed as a pointer.
+  const auto g_issue = +[](void* env, FireCtx& ctx) {
+    return issue_guard(*static_cast<PipeEnv*>(env), ctx);
+  };
+  const auto a_issue = +[](void* env, FireCtx& ctx) {
+    issue_action(*static_cast<PipeEnv*>(env), ctx);
+  };
+  const auto a_exec = +[](void* env, FireCtx& ctx) {
+    execute_action(*static_cast<PipeEnv*>(env), ctx);
+  };
+  const auto a_mem = +[](void* env, FireCtx& ctx) {
+    mem_action(*static_cast<PipeEnv*>(env), ctx, /*publish=*/true);
+  };
+  const auto a_wb = +[](void* env, FireCtx& ctx) {
+    wb_action(*static_cast<PipeEnv*>(env), ctx);
+  };
+
+  for (unsigned c = 0; c < arm::kNumOpClasses; ++c) {
+    const auto cls = static_cast<OpClass>(c);
+    const std::string name = arm::op_class_name(cls);
+    const core::TypeId ty = net_.add_type(name);
+    assert(ty == static_cast<core::TypeId>(c));
+    (void)ty;
+
+    net_.add_transition("D." + name, ty)
+        .from(fd_)
+        .guard(g_issue, &env_)
+        .action(a_issue, &env_)
+        .to(de_)
+        .reads_state(em_)
+        .reads_state(mw_);
+    net_.add_transition("E." + name, ty).from(de_).action(a_exec, &env_).to(em_);
+    net_.add_transition("M." + name, ty).from(em_).action(a_mem, &env_).to(mw_);
+    net_.add_transition("W." + name, ty)
+        .from(mw_)
+        .action(a_wb, &env_)
+        .to(net_.end_place());
+  }
+
+  net_.add_independent_transition("F")
+      .guard(+[](void* env, FireCtx&) {
+        return !static_cast<StrongArmSim*>(env)->m_.sys.exited();
+      }, this)
+      .action(+[](void* env, FireCtx& ctx) {
+        auto* self = static_cast<StrongArmSim*>(env);
+        fetch_action(self->env_, ctx, self->fd_);
+      }, this)
+      .to(fd_);
+
+  eng_.build();
+}
+
+RunResult StrongArmSim::run(const sys::Program& program, std::uint64_t max_cycles) {
+  // Drain leftover tokens from a previous run *before* load_program clears
+  // the decode cache that owns them.
+  eng_.reset();
+  m_.load_program(program);
+  m_.dcache.set_bypass(cfg_.decode_cache_bypass);
+  eng_.run(max_cycles);
+  return collect_result(eng_, m_);
+}
+
+RunResult collect_result(const core::Engine& eng, const ArmMachine& m) {
+  RunResult r;
+  r.cycles = eng.stats().cycles;
+  r.instructions = eng.stats().retired;
+  r.cpi = eng.stats().cpi();
+  r.output = m.sys.output();
+  r.exit_code = m.sys.exit_code();
+  r.exited = m.sys.exited();
+  r.icache_misses = m.mem.icache().stats().misses;
+  r.dcache_misses = m.mem.dcache().stats().misses;
+  r.icache_hit_ratio = m.mem.icache().stats().hit_ratio();
+  r.dcache_hit_ratio = m.mem.dcache().stats().hit_ratio();
+  r.mispredicts = m.mispredicts;
+  return r;
+}
+
+}  // namespace rcpn::machines

@@ -1,0 +1,62 @@
+// StrongArm (SA-110) RCPN model: the paper's "simple five stage pipeline"
+// (§5). Stages F, D, E, M, W with unit-capacity latches; operands issue at D
+// with full bypass from the E and M output latches; no branch prediction
+// (sequential fetch, redirect + fetch-side squash when a branch resolves in
+// E). Six operation-class sub-nets, as in the paper's model.
+#pragma once
+
+#include "core/engine.hpp"
+#include "machines/arm_machine.hpp"
+
+namespace rcpn::machines {
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;  // retired architectural instructions
+  double cpi = 0.0;
+  std::string output;
+  int exit_code = 0;
+  bool exited = false;
+  std::uint64_t icache_misses = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t mispredicts = 0;
+  double icache_hit_ratio = 0.0;
+  double dcache_hit_ratio = 0.0;
+};
+
+struct StrongArmConfig {
+  mem::MemorySystemConfig mem;  // defaults set in the constructor
+  core::EngineOptions engine;
+  /// Ablation: re-decode and re-bind on every fetch (no token cache).
+  bool decode_cache_bypass = false;
+
+  StrongArmConfig();
+};
+
+class StrongArmSim {
+ public:
+  explicit StrongArmSim(StrongArmConfig config = StrongArmConfig());
+
+  /// Run `program` to completion (SWI exit) or `max_cycles`.
+  RunResult run(const sys::Program& program, std::uint64_t max_cycles = ~0ull);
+
+  core::Net& net() { return net_; }
+  core::Engine& engine() { return eng_; }
+  ArmMachine& machine() { return m_; }
+
+ private:
+  void build();
+
+  StrongArmConfig cfg_;
+  core::Net net_;
+  ArmMachine m_;
+  core::Engine eng_;
+  PipeEnv env_;
+  core::PlaceId fd_ = core::kNoPlace, de_ = core::kNoPlace, em_ = core::kNoPlace,
+                mw_ = core::kNoPlace;
+};
+
+/// Collect a RunResult from an engine + machine after a run.
+RunResult collect_result(const core::Engine& eng, const ArmMachine& m);
+
+}  // namespace rcpn::machines

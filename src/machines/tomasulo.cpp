@@ -1,0 +1,189 @@
+#include "machines/tomasulo.hpp"
+
+#include "isa/operation_class.hpp"
+
+namespace rcpn::machines {
+
+using core::FireCtx;
+using core::InstructionToken;
+using isa::kSlotDst;
+using isa::kSlotSrc1;
+using isa::kSlotSrc2;
+using regfile::ConstOperand;
+using regfile::Operand;
+using regfile::RegRef;
+
+struct TomasuloCore::Payload final : isa::Payload {
+  Fig5Instr instr;
+};
+
+namespace {
+std::uint32_t alu_eval(Fig5Instr::AluOp op, std::uint32_t a, std::uint32_t b) {
+  switch (op) {
+    case Fig5Instr::AluOp::add: return a + b;
+    case Fig5Instr::AluOp::sub: return a - b;
+    case Fig5Instr::AluOp::mul: return a * b;
+    case Fig5Instr::AluOp::xor_op: return a ^ b;
+  }
+  return 0;
+}
+
+// Tomasulo source capture at issue: either the value is current (read it now
+// — the Vj/Vk field) or the newest in-flight writer becomes the tag (Qj/Qk).
+// Only RegRefs can be unreadable, so the cast below is safe.
+void src_capture(Operand* op) {
+  if (op->can_read()) {
+    op->read();
+  } else {
+    static_cast<RegRef*>(op)->capture_writer();
+  }
+}
+
+bool src_ready(const Operand* op) {
+  if (op->value_ready()) return true;
+  return static_cast<const RegRef*>(op)->captured_ready();
+}
+
+void src_fetch(Operand* op) {
+  if (op->value_ready()) return;
+  static_cast<RegRef*>(op)->read_captured();
+}
+}  // namespace
+
+TomasuloCore::TomasuloCore(unsigned rs_entries, unsigned num_fus)
+    : net_("Tomasulo"),
+      rf_(kNumRegs, regfile::WritePolicy::multi_writer),  // renaming (§3.1)
+      dcache_([this](isa::DecodeCache::Entry& e) { bind(e); }),
+      eng_(net_, this),
+      rs_entries_(rs_entries),
+      num_fus_(num_fus) {
+  rf_.add_identity_registers(kNumRegs);
+  build();
+}
+
+void TomasuloCore::bind(isa::DecodeCache::Entry& e) {
+  auto pl = std::make_unique<Payload>();
+  pl->instr = program_[e.pc];
+  const Fig5Instr& i = pl->instr;
+  InstructionToken& t = e.token;
+  t.type = ty_alu_;
+  const core::PlaceId* owner = &t.state;
+
+  auto make_reg = [&](unsigned r) -> Operand* {
+    auto ref = std::make_unique<RegRef>();
+    ref->bind(&rf_, static_cast<regfile::RegisterId>(r), owner);
+    Operand* raw = ref.get();
+    e.operands.push_back(std::move(ref));
+    return raw;
+  };
+  auto make_const = [&](std::uint32_t v) -> Operand* {
+    auto c = std::make_unique<ConstOperand>(v);
+    Operand* raw = c.get();
+    e.operands.push_back(std::move(c));
+    return raw;
+  };
+
+  t.ops[kSlotDst] = make_reg(i.d);
+  t.ops[kSlotSrc1] = make_reg(i.s1);
+  t.ops[kSlotSrc2] = i.s2_is_imm ? make_const(i.imm) : make_reg(i.s2);
+  t.payload = pl.get();
+  e.payload = std::move(pl);
+}
+
+void TomasuloCore::build() {
+  const core::StageId sDisp = net_.add_stage("DISP", 1);
+  const core::StageId sRs = net_.add_stage("RS", rs_entries_);
+  const core::StageId sEx = net_.add_stage("EX", num_fus_);
+  const core::StageId sCdb = net_.add_stage("CDB", 1);
+  disp_ = net_.add_place("DISP", sDisp);
+  rs_ = net_.add_place("RS", sRs);
+  ex_ = net_.add_place("EX", sEx);
+  cdb_ = net_.add_place("CDB", sCdb);
+  ty_alu_ = net_.add_type("ALU");
+
+  // Issue: claim an RS entry, read available sources (Vj/Vk), capture the
+  // producer tag of pending ones (Qj/Qk), and rename the destination
+  // (reserve_write on a multi-writer file == allocate a new name).
+  net_.add_transition("Issue", ty_alu_)
+      .from(disp_)
+      .guard([](FireCtx& ctx) { return ctx.token->ops[kSlotDst]->can_write(); })
+      .action([](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        src_capture(t.ops[kSlotSrc1]);
+        src_capture(t.ops[kSlotSrc2]);
+        t.ops[kSlotDst]->reserve_write();
+      })
+      .to(rs_);
+
+  // Dispatch-to-execute: fires for ANY token in the reservation station whose
+  // operands have arrived (value captured at issue, or the tagged producer
+  // has broadcast) — out-of-order issue is just the enabling rule over a
+  // capacity>1 stage.
+  net_.add_transition("Exec", ty_alu_)
+      .from(rs_)
+      .guard([](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        return src_ready(t.ops[kSlotSrc1]) && src_ready(t.ops[kSlotSrc2]);
+      })
+      .action([this](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        src_fetch(t.ops[kSlotSrc1]);
+        src_fetch(t.ops[kSlotSrc2]);
+        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        // FU latency: multiplies occupy the unit longer.
+        t.next_delay = i.op == Fig5Instr::AluOp::mul ? 3 : 1;
+        if (t.seq < last_exec_seq_) observed_ooo_ = true;
+        if (t.seq > last_exec_seq_) last_exec_seq_ = t.seq;
+      })
+      .to(ex_)
+      .reads_state(cdb_);
+
+  // Broadcast: one result per cycle crosses the common data bus.
+  net_.add_transition("Bcast", ty_alu_)
+      .from(ex_)
+      .action([](FireCtx& ctx) {
+        InstructionToken& t = *ctx.token;
+        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        t.ops[kSlotDst]->set_value(
+            alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
+      })
+      .to(cdb_);
+
+  // Writeback/retire.
+  net_.add_transition("Wb", ty_alu_)
+      .from(cdb_)
+      .action([](FireCtx& ctx) { ctx.token->ops[kSlotDst]->writeback(); })
+      .to(net_.end_place());
+
+  net_.add_independent_transition("Fetch")
+      .guard([this](FireCtx&) { return pc_ < program_.size(); })
+      .action([this](FireCtx& ctx) {
+        InstructionToken* t = dcache_.get(pc_, 0);
+        ++pc_;
+        ctx.engine->emit_instruction(t, disp_);
+      })
+      .to(disp_);
+
+  eng_.build();
+}
+
+void TomasuloCore::load(std::vector<Fig5Instr> program) {
+  program_ = std::move(program);
+  pc_ = 0;
+  rf_.reset();
+  dcache_.clear();
+  eng_.reset();
+  last_exec_seq_ = 0;
+  observed_ooo_ = false;
+}
+
+std::uint64_t TomasuloCore::run(std::uint64_t max_cycles) {
+  const core::Cycle start = eng_.clock();
+  while (!eng_.stopped() && eng_.clock() - start < max_cycles) {
+    eng_.step();
+    if (pc_ >= program_.size() && eng_.tokens_in_flight() == 0) break;
+  }
+  return eng_.clock() - start;
+}
+
+}  // namespace rcpn::machines

@@ -1,0 +1,169 @@
+#include "machines/xscale.hpp"
+
+namespace rcpn::machines {
+
+using arm::OpClass;
+using core::FireCtx;
+
+XScaleConfig::XScaleConfig() {
+  // PXA250-class: 32 KiB / 32-way / 32 B-line caches, higher core:memory
+  // clock ratio than the SA-110.
+  mem.icache = {32 * 1024, 32, 32, 1, 40, true};
+  mem.dcache = {32 * 1024, 32, 32, 1, 40, true};
+}
+
+XScaleSim::XScaleSim(XScaleConfig config)
+    : cfg_(std::move(config)),
+      net_("XScale"),
+      m_(ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}),
+      eng_(net_, &m_, cfg_.engine) {
+  m_.bp = std::make_unique<predictor::Btb>(cfg_.btb_entries);
+  build();
+}
+
+void XScaleSim::build() {
+  const core::StageId sF1 = net_.add_stage("F1", 1);
+  const core::StageId sF2 = net_.add_stage("F2", 1);
+  const core::StageId sID = net_.add_stage("ID", 1);
+  const core::StageId sRF = net_.add_stage("RF", 1);
+  const core::StageId sX1 = net_.add_stage("X1", 1);
+  const core::StageId sX2 = net_.add_stage("X2", 1);
+  const core::StageId sD1 = net_.add_stage("D1", 1);
+  const core::StageId sD2 = net_.add_stage("D2", 1);
+  const core::StageId sM1 = net_.add_stage("M1", 1);
+  const core::StageId sM2 = net_.add_stage("M2", 1);
+  f1_ = net_.add_place("F1", sF1);
+  f2_ = net_.add_place("F2", sF2);
+  id_ = net_.add_place("ID", sID);
+  rf_ = net_.add_place("RF", sRF);
+  x1_ = net_.add_place("X1", sX1);
+  x2_ = net_.add_place("X2", sX2);
+  d1_ = net_.add_place("D1", sD1);
+  d2_ = net_.add_place("D2", sD2);
+  m1_ = net_.add_place("M1", sM1);
+  m2_ = net_.add_place("M2", sM2);
+
+  // All four forwarding sources bypass combinationally within the cycle.
+  net_.stage(sX1).force_two_list(false);
+  net_.stage(sX2).force_two_list(false);
+  net_.stage(sD2).force_two_list(false);
+  net_.stage(sM2).force_two_list(false);
+
+  env_ = PipeEnv{&m_,
+                 /*fwd=*/{x1_, x2_, d2_, m2_},
+                 /*flush_on_redirect=*/{sF1, sF2, sID},
+                 /*drain=*/{rf_, x1_, x2_, d1_, d2_, m1_, m2_},
+                 /*use_predictor=*/true};
+
+  const auto g_issue = +[](void* env, FireCtx& ctx) {
+    return issue_guard(*static_cast<PipeEnv*>(env), ctx);
+  };
+  const auto a_issue = +[](void* env, FireCtx& ctx) {
+    issue_action(*static_cast<PipeEnv*>(env), ctx);
+  };
+  const auto a_exec = +[](void* env, FireCtx& ctx) {
+    execute_action(*static_cast<PipeEnv*>(env), ctx);
+  };
+  const auto a_access = +[](void* env, FireCtx& ctx) {
+    mem_action(*static_cast<PipeEnv*>(env), ctx, /*publish=*/false);
+  };
+  const auto a_publish = +[](void* env, FireCtx& ctx) {
+    publish_action(*static_cast<PipeEnv*>(env), ctx);
+  };
+  const auto a_wb = +[](void* env, FireCtx& ctx) {
+    wb_action(*static_cast<PipeEnv*>(env), ctx);
+  };
+
+  for (unsigned c = 0; c < arm::kNumOpClasses; ++c) {
+    const auto cls = static_cast<OpClass>(c);
+    const std::string name = arm::op_class_name(cls);
+    const core::TypeId ty = net_.add_type(name);
+    assert(ty == static_cast<core::TypeId>(c));
+    (void)ty;
+
+    // Common front end: F2 and ID simply advance the (already decoded,
+    // token-cached) instruction; RF is the issue point.
+    net_.add_transition("F2." + name, ty).from(f1_).to(f2_);
+    net_.add_transition("ID." + name, ty).from(f2_).to(id_);
+    net_.add_transition("RF." + name, ty)
+        .from(id_)
+        .guard(g_issue, &env_)
+        .action(a_issue, &env_)
+        .to(rf_)
+        .reads_state(x1_)
+        .reads_state(x2_)
+        .reads_state(d2_)
+        .reads_state(m2_);
+
+    switch (cls) {
+      case OpClass::load_store:
+      case OpClass::load_store_multiple:
+        // Memory pipe: access (with cache delay) in D1, publish in D2.
+        net_.add_transition("D1." + name, ty)
+            .from(rf_)
+            .action(a_access, &env_)
+            .to(d1_);
+        net_.add_transition("D2." + name, ty)
+            .from(d1_)
+            .action(a_publish, &env_)
+            .to(d2_);
+        net_.add_transition("DWB." + name, ty)
+            .from(d2_)
+            .action(a_wb, &env_)
+            .to(net_.end_place());
+        break;
+      case OpClass::multiply:
+        // MAC pipe: M1 computes (iterating for wide multiplicands), M2
+        // publishes for forwarding.
+        net_.add_transition("M1." + name, ty)
+            .from(rf_)
+            .action(a_exec, &env_)
+            .to(m1_);
+        net_.add_transition("M2." + name, ty)
+            .from(m1_)
+            .action(a_publish, &env_)
+            .to(m2_);
+        net_.add_transition("MWB." + name, ty)
+            .from(m2_)
+            .action(a_wb, &env_)
+            .to(net_.end_place());
+        break;
+      default:
+        // Main pipe (data-processing, branches, SWI): X1 executes/resolves.
+        net_.add_transition("X1." + name, ty)
+            .from(rf_)
+            .action(a_exec, &env_)
+            .to(x1_);
+        net_.add_transition("X2." + name, ty).from(x1_).to(x2_);
+        net_.add_transition("XWB." + name, ty)
+            .from(x2_)
+            .action(a_wb, &env_)
+            .to(net_.end_place());
+        break;
+    }
+  }
+
+  net_.add_independent_transition("F1")
+      .guard(+[](void* env, FireCtx&) {
+        return !static_cast<XScaleSim*>(env)->m_.sys.exited();
+      }, this)
+      .action(+[](void* env, FireCtx& ctx) {
+        auto* self = static_cast<XScaleSim*>(env);
+        fetch_action(self->env_, ctx, self->f1_);
+      }, this)
+      .to(f1_);
+
+  eng_.build();
+}
+
+RunResult XScaleSim::run(const sys::Program& program, std::uint64_t max_cycles) {
+  // Drain leftover tokens from a previous run *before* load_program clears
+  // the decode cache that owns them.
+  eng_.reset();
+  m_.load_program(program);
+  m_.dcache.set_bypass(cfg_.decode_cache_bypass);
+  eng_.run(max_cycles);
+  return collect_result(eng_, m_);
+}
+
+}  // namespace rcpn::machines

@@ -1,0 +1,56 @@
+// XScale RCPN model: the paper's Fig 9 pipeline — "in-order execution,
+// out-of-order completion processor with a relatively complex pipeline".
+//
+//   F1 -> F2 -> ID -> RF -+-> X1 -> X2 -> XWB   (main execute pipe)
+//                         +-> D1 -> D2 -> DWB   (memory pipe)
+//                         +-> M1 -> M2 -> MWB   (MAC pipe)
+//
+// Issue (operand read + reservations) happens entering RF; branches resolve
+// leaving RF with a BTB (128 entries) predicting at fetch — a mispredict
+// squashes the fetch side for the XScale's ~4-cycle penalty. The three pipes
+// complete out of order; the register file runs the multi-writer policy so
+// an older slow writer cannot clobber a newer value (paper §3.1's renaming
+// remark).
+#pragma once
+
+#include "core/engine.hpp"
+#include "machines/arm_machine.hpp"
+#include "machines/strongarm.hpp"  // RunResult / collect_result
+
+namespace rcpn::machines {
+
+struct XScaleConfig {
+  mem::MemorySystemConfig mem;
+  core::EngineOptions engine;
+  std::uint32_t btb_entries = 128;
+  bool decode_cache_bypass = false;
+
+  XScaleConfig();
+};
+
+class XScaleSim {
+ public:
+  explicit XScaleSim(XScaleConfig config = XScaleConfig());
+
+  RunResult run(const sys::Program& program, std::uint64_t max_cycles = ~0ull);
+
+  core::Net& net() { return net_; }
+  core::Engine& engine() { return eng_; }
+  ArmMachine& machine() { return m_; }
+
+ private:
+  void build();
+
+  XScaleConfig cfg_;
+  core::Net net_;
+  ArmMachine m_;
+  core::Engine eng_;
+  PipeEnv env_;
+  core::PlaceId f1_ = core::kNoPlace, f2_ = core::kNoPlace, id_ = core::kNoPlace,
+                rf_ = core::kNoPlace;
+  core::PlaceId x1_ = core::kNoPlace, x2_ = core::kNoPlace;
+  core::PlaceId d1_ = core::kNoPlace, d2_ = core::kNoPlace;
+  core::PlaceId m1_ = core::kNoPlace, m2_ = core::kNoPlace;
+};
+
+}  // namespace rcpn::machines

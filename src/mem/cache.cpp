@@ -1,0 +1,93 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace rcpn::mem {
+
+Cache::Cache(const CacheConfig& config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  assert(util::is_pow2(config_.line_bytes) && util::is_pow2(config_.size_bytes));
+  const std::uint32_t num_lines = config_.size_bytes / config_.line_bytes;
+  assert(config_.assoc >= 1 && config_.assoc <= num_lines);
+  num_sets_ = num_lines / config_.assoc;
+  assert(util::is_pow2(num_sets_));
+  offset_bits_ = util::log2_exact(config_.line_bytes);
+  index_bits_ = util::log2_exact(num_sets_);
+  lines_.assign(static_cast<std::size_t>(num_sets_) * config_.assoc, Line{});
+}
+
+std::uint32_t Cache::set_index(std::uint32_t addr) const {
+  return (addr >> offset_bits_) & (num_sets_ - 1);
+}
+
+std::uint32_t Cache::tag_of(std::uint32_t addr) const {
+  return addr >> (offset_bits_ + index_bits_);
+}
+
+std::uint32_t Cache::access_slow(std::uint32_t addr, bool is_write) {
+  ++stats_.accesses;
+  ++lru_clock_;
+  const std::uint32_t set = set_index(addr);
+  const std::uint32_t tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+
+  for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      line.lru = lru_clock_;
+      if (is_write) line.dirty = true;
+      last_block_ = addr >> offset_bits_;
+      last_line_ = &line;
+      return config_.hit_latency;
+    }
+  }
+
+  ++stats_.misses;
+  if (is_write && !config_.write_allocate) {
+    // Write-around: no fill; pay the memory latency.
+    return config_.hit_latency + config_.miss_penalty;
+  }
+
+  // Fill: evict LRU way.
+  Line* victim = base;
+  for (std::uint32_t w = 1; w < config_.assoc; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = lru_clock_;
+  victim->dirty = is_write;
+  last_block_ = addr >> offset_bits_;
+  last_line_ = victim;
+  return config_.hit_latency + config_.miss_penalty;
+}
+
+bool Cache::contains(std::uint32_t addr) const {
+  const std::uint32_t set = set_index(addr);
+  const std::uint32_t tag = tag_of(addr);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+  for (std::uint32_t w = 0; w < config_.assoc; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::reset() {
+  for (Line& line : lines_) line = Line{};
+  lru_clock_ = 0;
+  stats_ = CacheStats{};
+  last_block_ = 0xffff'ffff;
+  last_line_ = nullptr;
+}
+
+}  // namespace rcpn::mem

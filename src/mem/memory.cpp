@@ -1,0 +1,79 @@
+#include "mem/memory.hpp"
+
+#include <cstring>
+
+namespace rcpn::mem {
+
+namespace {
+constexpr std::uint32_t page_id(std::uint32_t addr) { return addr >> Memory::kPageBits; }
+constexpr std::uint32_t page_off(std::uint32_t addr) {
+  return addr & (Memory::kPageSize - 1);
+}
+}  // namespace
+
+const std::uint8_t* Memory::page_for_read(std::uint32_t addr) const {
+  const std::uint32_t id = page_id(addr);
+  if (id == last_page_id_) return last_page_;
+  auto it = pages_.find(id);
+  if (it == pages_.end()) return nullptr;
+  last_page_id_ = id;
+  last_page_ = it->second.get();
+  return last_page_;
+}
+
+std::uint8_t* Memory::page_for_write(std::uint32_t addr) {
+  const std::uint32_t id = page_id(addr);
+  if (id == last_page_id_) return last_page_;
+  auto& slot = pages_[id];
+  if (!slot) {
+    slot = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memset(slot.get(), 0, kPageSize);
+  }
+  last_page_id_ = id;
+  last_page_ = slot.get();
+  return last_page_;
+}
+
+std::uint8_t Memory::read8(std::uint32_t addr) const {
+  const std::uint8_t* p = page_for_read(addr);
+  return p ? p[page_off(addr)] : 0;
+}
+
+std::uint16_t Memory::read16(std::uint32_t addr) const {
+  addr &= ~1u;
+  return static_cast<std::uint16_t>(read8(addr) | (read8(addr + 1) << 8));
+}
+
+std::uint32_t Memory::read32(std::uint32_t addr) const {
+  addr &= ~3u;
+  const std::uint8_t* p = page_for_read(addr);
+  if (!p) return 0;
+  const std::uint32_t off = page_off(addr);
+  // Aligned word never crosses a page (page size is a multiple of 4).
+  std::uint32_t v;
+  std::memcpy(&v, p + off, 4);  // host is little-endian like ARM
+  return v;
+}
+
+void Memory::write8(std::uint32_t addr, std::uint8_t v) {
+  page_for_write(addr)[page_off(addr)] = v;
+}
+
+void Memory::write16(std::uint32_t addr, std::uint16_t v) {
+  addr &= ~1u;
+  write8(addr, static_cast<std::uint8_t>(v));
+  write8(addr + 1, static_cast<std::uint8_t>(v >> 8));
+}
+
+void Memory::write32(std::uint32_t addr, std::uint32_t v) {
+  addr &= ~3u;
+  std::uint8_t* p = page_for_write(addr);
+  std::memcpy(p + page_off(addr), &v, 4);
+}
+
+void Memory::load(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    write8(addr + static_cast<std::uint32_t>(i), bytes[i]);
+}
+
+}  // namespace rcpn::mem

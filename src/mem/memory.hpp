@@ -1,0 +1,53 @@
+// Sparse paged byte-addressable memory (functional storage).
+//
+// Caches in this codebase are timing-only (they return delays and keep
+// hit/miss state); the architectural bytes always live here. This mirrors
+// the common cycle-accurate-simulator split and matches the paper's use of a
+// `mem` component whose delay() feeds token delays (Fig 5, transition M).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+namespace rcpn::mem {
+
+class Memory {
+ public:
+  static constexpr unsigned kPageBits = 12;  // 4 KiB pages
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+
+  std::uint8_t read8(std::uint32_t addr) const;
+  std::uint16_t read16(std::uint32_t addr) const;
+  /// Word accesses are forced to natural alignment (ARM semantics: the low
+  /// address bits are ignored for the storage access).
+  std::uint32_t read32(std::uint32_t addr) const;
+
+  void write8(std::uint32_t addr, std::uint8_t v);
+  void write16(std::uint32_t addr, std::uint16_t v);
+  void write32(std::uint32_t addr, std::uint32_t v);
+
+  void load(std::uint32_t addr, std::span<const std::uint8_t> bytes);
+
+  /// Number of resident pages (tests / footprint reporting).
+  std::size_t resident_pages() const { return pages_.size(); }
+
+  void clear() {
+    pages_.clear();
+    last_page_id_ = 0xffff'ffff;
+    last_page_ = nullptr;
+  }
+
+ private:
+  const std::uint8_t* page_for_read(std::uint32_t addr) const;
+  std::uint8_t* page_for_write(std::uint32_t addr);
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<std::uint8_t[]>> pages_;
+  // One-entry translation cache: accesses are strongly page-local (fetch
+  // streams, stack, table walks), so most lookups skip the hash table.
+  mutable std::uint32_t last_page_id_ = 0xffff'ffff;
+  mutable std::uint8_t* last_page_ = nullptr;
+};
+
+}  // namespace rcpn::mem

@@ -1,0 +1,8 @@
+#include "mem/memory_system.hpp"
+
+namespace rcpn::mem {
+
+MemorySystem::MemorySystem(const MemorySystemConfig& config)
+    : config_(config), icache_(config.icache, "icache"), dcache_(config.dcache, "dcache") {}
+
+}  // namespace rcpn::mem

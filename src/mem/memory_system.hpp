@@ -1,0 +1,53 @@
+// MemorySystem: functional memory + timing caches bundled behind the two
+// calls pipeline models need — fetch_delay(pc) for the fetch transition and
+// data_delay(addr) for load/store transitions (the `mem` component referenced
+// directly by RCPN transitions in the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+
+namespace rcpn::mem {
+
+struct MemorySystemConfig {
+  CacheConfig icache;
+  CacheConfig dcache;
+  bool enable_icache = true;
+  bool enable_dcache = true;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemorySystemConfig& config = {});
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+  Cache& icache() { return icache_; }
+  Cache& dcache() { return dcache_; }
+  const Cache& icache() const { return icache_; }
+  const Cache& dcache() const { return dcache_; }
+
+  /// Timing of an instruction fetch at `pc` (cycles).
+  std::uint32_t fetch_delay(std::uint32_t pc) {
+    return config_.enable_icache ? icache_.access(pc, false) : 1;
+  }
+  /// Timing of a data access (cycles) — paper's mem.delay(addr).
+  std::uint32_t data_delay(std::uint32_t addr, bool is_write) {
+    return config_.enable_dcache ? dcache_.access(addr, is_write) : 1;
+  }
+
+  void reset_timing() {
+    icache_.reset();
+    dcache_.reset();
+  }
+
+ private:
+  MemorySystemConfig config_;
+  Memory mem_;
+  Cache icache_;
+  Cache dcache_;
+};
+
+}  // namespace rcpn::mem

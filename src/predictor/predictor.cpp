@@ -1,0 +1,80 @@
+#include "predictor/predictor.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace rcpn::predictor {
+
+Prediction StaticNotTaken::predict(std::uint32_t) {
+  ++stats_.lookups;
+  return Prediction{};
+}
+
+void StaticNotTaken::update(std::uint32_t, bool, std::uint32_t, bool mispredicted) {
+  ++stats_.updates;
+  if (mispredicted) ++stats_.mispredicts;
+}
+
+Bimodal::Bimodal(std::uint32_t entries) : entries_(entries), counters_(entries, 1) {
+  assert(util::is_pow2(entries));
+}
+
+void Bimodal::reset() {
+  BranchPredictor::reset();
+  counters_.assign(entries_, 1);
+}
+
+Prediction Bimodal::predict(std::uint32_t pc) {
+  ++stats_.lookups;
+  Prediction p;
+  p.taken = counters_[index(pc)] >= 2;
+  if (p.taken) ++stats_.predicted_taken;
+  return p;
+}
+
+void Bimodal::update(std::uint32_t pc, bool taken, std::uint32_t, bool mispredicted) {
+  ++stats_.updates;
+  if (mispredicted) ++stats_.mispredicts;
+  std::uint8_t& c = counters_[index(pc)];
+  if (taken && c < 3) ++c;
+  if (!taken && c > 0) --c;
+}
+
+Btb::Btb(std::uint32_t entries) : entries_(entries), table_(entries) {
+  assert(util::is_pow2(entries));
+}
+
+void Btb::reset() {
+  BranchPredictor::reset();
+  table_.assign(entries_, Entry{});
+}
+
+Prediction Btb::predict(std::uint32_t pc) {
+  ++stats_.lookups;
+  const Entry& e = table_[index(pc)];
+  Prediction p;
+  if (e.valid && e.tag == pc) {
+    p.taken = e.counter >= 2;
+    p.target = e.target;
+    p.target_known = true;
+    if (p.taken) ++stats_.predicted_taken;
+  }
+  return p;
+}
+
+void Btb::update(std::uint32_t pc, bool taken, std::uint32_t target, bool mispredicted) {
+  ++stats_.updates;
+  if (mispredicted) ++stats_.mispredicts;
+  Entry& e = table_[index(pc)];
+  if (e.valid && e.tag == pc) {
+    if (taken && e.counter < 3) ++e.counter;
+    if (!taken && e.counter > 0) --e.counter;
+    if (taken) e.target = target;
+  } else if (taken) {
+    // Allocate on taken branches only (typical BTB policy).
+    e = Entry{pc, target, 2, true};
+  }
+}
+
+}  // namespace rcpn::predictor

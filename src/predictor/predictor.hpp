@@ -1,0 +1,90 @@
+// Branch predictors. RCPN transitions reference these "non-pipeline units"
+// directly (paper §3, "Transition"): the fetch transition asks for a
+// prediction, the branch-resolution transition updates the tables and
+// triggers a flush on mispredict.
+//
+// Three variants:
+//  * StaticNotTaken — SA-110 has no branch prediction hardware;
+//  * Bimodal       — classic 2-bit saturating counter table;
+//  * Btb           — tagged branch target buffer with 2-bit counters
+//                    (XScale's 128-entry BTB).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rcpn::predictor {
+
+struct Prediction {
+  bool taken = false;
+  std::uint32_t target = 0;
+  bool target_known = false;  // BTB hit
+};
+
+struct PredictorStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t predicted_taken = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t mispredicts = 0;
+  double mispredict_ratio() const {
+    return updates == 0 ? 0.0
+                        : static_cast<double>(mispredicts) / static_cast<double>(updates);
+  }
+};
+
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+  virtual Prediction predict(std::uint32_t pc) = 0;
+  /// `mispredicted` is the model's verdict (wrong direction or wrong target).
+  virtual void update(std::uint32_t pc, bool taken, std::uint32_t target,
+                      bool mispredicted) = 0;
+  const PredictorStats& stats() const { return stats_; }
+  virtual void reset() { stats_ = PredictorStats{}; }
+
+ protected:
+  PredictorStats stats_;
+};
+
+class StaticNotTaken final : public BranchPredictor {
+ public:
+  Prediction predict(std::uint32_t pc) override;
+  void update(std::uint32_t pc, bool taken, std::uint32_t target,
+              bool mispredicted) override;
+};
+
+class Bimodal final : public BranchPredictor {
+ public:
+  explicit Bimodal(std::uint32_t entries = 512);
+  Prediction predict(std::uint32_t pc) override;
+  void update(std::uint32_t pc, bool taken, std::uint32_t target,
+              bool mispredicted) override;
+  void reset() override;
+
+ private:
+  std::uint32_t index(std::uint32_t pc) const { return (pc >> 2) & (entries_ - 1); }
+  std::uint32_t entries_;
+  std::vector<std::uint8_t> counters_;  // 0..3, taken when >= 2
+};
+
+class Btb final : public BranchPredictor {
+ public:
+  explicit Btb(std::uint32_t entries = 128);
+  Prediction predict(std::uint32_t pc) override;
+  void update(std::uint32_t pc, bool taken, std::uint32_t target,
+              bool mispredicted) override;
+  void reset() override;
+
+ private:
+  struct Entry {
+    std::uint32_t tag = 0;
+    std::uint32_t target = 0;
+    std::uint8_t counter = 0;
+    bool valid = false;
+  };
+  std::uint32_t index(std::uint32_t pc) const { return (pc >> 2) & (entries_ - 1); }
+  std::uint32_t entries_;
+  std::vector<Entry> table_;
+};
+
+}  // namespace rcpn::predictor

@@ -1,0 +1,77 @@
+// The fixed operand interface of RCPN's data-hazard mechanism (paper §3.1).
+//
+// Instruction behaviour is written against this interface only; whether an
+// operand symbol was bound to a register (RegRef) or to a literal (Const) at
+// decode time is invisible to the sub-net describing the instruction. Guard
+// conditions use the Boolean half (can_read / can_read_in / can_write) and
+// transition actions use the effectful half (read / read_in / reserve_write /
+// writeback) — the pairing rules from the paper:
+//
+//     action uses read()          => guard must check can_read()
+//     action uses read_in(s)      => guard must check can_read_in(s)
+//     action uses reserve_write() => guard must check can_write()
+#pragma once
+
+#include <cstdint>
+
+namespace rcpn::regfile {
+
+using Word = std::uint32_t;
+
+/// Identifier of an RCPN place ("state" of an instruction). Mirrors
+/// core::PlaceId without creating a dependency from regfile onto core.
+using PlaceId = std::int16_t;
+constexpr PlaceId kNoPlace = -1;
+
+class Operand {
+ public:
+  virtual ~Operand() = default;
+
+  /// Internal (pipeline-latch) storage. Non-virtual: the value lives in the
+  /// base object so the hot compute path never pays for dispatch.
+  Word value() const { return value_; }
+  void set_value(Word v) {
+    value_ = v;
+    value_ready_ = true;
+  }
+  bool value_ready() const { return value_ready_; }
+
+  /// True if the underlying register holds a committed value (no in-flight
+  /// writer), so read() is safe.
+  virtual bool can_read() const = 0;
+
+  /// True if the in-flight writer of the underlying register currently sits
+  /// in place `s` and has already produced its result — i.e. the value can be
+  /// forwarded from the feedback/bypass path out of stage `s`.
+  virtual bool can_read_in(PlaceId s) const = 0;
+
+  /// Copy the register value into this operand's internal storage.
+  virtual void read() = 0;
+
+  /// Forward: copy the internal value of the writer sitting in place `s`.
+  virtual void read_in(PlaceId s) = 0;
+
+  /// True if a write reservation may be taken (WAW/WAR hazard check).
+  virtual bool can_write() const = 0;
+
+  /// Register this operand (and its owning instruction) as the writer.
+  virtual void reserve_write() = 0;
+
+  /// Commit the internal value to the register and drop the reservation.
+  virtual void writeback() = 0;
+
+  /// Drop any reservation without committing (squash/flush path).
+  virtual void release() = 0;
+
+  /// Non-consuming reads for guard predicates (e.g. evaluating a condition
+  /// code before deciding whether the instruction needs its other operands).
+  /// peek() requires can_read(); peek_in(s) requires can_read_in(s).
+  virtual Word peek() const = 0;
+  virtual Word peek_in(PlaceId s) const = 0;
+
+ protected:
+  Word value_ = 0;
+  bool value_ready_ = false;
+};
+
+}  // namespace rcpn::regfile

@@ -1,0 +1,109 @@
+// RegRef and ConstOperand: the top level of the paper's register model.
+//
+// A RegRef is the per-instruction view of a register — the "pipeline latch
+// that carries instruction data in real hardware". It holds an internal copy
+// of the value so an instruction can read sources early and write its
+// destination late, which is almost equivalent to renaming the register for
+// each individual instruction (paper §3.1).
+//
+// A ConstOperand binds a literal (immediate field, or a decode-time-known
+// expression such as pc+8) to the same interface, so instruction behaviour
+// descriptions are uniform over register and constant symbols.
+#pragma once
+
+#include "regfile/operand.hpp"
+#include "regfile/register_file.hpp"
+
+namespace rcpn::regfile {
+
+class RegRef final : public Operand {
+ public:
+  RegRef() = default;
+
+  /// Bind to register `r` of `file`. `owner_place` points at the owning
+  /// instruction token's current-place field; it is how can_read_in(s)
+  /// locates the writer's pipeline state without a dependency on the core
+  /// token type.
+  void bind(RegisterFile* file, RegisterId r, const PlaceId* owner_place);
+
+  /// Prepare for a fresh dynamic instance of the owning instruction
+  /// (decode-cache reuse). Any reservation must already be resolved.
+  void reset_for_reuse();
+
+  bool bound() const { return file_ != nullptr; }
+  RegisterId register_id() const { return reg_; }
+  CellId cell() const { return cell_; }
+  bool reserved() const { return reserved_; }
+  PlaceId owner_place() const { return owner_place_ ? *owner_place_ : kNoPlace; }
+
+  // -- Operand interface ------------------------------------------------------
+  bool can_read() const override;
+  bool can_read_in(PlaceId s) const override;
+  void read() override;
+  void read_in(PlaceId s) override;
+  bool can_write() const override;
+  void reserve_write() override;
+  void writeback() override;
+  void release() override;
+  Word peek() const override { return file_->read_cell(cell_); }
+  Word peek_in(PlaceId s) const override;
+
+  // -- renaming support (paper §3.1: "the implementation of these interfaces
+  //    may vary based on architectural features such as register renaming").
+  //    A Tomasulo-style reader captures its producer at issue (the Qj/Qk tag)
+  //    and later reads that producer's value directly, independent of any
+  //    younger writers of the same architectural register.
+  /// Capture the newest in-flight writer; false if the register is current.
+  bool capture_writer() {
+    writer_tag_ = file_->last_writer(cell_);
+    return writer_tag_ != nullptr;
+  }
+  bool captured() const { return writer_tag_ != nullptr; }
+  /// Has the captured producer computed its result yet?
+  bool captured_ready() const {
+    return writer_tag_ != nullptr && writer_tag_->value_ready();
+  }
+  /// Read the captured producer's value (requires captured_ready()).
+  void read_captured() {
+    value_ = writer_tag_->value();
+    value_ready_ = true;
+    writer_tag_ = nullptr;
+  }
+
+ private:
+  /// Newest in-flight writer of our cell that currently sits in place `s`
+  /// with a ready value; nullptr if none.
+  RegRef* writer_in(PlaceId s) const;
+
+  RegisterFile* file_ = nullptr;
+  const PlaceId* owner_place_ = nullptr;
+  RegRef* writer_tag_ = nullptr;  // captured producer (renaming)
+  std::uint32_t reserve_seq_ = 0;
+  RegisterId reg_ = 0;
+  CellId cell_ = 0;
+  bool reserved_ = false;
+};
+
+class ConstOperand final : public Operand {
+ public:
+  ConstOperand() { value_ready_ = true; }
+  explicit ConstOperand(Word v) {
+    value_ = v;
+    value_ready_ = true;
+  }
+
+  /// Constants are always readable and writes to them are no-ops with
+  /// always-true guards, exactly as the paper prescribes for Const objects.
+  bool can_read() const override { return true; }
+  bool can_read_in(PlaceId) const override { return false; }
+  void read() override {}
+  void read_in(PlaceId) override {}
+  bool can_write() const override { return true; }
+  void reserve_write() override {}
+  void writeback() override {}
+  void release() override { value_ready_ = true; }
+  Word peek() const override { return value_; }
+  Word peek_in(PlaceId) const override { return value_; }
+};
+
+}  // namespace rcpn::regfile

@@ -1,0 +1,16 @@
+#include "sys/program.hpp"
+
+namespace rcpn::sys {
+
+std::size_t Program::image_size() const {
+  std::size_t n = 0;
+  for (const Segment& s : segments) n += s.bytes.size();
+  return n;
+}
+
+void Program::load_into(mem::Memory& memory) const {
+  for (const Segment& s : segments)
+    memory.load(s.addr, {s.bytes.data(), s.bytes.size()});
+}
+
+}  // namespace rcpn::sys

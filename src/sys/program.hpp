@@ -1,0 +1,37 @@
+// Program image: the output of the assembler and the input of every
+// simulator (functional ISS, RCPN models, baseline). A flat list of
+// (address, bytes) segments plus the entry point and initial stack pointer —
+// the moral equivalent of the stripped ELF images the paper loads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/memory.hpp"
+
+namespace rcpn::sys {
+
+struct Segment {
+  std::uint32_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct Program {
+  std::string name;
+  std::uint32_t entry = 0x8000;
+  std::uint32_t initial_sp = 0x0010'0000;
+  std::vector<Segment> segments;
+
+  void add_segment(std::uint32_t addr, std::vector<std::uint8_t> bytes) {
+    segments.push_back(Segment{addr, std::move(bytes)});
+  }
+
+  /// Total image size in bytes.
+  std::size_t image_size() const;
+
+  /// Copy all segments into `memory`.
+  void load_into(mem::Memory& memory) const;
+};
+
+}  // namespace rcpn::sys

@@ -1,0 +1,64 @@
+#include "sys/syscalls.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace rcpn::sys {
+
+void SyscallHandler::emit(const std::string& s) {
+  output_ += s;
+  if (echo_) std::fputs(s.c_str(), stdout);
+}
+
+SyscallResult SyscallHandler::handle(const SyscallArgs& args, mem::Memory& memory) {
+  ++calls_;
+  SyscallResult res;
+  switch (args.imm) {
+    case kSwiExit:
+      exited_ = true;
+      exit_code_ = static_cast<int>(args.r0);
+      res.exited = true;
+      break;
+    case kSwiPutChar:
+      emit(std::string(1, static_cast<char>(args.r0 & 0xff)));
+      break;
+    case kSwiPutUint: {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%u", args.r0);
+      emit(buf);
+      break;
+    }
+    case kSwiPutHex: {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", args.r0);
+      emit(buf);
+      break;
+    }
+    case kSwiWrite: {
+      std::string s;
+      s.reserve(args.r1);
+      for (std::uint32_t i = 0; i < args.r1; ++i)
+        s.push_back(static_cast<char>(memory.read8(args.r0 + i)));
+      emit(s);
+      break;
+    }
+    case kSwiNewline:
+      emit("\n");
+      break;
+    default:
+      util::log_line(util::LogLevel::warn,
+                     "unknown SWI " + std::to_string(args.imm) + " ignored");
+      break;
+  }
+  return res;
+}
+
+void SyscallHandler::reset() {
+  output_.clear();
+  exit_code_ = 0;
+  exited_ = false;
+  calls_ = 0;
+}
+
+}  // namespace rcpn::sys

@@ -1,0 +1,64 @@
+// SWI (software interrupt) emulation.
+//
+// The paper's benchmarks "use very few simple system calls (mainly for IO)
+// that should be translated into host operating system calls in the
+// simulator"; this is that translation layer, shared by the functional ISS,
+// the RCPN-generated simulators and the SimpleScalar-style baseline so all
+// simulators observe identical system behaviour. Output is captured in a
+// buffer (tests compare it across simulators) and optionally echoed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/memory.hpp"
+
+namespace rcpn::sys {
+
+/// SWI immediate values understood by the emulator.
+enum Swi : std::uint32_t {
+  kSwiExit = 0,      // r0 = exit code
+  kSwiPutChar = 1,   // r0 = character
+  kSwiPutUint = 2,   // r0 = value, printed in decimal
+  kSwiPutHex = 3,    // r0 = value, printed as 8-digit hex
+  kSwiWrite = 4,     // r0 = address, r1 = length in bytes
+  kSwiNewline = 5,
+};
+
+struct SyscallArgs {
+  std::uint32_t imm = 0;  // SWI immediate
+  std::uint32_t r0 = 0;
+  std::uint32_t r1 = 0;
+};
+
+struct SyscallResult {
+  bool exited = false;
+  bool writes_r0 = false;
+  std::uint32_t r0_out = 0;
+};
+
+class SyscallHandler {
+ public:
+  SyscallResult handle(const SyscallArgs& args, mem::Memory& memory);
+
+  const std::string& output() const { return output_; }
+  int exit_code() const { return exit_code_; }
+  bool exited() const { return exited_; }
+  std::uint64_t calls() const { return calls_; }
+
+  /// Echo program output to stdout as well (examples set this).
+  void set_echo(bool v) { echo_ = v; }
+
+  void reset();
+
+ private:
+  void emit(const std::string& s);
+
+  std::string output_;
+  int exit_code_ = 0;
+  bool exited_ = false;
+  bool echo_ = false;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace rcpn::sys

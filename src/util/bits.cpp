@@ -1,0 +1,3 @@
+// bits.hpp is header-only; this translation unit pins the target in CMake and
+// provides a home for any future out-of-line helpers.
+#include "util/bits.hpp"

@@ -1,0 +1,74 @@
+// Bit-manipulation helpers shared across the ISA, cache and core layers.
+#pragma once
+
+#include <cstdint>
+
+namespace rcpn::util {
+
+/// Extract bits [lo, hi] (inclusive) of `v`, right-aligned.
+constexpr std::uint32_t bits(std::uint32_t v, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  if (width >= 32) return v >> lo;
+  return (v >> lo) & ((1u << width) - 1u);
+}
+
+/// Extract a single bit of `v`.
+constexpr std::uint32_t bit(std::uint32_t v, unsigned pos) {
+  return (v >> pos) & 1u;
+}
+
+/// Sign-extend the low `width` bits of `v` to 32 bits.
+constexpr std::int32_t sign_extend(std::uint32_t v, unsigned width) {
+  const std::uint32_t m = 1u << (width - 1);
+  return static_cast<std::int32_t>((v ^ m) - m);
+}
+
+/// Rotate right by `amount` (mod 32).
+constexpr std::uint32_t rotr32(std::uint32_t v, unsigned amount) {
+  amount &= 31u;
+  if (amount == 0) return v;
+  return (v >> amount) | (v << (32u - amount));
+}
+
+/// True iff `v` is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v) {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Number of set bits (population count) — used by LDM/STM register lists.
+constexpr unsigned popcount32(std::uint32_t v) {
+  unsigned n = 0;
+  while (v != 0) {
+    v &= v - 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Align `v` down to a multiple of `align` (power of two).
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t align) {
+  return v & ~(align - 1);
+}
+
+/// Carry-out of a 32-bit addition a + b + cin.
+constexpr bool add_carry(std::uint32_t a, std::uint32_t b, bool cin) {
+  const std::uint64_t s =
+      static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b) + (cin ? 1 : 0);
+  return (s >> 32) != 0;
+}
+
+/// Signed overflow of a 32-bit addition a + b + cin.
+constexpr bool add_overflow(std::uint32_t a, std::uint32_t b, bool cin) {
+  const std::uint32_t s = a + b + (cin ? 1u : 0u);
+  return (~(a ^ b) & (a ^ s) & 0x8000'0000u) != 0;
+}
+
+}  // namespace rcpn::util

@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+
+namespace rcpn::util {
+namespace {
+
+LogLevel read_env_level() {
+  if (const char* env = std::getenv("RCPN_LOG")) {
+    const int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::warn;
+}
+
+LogLevel g_level = read_env_level();
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::error: return "[error] ";
+    case LogLevel::warn: return "[warn ] ";
+    case LogLevel::info: return "[info ] ";
+    case LogLevel::trace: return "[trace] ";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (!log_enabled(level)) return;
+  std::fputs(prefix(level), stderr);
+  std::fputs(msg.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace rcpn::util

@@ -1,0 +1,21 @@
+// Minimal leveled logger. Cycle-accurate simulators are extremely hot loops,
+// so trace logging must cost nothing when disabled: callers guard with
+// `if (log_enabled(Level::trace))` before formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rcpn::util {
+
+enum class LogLevel : int { none = 0, error = 1, warn = 2, info = 3, trace = 4 };
+
+/// Global log level; default warn. Settable via RCPN_LOG env var (0-4).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+bool log_enabled(LogLevel level);
+
+/// Log a preformatted line with a level prefix to stderr.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace rcpn::util

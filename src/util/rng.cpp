@@ -1,0 +1,1 @@
+#include "util/rng.hpp"

@@ -1,0 +1,40 @@
+// Deterministic xorshift RNG used by property tests and workload generators.
+// Deliberately not std::mt19937: we want identical sequences across platforms
+// and standard-library versions so that fuzzed co-simulation tests are
+// reproducible from a seed printed in a failure message.
+#pragma once
+
+#include <cstdint>
+
+namespace rcpn::util {
+
+class Xorshift64 {
+ public:
+  explicit Xorshift64(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed != 0 ? seed : 1) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rcpn::util

@@ -1,0 +1,33 @@
+// Aligned text-table printer used by the benchmark harnesses to emit the
+// paper's figure rows (Fig 10 / Fig 11) in a readable, diff-able form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rcpn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string fmt(double v, int prec = 1);
+
+  /// Render with column alignment and a header underline.
+  std::string to_string() const;
+
+  /// Render as CSV (for machine post-processing of experiment outputs).
+  std::string to_csv() const;
+
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcpn::util

@@ -1,0 +1,623 @@
+#include "workloads/workloads.hpp"
+
+#include <stdexcept>
+
+#include "arm/assembler.hpp"
+
+namespace rcpn::workloads {
+
+namespace {
+
+std::string with_scale(const char* src, unsigned scale) {
+  std::string s(src);
+  const std::string key = "@SCALE@";
+  const std::size_t at = s.find(key);
+  if (at != std::string::npos) s.replace(at, key.size(), std::to_string(scale));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// crc — CRC-32 (0xEDB88320) over a pseudo-random buffer; pure ALU + branch.
+// ---------------------------------------------------------------------------
+std::string crc_source(unsigned scale) {
+  static const char* src = R"(
+        .equ BUFLEN, 1024
+_start:
+        ldr sp, =0xF0000
+        bl buf_init
+        ldr r7, =@SCALE@
+        mov r6, #0
+outer:
+        bl crc32_buf
+        eor r6, r0, r6, ror #1
+        subs r7, r7, #1
+        bne outer
+        mov r0, r6
+        swi 3
+        swi 5
+        mov r0, #0
+        swi 0
+
+buf_init:
+        push {r4, lr}
+        ldr r0, =buffer
+        ldr r1, =BUFLEN
+        ldr r2, =12345
+        ldr r3, =1103515245
+bi_loop:
+        mul r4, r2, r3
+        add r2, r4, #251
+        strb r2, [r0], #1
+        subs r1, r1, #1
+        bne bi_loop
+        pop {r4, lr}
+        mov pc, lr
+
+crc32_buf:
+        push {r4, r5, lr}
+        ldr r1, =buffer
+        ldr r2, =BUFLEN
+        mvn r0, #0
+        ldr r5, =0xEDB88320
+cb_byte:
+        ldrb r3, [r1], #1
+        eor r0, r0, r3
+        mov r4, #8
+cb_bit:
+        movs r0, r0, lsr #1
+        eorcs r0, r0, r5
+        subs r4, r4, #1
+        bne cb_bit
+        subs r2, r2, #1
+        bne cb_byte
+        mvn r0, r0
+        pop {r4, r5, lr}
+        mov pc, lr
+
+        .ltorg
+        .align 2
+buffer: .space 1024
+)";
+  return with_scale(src, scale);
+}
+
+// ---------------------------------------------------------------------------
+// adpcm — IMA-style ADPCM encoder: clamps, shifts, table lookups.
+// ---------------------------------------------------------------------------
+std::string adpcm_source(unsigned scale) {
+  static const char* src = R"(
+        .equ NSAMP, 2048
+_start:
+        ldr sp, =0xF0000
+        bl tbl_init
+        ldr r7, =@SCALE@
+        mov r6, #0
+ad_outer:
+        bl adpcm_run
+        eor r6, r6, r0
+        subs r7, r7, #1
+        bne ad_outer
+        mov r0, r6
+        swi 3
+        swi 5
+        mov r0, #0
+        swi 0
+
+; step table: step[0] = 7, step[i+1] = step[i] + (step[i] >> 3) + 1
+tbl_init:
+        ldr r0, =steptab
+        mov r1, #7
+        mov r2, #96
+ti_loop:
+        str r1, [r0], #4
+        add r1, r1, r1, lsr #3
+        add r1, r1, #1
+        subs r2, r2, #1
+        bne ti_loop
+        mov pc, lr
+
+adpcm_run:
+        push {r4, r5, r6, r7, lr}
+        mov r0, #0              ; checksum
+        ldr r1, =98765          ; lcg state
+        mov r2, #0              ; predicted
+        mov r3, #0              ; index
+        mov r4, #7              ; step
+        ldr r5, =NSAMP
+ar_loop:
+        ldr r10, =1103515245
+        mul r6, r1, r10
+        add r1, r6, #251
+        mov r6, r1, lsr #9
+        mov r6, r6, lsl #16
+        mov r6, r6, asr #16     ; signed 16-bit sample
+        sub r7, r6, r2          ; diff
+        mov r8, #0              ; code
+        cmp r7, #0
+        rsblt r7, r7, #0
+        movlt r8, #8            ; sign bit
+        cmp r7, r4
+        orrge r8, r8, #4
+        subge r7, r7, r4
+        mov r10, r4, lsr #1
+        cmp r7, r10
+        orrge r8, r8, #2
+        subge r7, r7, r10
+        mov r10, r4, lsr #2
+        cmp r7, r10
+        orrge r8, r8, #1
+        mov r9, r4, lsr #3      ; vpdiff
+        tst r8, #4
+        addne r9, r9, r4
+        tst r8, #2
+        addne r9, r9, r4, lsr #1
+        tst r8, #1
+        addne r9, r9, r4, lsr #2
+        tst r8, #8
+        addeq r2, r2, r9
+        subne r2, r2, r9
+        ldr r10, =32767
+        cmp r2, r10
+        movgt r2, r10
+        ldr r10, =-32768
+        cmp r2, r10
+        movlt r2, r10
+        and r10, r8, #7
+        ldr r11, =idxtab
+        ldr r10, [r11, r10, lsl #2]
+        add r3, r3, r10
+        cmp r3, #0
+        movlt r3, #0
+        cmp r3, #88
+        movgt r3, #88
+        ldr r11, =steptab
+        ldr r4, [r11, r3, lsl #2]
+        eor r0, r8, r0, ror #4
+        subs r5, r5, #1
+        bne ar_loop
+        pop {r4, r5, r6, r7, lr}
+        mov pc, lr
+
+        .ltorg
+        .align 2
+idxtab: .word -1, -1, -1, -1, 2, 4, 6, 8
+steptab: .space 384
+)";
+  return with_scale(src, scale);
+}
+
+// ---------------------------------------------------------------------------
+// blowfish — 16-round Feistel with generated P-array / S-boxes.
+// ---------------------------------------------------------------------------
+std::string blowfish_source(unsigned scale) {
+  static const char* src = R"(
+        .equ NBLK, 256
+_start:
+        ldr sp, =0xF0000
+        bl bf_init
+        ldr r7, =@SCALE@
+        mov r6, #0
+bf_outer:
+        bl bf_encrypt_all
+        eor r6, r6, r0
+        subs r7, r7, #1
+        bne bf_outer
+        mov r0, r6
+        swi 3
+        swi 5
+        mov r0, #0
+        swi 0
+
+bf_init:
+        push {r4, lr}
+        ldr r0, =ptab
+        ldr r1, =1042           ; 18 P words + 1024 S words
+        ldr r2, =424242
+        ldr r3, =1664525
+fi_loop:
+        mul r4, r2, r3
+        add r2, r4, #223
+        str r2, [r0], #4
+        subs r1, r1, #1
+        bne fi_loop
+        pop {r4, lr}
+        mov pc, lr
+
+bf_encrypt_all:
+        push {r4, r5, r6, lr}
+        mov r0, #0
+        ldr r4, =0x12345678
+        ldr r5, =0x9ABCDEF0
+        ldr r6, =NBLK
+ea_loop:
+        bl bf_encrypt_block
+        eor r0, r4, r0, ror #1
+        eor r0, r0, r5
+        subs r6, r6, #1
+        bne ea_loop
+        pop {r4, r5, r6, lr}
+        mov pc, lr
+
+; one block: L/R in r4/r5
+bf_encrypt_block:
+        push {r8, r9, r10, lr}
+        ldr r8, =ptab
+        mov r9, #16
+eb_round:
+        ldr r10, [r8], #4
+        eor r4, r4, r10
+        ldr r11, =sbox
+        mov r10, r4, lsr #24
+        ldr r10, [r11, r10, lsl #2]
+        add r11, r11, #1024
+        mov r12, r4, lsr #16
+        and r12, r12, #0xFF
+        ldr r12, [r11, r12, lsl #2]
+        add r10, r10, r12
+        add r11, r11, #1024
+        mov r12, r4, lsr #8
+        and r12, r12, #0xFF
+        ldr r12, [r11, r12, lsl #2]
+        eor r10, r10, r12
+        add r11, r11, #1024
+        and r12, r4, #0xFF
+        ldr r12, [r11, r12, lsl #2]
+        add r10, r10, r12
+        eor r5, r5, r10
+        mov r10, r4
+        mov r4, r5
+        mov r5, r10
+        subs r9, r9, #1
+        bne eb_round
+        ldr r10, [r8], #4
+        eor r5, r5, r10
+        ldr r10, [r8], #4
+        eor r4, r4, r10
+        pop {r8, r9, r10, lr}
+        mov pc, lr
+
+        .ltorg
+        .align 2
+ptab:   .space 72
+sbox:   .space 4096
+)";
+  return with_scale(src, scale);
+}
+
+// ---------------------------------------------------------------------------
+// compress — LZW-style hash-table probing (load/store + branch heavy).
+// ---------------------------------------------------------------------------
+std::string compress_source(unsigned scale) {
+  static const char* src = R"(
+        .equ HSIZE, 4096
+        .equ NIN, 4096
+_start:
+        ldr sp, =0xF0000
+        ldr r7, =@SCALE@
+        mov r6, #0
+co_outer:
+        bl compress_run
+        eor r6, r6, r0
+        subs r7, r7, #1
+        bne co_outer
+        mov r0, r6
+        swi 3
+        swi 5
+        mov r0, #0
+        swi 0
+
+compress_run:
+        push {r4, r5, r6, r7, lr}
+        ldr r0, =htab
+        ldr r1, =HSIZE
+        mvn r2, #0
+cr_clr:
+        str r2, [r0], #4
+        subs r1, r1, #1
+        bne cr_clr
+        mov r0, #0              ; checksum
+        ldr r1, =55555          ; lcg
+        mov r2, #0              ; ent
+        mov r3, #256            ; next code
+        ldr r5, =NIN
+cr_loop:
+        ldr r6, =1664525
+        mul r4, r1, r6
+        add r1, r4, #97
+        mov r4, r1, lsr #16
+        and r4, r4, #0xFF
+        add r6, r2, r4, lsl #12 ; fcode
+        eor r7, r2, r4, lsl #4
+        ldr r12, =HSIZE-1
+        and r7, r7, r12
+cr_probe:
+        ldr r11, =htab
+        ldr r10, [r11, r7, lsl #2]
+        cmn r10, #1
+        beq cr_insert
+        cmp r10, r6
+        beq cr_found
+        add r7, r7, #1
+        and r7, r7, r12
+        b cr_probe
+cr_found:
+        ldr r11, =codetab
+        ldr r2, [r11, r7, lsl #2]
+        b cr_next
+cr_insert:
+        ldr r11, =htab
+        str r6, [r11, r7, lsl #2]
+        ldr r11, =codetab
+        str r3, [r11, r7, lsl #2]
+        add r3, r3, #1
+        mov r2, r4
+cr_next:
+        eor r0, r2, r0, ror #3
+        subs r5, r5, #1
+        bne cr_loop
+        pop {r4, r5, r6, r7, lr}
+        mov pc, lr
+
+        .ltorg
+        .align 2
+htab:    .space 16384
+codetab: .space 16384
+)";
+  return with_scale(src, scale);
+}
+
+// ---------------------------------------------------------------------------
+// g721 — ADPCM predictor arithmetic: multiply-accumulate + leaky LMS update.
+// ---------------------------------------------------------------------------
+std::string g721_source(unsigned scale) {
+  static const char* src = R"(
+        .equ NSAMP, 2048
+_start:
+        ldr sp, =0xF0000
+        bl g7_init
+        ldr r7, =@SCALE@
+        mov r6, #0
+g7_outer:
+        bl g721_run
+        eor r6, r6, r0
+        subs r7, r7, #1
+        bne g7_outer
+        mov r0, r6
+        swi 3
+        swi 5
+        mov r0, #0
+        swi 0
+
+g7_init:
+        ldr r0, =state
+        mov r1, #16
+        mov r2, #0
+g7i:
+        str r2, [r0], #4
+        subs r1, r1, #1
+        bne g7i
+        mov pc, lr
+
+g721_run:
+        push {r4, r5, r6, r7, lr}
+        mov r0, #0              ; checksum
+        ldr r1, =31415          ; lcg
+        ldr r5, =NSAMP
+g7_loop:
+        ldr r4, =1664525
+        mul r6, r1, r4
+        add r1, r6, #89
+        mov r6, r1, lsl #17
+        mov r6, r6, asr #17     ; 15-bit signed sample
+        ldr r8, =state          ; dq[0..5], then b[0..5] at +32
+        mov r7, #0              ; sez accumulator
+        mov r9, #6
+g7_mac:
+        ldr r10, [r8]
+        ldr r11, [r8, #32]
+        mul r12, r10, r11
+        add r7, r7, r12, asr #14
+        add r8, r8, #4
+        subs r9, r9, #1
+        bne g7_mac
+        sub r9, r6, r7          ; d = sample - sez
+        mov r10, r9, asr #5     ; quantize
+        cmp r10, #7
+        movgt r10, #7
+        cmn r10, #8
+        mvnlt r10, #7
+        mov r11, r10, lsl #5    ; dq_new
+        ldr r8, =state
+        mov r9, #6
+g7_upd:
+        ldr r12, [r8]
+        mul r4, r12, r10
+        ldr r12, [r8, #32]
+        sub r12, r12, r12, asr #8
+        add r12, r12, r4, asr #10
+        str r12, [r8, #32]
+        add r8, r8, #4
+        subs r9, r9, #1
+        bne g7_upd
+        ldr r8, =state
+        add r8, r8, #16         ; &dq[4]
+        mov r9, #5
+g7_sh:
+        ldr r12, [r8]
+        str r12, [r8, #4]
+        sub r8, r8, #4
+        subs r9, r9, #1
+        bne g7_sh
+        ldr r8, =state
+        str r11, [r8]
+        and r10, r10, #15
+        eor r0, r10, r0, ror #5
+        subs r5, r5, #1
+        bne g7_loop
+        pop {r4, r5, r6, r7, lr}
+        mov pc, lr
+
+        .ltorg
+        .align 2
+state:  .space 64
+)";
+  return with_scale(src, scale);
+}
+
+// ---------------------------------------------------------------------------
+// go — 19x19 board scanning with data-dependent branches.
+// ---------------------------------------------------------------------------
+std::string go_source(unsigned scale) {
+  static const char* src = R"(
+        .equ BAREA, 361
+_start:
+        ldr sp, =0xF0000
+        bl board_init
+        ldr r7, =@SCALE@
+        mov r6, #0
+go_outer:
+        bl board_eval
+        eor r6, r6, r0
+        bl board_mutate
+        subs r7, r7, #1
+        bne go_outer
+        mov r0, r6
+        swi 3
+        swi 5
+        mov r0, #0
+        swi 0
+
+board_init:
+        push {r4, lr}
+        ldr r0, =board
+        ldr r1, =BAREA
+        ldr r2, =777
+        ldr r3, =1103515245
+bo_loop:
+        mul r4, r2, r3
+        add r2, r4, #13
+        mov r4, r2, lsr #20
+        and r4, r4, #3
+        cmp r4, #3
+        moveq r4, #0
+        strb r4, [r0], #1
+        subs r1, r1, #1
+        bne bo_loop
+        pop {r4, lr}
+        mov pc, lr
+
+board_eval:
+        push {r4, r5, r6, r7, lr}
+        mov r0, #0
+        ldr r5, =board
+        mov r8, #0              ; row
+be_row:
+        mov r9, #0              ; col
+be_col:
+        ldrb r6, [r5]
+        cmp r6, #0
+        beq be_next
+        mov r7, #0              ; same-color neighbour count
+        cmp r9, #0
+        beq be_noleft
+        ldrb r10, [r5, #-1]
+        cmp r10, r6
+        addeq r7, r7, #1
+be_noleft:
+        cmp r9, #18
+        beq be_noright
+        ldrb r10, [r5, #1]
+        cmp r10, r6
+        addeq r7, r7, #1
+be_noright:
+        cmp r8, #0
+        beq be_noup
+        ldrb r10, [r5, #-19]
+        cmp r10, r6
+        addeq r7, r7, #1
+be_noup:
+        cmp r8, #18
+        beq be_nodown
+        ldrb r10, [r5, #19]
+        cmp r10, r6
+        addeq r7, r7, #1
+be_nodown:
+        cmp r7, #0
+        moveq r10, #5
+        cmp r7, #1
+        moveq r10, #3
+        cmp r7, #2
+        moveq r10, #2
+        cmp r7, #3
+        moveq r10, #1
+        cmp r7, #4
+        moveq r10, #0
+        cmp r6, #1
+        addeq r0, r0, r10
+        subne r0, r0, r10
+be_next:
+        add r5, r5, #1
+        add r9, r9, #1
+        cmp r9, #19
+        blt be_col
+        add r8, r8, #1
+        cmp r8, #19
+        blt be_row
+        pop {r4, r5, r6, r7, lr}
+        mov pc, lr
+
+board_mutate:
+        push {r4, lr}
+        ldr r0, =mstate
+        ldr r1, [r0]
+        ldr r2, =1664525
+        mul r3, r1, r2
+        add r1, r3, #71
+        str r1, [r0]
+        mov r3, r1, lsr #7
+        mov r3, r3, lsl #23
+        mov r3, r3, lsr #23     ; low 9 bits: 0..511
+        ldr r4, =361
+        cmp r3, r4
+        subge r3, r3, r4
+        and r2, r1, #1
+        add r2, r2, #1
+        ldr r4, =board
+        strb r2, [r4, r3]
+        pop {r4, lr}
+        mov pc, lr
+
+        .ltorg
+        .align 2
+mstate: .word 424242
+board:  .space 361
+)";
+  return with_scale(src, scale);
+}
+
+const std::vector<Workload> kWorkloads = {
+    {"adpcm", "IMA ADPCM encoder (MediaBench)", 15, 1, adpcm_source},
+    {"blowfish", "Feistel block cipher (MiBench)", 15, 1, blowfish_source},
+    {"compress", "LZW hash-probing core (SPEC95)", 12, 1, compress_source},
+    {"crc", "CRC-32 over a buffer (MiBench)", 40, 2, crc_source},
+    {"g721", "G.721 predictor arithmetic (MediaBench)", 6, 1, g721_source},
+    {"go", "Board-scanning game AI (SPEC95)", 150, 5, go_source},
+};
+
+}  // namespace
+
+const std::vector<Workload>& all() { return kWorkloads; }
+
+const Workload* find(const std::string& name) {
+  for (const Workload& w : kWorkloads)
+    if (w.name == name) return &w;
+  return nullptr;
+}
+
+sys::Program build(const Workload& w, unsigned scale) {
+  if (scale == 0) scale = w.default_scale;
+  arm::AssemblyResult res = arm::assemble(w.source(scale), w.name);
+  return std::move(res.program);
+}
+
+}  // namespace rcpn::workloads

@@ -1,0 +1,38 @@
+// The six benchmark kernels of the paper's evaluation (§5): adpcm, blowfish,
+// compress, crc, g721, go — re-created as self-contained ARM7 assembly
+// kernels (see DESIGN.md §2 for the substitution rationale). Each kernel:
+//   * mirrors the dominant instruction mix of its namesake (crc: bitwise ALU
+//     loops; adpcm/g721: fixed-point DSP with multiplies; blowfish: S-box
+//     loads; compress: hash-table probing; go: branchy byte-board scanning);
+//   * is deterministic, self-seeding (embedded LCG data generators), and
+//     prints a checksum via SWI so simulators can be compared end-to-end;
+//   * scales its outer loop with a `scale` parameter: `default_scale` sizes
+//     the Fig 10/11 benchmark runs, `test_scale` keeps tests fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sys/program.hpp"
+
+namespace rcpn::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  unsigned default_scale;
+  unsigned test_scale;
+  std::string (*source)(unsigned scale);
+};
+
+/// All six paper benchmarks, in the paper's order.
+const std::vector<Workload>& all();
+
+/// Lookup by name; nullptr if unknown.
+const Workload* find(const std::string& name);
+
+/// Assemble a workload at the given scale (0 = default_scale).
+sys::Program build(const Workload& w, unsigned scale = 0);
+
+}  // namespace rcpn::workloads

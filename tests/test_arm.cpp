@@ -1,0 +1,369 @@
+// ARM ISA tests: decode classification (the paper's six operation classes),
+// encode/decode round trips, shifter/ALU/flag semantics, addressing modes,
+// condition codes and multiply timing.
+#include <gtest/gtest.h>
+
+#include "arm/arm_isa.hpp"
+#include "arm/disassembler.hpp"
+#include "arm/encode.hpp"
+#include "util/rng.hpp"
+
+namespace rcpn::arm {
+namespace {
+
+TEST(Decode, SixOperationClasses) {
+  // One representative per class, as in the paper's ARM7 model.
+  EXPECT_EQ(decode(enc::dataproc_imm(Cond::al, DpOp::add, false, 0, 1, 5), 0).cls,
+            OpClass::data_proc);
+  EXPECT_EQ(decode(enc::mul(Cond::al, false, 0, 1, 2), 0).cls, OpClass::multiply);
+  EXPECT_EQ(decode(enc::ldr_str_imm(Cond::al, true, false, 0, 1, 4, true, false), 0).cls,
+            OpClass::load_store);
+  EXPECT_EQ(decode(enc::ldm_stm(Cond::al, true, false, true, true, 13, 0x00F0), 0).cls,
+            OpClass::load_store_multiple);
+  EXPECT_EQ(decode(enc::branch(Cond::al, false, 8), 0).cls, OpClass::branch);
+  EXPECT_EQ(decode(enc::swi(Cond::al, 3), 0).cls, OpClass::swi);
+}
+
+TEST(Decode, DataProcFields) {
+  const auto d = decode(enc::dataproc_reg(Cond::ne, DpOp::eor, true, 3, 4, 5,
+                                          ShiftKind::lsr, 7),
+                        0x8000);
+  EXPECT_EQ(d.cond, Cond::ne);
+  EXPECT_EQ(d.dp_op, DpOp::eor);
+  EXPECT_TRUE(d.sets_flags);
+  EXPECT_EQ(d.rd, 3);
+  EXPECT_EQ(d.rn, 4);
+  EXPECT_EQ(d.rm, 5);
+  EXPECT_EQ(d.shift, ShiftKind::lsr);
+  EXPECT_EQ(d.shift_amount, 7);
+  EXPECT_FALSE(d.shift_by_reg);
+}
+
+TEST(Decode, RotatedImmediateExpanded) {
+  const auto enc12 = enc::encode_imm(0xFF000000);
+  ASSERT_TRUE(enc12.has_value());
+  const auto d =
+      decode(enc::dataproc_imm(Cond::al, DpOp::mov, false, 0, 0, *enc12), 0);
+  EXPECT_TRUE(d.imm_operand);
+  EXPECT_EQ(d.imm, 0xFF000000u);
+  EXPECT_TRUE(d.imm_carry_valid);
+  EXPECT_TRUE(d.imm_carry);
+}
+
+TEST(Decode, MovToPcIsBranchClass) {
+  // mov pc, lr must route to the Branch sub-net (control transfer).
+  const auto d = decode(
+      enc::dataproc_reg(Cond::al, DpOp::mov, false, kRegPc, 0, kRegLr,
+                        ShiftKind::lsl, 0),
+      0);
+  EXPECT_EQ(d.cls, OpClass::branch);
+  EXPECT_TRUE(d.branch_via_reg);
+}
+
+TEST(Decode, CompareHasNoDestination) {
+  const auto d = decode(enc::dataproc_imm(Cond::al, DpOp::cmp, true, 0, 2, 9), 0);
+  EXPECT_EQ(d.rd, kNumRegs);
+  EXPECT_FALSE(d.writes_rd());
+  EXPECT_TRUE(d.sets_flags);
+}
+
+TEST(Decode, BranchOffsetSignExtended) {
+  const auto fwd = decode(enc::branch(Cond::al, false, 0x1000), 0x8000);
+  EXPECT_EQ(fwd.branch_offset, 0x1000);
+  const auto bwd = decode(enc::branch(Cond::lt, true, -64), 0x8000);
+  EXPECT_EQ(bwd.branch_offset, -64);
+  EXPECT_TRUE(bwd.link);
+  EXPECT_EQ(bwd.cond, Cond::lt);
+}
+
+TEST(Decode, UnknownEncodingTrapsAsSwi) {
+  const auto d = decode(0xE7000010, 0);  // media/undefined space
+  EXPECT_EQ(d.cls, OpClass::swi);
+  EXPECT_EQ(d.swi_imm, 0xdead00u);
+}
+
+TEST(Decode, RandomRoundTripThroughDisassembler) {
+  // decode(encode(x)) must preserve the semantic fields for a spread of
+  // random but valid encodings.
+  util::Xorshift64 rng(1234);
+  for (int i = 0; i < 500; ++i) {
+    const auto op = static_cast<DpOp>(rng.below(16));
+    const unsigned rd = dp_no_result(op) ? 0 : static_cast<unsigned>(rng.below(13));
+    const unsigned rn = static_cast<unsigned>(rng.below(13));
+    const unsigned rm = static_cast<unsigned>(rng.below(13));
+    const auto shift = static_cast<ShiftKind>(rng.below(4));
+    const unsigned amount = static_cast<unsigned>(rng.below(31) + 1);
+    const bool s = rng.chance(1, 2);
+    const std::uint32_t raw = enc::dataproc_reg(Cond::al, op, s, rd, rn, rm,
+                                                shift, amount);
+    const auto d = decode(raw, 0);
+    EXPECT_EQ(d.dp_op, op);
+    EXPECT_EQ(d.sets_flags, s);
+    if (!dp_no_result(op)) {
+      EXPECT_EQ(d.rd, rd);
+    }
+    if (!dp_no_rn(op)) {
+      EXPECT_EQ(d.rn, rn);
+    }
+    EXPECT_EQ(d.rm, rm);
+    EXPECT_EQ(d.shift, shift);
+    EXPECT_EQ(d.shift_amount, amount);
+    EXPECT_FALSE(disassemble(d).empty());
+  }
+}
+
+TEST(EncodeImm, KnownCases) {
+  EXPECT_EQ(enc::encode_imm(0).value(), 0u);
+  EXPECT_EQ(enc::encode_imm(255).value(), 255u);
+  EXPECT_TRUE(enc::encode_imm(0x400).has_value());       // 1 << 10
+  EXPECT_TRUE(enc::encode_imm(0xFF000000).has_value());
+  EXPECT_FALSE(enc::encode_imm(0x101).has_value());
+  EXPECT_FALSE(enc::encode_imm(0xFFFFFFFF).has_value());
+}
+
+TEST(EncodeImm, RoundTripThroughDecode) {
+  util::Xorshift64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.below(256))
+                            << (2 * rng.below(16));
+    const auto enc12 = enc::encode_imm(v);
+    ASSERT_TRUE(enc12.has_value()) << v;
+    const auto d =
+        decode(enc::dataproc_imm(Cond::al, DpOp::mov, false, 1, 0, *enc12), 0);
+    EXPECT_EQ(d.imm, v);
+  }
+}
+
+// -- condition codes -----------------------------------------------------------
+
+TEST(CondPass, AllSixteenConditions) {
+  const std::uint32_t N = kFlagN, Z = kFlagZ, C = kFlagC, V = kFlagV;
+  EXPECT_TRUE(cond_pass(Cond::eq, Z));
+  EXPECT_FALSE(cond_pass(Cond::eq, 0));
+  EXPECT_TRUE(cond_pass(Cond::ne, 0));
+  EXPECT_TRUE(cond_pass(Cond::cs, C));
+  EXPECT_TRUE(cond_pass(Cond::cc, 0));
+  EXPECT_TRUE(cond_pass(Cond::mi, N));
+  EXPECT_TRUE(cond_pass(Cond::pl, 0));
+  EXPECT_TRUE(cond_pass(Cond::vs, V));
+  EXPECT_TRUE(cond_pass(Cond::vc, 0));
+  EXPECT_TRUE(cond_pass(Cond::hi, C));
+  EXPECT_FALSE(cond_pass(Cond::hi, C | Z));
+  EXPECT_TRUE(cond_pass(Cond::ls, Z));
+  EXPECT_TRUE(cond_pass(Cond::ge, N | V));
+  EXPECT_TRUE(cond_pass(Cond::ge, 0));
+  EXPECT_TRUE(cond_pass(Cond::lt, N));
+  EXPECT_TRUE(cond_pass(Cond::lt, V));
+  EXPECT_TRUE(cond_pass(Cond::gt, 0));
+  EXPECT_FALSE(cond_pass(Cond::gt, Z));
+  EXPECT_TRUE(cond_pass(Cond::le, Z));
+  EXPECT_TRUE(cond_pass(Cond::al, 0));
+  EXPECT_FALSE(cond_pass(Cond::nv, N | Z | C | V));
+}
+
+// -- shifter semantics -----------------------------------------------------------
+
+DecodedInstruction reg_shift(ShiftKind k, unsigned amount, bool by_reg = false) {
+  DecodedInstruction d;
+  d.imm_operand = false;
+  d.shift = k;
+  d.shift_amount = static_cast<std::uint8_t>(amount);
+  d.shift_by_reg = by_reg;
+  return d;
+}
+
+TEST(Shifter, LslBasics) {
+  EXPECT_EQ(eval_shifter(reg_shift(ShiftKind::lsl, 4), 0x1, 0, false).value, 0x10u);
+  // Carry = last bit shifted out.
+  EXPECT_TRUE(eval_shifter(reg_shift(ShiftKind::lsl, 1), 0x80000000, 0, false).carry);
+  EXPECT_FALSE(eval_shifter(reg_shift(ShiftKind::lsl, 1), 0x1, 0, false).carry);
+}
+
+TEST(Shifter, LsrImmediateZeroMeans32) {
+  const auto out = eval_shifter(reg_shift(ShiftKind::lsr, 0), 0x80000000, 0, false);
+  EXPECT_EQ(out.value, 0u);
+  EXPECT_TRUE(out.carry);  // bit 31
+}
+
+TEST(Shifter, AsrSignFill) {
+  EXPECT_EQ(eval_shifter(reg_shift(ShiftKind::asr, 4), 0x80000000, 0, false).value,
+            0xF8000000u);
+  // ASR #32 (encoded 0): all sign.
+  EXPECT_EQ(eval_shifter(reg_shift(ShiftKind::asr, 0), 0x80000000, 0, false).value,
+            0xFFFFFFFFu);
+}
+
+TEST(Shifter, RorAndRrx) {
+  EXPECT_EQ(eval_shifter(reg_shift(ShiftKind::ror, 8), 0x000000FF, 0, false).value,
+            0xFF000000u);
+  const auto rrx = eval_shifter(reg_shift(ShiftKind::rrx, 0), 0x3, 0, /*carry*/ true);
+  EXPECT_EQ(rrx.value, 0x80000001u);
+  EXPECT_TRUE(rrx.carry);
+}
+
+TEST(Shifter, RegisterShiftAmountZeroKeepsCarry) {
+  const auto out =
+      eval_shifter(reg_shift(ShiftKind::lsl, 0, /*by_reg=*/true), 0xFF, /*rs=*/0, true);
+  EXPECT_EQ(out.value, 0xFFu);
+  EXPECT_TRUE(out.carry);
+}
+
+TEST(Shifter, RegisterShiftOver31) {
+  auto d = reg_shift(ShiftKind::lsl, 0, true);
+  EXPECT_EQ(eval_shifter(d, 0xFF, 32, false).value, 0u);
+  EXPECT_EQ(eval_shifter(d, 0xFF, 33, false).value, 0u);
+  EXPECT_FALSE(eval_shifter(d, 0xFF, 33, false).carry);
+}
+
+// -- ALU semantics -----------------------------------------------------------
+
+DecodedInstruction dp(DpOp op, std::uint32_t imm, bool s = true) {
+  DecodedInstruction d;
+  d.cls = OpClass::data_proc;
+  d.dp_op = op;
+  d.sets_flags = s;
+  d.imm_operand = true;
+  d.imm = imm;
+  return d;
+}
+
+TEST(DataProc, AddSetsCarryAndOverflow) {
+  auto out = exec_dataproc(dp(DpOp::add, 1), 0xFFFFFFFF, 0, 0, 0);
+  EXPECT_EQ(out.result, 0u);
+  EXPECT_TRUE(out.nzcv & kFlagZ);
+  EXPECT_TRUE(out.nzcv & kFlagC);
+  EXPECT_FALSE(out.nzcv & kFlagV);
+
+  out = exec_dataproc(dp(DpOp::add, 1), 0x7FFFFFFF, 0, 0, 0);
+  EXPECT_EQ(out.result, 0x80000000u);
+  EXPECT_TRUE(out.nzcv & kFlagN);
+  EXPECT_TRUE(out.nzcv & kFlagV);
+}
+
+TEST(DataProc, SubBorrowSemantics) {
+  // ARM: C is NOT-borrow.
+  auto out = exec_dataproc(dp(DpOp::sub, 3), 5, 0, 0, 0);
+  EXPECT_EQ(out.result, 2u);
+  EXPECT_TRUE(out.nzcv & kFlagC);
+  out = exec_dataproc(dp(DpOp::sub, 5), 3, 0, 0, 0);
+  EXPECT_EQ(out.result, 0xFFFFFFFEu);
+  EXPECT_FALSE(out.nzcv & kFlagC);
+  EXPECT_TRUE(out.nzcv & kFlagN);
+}
+
+TEST(DataProc, AdcSbcUseCarryIn) {
+  EXPECT_EQ(exec_dataproc(dp(DpOp::adc, 10), 5, 0, 0, kFlagC).result, 16u);
+  EXPECT_EQ(exec_dataproc(dp(DpOp::adc, 10), 5, 0, 0, 0).result, 15u);
+  EXPECT_EQ(exec_dataproc(dp(DpOp::sbc, 3), 10, 0, 0, kFlagC).result, 7u);
+  EXPECT_EQ(exec_dataproc(dp(DpOp::sbc, 3), 10, 0, 0, 0).result, 6u);
+}
+
+TEST(DataProc, RsbReverses) {
+  EXPECT_EQ(exec_dataproc(dp(DpOp::rsb, 10), 3, 0, 0, 0).result, 7u);
+}
+
+TEST(DataProc, LogicalOpsPreserveV) {
+  const auto out = exec_dataproc(dp(DpOp::and_, 0xF0), 0xFF, 0, 0, kFlagV);
+  EXPECT_EQ(out.result, 0xF0u);
+  EXPECT_TRUE(out.nzcv & kFlagV);  // V untouched by logical ops
+}
+
+TEST(DataProc, MovMvnBicOrrEor) {
+  EXPECT_EQ(exec_dataproc(dp(DpOp::mov, 0xAB), 0, 0, 0, 0).result, 0xABu);
+  EXPECT_EQ(exec_dataproc(dp(DpOp::mvn, 0), 0, 0, 0, 0).result, 0xFFFFFFFFu);
+  EXPECT_EQ(exec_dataproc(dp(DpOp::bic, 0x0F), 0xFF, 0, 0, 0).result, 0xF0u);
+  EXPECT_EQ(exec_dataproc(dp(DpOp::orr, 0x0F), 0xF0, 0, 0, 0).result, 0xFFu);
+  EXPECT_EQ(exec_dataproc(dp(DpOp::eor, 0xFF), 0x0F, 0, 0, 0).result, 0xF0u);
+}
+
+TEST(DataProc, ComparesOnlySetFlags) {
+  const auto out = exec_dataproc(dp(DpOp::cmp, 5), 5, 0, 0, 0);
+  EXPECT_FALSE(out.writes_rd);
+  EXPECT_TRUE(out.writes_flags);
+  EXPECT_TRUE(out.nzcv & kFlagZ);
+}
+
+TEST(Multiply, MulAndMla) {
+  DecodedInstruction d;
+  d.cls = OpClass::multiply;
+  EXPECT_EQ(exec_mul(d, 6, 7, 0, 0).result, 42u);
+  d.accumulate = true;
+  EXPECT_EQ(exec_mul(d, 6, 7, 100, 0).result, 142u);
+}
+
+TEST(Multiply, EarlyTerminationCycles) {
+  EXPECT_EQ(mul_extra_cycles(0x00000012), 0u);
+  EXPECT_EQ(mul_extra_cycles(0xFFFFFFF0), 0u);  // small negative
+  EXPECT_EQ(mul_extra_cycles(0x00001234), 1u);
+  EXPECT_EQ(mul_extra_cycles(0x00123456), 2u);
+  EXPECT_EQ(mul_extra_cycles(0x12345678), 3u);
+}
+
+// -- addressing --------------------------------------------------------------
+
+TEST(LsAddress, PreIndexedImmediate) {
+  auto d = decode(enc::ldr_str_imm(Cond::al, true, false, 0, 1, 8, true, false), 0);
+  const auto a = ls_address(d, 0x1000, 0, 0);
+  EXPECT_EQ(a.ea, 0x1008u);
+  EXPECT_FALSE(a.rn_writeback);
+}
+
+TEST(LsAddress, PreIndexedWritebackNegative) {
+  auto d = decode(enc::ldr_str_imm(Cond::al, true, false, 0, 1, -8, true, true), 0);
+  const auto a = ls_address(d, 0x1000, 0, 0);
+  EXPECT_EQ(a.ea, 0xFF8u);
+  EXPECT_TRUE(a.rn_writeback);
+  EXPECT_EQ(a.rn_after, 0xFF8u);
+}
+
+TEST(LsAddress, PostIndexedAlwaysWritesBack) {
+  auto d = decode(enc::ldr_str_imm(Cond::al, true, false, 0, 1, 4, false, false), 0);
+  const auto a = ls_address(d, 0x1000, 0, 0);
+  EXPECT_EQ(a.ea, 0x1000u);
+  EXPECT_TRUE(a.rn_writeback);
+  EXPECT_EQ(a.rn_after, 0x1004u);
+}
+
+TEST(LsAddress, ScaledRegisterOffset) {
+  auto d = decode(enc::ldr_str_reg(Cond::al, true, false, 0, 1, 2, ShiftKind::lsl, 2,
+                                   true, true, false),
+                  0);
+  const auto a = ls_address(d, 0x1000, /*rm=*/5, 0);
+  EXPECT_EQ(a.ea, 0x1000u + 20u);
+}
+
+TEST(LsmPlanTest, IncrementAfter) {
+  DecodedInstruction d;
+  d.reg_list = 0b10110;  // r1, r2, r4
+  d.lsm_up = true;
+  d.lsm_before = false;
+  const auto plan = lsm_plan(d, 0x1000);
+  EXPECT_EQ(plan.count, 3u);
+  EXPECT_EQ(plan.start, 0x1000u);
+  EXPECT_EQ(plan.rn_after, 0x100Cu);
+}
+
+TEST(LsmPlanTest, DecrementBeforeIsFullDescendingPush) {
+  DecodedInstruction d;
+  d.reg_list = 0b110;  // r1, r2
+  d.lsm_up = false;
+  d.lsm_before = true;
+  const auto plan = lsm_plan(d, 0x1000);
+  EXPECT_EQ(plan.start, 0x0FF8u);
+  EXPECT_EQ(plan.rn_after, 0x0FF8u);
+}
+
+TEST(Disassembler, RepresentativeMnemonics) {
+  EXPECT_EQ(disassemble(enc::dataproc_imm(Cond::al, DpOp::add, false, 0, 1, 5), 0),
+            "add r0, r1, #5");
+  EXPECT_EQ(disassemble(enc::mul(Cond::al, false, 2, 3, 4), 0), "mul r2, r3, r4");
+  EXPECT_EQ(disassemble(enc::swi(Cond::al, 1), 0), "swi 1");
+  EXPECT_EQ(
+      disassemble(enc::ldr_str_imm(Cond::al, true, false, 0, 13, 4, true, false), 0),
+      "ldr r0, [sp, #4]");
+  EXPECT_EQ(disassemble(enc::ldm_stm(Cond::al, true, false, true, true, 13, 0x30), 0),
+            "ldmia sp!, {r4-r5}");
+}
+
+}  // namespace
+}  // namespace rcpn::arm

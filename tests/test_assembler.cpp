@@ -1,0 +1,291 @@
+// Assembler tests: syntax coverage, label resolution, literal pools,
+// directives, error reporting, and full encode->decode round trips.
+#include <gtest/gtest.h>
+
+#include "arm/assembler.hpp"
+#include "arm/disassembler.hpp"
+#include "mem/memory.hpp"
+
+namespace rcpn::arm {
+namespace {
+
+std::uint32_t word_at(const sys::Program& p, std::uint32_t addr) {
+  mem::Memory m;
+  p.load_into(m);
+  return m.read32(addr);
+}
+
+TEST(Assembler, MovImmediate) {
+  const auto r = assemble("mov r0, #42\n");
+  const auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(d.cls, OpClass::data_proc);
+  EXPECT_EQ(d.dp_op, DpOp::mov);
+  EXPECT_EQ(d.rd, 0);
+  EXPECT_EQ(d.imm, 42u);
+}
+
+TEST(Assembler, ThreeOperandWithShift) {
+  const auto r = assemble("add r1, r2, r3, lsl #4\n");
+  const auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(d.dp_op, DpOp::add);
+  EXPECT_EQ(d.rd, 1);
+  EXPECT_EQ(d.rn, 2);
+  EXPECT_EQ(d.rm, 3);
+  EXPECT_EQ(d.shift, ShiftKind::lsl);
+  EXPECT_EQ(d.shift_amount, 4);
+}
+
+TEST(Assembler, RegisterShiftedRegister) {
+  const auto r = assemble("mov r0, r1, lsr r2\n");
+  const auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_TRUE(d.shift_by_reg);
+  EXPECT_EQ(d.rs, 2);
+  EXPECT_EQ(d.shift, ShiftKind::lsr);
+}
+
+TEST(Assembler, ConditionAndSFlagSuffixes) {
+  const auto r = assemble("addges r0, r0, #1\nsubs r1, r1, #1\nmoveq r2, #0\n");
+  auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(d.cond, Cond::ge);
+  EXPECT_TRUE(d.sets_flags);
+  d = decode(word_at(r.program, 0x8004), 0x8004);
+  EXPECT_EQ(d.cond, Cond::al);
+  EXPECT_TRUE(d.sets_flags);
+  d = decode(word_at(r.program, 0x8008), 0x8008);
+  EXPECT_EQ(d.cond, Cond::eq);
+  EXPECT_FALSE(d.sets_flags);
+}
+
+TEST(Assembler, BlsIsBranchLowerSame) {
+  const auto r = assemble("x: bls x\nbllt x\n");
+  auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(d.cls, OpClass::branch);
+  EXPECT_FALSE(d.link);
+  EXPECT_EQ(d.cond, Cond::ls);
+  d = decode(word_at(r.program, 0x8004), 0x8004);
+  EXPECT_TRUE(d.link);
+  EXPECT_EQ(d.cond, Cond::lt);
+}
+
+TEST(Assembler, BranchTargetsResolveForwardAndBackward) {
+  const auto r = assemble(R"(
+start:  b fwd
+        nop
+fwd:    b start
+)");
+  auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(0x8000 + 8 + d.branch_offset, 0x8008);
+  d = decode(word_at(r.program, 0x8008), 0x8008);
+  EXPECT_EQ(0x8008 + 8 + d.branch_offset, 0x8000);
+}
+
+TEST(Assembler, LoadStoreAddressingModes) {
+  const auto r = assemble(R"(
+        ldr r0, [r1]
+        ldr r0, [r1, #4]
+        ldr r0, [r1, #-4]!
+        ldr r0, [r1], #8
+        ldrb r0, [r1, r2]
+        str r0, [r1, r2, lsl #2]
+        strb r0, [r1], #1
+)");
+  auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_TRUE(d.is_load);
+  EXPECT_EQ(d.offset_imm, 0u);
+  d = decode(word_at(r.program, 0x8004), 0x8004);
+  EXPECT_EQ(d.offset_imm, 4u);
+  EXPECT_TRUE(d.add_offset);
+  d = decode(word_at(r.program, 0x8008), 0x8008);
+  EXPECT_FALSE(d.add_offset);
+  EXPECT_TRUE(d.writeback);
+  EXPECT_TRUE(d.pre_index);
+  d = decode(word_at(r.program, 0x800C), 0x800C);
+  EXPECT_FALSE(d.pre_index);
+  d = decode(word_at(r.program, 0x8010), 0x8010);
+  EXPECT_TRUE(d.is_byte);
+  EXPECT_TRUE(d.reg_offset);
+  d = decode(word_at(r.program, 0x8014), 0x8014);
+  EXPECT_FALSE(d.is_load);
+  EXPECT_EQ(d.shift_amount, 2);
+  d = decode(word_at(r.program, 0x8018), 0x8018);
+  EXPECT_TRUE(d.is_byte);
+  EXPECT_FALSE(d.pre_index);
+}
+
+TEST(Assembler, LdmStmAndStackAliases) {
+  const auto r = assemble(R"(
+        ldmia r0!, {r1, r2, r5-r7}
+        stmdb sp!, {r4, lr}
+        push {r0-r3}
+        pop {r0-r3}
+)");
+  auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(d.cls, OpClass::load_store_multiple);
+  EXPECT_EQ(d.reg_list, 0b11100110);
+  EXPECT_TRUE(d.writeback);
+  d = decode(word_at(r.program, 0x8004), 0x8004);
+  EXPECT_FALSE(d.is_load);
+  EXPECT_TRUE(d.lsm_before);
+  EXPECT_FALSE(d.lsm_up);
+  // push == stmdb sp!; pop == ldmia sp!.
+  const auto push_d = decode(word_at(r.program, 0x8008), 0);
+  EXPECT_FALSE(push_d.is_load);
+  EXPECT_TRUE(push_d.lsm_before);
+  EXPECT_FALSE(push_d.lsm_up);
+  EXPECT_EQ(push_d.rn, kRegSp);
+  const auto pop_d = decode(word_at(r.program, 0x800C), 0);
+  EXPECT_TRUE(pop_d.is_load);
+  EXPECT_FALSE(pop_d.lsm_before);
+  EXPECT_TRUE(pop_d.lsm_up);
+}
+
+TEST(Assembler, LdrEqualsPseudoUsesMovWhenEncodable) {
+  const auto r = assemble("ldr r0, =255\nldr r1, =0xFFFFFF00\n");
+  auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(d.cls, OpClass::data_proc);
+  EXPECT_EQ(d.dp_op, DpOp::mov);
+  EXPECT_EQ(d.imm, 255u);
+  // ~0xFFFFFF00 = 0xFF encodable -> mvn.
+  d = decode(word_at(r.program, 0x8004), 0x8004);
+  EXPECT_EQ(d.dp_op, DpOp::mvn);
+}
+
+TEST(Assembler, LdrEqualsPseudoFallsBackToLiteralPool) {
+  const auto r = assemble("ldr r0, =0x12345678\nswi 0\n");
+  const auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(d.cls, OpClass::load_store);
+  EXPECT_EQ(d.rn, kRegPc);
+  // The literal must contain the value, pc-relative.
+  mem::Memory m;
+  r.program.load_into(m);
+  const std::uint32_t ea = 0x8000 + 8 + d.offset_imm;
+  EXPECT_EQ(m.read32(ea), 0x12345678u);
+}
+
+TEST(Assembler, LdrEqualsLabelLoadsAddress) {
+  const auto r = assemble(R"(
+        ldr r0, =data
+        swi 0
+        .ltorg
+data:   .word 99
+)");
+  const auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  mem::Memory m;
+  r.program.load_into(m);
+  const std::uint32_t pool_value = m.read32(0x8000 + 8 + d.offset_imm);
+  EXPECT_EQ(pool_value, r.symbols.at("data"));
+  EXPECT_EQ(m.read32(pool_value), 99u);
+}
+
+TEST(Assembler, AdrComputesPcRelative) {
+  const auto r = assemble(R"(
+        adr r0, data
+        swi 0
+data:   .word 1
+)");
+  // add r0, pc, #imm with pc = 0x8008 -> data at 0x8008.
+  const auto d = decode(word_at(r.program, 0x8000), 0x8000);
+  EXPECT_EQ(d.dp_op, DpOp::add);
+  EXPECT_EQ(d.rn, kRegPc);
+  EXPECT_EQ(d.imm, 0u);
+}
+
+TEST(Assembler, DirectivesWordByteSpaceAlignAscii) {
+  const auto r = assemble(R"(
+        .equ MAGIC, 0xABCD
+a:      .word 1, 2, MAGIC
+b:      .byte 1, 2, 3
+        .align 2
+c:      .space 8, 0xFF
+s:      .asciz "hi\n"
+)");
+  mem::Memory m;
+  r.program.load_into(m);
+  EXPECT_EQ(m.read32(r.symbols.at("a") + 8), 0xABCDu);
+  EXPECT_EQ(m.read8(r.symbols.at("b") + 2), 3u);
+  EXPECT_EQ(r.symbols.at("c") % 4, 0u);
+  EXPECT_EQ(m.read8(r.symbols.at("c")), 0xFFu);
+  EXPECT_EQ(m.read8(r.symbols.at("s")), 'h');
+  EXPECT_EQ(m.read8(r.symbols.at("s") + 2), '\n');
+  EXPECT_EQ(m.read8(r.symbols.at("s") + 3), 0u);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto r = assemble(R"(
+; full-line comment
+        mov r0, #1   ; trailing
+        mov r1, #2   @ other comment style
+        mov r2, #3   // c++ style
+)");
+  EXPECT_EQ(decode(word_at(r.program, 0x8008), 0).imm, 3u);
+}
+
+TEST(Assembler, EntryPointDefaultsToOriginOrStart) {
+  EXPECT_EQ(assemble("nop\n").program.entry, 0x8000u);
+  const auto r = assemble("nop\n_start: nop\n");
+  EXPECT_EQ(r.program.entry, 0x8004u);
+}
+
+TEST(Assembler, MulOperands) {
+  const auto r = assemble("mul r0, r1, r2\nmla r3, r4, r5, r6\n");
+  auto d = decode(word_at(r.program, 0x8000), 0);
+  EXPECT_EQ(d.cls, OpClass::multiply);
+  EXPECT_EQ(d.rd, 0);
+  EXPECT_EQ(d.rm, 1);
+  EXPECT_EQ(d.rs, 2);
+  d = decode(word_at(r.program, 0x8004), 0);
+  EXPECT_TRUE(d.accumulate);
+  EXPECT_EQ(d.rn, 6);
+}
+
+TEST(AssemblerErrors, ReportLineNumbers) {
+  try {
+    assemble("nop\nbogus r0\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_THROW(assemble("a: nop\na: nop\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_THROW(assemble("b nowhere\n"), AsmError);
+}
+
+TEST(AssemblerErrors, NonEncodableImmediate) {
+  EXPECT_THROW(assemble("mov r0, #0x12345678\n"), AsmError);
+}
+
+TEST(AssemblerErrors, RegisterRangeBackwards) {
+  EXPECT_THROW(assemble("push {r5-r2}\n"), AsmError);
+}
+
+TEST(Assembler, DisassemblerRoundTripOnProgram) {
+  // Re-assembling each disassembled instruction must reproduce the word.
+  const char* src = R"(
+_start: mov r0, #0
+        add r1, r0, r0, lsl #2
+        subs r2, r1, #1
+        mul r3, r1, r2
+        ldr r4, [sp, #8]
+        strb r4, [r1], #1
+        swi 1
+)";
+  const auto r = assemble(src);
+  mem::Memory m;
+  r.program.load_into(m);
+  for (std::uint32_t a = 0x8000; a < 0x8000 + 7 * 4; a += 4) {
+    const std::uint32_t raw = m.read32(a);
+    const std::string text = disassemble(raw, a);
+    const auto r2 = assemble(text + "\n");
+    mem::Memory m2;
+    r2.program.load_into(m2);
+    EXPECT_EQ(m2.read32(0x8000), raw) << text;
+  }
+}
+
+}  // namespace
+}  // namespace rcpn::arm

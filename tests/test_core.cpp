@@ -1,0 +1,477 @@
+// Core RCPN engine tests on small synthetic nets: enabling semantics,
+// capacity sharing, priorities, delays, reservation tokens, two-list
+// analysis, flush/squash and the Fig 6 static extraction.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "regfile/reg_ref.hpp"
+
+namespace rcpn::core {
+namespace {
+
+InstructionToken* emit(Engine& eng, TypeId type, PlaceId where) {
+  InstructionToken* t = eng.acquire_pooled_instruction();
+  t->type = type;
+  eng.emit_instruction(t, where);
+  return t;
+}
+
+TEST(Net, EndStageCreatedAutomatically) {
+  Net net("n");
+  EXPECT_EQ(net.num_stages(), 1u);
+  EXPECT_EQ(net.num_places(), 1u);
+  EXPECT_TRUE(net.stage(net.end_stage()).is_end());
+  EXPECT_TRUE(net.stage(net.end_stage()).unlimited());
+}
+
+TEST(Net, FindByName) {
+  Net net("n");
+  const StageId s = net.add_stage("L1", 1);
+  const PlaceId p = net.add_place("L1", s);
+  EXPECT_EQ(net.find_stage("L1"), s);
+  EXPECT_EQ(net.find_place("L1"), p);
+  EXPECT_EQ(net.find_place("nope"), kNoPlace);
+}
+
+TEST(Net, ModelStatsCountArcs) {
+  Net net("n");
+  const StageId s = net.add_stage("L1", 1);
+  const PlaceId p = net.add_place("L1", s);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("t", ty).from(p).to(net.end_place());
+  const auto ms = net.model_stats();
+  EXPECT_EQ(ms.places, 2u);
+  EXPECT_EQ(ms.transitions, 1u);
+  EXPECT_EQ(ms.subnets, 1u);
+  EXPECT_EQ(ms.arcs, 2u);
+}
+
+class LinearNetTest : public ::testing::Test {
+ protected:
+  LinearNetTest() : net_("linear"), eng_(net_) {
+    s1_ = net_.add_stage("L1", 1);
+    s2_ = net_.add_stage("L2", 1);
+    p1_ = net_.add_place("L1", s1_);
+    p2_ = net_.add_place("L2", s2_);
+    ty_ = net_.add_type("T");
+    net_.add_transition("T1", ty_).from(p1_).to(p2_);
+    net_.add_transition("T2", ty_).from(p2_).to(net_.end_place());
+  }
+  Net net_;
+  Engine eng_;
+  StageId s1_, s2_;
+  PlaceId p1_, p2_;
+  TypeId ty_;
+};
+
+TEST_F(LinearNetTest, TokenFlowsOneStagePerCycle) {
+  eng_.build();
+  emit(eng_, ty_, p1_);
+  EXPECT_EQ(eng_.tokens_in_flight(), 1u);
+  eng_.step();  // cycle 0: not ready yet
+  eng_.step();  // cycle 1: L1 -> L2
+  EXPECT_EQ(eng_.tokens_in_place(p2_), 1u);
+  eng_.step();  // cycle 2: L2 -> end
+  EXPECT_EQ(eng_.stats().retired, 1u);
+  EXPECT_EQ(eng_.tokens_in_flight(), 0u);
+}
+
+TEST_F(LinearNetTest, ReverseTopologicalOrderSinksFirst) {
+  eng_.build();
+  const auto& order = eng_.process_order();
+  // End places are excluded (tokens retire on entry); downstream first.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], p2_);
+  EXPECT_EQ(order[1], p1_);
+}
+
+TEST_F(LinearNetTest, BackToBackTokensPipeline) {
+  eng_.build();
+  emit(eng_, ty_, p1_);
+  eng_.step();  // cycle 0: tok1 entered during cycle 0, ready at 1
+  eng_.step();  // cycle 1: tok1 L1->L2; L1 free at end of cycle
+  emit(eng_, ty_, p1_);  // entered during cycle 2, ready at 3
+  eng_.step();  // cycle 2: tok1 retires
+  eng_.step();  // cycle 3: tok2 L1->L2
+  eng_.step();  // cycle 4: tok2 retires
+  EXPECT_EQ(eng_.stats().retired, 2u);
+}
+
+TEST_F(LinearNetTest, CapacityBlocksUpstreamToken) {
+  eng_.build();
+  emit(eng_, ty_, p2_);  // occupies L2
+  // Block T2 so the L2 token cannot drain.
+  // (re-build a net is cheaper: here we just also fill L1 and check stall.)
+  emit(eng_, ty_, p1_);
+  EXPECT_FALSE(eng_.place_has_room(p1_));
+  eng_.step();
+  eng_.step();
+  // Both retire eventually; stall counter must have fired at least once if
+  // L1's token ever found L2 full. With reverse-topo order L2 drains first,
+  // so no stall is expected here — this documents the shift-register effect.
+  eng_.run(10);
+  EXPECT_EQ(eng_.stats().retired, 2u);
+}
+
+TEST_F(LinearNetTest, ResetClearsState) {
+  eng_.build();
+  emit(eng_, ty_, p1_);
+  eng_.run(5);
+  EXPECT_EQ(eng_.stats().retired, 1u);
+  eng_.reset();
+  EXPECT_EQ(eng_.stats().retired, 0u);
+  EXPECT_EQ(eng_.clock(), 0u);
+  EXPECT_EQ(eng_.tokens_in_flight(), 0u);
+  emit(eng_, ty_, p1_);
+  eng_.run(5);
+  EXPECT_EQ(eng_.stats().retired, 1u);
+}
+
+TEST(EnginePriority, LowerPriorityArcFiresFirst) {
+  Net net("prio");
+  const StageId s = net.add_stage("L1", 1);
+  const PlaceId p = net.add_place("L1", s);
+  const PlaceId e2 = net.add_end_place("end2");
+  const TypeId ty = net.add_type("T");
+  bool allow_fast = true;
+  net.add_transition("slow", ty).from(p, /*priority=*/1).to(net.end_place());
+  net.add_transition("fast", ty)
+      .from(p, /*priority=*/0)
+      .guard([&](FireCtx&) { return allow_fast; })
+      .to(e2);
+  Engine eng(net);
+  eng.build();
+
+  // Sorted candidate list: priority 0 first.
+  const auto& cands = eng.candidates(p, ty);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0]->name(), "fast");
+  EXPECT_EQ(cands[1]->name(), "slow");
+
+  emit(eng, ty, p);
+  eng.run(3);
+  EXPECT_EQ(eng.stats().transition_fires[cands[0]->id()], 1u);
+  EXPECT_EQ(eng.stats().transition_fires[cands[1]->id()], 0u);
+
+  // With the guard closed, the priority-1 alternative fires instead
+  // (exactly the Fig 5 forwarding-vs-stall pattern).
+  allow_fast = false;
+  emit(eng, ty, p);
+  eng.run(3);
+  EXPECT_EQ(eng.stats().transition_fires[cands[1]->id()], 1u);
+}
+
+TEST(EngineGuard, FalseGuardStallsToken) {
+  Net net("guard");
+  const StageId s = net.add_stage("L1", 1);
+  const PlaceId p = net.add_place("L1", s);
+  const TypeId ty = net.add_type("T");
+  bool open = false;
+  net.add_transition("t", ty).from(p).guard([&](FireCtx&) { return open; }).to(
+      net.end_place());
+  Engine eng(net);
+  eng.build();
+  emit(eng, ty, p);
+  eng.run(4);
+  EXPECT_EQ(eng.stats().retired, 0u);
+  EXPECT_GT(eng.stats().place_stalls[p], 0u);
+  open = true;
+  eng.run(2);
+  EXPECT_EQ(eng.stats().retired, 1u);
+}
+
+TEST(EngineDelay, PlaceDelayHoldsToken) {
+  Net net("delay");
+  const StageId s = net.add_stage("L1", 1);
+  const PlaceId p = net.add_place("L1", s, /*delay=*/3);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("t", ty).from(p).to(net.end_place());
+  Engine eng(net);
+  eng.build();
+  emit(eng, ty, p);
+  eng.run(2);
+  EXPECT_EQ(eng.stats().retired, 0u);  // still waiting
+  eng.run(2);
+  EXPECT_EQ(eng.stats().retired, 1u);
+  EXPECT_EQ(eng.clock(), 4u);  // entered at 0, residence 3, fired cycle 3
+}
+
+TEST(EngineDelay, TokenDelayOverridesPlaceDelay) {
+  // Fig 5 LoadStore pattern: the transition sets t.delay = mem.delay(addr).
+  Net net("tokdelay");
+  const StageId s1 = net.add_stage("L1", 1);
+  const StageId s2 = net.add_stage("L2", 4);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const PlaceId p2 = net.add_place("L2", s2, /*delay=*/1);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("M", ty)
+      .from(p1)
+      .action([](FireCtx& ctx) { ctx.token->next_delay = 5; })
+      .to(p2);
+  net.add_transition("W", ty).from(p2).to(net.end_place());
+  Engine eng(net);
+  eng.build();
+  emit(eng, ty, p1);
+  eng.run(3);  // fired M at cycle 1, entered L2 with residence 5
+  EXPECT_EQ(eng.stats().retired, 0u);
+  eng.run(10);
+  EXPECT_EQ(eng.stats().retired, 1u);
+}
+
+TEST(EngineReservation, BranchStylefetchStall) {
+  // Mirror of the paper's branch sub-net: issuing emits a reservation into
+  // L1 which disables an independent "fetch"; resolving consumes it.
+  Net net("resv");
+  const StageId s1 = net.add_stage("L1", 1);
+  const StageId s2 = net.add_stage("L2", 1);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const PlaceId p2 = net.add_place("L2", s2);
+  const TypeId ty = net.add_type("Branch");
+  int fetched = 0;
+  net.add_transition("D", ty).from(p1).to(p2).emit_reservation(p1);
+  net.add_transition("B", ty).from(p2).consume_reservation(p1).to(net.end_place());
+  net.add_independent_transition("F")
+      .guard([&](FireCtx& ctx) { return ctx.engine->place_has_room(p1); })
+      .action([&](FireCtx& ctx) {
+        ++fetched;
+        InstructionToken* t = ctx.engine->acquire_pooled_instruction();
+        t->type = ty;
+        ctx.engine->emit_instruction(t, p1);
+      });
+  Engine eng(net);
+  eng.build();
+  eng.step();  // cycle 0: fetch fires -> token in L1
+  EXPECT_EQ(fetched, 1);
+  eng.step();  // cycle 1: D fires (token->L2, reservation->L1); fetch blocked
+  EXPECT_EQ(fetched, 1);
+  eng.step();  // cycle 2: B consumes reservation + branch token; fetch free again
+  EXPECT_EQ(fetched, 2);
+  EXPECT_EQ(eng.stats().retired, 1u);
+  EXPECT_GT(eng.stats().reservations, 0u);
+}
+
+TEST(EngineSharedStage, PlacesShareCapacity) {
+  Net net("shared");
+  const StageId s = net.add_stage("RS", 2);
+  const PlaceId pa = net.add_place("RS.a", s);
+  const PlaceId pb = net.add_place("RS.b", s);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("ta", ty).from(pa).to(net.end_place());
+  net.add_transition("tb", ty).from(pb).to(net.end_place());
+  Engine eng(net);
+  eng.build();
+  emit(eng, ty, pa);
+  emit(eng, ty, pb);
+  EXPECT_FALSE(eng.place_has_room(pa));
+  EXPECT_FALSE(eng.place_has_room(pb));  // shared capacity exhausted
+  eng.run(3);
+  EXPECT_EQ(eng.stats().retired, 2u);
+}
+
+TEST(EngineTwoList, StateRefCycleMarksReferencedStage) {
+  // Fig 5: D (from L1) reads the state of L3 which is downstream of L1 ->
+  // L3's stage must get the two-list algorithm; L1/L2 must not.
+  Net net("fig5ish");
+  const StageId s1 = net.add_stage("L1", 1);
+  const StageId s2 = net.add_stage("L2", 1);
+  const StageId s3 = net.add_stage("L3", 1);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const PlaceId p2 = net.add_place("L2", s2);
+  const PlaceId p3 = net.add_place("L3", s3);
+  const TypeId ty = net.add_type("ALU");
+  net.add_transition("D", ty).from(p1).to(p2).reads_state(p3);
+  net.add_transition("E", ty).from(p2).to(p3);
+  net.add_transition("W", ty).from(p3).to(net.end_place());
+  Engine eng(net);
+  eng.build();
+  EXPECT_TRUE(eng.stage_is_two_list(s3));
+  EXPECT_FALSE(eng.stage_is_two_list(s1));
+  EXPECT_FALSE(eng.stage_is_two_list(s2));
+
+  // Same net with the paper optimization disabled per model override.
+  net.stage(s3).force_two_list(false);
+  Engine eng2(net);
+  eng2.build();
+  EXPECT_FALSE(eng2.stage_is_two_list(s3));
+}
+
+TEST(EngineTwoList, NonCircularStateRefNotMarked) {
+  // Reading the state of an upstream place is not circular.
+  Net net("noncirc");
+  const StageId s1 = net.add_stage("L1", 1);
+  const StageId s2 = net.add_stage("L2", 1);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const PlaceId p2 = net.add_place("L2", s2);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("a", ty).from(p1).to(p2);
+  net.add_transition("b", ty).from(p2).reads_state(p1).to(net.end_place());
+  Engine eng(net);
+  eng.build();
+  EXPECT_FALSE(eng.stage_is_two_list(s1));
+  EXPECT_FALSE(eng.stage_is_two_list(s2));
+}
+
+TEST(EngineTwoList, TokenCycleMarksWholeComponent) {
+  Net net("cycle");
+  const StageId s1 = net.add_stage("A", 2);
+  const StageId s2 = net.add_stage("B", 2);
+  const PlaceId p1 = net.add_place("A", s1);
+  const PlaceId p2 = net.add_place("B", s2);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("fwd", ty).from(p1).to(p2);
+  net.add_transition("bwd", ty).from(p2).to(p1);
+  Engine eng(net);
+  eng.build();
+  EXPECT_TRUE(eng.stage_is_two_list(s1));
+  EXPECT_TRUE(eng.stage_is_two_list(s2));
+}
+
+TEST(EngineTwoList, ForceAllAblationStillCompletes) {
+  Net net("all2l");
+  const StageId s1 = net.add_stage("L1", 1);
+  const StageId s2 = net.add_stage("L2", 1);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const PlaceId p2 = net.add_place("L2", s2);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("t1", ty).from(p1).to(p2);
+  net.add_transition("t2", ty).from(p2).to(net.end_place());
+  EngineOptions opt;
+  opt.force_two_list_all = true;
+  Engine eng(net, nullptr, opt);
+  eng.build();
+  EXPECT_TRUE(eng.stage_is_two_list(s1));
+  EXPECT_TRUE(eng.stage_is_two_list(s2));
+  emit(eng, ty, p1);
+  eng.run(10);
+  EXPECT_EQ(eng.stats().retired, 1u);
+}
+
+TEST(EngineFlush, SquashReleasesRegisterReservations) {
+  Net net("flush");
+  const StageId s1 = net.add_stage("L1", 2);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("t", ty).from(p1).guard([](FireCtx&) { return false; }).to(
+      net.end_place());
+  Engine eng(net);
+  eng.build();
+
+  regfile::RegisterFile rf(1, regfile::WritePolicy::single_writer);
+  rf.add_identity_registers(1);
+  regfile::RegRef ref;
+
+  InstructionToken* tok = eng.acquire_pooled_instruction();
+  tok->type = ty;
+  ref.bind(&rf, 0, &tok->state);
+  tok->ops[0] = &ref;
+  ref.reserve_write();
+  int squashes = 0;
+  eng.hooks().on_squash = [&](InstructionToken*) { ++squashes; };
+  eng.emit_instruction(tok, p1);
+  eng.step();
+  EXPECT_TRUE(rf.has_writer(0));
+  eng.flush_stage(s1);
+  EXPECT_FALSE(rf.has_writer(0));
+  EXPECT_EQ(squashes, 1);
+  EXPECT_EQ(eng.stats().squashed, 1u);
+  EXPECT_EQ(eng.tokens_in_flight(), 0u);
+}
+
+TEST(EngineFlush, PredicateFlushKeepsOlderTokens) {
+  Net net("pflush");
+  const StageId s1 = net.add_stage("L1", 4);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("t", ty).from(p1).guard([](FireCtx&) { return false; }).to(
+      net.end_place());
+  Engine eng(net);
+  eng.build();
+  InstructionToken* a = emit(eng, ty, p1);
+  InstructionToken* b = emit(eng, ty, p1);
+  ASSERT_LT(a->seq, b->seq);
+  const std::uint32_t pivot = b->seq;
+  eng.flush_stage_if(s1, [&](const Token& t) {
+    return t.kind == TokenKind::instruction &&
+           static_cast<const InstructionToken&>(t).seq >= pivot;
+  });
+  EXPECT_EQ(eng.stats().squashed, 1u);
+  EXPECT_EQ(eng.tokens_in_place(p1), 1u);
+}
+
+TEST(EngineMicroOps, ActionEmitsAdditionalTokens) {
+  // "Any sub-net can generate an instruction token" — LDM-style expansion.
+  Net net("uops");
+  const StageId s1 = net.add_stage("L1", 1);
+  const StageId s2 = net.add_stage("L2", 4);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const PlaceId p2 = net.add_place("L2", s2);
+  const TypeId ty = net.add_type("LSM");
+  net.add_transition("expand", ty)
+      .from(p1)
+      .guard([&](FireCtx& ctx) { return ctx.engine->place_has_room(p2, 3); })
+      .action([&](FireCtx& ctx) {
+        for (int i = 0; i < 2; ++i) {
+          InstructionToken* u = ctx.engine->acquire_pooled_instruction();
+          u->type = ty;
+          ctx.engine->emit_instruction(u, p2);
+        }
+      })
+      .to(p2);
+  net.add_transition("drain", ty).from(p2).to(net.end_place());
+  Engine eng(net);
+  eng.build();
+  emit(eng, ty, p1);
+  eng.run(6);
+  EXPECT_EQ(eng.stats().retired, 3u);  // original + 2 µ-ops
+}
+
+TEST(EngineWatchdog, DeadlockStopsEngine) {
+  Net net("dead");
+  const StageId s1 = net.add_stage("L1", 1);
+  const PlaceId p1 = net.add_place("L1", s1);
+  const TypeId ty = net.add_type("T");
+  net.add_transition("never", ty)
+      .from(p1)
+      .guard([](FireCtx&) { return false; })
+      .to(net.end_place());
+  EngineOptions opt;
+  opt.deadlock_limit = 50;
+  Engine eng(net, nullptr, opt);
+  eng.build();
+  emit(eng, ty, p1);
+  const std::uint64_t ran = eng.run(10000);
+  EXPECT_TRUE(eng.stopped());
+  EXPECT_LT(ran, 10000u);
+}
+
+TEST(EngineSearch, LinearSearchAblationMatchesSortedTable) {
+  auto build = [](Net& net, PlaceId& p1) {
+    const StageId s1 = net.add_stage("L1", 1);
+    const StageId s2 = net.add_stage("L2", 1);
+    p1 = net.add_place("L1", s1);
+    const PlaceId p2 = net.add_place("L2", s2);
+    const TypeId ty = net.add_type("T");
+    net.add_transition("t1", ty).from(p1).to(p2);
+    net.add_transition("t2", ty).from(p2).to(net.end_place());
+    return ty;
+  };
+  Net n1("sorted"), n2("linear");
+  PlaceId p1a, p1b;
+  const TypeId ta = build(n1, p1a);
+  const TypeId tb = build(n2, p1b);
+  Engine e1(n1);
+  EngineOptions opt;
+  opt.linear_search = true;
+  Engine e2(n2, nullptr, opt);
+  e1.build();
+  e2.build();
+  emit(e1, ta, p1a);
+  emit(e2, tb, p1b);
+  e1.run(6);
+  e2.run(6);
+  EXPECT_EQ(e1.stats().retired, e2.stats().retired);
+  EXPECT_EQ(e1.stats().firings, e2.stats().firings);
+}
+
+}  // namespace
+}  // namespace rcpn::core

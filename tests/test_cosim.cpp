@@ -1,0 +1,335 @@
+// Co-simulation: the RCPN-generated cycle-accurate simulators (StrongArm &
+// XScale) must be architecturally identical to the functional ISS — same
+// program output, same exit code, same final register file — on directed
+// hazard programs, all six paper workloads, and randomized programs.
+#include <gtest/gtest.h>
+
+#include "arm/assembler.hpp"
+#include "baseline/functional_iss.hpp"
+#include "machines/strongarm.hpp"
+#include "machines/xscale.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rcpn::machines {
+namespace {
+
+struct IssRef {
+  mem::Memory mem;
+  sys::SyscallHandler sys;
+  std::uint64_t instret = 0;
+  std::array<std::uint32_t, 16> regs{};
+
+  explicit IssRef(const sys::Program& prog, std::uint64_t max = 50'000'000) {
+    baseline::FunctionalIss iss(mem, sys);
+    iss.reset(prog);
+    iss.run(max);
+    instret = iss.instret();
+    for (unsigned i = 0; i < 16; ++i) regs[i] = iss.reg(i);
+  }
+};
+
+template <typename Sim>
+void expect_cosim(Sim& sim, const sys::Program& prog, const char* what) {
+  IssRef ref(prog);
+  const RunResult r = sim.run(prog, 200'000'000ull);
+  EXPECT_TRUE(r.exited) << what << ": pipeline simulation did not exit";
+  EXPECT_EQ(r.output, ref.sys.output()) << what;
+  EXPECT_EQ(r.exit_code, ref.sys.exit_code()) << what;
+  // Final architectural registers (r0..r12 + sp; lr is call-clobbered but
+  // deterministic too). The pipeline stops at the exit SWI with everything
+  // older drained, so state must match exactly.
+  for (unsigned i = 0; i <= 14; ++i)
+    EXPECT_EQ(sim.machine().rf.read_cell(i), ref.regs[i]) << what << " r" << i;
+  // Instruction counts: every retired token is one architectural
+  // instruction; the exit SWI itself (and nothing else) may be in flight.
+  EXPECT_LE(r.instructions, ref.instret) << what;
+  EXPECT_GE(r.instructions + 8, ref.instret) << what;
+}
+
+const char* kHazardPrograms[] = {
+    // RAW chains with forwarding.
+    R"(
+        mov r0, #1
+        add r1, r0, r0
+        add r2, r1, r1
+        add r3, r2, r2
+        add r4, r3, r3
+        swi 0
+)",
+    // Load-use + store-to-load.
+    R"(
+        ldr sp, =0xF0000
+        mov r0, #77
+        ldr r1, =buf
+        str r0, [r1]
+        ldr r2, [r1]
+        add r3, r2, #1
+        ldr r4, [r1]
+        add r5, r4, r3
+        swi 0
+        .ltorg
+buf:    .word 0
+)",
+    // Flag hazards: S-setting chain feeding conditionals.
+    R"(
+        mov r0, #5
+loop:   subs r0, r0, #1
+        addne r1, r1, #2
+        bne loop
+        moveq r2, #9
+        swi 0
+)",
+    // Multiply latency + dependent use.
+    R"(
+        mov r0, #1000
+        mov r1, #2000
+        mul r2, r0, r1
+        add r3, r2, #1
+        mul r4, r2, r0
+        add r5, r4, r3
+        swi 0
+)",
+    // Branch-heavy: calls, returns, taken/not-taken mix.
+    R"(
+        ldr sp, =0xF0000
+        mov r6, #0
+        mov r5, #6
+bl_loop:
+        mov r0, r5
+        bl classify
+        add r6, r6, r0
+        subs r5, r5, #1
+        bne bl_loop
+        mov r0, r6
+        swi 2
+        swi 5
+        mov r0, #0
+        swi 0
+classify:
+        cmp r0, #3
+        movlt r0, #1
+        movge r0, #2
+        mov pc, lr
+)",
+    // LDM/STM with writeback, push/pop discipline.
+    R"(
+        ldr sp, =0xF0000
+        mov r1, #1
+        mov r2, #2
+        mov r3, #3
+        mov r4, #4
+        push {r1-r4}
+        mov r1, #0
+        mov r2, #0
+        pop {r1-r4}
+        add r0, r1, r2
+        add r0, r0, r3
+        add r0, r0, r4
+        swi 2
+        swi 5
+        mov r0, #0
+        swi 0
+)",
+    // Base writeback addressing walking an array.
+    R"(
+        ldr r0, =arr
+        mov r1, #0
+        mov r2, #4
+walk:   ldr r3, [r0], #4
+        add r1, r1, r3
+        subs r2, r2, #1
+        bne walk
+        str r1, [r0, #-4]!
+        ldr r4, [r0]
+        swi 0
+        .ltorg
+arr:    .word 10, 20, 30, 40
+)",
+    // WAW + dead writes across classes.
+    R"(
+        mov r0, #4
+        mov r1, #5
+        mul r2, r0, r1
+        mov r2, #9
+        add r3, r2, #0
+        swi 0
+)",
+    // Conditional execution around memory ops.
+    R"(
+        ldr r0, =buf
+        mov r1, #3
+        cmp r1, #3
+        streq r1, [r0]
+        strne r1, [r0, #4]
+        ldreq r2, [r0]
+        swi 0
+        .ltorg
+buf:    .word 0, 0
+)",
+    // Register-shifted operands and carries.
+    R"(
+        mov r0, #1
+        mov r1, #31
+        mov r2, r0, lsl r1
+        movs r3, r2, lsr #31
+        adc r4, r3, #0
+        rsb r5, r4, #100
+        swi 0
+)",
+};
+
+class StrongArmHazards : public ::testing::TestWithParam<int> {};
+TEST_P(StrongArmHazards, MatchesIss) {
+  StrongArmSim sim;
+  const auto prog = arm::assemble(kHazardPrograms[GetParam()]).program;
+  expect_cosim(sim, prog, "strongarm-hazard");
+}
+INSTANTIATE_TEST_SUITE_P(Directed, StrongArmHazards, ::testing::Range(0, 10));
+
+class XScaleHazards : public ::testing::TestWithParam<int> {};
+TEST_P(XScaleHazards, MatchesIss) {
+  XScaleSim sim;
+  const auto prog = arm::assemble(kHazardPrograms[GetParam()]).program;
+  expect_cosim(sim, prog, "xscale-hazard");
+}
+INSTANTIATE_TEST_SUITE_P(Directed, XScaleHazards, ::testing::Range(0, 10));
+
+class WorkloadCosim : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadCosim, StrongArmMatchesIss) {
+  const workloads::Workload* w = workloads::find(GetParam());
+  ASSERT_NE(w, nullptr);
+  StrongArmSim sim;
+  expect_cosim(sim, workloads::build(*w, w->test_scale), w->name.c_str());
+}
+
+TEST_P(WorkloadCosim, XScaleMatchesIss) {
+  const workloads::Workload* w = workloads::find(GetParam());
+  ASSERT_NE(w, nullptr);
+  XScaleSim sim;
+  expect_cosim(sim, workloads::build(*w, w->test_scale), w->name.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadCosim,
+                         ::testing::Values("adpcm", "blowfish", "compress", "crc",
+                                           "g721", "go"));
+
+// ---------------------------------------------------------------------------
+// Randomized program fuzzing: straight-line random ALU/MUL/memory operations
+// on a scratch buffer, ending in an exit SWI. Every seed must co-simulate.
+// ---------------------------------------------------------------------------
+
+std::string random_program(std::uint64_t seed) {
+  util::Xorshift64 rng(seed);
+  std::string src = "        ldr sp, =0xF0000\n        ldr r7, =buf\n";
+  // Give registers defined values first.
+  for (unsigned r = 0; r <= 6; ++r)
+    src += "        mov r" + std::to_string(r) + ", #" +
+           std::to_string(rng.below(200)) + "\n";
+  const char* alu_ops[] = {"add", "sub", "eor", "orr", "and", "rsb"};
+  for (int i = 0; i < 40; ++i) {
+    const unsigned rd = static_cast<unsigned>(rng.below(7));
+    const unsigned rn = static_cast<unsigned>(rng.below(7));
+    const unsigned rm = static_cast<unsigned>(rng.below(7));
+    switch (rng.below(6)) {
+      case 0:
+      case 1: {
+        const char* op = alu_ops[rng.below(6)];
+        const char* s = rng.chance(1, 3) ? "s" : "";
+        src += "        " + std::string(op) + s + " r" + std::to_string(rd) +
+               ", r" + std::to_string(rn) + ", r" + std::to_string(rm) + "\n";
+        break;
+      }
+      case 2: {
+        const unsigned sh = static_cast<unsigned>(rng.below(31) + 1);
+        src += "        add r" + std::to_string(rd) + ", r" + std::to_string(rn) +
+               ", r" + std::to_string(rm) + ", lsl #" + std::to_string(sh) + "\n";
+        break;
+      }
+      case 3:
+        if (rd != rm) {
+          src += "        mul r" + std::to_string(rd) + ", r" +
+                 std::to_string(rm) + ", r" + std::to_string(rn) + "\n";
+        }
+        break;
+      case 4: {
+        const unsigned off = static_cast<unsigned>(rng.below(16)) * 4;
+        src += "        str r" + std::to_string(rd) + ", [r7, #" +
+               std::to_string(off) + "]\n";
+        break;
+      }
+      case 5: {
+        const unsigned off = static_cast<unsigned>(rng.below(16)) * 4;
+        src += "        ldr r" + std::to_string(rd) + ", [r7, #" +
+               std::to_string(off) + "]\n";
+        break;
+      }
+    }
+  }
+  // Fold everything into r0 and report.
+  src += R"(
+        eor r0, r0, r1
+        eor r0, r0, r2
+        eor r0, r0, r3
+        eor r0, r0, r4
+        eor r0, r0, r5
+        eor r0, r0, r6
+        swi 3
+        swi 5
+        mov r0, #0
+        swi 0
+        .ltorg
+buf:    .space 64
+)";
+  return src;
+}
+
+class FuzzCosim : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzCosim, StrongArmMatchesIssOnRandomPrograms) {
+  const auto prog = arm::assemble(random_program(1000 + GetParam())).program;
+  StrongArmSim sim;
+  expect_cosim(sim, prog, "fuzz-sa");
+}
+
+TEST_P(FuzzCosim, XScaleMatchesIssOnRandomPrograms) {
+  const auto prog = arm::assemble(random_program(2000 + GetParam())).program;
+  XScaleSim sim;
+  expect_cosim(sim, prog, "fuzz-xs");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCosim, ::testing::Range(0, 12));
+
+// Regression: a simulator instance must be reusable across programs (the
+// benchmark harness runs all six workloads through one instance). This once
+// crashed: load_program cleared the decode cache while the engine still held
+// tokens from the previous run.
+TEST(SimReuse, BackToBackProgramsMatchFreshSimulators) {
+  StrongArmSim reused;
+  for (const char* name : {"crc", "g721", "go"}) {
+    const workloads::Workload* w = workloads::find(name);
+    const sys::Program prog = workloads::build(*w, w->test_scale);
+    const RunResult shared = reused.run(prog);
+    StrongArmSim fresh;
+    const RunResult expect = fresh.run(prog);
+    EXPECT_EQ(shared.output, expect.output) << name;
+    EXPECT_EQ(shared.cycles, expect.cycles) << name;
+  }
+}
+
+TEST(SimReuse, XScaleBackToBack) {
+  XScaleSim reused;
+  for (const char* name : {"adpcm", "blowfish"}) {
+    const workloads::Workload* w = workloads::find(name);
+    const sys::Program prog = workloads::build(*w, w->test_scale);
+    const RunResult shared = reused.run(prog);
+    XScaleSim fresh;
+    const RunResult expect = fresh.run(prog);
+    EXPECT_EQ(shared.output, expect.output) << name;
+    EXPECT_EQ(shared.cycles, expect.cycles) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rcpn::machines

@@ -1,0 +1,252 @@
+// Functional ISS tests: small assembled programs with known architectural
+// outcomes — ALU/flag behaviour, control flow, memory, LDM/STM, subroutine
+// linkage and syscalls.
+#include <gtest/gtest.h>
+
+#include "arm/assembler.hpp"
+#include "baseline/functional_iss.hpp"
+
+namespace rcpn::baseline {
+namespace {
+
+struct IssRun {
+  mem::Memory mem;
+  sys::SyscallHandler sys;
+  std::unique_ptr<FunctionalIss> iss;
+
+  explicit IssRun(const std::string& src, std::uint64_t max = 100000) {
+    const auto r = arm::assemble(src);
+    iss = std::make_unique<FunctionalIss>(mem, sys);
+    iss->reset(r.program);
+    iss->run(max);
+  }
+};
+
+TEST(Iss, ArithmeticChain) {
+  IssRun r(R"(
+        mov r0, #10
+        add r1, r0, #5
+        sub r2, r1, #3
+        rsb r3, r2, #100
+        swi 0
+)");
+  EXPECT_EQ(r.iss->reg(1), 15u);
+  EXPECT_EQ(r.iss->reg(2), 12u);
+  EXPECT_EQ(r.iss->reg(3), 88u);
+  EXPECT_TRUE(r.iss->exited());
+}
+
+TEST(Iss, FlagsAndConditionalExecution) {
+  IssRun r(R"(
+        mov r0, #5
+        subs r1, r0, #5      ; Z set
+        moveq r2, #1
+        movne r3, #1
+        subs r4, r0, #6      ; negative -> N, no carry (borrow)
+        movmi r5, #1
+        movcc r6, #1
+        swi 0
+)");
+  EXPECT_EQ(r.iss->reg(2), 1u);
+  EXPECT_EQ(r.iss->reg(3), 0u);
+  EXPECT_EQ(r.iss->reg(5), 1u);
+  EXPECT_EQ(r.iss->reg(6), 1u);
+}
+
+TEST(Iss, LoopWithBackwardBranch) {
+  IssRun r(R"(
+        mov r0, #0
+        mov r1, #10
+loop:   add r0, r0, r1
+        subs r1, r1, #1
+        bne loop
+        swi 0
+)");
+  EXPECT_EQ(r.iss->reg(0), 55u);
+}
+
+TEST(Iss, SubroutineCallAndReturn) {
+  IssRun r(R"(
+        mov r0, #3
+        bl double
+        bl double
+        swi 0
+double: add r0, r0, r0
+        mov pc, lr
+)");
+  EXPECT_EQ(r.iss->reg(0), 12u);
+}
+
+TEST(Iss, NestedCallsWithStack) {
+  IssRun r(R"(
+        ldr sp, =0xF0000
+        mov r0, #2
+        bl outer
+        swi 0
+outer:  push {r4, lr}
+        mov r4, r0
+        bl inner
+        add r0, r0, r4
+        pop {r4, lr}
+        mov pc, lr
+inner:  add r0, r0, #10
+        mov pc, lr
+)");
+  EXPECT_EQ(r.iss->reg(0), 14u);  // (2+10) + 2
+}
+
+TEST(Iss, MemoryLoadStore) {
+  IssRun r(R"(
+        ldr r0, =buf
+        mov r1, #0xAB
+        str r1, [r0]
+        strb r1, [r0, #4]
+        ldr r2, [r0]
+        ldrb r3, [r0, #4]
+        swi 0
+        .ltorg
+buf:    .space 16
+)");
+  EXPECT_EQ(r.iss->reg(2), 0xABu);
+  EXPECT_EQ(r.iss->reg(3), 0xABu);
+}
+
+TEST(Iss, PostIndexWalksArray) {
+  IssRun r(R"(
+        ldr r0, =arr
+        mov r1, #0
+        mov r2, #4
+loop:   ldr r3, [r0], #4
+        add r1, r1, r3
+        subs r2, r2, #1
+        bne loop
+        swi 0
+        .ltorg
+arr:    .word 1, 2, 3, 4
+)");
+  EXPECT_EQ(r.iss->reg(1), 10u);
+}
+
+TEST(Iss, LdmStmRoundTrip) {
+  IssRun r(R"(
+        ldr sp, =0xF0000
+        mov r1, #11
+        mov r2, #22
+        mov r3, #33
+        push {r1, r2, r3}
+        mov r1, #0
+        mov r2, #0
+        mov r3, #0
+        pop {r1, r2, r3}
+        swi 0
+)");
+  EXPECT_EQ(r.iss->reg(1), 11u);
+  EXPECT_EQ(r.iss->reg(2), 22u);
+  EXPECT_EQ(r.iss->reg(3), 33u);
+  EXPECT_EQ(r.iss->reg(arm::kRegSp), 0xF0000u);  // balanced
+}
+
+TEST(Iss, LdmLoadToPcReturns) {
+  IssRun r(R"(
+        ldr sp, =0xF0000
+        mov r0, #1
+        bl fn
+        add r0, r0, #100
+        swi 0
+fn:     push {r4, lr}
+        add r0, r0, #1
+        pop {r4, pc}
+)");
+  EXPECT_EQ(r.iss->reg(0), 102u);
+}
+
+TEST(Iss, MultiplyAndAccumulate) {
+  IssRun r(R"(
+        mov r0, #6
+        mov r1, #7
+        mul r2, r0, r1
+        mov r3, #100
+        mla r4, r0, r1, r3
+        swi 0
+)");
+  EXPECT_EQ(r.iss->reg(2), 42u);
+  EXPECT_EQ(r.iss->reg(4), 142u);
+}
+
+TEST(Iss, ShifterCarryFeedsConditional) {
+  IssRun r(R"(
+        mov r0, #3
+        movs r0, r0, lsr #1   ; shifts out a 1 -> C set
+        moveq r1, #9
+        movcs r2, #1
+        swi 0
+)");
+  EXPECT_EQ(r.iss->reg(0), 1u);
+  EXPECT_EQ(r.iss->reg(2), 1u);
+}
+
+TEST(Iss, PcReadsAsPlus8) {
+  IssRun r(R"(
+        mov r0, pc
+        swi 0
+)");
+  // First instruction at 0x8000: r0 = 0x8008.
+  EXPECT_EQ(r.iss->reg(0), 0x8008u);
+}
+
+TEST(Iss, SyscallOutputAndExitCode) {
+  IssRun r(R"(
+        mov r0, #65
+        swi 1          ; putc 'A'
+        mov r0, #123
+        swi 2          ; put_uint
+        swi 5          ; newline
+        mov r0, #7
+        swi 0          ; exit(7)
+)");
+  EXPECT_EQ(r.sys.output(), "A123\n");
+  EXPECT_EQ(r.sys.exit_code(), 7);
+}
+
+TEST(Iss, SwiWriteDumpsMemory) {
+  IssRun r(R"(
+        ldr r0, =msg
+        mov r1, #5
+        swi 4
+        mov r0, #0
+        swi 0
+        .ltorg
+msg:    .ascii "hello"
+)");
+  EXPECT_EQ(r.sys.output(), "hello");
+}
+
+TEST(Iss, ConditionalBranchChains) {
+  IssRun r(R"(
+        mov r0, #0
+        mov r1, #7
+        cmp r1, #10
+        bge over
+        add r0, r0, #1
+over:   cmp r1, #5
+        ble under
+        add r0, r0, #2
+under:  swi 0
+)");
+  EXPECT_EQ(r.iss->reg(0), 3u);
+}
+
+TEST(Iss, UnknownInstructionTrapsLoudly) {
+  mem::Memory mem;
+  sys::SyscallHandler sys;
+  FunctionalIss iss(mem, sys);
+  mem.write32(0x8000, 0xE7000010);  // undefined space -> swi 0xdead00
+  iss.reset(0x8000, 0xF0000);
+  iss.run(10);
+  // The trap SWI is "unknown" to the handler; the ISS keeps going but the
+  // handler logged it; ensure we didn't crash and executed it.
+  EXPECT_GE(iss.instret(), 1u);
+}
+
+}  // namespace
+}  // namespace rcpn::baseline

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hpp"
+#include "util/rng.hpp"
+
+namespace rcpn::mem {
+namespace {
+
+TEST(Memory, ByteRoundTrip) {
+  Memory m;
+  m.write8(0x8000, 0xAB);
+  EXPECT_EQ(m.read8(0x8000), 0xAB);
+  EXPECT_EQ(m.read8(0x8001), 0);  // untouched neighbours are zero
+}
+
+TEST(Memory, WordRoundTripLittleEndian) {
+  Memory m;
+  m.write32(0x100, 0x11223344);
+  EXPECT_EQ(m.read32(0x100), 0x11223344u);
+  EXPECT_EQ(m.read8(0x100), 0x44);  // little-endian like ARM
+  EXPECT_EQ(m.read8(0x103), 0x11);
+}
+
+TEST(Memory, WordAccessesForceAlignment) {
+  Memory m;
+  m.write32(0x102, 0xCAFEBABE);  // low bits ignored
+  EXPECT_EQ(m.read32(0x100), 0xCAFEBABEu);
+  EXPECT_EQ(m.read32(0x103), 0xCAFEBABEu);
+}
+
+TEST(Memory, HalfwordRoundTrip) {
+  Memory m;
+  m.write16(0x200, 0xBEEF);
+  EXPECT_EQ(m.read16(0x200), 0xBEEF);
+  EXPECT_EQ(m.read16(0x201), 0xBEEF);  // aligned
+}
+
+TEST(Memory, CrossPageAccesses) {
+  Memory m;
+  const std::uint32_t boundary = Memory::kPageSize;
+  m.write8(boundary - 1, 0x01);
+  m.write8(boundary, 0x02);
+  EXPECT_EQ(m.read8(boundary - 1), 0x01);
+  EXPECT_EQ(m.read8(boundary), 0x02);
+  EXPECT_EQ(m.resident_pages(), 2u);
+}
+
+TEST(Memory, BulkLoad) {
+  Memory m;
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  m.load(0x8000, data);
+  for (unsigned i = 0; i < 5; ++i) EXPECT_EQ(m.read8(0x8000 + i), data[i]);
+}
+
+TEST(Memory, UnbackedReadsAreZero) {
+  Memory m;
+  EXPECT_EQ(m.read32(0xDEAD0000), 0u);
+  EXPECT_EQ(m.resident_pages(), 0u);  // reads do not allocate
+}
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.size_bytes = 256;
+  c.line_bytes = 16;
+  c.assoc = 2;
+  c.hit_latency = 1;
+  c.miss_penalty = 10;
+  return c;
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_cache());
+  EXPECT_EQ(c.access(0x100, false), 11u);  // miss
+  EXPECT_EQ(c.access(0x104, false), 1u);   // same line: hit
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, 8 sets of 16B: addresses 0x000, 0x080, 0x100 map to set 0.
+  Cache c(small_cache());
+  c.access(0x000, false);
+  c.access(0x080, false);
+  c.access(0x000, false);        // touch 0x000 -> LRU is 0x080
+  c.access(0x100, false);        // evicts 0x080
+  EXPECT_TRUE(c.contains(0x000));
+  EXPECT_FALSE(c.contains(0x080));
+  EXPECT_TRUE(c.contains(0x100));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback) {
+  Cache c(small_cache());
+  c.access(0x000, true);   // dirty fill
+  c.access(0x080, false);
+  c.access(0x100, false);  // evicts dirty 0x000
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteNoAllocatePolicy) {
+  CacheConfig cfg = small_cache();
+  cfg.write_allocate = false;
+  Cache c(cfg);
+  EXPECT_EQ(c.access(0x40, true), 11u);
+  EXPECT_FALSE(c.contains(0x40));  // write-around
+  EXPECT_EQ(c.access(0x40, false), 11u);  // still a miss
+}
+
+TEST(Cache, HitRatioStat) {
+  Cache c(small_cache());
+  c.access(0x0, false);
+  c.access(0x0, false);
+  c.access(0x0, false);
+  c.access(0x0, false);
+  EXPECT_DOUBLE_EQ(c.stats().hit_ratio(), 0.75);
+}
+
+TEST(Cache, ResetClearsTagsAndStats) {
+  Cache c(small_cache());
+  c.access(0x0, false);
+  c.reset();
+  EXPECT_FALSE(c.contains(0x0));
+  EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+class CacheSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheSweep, StreamingWorkloadNeverExceedsConfiguredLatencies) {
+  const auto [assoc, lines] = GetParam();
+  CacheConfig cfg;
+  cfg.line_bytes = 32;
+  cfg.size_bytes = static_cast<std::uint32_t>(32 * lines);
+  cfg.assoc = static_cast<std::uint32_t>(assoc);
+  Cache c(cfg);
+  util::Xorshift64 rng(lines * 31 + assoc);
+  for (int i = 0; i < 5000; ++i) {
+    const auto addr = static_cast<std::uint32_t>(rng.below(1 << 16));
+    const auto lat = c.access(addr, rng.chance(1, 4));
+    EXPECT_TRUE(lat == cfg.hit_latency || lat == cfg.hit_latency + cfg.miss_penalty);
+  }
+  EXPECT_EQ(c.stats().hits + c.stats().misses, c.stats().accesses);
+  EXPECT_EQ(c.stats().accesses, 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 8, 32),
+                                            ::testing::Values(32, 128, 512)));
+
+TEST(MemorySystem, FetchAndDataDelaysUseSeparateCaches) {
+  MemorySystemConfig cfg;
+  cfg.icache.size_bytes = 1024;
+  cfg.icache.line_bytes = 32;
+  cfg.icache.assoc = 2;
+  cfg.icache.miss_penalty = 20;
+  cfg.dcache = cfg.icache;
+  MemorySystem ms(cfg);
+  EXPECT_EQ(ms.fetch_delay(0x8000), 21u);
+  EXPECT_EQ(ms.fetch_delay(0x8004), 1u);
+  EXPECT_EQ(ms.data_delay(0x8000, false), 21u);  // independent of icache
+  EXPECT_EQ(ms.data_delay(0x8000, false), 1u);
+}
+
+TEST(MemorySystem, DisabledCachesAreSingleCycle) {
+  MemorySystemConfig cfg;
+  cfg.enable_icache = false;
+  cfg.enable_dcache = false;
+  MemorySystem ms(cfg);
+  EXPECT_EQ(ms.fetch_delay(0x0), 1u);
+  EXPECT_EQ(ms.data_delay(0x0, true), 1u);
+}
+
+}  // namespace
+}  // namespace rcpn::mem

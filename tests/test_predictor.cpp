@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "predictor/predictor.hpp"
+
+namespace rcpn::predictor {
+namespace {
+
+TEST(StaticNotTakenTest, AlwaysPredictsNotTaken) {
+  StaticNotTaken p;
+  for (std::uint32_t pc = 0; pc < 64; pc += 4) {
+    const Prediction pr = p.predict(pc);
+    EXPECT_FALSE(pr.taken);
+    EXPECT_FALSE(pr.target_known);
+  }
+  p.update(0, true, 0x100, true);
+  EXPECT_EQ(p.stats().mispredicts, 1u);
+}
+
+TEST(BimodalTest, LearnsTakenBranch) {
+  Bimodal p(64);
+  const std::uint32_t pc = 0x8000;
+  EXPECT_FALSE(p.predict(pc).taken);  // counters start weakly not-taken
+  p.update(pc, true, 0x100, true);
+  p.update(pc, true, 0x100, false);
+  EXPECT_TRUE(p.predict(pc).taken);
+  // And unlearns it.
+  p.update(pc, false, 0, true);
+  p.update(pc, false, 0, false);
+  EXPECT_FALSE(p.predict(pc).taken);
+}
+
+TEST(BimodalTest, CountersSaturate) {
+  Bimodal p(64);
+  const std::uint32_t pc = 0x10;
+  for (int i = 0; i < 10; ++i) p.update(pc, true, 0, false);
+  // One not-taken shouldn't flip a saturated counter.
+  p.update(pc, false, 0, false);
+  EXPECT_TRUE(p.predict(pc).taken);
+}
+
+TEST(BimodalTest, DistinctIndexesAreIndependent) {
+  Bimodal p(64);
+  p.update(0x00, true, 0, false);
+  p.update(0x00, true, 0, false);
+  EXPECT_TRUE(p.predict(0x00).taken);
+  EXPECT_FALSE(p.predict(0x04).taken);
+}
+
+TEST(BtbTest, MissUntilAllocatedOnTaken) {
+  Btb p(16);
+  EXPECT_FALSE(p.predict(0x8000).target_known);
+  p.update(0x8000, false, 0, false);       // not-taken: no allocation
+  EXPECT_FALSE(p.predict(0x8000).target_known);
+  p.update(0x8000, true, 0x9000, true);    // taken: allocate
+  const Prediction pr = p.predict(0x8000);
+  EXPECT_TRUE(pr.target_known);
+  EXPECT_TRUE(pr.taken);
+  EXPECT_EQ(pr.target, 0x9000u);
+}
+
+TEST(BtbTest, TagMismatchBehavesLikeMiss) {
+  Btb p(16);
+  p.update(0x8000, true, 0x9000, false);
+  // Same index (16 entries, word-indexed), different tag.
+  const std::uint32_t alias = 0x8000 + 16 * 4;
+  EXPECT_FALSE(p.predict(alias).target_known);
+}
+
+TEST(BtbTest, TargetUpdatesOnRetrain) {
+  Btb p(16);
+  p.update(0x8000, true, 0x9000, false);
+  p.update(0x8000, true, 0xA000, true);  // target changed
+  EXPECT_EQ(p.predict(0x8000).target, 0xA000u);
+}
+
+TEST(BtbTest, MispredictRatioTracked) {
+  Btb p(16);
+  p.update(0x0, true, 0x100, true);
+  p.update(0x0, true, 0x100, false);
+  p.update(0x0, true, 0x100, false);
+  p.update(0x0, true, 0x100, false);
+  EXPECT_DOUBLE_EQ(p.stats().mispredict_ratio(), 0.25);
+}
+
+}  // namespace
+}  // namespace rcpn::predictor

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace rcpn::util {
+namespace {
+
+TEST(Bits, ExtractRanges) {
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 28), 0xDu);
+  EXPECT_EQ(bits(0xDEADBEEF, 7, 0), 0xEFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 15, 8), 0xBEu);
+  EXPECT_EQ(bits(0xFFFFFFFF, 31, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(bits(0x00000010, 4, 4), 1u);
+}
+
+TEST(Bits, SingleBit) {
+  EXPECT_EQ(bit(0x80000000, 31), 1u);
+  EXPECT_EQ(bit(0x80000000, 30), 0u);
+  EXPECT_EQ(bit(1, 0), 1u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x800000, 24), -8388608);
+  EXPECT_EQ(sign_extend(0x000001, 24), 1);
+}
+
+TEST(Bits, RotateRight) {
+  EXPECT_EQ(rotr32(0x00000001, 1), 0x80000000u);
+  EXPECT_EQ(rotr32(0x12345678, 0), 0x12345678u);
+  EXPECT_EQ(rotr32(0x12345678, 32), 0x12345678u);
+  EXPECT_EQ(rotr32(0xF0000000, 4), 0x0F000000u);
+}
+
+TEST(Bits, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(24));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount32(0), 0u);
+  EXPECT_EQ(popcount32(0xFFFF), 16u);
+  EXPECT_EQ(popcount32(0x8421), 4u);
+}
+
+TEST(Bits, AddCarryOverflow) {
+  EXPECT_TRUE(add_carry(0xFFFFFFFF, 1, false));
+  EXPECT_FALSE(add_carry(0x7FFFFFFF, 1, false));
+  EXPECT_TRUE(add_overflow(0x7FFFFFFF, 1, false));
+  EXPECT_FALSE(add_overflow(0xFFFFFFFF, 1, false));
+  // Subtraction via a + ~b + 1: 5 - 3 has carry (no borrow).
+  EXPECT_TRUE(add_carry(5, ~3u, true));
+  EXPECT_FALSE(add_carry(3, ~5u, true));
+}
+
+TEST(Rng, DeterministicAndNonZero) {
+  Xorshift64 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    EXPECT_NE(va, 0u);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xorshift64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xorshift64 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Table, AlignedRendering) {
+  Table t({"bench", "value"});
+  t.add_row({"crc", "12.5"});
+  t.add_row({"adpcm", "8.25"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("bench"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.256, 1), "1.3");
+  EXPECT_EQ(Table::fmt(2.0, 2), "2.00");
+}
+
+}  // namespace
+}  // namespace rcpn::util

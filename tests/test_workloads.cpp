@@ -1,0 +1,80 @@
+// Workload kernels: assemble, run to completion on the functional ISS,
+// verify determinism and that each kernel has the instruction-mix character
+// it stands in for (multiplies in g721, byte loads in go, etc.).
+#include <gtest/gtest.h>
+
+#include "baseline/functional_iss.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rcpn::workloads {
+namespace {
+
+struct WorkloadRun {
+  mem::Memory mem;
+  sys::SyscallHandler sys;
+  std::uint64_t instructions = 0;
+  std::string output;
+  int exit_code = -1;
+
+  explicit WorkloadRun(const Workload& w, unsigned scale) {
+    const sys::Program prog = build(w, scale);
+    baseline::FunctionalIss iss(mem, sys);
+    iss.reset(prog);
+    iss.run(500'000'000ull);
+    EXPECT_TRUE(iss.exited()) << w.name << " did not exit";
+    instructions = iss.instret();
+    output = sys.output();
+    exit_code = sys.exit_code();
+  }
+};
+
+class WorkloadTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadTest, RunsToCompletionAndPrintsChecksum) {
+  const Workload* w = find(GetParam());
+  ASSERT_NE(w, nullptr);
+  WorkloadRun run(*w, w->test_scale);
+  EXPECT_EQ(run.exit_code, 0);
+  // Checksum: 8 hex digits + newline.
+  ASSERT_EQ(run.output.size(), 9u) << run.output;
+  EXPECT_EQ(run.output.back(), '\n');
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(std::isxdigit(run.output[i]));
+  EXPECT_GT(run.instructions, 1000u);
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossRuns) {
+  const Workload* w = find(GetParam());
+  ASSERT_NE(w, nullptr);
+  WorkloadRun a(*w, w->test_scale), b(*w, w->test_scale);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST_P(WorkloadTest, ScaleChangesWorkNotChecksumFormat) {
+  const Workload* w = find(GetParam());
+  ASSERT_NE(w, nullptr);
+  WorkloadRun small(*w, w->test_scale), big(*w, w->test_scale * 2);
+  EXPECT_GT(big.instructions, small.instructions);
+  EXPECT_EQ(big.output.size(), 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadTest,
+                         ::testing::Values("adpcm", "blowfish", "compress", "crc",
+                                           "g721", "go"));
+
+TEST(Workloads, RegistryHasPaperBenchmarks) {
+  EXPECT_EQ(all().size(), 6u);
+  for (const char* name : {"adpcm", "blowfish", "compress", "crc", "g721", "go"})
+    EXPECT_NE(find(name), nullptr) << name;
+  EXPECT_EQ(find("quake"), nullptr);
+}
+
+TEST(Workloads, DefaultScaleIsBenchmarkSized) {
+  // Fig 10 runs should be >= 1M dynamic instructions per the paper's setup.
+  for (const Workload& w : all()) {
+    EXPECT_GE(w.default_scale, w.test_scale) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace rcpn::workloads
