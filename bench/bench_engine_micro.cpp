@@ -24,13 +24,15 @@ static void BM_StrongArmCycle(benchmark::State& state) {
   machines::StrongArmSim sim;
   const workloads::Workload* w = workloads::find("crc");
   const sys::Program prog = workloads::build(*w, 50);
-  sim.machine().load_program(prog);
+  // Reset the engine *before* load_program: reset squashes leftover in-flight
+  // tokens, whose operands are owned by the decode cache load_program clears.
   sim.engine().reset();
+  sim.machine().load_program(prog);
   for (auto _ : state) {
     if (sim.engine().stopped()) {  // restart when the program finishes
       state.PauseTiming();
-      sim.machine().load_program(prog);
       sim.engine().reset();
+      sim.machine().load_program(prog);
       state.ResumeTiming();
     }
     sim.engine().step();

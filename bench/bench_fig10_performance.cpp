@@ -27,6 +27,7 @@ int main() {
 
   double sum_ss = 0, sum_xs = 0, sum_sa = 0;
   unsigned n = 0;
+  std::vector<std::string> json_rows;
   baseline::SimpleScalarSim ss;
   machines::XScaleSim xs;
   machines::StrongArmSim sa;
@@ -56,6 +57,17 @@ int main() {
     std::snprintf(speedup, sizeof(speedup), "%.1fx", msa / mss);
     table.add_row({w.name, util::Table::fmt(mss), util::Table::fmt(mxs),
                    util::Table::fmt(msa), speedup});
+
+    json_rows.push_back(bench::JsonObj()
+                            .str("name", w.name)
+                            .num("cycles_strongarm", rsa.cycles)
+                            .num("cycles_xscale", rxs.cycles)
+                            .num("cycles_simplescalar", rss.cycles)
+                            .num("mcps_simplescalar", mss)
+                            .num("mcps_xscale", mxs)
+                            .num("mcps_strongarm", msa)
+                            .num("speedup_strongarm_vs_simplescalar", msa / mss)
+                            .render());
   }
 
   char speedup[16];
@@ -64,6 +76,23 @@ int main() {
                  util::Table::fmt(sum_xs / n), util::Table::fmt(sum_sa / n),
                  speedup});
   table.print();
+
+  const std::string json =
+      bench::JsonObj()
+          .str("figure", "fig10")
+          .str("metric", "simulation speed (million cycles/second)")
+          .num("repro_scale", bench::repro_scale())
+          .raw("benchmarks", bench::json_array(json_rows))
+          .raw("average", bench::JsonObj()
+                              .num("mcps_simplescalar", sum_ss / n)
+                              .num("mcps_xscale", sum_xs / n)
+                              .num("mcps_strongarm", sum_sa / n)
+                              .num("speedup_strongarm_vs_simplescalar",
+                                   (sum_sa / n) / (sum_ss / n))
+                              .render())
+          .render();
+  if (bench::write_file("BENCH_fig10.json", json + "\n"))
+    std::printf("\nwrote BENCH_fig10.json\n");
 
   std::printf("\npaper (P4/1.8GHz): SimpleScalar 0.6, RCPN-XScale 8.2,"
               " RCPN-StrongArm 12.2 Mcyc/s (~15x)\n");

@@ -28,6 +28,7 @@ int main() {
   machines::XScaleSim xs;
   double sum_ss = 0, sum_sa = 0, worst_gap = 0;
   unsigned n = 0;
+  std::vector<std::string> json_rows;
 
   for (const workloads::Workload& w : workloads::all()) {
     const sys::Program prog = workloads::build(w, bench::scaled(w));
@@ -43,6 +44,18 @@ int main() {
     std::snprintf(diff, sizeof(diff), "%+.0f%%", 100.0 * (rsa.cpi - rss.cpi) / rss.cpi);
     table.add_row({w.name, util::Table::fmt(rss.cpi, 2), util::Table::fmt(rsa.cpi, 2),
                    diff, util::Table::fmt(rxs.cpi, 2)});
+
+    json_rows.push_back(bench::JsonObj()
+                            .str("name", w.name)
+                            .num("cycles_strongarm", rsa.cycles)
+                            .num("cycles_xscale", rxs.cycles)
+                            .num("cycles_simplescalar", rss.cycles)
+                            .num("instructions_strongarm", rsa.instructions)
+                            .num("cpi_simplescalar", rss.cpi)
+                            .num("cpi_strongarm", rsa.cpi)
+                            .num("cpi_xscale", rxs.cpi)
+                            .num("gap_pct", gap)
+                            .render());
   }
   char diff[16];
   std::snprintf(diff, sizeof(diff), "%+.0f%%",
@@ -50,6 +63,21 @@ int main() {
   table.add_row({"Average", util::Table::fmt(sum_ss / n, 2),
                  util::Table::fmt(sum_sa / n, 2), diff, ""});
   table.print();
+
+  const std::string json =
+      bench::JsonObj()
+          .str("figure", "fig11")
+          .str("metric", "clocks per instruction (CPI)")
+          .num("repro_scale", bench::repro_scale())
+          .raw("benchmarks", bench::json_array(json_rows))
+          .raw("average", bench::JsonObj()
+                              .num("cpi_simplescalar", sum_ss / n)
+                              .num("cpi_strongarm", sum_sa / n)
+                              .num("worst_gap_pct", worst_gap)
+                              .render())
+          .render();
+  if (bench::write_file("BENCH_fig11.json", json + "\n"))
+    std::printf("\nwrote BENCH_fig11.json\n");
 
   std::printf("\npaper: SimpleScalar avg 1.8, RCPN-StrongArm avg 2.0 (~10%% gap"
               " from model accuracy)\n");

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "workloads/workloads.hpp"
 
@@ -41,6 +43,58 @@ inline std::string mcps(std::uint64_t cycles, double secs) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(cycles) / secs / 1e6);
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emission for the machine-readable BENCH_*.json files the
+// figure benches write next to their human tables, so successive PRs have a
+// perf trajectory to regress against. Flat objects/arrays of numbers and
+// strings are all a bench report needs.
+// ---------------------------------------------------------------------------
+
+class JsonObj {
+ public:
+  JsonObj& num(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObj& num(const std::string& key, std::uint64_t v) { return raw(key, std::to_string(v)); }
+  JsonObj& str(const std::string& key, const std::string& v) {
+    std::string escaped;
+    for (char c : v) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    return raw(key, "\"" + escaped + "\"");
+  }
+  JsonObj& raw(const std::string& key, const std::string& rendered_value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + rendered_value;
+    return *this;
+  }
+  std::string render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+inline std::string json_array(const std::vector<std::string>& rendered_elems) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rendered_elems.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += rendered_elems[i];
+  }
+  return out + "]";
+}
+
+/// Write `content` to `path` (current directory by default); returns success.
+inline bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  return ok;
 }
 
 }  // namespace bench

@@ -1,63 +1,80 @@
-// Quickstart: build the paper's Figure 2 pipeline from scratch with the raw
-// RCPN API, run it, and inspect what the "simulator generation" step
-// (Engine::build) extracted — the Fig 6 candidate table and the processing
-// order.
+// Quickstart: describe the paper's Figure 2 pipeline with the declarative
+// modeling API (ModelBuilder + Simulator), run it, and inspect what the
+// "simulator generation" step extracted — the Fig 6 candidate table and the
+// reverse-topological processing order.
 //
 //   $ ./quickstart
 #include <cstdio>
 
-#include "core/engine.hpp"
+#include "model/simulator.hpp"
 
 using namespace rcpn;
 
-int main() {
-  // -- model: Fig 2(a)'s pipeline as an RCPN (Fig 2c) -------------------------
-  core::Net net("fig2");
-  const core::StageId l1s = net.add_stage("L1", /*capacity=*/1);
-  const core::StageId l2s = net.add_stage("L2", /*capacity=*/1);
-  const core::PlaceId l1 = net.add_place("L1", l1s);
-  const core::PlaceId l2 = net.add_place("L2", l2s);
-  const core::TypeId type_a = net.add_type("A");  // flows U2 -> U3
-  const core::TypeId type_b = net.add_type("B");  // leaves through U4
-
-  net.add_transition("U2", type_a).from(l1).to(l2);
-  net.add_transition("U3", type_a).from(l2).to(net.end_place());
-  net.add_transition("U4", type_b).from(l1).to(net.end_place());
-
-  // Instruction-independent sub-net: U1 generates alternating token types.
+// The machine context: whatever state the model's guards and actions need.
+// Here a token generator; a real processor model holds register files,
+// memories and a pc (see src/machines/).
+struct Generator {
+  std::uint64_t to_generate = 0;
   std::uint64_t generated = 0;
-  constexpr std::uint64_t kTokens = 10;
-  net.add_independent_transition("U1")
-      .guard([&](core::FireCtx&) { return generated < kTokens; })
-      .action([&](core::FireCtx& ctx) {
-        core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
-        t->type = (generated++ % 2 == 0) ? type_a : type_b;
-        ctx.engine->emit_instruction(t, l1);
-      })
-      .to(l1);
+};
 
-  // -- "generate" the simulator ------------------------------------------------
-  core::Engine engine(net);
-  engine.build();
+int main() {
+  // Handles assigned by the description, used afterwards for introspection.
+  model::PlaceHandle l1, l2;
+  model::TypeHandle type_a, type_b;
 
+  // -- model: Fig 2(a)'s pipeline as an RCPN (Fig 2c) -------------------------
+  // Declarations return typed handles; build-time validation catches
+  // duplicate names, dangling arcs and zero capacities before anything runs.
+  model::Simulator<Generator> sim(
+      "fig2",
+      [&](model::ModelBuilder<Generator>& b, Generator&) {
+        const model::StageHandle l1s = b.add_stage("L1", /*capacity=*/1);
+        const model::StageHandle l2s = b.add_stage("L2", /*capacity=*/1);
+        l1 = b.add_place("L1", l1s);
+        l2 = b.add_place("L2", l2s);
+        type_a = b.add_type("A");  // flows U2 -> U3
+        type_b = b.add_type("B");  // leaves through U4
+
+        b.add_transition("U2", type_a).from(l1).to(l2);
+        b.add_transition("U3", type_a).from(l2).to(b.end());
+        b.add_transition("U4", type_b).from(l1).to(b.end());
+
+        // Instruction-independent sub-net: U1 generates alternating types.
+        // Guards/actions receive the machine context typed — no void* casts.
+        const core::TypeId ta = type_a, tb = type_b;
+        const core::PlaceId fetch_into = l1;
+        b.add_independent_transition("U1")
+            .guard([](Generator& g, core::FireCtx&) { return g.generated < g.to_generate; })
+            .action([ta, tb, fetch_into](Generator& g, core::FireCtx& ctx) {
+              core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
+              t->type = (g.generated++ % 2 == 0) ? ta : tb;
+              ctx.engine->emit_instruction(t, fetch_into);
+            })
+            .to(l1);
+      },
+      Generator{/*to_generate=*/10});
+
+  // -- inspect the "generated" simulator --------------------------------------
+  const core::Net& net = sim.net();
   std::printf("model: %u places, %u transitions, %u sub-nets\n", net.num_places(),
               net.num_transitions(), net.num_types());
   std::printf("processing order (reverse topological):");
-  for (core::PlaceId p : engine.process_order())
+  for (core::PlaceId p : sim.engine().process_order())
     std::printf(" %s", net.place(p).name.c_str());
   std::printf("\n");
   std::printf("candidates(L1, A): %zu  candidates(L1, B): %zu\n",
-              engine.candidates(l1, type_a).size(),
-              engine.candidates(l1, type_b).size());
+              sim.engine().candidates(l1, type_a).size(),
+              sim.engine().candidates(l1, type_b).size());
 
   // -- run ---------------------------------------------------------------------
-  while (generated < kTokens || engine.tokens_in_flight() > 0) engine.step();
+  sim.drain([](const Generator& g) { return g.generated >= g.to_generate; });
 
-  const core::Stats& s = engine.stats();
+  const core::Stats& s = sim.stats();
   std::printf("\nafter %llu cycles: %llu tokens retired, %llu firings\n",
               static_cast<unsigned long long>(s.cycles),
               static_cast<unsigned long long>(s.retired),
               static_cast<unsigned long long>(s.firings));
-  std::printf("%s", s.report(net).c_str());
+  std::printf("%s", sim.report().c_str());
   return 0;
 }

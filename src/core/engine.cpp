@@ -6,8 +6,7 @@
 
 namespace rcpn::core {
 
-Engine::Engine(Net& net, void* machine, EngineOptions options)
-    : net_(net), machine_(machine), options_(options) {}
+Engine::Engine(Net& net, EngineOptions options) : net_(net), options_(options) {}
 
 // ---------------------------------------------------------------------------
 // Static extraction ("simulator generation")

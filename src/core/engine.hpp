@@ -18,6 +18,8 @@
 #include <cassert>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <typeindex>
 #include <vector>
 
 #include "core/net.hpp"
@@ -52,7 +54,7 @@ class Engine {
     std::function<void(InstructionToken*)> on_squash;
   };
 
-  explicit Engine(Net& net, void* machine = nullptr, EngineOptions options = {});
+  explicit Engine(Net& net, EngineOptions options = {});
 
   Net& net() { return net_; }
   const Net& net() const { return net_; }
@@ -79,13 +81,30 @@ class Engine {
   EngineOptions& options() { return options_; }
 
   /// The machine context (register files, memories, pc, ...) the model's
-  /// guards and actions operate on.
+  /// guards and actions operate on. The context is registered with its static
+  /// type; machine<T>() asserts (debug builds) that the same T is used on
+  /// retrieval, so a wrong cast fails loudly instead of silently corrupting
+  /// memory. The recorded std::type_index is kept in all build modes so the
+  /// Engine layout does not depend on NDEBUG (consumers may compile against
+  /// the library with different settings). Prefer model::Simulator<M>, which
+  /// manages the context and never exposes the erased pointer.
   template <typename T>
   T& machine() {
-    assert(machine_ != nullptr);
+    assert(machine_ != nullptr && "Engine has no machine context");
+    assert(machine_type_.has_value() && *machine_type_ == std::type_index(typeid(T)) &&
+           "Engine::machine<T>() type mismatch: T differs from the set_machine type");
     return *static_cast<T*>(machine_);
   }
-  void set_machine(void* m) { machine_ = m; }
+  template <typename T>
+  void set_machine(T* m) {
+    static_assert(!std::is_void_v<T>, "register the machine with its real type");
+    machine_ = m;
+    if (m == nullptr) {
+      machine_type_.reset();
+    } else {
+      machine_type_.emplace(typeid(T));
+    }
+  }
 
   // -- services available to transition actions -------------------------------
 
@@ -138,7 +157,8 @@ class Engine {
   void squash_token(Token* t);
 
   Net& net_;
-  void* machine_;
+  void* machine_ = nullptr;
+  std::optional<std::type_index> machine_type_;
   EngineOptions options_;
   Hooks hooks_;
   Stats stats_;

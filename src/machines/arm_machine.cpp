@@ -511,7 +511,7 @@ void wb_action(const PipeEnv& env, FireCtx& ctx) {
   }
 }
 
-void fetch_action(const PipeEnv& env, FireCtx& ctx, core::PlaceId into) {
+void fetch_action(const PipeEnv& env, FireCtx& ctx) {
   ArmMachine* m = env.m;
   if (m->sys.exited()) return;
   const std::uint32_t fpc = m->pc;
@@ -529,7 +529,7 @@ void fetch_action(const PipeEnv& env, FireCtx& ctx, core::PlaceId into) {
   p.pred_next = next;
   m->pc = next;
   t->next_delay = m->mem.fetch_delay(fpc);
-  ctx.engine->emit_instruction(t, into);
+  ctx.engine->emit_instruction(t, env.fetch_into);
 }
 
 }  // namespace rcpn::machines

@@ -112,7 +112,25 @@ struct PipeEnv {
   /// Places that must be empty before a serializing instruction (SWI,
   /// pop-to-pc) may issue — i.e. all downstream pipeline latches.
   std::vector<core::PlaceId> drain;
+  /// Where the independent fetch transition emits instruction tokens.
+  core::PlaceId fetch_into = core::kNoPlace;
   bool use_predictor = false;
+};
+
+/// Machine context of the model::Simulator-based ARM pipeline models: the
+/// shared architectural machine plus the pipeline-shape environment the
+/// per-class behaviours read. Guards and actions receive it typed.
+struct ArmPipeMachine {
+  explicit ArmPipeMachine(const ArmMachine::Config& config) : m(config) { env.m = &m; }
+  // env.m points back into this object: copying would alias the original.
+  ArmPipeMachine(const ArmPipeMachine&) = delete;
+  ArmPipeMachine& operator=(const ArmPipeMachine&) = delete;
+
+  /// Simulator::load entry point (the engine was already reset).
+  void load(const sys::Program& program) { m.load_program(program); }
+
+  ArmMachine m;
+  PipeEnv env;
 };
 
 // -- shared per-class behaviours (used as transition guards/actions) ----------
@@ -138,8 +156,9 @@ void publish_action(const PipeEnv& env, core::FireCtx& ctx);
 /// Writeback: commit every reservation this instruction holds.
 void wb_action(const PipeEnv& env, core::FireCtx& ctx);
 
-/// Instruction-independent fetch: predict, decode (cached), emit the token.
-void fetch_action(const PipeEnv& env, core::FireCtx& ctx, core::PlaceId into);
+/// Instruction-independent fetch: predict, decode (cached), emit the token
+/// into env.fetch_into.
+void fetch_action(const PipeEnv& env, core::FireCtx& ctx);
 
 /// True if `op` is readable now, either from the register file or forwarded
 /// out of one of the `fwd` places.

@@ -58,7 +58,7 @@ Fig5Instr Fig5Instr::branch(std::int32_t offset) {
 
 // -- payload ---------------------------------------------------------------------
 
-struct Fig5Processor::Payload final : isa::Payload {
+struct Fig5Machine::Payload final : isa::Payload {
   Fig5Instr instr;
 };
 
@@ -72,31 +72,41 @@ std::uint32_t alu_eval(Fig5Instr::AluOp op, std::uint32_t a, std::uint32_t b) {
   }
   return 0;
 }
+
+const Fig5Instr& instr_of(const InstructionToken& t) {
+  return static_cast<Fig5Machine::Payload*>(t.payload)->instr;
+}
 }  // namespace
 
-// -- machine ----------------------------------------------------------------------
+// -- machine context --------------------------------------------------------------
 
-Fig5Processor::Fig5Processor()
-    : net_("Fig5"),
-      rf_(kNumRegs, regfile::WritePolicy::single_writer),
-      cache_({/*size*/ 256, /*line*/ 16, /*assoc*/ 2, /*hit*/ 1, /*miss*/ 6, true},
-             "fig5-dcache"),
-      dcache_([this](isa::DecodeCache::Entry& e) { bind(e); }),
-      eng_(net_, this) {
-  rf_.add_identity_registers(kNumRegs);
-  build();
+Fig5Machine::Fig5Machine()
+    : rf(kNumRegs, regfile::WritePolicy::single_writer),
+      cache({/*size*/ 256, /*line*/ 16, /*assoc*/ 2, /*hit*/ 1, /*miss*/ 6, true},
+            "fig5-dcache"),
+      dcache([this](isa::DecodeCache::Entry& e) { bind(e); }) {
+  rf.add_identity_registers(kNumRegs);
 }
 
-void Fig5Processor::bind(isa::DecodeCache::Entry& e) {
+void Fig5Machine::load(std::vector<Fig5Instr> p) {
+  program = std::move(p);
+  pc = 0;
+  rf.reset();
+  mem.clear();
+  cache.reset();
+  dcache.clear();
+}
+
+void Fig5Machine::bind(isa::DecodeCache::Entry& e) {
   auto pl = std::make_unique<Payload>();
-  pl->instr = program_[e.pc];
+  pl->instr = program[e.pc];
   const Fig5Instr& i = pl->instr;
   InstructionToken& t = e.token;
   const core::PlaceId* owner = &t.state;
 
   auto make_reg = [&](unsigned r) -> Operand* {
     auto ref = std::make_unique<RegRef>();
-    ref->bind(&rf_, static_cast<regfile::RegisterId>(r), owner);
+    ref->bind(&rf, static_cast<regfile::RegisterId>(r), owner);
     Operand* raw = ref.get();
     e.operands.push_back(std::move(ref));
     return raw;
@@ -110,19 +120,19 @@ void Fig5Processor::bind(isa::DecodeCache::Entry& e) {
 
   switch (i.kind) {
     case Fig5Instr::Kind::alu:
-      t.type = ty_alu_;
+      t.type = ty_alu;
       t.ops[kSlotDst] = make_reg(i.d);
       t.ops[kSlotSrc1] = make_reg(i.s1);
       t.ops[kSlotSrc2] = i.s2_is_imm ? make_const(i.imm) : make_reg(i.s2);
       break;
     case Fig5Instr::Kind::load_store:
-      t.type = ty_ls_;
+      t.type = ty_ls;
       t.ops[kSlotDst] = make_reg(i.r);  // the r symbol: dest (load) or data (store)
       t.ops[kSlotSrc1] =
           i.addr_is_imm ? make_const(i.addr) : make_reg(i.addr_reg);
       break;
     case Fig5Instr::Kind::branch:
-      t.type = ty_br_;
+      t.type = ty_br;
       // offset: {Register | Constant} — constant form here.
       t.ops[kSlotSrc1] = make_const(static_cast<std::uint32_t>(i.offset));
       break;
@@ -131,26 +141,38 @@ void Fig5Processor::bind(isa::DecodeCache::Entry& e) {
   e.payload = std::move(pl);
 }
 
-void Fig5Processor::build() {
-  const core::StageId s1 = net_.add_stage("L1", 1);
-  const core::StageId s2 = net_.add_stage("L2", 1);
-  const core::StageId s3 = net_.add_stage("L3", 1);
-  const core::StageId s4 = net_.add_stage("L4", 1);
-  l1_ = net_.add_place("L1", s1);
-  l2_ = net_.add_place("L2", s2);
+// -- model description -------------------------------------------------------------
+
+Fig5Processor::Fig5Processor()
+    : sim_("Fig5", [this](model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m) {
+        describe(b, m);
+      }) {}
+
+void Fig5Processor::describe(model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m) {
+  const model::StageHandle s1 = b.add_stage("L1", 1);
+  const model::StageHandle s2 = b.add_stage("L2", 1);
+  const model::StageHandle s3 = b.add_stage("L3", 1);
+  const model::StageHandle s4 = b.add_stage("L4", 1);
+  l1_ = b.add_place("L1", s1);
+  l2_ = b.add_place("L2", s2);
   // L3 holds results for two cycles before writeback (a result latch ahead
   // of the register-file port). That residence is what makes the feedback
   // path useful: a dependent instruction can take the priority-1 canRead(L3)
   // route one cycle before the value commits.
-  l3_ = net_.add_place("L3", s3, /*delay=*/2);
-  l4_ = net_.add_place("L4", s4);
-  ty_alu_ = net_.add_type("ALU");
-  ty_ls_ = net_.add_type("LoadStore");
-  ty_br_ = net_.add_type("Branch");
+  l3_ = b.add_place("L3", s3, /*delay=*/2);
+  l4_ = b.add_place("L4", s4);
+  const model::TypeHandle ty_alu = b.add_type("ALU");
+  const model::TypeHandle ty_ls = b.add_type("LoadStore");
+  const model::TypeHandle ty_br = b.add_type("Branch");
+  m.ty_alu = ty_alu;
+  m.ty_ls = ty_ls;
+  m.ty_br = ty_br;
+  m.fetch_into = l1_;
+  const core::PlaceId l3 = l3_;
 
   // ---- ALU sub-net (two prioritized issue transitions, Fig 5 left) ---------
   // priority 0: [t.s1.canRead(), t.s2.canRead(), t.d.canWrite()]
-  d0_ = net_.add_transition("ALU.D0", ty_alu_)
+  d0_ = b.add_transition("ALU.D0", ty_alu)
             .from(l1_, /*priority=*/0)
             .guard([](FireCtx& ctx) {
               InstructionToken& t = *ctx.token;
@@ -163,45 +185,43 @@ void Fig5Processor::build() {
               t.ops[kSlotSrc2]->read();
               t.ops[kSlotDst]->reserve_write();
             })
-            .to(l2_)
-            .id();
+            .to(l2_);
   // priority 1: [t.s1.canRead(L3), ...] — the feedback path, s1 only (§3.2).
-  d1_ = net_.add_transition("ALU.D1", ty_alu_)
+  d1_ = b.add_transition("ALU.D1", ty_alu)
             .from(l1_, /*priority=*/1)
-            .guard([this](FireCtx& ctx) {
+            .guard([l3](FireCtx& ctx) {
               InstructionToken& t = *ctx.token;
-              return t.ops[kSlotSrc1]->can_read_in(l3_) &&
+              return t.ops[kSlotSrc1]->can_read_in(l3) &&
                      t.ops[kSlotSrc2]->can_read() && t.ops[kSlotDst]->can_write();
             })
-            .action([this](FireCtx& ctx) {
+            .action([l3](FireCtx& ctx) {
               InstructionToken& t = *ctx.token;
-              t.ops[kSlotSrc1]->read_in(l3_);
+              t.ops[kSlotSrc1]->read_in(l3);
               t.ops[kSlotSrc2]->read();
               t.ops[kSlotDst]->reserve_write();
             })
             .to(l2_)
-            .reads_state(l3_)
-            .id();
-  net_.add_transition("ALU.E", ty_alu_)
+            .reads_state(l3_);
+  b.add_transition("ALU.E", ty_alu)
       .from(l2_)
-      .action([this](FireCtx& ctx) {
+      .action([](FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        const Fig5Instr& i = instr_of(t);
         t.ops[kSlotDst]->set_value(
             alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
       })
       .to(l3_);
-  net_.add_transition("ALU.We", ty_alu_)
+  b.add_transition("ALU.We", ty_alu)
       .from(l3_)
       .action([](FireCtx& ctx) { ctx.token->ops[kSlotDst]->writeback(); })
-      .to(net_.end_place());
+      .to(b.end());
 
   // ---- LoadStore sub-net (variable memory delay, Fig 5 bottom) -------------
-  net_.add_transition("LS.D", ty_ls_)
+  b.add_transition("LS.D", ty_ls)
       .from(l1_)
       .guard([](FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        const Fig5Instr& i = instr_of(t);
         // [!t.L || t.r.canWrite(), t.L || t.r.canRead(), t.addr.canRead()]
         if (!t.ops[kSlotSrc1]->can_read()) return false;
         return i.is_load ? t.ops[kSlotDst]->can_write()
@@ -209,7 +229,7 @@ void Fig5Processor::build() {
       })
       .action([](FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        const Fig5Instr& i = instr_of(t);
         t.ops[kSlotSrc1]->read();
         if (i.is_load)
           t.ops[kSlotDst]->reserve_write();
@@ -217,87 +237,62 @@ void Fig5Processor::build() {
           t.ops[kSlotDst]->read();
       })
       .to(l2_);
-  net_.add_transition("LS.M", ty_ls_)
+  b.add_transition("LS.M", ty_ls)
       .from(l2_)
-      .action([this](FireCtx& ctx) {
+      .action([](Fig5Machine& m, FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        const Fig5Instr& i = instr_of(t);
         const std::uint32_t addr = t.ops[kSlotSrc1]->value();
         // if (t.L) t.r = mem[addr]; else mem[addr] = t.r;
         if (i.is_load)
-          t.ops[kSlotDst]->set_value(mem_.read32(addr));
+          t.ops[kSlotDst]->set_value(m.mem.read32(addr));
         else
-          mem_.write32(addr, t.ops[kSlotDst]->value());
+          m.mem.write32(addr, t.ops[kSlotDst]->value());
         // t.delay = mem.delay(addr);
-        t.next_delay = cache_.access(addr, !i.is_load);
+        t.next_delay = m.cache.access(addr, !i.is_load);
       })
       .to(l4_);
-  net_.add_transition("LS.Wm", ty_ls_)
+  b.add_transition("LS.Wm", ty_ls)
       .from(l4_)
       .action([](FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
-        if (i.is_load) t.ops[kSlotDst]->writeback();
+        if (instr_of(t).is_load) t.ops[kSlotDst]->writeback();
       })
-      .to(net_.end_place());
+      .to(b.end());
 
   // ---- Branch sub-net (reservation-token fetch stall, Fig 5 right) ---------
-  net_.add_transition("BR.D", ty_br_)
+  b.add_transition("BR.D", ty_br)
       .from(l1_)
       .guard([](FireCtx& ctx) { return ctx.token->ops[kSlotSrc1]->can_read(); })
       .action([](FireCtx& ctx) { ctx.token->ops[kSlotSrc1]->read(); })
       .to(l2_)
       .emit_reservation(l1_);
-  net_.add_transition("BR.B", ty_br_)
+  b.add_transition("BR.B", ty_br)
       .from(l2_)
       .consume_reservation(l1_)
-      .action([this](FireCtx& ctx) {
+      .action([](Fig5Machine& m, FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
         // pc = pc + offset (relative to the branch's own index).
-        pc_ = static_cast<std::uint32_t>(
+        m.pc = static_cast<std::uint32_t>(
             static_cast<std::int64_t>(t.pc) +
             static_cast<std::int32_t>(t.ops[kSlotSrc1]->value()));
       })
-      .to(net_.end_place());
+      .to(b.end());
 
   // ---- instruction-independent sub-net (F) ----------------------------------
-  net_.add_independent_transition("F")
-      .guard([this](FireCtx&) { return pc_ < program_.size(); })
-      .action([this](FireCtx& ctx) {
-        InstructionToken* t = dcache_.get(pc_, /*raw=*/0);
-        ++pc_;
-        ctx.engine->emit_instruction(t, l1_);
+  b.add_independent_transition("F")
+      .guard([](Fig5Machine& m, FireCtx&) { return m.pc < m.program.size(); })
+      .action([](Fig5Machine& m, FireCtx& ctx) {
+        InstructionToken* t = m.dcache.get(m.pc, /*raw=*/0);
+        ++m.pc;
+        ctx.engine->emit_instruction(t, m.fetch_into);
       })
       .to(l1_);
-
-  eng_.build();
-}
-
-void Fig5Processor::load(std::vector<Fig5Instr> program) {
-  program_ = std::move(program);
-  pc_ = 0;
-  rf_.reset();
-  mem_.clear();
-  cache_.reset();
-  dcache_.clear();
-  eng_.reset();
 }
 
 std::uint64_t Fig5Processor::run(std::uint64_t max_cycles) {
-  const core::Cycle start = eng_.clock();
-  while (!eng_.stopped() && eng_.clock() - start < max_cycles) {
-    eng_.step();
-    if (pc_ >= program_.size() && eng_.tokens_in_flight() == 0) break;
-  }
-  return eng_.clock() - start;
-}
-
-std::uint64_t Fig5Processor::alu_issues_direct() const {
-  return eng_.stats().transition_fires[static_cast<unsigned>(d0_)];
-}
-
-std::uint64_t Fig5Processor::alu_issues_forwarded() const {
-  return eng_.stats().transition_fires[static_cast<unsigned>(d1_)];
+  return sim_.drain(
+      [](const Fig5Machine& m) { return m.pc >= m.program.size(); }, max_cycles);
 }
 
 }  // namespace rcpn::machines

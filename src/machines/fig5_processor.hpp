@@ -13,12 +13,16 @@
 //
 // L3 is circularly referenced, so the engine's analysis gives it the
 // two-list algorithm — exactly the paper's example of the optimization.
+//
+// The model is declared through model::ModelBuilder; Fig5Machine is the
+// typed context (register file, memories, decode cache, pc) the sub-net
+// guards and actions receive.
 #pragma once
 
-#include "core/engine.hpp"
 #include "isa/decoder.hpp"
 #include "mem/cache.hpp"
 #include "mem/memory.hpp"
+#include "model/simulator.hpp"
 #include "regfile/reg_ref.hpp"
 
 namespace rcpn::machines {
@@ -56,53 +60,70 @@ struct Fig5Instr {
   static Fig5Instr branch(std::int32_t offset);
 };
 
+/// Machine context of the Fig 4/5 model: architectural state plus the ids
+/// the decode binding needs (operation classes, the fetch latch).
+struct Fig5Machine {
+  static constexpr unsigned kNumRegs = 8;
+
+  Fig5Machine();
+  Fig5Machine(const Fig5Machine&) = delete;
+  Fig5Machine& operator=(const Fig5Machine&) = delete;
+
+  /// Swap in a program and reset architectural + decode state (the engine is
+  /// reset by Simulator::load before this runs).
+  void load(std::vector<Fig5Instr> p);
+
+  regfile::RegisterFile rf;
+  mem::Memory mem;
+  mem::Cache cache;
+  isa::DecodeCache dcache;
+  std::vector<Fig5Instr> program;
+  std::uint32_t pc = 0;
+
+  // Filled by the model description, consumed by the decode binding.
+  core::TypeId ty_alu = core::kNoType, ty_ls = core::kNoType, ty_br = core::kNoType;
+  core::PlaceId fetch_into = core::kNoPlace;
+
+  struct Payload;
+
+ private:
+  void bind(isa::DecodeCache::Entry& e);
+};
+
 class Fig5Processor {
  public:
-  static constexpr unsigned kNumRegs = 8;
+  static constexpr unsigned kNumRegs = Fig5Machine::kNumRegs;
 
   Fig5Processor();
 
-  void load(std::vector<Fig5Instr> program);
+  void load(std::vector<Fig5Instr> program) { sim_.load(std::move(program)); }
   /// Run until all tokens drain and fetch passes the end of the program.
   std::uint64_t run(std::uint64_t max_cycles = 1u << 20);
 
-  std::uint32_t reg(unsigned i) const { return rf_.read_cell(i); }
-  void set_reg(unsigned i, std::uint32_t v) { rf_.write_cell(i, v); }
-  mem::Memory& memory() { return mem_; }
-  mem::Cache& dcache() { return cache_; }
+  std::uint32_t reg(unsigned i) const { return sim_.machine().rf.read_cell(i); }
+  void set_reg(unsigned i, std::uint32_t v) { sim_.machine().rf.write_cell(i, v); }
+  mem::Memory& memory() { return sim_.machine().mem; }
+  mem::Cache& dcache() { return sim_.machine().cache; }
 
-  core::Net& net() { return net_; }
-  core::Engine& engine() { return eng_; }
+  core::Net& net() { return sim_.net(); }
+  core::Engine& engine() { return sim_.engine(); }
 
   /// Paper-behaviour counters for tests: how often the feedback path
   /// (priority-1 issue) fired vs the register-file path.
-  std::uint64_t alu_issues_direct() const;
-  std::uint64_t alu_issues_forwarded() const;
+  std::uint64_t alu_issues_direct() const { return sim_.fires(d0_); }
+  std::uint64_t alu_issues_forwarded() const { return sim_.fires(d1_); }
 
-  core::PlaceId l1() const { return l1_; }
-  core::PlaceId l2() const { return l2_; }
-  core::PlaceId l3() const { return l3_; }
-  core::PlaceId l4() const { return l4_; }
+  core::PlaceId l1() const { return l1_.id(); }
+  core::PlaceId l2() const { return l2_.id(); }
+  core::PlaceId l3() const { return l3_.id(); }
+  core::PlaceId l4() const { return l4_.id(); }
 
  private:
-  struct Payload;
-  void build();
-  void bind(isa::DecodeCache::Entry& e);
+  void describe(model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m);
 
-  core::Net net_;
-  regfile::RegisterFile rf_;
-  mem::Memory mem_;
-  mem::Cache cache_;
-  isa::DecodeCache dcache_;
-  core::Engine eng_;
-  std::vector<Fig5Instr> program_;
-  std::uint32_t pc_ = 0;
-
-  core::TypeId ty_alu_ = core::kNoType, ty_ls_ = core::kNoType,
-               ty_br_ = core::kNoType;
-  core::PlaceId l1_ = core::kNoPlace, l2_ = core::kNoPlace, l3_ = core::kNoPlace,
-                l4_ = core::kNoPlace;
-  core::TransitionId d0_ = -1, d1_ = -1;
+  model::PlaceHandle l1_, l2_, l3_, l4_;
+  model::TransitionHandle d0_, d1_;
+  model::Simulator<Fig5Machine> sim_;
 };
 
 }  // namespace rcpn::machines

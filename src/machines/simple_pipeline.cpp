@@ -5,48 +5,37 @@ namespace rcpn::machines {
 using core::FireCtx;
 
 SimplePipeline::SimplePipeline(std::uint64_t to_generate)
-    : net_("Fig2"), eng_(net_, this), to_generate_(to_generate) {
-  const core::StageId s1 = net_.add_stage("L1", 1);
-  const core::StageId s2 = net_.add_stage("L2", 1);
-  l1_ = net_.add_place("L1", s1);
-  l2_ = net_.add_place("L2", s2);
-  type_a_ = net_.add_type("A");
-  type_b_ = net_.add_type("B");
+    : sim_(
+          "Fig2",
+          [this](model::ModelBuilder<Machine>& b, Machine&) {
+            const model::StageHandle s1 = b.add_stage("L1", 1);
+            const model::StageHandle s2 = b.add_stage("L2", 1);
+            l1_ = b.add_place("L1", s1);
+            l2_ = b.add_place("L2", s2);
+            type_a_ = b.add_type("A");
+            type_b_ = b.add_type("B");
 
-  u2_ = net_.add_transition("U2", type_a_).from(l1_).to(l2_).id();
-  u3_ = net_.add_transition("U3", type_a_).from(l2_).to(net_.end_place()).id();
-  u4_ = net_.add_transition("U4", type_b_).from(l1_).to(net_.end_place()).id();
+            u2_ = b.add_transition("U2", type_a_).from(l1_).to(l2_);
+            u3_ = b.add_transition("U3", type_a_).from(l2_).to(b.end());
+            u4_ = b.add_transition("U4", type_b_).from(l1_).to(b.end());
 
-  net_.add_independent_transition("U1")
-      .guard([this](FireCtx&) { return generated_ < to_generate_; })
-      .action([this](FireCtx& ctx) {
-        core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
-        t->type = (generated_ % 2 == 0) ? type_a_ : type_b_;
-        ++generated_;
-        ctx.engine->emit_instruction(t, l1_);
-      })
-      .to(l1_);
-
-  eng_.build();
-}
+            const core::TypeId ta = type_a_, tb = type_b_;
+            const core::PlaceId l1 = l1_;
+            b.add_independent_transition("U1")
+                .guard([](Machine& m, FireCtx&) { return m.generated < m.to_generate; })
+                .action([ta, tb, l1](Machine& m, FireCtx& ctx) {
+                  core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
+                  t->type = (m.generated % 2 == 0) ? ta : tb;
+                  ++m.generated;
+                  ctx.engine->emit_instruction(t, l1);
+                })
+                .to(l1_);
+          },
+          Machine{to_generate, 0}) {}
 
 std::uint64_t SimplePipeline::run(std::uint64_t max_cycles) {
-  const core::Cycle start = eng_.clock();
-  while (!eng_.stopped() && eng_.clock() - start < max_cycles) {
-    eng_.step();
-    if (generated_ >= to_generate_ && eng_.tokens_in_flight() == 0) break;
-  }
-  return eng_.clock() - start;
-}
-
-std::uint64_t SimplePipeline::u2_fires() const {
-  return eng_.stats().transition_fires[static_cast<unsigned>(u2_)];
-}
-std::uint64_t SimplePipeline::u3_fires() const {
-  return eng_.stats().transition_fires[static_cast<unsigned>(u3_)];
-}
-std::uint64_t SimplePipeline::u4_fires() const {
-  return eng_.stats().transition_fires[static_cast<unsigned>(u4_)];
+  return sim_.drain([](const Machine& m) { return m.generated >= m.to_generate; },
+                    max_cycles);
 }
 
 }  // namespace rcpn::machines

@@ -3,9 +3,13 @@
 // and two instruction-type sub-nets: type A flows U2 -> U3 through latch L2,
 // type B leaves from L1 through U4. Used by the quickstart example, the core
 // integration tests and the CPN-conversion demo.
+//
+// Described with the declarative model API: the machine context is a plain
+// counter struct, the net is declared through ModelBuilder, and
+// model::Simulator owns all three layers.
 #pragma once
 
-#include "core/engine.hpp"
+#include "model/simulator.hpp"
 
 namespace rcpn::machines {
 
@@ -17,25 +21,29 @@ class SimplePipeline {
   /// Run until every token drained (or `max_cycles`); returns cycles used.
   std::uint64_t run(std::uint64_t max_cycles = 1u << 20);
 
-  core::Net& net() { return net_; }
-  core::Engine& engine() { return eng_; }
+  core::Net& net() { return sim_.net(); }
+  core::Engine& engine() { return sim_.engine(); }
 
-  std::uint64_t generated() const { return generated_; }
-  std::uint64_t u2_fires() const;
-  std::uint64_t u3_fires() const;
-  std::uint64_t u4_fires() const;
+  std::uint64_t generated() const { return sim_.machine().generated; }
+  std::uint64_t u2_fires() const { return sim_.fires(u2_); }
+  std::uint64_t u3_fires() const { return sim_.fires(u3_); }
+  std::uint64_t u4_fires() const { return sim_.fires(u4_); }
 
-  core::PlaceId l1() const { return l1_; }
-  core::PlaceId l2() const { return l2_; }
+  core::PlaceId l1() const { return l1_.id(); }
+  core::PlaceId l2() const { return l2_.id(); }
 
  private:
-  core::Net net_;
-  core::Engine eng_;
-  std::uint64_t to_generate_;
-  std::uint64_t generated_ = 0;
-  core::TypeId type_a_ = core::kNoType, type_b_ = core::kNoType;
-  core::PlaceId l1_ = core::kNoPlace, l2_ = core::kNoPlace;
-  core::TransitionId u2_ = -1, u3_ = -1, u4_ = -1;
+  struct Machine {
+    std::uint64_t to_generate = 0;
+    std::uint64_t generated = 0;
+  };
+
+  // Handles are assigned by the describe callback before sim_ finishes
+  // constructing, so they are declared first.
+  model::PlaceHandle l1_, l2_;
+  model::TypeHandle type_a_, type_b_;
+  model::TransitionHandle u2_, u3_, u4_;
+  model::Simulator<Machine> sim_;
 };
 
 }  // namespace rcpn::machines

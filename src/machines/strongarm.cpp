@@ -1,5 +1,7 @@
 #include "machines/strongarm.hpp"
 
+#include <cassert>
+
 namespace rcpn::machines {
 
 using arm::OpClass;
@@ -13,100 +15,84 @@ StrongArmConfig::StrongArmConfig() {
 
 StrongArmSim::StrongArmSim(StrongArmConfig config)
     : cfg_(std::move(config)),
-      net_("StrongArm"),
-      // multi_writer: the SA-110 is in-order with a single pipe, so
-      // writebacks are naturally ordered and back-to-back writers of the
-      // same register (most importantly consecutive CPSR setters in
-      // compare/branch loops) do not stall — a single-writer scoreboard
-      // would over-serialize them by the full pipeline depth.
-      m_(ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}),
-      eng_(net_, &m_, cfg_.engine) {
-  build();
-}
+      sim_(
+          "StrongArm", cfg_.engine,
+          [this](model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc) {
+            describe(b, mc);
+          },
+          // multi_writer: the SA-110 is in-order with a single pipe, so
+          // writebacks are naturally ordered and back-to-back writers of the
+          // same register (most importantly consecutive CPSR setters in
+          // compare/branch loops) do not stall — a single-writer scoreboard
+          // would over-serialize them by the full pipeline depth.
+          ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {}
 
-void StrongArmSim::build() {
-  const core::StageId sFD = net_.add_stage("FD", 1);
-  const core::StageId sDE = net_.add_stage("DE", 1);
-  const core::StageId sEM = net_.add_stage("EM", 1);
-  const core::StageId sMW = net_.add_stage("MW", 1);
-  fd_ = net_.add_place("FD", sFD);
-  de_ = net_.add_place("DE", sDE);
-  em_ = net_.add_place("EM", sEM);
-  mw_ = net_.add_place("MW", sMW);
+void StrongArmSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc) {
+  const model::StageHandle sFD = b.add_stage("FD", 1);
+  const model::StageHandle sDE = b.add_stage("DE", 1);
+  const model::StageHandle sEM = b.add_stage("EM", 1);
+  const model::StageHandle sMW = b.add_stage("MW", 1);
+  const model::PlaceHandle fd = b.add_place("FD", sFD);
+  const model::PlaceHandle de = b.add_place("DE", sDE);
+  const model::PlaceHandle em = b.add_place("EM", sEM);
+  const model::PlaceHandle mw = b.add_place("MW", sMW);
 
   // ALU results forward out of EM in the same cycle (E->D bypass, 0-bubble
   // back-to-back ALU). MW stays on the engine's default two-list analysis:
   // load/multiply results become visible one cycle after entering MW, giving
   // the SA-110's one-cycle load-use penalty.
-  net_.stage(sEM).force_two_list(false);
+  b.force_two_list(sEM, false);
 
-  env_ = PipeEnv{&m_,
-                 /*fwd=*/{em_, mw_},
-                 /*flush_on_redirect=*/{sFD},
-                 /*drain=*/{de_, em_, mw_},
-                 /*use_predictor=*/false};
+  mc.env.fwd = {em.id(), mw.id()};
+  mc.env.flush_on_redirect = {sFD.id()};
+  mc.env.drain = {de.id(), em.id(), mw.id()};
+  mc.env.fetch_into = fd.id();
+  mc.env.use_predictor = false;
 
-  // Raw delegates: the generated-simulator shape — one indirect call per
-  // guard/action, environment passed as a pointer.
-  const auto g_issue = +[](void* env, FireCtx& ctx) {
-    return issue_guard(*static_cast<PipeEnv*>(env), ctx);
+  // The per-class behaviours are shared free functions; the typed machine
+  // context replaces the old raw-delegate void* environment.
+  const auto g_issue = [](ArmPipeMachine& m, FireCtx& ctx) {
+    return issue_guard(m.env, ctx);
   };
-  const auto a_issue = +[](void* env, FireCtx& ctx) {
-    issue_action(*static_cast<PipeEnv*>(env), ctx);
+  const auto a_issue = [](ArmPipeMachine& m, FireCtx& ctx) { issue_action(m.env, ctx); };
+  const auto a_exec = [](ArmPipeMachine& m, FireCtx& ctx) { execute_action(m.env, ctx); };
+  const auto a_mem = [](ArmPipeMachine& m, FireCtx& ctx) {
+    mem_action(m.env, ctx, /*publish=*/true);
   };
-  const auto a_exec = +[](void* env, FireCtx& ctx) {
-    execute_action(*static_cast<PipeEnv*>(env), ctx);
-  };
-  const auto a_mem = +[](void* env, FireCtx& ctx) {
-    mem_action(*static_cast<PipeEnv*>(env), ctx, /*publish=*/true);
-  };
-  const auto a_wb = +[](void* env, FireCtx& ctx) {
-    wb_action(*static_cast<PipeEnv*>(env), ctx);
-  };
+  const auto a_wb = [](ArmPipeMachine& m, FireCtx& ctx) { wb_action(m.env, ctx); };
 
   for (unsigned c = 0; c < arm::kNumOpClasses; ++c) {
     const auto cls = static_cast<OpClass>(c);
     const std::string name = arm::op_class_name(cls);
-    const core::TypeId ty = net_.add_type(name);
-    assert(ty == static_cast<core::TypeId>(c));
+    const model::TypeHandle ty = b.add_type(name);
+    assert(ty.id() == static_cast<core::TypeId>(c));
     (void)ty;
 
-    net_.add_transition("D." + name, ty)
-        .from(fd_)
-        .guard(g_issue, &env_)
-        .action(a_issue, &env_)
-        .to(de_)
-        .reads_state(em_)
-        .reads_state(mw_);
-    net_.add_transition("E." + name, ty).from(de_).action(a_exec, &env_).to(em_);
-    net_.add_transition("M." + name, ty).from(em_).action(a_mem, &env_).to(mw_);
-    net_.add_transition("W." + name, ty)
-        .from(mw_)
-        .action(a_wb, &env_)
-        .to(net_.end_place());
+    b.add_transition("D." + name, ty)
+        .from(fd)
+        .guard(g_issue)
+        .action(a_issue)
+        .to(de)
+        .reads_state(em)
+        .reads_state(mw);
+    b.add_transition("E." + name, ty).from(de).action(a_exec).to(em);
+    b.add_transition("M." + name, ty).from(em).action(a_mem).to(mw);
+    b.add_transition("W." + name, ty).from(mw).action(a_wb).to(b.end());
   }
 
-  net_.add_independent_transition("F")
-      .guard(+[](void* env, FireCtx&) {
-        return !static_cast<StrongArmSim*>(env)->m_.sys.exited();
-      }, this)
-      .action(+[](void* env, FireCtx& ctx) {
-        auto* self = static_cast<StrongArmSim*>(env);
-        fetch_action(self->env_, ctx, self->fd_);
-      }, this)
-      .to(fd_);
-
-  eng_.build();
+  b.add_independent_transition("F")
+      .guard([](ArmPipeMachine& m, FireCtx&) { return !m.m.sys.exited(); })
+      .action([](ArmPipeMachine& m, FireCtx& ctx) { fetch_action(m.env, ctx); })
+      .to(fd);
 }
 
 RunResult StrongArmSim::run(const sys::Program& program, std::uint64_t max_cycles) {
-  // Drain leftover tokens from a previous run *before* load_program clears
-  // the decode cache that owns them.
-  eng_.reset();
-  m_.load_program(program);
-  m_.dcache.set_bypass(cfg_.decode_cache_bypass);
-  eng_.run(max_cycles);
-  return collect_result(eng_, m_);
+  // load() drains leftover tokens from a previous run *before* the machine's
+  // load_program clears the decode cache that owns them.
+  sim_.load(program);
+  machine().dcache.set_bypass(cfg_.decode_cache_bypass);
+  sim_.run(max_cycles);
+  return collect_result(sim_.engine(), machine());
 }
 
 RunResult collect_result(const core::Engine& eng, const ArmMachine& m) {

@@ -2,11 +2,12 @@
 // (§5). Stages F, D, E, M, W with unit-capacity latches; operands issue at D
 // with full bypass from the E and M output latches; no branch prediction
 // (sequential fetch, redirect + fetch-side squash when a branch resolves in
-// E). Six operation-class sub-nets, as in the paper's model.
+// E). Six operation-class sub-nets, as in the paper's model — declared
+// through model::ModelBuilder over the shared ArmPipeMachine context.
 #pragma once
 
-#include "core/engine.hpp"
 #include "machines/arm_machine.hpp"
+#include "model/simulator.hpp"
 
 namespace rcpn::machines {
 
@@ -40,20 +41,15 @@ class StrongArmSim {
   /// Run `program` to completion (SWI exit) or `max_cycles`.
   RunResult run(const sys::Program& program, std::uint64_t max_cycles = ~0ull);
 
-  core::Net& net() { return net_; }
-  core::Engine& engine() { return eng_; }
-  ArmMachine& machine() { return m_; }
+  core::Net& net() { return sim_.net(); }
+  core::Engine& engine() { return sim_.engine(); }
+  ArmMachine& machine() { return sim_.machine().m; }
 
  private:
-  void build();
+  void describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc);
 
   StrongArmConfig cfg_;
-  core::Net net_;
-  ArmMachine m_;
-  core::Engine eng_;
-  PipeEnv env_;
-  core::PlaceId fd_ = core::kNoPlace, de_ = core::kNoPlace, em_ = core::kNoPlace,
-                mw_ = core::kNoPlace;
+  model::Simulator<ArmPipeMachine> sim_;
 };
 
 /// Collect a RunResult from an engine + machine after a run.

@@ -13,7 +13,7 @@ using regfile::ConstOperand;
 using regfile::Operand;
 using regfile::RegRef;
 
-struct TomasuloCore::Payload final : isa::Payload {
+struct TomasuloMachine::Payload final : isa::Payload {
   Fig5Instr instr;
 };
 
@@ -26,6 +26,10 @@ std::uint32_t alu_eval(Fig5Instr::AluOp op, std::uint32_t a, std::uint32_t b) {
     case Fig5Instr::AluOp::xor_op: return a ^ b;
   }
   return 0;
+}
+
+const Fig5Instr& instr_of(const InstructionToken& t) {
+  return static_cast<TomasuloMachine::Payload*>(t.payload)->instr;
 }
 
 // Tomasulo source capture at issue: either the value is current (read it now
@@ -50,28 +54,32 @@ void src_fetch(Operand* op) {
 }
 }  // namespace
 
-TomasuloCore::TomasuloCore(unsigned rs_entries, unsigned num_fus)
-    : net_("Tomasulo"),
-      rf_(kNumRegs, regfile::WritePolicy::multi_writer),  // renaming (§3.1)
-      dcache_([this](isa::DecodeCache::Entry& e) { bind(e); }),
-      eng_(net_, this),
-      rs_entries_(rs_entries),
-      num_fus_(num_fus) {
-  rf_.add_identity_registers(kNumRegs);
-  build();
+TomasuloMachine::TomasuloMachine()
+    : rf(kNumRegs, regfile::WritePolicy::multi_writer),  // renaming (§3.1)
+      dcache([this](isa::DecodeCache::Entry& e) { bind(e); }) {
+  rf.add_identity_registers(kNumRegs);
 }
 
-void TomasuloCore::bind(isa::DecodeCache::Entry& e) {
+void TomasuloMachine::load(std::vector<Fig5Instr> p) {
+  program = std::move(p);
+  pc = 0;
+  rf.reset();
+  dcache.clear();
+  last_exec_seq = 0;
+  observed_ooo = false;
+}
+
+void TomasuloMachine::bind(isa::DecodeCache::Entry& e) {
   auto pl = std::make_unique<Payload>();
-  pl->instr = program_[e.pc];
+  pl->instr = program[e.pc];
   const Fig5Instr& i = pl->instr;
   InstructionToken& t = e.token;
-  t.type = ty_alu_;
+  t.type = ty_alu;
   const core::PlaceId* owner = &t.state;
 
   auto make_reg = [&](unsigned r) -> Operand* {
     auto ref = std::make_unique<RegRef>();
-    ref->bind(&rf_, static_cast<regfile::RegisterId>(r), owner);
+    ref->bind(&rf, static_cast<regfile::RegisterId>(r), owner);
     Operand* raw = ref.get();
     e.operands.push_back(std::move(ref));
     return raw;
@@ -90,22 +98,31 @@ void TomasuloCore::bind(isa::DecodeCache::Entry& e) {
   e.payload = std::move(pl);
 }
 
-void TomasuloCore::build() {
-  const core::StageId sDisp = net_.add_stage("DISP", 1);
-  const core::StageId sRs = net_.add_stage("RS", rs_entries_);
-  const core::StageId sEx = net_.add_stage("EX", num_fus_);
-  const core::StageId sCdb = net_.add_stage("CDB", 1);
-  disp_ = net_.add_place("DISP", sDisp);
-  rs_ = net_.add_place("RS", sRs);
-  ex_ = net_.add_place("EX", sEx);
-  cdb_ = net_.add_place("CDB", sCdb);
-  ty_alu_ = net_.add_type("ALU");
+TomasuloCore::TomasuloCore(unsigned rs_entries, unsigned num_fus)
+    : sim_("Tomasulo", [this, rs_entries, num_fus](model::ModelBuilder<TomasuloMachine>& b,
+                                                   TomasuloMachine& m) {
+        describe(b, m, rs_entries, num_fus);
+      }) {}
+
+void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMachine& m,
+                            unsigned rs_entries, unsigned num_fus) {
+  const model::StageHandle sDisp = b.add_stage("DISP", 1);
+  const model::StageHandle sRs = b.add_stage("RS", rs_entries);
+  const model::StageHandle sEx = b.add_stage("EX", num_fus);
+  const model::StageHandle sCdb = b.add_stage("CDB", 1);
+  const model::PlaceHandle disp = b.add_place("DISP", sDisp);
+  const model::PlaceHandle rs = b.add_place("RS", sRs);
+  const model::PlaceHandle ex = b.add_place("EX", sEx);
+  const model::PlaceHandle cdb = b.add_place("CDB", sCdb);
+  const model::TypeHandle ty_alu = b.add_type("ALU");
+  m.ty_alu = ty_alu;
+  m.fetch_into = disp;
 
   // Issue: claim an RS entry, read available sources (Vj/Vk), capture the
   // producer tag of pending ones (Qj/Qk), and rename the destination
   // (reserve_write on a multi-writer file == allocate a new name).
-  net_.add_transition("Issue", ty_alu_)
-      .from(disp_)
+  b.add_transition("Issue", ty_alu)
+      .from(disp)
       .guard([](FireCtx& ctx) { return ctx.token->ops[kSlotDst]->can_write(); })
       .action([](FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
@@ -113,77 +130,60 @@ void TomasuloCore::build() {
         src_capture(t.ops[kSlotSrc2]);
         t.ops[kSlotDst]->reserve_write();
       })
-      .to(rs_);
+      .to(rs);
 
   // Dispatch-to-execute: fires for ANY token in the reservation station whose
   // operands have arrived (value captured at issue, or the tagged producer
   // has broadcast) — out-of-order issue is just the enabling rule over a
   // capacity>1 stage.
-  net_.add_transition("Exec", ty_alu_)
-      .from(rs_)
+  b.add_transition("Exec", ty_alu)
+      .from(rs)
       .guard([](FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
         return src_ready(t.ops[kSlotSrc1]) && src_ready(t.ops[kSlotSrc2]);
       })
-      .action([this](FireCtx& ctx) {
+      .action([](TomasuloMachine& m, FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
         src_fetch(t.ops[kSlotSrc1]);
         src_fetch(t.ops[kSlotSrc2]);
-        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
         // FU latency: multiplies occupy the unit longer.
-        t.next_delay = i.op == Fig5Instr::AluOp::mul ? 3 : 1;
-        if (t.seq < last_exec_seq_) observed_ooo_ = true;
-        if (t.seq > last_exec_seq_) last_exec_seq_ = t.seq;
+        t.next_delay = instr_of(t).op == Fig5Instr::AluOp::mul ? 3 : 1;
+        if (t.seq < m.last_exec_seq) m.observed_ooo = true;
+        if (t.seq > m.last_exec_seq) m.last_exec_seq = t.seq;
       })
-      .to(ex_)
-      .reads_state(cdb_);
+      .to(ex)
+      .reads_state(cdb);
 
   // Broadcast: one result per cycle crosses the common data bus.
-  net_.add_transition("Bcast", ty_alu_)
-      .from(ex_)
+  b.add_transition("Bcast", ty_alu)
+      .from(ex)
       .action([](FireCtx& ctx) {
         InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = static_cast<Payload*>(t.payload)->instr;
+        const Fig5Instr& i = instr_of(t);
         t.ops[kSlotDst]->set_value(
             alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
       })
-      .to(cdb_);
+      .to(cdb);
 
   // Writeback/retire.
-  net_.add_transition("Wb", ty_alu_)
-      .from(cdb_)
+  b.add_transition("Wb", ty_alu)
+      .from(cdb)
       .action([](FireCtx& ctx) { ctx.token->ops[kSlotDst]->writeback(); })
-      .to(net_.end_place());
+      .to(b.end());
 
-  net_.add_independent_transition("Fetch")
-      .guard([this](FireCtx&) { return pc_ < program_.size(); })
-      .action([this](FireCtx& ctx) {
-        InstructionToken* t = dcache_.get(pc_, 0);
-        ++pc_;
-        ctx.engine->emit_instruction(t, disp_);
+  b.add_independent_transition("Fetch")
+      .guard([](TomasuloMachine& m, FireCtx&) { return m.pc < m.program.size(); })
+      .action([](TomasuloMachine& m, FireCtx& ctx) {
+        InstructionToken* t = m.dcache.get(m.pc, 0);
+        ++m.pc;
+        ctx.engine->emit_instruction(t, m.fetch_into);
       })
-      .to(disp_);
-
-  eng_.build();
-}
-
-void TomasuloCore::load(std::vector<Fig5Instr> program) {
-  program_ = std::move(program);
-  pc_ = 0;
-  rf_.reset();
-  dcache_.clear();
-  eng_.reset();
-  last_exec_seq_ = 0;
-  observed_ooo_ = false;
+      .to(disp);
 }
 
 std::uint64_t TomasuloCore::run(std::uint64_t max_cycles) {
-  const core::Cycle start = eng_.clock();
-  while (!eng_.stopped() && eng_.clock() - start < max_cycles) {
-    eng_.step();
-    if (pc_ >= program_.size() && eng_.tokens_in_flight() == 0) break;
-  }
-  return eng_.clock() - start;
+  return sim_.drain(
+      [](const TomasuloMachine& m) { return m.pc >= m.program.size(); }, max_cycles);
 }
 
 }  // namespace rcpn::machines

@@ -13,55 +13,70 @@
 //  * a common data bus modeled as a unit-capacity stage (CDB) that
 //    serializes result broadcast/writeback.
 //
-// The ISA is the Fig 4(b) ALU class (op, d, s1, s2).
+// The ISA is the Fig 4(b) ALU class (op, d, s1, s2). Declared through
+// model::ModelBuilder with TomasuloMachine as the typed context.
 #pragma once
 
-#include "core/engine.hpp"
 #include "isa/decoder.hpp"
 #include "machines/fig5_processor.hpp"  // Fig5Instr
+#include "model/simulator.hpp"
 #include "regfile/reg_ref.hpp"
 
 namespace rcpn::machines {
 
+/// Machine context: architectural state, decode binding, and the OoO-issue
+/// observation counters the tests read.
+struct TomasuloMachine {
+  static constexpr unsigned kNumRegs = 8;
+
+  TomasuloMachine();
+  TomasuloMachine(const TomasuloMachine&) = delete;
+  TomasuloMachine& operator=(const TomasuloMachine&) = delete;
+
+  void load(std::vector<Fig5Instr> p);
+
+  regfile::RegisterFile rf;
+  isa::DecodeCache dcache;
+  std::vector<Fig5Instr> program;
+  std::uint32_t pc = 0;
+  std::uint32_t last_exec_seq = 0;
+  bool observed_ooo = false;
+
+  // Filled by the model description, consumed by the decode binding.
+  core::TypeId ty_alu = core::kNoType;
+  core::PlaceId fetch_into = core::kNoPlace;
+
+  struct Payload;
+
+ private:
+  void bind(isa::DecodeCache::Entry& e);
+};
+
 class TomasuloCore {
  public:
-  static constexpr unsigned kNumRegs = 8;
+  static constexpr unsigned kNumRegs = TomasuloMachine::kNumRegs;
 
   /// `rs_entries`: reservation-station capacity; `num_fus`: execute slots.
   explicit TomasuloCore(unsigned rs_entries = 4, unsigned num_fus = 2);
 
-  void load(std::vector<Fig5Instr> program);  // ALU instructions only
+  void load(std::vector<Fig5Instr> program) { sim_.load(std::move(program)); }
   std::uint64_t run(std::uint64_t max_cycles = 1u << 20);
 
-  std::uint32_t reg(unsigned i) const { return rf_.read_cell(i); }
-  void set_reg(unsigned i, std::uint32_t v) { rf_.write_cell(i, v); }
+  std::uint32_t reg(unsigned i) const { return sim_.machine().rf.read_cell(i); }
+  void set_reg(unsigned i, std::uint32_t v) { sim_.machine().rf.write_cell(i, v); }
 
-  core::Net& net() { return net_; }
-  core::Engine& engine() { return eng_; }
+  core::Net& net() { return sim_.net(); }
+  core::Engine& engine() { return sim_.engine(); }
 
   /// Did any instruction begin execution before an older one? (proof of
   /// out-of-order issue for the tests)
-  bool observed_ooo_issue() const { return observed_ooo_; }
+  bool observed_ooo_issue() const { return sim_.machine().observed_ooo; }
 
  private:
-  struct Payload;
-  void build();
-  void bind(isa::DecodeCache::Entry& e);
+  void describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMachine& m,
+                unsigned rs_entries, unsigned num_fus);
 
-  core::Net net_;
-  regfile::RegisterFile rf_;
-  isa::DecodeCache dcache_;
-  core::Engine eng_;
-  std::vector<Fig5Instr> program_;
-  std::uint32_t pc_ = 0;
-  unsigned rs_entries_;
-  unsigned num_fus_;
-  std::uint32_t last_exec_seq_ = 0;
-  bool observed_ooo_ = false;
-
-  core::TypeId ty_alu_ = core::kNoType;
-  core::PlaceId disp_ = core::kNoPlace, rs_ = core::kNoPlace, ex_ = core::kNoPlace,
-                cdb_ = core::kNoPlace;
+  model::Simulator<TomasuloMachine> sim_;
 };
 
 }  // namespace rcpn::machines

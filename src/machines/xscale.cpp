@@ -1,5 +1,7 @@
 #include "machines/xscale.hpp"
 
+#include <cassert>
+
 namespace rcpn::machines {
 
 using arm::OpClass;
@@ -14,156 +16,117 @@ XScaleConfig::XScaleConfig() {
 
 XScaleSim::XScaleSim(XScaleConfig config)
     : cfg_(std::move(config)),
-      net_("XScale"),
-      m_(ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}),
-      eng_(net_, &m_, cfg_.engine) {
-  m_.bp = std::make_unique<predictor::Btb>(cfg_.btb_entries);
-  build();
-}
+      sim_(
+          "XScale", cfg_.engine,
+          [this](model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc) {
+            mc.m.bp = std::make_unique<predictor::Btb>(cfg_.btb_entries);
+            describe(b, mc);
+          },
+          ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {}
 
-void XScaleSim::build() {
-  const core::StageId sF1 = net_.add_stage("F1", 1);
-  const core::StageId sF2 = net_.add_stage("F2", 1);
-  const core::StageId sID = net_.add_stage("ID", 1);
-  const core::StageId sRF = net_.add_stage("RF", 1);
-  const core::StageId sX1 = net_.add_stage("X1", 1);
-  const core::StageId sX2 = net_.add_stage("X2", 1);
-  const core::StageId sD1 = net_.add_stage("D1", 1);
-  const core::StageId sD2 = net_.add_stage("D2", 1);
-  const core::StageId sM1 = net_.add_stage("M1", 1);
-  const core::StageId sM2 = net_.add_stage("M2", 1);
-  f1_ = net_.add_place("F1", sF1);
-  f2_ = net_.add_place("F2", sF2);
-  id_ = net_.add_place("ID", sID);
-  rf_ = net_.add_place("RF", sRF);
-  x1_ = net_.add_place("X1", sX1);
-  x2_ = net_.add_place("X2", sX2);
-  d1_ = net_.add_place("D1", sD1);
-  d2_ = net_.add_place("D2", sD2);
-  m1_ = net_.add_place("M1", sM1);
-  m2_ = net_.add_place("M2", sM2);
+void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc) {
+  const model::StageHandle sF1 = b.add_stage("F1", 1);
+  const model::StageHandle sF2 = b.add_stage("F2", 1);
+  const model::StageHandle sID = b.add_stage("ID", 1);
+  const model::StageHandle sRF = b.add_stage("RF", 1);
+  const model::StageHandle sX1 = b.add_stage("X1", 1);
+  const model::StageHandle sX2 = b.add_stage("X2", 1);
+  const model::StageHandle sD1 = b.add_stage("D1", 1);
+  const model::StageHandle sD2 = b.add_stage("D2", 1);
+  const model::StageHandle sM1 = b.add_stage("M1", 1);
+  const model::StageHandle sM2 = b.add_stage("M2", 1);
+  const model::PlaceHandle f1 = b.add_place("F1", sF1);
+  const model::PlaceHandle f2 = b.add_place("F2", sF2);
+  const model::PlaceHandle id = b.add_place("ID", sID);
+  const model::PlaceHandle rf = b.add_place("RF", sRF);
+  const model::PlaceHandle x1 = b.add_place("X1", sX1);
+  const model::PlaceHandle x2 = b.add_place("X2", sX2);
+  const model::PlaceHandle d1 = b.add_place("D1", sD1);
+  const model::PlaceHandle d2 = b.add_place("D2", sD2);
+  const model::PlaceHandle m1 = b.add_place("M1", sM1);
+  const model::PlaceHandle m2 = b.add_place("M2", sM2);
 
   // All four forwarding sources bypass combinationally within the cycle.
-  net_.stage(sX1).force_two_list(false);
-  net_.stage(sX2).force_two_list(false);
-  net_.stage(sD2).force_two_list(false);
-  net_.stage(sM2).force_two_list(false);
+  b.force_two_list(sX1, false);
+  b.force_two_list(sX2, false);
+  b.force_two_list(sD2, false);
+  b.force_two_list(sM2, false);
 
-  env_ = PipeEnv{&m_,
-                 /*fwd=*/{x1_, x2_, d2_, m2_},
-                 /*flush_on_redirect=*/{sF1, sF2, sID},
-                 /*drain=*/{rf_, x1_, x2_, d1_, d2_, m1_, m2_},
-                 /*use_predictor=*/true};
+  mc.env.fwd = {x1.id(), x2.id(), d2.id(), m2.id()};
+  mc.env.flush_on_redirect = {sF1.id(), sF2.id(), sID.id()};
+  mc.env.drain = {rf.id(), x1.id(), x2.id(), d1.id(), d2.id(), m1.id(), m2.id()};
+  mc.env.fetch_into = f1.id();
+  mc.env.use_predictor = true;
 
-  const auto g_issue = +[](void* env, FireCtx& ctx) {
-    return issue_guard(*static_cast<PipeEnv*>(env), ctx);
+  const auto g_issue = [](ArmPipeMachine& m, FireCtx& ctx) {
+    return issue_guard(m.env, ctx);
   };
-  const auto a_issue = +[](void* env, FireCtx& ctx) {
-    issue_action(*static_cast<PipeEnv*>(env), ctx);
+  const auto a_issue = [](ArmPipeMachine& m, FireCtx& ctx) { issue_action(m.env, ctx); };
+  const auto a_exec = [](ArmPipeMachine& m, FireCtx& ctx) { execute_action(m.env, ctx); };
+  const auto a_access = [](ArmPipeMachine& m, FireCtx& ctx) {
+    mem_action(m.env, ctx, /*publish=*/false);
   };
-  const auto a_exec = +[](void* env, FireCtx& ctx) {
-    execute_action(*static_cast<PipeEnv*>(env), ctx);
-  };
-  const auto a_access = +[](void* env, FireCtx& ctx) {
-    mem_action(*static_cast<PipeEnv*>(env), ctx, /*publish=*/false);
-  };
-  const auto a_publish = +[](void* env, FireCtx& ctx) {
-    publish_action(*static_cast<PipeEnv*>(env), ctx);
-  };
-  const auto a_wb = +[](void* env, FireCtx& ctx) {
-    wb_action(*static_cast<PipeEnv*>(env), ctx);
-  };
+  const auto a_publish = [](ArmPipeMachine& m, FireCtx& ctx) { publish_action(m.env, ctx); };
+  const auto a_wb = [](ArmPipeMachine& m, FireCtx& ctx) { wb_action(m.env, ctx); };
 
   for (unsigned c = 0; c < arm::kNumOpClasses; ++c) {
     const auto cls = static_cast<OpClass>(c);
     const std::string name = arm::op_class_name(cls);
-    const core::TypeId ty = net_.add_type(name);
-    assert(ty == static_cast<core::TypeId>(c));
+    const model::TypeHandle ty = b.add_type(name);
+    assert(ty.id() == static_cast<core::TypeId>(c));
     (void)ty;
 
     // Common front end: F2 and ID simply advance the (already decoded,
     // token-cached) instruction; RF is the issue point.
-    net_.add_transition("F2." + name, ty).from(f1_).to(f2_);
-    net_.add_transition("ID." + name, ty).from(f2_).to(id_);
-    net_.add_transition("RF." + name, ty)
-        .from(id_)
-        .guard(g_issue, &env_)
-        .action(a_issue, &env_)
-        .to(rf_)
-        .reads_state(x1_)
-        .reads_state(x2_)
-        .reads_state(d2_)
-        .reads_state(m2_);
+    b.add_transition("F2." + name, ty).from(f1).to(f2);
+    b.add_transition("ID." + name, ty).from(f2).to(id);
+    b.add_transition("RF." + name, ty)
+        .from(id)
+        .guard(g_issue)
+        .action(a_issue)
+        .to(rf)
+        .reads_state(x1)
+        .reads_state(x2)
+        .reads_state(d2)
+        .reads_state(m2);
 
     switch (cls) {
       case OpClass::load_store:
       case OpClass::load_store_multiple:
         // Memory pipe: access (with cache delay) in D1, publish in D2.
-        net_.add_transition("D1." + name, ty)
-            .from(rf_)
-            .action(a_access, &env_)
-            .to(d1_);
-        net_.add_transition("D2." + name, ty)
-            .from(d1_)
-            .action(a_publish, &env_)
-            .to(d2_);
-        net_.add_transition("DWB." + name, ty)
-            .from(d2_)
-            .action(a_wb, &env_)
-            .to(net_.end_place());
+        b.add_transition("D1." + name, ty).from(rf).action(a_access).to(d1);
+        b.add_transition("D2." + name, ty).from(d1).action(a_publish).to(d2);
+        b.add_transition("DWB." + name, ty).from(d2).action(a_wb).to(b.end());
         break;
       case OpClass::multiply:
         // MAC pipe: M1 computes (iterating for wide multiplicands), M2
         // publishes for forwarding.
-        net_.add_transition("M1." + name, ty)
-            .from(rf_)
-            .action(a_exec, &env_)
-            .to(m1_);
-        net_.add_transition("M2." + name, ty)
-            .from(m1_)
-            .action(a_publish, &env_)
-            .to(m2_);
-        net_.add_transition("MWB." + name, ty)
-            .from(m2_)
-            .action(a_wb, &env_)
-            .to(net_.end_place());
+        b.add_transition("M1." + name, ty).from(rf).action(a_exec).to(m1);
+        b.add_transition("M2." + name, ty).from(m1).action(a_publish).to(m2);
+        b.add_transition("MWB." + name, ty).from(m2).action(a_wb).to(b.end());
         break;
       default:
         // Main pipe (data-processing, branches, SWI): X1 executes/resolves.
-        net_.add_transition("X1." + name, ty)
-            .from(rf_)
-            .action(a_exec, &env_)
-            .to(x1_);
-        net_.add_transition("X2." + name, ty).from(x1_).to(x2_);
-        net_.add_transition("XWB." + name, ty)
-            .from(x2_)
-            .action(a_wb, &env_)
-            .to(net_.end_place());
+        b.add_transition("X1." + name, ty).from(rf).action(a_exec).to(x1);
+        b.add_transition("X2." + name, ty).from(x1).to(x2);
+        b.add_transition("XWB." + name, ty).from(x2).action(a_wb).to(b.end());
         break;
     }
   }
 
-  net_.add_independent_transition("F1")
-      .guard(+[](void* env, FireCtx&) {
-        return !static_cast<XScaleSim*>(env)->m_.sys.exited();
-      }, this)
-      .action(+[](void* env, FireCtx& ctx) {
-        auto* self = static_cast<XScaleSim*>(env);
-        fetch_action(self->env_, ctx, self->f1_);
-      }, this)
-      .to(f1_);
-
-  eng_.build();
+  b.add_independent_transition("F1")
+      .guard([](ArmPipeMachine& m, FireCtx&) { return !m.m.sys.exited(); })
+      .action([](ArmPipeMachine& m, FireCtx& ctx) { fetch_action(m.env, ctx); })
+      .to(f1);
 }
 
 RunResult XScaleSim::run(const sys::Program& program, std::uint64_t max_cycles) {
-  // Drain leftover tokens from a previous run *before* load_program clears
-  // the decode cache that owns them.
-  eng_.reset();
-  m_.load_program(program);
-  m_.dcache.set_bypass(cfg_.decode_cache_bypass);
-  eng_.run(max_cycles);
-  return collect_result(eng_, m_);
+  // load() drains leftover tokens from a previous run *before* the machine's
+  // load_program clears the decode cache that owns them.
+  sim_.load(program);
+  machine().dcache.set_bypass(cfg_.decode_cache_bypass);
+  sim_.run(max_cycles);
+  return collect_result(sim_.engine(), machine());
 }
 
 }  // namespace rcpn::machines

@@ -10,12 +10,12 @@
 // squashes the fetch side for the XScale's ~4-cycle penalty. The three pipes
 // complete out of order; the register file runs the multi-writer policy so
 // an older slow writer cannot clobber a newer value (paper §3.1's renaming
-// remark).
+// remark). Declared through model::ModelBuilder over ArmPipeMachine.
 #pragma once
 
-#include "core/engine.hpp"
 #include "machines/arm_machine.hpp"
 #include "machines/strongarm.hpp"  // RunResult / collect_result
+#include "model/simulator.hpp"
 
 namespace rcpn::machines {
 
@@ -34,23 +34,15 @@ class XScaleSim {
 
   RunResult run(const sys::Program& program, std::uint64_t max_cycles = ~0ull);
 
-  core::Net& net() { return net_; }
-  core::Engine& engine() { return eng_; }
-  ArmMachine& machine() { return m_; }
+  core::Net& net() { return sim_.net(); }
+  core::Engine& engine() { return sim_.engine(); }
+  ArmMachine& machine() { return sim_.machine().m; }
 
  private:
-  void build();
+  void describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc);
 
   XScaleConfig cfg_;
-  core::Net net_;
-  ArmMachine m_;
-  core::Engine eng_;
-  PipeEnv env_;
-  core::PlaceId f1_ = core::kNoPlace, f2_ = core::kNoPlace, id_ = core::kNoPlace,
-                rf_ = core::kNoPlace;
-  core::PlaceId x1_ = core::kNoPlace, x2_ = core::kNoPlace;
-  core::PlaceId d1_ = core::kNoPlace, d2_ = core::kNoPlace;
-  core::PlaceId m1_ = core::kNoPlace, m2_ = core::kNoPlace;
+  model::Simulator<ArmPipeMachine> sim_;
 };
 
 }  // namespace rcpn::machines

@@ -1,0 +1,56 @@
+// Typed handles for the declarative modeling API.
+//
+// A handle names one declared entity (stage, place, operation class,
+// transition) of one ModelBuilder. Handles are cheap value types; they carry
+// the core id the entity will lower to plus the identity of the builder that
+// issued them, so the builder can reject dangling arcs — a default-constructed
+// handle, or a handle that belongs to a different model — at build() time
+// instead of silently wiring the wrong net.
+//
+// Because ModelBuilder mirrors core::Net's deterministic id assignment
+// (declaration order; id 0 is the virtual end stage/place), a handle's id()
+// is valid the moment the entity is declared — guards and actions may capture
+// ids immediately, before build() runs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/token.hpp"
+
+namespace rcpn::model {
+
+namespace detail {
+/// Identity of the issuing ModelBuilder (0 = no builder: invalid handle).
+using ModelTag = std::uint32_t;
+constexpr ModelTag kNoModel = 0;
+}  // namespace detail
+
+#define RCPN_MODEL_HANDLE(Handle, IdType, kInvalid)                       \
+  class Handle {                                                          \
+   public:                                                                \
+    Handle() = default;                                                   \
+    bool valid() const { return model_ != detail::kNoModel; }             \
+    IdType id() const { return id_; }                                     \
+    /* implicit: handles are drop-in where core ids are expected */       \
+    operator IdType() const { return id_; }                               \
+    bool operator==(const Handle&) const = default;                       \
+                                                                          \
+   private:                                                               \
+    friend class ModelBuilderBase;                                        \
+    Handle(detail::ModelTag model, IdType id) : model_(model), id_(id) {} \
+    detail::ModelTag model_ = detail::kNoModel;                           \
+    IdType id_ = kInvalid;                                                \
+  }
+
+/// A pipeline stage declaration (latch, reservation station, ...).
+RCPN_MODEL_HANDLE(StageHandle, core::StageId, core::kNoStage);
+/// A place declaration bound to a stage.
+RCPN_MODEL_HANDLE(PlaceHandle, core::PlaceId, core::kNoPlace);
+/// An operation class (instruction type / sub-net id).
+RCPN_MODEL_HANDLE(TypeHandle, core::TypeId, core::kNoType);
+/// A declared transition; resolves to the core TransitionId (stats lookups).
+RCPN_MODEL_HANDLE(TransitionHandle, core::TransitionId, core::TransitionId{-1});
+
+#undef RCPN_MODEL_HANDLE
+
+}  // namespace rcpn::model

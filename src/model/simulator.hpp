@@ -1,0 +1,133 @@
+// Simulator<Machine>: the facade that packages a generated simulator.
+//
+// It owns, with the right lifetimes and in the right order:
+//   1. the Machine context (register files, memories, pc, model counters) —
+//      constructed first so the model description can reference it;
+//   2. the ModelBuilder<Machine> holding the declarative description and the
+//      bound guard/action closures;
+//   3. the lowered core::Net and the core::Engine "generated" from it.
+//
+// The machine context reaches guards and actions typed — bool(Machine&,
+// FireCtx&) — replacing the old pattern of parking `this` behind the
+// engine's void* and casting it back in every callback. One coherent
+// run-control surface (load / run / step / reset / drain / report) fronts
+// the engine; net() and engine() stay available for introspection, CPN
+// conversion and the benches.
+//
+// Typical machine definition:
+//
+//   struct Counter { std::uint64_t left = 0; };
+//   model::Simulator<Counter> sim("demo", [&](auto& b, Counter& m) {
+//     auto st = b.add_stage("S", 1);
+//     auto p  = b.add_place("S", st);
+//     auto ty = b.add_type("T");
+//     b.add_transition("t", ty).from(p).to(b.end());
+//     b.add_independent_transition("gen")
+//         .guard([](Counter& m, core::FireCtx&) { return m.left > 0; })
+//         .action([p](Counter& m, core::FireCtx& ctx) {
+//           auto* t = ctx.engine->acquire_pooled_instruction();
+//           t->type = 0;
+//           --m.left;
+//           ctx.engine->emit_instruction(t, p);
+//         })
+//         .to(p);
+//   }, Counter{10});
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "model/model_builder.hpp"
+
+namespace rcpn::model {
+
+template <typename Machine>
+class Simulator {
+ public:
+  /// Construct the machine from `margs`, run `describe(builder, machine)` to
+  /// record the model, then validate, lower and generate the engine.
+  /// Throws ModelError if the description is invalid.
+  template <typename Describe, typename... MArgs>
+  Simulator(std::string name, core::EngineOptions options, Describe&& describe,
+            MArgs&&... margs)
+      : machine_(std::forward<MArgs>(margs)...),
+        builder_(std::move(name)),
+        eng_(described(describe), options) {
+    eng_.set_machine(&machine_);
+    eng_.build();
+  }
+
+  template <typename Describe, typename... MArgs>
+  explicit Simulator(std::string name, Describe&& describe, MArgs&&... margs)
+      : Simulator(std::move(name), core::EngineOptions{}, std::forward<Describe>(describe),
+                  std::forward<MArgs>(margs)...) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // -- the three layers -------------------------------------------------------
+  Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
+  core::Net& net() { return builder_.net(); }
+  const core::Net& net() const { return builder_.net(); }
+  core::Engine& engine() { return eng_; }
+  const core::Engine& engine() const { return eng_; }
+
+  // -- run control ------------------------------------------------------------
+  /// Drain in-flight tokens from a previous run, then hand `args` to the
+  /// machine's own load() (program image, instruction vector, ...). The
+  /// engine resets *first*: leftover tokens must release their operand
+  /// reservations before the machine tears down the state they point into.
+  template <typename... Args>
+  void load(Args&&... args) {
+    eng_.reset();
+    machine_.load(std::forward<Args>(args)...);
+  }
+
+  /// Simulate one clock cycle.
+  bool step() { return eng_.step(); }
+  /// Run until the machine stops the engine (or `max_cycles`).
+  std::uint64_t run(std::uint64_t max_cycles = ~0ull) { return eng_.run(max_cycles); }
+  /// Run until `done(machine)` holds with no tokens in flight (or the engine
+  /// stops / `max_cycles` elapse). Returns cycles executed.
+  template <typename DonePred>
+  std::uint64_t drain(DonePred&& done, std::uint64_t max_cycles = ~0ull) {
+    const core::Cycle start = eng_.clock();
+    while (!eng_.stopped() && eng_.clock() - start < max_cycles) {
+      eng_.step();
+      if (done(machine_) && eng_.tokens_in_flight() == 0) break;
+    }
+    return eng_.clock() - start;
+  }
+  /// Clear all dynamic state (tokens, stats, clock); keeps the build products.
+  void reset() { eng_.reset(); }
+  void stop() { eng_.stop(); }
+  bool stopped() const { return eng_.stopped(); }
+  core::Cycle clock() const { return eng_.clock(); }
+
+  // -- stats & hooks ----------------------------------------------------------
+  core::Stats& stats() { return eng_.stats(); }
+  const core::Stats& stats() const { return eng_.stats(); }
+  core::Engine::Hooks& hooks() { return eng_.hooks(); }
+  std::uint64_t fires(TransitionHandle t) const {
+    if (!builder_.owns(t))
+      throw ModelError("fires(): transition handle was not issued by this simulator's model");
+    return eng_.stats().transition_fires[static_cast<unsigned>(t.id())];
+  }
+  /// Human-readable per-transition/per-place report.
+  std::string report() const { return eng_.stats().report(net()); }
+
+ private:
+  template <typename Describe>
+  core::Net& described(Describe& describe) {
+    describe(builder_, machine_);
+    return builder_.build(&machine_);
+  }
+
+  Machine machine_;
+  ModelBuilder<Machine> builder_;
+  core::Engine eng_;
+};
+
+}  // namespace rcpn::model

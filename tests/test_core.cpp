@@ -337,7 +337,7 @@ TEST(EngineTwoList, ForceAllAblationStillCompletes) {
   net.add_transition("t2", ty).from(p2).to(net.end_place());
   EngineOptions opt;
   opt.force_two_list_all = true;
-  Engine eng(net, nullptr, opt);
+  Engine eng(net, opt);
   eng.build();
   EXPECT_TRUE(eng.stage_is_two_list(s1));
   EXPECT_TRUE(eng.stage_is_two_list(s2));
@@ -436,7 +436,7 @@ TEST(EngineWatchdog, DeadlockStopsEngine) {
       .to(net.end_place());
   EngineOptions opt;
   opt.deadlock_limit = 50;
-  Engine eng(net, nullptr, opt);
+  Engine eng(net, opt);
   eng.build();
   emit(eng, ty, p1);
   const std::uint64_t ran = eng.run(10000);
@@ -462,7 +462,7 @@ TEST(EngineSearch, LinearSearchAblationMatchesSortedTable) {
   Engine e1(n1);
   EngineOptions opt;
   opt.linear_search = true;
-  Engine e2(n2, nullptr, opt);
+  Engine e2(n2, opt);
   e1.build();
   e2.build();
   emit(e1, ta, p1a);

@@ -148,7 +148,9 @@ TEST(Conversion, CapacityBackEdgesPresent) {
       if (a.color != kBlack) has_colored_out = true;
     for (const CpnArc& a : ct.in)
       if (net.place_name(a.place).rfind("free(", 0) == 0) consumes_free = true;
-    if (has_colored_out) EXPECT_TRUE(consumes_free) << ct.name;
+    if (has_colored_out) {
+      EXPECT_TRUE(consumes_free) << ct.name;
+    }
   }
 }
 

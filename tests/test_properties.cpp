@@ -265,7 +265,9 @@ TEST(AblationSafety, AllEngineKnobsPreserveResults) {
     EXPECT_EQ(r.exit_code, ref.exit_code) << "knob " << knob;
     // linear_search and decode bypass must not change timing at all;
     // two-list everywhere legitimately adds cycles.
-    if (knob != 0) EXPECT_EQ(r.cycles, ref.cycles) << "knob " << knob;
+    if (knob != 0) {
+      EXPECT_EQ(r.cycles, ref.cycles) << "knob " << knob;
+    }
   }
 }
 
