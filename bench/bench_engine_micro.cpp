@@ -13,15 +13,27 @@
 
 using namespace rcpn;
 
+static rcpn::core::EngineOptions backend_opts(rcpn::core::Backend b) {
+  rcpn::core::EngineOptions o;
+  o.backend = b;
+  return o;
+}
+
 static void BM_EngineStepFig2(benchmark::State& state) {
-  machines::SimplePipeline pipe(~0ull);  // generator never stops
+  // arg 0: interpreted core::Engine; arg 1: compiled gen::CompiledEngine.
+  const auto backend = state.range(0) == 1 ? core::Backend::compiled
+                                           : core::Backend::interpreted;
+  machines::SimplePipeline pipe(~0ull, backend_opts(backend));  // never stops
   for (auto _ : state) pipe.engine().step();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_EngineStepFig2);
+BENCHMARK(BM_EngineStepFig2)->Arg(0)->Arg(1);
 
 static void BM_StrongArmCycle(benchmark::State& state) {
-  machines::StrongArmSim sim;
+  machines::StrongArmConfig cfg;
+  cfg.engine.backend = state.range(0) == 1 ? core::Backend::compiled
+                                           : core::Backend::interpreted;
+  machines::StrongArmSim sim(cfg);
   const workloads::Workload* w = workloads::find("crc");
   const sys::Program prog = workloads::build(*w, 50);
   // Reset the engine *before* load_program: reset squashes leftover in-flight
@@ -39,7 +51,7 @@ static void BM_StrongArmCycle(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_StrongArmCycle);
+BENCHMARK(BM_StrongArmCycle)->Arg(0)->Arg(1);
 
 static void BM_DecodeCacheHit(benchmark::State& state) {
   machines::ArmMachine::Config cfg;

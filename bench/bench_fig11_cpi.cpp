@@ -26,8 +26,12 @@ int main() {
   baseline::SimpleScalarSim ss;
   machines::StrongArmSim sa;
   machines::XScaleSim xs;
+  machines::StrongArmConfig sc_cfg;
+  sc_cfg.engine.backend = core::Backend::compiled;
+  machines::StrongArmSim sc(sc_cfg);  // compiled backend; must report identical CPI
   double sum_ss = 0, sum_sa = 0, worst_gap = 0;
   unsigned n = 0;
+  bool backends_match = true;
   std::vector<std::string> json_rows;
 
   for (const workloads::Workload& w : workloads::all()) {
@@ -35,6 +39,12 @@ int main() {
     const auto rss = ss.run(prog);
     const auto rsa = sa.run(prog);
     const auto rxs = xs.run(prog);
+    const auto rsc = sc.run(prog);
+    // Cycle-accuracy means the backend choice cannot move a single cycle.
+    if (rsc.cycles != rsa.cycles || rsc.instructions != rsa.instructions) {
+      std::fprintf(stderr, "compiled backend CPI mismatch on %s!\n", w.name.c_str());
+      backends_match = false;
+    }
     const double gap = 100.0 * std::abs(rsa.cpi - rss.cpi) / rss.cpi;
     worst_gap = std::max(worst_gap, gap);
     sum_ss += rss.cpi;
@@ -75,6 +85,7 @@ int main() {
                               .num("cpi_strongarm", sum_sa / n)
                               .num("worst_gap_pct", worst_gap)
                               .render())
+          .raw("compiled_backend_cpi_identical", backends_match ? "true" : "false")
           .render();
   if (bench::write_file("BENCH_fig11.json", json + "\n"))
     std::printf("\nwrote BENCH_fig11.json\n");
@@ -84,5 +95,7 @@ int main() {
   std::printf("worst per-benchmark gap here: %.0f%%  (%s)\n", worst_gap,
               worst_gap <= 25.0 ? "within the paper's framing"
                                 : "larger than the paper's framing");
-  return 0;
+  std::printf("compiled backend CPI identical to interpreted: %s\n",
+              backends_match ? "yes" : "NO");
+  return backends_match ? 0 : 1;
 }

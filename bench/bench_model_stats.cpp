@@ -2,9 +2,12 @@
 // operation-class sub-nets for the ARM7 models, RCPN structure mirroring the
 // pipeline diagram) plus the CPN blow-up the reduction avoids: converting
 // each model back to a standard CPN restores the capacity back-edge places
-// and arcs of Fig 2(b).
+// and arcs of Fig 2(b). Emits machine-readable BENCH_model_stats.json like
+// the fig10/fig11 benches, so model-size growth is tracked across PRs.
 #include <cstdio>
+#include <vector>
 
+#include "bench/bench_util.hpp"
 #include "cpn/rcpn_to_cpn.hpp"
 #include "machines/fig5_processor.hpp"
 #include "machines/simple_pipeline.hpp"
@@ -17,7 +20,8 @@ using namespace rcpn;
 
 namespace {
 
-void add_row(util::Table& t, const char* name, const core::Net& net) {
+void add_row(util::Table& t, std::vector<std::string>& json_rows, const char* name,
+             const core::Net& net) {
   const auto ms = net.model_stats();
   const cpn::ConversionResult conv = cpn::convert(net);
   t.add_row({name, std::to_string(ms.subnets), std::to_string(ms.stages - 1),
@@ -26,6 +30,18 @@ void add_row(util::Table& t, const char* name, const core::Net& net) {
              std::to_string(conv.net.num_places()) + "/" +
                  std::to_string(conv.net.num_transitions()) + "/" +
                  std::to_string(conv.net.num_arcs())});
+  json_rows.push_back(bench::JsonObj()
+                          .str("name", name)
+                          .num("subnets", std::uint64_t{ms.subnets})
+                          .num("stages", std::uint64_t{ms.stages - 1})
+                          .num("places", std::uint64_t{ms.places - 1})
+                          .num("transitions", std::uint64_t{ms.transitions})
+                          .num("arcs", std::uint64_t{ms.arcs})
+                          .num("cpn_places", std::uint64_t{conv.net.num_places()})
+                          .num("cpn_transitions",
+                               std::uint64_t{conv.net.num_transitions()})
+                          .num("cpn_arcs", std::uint64_t{conv.net.num_arcs()})
+                          .render());
 }
 
 }  // namespace
@@ -34,23 +50,32 @@ int main() {
   std::printf("Model complexity: RCPN structure vs converted standard CPN\n\n");
   util::Table table({"model", "sub-nets", "stages", "places", "transitions",
                      "arcs", "CPN p/t/a"});
+  std::vector<std::string> json_rows;
 
   machines::SimplePipeline fig2(1);
-  add_row(table, "Fig2 pipeline", fig2.net());
+  add_row(table, json_rows, "Fig2 pipeline", fig2.net());
 
   machines::Fig5Processor fig5;
-  add_row(table, "Fig4/5 processor", fig5.net());
+  add_row(table, json_rows, "Fig4/5 processor", fig5.net());
 
   machines::TomasuloCore tomasulo;
-  add_row(table, "Tomasulo (ext)", tomasulo.net());
+  add_row(table, json_rows, "Tomasulo (ext)", tomasulo.net());
 
   machines::StrongArmSim sa;
-  add_row(table, "StrongArm", sa.net());
+  add_row(table, json_rows, "StrongArm", sa.net());
 
   machines::XScaleSim xs;
-  add_row(table, "XScale", xs.net());
+  add_row(table, json_rows, "XScale", xs.net());
 
   table.print();
+
+  const std::string json = bench::JsonObj()
+                               .str("figure", "model_stats")
+                               .str("metric", "RCPN model complexity vs converted CPN")
+                               .raw("models", bench::json_array(json_rows))
+                               .render();
+  if (bench::write_file("BENCH_model_stats.json", json + "\n"))
+    std::printf("\nwrote BENCH_model_stats.json\n");
 
   std::printf("\npaper: \"there are six RCPN sub-nets in the StrongArm model\""
               " — each ARM7 operation class contributes one sub-net.\n");

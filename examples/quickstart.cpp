@@ -3,9 +3,13 @@
 // "simulator generation" step extracted — the Fig 6 candidate table and the
 // reverse-topological processing order.
 //
-//   $ ./quickstart
+//   $ ./quickstart          # run the pipeline and print the extraction
+//   $ ./quickstart --dot    # print the model as graphviz instead
+//                           # (pipe through `dot -Tsvg` to render)
 #include <cstdio>
+#include <cstring>
 
+#include "gen/emit.hpp"
 #include "model/simulator.hpp"
 
 using namespace rcpn;
@@ -18,7 +22,9 @@ struct Generator {
   std::uint64_t generated = 0;
 };
 
-int main() {
+int main(int argc, char** argv) {
+  const bool dot = argc > 1 && std::strcmp(argv[1], "--dot") == 0;
+
   // Handles assigned by the description, used afterwards for introspection.
   model::PlaceHandle l1, l2;
   model::TypeHandle type_a, type_b;
@@ -54,6 +60,12 @@ int main() {
             .to(l1);
       },
       Generator{/*to_generate=*/10});
+
+  // -- graphviz export ---------------------------------------------------------
+  if (dot) {
+    std::printf("%s", gen::emit_dot(sim.net()).c_str());
+    return 0;
+  }
 
   // -- inspect the "generated" simulator --------------------------------------
   const core::Net& net = sim.net();

@@ -549,17 +549,7 @@ void Engine::run_independent() {
   }
 }
 
-bool Engine::step() {
-  if (!built_) build();
-  if (stopped_) return false;
-
-  // Fig 8: make tokens written during the previous cycle visible.
-  for (StageId s : two_list_stages_) net_.stage(s).promote_incoming();
-
-  for (PlaceId p : order_) process_place(p);
-
-  run_independent();
-
+bool Engine::finish_cycle() {
   ++clock_;
   ++stats_.cycles;
 
@@ -576,6 +566,20 @@ bool Engine::step() {
     stopped_ = true;
   }
   return !stopped_;
+}
+
+bool Engine::step() {
+  if (!built_) build();
+  if (stopped_) return false;
+
+  // Fig 8: make tokens written during the previous cycle visible.
+  for (StageId s : two_list_stages_) net_.stage(s).promote_incoming();
+
+  for (PlaceId p : order_) process_place(p);
+
+  run_independent();
+
+  return finish_cycle();
 }
 
 std::uint64_t Engine::run(std::uint64_t max_cycles) {

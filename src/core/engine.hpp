@@ -27,9 +27,22 @@
 
 namespace rcpn::core {
 
+/// Which engine executes the model. Both run the same static extraction and
+/// are cycle-for-cycle equivalent (tests/test_gen.cpp pins this); they differ
+/// only in how the hot loop is laid out:
+///  * interpreted — core::Engine walking the net's Transition objects;
+///  * compiled — gen::CompiledEngine running the flattened tables produced by
+///    gen::CompiledModel::lower() (§4-5's generated simulator: contiguous
+///    Fig 6 candidate runs, pre-bound raw guard/action delegates, pre-resolved
+///    stage pointers). model::Simulator<M> reads this option; the interpreted
+///    Engine itself ignores it.
+enum class Backend : std::uint8_t { interpreted, compiled };
+
 /// Options for the static analysis; the defaults follow the paper. The
 /// ablation benches flip them to quantify each optimization.
 struct EngineOptions {
+  /// Engine implementation selected by model::Simulator<M>.
+  Backend backend = Backend::interpreted;
   /// Mark stages targeted by circular guard references (reads_state) as
   /// two-list, as the paper does for L3 in Fig 5. Models may still override
   /// per stage with force_two_list().
@@ -55,20 +68,26 @@ class Engine {
   };
 
   explicit Engine(Net& net, EngineOptions options = {});
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   Net& net() { return net_; }
   const Net& net() const { return net_; }
 
   /// Static extraction (Fig 6 + ordering analysis). Called automatically by
-  /// the first step() if needed.
-  void build();
+  /// the first step() if needed. Virtual so derived engines (the compiled
+  /// backend) can append their own lowering; only called on cold paths.
+  virtual void build();
   bool built() const { return built_; }
 
   /// Clear all dynamic state (tokens, stats, clock); keeps build products.
   void reset();
 
   /// Simulate one clock cycle. Returns false once stop() has been called.
-  bool step();
+  /// Virtual dispatch costs one indirect call per *cycle*, not per event —
+  /// the hot work inside a cycle stays devirtualized in both backends.
+  virtual bool step();
   /// Run until stop() or `max_cycles`; returns cycles executed.
   std::uint64_t run(std::uint64_t max_cycles = ~0ull);
   void stop() { stopped_ = true; }
@@ -79,6 +98,7 @@ class Engine {
   const Stats& stats() const { return stats_; }
   Hooks& hooks() { return hooks_; }
   EngineOptions& options() { return options_; }
+  const EngineOptions& options() const { return options_; }
 
   /// The machine context (register files, memories, pc, ...) the model's
   /// guards and actions operate on. The context is registered with its static
@@ -135,7 +155,11 @@ class Engine {
   const std::vector<const Transition*>& candidates(PlaceId p, TypeId type) const;
   bool stage_is_two_list(StageId s) const { return net_.stage(s).two_list(); }
 
- private:
+ protected:
+  // The build products, token services and per-cycle bookkeeping are shared
+  // with derived engines: gen::CompiledEngine replaces only the hot loop
+  // (candidate search + firing) and reuses everything else, so both backends
+  // stay cycle-for-cycle equivalent by construction.
   struct StageDelta {
     StageId stage = kNoStage;
     int removals = 0;
@@ -155,6 +179,9 @@ class Engine {
   Token* acquire_reservation();
   void recycle(Token* t);
   void squash_token(Token* t);
+  /// Advance the clock, update stats and run the deadlock watchdog (the tail
+  /// of Fig 8's main loop, shared by both backends). Returns !stopped_.
+  bool finish_cycle();
 
   Net& net_;
   void* machine_ = nullptr;

@@ -47,6 +47,11 @@ TransitionBuilder Net::add_independent_transition(const std::string& name) {
   return TransitionBuilder(this, transitions_.back().get());
 }
 
+TransitionBuilder Net::edit_transition(TransitionId t) {
+  assert(t >= 0 && static_cast<unsigned>(t) < transitions_.size());
+  return TransitionBuilder(this, transitions_[static_cast<unsigned>(t)].get());
+}
+
 PlaceId Net::find_place(const std::string& name) const {
   for (const Place& p : places_)
     if (p.name == name) return p.id;

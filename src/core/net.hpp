@@ -75,6 +75,10 @@ class Net {
   /// Instruction-independent transition (fetch/decode); runs at the end of
   /// every cycle in declaration order (Fig 8).
   TransitionBuilder add_independent_transition(const std::string& name);
+  /// Re-open a declared transition for further construction. The model layer
+  /// lowers structure first (shared with machine-less structural nets) and
+  /// binds guards/actions in a second pass through this.
+  TransitionBuilder edit_transition(TransitionId t);
 
   // -- accessors --------------------------------------------------------------
   unsigned num_stages() const { return static_cast<unsigned>(stages_.size()); }

@@ -89,6 +89,15 @@ class Transition {
   bool has_action() const { return action_fn_ != nullptr; }
   void run_action(FireCtx& ctx) const { action_fn_(action_env_, ctx); }
 
+  /// Read-only view of the bound raw delegates (std::function registrations
+  /// are already boxed behind these). The gen:: lowering pass copies them
+  /// into its flat tables so the compiled engine dispatches without touching
+  /// Transition objects; the pointed-to environments stay owned here.
+  GuardFn guard_fn() const { return guard_fn_; }
+  void* guard_env() const { return guard_env_; }
+  ActionFn action_fn() const { return action_fn_; }
+  void* action_env() const { return action_env_; }
+
   /// Execution delay of the transition's functionality; added to the
   /// residence of the moved token at its next place.
   std::uint32_t delay() const { return delay_; }

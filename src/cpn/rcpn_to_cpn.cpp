@@ -1,5 +1,7 @@
 #include "cpn/rcpn_to_cpn.hpp"
 
+#include "model/model_builder.hpp"
+
 namespace rcpn::cpn {
 
 using core::ArcEmit;
@@ -102,6 +104,13 @@ ConversionResult convert(const core::Net& rcpn, const ConversionOptions& opt) {
   }
 
   return out;
+}
+
+ConversionResult convert(const model::ModelBuilderBase& model,
+                         const ConversionOptions& opt) {
+  if (model.built()) return convert(model.net(), opt);
+  const core::Net structural = model.structural_net();
+  return convert(structural, opt);
 }
 
 }  // namespace rcpn::cpn

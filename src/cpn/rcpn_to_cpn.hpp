@@ -19,6 +19,10 @@
 #include "core/net.hpp"
 #include "cpn/cpn.hpp"
 
+namespace rcpn::model {
+class ModelBuilderBase;
+}
+
 namespace rcpn::cpn {
 
 struct ConversionOptions {
@@ -35,5 +39,14 @@ struct ConversionResult {
 };
 
 ConversionResult convert(const core::Net& rcpn, const ConversionOptions& opt = {});
+
+/// Convert a declarative model description, preserving the declared stage and
+/// place names in the converted CPN (free places are named after the declared
+/// stages). Uses the built net when the model was built; otherwise lowers the
+/// structure on the fly via ModelBuilderBase::structural_net(), so a typed
+/// model can be analyzed without ever constructing its machine context.
+/// Throws model::ModelError on an invalid description.
+ConversionResult convert(const model::ModelBuilderBase& model,
+                         const ConversionOptions& opt = {});
 
 }  // namespace rcpn::cpn

@@ -1,0 +1,190 @@
+#include "gen/compiled_engine.hpp"
+
+#include <cassert>
+
+namespace rcpn::gen {
+
+using core::FireCtx;
+using core::InstructionToken;
+using core::PipelineStage;
+using core::PlaceId;
+using core::StageId;
+using core::Token;
+
+void CompiledEngine::build() {
+  core::Engine::build();
+  cm_ = CompiledModel::lower(*this);
+}
+
+bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
+                                       InstructionToken* tok) {
+  if (ct.simple) {
+    // Latch-to-latch: shape and destination stage were resolved at lowering.
+    PipelineStage& from = *place_stage_[static_cast<unsigned>(tok->place)];
+    PipelineStage& to = *ct.move_stage;
+    if (&to != &from && !to.has_room(1, 0)) return false;
+    FireCtx ctx{this, tok};
+    if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
+    const bool removed = from.remove(tok);
+    assert(removed && "trigger token not visible in its place");
+    (void)removed;
+    tok->place = core::kNoPlace;
+    tok->state = core::kNoPlace;
+    if (ct.action != nullptr) ct.action(ct.action_env, ctx);
+    enter_place(tok, ct.move_place, ct.delay);
+    ++stats_.firings;
+    ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+    return true;
+  }
+
+  // General shape: mirror of Engine::try_fire over the flat arc arrays.
+  Token* reservations[4];
+  unsigned nres = 0;
+  for (unsigned i = 0; i < ct.n_res_in; ++i) {
+    Token* r = find_ready_reservation(cm_.res_in[ct.res_in_begin + i]);
+    if (r == nullptr) return false;
+    assert(nres < 4);
+    reservations[nres++] = r;
+  }
+
+  StageDelta deltas[8];
+  unsigned nd = 0;
+  auto delta_for = [&](StageId s) -> StageDelta& {
+    for (unsigned i = 0; i < nd; ++i)
+      if (deltas[i].stage == s) return deltas[i];
+    assert(nd < 8);
+    deltas[nd].stage = s;
+    deltas[nd].removals = 0;
+    deltas[nd].additions = 0;
+    return deltas[nd++];
+  };
+  delta_for(cm_.place_stage[static_cast<unsigned>(tok->place)]).removals += 1;
+  for (unsigned i = 0; i < nres; ++i)
+    delta_for(cm_.place_stage[static_cast<unsigned>(reservations[i]->place)]).removals += 1;
+  for (unsigned i = 0; i < ct.n_out; ++i)
+    delta_for(cm_.place_stage[static_cast<unsigned>(cm_.out_arcs[ct.out_begin + i].place)])
+        .additions += 1;
+  for (unsigned i = 0; i < nd; ++i) {
+    const PipelineStage& st = net_.stage(deltas[i].stage);
+    if (!st.has_room(static_cast<std::uint32_t>(deltas[i].additions),
+                     static_cast<std::uint32_t>(deltas[i].removals)))
+      return false;
+  }
+
+  FireCtx ctx{this, tok};
+  if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
+
+  // ---- fire ----
+  PipelineStage& from = *place_stage_[static_cast<unsigned>(tok->place)];
+  const bool removed = from.remove(tok);
+  assert(removed && "trigger token not visible in its place");
+  (void)removed;
+  tok->place = core::kNoPlace;
+  tok->state = core::kNoPlace;
+  for (unsigned i = 0; i < nres; ++i) {
+    PipelineStage& rs = *place_stage_[static_cast<unsigned>(reservations[i]->place)];
+    rs.remove(reservations[i]);
+    recycle(reservations[i]);
+  }
+
+  if (ct.action != nullptr) ct.action(ct.action_env, ctx);
+
+  for (unsigned i = 0; i < ct.n_out; ++i) {
+    const CompiledOutArc& a = cm_.out_arcs[ct.out_begin + i];
+    if (!a.reservation) {
+      enter_place(tok, a.place, ct.delay);
+    } else {
+      Token* r = acquire_reservation();
+      ++stats_.reservations;
+      enter_place(r, a.place, ct.delay);
+    }
+  }
+
+  ++stats_.firings;
+  ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+  return true;
+}
+
+void CompiledEngine::process_place_compiled(PlaceId p) {
+  PipelineStage& st = *place_stage_[static_cast<unsigned>(p)];
+  if (st.tokens().empty()) return;
+  // Snapshot: firing mutates the stage's token list.
+  scratch_.clear();
+  for (Token* t : st.tokens())
+    if (t->place == p && t->kind == core::TokenKind::instruction && t->ready <= clock_)
+      scratch_.push_back(static_cast<InstructionToken*>(t));
+  if (scratch_.empty()) return;
+
+  const CompiledTransition* body = cm_.body.data();
+  for (InstructionToken* tok : scratch_) {
+    // Re-check: an earlier firing in this cycle may have consumed, flushed or
+    // even recycled-and-reinjected this token.
+    if (tok->place != p || tok->squashed || tok->ready > clock_) continue;
+    const CandRange r = cm_.cell[static_cast<std::size_t>(p) * cm_.num_types +
+                                 static_cast<unsigned>(tok->type)];
+    bool fired = false;
+    for (std::uint32_t i = r.begin; i < r.begin + r.count; ++i) {
+      if (try_fire_compiled(body[i], tok)) {
+        fired = true;
+        break;
+      }
+    }
+    if (!fired) ++stats_.place_stalls[static_cast<unsigned>(p)];
+  }
+}
+
+bool CompiledEngine::independent_enabled_compiled(const CompiledTransition& ct) {
+  for (unsigned i = 0; i < ct.n_res_in; ++i)
+    if (find_ready_reservation(cm_.res_in[ct.res_in_begin + i]) == nullptr) return false;
+  for (unsigned i = 0; i < ct.n_out; ++i)
+    if (!place_has_room(cm_.out_arcs[ct.out_begin + i].place, 1)) return false;
+  FireCtx ctx{this, nullptr};
+  if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
+  return true;
+}
+
+void CompiledEngine::fire_independent_compiled(const CompiledTransition& ct) {
+  for (unsigned i = 0; i < ct.n_res_in; ++i) {
+    const PlaceId p = cm_.res_in[ct.res_in_begin + i];
+    Token* r = find_ready_reservation(p);
+    PipelineStage& rs = *place_stage_[static_cast<unsigned>(p)];
+    rs.remove(r);
+    recycle(r);
+  }
+  FireCtx ctx{this, nullptr};
+  if (ct.action != nullptr) ct.action(ct.action_env, ctx);
+  for (unsigned i = 0; i < ct.n_out; ++i) {
+    const CompiledOutArc& a = cm_.out_arcs[ct.out_begin + i];
+    if (a.reservation) {
+      Token* r = acquire_reservation();
+      ++stats_.reservations;
+      enter_place(r, a.place, ct.delay);
+    }
+    // Move targets declare capacity intent only; the action emits instruction
+    // tokens itself via emit_instruction().
+  }
+  ++stats_.firings;
+  ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+}
+
+bool CompiledEngine::step() {
+  if (!built()) build();
+  if (stopped()) return false;
+
+  // Fig 8 over the compiled tables: promote, process in order, run the
+  // independent sub-net, advance the clock.
+  for (StageId s : cm_.two_list_stages) net_.stage(s).promote_incoming();
+
+  for (PlaceId p : cm_.order) process_place_compiled(p);
+
+  for (const CompiledTransition& ct : cm_.independent) {
+    for (std::int32_t i = 0; i < ct.max_fires; ++i) {
+      if (!independent_enabled_compiled(ct)) break;
+      fire_independent_compiled(ct);
+    }
+  }
+
+  return finish_cycle();
+}
+
+}  // namespace rcpn::gen

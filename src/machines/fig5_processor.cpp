@@ -143,10 +143,11 @@ void Fig5Machine::bind(isa::DecodeCache::Entry& e) {
 
 // -- model description -------------------------------------------------------------
 
-Fig5Processor::Fig5Processor()
-    : sim_("Fig5", [this](model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m) {
-        describe(b, m);
-      }) {}
+Fig5Processor::Fig5Processor(core::EngineOptions options)
+    : sim_("Fig5", options,
+           [this](model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m) {
+             describe(b, m);
+           }) {}
 
 void Fig5Processor::describe(model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m) {
   const model::StageHandle s1 = b.add_stage("L1", 1);

@@ -94,7 +94,7 @@ class Fig5Processor {
  public:
   static constexpr unsigned kNumRegs = Fig5Machine::kNumRegs;
 
-  Fig5Processor();
+  explicit Fig5Processor(core::EngineOptions options = {});
 
   void load(std::vector<Fig5Instr> program) { sim_.load(std::move(program)); }
   /// Run until all tokens drain and fetch passes the end of the program.

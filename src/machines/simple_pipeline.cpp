@@ -4,9 +4,9 @@ namespace rcpn::machines {
 
 using core::FireCtx;
 
-SimplePipeline::SimplePipeline(std::uint64_t to_generate)
+SimplePipeline::SimplePipeline(std::uint64_t to_generate, core::EngineOptions options)
     : sim_(
-          "Fig2",
+          "Fig2", options,
           [this](model::ModelBuilder<Machine>& b, Machine&) {
             const model::StageHandle s1 = b.add_stage("L1", 1);
             const model::StageHandle s2 = b.add_stage("L2", 1);

@@ -16,7 +16,8 @@ namespace rcpn::machines {
 class SimplePipeline {
  public:
   /// `to_generate` tokens are produced by U1, alternating type A / type B.
-  explicit SimplePipeline(std::uint64_t to_generate);
+  /// `options` selects the backend and analysis knobs.
+  explicit SimplePipeline(std::uint64_t to_generate, core::EngineOptions options = {});
 
   /// Run until every token drained (or `max_cycles`); returns cycles used.
   std::uint64_t run(std::uint64_t max_cycles = 1u << 20);

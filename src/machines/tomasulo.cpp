@@ -98,11 +98,13 @@ void TomasuloMachine::bind(isa::DecodeCache::Entry& e) {
   e.payload = std::move(pl);
 }
 
-TomasuloCore::TomasuloCore(unsigned rs_entries, unsigned num_fus)
-    : sim_("Tomasulo", [this, rs_entries, num_fus](model::ModelBuilder<TomasuloMachine>& b,
-                                                   TomasuloMachine& m) {
-        describe(b, m, rs_entries, num_fus);
-      }) {}
+TomasuloCore::TomasuloCore(unsigned rs_entries, unsigned num_fus,
+                           core::EngineOptions options)
+    : sim_("Tomasulo", options,
+           [this, rs_entries, num_fus](model::ModelBuilder<TomasuloMachine>& b,
+                                       TomasuloMachine& m) {
+             describe(b, m, rs_entries, num_fus);
+           }) {}
 
 void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMachine& m,
                             unsigned rs_entries, unsigned num_fus) {

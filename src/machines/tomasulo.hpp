@@ -57,7 +57,8 @@ class TomasuloCore {
   static constexpr unsigned kNumRegs = TomasuloMachine::kNumRegs;
 
   /// `rs_entries`: reservation-station capacity; `num_fus`: execute slots.
-  explicit TomasuloCore(unsigned rs_entries = 4, unsigned num_fus = 2);
+  explicit TomasuloCore(unsigned rs_entries = 4, unsigned num_fus = 2,
+                        core::EngineOptions options = {});
 
   void load(std::vector<Fig5Instr> program) { sim_.load(std::move(program)); }
   std::uint64_t run(std::uint64_t max_cycles = 1u << 20);

@@ -153,19 +153,7 @@ void ModelBuilderBase::validate() const {
   }
 }
 
-core::Net& ModelBuilderBase::build_erased(void* machine) {
-  if (net_) fail("build() called twice");
-  validate();
-  if (machine == nullptr) {
-    for (const TransitionDef& t : transitions_)
-      if (t.needs_machine)
-        fail("transition '" + t.name +
-             "' has a typed (Machine&) guard or action but build() got no machine context");
-  }
-
-  net_.emplace(name_);
-  core::Net& net = *net_;
-
+void ModelBuilderBase::lower_structure_into(core::Net& net) const {
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const StageDef& s = stages_[i];
     const core::StageId id = net.add_stage(s.name, s.capacity);
@@ -182,7 +170,7 @@ core::Net& ModelBuilderBase::build_erased(void* machine) {
   }
   for (const std::string& t : types_) net.add_type(t);
 
-  for (TransitionDef& def : transitions_) {
+  for (const TransitionDef& def : transitions_) {
     core::TransitionBuilder tb = def.independent
                                      ? net.add_independent_transition(def.name)
                                      : net.add_transition(def.name, def.type.id());
@@ -203,6 +191,35 @@ core::Net& ModelBuilderBase::build_erased(void* machine) {
     for (const PlaceHandle& p : def.state_refs) tb.reads_state(p.id());
     if (def.delay != 0) tb.delay(def.delay);
     if (def.independent && def.max_fires != 1) tb.max_fires_per_cycle(def.max_fires);
+  }
+}
+
+core::Net ModelBuilderBase::structural_net() const {
+  validate();
+  core::Net net(name_);
+  lower_structure_into(net);
+  return net;
+}
+
+core::Net& ModelBuilderBase::build_erased(void* machine) {
+  if (net_) fail("build() called twice");
+  validate();
+  if (machine == nullptr) {
+    for (const TransitionDef& t : transitions_)
+      if (t.needs_machine)
+        fail("transition '" + t.name +
+             "' has a typed (Machine&) guard or action but build() got no machine context");
+  }
+
+  net_.emplace(name_);
+  core::Net& net = *net_;
+  lower_structure_into(net);
+
+  // Second pass: bind guards/actions with the machine context. Ids are
+  // assigned in declaration order, so def i lowered to transition i.
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    TransitionDef& def = transitions_[i];
+    core::TransitionBuilder tb = net.edit_transition(static_cast<core::TransitionId>(i));
 
     // Stateless callables: single raw-delegate call, env = machine pointer.
     if (def.fast_guard != nullptr) tb.guard(def.fast_guard, machine);

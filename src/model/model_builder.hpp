@@ -77,6 +77,14 @@ class ModelBuilderBase {
   core::Net& net();
   const core::Net& net() const;
 
+  /// Validate and lower the *structure* only — stages, places, types, arcs,
+  /// delays — into a fresh net with no guards or actions bound. Works before
+  /// build() and needs no machine context, so analysis passes (CPN
+  /// conversion, DOT export) can consume a typed model description without
+  /// constructing the machine it simulates. Callable any number of times;
+  /// does not mark the builder built. Throws ModelError like build().
+  core::Net structural_net() const;
+
  protected:
   using ErasedGuard = std::function<bool(void*, core::FireCtx&)>;
   using ErasedAction = std::function<void(void*, core::FireCtx&)>;
@@ -142,6 +150,7 @@ class ModelBuilderBase {
   void check_handle(Handle h, const char* kind, std::size_t limit,
                     const std::string& context) const;
   void validate() const;
+  void lower_structure_into(core::Net& net) const;
 
   std::string name_;
   detail::ModelTag tag_;

@@ -5,7 +5,10 @@
 //      constructed first so the model description can reference it;
 //   2. the ModelBuilder<Machine> holding the declarative description and the
 //      bound guard/action closures;
-//   3. the lowered core::Net and the core::Engine "generated" from it.
+//   3. the lowered core::Net and the engine "generated" from it — the
+//      interpreted core::Engine or, with EngineOptions::backend ==
+//      core::Backend::compiled, the gen::CompiledEngine running the
+//      flattened tables of gen::CompiledModel.
 //
 // The machine context reaches guards and actions typed — bool(Machine&,
 // FireCtx&) — replacing the old pattern of parking `this` behind the
@@ -34,10 +37,12 @@
 //   }, Counter{10});
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "core/engine.hpp"
+#include "gen/compiled_engine.hpp"
 #include "model/model_builder.hpp"
 
 namespace rcpn::model {
@@ -47,15 +52,23 @@ class Simulator {
  public:
   /// Construct the machine from `margs`, run `describe(builder, machine)` to
   /// record the model, then validate, lower and generate the engine.
+  /// `options.backend` selects the engine: core::Engine (interpreted) or
+  /// gen::CompiledEngine (the flattened, devirtualized tables) — both are
+  /// cycle-for-cycle equivalent, so models and callers never branch on it.
   /// Throws ModelError if the description is invalid.
   template <typename Describe, typename... MArgs>
   Simulator(std::string name, core::EngineOptions options, Describe&& describe,
             MArgs&&... margs)
-      : machine_(std::forward<MArgs>(margs)...),
-        builder_(std::move(name)),
-        eng_(described(describe), options) {
-    eng_.set_machine(&machine_);
-    eng_.build();
+      : machine_(std::forward<MArgs>(margs)...), builder_(std::move(name)) {
+    describe(builder_, machine_);
+    core::Net& net = builder_.build(&machine_);
+    if (options.backend == core::Backend::compiled) {
+      eng_ = std::make_unique<gen::CompiledEngine>(net, options);
+    } else {
+      eng_ = std::make_unique<core::Engine>(net, options);
+    }
+    eng_->set_machine(&machine_);
+    eng_->build();
   }
 
   template <typename Describe, typename... MArgs>
@@ -71,8 +84,9 @@ class Simulator {
   const Machine& machine() const { return machine_; }
   core::Net& net() { return builder_.net(); }
   const core::Net& net() const { return builder_.net(); }
-  core::Engine& engine() { return eng_; }
-  const core::Engine& engine() const { return eng_; }
+  core::Engine& engine() { return *eng_; }
+  const core::Engine& engine() const { return *eng_; }
+  core::Backend backend() const { return eng_->options().backend; }
 
   // -- run control ------------------------------------------------------------
   /// Drain in-flight tokens from a previous run, then hand `args` to the
@@ -81,53 +95,47 @@ class Simulator {
   /// reservations before the machine tears down the state they point into.
   template <typename... Args>
   void load(Args&&... args) {
-    eng_.reset();
+    eng_->reset();
     machine_.load(std::forward<Args>(args)...);
   }
 
   /// Simulate one clock cycle.
-  bool step() { return eng_.step(); }
+  bool step() { return eng_->step(); }
   /// Run until the machine stops the engine (or `max_cycles`).
-  std::uint64_t run(std::uint64_t max_cycles = ~0ull) { return eng_.run(max_cycles); }
+  std::uint64_t run(std::uint64_t max_cycles = ~0ull) { return eng_->run(max_cycles); }
   /// Run until `done(machine)` holds with no tokens in flight (or the engine
   /// stops / `max_cycles` elapse). Returns cycles executed.
   template <typename DonePred>
   std::uint64_t drain(DonePred&& done, std::uint64_t max_cycles = ~0ull) {
-    const core::Cycle start = eng_.clock();
-    while (!eng_.stopped() && eng_.clock() - start < max_cycles) {
-      eng_.step();
-      if (done(machine_) && eng_.tokens_in_flight() == 0) break;
+    const core::Cycle start = eng_->clock();
+    while (!eng_->stopped() && eng_->clock() - start < max_cycles) {
+      eng_->step();
+      if (done(machine_) && eng_->tokens_in_flight() == 0) break;
     }
-    return eng_.clock() - start;
+    return eng_->clock() - start;
   }
   /// Clear all dynamic state (tokens, stats, clock); keeps the build products.
-  void reset() { eng_.reset(); }
-  void stop() { eng_.stop(); }
-  bool stopped() const { return eng_.stopped(); }
-  core::Cycle clock() const { return eng_.clock(); }
+  void reset() { eng_->reset(); }
+  void stop() { eng_->stop(); }
+  bool stopped() const { return eng_->stopped(); }
+  core::Cycle clock() const { return eng_->clock(); }
 
   // -- stats & hooks ----------------------------------------------------------
-  core::Stats& stats() { return eng_.stats(); }
-  const core::Stats& stats() const { return eng_.stats(); }
-  core::Engine::Hooks& hooks() { return eng_.hooks(); }
+  core::Stats& stats() { return eng_->stats(); }
+  const core::Stats& stats() const { return eng_->stats(); }
+  core::Engine::Hooks& hooks() { return eng_->hooks(); }
   std::uint64_t fires(TransitionHandle t) const {
     if (!builder_.owns(t))
       throw ModelError("fires(): transition handle was not issued by this simulator's model");
-    return eng_.stats().transition_fires[static_cast<unsigned>(t.id())];
+    return eng_->stats().transition_fires[static_cast<unsigned>(t.id())];
   }
   /// Human-readable per-transition/per-place report.
-  std::string report() const { return eng_.stats().report(net()); }
+  std::string report() const { return eng_->stats().report(net()); }
 
  private:
-  template <typename Describe>
-  core::Net& described(Describe& describe) {
-    describe(builder_, machine_);
-    return builder_.build(&machine_);
-  }
-
   Machine machine_;
   ModelBuilder<Machine> builder_;
-  core::Engine eng_;
+  std::unique_ptr<core::Engine> eng_;
 };
 
 }  // namespace rcpn::model

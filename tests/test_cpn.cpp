@@ -9,6 +9,7 @@
 #include "cpn/rcpn_to_cpn.hpp"
 #include "machines/fig5_processor.hpp"
 #include "machines/simple_pipeline.hpp"
+#include "model/model_builder.hpp"
 
 namespace rcpn::cpn {
 namespace {
@@ -176,6 +177,54 @@ TEST(NaiveEngineTest, TwoListSemanticsDelayProducedTokens) {
   EXPECT_EQ(eng.step(), 1u);
   EXPECT_EQ(eng.step(), 1u);
   EXPECT_EQ(eng.cycles(), 2u);
+}
+
+TEST(ModelConversion, UnbuiltTypedModelConvertsWithDeclaredNames) {
+  // A typed description (guards take Machine&) that is never built: the
+  // model-level convert() lowers the structure without a machine context and
+  // the declared stage/place names survive into the CPN.
+  struct Machine {
+    int budget = 0;
+  };
+  model::ModelBuilder<Machine> b("typed-frontend");
+  const model::StageHandle fetch = b.add_stage("FetchLatch", 1);
+  const model::StageHandle exec = b.add_stage("ExecLatch", 2);
+  const model::PlaceHandle pf = b.add_place("fetch.q", fetch);
+  const model::PlaceHandle pe = b.add_place("exec.q", exec);
+  const model::TypeHandle op = b.add_type("op");
+  b.add_transition("issue", op).from(pf).to(pe).guard(
+      [](Machine& m, core::FireCtx&) { return m.budget > 0; });
+  b.add_transition("retire", op).from(pe).to(b.end());
+
+  ASSERT_FALSE(b.built());
+  const ConversionResult conv = convert(b);
+  ASSERT_FALSE(b.built());  // conversion must not build the model
+
+  EXPECT_GE(conv.net.find_place("fetch.q"), 0);
+  EXPECT_GE(conv.net.find_place("exec.q"), 0);
+  EXPECT_GE(conv.net.find_place("free(FetchLatch)"), 0);
+  EXPECT_GE(conv.net.find_place("free(ExecLatch)"), 0);
+  // Initial marking: capacity tokens in the free places.
+  EXPECT_EQ(conv.net.initial_marking()(conv.net.find_place("free(ExecLatch)"), kBlack),
+            2u);
+}
+
+TEST(ModelConversion, BuiltModelUsesItsLoweredNet) {
+  // Built models (here through a machine) convert identically via their net.
+  machines::SimplePipeline pipe(1);
+  const ConversionResult from_net = convert(pipe.net());
+  // The builder is owned by the Simulator, so exercise the overload on a
+  // standalone built ModelBuilder instead.
+  model::ModelBuilder<> b("built");
+  const model::StageHandle s = b.add_stage("S", 1);
+  const model::PlaceHandle p = b.add_place("P", s);
+  const model::TypeHandle t = b.add_type("T");
+  b.add_transition("u", t).from(p).to(b.end());
+  b.build();
+  const ConversionResult conv = convert(b);
+  EXPECT_GE(conv.net.find_place("P"), 0);
+  EXPECT_GE(conv.net.find_place("free(S)"), 0);
+  EXPECT_GT(from_net.net.num_places(), 0u);
 }
 
 }  // namespace
