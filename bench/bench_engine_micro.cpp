@@ -4,7 +4,10 @@
 // walker, and the RegRef hazard-check primitives.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "baseline/ss_structures.hpp"
+#include "core/token_store.hpp"
 #include "machines/simple_pipeline.hpp"
 #include "machines/strongarm.hpp"
 #include "mem/cache.hpp"
@@ -52,6 +55,33 @@ static void BM_StrongArmCycle(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_StrongArmCycle)->Arg(0)->Arg(1);
+
+static void BM_TokenStoreScan(benchmark::State& state) {
+  // The compiled backend's Process(place) filter: scan a stage's SoA token
+  // pool (packed key + ready arrays) for consumable instruction tokens of
+  // one place. arg: pool population.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  core::TokenStore store;
+  std::vector<core::InstructionToken> tokens(n);
+  for (unsigned i = 0; i < n; ++i) {
+    tokens[i].place = static_cast<core::PlaceId>(i % 4);  // 4 places share the stage
+    tokens[i].ready = i % 2;
+    store.insert_visible(&tokens[i]);
+  }
+  const core::TokenStore::Key want =
+      core::TokenStore::key(core::PlaceId{1}, core::TokenKind::instruction);
+  const core::Cycle clock = 0;  // ready values are 0/1: half the slots fail
+  for (auto _ : state) {
+    unsigned hits = 0;
+    const core::TokenStore::Key* keys = store.keys();
+    const core::Cycle* ready = store.ready();
+    for (std::size_t i = 0; i < store.size(); ++i)
+      if (keys[i] == want && ready[i] <= clock) ++hits;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TokenStoreScan)->Arg(4)->Arg(16)->Arg(64);
 
 static void BM_DecodeCacheHit(benchmark::State& state) {
   machines::ArmMachine::Config cfg;

@@ -220,8 +220,7 @@ InstructionToken* Engine::acquire_pooled_instruction() {
     t->reset_dynamic();
     return t;
   }
-  instr_storage_.push_back(std::make_unique<InstructionToken>());
-  InstructionToken* t = instr_storage_.back().get();
+  InstructionToken* t = instr_arena_.allocate();
   t->pool_owned = true;
   return t;
 }
@@ -232,8 +231,14 @@ Token* Engine::acquire_reservation() {
     res_free_.pop_back();
     return t;
   }
-  res_storage_.push_back(std::make_unique<Token>());
-  return res_storage_.back().get();
+  return res_arena_.allocate();
+}
+
+void Engine::reserve_token_pools(std::size_t instructions, std::size_t reservations) {
+  instr_arena_.reserve(instructions);
+  instr_free_.reserve(instructions);
+  res_arena_.reserve(reservations);
+  res_free_.reserve(reservations);
 }
 
 void Engine::recycle(Token* t) {
@@ -270,15 +275,24 @@ bool Engine::place_has_room(PlaceId p, std::uint32_t n) const {
 }
 
 unsigned Engine::tokens_in_place(PlaceId p) const {
-  const PipelineStage& st = *place_stage_[static_cast<unsigned>(p)];
-  unsigned n = 0;
-  for (const Token* t : st.tokens())
-    if (t->place == p && t->kind == TokenKind::instruction) ++n;
-  return n;
+  // SoA filter scan: the packed key tests (place, kind) without touching the
+  // tokens themselves.
+  const TokenStore& ts = place_stage_[static_cast<unsigned>(p)]->store();
+  const TokenStore::Key want = TokenStore::key(p, TokenKind::instruction);
+  const TokenStore::Key* keys = ts.keys();
+  const std::size_t n = ts.size();
+  unsigned count = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (keys[i] == want) ++count;
+  return count;
 }
 
 void Engine::enter_place(Token* tok, PlaceId p, std::uint32_t transition_delay) {
-  PipelineStage& st = *place_stage_[static_cast<unsigned>(p)];
+  enter_place_in(tok, p, *place_stage_[static_cast<unsigned>(p)], transition_delay);
+}
+
+void Engine::enter_place_in(Token* tok, PlaceId p, PipelineStage& st,
+                            std::uint32_t transition_delay) {
   if (st.is_end()) {
     if (tok->kind == TokenKind::instruction) {
       retire(static_cast<InstructionToken*>(tok));
@@ -354,10 +368,16 @@ void Engine::flush_stage_if(StageId s, const std::function<bool(const Token&)>& 
 // ---------------------------------------------------------------------------
 
 Token* Engine::find_ready_reservation(PlaceId p) const {
-  const PipelineStage& st = *place_stage_[static_cast<unsigned>(p)];
-  for (Token* t : st.tokens())
-    if (t->place == p && t->kind == TokenKind::reservation && t->ready <= clock_)
-      return t;
+  // SoA filter scan in age order (identical to the old per-token walk, minus
+  // the dereferences): reservations carry no data, so the match never needs
+  // to touch the token until it is returned.
+  const TokenStore& ts = place_stage_[static_cast<unsigned>(p)]->store();
+  const TokenStore::Key want = TokenStore::key(p, TokenKind::reservation);
+  const TokenStore::Key* keys = ts.keys();
+  const Cycle* ready = ts.ready();
+  const std::size_t n = ts.size();
+  for (std::size_t i = 0; i < n; ++i)
+    if (keys[i] == want && ready[i] <= clock_) return ts.at(i);
   return nullptr;
 }
 

@@ -24,6 +24,7 @@
 
 #include "core/net.hpp"
 #include "core/stats.hpp"
+#include "core/token_store.hpp"
 
 namespace rcpn::core {
 
@@ -150,6 +151,17 @@ class Engine {
 
   std::uint64_t tokens_in_flight() const { return in_flight_; }
 
+  // -- narrow token-storage interface -----------------------------------------
+  // Both backends store tokens in the per-stage SoA pools (TokenStore); these
+  // are the only entry points, so guards, actions and stats observe identical
+  // token semantics regardless of which hot loop runs.
+
+  /// The SoA token pool of stage `s`.
+  const TokenStore& token_store(StageId s) const { return net_.stage(s).store(); }
+  /// Pre-size the recycling arenas (compiled lowering: pool hints), so the
+  /// steady state allocates nothing.
+  void reserve_token_pools(std::size_t instructions, std::size_t reservations);
+
   // -- introspection (tests, benches, CPN conversion) --------------------------
   const std::vector<PlaceId>& process_order() const { return order_; }
   const std::vector<const Transition*>& candidates(PlaceId p, TypeId type) const;
@@ -174,6 +186,12 @@ class Engine {
   bool independent_enabled(const Transition& t);
   void fire_independent(const Transition& t);
   void enter_place(Token* tok, PlaceId p, std::uint32_t transition_delay);
+  /// Token entry with the place->stage hop already resolved — the one copy of
+  /// the entry semantics (retire-on-end, next_delay/residence, two-list state
+  /// lag); the compiled backend calls it with its lowering-time stage
+  /// pointers, enter_place() with the id-indexed cache.
+  void enter_place_in(Token* tok, PlaceId p, PipelineStage& st,
+                      std::uint32_t transition_delay);
   void retire(InstructionToken* tok);
   Token* find_ready_reservation(PlaceId p) const;
   Token* acquire_reservation();
@@ -205,10 +223,11 @@ class Engine {
   std::vector<PipelineStage*> place_stage_;
   std::vector<std::uint32_t> place_delay_;
 
-  // Token pools (allocation-free steady state).
-  std::vector<std::unique_ptr<InstructionToken>> instr_storage_;
+  // Token pools: dense chunked arenas + LIFO free lists (allocation-free
+  // steady state; recycled tokens of a pool share cache lines).
+  TokenArena<InstructionToken> instr_arena_;
   std::vector<InstructionToken*> instr_free_;
-  std::vector<std::unique_ptr<Token>> res_storage_;
+  TokenArena<Token> res_arena_;
   std::vector<Token*> res_free_;
 
   // Per-cycle scratch, reused to avoid allocation in the hot loop.

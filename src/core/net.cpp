@@ -108,24 +108,6 @@ TransitionBuilder& TransitionBuilder::emit_reservation(PlaceId p) {
   return *this;
 }
 
-TransitionBuilder& TransitionBuilder::guard(Guard g) {
-  t_->guard_boxed_ = std::move(g);
-  t_->guard_env_ = &t_->guard_boxed_;
-  t_->guard_fn_ = [](void* env, FireCtx& ctx) {
-    return (*static_cast<Guard*>(env))(ctx);
-  };
-  return *this;
-}
-
-TransitionBuilder& TransitionBuilder::action(Action a) {
-  t_->action_boxed_ = std::move(a);
-  t_->action_env_ = &t_->action_boxed_;
-  t_->action_fn_ = [](void* env, FireCtx& ctx) {
-    (*static_cast<Action*>(env))(ctx);
-  };
-  return *this;
-}
-
 TransitionBuilder& TransitionBuilder::guard(GuardFn fn, void* env) {
   t_->guard_fn_ = fn;
   t_->guard_env_ = env;

@@ -29,9 +29,9 @@ class TransitionBuilder {
   TransitionBuilder& to(PlaceId p);
   /// Output arc emitting a reservation token into `p` (dotted arcs of Fig 5).
   TransitionBuilder& emit_reservation(PlaceId p);
-  TransitionBuilder& guard(Guard g);
-  TransitionBuilder& action(Action a);
-  /// Raw-delegate forms: a single indirect call in the hot loop.
+  /// Raw delegates: a single indirect call in the hot loop. The core layer
+  /// stores no closures — ModelBuilder boxes capturing callables behind this
+  /// signature when a model needs them.
   TransitionBuilder& guard(GuardFn fn, void* env);
   TransitionBuilder& action(ActionFn fn, void* env);
   /// Declare that the guard queries the state of place `p`

@@ -1,7 +1,9 @@
 // Pipeline stages: the storage elements instructions reside in (latches,
 // reservation stations, ...). Every place is assigned to a stage; places with
 // the same stage share its capacity, and the tokens of a place are physically
-// stored in its stage (paper §3, "Places").
+// stored in its stage (paper §3, "Places"). Storage is a TokenStore: an
+// age-ordered SoA pool both backends operate on, so their token semantics are
+// identical by construction.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "core/token.hpp"
+#include "core/token_store.hpp"
 
 namespace rcpn::core {
 
@@ -41,7 +44,7 @@ class PipelineStage {
   /// Occupancy counts both visible and not-yet-promoted tokens: a latch is
   /// physically occupied the moment something is written into it.
   std::uint32_t occupancy() const {
-    return static_cast<std::uint32_t>(tokens_.size() + incoming_.size());
+    return static_cast<std::uint32_t>(store_.occupancy());
   }
 
   /// Can `additions` more tokens enter, given `removals` tokens leaving this
@@ -51,34 +54,38 @@ class PipelineStage {
     return occupancy() - removals + additions <= capacity_;
   }
 
-  const std::vector<Token*>& tokens() const { return tokens_; }
-  const std::vector<Token*>& incoming() const { return incoming_; }
+  const std::vector<Token*>& tokens() const { return store_.ptrs(); }
+  const std::vector<Token*>& incoming() const { return store_.incoming_ptrs(); }
+
+  /// The SoA token pool itself (filter-field scans without token derefs).
+  /// Read-only: all mutation goes through the stage so the two-list routing
+  /// and occupancy invariants hold.
+  const TokenStore& store() const { return store_; }
+  /// Pre-size the pool (gen:: lowering); the one sizing hook lowering needs.
+  void reserve_store(std::size_t n) { store_.reserve(n); }
 
   void insert(Token* t) {
     if (two_list_) {
-      incoming_.push_back(t);
+      store_.insert_incoming(t);
     } else {
-      tokens_.push_back(t);
+      store_.insert_visible(t);
     }
   }
 
   /// Remove a (visible) token; returns false if absent.
-  bool remove(Token* t);
+  bool remove(Token* t) { return store_.remove_visible(t); }
 
   /// Remove a token from either list (flush path); returns false if absent.
-  bool remove_any(Token* t);
+  bool remove_any(Token* t) { return store_.remove_any(t); }
 
   /// Make tokens written during the previous cycle visible.
-  void promote_incoming();
+  void promote_incoming() { store_.promote(); }
 
   /// Drop every token; invokes `fn(token)` for each so the caller can run
   /// squash hooks / recycle storage.
   template <typename Fn>
   void clear_tokens(Fn&& fn) {
-    for (Token* t : tokens_) fn(t);
-    for (Token* t : incoming_) fn(t);
-    tokens_.clear();
-    incoming_.clear();
+    store_.clear(fn);
   }
 
  private:
@@ -88,8 +95,7 @@ class PipelineStage {
   bool is_end_;
   bool two_list_ = false;
   bool two_list_forced_ = false;
-  std::vector<Token*> tokens_;
-  std::vector<Token*> incoming_;
+  TokenStore store_;
 };
 
 }  // namespace rcpn::core

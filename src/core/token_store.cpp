@@ -1,0 +1,66 @@
+#include "core/token_store.hpp"
+
+#include <algorithm>
+
+namespace rcpn::core {
+
+void TokenStore::reserve(std::size_t n) {
+  ptrs_.reserve(n);
+  keys_.reserve(n);
+  ready_.reserve(n);
+  in_ptrs_.reserve(n);
+  in_keys_.reserve(n);
+  in_ready_.reserve(n);
+}
+
+void TokenStore::insert_visible(Token* t) {
+  ptrs_.push_back(t);
+  keys_.push_back(key(t->place, t->kind));
+  ready_.push_back(t->ready);
+}
+
+void TokenStore::insert_incoming(Token* t) {
+  in_ptrs_.push_back(t);
+  in_keys_.push_back(key(t->place, t->kind));
+  in_ready_.push_back(t->ready);
+}
+
+void TokenStore::erase_slot(std::vector<Token*>& ptrs, std::vector<Key>& keys,
+                            std::vector<Cycle>& ready, std::size_t i) {
+  ptrs.erase(ptrs.begin() + static_cast<std::ptrdiff_t>(i));
+  keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(i));
+  ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+bool TokenStore::remove_visible(Token* t) {
+  auto it = std::find(ptrs_.begin(), ptrs_.end(), t);
+  if (it == ptrs_.end()) return false;
+  erase_slot(ptrs_, keys_, ready_, static_cast<std::size_t>(it - ptrs_.begin()));
+  return true;
+}
+
+bool TokenStore::remove_any(Token* t) {
+  if (remove_visible(t)) return true;
+  auto it = std::find(in_ptrs_.begin(), in_ptrs_.end(), t);
+  if (it == in_ptrs_.end()) return false;
+  erase_slot(in_ptrs_, in_keys_, in_ready_,
+             static_cast<std::size_t>(it - in_ptrs_.begin()));
+  return true;
+}
+
+void TokenStore::promote() {
+  if (in_ptrs_.empty()) return;
+  for (std::size_t i = 0; i < in_ptrs_.size(); ++i) {
+    Token* t = in_ptrs_[i];
+    ptrs_.push_back(t);
+    keys_.push_back(in_keys_[i]);
+    ready_.push_back(in_ready_[i]);
+    if (t->kind == TokenKind::instruction)
+      static_cast<InstructionToken*>(t)->state = t->place;
+  }
+  in_ptrs_.clear();
+  in_keys_.clear();
+  in_ready_.clear();
+}
+
+}  // namespace rcpn::core

@@ -1,0 +1,154 @@
+// TokenStore: per-stage structure-of-arrays token storage, plus the dense
+// chunked arenas the engine's token pools recycle from.
+//
+// The paper's speed argument (§4) is that the generated simulator performs no
+// dynamic discovery in the hot loop. The last discovery left after the PR-2
+// lowering pass was *token* discovery: every Process(place) scanned a
+// std::vector<Token*> and dereferenced each heap token just to test
+// (place, kind, ready) — three fields scattered across a ~160-byte
+// InstructionToken. This class splits exactly those filter fields into
+// parallel arrays maintained alongside the pointer list:
+//
+//   ptrs_[i]   the token itself (only touched once a slot passes the filter)
+//   keys_[i]   place | kind<<16, packed so one 32-bit compare tests both
+//   ready_[i]  first cycle output transitions may consume the slot
+//
+// Slots are age-ordered (insertion order), matching the firing order the
+// interpreted engine established, so both backends see identical semantics by
+// construction: this *is* the storage — there is no mirror to drift. The
+// fields are written on insert and never change while a token resides in a
+// stage (place/ready are only mutated after removal; kind is immutable), so
+// no coherence protocol is needed. A second triple of arrays implements the
+// two-list (master/slave) incoming buffer.
+//
+// gen::CompiledModel::lower() sizes these pools (TokenStore::reserve +
+// Engine::reserve_token_pools) so the compiled backend never grows a vector
+// in steady state; the compiled hot loop scans keys()/ready() directly and
+// skips the Token dereference for every slot that fails the filter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/token.hpp"
+
+namespace rcpn::core {
+
+class TokenStore {
+ public:
+  /// Packed (place, kind) filter key: one compare replaces two field loads
+  /// from the token. Tokens resident in a stage always have place >= 0.
+  using Key = std::uint32_t;
+  static constexpr Key key(PlaceId place, TokenKind kind) {
+    return static_cast<Key>(static_cast<std::uint16_t>(place)) |
+           (static_cast<Key>(static_cast<std::uint8_t>(kind)) << 16);
+  }
+
+  // -- visible slots (age order) ----------------------------------------------
+  std::size_t size() const { return ptrs_.size(); }
+  bool empty() const { return ptrs_.empty(); }
+  const std::vector<Token*>& ptrs() const { return ptrs_; }
+  Token* at(std::size_t i) const { return ptrs_[i]; }
+  /// Raw SoA views for filter scans (compiled hot loop).
+  const Key* keys() const { return keys_.data(); }
+  const Cycle* ready() const { return ready_.data(); }
+
+  // -- incoming buffer (two-list stages) --------------------------------------
+  std::size_t incoming_size() const { return in_ptrs_.size(); }
+  const std::vector<Token*>& incoming_ptrs() const { return in_ptrs_; }
+
+  std::size_t occupancy() const { return ptrs_.size() + in_ptrs_.size(); }
+
+  /// Pre-size every array (compiled lowering: stage capacity), so steady
+  /// state never reallocates.
+  void reserve(std::size_t n);
+
+  /// Record `t` with its current (place, kind, ready) — callers set those
+  /// fields before insertion (Engine::enter_place) and never mutate them
+  /// while the token resides here.
+  void insert_visible(Token* t);
+  void insert_incoming(Token* t);
+
+  /// Remove a visible token, preserving age order; false if absent.
+  bool remove_visible(Token* t);
+  /// Remove from either list (flush path); false if absent.
+  bool remove_any(Token* t);
+
+  /// Make tokens written during the previous cycle visible and publish their
+  /// pipeline state (InstructionToken::state) for hazard queries.
+  void promote();
+
+  /// Drop every token, visible first then incoming (the established squash
+  /// order); invokes `fn(token)` for each.
+  template <typename Fn>
+  void clear(Fn&& fn) {
+    for (Token* t : ptrs_) fn(t);
+    for (Token* t : in_ptrs_) fn(t);
+    ptrs_.clear();
+    keys_.clear();
+    ready_.clear();
+    in_ptrs_.clear();
+    in_keys_.clear();
+    in_ready_.clear();
+  }
+
+ private:
+  static void erase_slot(std::vector<Token*>& ptrs, std::vector<Key>& keys,
+                         std::vector<Cycle>& ready, std::size_t i);
+
+  std::vector<Token*> ptrs_;
+  std::vector<Key> keys_;
+  std::vector<Cycle> ready_;
+  std::vector<Token*> in_ptrs_;
+  std::vector<Key> in_keys_;
+  std::vector<Cycle> in_ready_;
+};
+
+/// Dense chunked token arena: contiguous blocks instead of one heap object
+/// per token (the old vector<unique_ptr<T>> pools), so recycled tokens of the
+/// same pool share cache lines. Pointers are stable for the arena's lifetime;
+/// the engine's free lists hand slots back out LIFO, exactly as before.
+template <typename T>
+class TokenArena {
+ public:
+  T* allocate() {
+    if (chunks_.empty() || chunks_.back().used == chunks_.back().cap) grow(0);
+    Chunk& c = chunks_.back();
+    return &c.data[c.used++];
+  }
+
+  /// Ensure at least `n` more slots exist without further allocation.
+  /// allocate() only serves from the newest chunk, so when the current one
+  /// cannot cover `n` a fresh chunk of at least `n` is opened (the old
+  /// chunk's tail stays owned-but-unused; reserve is a pre-warm call, not a
+  /// steady-state one).
+  void reserve(std::size_t n) {
+    const std::size_t spare =
+        chunks_.empty() ? 0 : chunks_.back().cap - chunks_.back().used;
+    if (spare < n) grow(n);
+  }
+
+  std::size_t allocated() const {
+    std::size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.used;
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<T[]> data;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t cap = chunks_.empty() ? 64 : chunks_.back().cap * 2;
+    if (cap < at_least) cap = at_least;
+    chunks_.push_back(Chunk{std::make_unique<T[]>(cap), cap, 0});
+  }
+
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace rcpn::core

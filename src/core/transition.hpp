@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,13 +29,11 @@ struct FireCtx {
   InstructionToken* token = nullptr;
 };
 
-using Guard = std::function<bool(FireCtx&)>;
-using Action = std::function<void(FireCtx&)>;
-
-/// Raw delegates: one indirect call, no std::function overhead. Processor
-/// models register static functions with an environment pointer (the paper's
-/// generated simulators correspond to exactly this shape); tests and casual
-/// models can keep using std::function, which is boxed behind the same call.
+/// Raw delegates: one indirect call, no std::function overhead. This is the
+/// only registration form the core layer has — the shape of the paper's
+/// generated simulators. Callers register a static function plus an
+/// environment pointer; the model layer (ModelBuilder) boxes arbitrary
+/// closures behind this same signature when a model needs them.
 using GuardFn = bool (*)(void* env, FireCtx& ctx);
 using ActionFn = void (*)(void* env, FireCtx& ctx);
 
@@ -119,10 +116,8 @@ class Transition {
   TypeId subnet_;
   GuardFn guard_fn_ = nullptr;
   void* guard_env_ = nullptr;
-  Guard guard_boxed_;  // storage when registered via std::function
   ActionFn action_fn_ = nullptr;
   void* action_env_ = nullptr;
-  Action action_boxed_;
   std::uint32_t delay_ = 0;
   int max_fires_ = 1;
   std::vector<InArc> in_;

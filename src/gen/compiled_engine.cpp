@@ -14,13 +14,18 @@ using core::Token;
 void CompiledEngine::build() {
   core::Engine::build();
   cm_ = CompiledModel::lower(*this);
+  // Apply the lowering's pool sizing: per-stage SoA slots and recycling
+  // arenas, so the generated simulator's steady state never reallocates.
+  for (unsigned s = 0; s < cm_.num_stages; ++s)
+    net_.stage(static_cast<StageId>(s)).reserve_store(cm_.stage_reserve[s]);
+  reserve_token_pools(cm_.instr_pool_hint, cm_.res_pool_hint);
+  scratch_.reserve(cm_.instr_pool_hint);
 }
 
 bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
-                                       InstructionToken* tok) {
+                                       InstructionToken* tok, PipelineStage& from) {
   if (ct.simple) {
     // Latch-to-latch: shape and destination stage were resolved at lowering.
-    PipelineStage& from = *place_stage_[static_cast<unsigned>(tok->place)];
     PipelineStage& to = *ct.move_stage;
     if (&to != &from && !to.has_room(1, 0)) return false;
     FireCtx ctx{this, tok};
@@ -31,7 +36,7 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
     tok->place = core::kNoPlace;
     tok->state = core::kNoPlace;
     if (ct.action != nullptr) ct.action(ct.action_env, ctx);
-    enter_place(tok, ct.move_place, ct.delay);
+    enter_place_in(tok, ct.move_place, to, ct.delay);
     ++stats_.firings;
     ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
     return true;
@@ -75,7 +80,6 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
   if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
 
   // ---- fire ----
-  PipelineStage& from = *place_stage_[static_cast<unsigned>(tok->place)];
   const bool removed = from.remove(tok);
   assert(removed && "trigger token not visible in its place");
   (void)removed;
@@ -92,11 +96,11 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
   for (unsigned i = 0; i < ct.n_out; ++i) {
     const CompiledOutArc& a = cm_.out_arcs[ct.out_begin + i];
     if (!a.reservation) {
-      enter_place(tok, a.place, ct.delay);
+      enter_place_in(tok, a.place, *a.stage, ct.delay);
     } else {
       Token* r = acquire_reservation();
       ++stats_.reservations;
-      enter_place(r, a.place, ct.delay);
+      enter_place_in(r, a.place, *a.stage, ct.delay);
     }
   }
 
@@ -105,14 +109,21 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
   return true;
 }
 
-void CompiledEngine::process_place_compiled(PlaceId p) {
-  PipelineStage& st = *place_stage_[static_cast<unsigned>(p)];
-  if (st.tokens().empty()) return;
-  // Snapshot: firing mutates the stage's token list.
+void CompiledEngine::process_place_compiled(PlaceId p, PipelineStage& st) {
+  // SoA filter scan over the stage's token pool: one packed-key compare and
+  // one ready compare per slot, in age order — tokens are only dereferenced
+  // once they pass (the interpreted engine walks the Token objects instead).
+  const core::TokenStore& ts = st.store();
+  const std::size_t n = ts.size();
+  const core::TokenStore::Key want =
+      core::TokenStore::key(p, core::TokenKind::instruction);
+  const core::TokenStore::Key* keys = ts.keys();
+  const core::Cycle* ready = ts.ready();
+  // Snapshot: firing mutates the pool.
   scratch_.clear();
-  for (Token* t : st.tokens())
-    if (t->place == p && t->kind == core::TokenKind::instruction && t->ready <= clock_)
-      scratch_.push_back(static_cast<InstructionToken*>(t));
+  for (std::size_t i = 0; i < n; ++i)
+    if (keys[i] == want && ready[i] <= clock_)
+      scratch_.push_back(static_cast<InstructionToken*>(ts.at(i)));
   if (scratch_.empty()) return;
 
   const CompiledTransition* body = cm_.body.data();
@@ -124,7 +135,7 @@ void CompiledEngine::process_place_compiled(PlaceId p) {
                                  static_cast<unsigned>(tok->type)];
     bool fired = false;
     for (std::uint32_t i = r.begin; i < r.begin + r.count; ++i) {
-      if (try_fire_compiled(body[i], tok)) {
+      if (try_fire_compiled(body[i], tok, st)) {
         fired = true;
         break;
       }
@@ -158,7 +169,7 @@ void CompiledEngine::fire_independent_compiled(const CompiledTransition& ct) {
     if (a.reservation) {
       Token* r = acquire_reservation();
       ++stats_.reservations;
-      enter_place(r, a.place, ct.delay);
+      enter_place_in(r, a.place, *a.stage, ct.delay);
     }
     // Move targets declare capacity intent only; the action emits instruction
     // tokens itself via emit_instruction().
@@ -172,10 +183,17 @@ bool CompiledEngine::step() {
   if (stopped()) return false;
 
   // Fig 8 over the compiled tables: promote, process in order, run the
-  // independent sub-net, advance the clock.
-  for (StageId s : cm_.two_list_stages) net_.stage(s).promote_incoming();
+  // independent sub-net, advance the clock. Stage objects were resolved at
+  // lowering; the per-cycle loops never translate an id.
+  for (PipelineStage* st : cm_.two_list_stage_ptrs) st->promote_incoming();
 
-  for (PlaceId p : cm_.order) process_place_compiled(p);
+  const std::size_t np = cm_.order.size();
+  for (std::size_t i = 0; i < np; ++i) {
+    PipelineStage& st = *cm_.order_stage[i];
+    // Hoisted empty check: most places are empty most cycles, and the pool
+    // size is one load away.
+    if (!st.store().empty()) process_place_compiled(cm_.order[i], st);
+  }
 
   for (const CompiledTransition& ct : cm_.independent) {
     for (std::int32_t i = 0; i < ct.max_fires; ++i) {

@@ -38,8 +38,9 @@ class CompiledEngine final : public core::Engine {
   const CompiledModel& compiled() const { return cm_; }
 
  private:
-  void process_place_compiled(core::PlaceId p);
-  bool try_fire_compiled(const CompiledTransition& ct, core::InstructionToken* tok);
+  void process_place_compiled(core::PlaceId p, core::PipelineStage& st);
+  bool try_fire_compiled(const CompiledTransition& ct, core::InstructionToken* tok,
+                         core::PipelineStage& from);
   bool independent_enabled_compiled(const CompiledTransition& ct);
   void fire_independent_compiled(const CompiledTransition& ct);
 

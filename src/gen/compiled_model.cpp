@@ -1,5 +1,6 @@
 #include "gen/compiled_model.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -27,8 +28,8 @@ CompiledTransition compile_one(CompiledModel& cm, core::Net& net,
 
   ct.out_begin = static_cast<std::uint32_t>(cm.out_arcs.size());
   for (const core::OutArc& a : t.outputs())
-    cm.out_arcs.push_back(
-        CompiledOutArc{a.place, a.emit == core::ArcEmit::reservation});
+    cm.out_arcs.push_back(CompiledOutArc{a.place, a.emit == core::ArcEmit::reservation,
+                                         &net.stage_of(a.place)});
   ct.n_out = static_cast<std::uint16_t>(cm.out_arcs.size() - ct.out_begin);
 
   ct.simple = !t.independent() && t.inputs().size() == 1 && t.outputs().size() == 1 &&
@@ -73,9 +74,12 @@ CompiledModel CompiledModel::lower(core::Engine& eng) {
     cm.independent.push_back(compile_one(cm, net, net.transition(tid)));
 
   cm.order.assign(eng.process_order().begin(), eng.process_order().end());
+  for (core::PlaceId p : cm.order) cm.order_stage.push_back(&net.stage_of(p));
   for (unsigned s = 0; s < cm.num_stages; ++s)
-    if (net.stage(static_cast<core::StageId>(s)).two_list())
+    if (net.stage(static_cast<core::StageId>(s)).two_list()) {
       cm.two_list_stages.push_back(static_cast<core::StageId>(s));
+      cm.two_list_stage_ptrs.push_back(&net.stage(static_cast<core::StageId>(s)));
+    }
 
   cm.place_stage.resize(cm.num_places);
   cm.place_delay.resize(cm.num_places);
@@ -83,6 +87,22 @@ CompiledModel CompiledModel::lower(core::Engine& eng) {
     cm.place_stage[p] = net.place(static_cast<core::PlaceId>(p)).stage;
     cm.place_delay[p] = net.place(static_cast<core::PlaceId>(p)).delay;
   }
+
+  // Token-pool sizing. A bounded stage can never hold more slots than its
+  // capacity (has_room gates every entry); unlimited stages get one batch.
+  // The arena hints cover the theoretical in-flight maximum: every bounded
+  // slot occupied at once, by either kind of token.
+  constexpr std::uint32_t kUnlimitedBatch = 64;
+  std::uint64_t bounded_slots = 0;
+  cm.stage_reserve.resize(cm.num_stages);
+  for (unsigned s = 0; s < cm.num_stages; ++s) {
+    const core::PipelineStage& st = net.stage(static_cast<core::StageId>(s));
+    cm.stage_reserve[s] = st.unlimited() ? kUnlimitedBatch : st.capacity();
+    if (!st.unlimited()) bounded_slots += st.capacity();
+  }
+  constexpr std::uint64_t kPoolCap = 4096;
+  cm.instr_pool_hint = static_cast<std::uint32_t>(std::min(bounded_slots, kPoolCap));
+  cm.res_pool_hint = static_cast<std::uint32_t>(std::min(bounded_slots, kPoolCap));
   return cm;
 }
 

@@ -38,6 +38,8 @@ struct CompiledOutArc {
   core::PlaceId place = core::kNoPlace;
   /// true: emit a fresh reservation token; false: move the instruction token.
   bool reservation = false;
+  /// Pre-resolved owning stage of `place` (token entry without the id hop).
+  core::PipelineStage* stage = nullptr;
 };
 
 /// One transition, flattened: everything the hot loop reads in firing order,
@@ -91,12 +93,25 @@ struct CompiledModel {
 
   /// Fig 8 processing order (reverse topological; end places dropped).
   std::vector<core::PlaceId> order;
+  /// Pre-resolved owning stage of each `order` entry (same index): the hot
+  /// loop reaches each place's token pool without the id->stage hop.
+  std::vector<core::PipelineStage*> order_stage;
   /// Stages running the two-list (master/slave) algorithm.
   std::vector<core::StageId> two_list_stages;
+  /// The same stages pre-resolved for the per-cycle promote loop.
+  std::vector<core::PipelineStage*> two_list_stage_ptrs;
 
   /// Per-place structure-of-arrays: owning stage and residence delay.
   std::vector<core::StageId> place_stage;
   std::vector<std::uint32_t> place_delay;
+
+  /// Token-pool sizing, applied by CompiledEngine::build(): per-stage SoA
+  /// reservation (stage capacity; the end stage and other unlimited stages
+  /// get a fixed batch) and arena pre-allocation hints, so the generated
+  /// simulator's steady state never grows a vector.
+  std::vector<std::uint32_t> stage_reserve;
+  std::uint32_t instr_pool_hint = 0;
+  std::uint32_t res_pool_hint = 0;
 
   const CandRange& candidates(core::PlaceId p, core::TypeId type) const {
     return cell[static_cast<std::size_t>(p) * num_types + static_cast<unsigned>(type)];

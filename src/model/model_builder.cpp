@@ -108,6 +108,17 @@ void ModelBuilderBase::validate() const {
   for (const std::string& t : types_)
     if (!seen.insert(t).second) fail("duplicate operation-class name '" + t + "'");
 
+  // Unreachable stages: a stage no place binds to can never hold a token, so
+  // its declared capacity is dead weight — almost certainly a model typo
+  // (a place bound to the wrong StageHandle).
+  std::vector<bool> stage_used(stages_.size(), false);
+  for (const PlaceDef& p : places_)
+    if (!p.end) stage_used[static_cast<unsigned>(p.stage.id()) - 1] = true;
+  for (std::size_t i = 0; i < stages_.size(); ++i)
+    if (!stage_used[i])
+      fail("stage '" + stages_[i].name +
+           "' is unreachable: no place binds to it, so no token can ever enter it");
+
   // -- transitions ------------------------------------------------------------
   for (const TransitionDef& t : transitions_) {
     const std::string ctx = "transition '" + t.name + "'";

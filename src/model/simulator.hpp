@@ -8,7 +8,11 @@
 //   3. the lowered core::Net and the engine "generated" from it — the
 //      interpreted core::Engine or, with EngineOptions::backend ==
 //      core::Backend::compiled, the gen::CompiledEngine running the
-//      flattened tables of gen::CompiledModel.
+//      flattened tables of gen::CompiledModel. Both engines store tokens in
+//      the same per-stage SoA pools (core::TokenStore), so guards, actions,
+//      hooks and stats observe identical token semantics on either backend;
+//      tests/test_fuzz_lockstep.cpp pins that equivalence on randomized
+//      generated models, tests/test_golden_traces.cpp on checked-in traces.
 //
 // The machine context reaches guards and actions typed — bool(Machine&,
 // FireCtx&) — replacing the old pattern of parking `this` behind the

@@ -137,7 +137,7 @@ TEST(EnginePriority, LowerPriorityArcFiresFirst) {
   net.add_transition("slow", ty).from(p, /*priority=*/1).to(net.end_place());
   net.add_transition("fast", ty)
       .from(p, /*priority=*/0)
-      .guard([&](FireCtx&) { return allow_fast; })
+      .guard([](void* env, FireCtx&) { return *static_cast<bool*>(env); }, &allow_fast)
       .to(e2);
   Engine eng(net);
   eng.build();
@@ -167,8 +167,10 @@ TEST(EngineGuard, FalseGuardStallsToken) {
   const PlaceId p = net.add_place("L1", s);
   const TypeId ty = net.add_type("T");
   bool open = false;
-  net.add_transition("t", ty).from(p).guard([&](FireCtx&) { return open; }).to(
-      net.end_place());
+  net.add_transition("t", ty)
+      .from(p)
+      .guard([](void* env, FireCtx&) { return *static_cast<bool*>(env); }, &open)
+      .to(net.end_place());
   Engine eng(net);
   eng.build();
   emit(eng, ty, p);
@@ -206,7 +208,7 @@ TEST(EngineDelay, TokenDelayOverridesPlaceDelay) {
   const TypeId ty = net.add_type("T");
   net.add_transition("M", ty)
       .from(p1)
-      .action([](FireCtx& ctx) { ctx.token->next_delay = 5; })
+      .action([](void*, FireCtx& ctx) { ctx.token->next_delay = 5; }, nullptr)
       .to(p2);
   net.add_transition("W", ty).from(p2).to(net.end_place());
   Engine eng(net);
@@ -227,25 +229,36 @@ TEST(EngineReservation, BranchStylefetchStall) {
   const PlaceId p1 = net.add_place("L1", s1);
   const PlaceId p2 = net.add_place("L2", s2);
   const TypeId ty = net.add_type("Branch");
-  int fetched = 0;
+  struct FetchEnv {
+    int fetched = 0;
+    TypeId ty;
+    PlaceId p1;
+  } fenv{0, ty, p1};
   net.add_transition("D", ty).from(p1).to(p2).emit_reservation(p1);
   net.add_transition("B", ty).from(p2).consume_reservation(p1).to(net.end_place());
   net.add_independent_transition("F")
-      .guard([&](FireCtx& ctx) { return ctx.engine->place_has_room(p1); })
-      .action([&](FireCtx& ctx) {
-        ++fetched;
-        InstructionToken* t = ctx.engine->acquire_pooled_instruction();
-        t->type = ty;
-        ctx.engine->emit_instruction(t, p1);
-      });
+      .guard(
+          [](void* env, FireCtx& ctx) {
+            return ctx.engine->place_has_room(static_cast<FetchEnv*>(env)->p1);
+          },
+          &fenv)
+      .action(
+          [](void* env, FireCtx& ctx) {
+            auto* fe = static_cast<FetchEnv*>(env);
+            ++fe->fetched;
+            InstructionToken* t = ctx.engine->acquire_pooled_instruction();
+            t->type = fe->ty;
+            ctx.engine->emit_instruction(t, fe->p1);
+          },
+          &fenv);
   Engine eng(net);
   eng.build();
   eng.step();  // cycle 0: fetch fires -> token in L1
-  EXPECT_EQ(fetched, 1);
+  EXPECT_EQ(fenv.fetched, 1);
   eng.step();  // cycle 1: D fires (token->L2, reservation->L1); fetch blocked
-  EXPECT_EQ(fetched, 1);
+  EXPECT_EQ(fenv.fetched, 1);
   eng.step();  // cycle 2: B consumes reservation + branch token; fetch free again
-  EXPECT_EQ(fetched, 2);
+  EXPECT_EQ(fenv.fetched, 2);
   EXPECT_EQ(eng.stats().retired, 1u);
   EXPECT_GT(eng.stats().reservations, 0u);
 }
@@ -351,8 +364,10 @@ TEST(EngineFlush, SquashReleasesRegisterReservations) {
   const StageId s1 = net.add_stage("L1", 2);
   const PlaceId p1 = net.add_place("L1", s1);
   const TypeId ty = net.add_type("T");
-  net.add_transition("t", ty).from(p1).guard([](FireCtx&) { return false; }).to(
-      net.end_place());
+  net.add_transition("t", ty)
+      .from(p1)
+      .guard([](void*, FireCtx&) { return false; }, nullptr)
+      .to(net.end_place());
   Engine eng(net);
   eng.build();
 
@@ -382,8 +397,10 @@ TEST(EngineFlush, PredicateFlushKeepsOlderTokens) {
   const StageId s1 = net.add_stage("L1", 4);
   const PlaceId p1 = net.add_place("L1", s1);
   const TypeId ty = net.add_type("T");
-  net.add_transition("t", ty).from(p1).guard([](FireCtx&) { return false; }).to(
-      net.end_place());
+  net.add_transition("t", ty)
+      .from(p1)
+      .guard([](void*, FireCtx&) { return false; }, nullptr)
+      .to(net.end_place());
   Engine eng(net);
   eng.build();
   InstructionToken* a = emit(eng, ty, p1);
@@ -406,16 +423,27 @@ TEST(EngineMicroOps, ActionEmitsAdditionalTokens) {
   const PlaceId p1 = net.add_place("L1", s1);
   const PlaceId p2 = net.add_place("L2", s2);
   const TypeId ty = net.add_type("LSM");
+  struct ExpandEnv {
+    TypeId ty;
+    PlaceId p2;
+  } xenv{ty, p2};
   net.add_transition("expand", ty)
       .from(p1)
-      .guard([&](FireCtx& ctx) { return ctx.engine->place_has_room(p2, 3); })
-      .action([&](FireCtx& ctx) {
-        for (int i = 0; i < 2; ++i) {
-          InstructionToken* u = ctx.engine->acquire_pooled_instruction();
-          u->type = ty;
-          ctx.engine->emit_instruction(u, p2);
-        }
-      })
+      .guard(
+          [](void* env, FireCtx& ctx) {
+            return ctx.engine->place_has_room(static_cast<ExpandEnv*>(env)->p2, 3);
+          },
+          &xenv)
+      .action(
+          [](void* env, FireCtx& ctx) {
+            auto* xe = static_cast<ExpandEnv*>(env);
+            for (int i = 0; i < 2; ++i) {
+              InstructionToken* u = ctx.engine->acquire_pooled_instruction();
+              u->type = xe->ty;
+              ctx.engine->emit_instruction(u, xe->p2);
+            }
+          },
+          &xenv)
       .to(p2);
   net.add_transition("drain", ty).from(p2).to(net.end_place());
   Engine eng(net);
@@ -432,7 +460,7 @@ TEST(EngineWatchdog, DeadlockStopsEngine) {
   const TypeId ty = net.add_type("T");
   net.add_transition("never", ty)
       .from(p1)
-      .guard([](FireCtx&) { return false; })
+      .guard([](void*, FireCtx&) { return false; }, nullptr)
       .to(net.end_place());
   EngineOptions opt;
   opt.deadlock_limit = 50;

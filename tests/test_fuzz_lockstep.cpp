@@ -1,0 +1,370 @@
+// Randomized lockstep-equivalence fuzzing: the compiled backend's contract
+// (cycle-for-cycle equality with the interpreted engine) pinned on *generated*
+// models, not just the five curated machines.
+//
+// A seeded generator builds random pipeline topologies through ModelBuilder —
+// varying stage counts and capacities, place delays, fork/join edges,
+// multi-issue fetch widths, guard mixes (periodic stalls, clock windows,
+// state-referencing backpressure), token delay overrides, reservation
+// emit/consume pairs and age-based flushes — and runs the interpreted and
+// compiled engines in lockstep, comparing the clock, in-flight counts and
+// aggregate stats after every cycle, and the full cycle-stamped retire and
+// squash traces plus per-transition/per-place statistics at the end.
+//
+// Every seed is a different machine; a divergence report names the seed, so
+// any future backend change that breaks token semantics reproduces with
+// FuzzLockstep + that seed. The SoA token-pool rewrite landed gated on this
+// suite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gen/compiled_engine.hpp"
+#include "model/simulator.hpp"
+
+namespace rcpn {
+namespace {
+
+using core::FireCtx;
+
+struct FuzzMachine {
+  std::uint64_t to_emit = 0;
+  std::uint64_t emitted = 0;
+  /// Counters mutated by generated actions; compared across backends at the
+  /// end, so action *execution order* differences surface even when traces
+  /// happen to agree.
+  std::uint64_t actions_run = 0;
+  std::uint64_t flushes = 0;
+};
+
+struct TraceEvent {
+  core::Cycle cycle = 0;
+  std::uint64_t pc = 0;
+  std::uint32_t seq = 0;
+  bool operator==(const TraceEvent&) const = default;
+};
+
+struct Traces {
+  std::vector<TraceEvent> retired;
+  std::vector<TraceEvent> squashed;
+};
+
+void record(core::Engine& eng, Traces& out) {
+  eng.hooks().on_retire = [&eng, &out](core::InstructionToken* t) {
+    out.retired.push_back(TraceEvent{eng.clock(), t->pc, t->seq});
+  };
+  eng.hooks().on_squash = [&eng, &out](core::InstructionToken* t) {
+    out.squashed.push_back(TraceEvent{eng.clock(), t->pc, t->seq});
+  };
+}
+
+/// Build one random pipeline model. The generator draws every decision from
+/// a mt19937 seeded with `seed`, so the two Simulator instances (interpreted
+/// and compiled) construct byte-identical descriptions.
+void describe_random_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
+                           FuzzMachine& m) {
+  std::mt19937 rng(seed);
+  auto pick = [&rng](unsigned lo, unsigned hi) {  // inclusive range
+    return lo + static_cast<unsigned>(rng() % (hi - lo + 1));
+  };
+
+  const unsigned num_stages = pick(2, 6);
+  const unsigned num_places = num_stages + pick(0, 2);
+  const unsigned num_types = pick(1, 3);
+  const unsigned width = pick(1, 3);
+  m.to_emit = 80 + pick(0, 120);
+
+  // Stages with small random capacities; the fetch stage must hold a full
+  // issue group.
+  std::vector<model::StageHandle> stages;
+  std::vector<unsigned> caps;
+  for (unsigned s = 0; s < num_stages; ++s) {
+    unsigned cap = pick(1, 3);
+    if (s == 0 && cap < width) cap = width;
+    caps.push_back(cap);
+    stages.push_back(b.add_stage("S" + std::to_string(s), cap));
+  }
+  // Occasionally pin a middle stage to two-list (conservative forwarding
+  // timing), exercising the master/slave promotion path.
+  if (num_stages > 2 && pick(0, 2) == 0)
+    b.force_two_list(stages[1 + pick(0, num_stages - 3)], true);
+
+  // Places in pipeline order, distributed over the stages (several places may
+  // share one stage and its capacity).
+  std::vector<model::PlaceHandle> places;
+  std::vector<unsigned> place_stage;
+  for (unsigned i = 0; i < num_places; ++i) {
+    const unsigned s = i * num_stages / num_places;
+    place_stage.push_back(s);
+    places.push_back(
+        b.add_place("P" + std::to_string(i), stages[s], /*delay=*/pick(1, 2)));
+  }
+
+  // A roomy side stage for reservation tokens (orphans from flushes may
+  // accumulate; the stage must never backpressure the net into deadlock).
+  const model::StageHandle res_stage =
+      b.add_stage("RES", static_cast<std::uint32_t>(m.to_emit + 8));
+  const model::PlaceHandle res_place = b.add_place("RES", res_stage);
+
+  std::vector<model::TypeHandle> types;
+  for (unsigned t = 0; t < num_types; ++t)
+    types.push_back(b.add_type("T" + std::to_string(t)));
+
+  // Per type: an emit/consume reservation pair on the chain (consume sites
+  // get a fallback edge so a missing reservation stalls but never deadlocks).
+  std::vector<int> res_emit_at(num_types, -1), res_consume_at(num_types, -1);
+  for (unsigned t = 0; t < num_types; ++t) {
+    if (num_places >= 2 && pick(0, 1) == 0) {
+      const unsigned i = pick(0, num_places - 2);
+      res_emit_at[t] = static_cast<int>(i);
+      res_consume_at[t] = static_cast<int>(pick(i + 1, num_places - 1));
+    }
+  }
+
+  // Guard mixes. Everything is a deterministic function of token fields,
+  // the clock and machine counters, so both backends evaluate identically.
+  auto add_guard = [&](auto& tb, unsigned kind, unsigned backpressure_place) {
+    switch (kind) {
+      case 1:  // periodic stall keyed on token age and time
+        tb.guard([](FireCtx& ctx) {
+          return (ctx.token->seq + ctx.engine->clock()) % 3 != 0;
+        });
+        break;
+      case 2:  // coarse clock window
+        tb.guard([](FireCtx& ctx) { return (ctx.engine->clock() >> 2) % 2 == 0; });
+        break;
+      case 3: {  // state-referencing backpressure (declared via reads_state)
+        const core::PlaceId watched = places[backpressure_place];
+        tb.guard([watched](FireCtx& ctx) {
+          return ctx.engine->tokens_in_place(watched) < 2;
+        });
+        tb.reads_state(places[backpressure_place]);
+        break;
+      }
+      default:
+        break;
+    }
+  };
+  auto add_action = [&](auto& tb, unsigned kind, unsigned from_place) {
+    switch (kind) {
+      case 1:
+        tb.action([](FuzzMachine& fm, FireCtx&) { ++fm.actions_run; });
+        break;
+      case 2:  // token delay override for the next place entry
+        tb.action([](FireCtx& ctx) {
+          ctx.token->next_delay = 1 + ctx.token->seq % 3;
+        });
+        break;
+      case 3: {  // age-based flush of an earlier stage every 11th instruction
+        const core::StageId victim = stages[place_stage[pick(0, from_place)]];
+        tb.action([victim](FuzzMachine& fm, FireCtx& ctx) {
+          if (ctx.token->seq % 11 != 0) return;
+          ++fm.flushes;
+          const std::uint32_t older_than = ctx.token->seq;
+          ctx.engine->flush_stage_if(victim, [older_than](const core::Token& t) {
+            return t.kind == core::TokenKind::instruction &&
+                   static_cast<const core::InstructionToken&>(t).seq > older_than;
+          });
+        });
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  // The sub-nets: for every (type, place) a forward edge (1-2 places ahead,
+  // falling off the end retires), plus occasional lower-priority forks. This
+  // guarantees every token always has a candidate transition wherever it
+  // sits, so generated models cannot wedge on missing structure.
+  for (unsigned t = 0; t < num_types; ++t) {
+    for (unsigned i = 0; i < num_places; ++i) {
+      const unsigned jump = pick(1, 2);
+      const model::PlaceHandle target =
+          (i + jump < num_places) ? places[i + jump] : b.end();
+      const bool consume_here = res_consume_at[t] == static_cast<int>(i);
+      const std::uint8_t main_prio = consume_here ? 1 : 0;
+
+      if (consume_here) {
+        // Priority-0 consuming edge; the plain edge below is the fallback.
+        auto tb = b.add_transition("c" + std::to_string(t) + "_" + std::to_string(i),
+                                   types[t]);
+        tb.from(places[i], 0).consume_reservation(res_place).to(target);
+        add_action(tb, pick(0, 2), i);
+      }
+
+      auto tb = b.add_transition("t" + std::to_string(t) + "_" + std::to_string(i),
+                                 types[t]);
+      tb.from(places[i], main_prio).to(target);
+      if (res_emit_at[t] == static_cast<int>(i)) tb.emit_reservation(res_place);
+      // Backpressure guards must watch a strictly *later* place: watching your
+      // own (or an earlier) place can deadlock once it fills, and liveness of
+      // the generated model is proven by induction from the last place back.
+      unsigned guard_kind = pick(0, 3) == 1 ? pick(1, 3) : 0;
+      if (guard_kind == 3 && i + 1 >= num_places) guard_kind = 1;
+      add_guard(tb, guard_kind, i + 1 < num_places ? pick(i + 1, num_places - 1) : i);
+      add_action(tb, pick(0, 4) == 0 ? 3 : pick(0, 2), i);
+
+      if (pick(0, 3) == 0) {  // fork: alternative route at lower priority
+        const unsigned fjump = pick(1, 3);
+        const model::PlaceHandle ftarget =
+            (i + fjump < num_places) ? places[i + fjump] : b.end();
+        auto fb = b.add_transition("f" + std::to_string(t) + "_" + std::to_string(i),
+                                   types[t]);
+        fb.from(places[i], static_cast<std::uint8_t>(main_prio + 1)).to(ftarget);
+        add_action(fb, pick(0, 2), i);
+      }
+    }
+  }
+
+  // Multi-issue fetch: up to `width` fresh tokens per cycle, type and pc a
+  // deterministic hash of the emission index.
+  const core::PlaceId entry = places[0];
+  const unsigned type_count = num_types;
+  std::vector<core::TypeId> type_ids;
+  for (auto th : types) type_ids.push_back(th);
+  b.add_independent_transition("fetch")
+      .guard([](FuzzMachine& fm, FireCtx&) { return fm.emitted < fm.to_emit; })
+      .action([entry, type_count, type_ids](FuzzMachine& fm, FireCtx& ctx) {
+        core::InstructionToken* tok = ctx.engine->acquire_pooled_instruction();
+        tok->type = type_ids[(fm.emitted * 2654435761u >> 8) % type_count];
+        tok->pc = 0x1000 + fm.emitted * 4;
+        ++fm.emitted;
+        ctx.engine->emit_instruction(tok, entry);
+      })
+      .max_fires_per_cycle(static_cast<int>(width))
+      .to(places[0]);
+}
+
+core::EngineOptions options_for(unsigned seed, core::Backend backend) {
+  core::EngineOptions o;
+  o.backend = backend;
+  // Exercise the ablation analyses too: some seeds double-buffer every stage,
+  // some drop the state-reference rule. Both engines get identical options.
+  o.force_two_list_all = seed % 7 == 3;
+  o.two_list_state_refs = seed % 5 != 4;
+  o.deadlock_limit = 20000;
+  return o;
+}
+
+void expect_stats_equal(unsigned seed, const core::Stats& i, const core::Stats& c) {
+  EXPECT_EQ(i.cycles, c.cycles) << "seed=" << seed;
+  EXPECT_EQ(i.retired, c.retired) << "seed=" << seed;
+  EXPECT_EQ(i.fetched, c.fetched) << "seed=" << seed;
+  EXPECT_EQ(i.squashed, c.squashed) << "seed=" << seed;
+  EXPECT_EQ(i.reservations, c.reservations) << "seed=" << seed;
+  EXPECT_EQ(i.firings, c.firings) << "seed=" << seed;
+  EXPECT_EQ(i.transition_fires, c.transition_fires) << "seed=" << seed;
+  EXPECT_EQ(i.place_stalls, c.place_stalls) << "seed=" << seed;
+}
+
+/// Aggregate workload exercised by a seed range: guards that the corpus
+/// really covers the mechanisms it claims to fuzz (flushes happened,
+/// reservations were emitted and consumed, stalls occurred, some models ran
+/// two-list stages), not just straight-line pipelines.
+struct Coverage {
+  std::uint64_t retired = 0;
+  std::uint64_t squashed = 0;
+  std::uint64_t reservations = 0;
+  std::uint64_t stalls = 0;
+  unsigned models_with_two_list = 0;
+};
+
+void run_seed(unsigned seed, Coverage& cov) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  auto make = [seed](core::Backend backend) {
+    return std::make_unique<model::Simulator<FuzzMachine>>(
+        "fuzz-" + std::to_string(seed), options_for(seed, backend),
+        [seed](model::ModelBuilder<FuzzMachine>& b, FuzzMachine& m) {
+          describe_random_model(seed, b, m);
+        },
+        FuzzMachine{});
+  };
+  auto interp = make(core::Backend::interpreted);
+  auto comp = make(core::Backend::compiled);
+  ASSERT_NE(dynamic_cast<gen::CompiledEngine*>(&comp->engine()), nullptr);
+  ASSERT_EQ(dynamic_cast<gen::CompiledEngine*>(&interp->engine()), nullptr);
+
+  Traces ti, tc;
+  record(interp->engine(), ti);
+  record(comp->engine(), tc);
+
+  // Lockstep: compare the cheap aggregates after every cycle so a divergence
+  // is localized to the first bad cycle, not discovered at the end.
+  constexpr std::uint64_t kMaxCycles = 25000;
+  std::uint64_t cycle = 0;
+  for (; cycle < kMaxCycles; ++cycle) {
+    const bool idone = interp->machine().emitted >= interp->machine().to_emit &&
+                       interp->engine().tokens_in_flight() == 0;
+    const bool cdone = comp->machine().emitted >= comp->machine().to_emit &&
+                       comp->engine().tokens_in_flight() == 0;
+    ASSERT_EQ(idone, cdone) << "seed=" << seed << " cycle=" << cycle;
+    if (idone) break;
+    ASSERT_TRUE(interp->step()) << "seed=" << seed << " interpreted engine stopped"
+                                << " (deadlocked model?) at cycle " << cycle;
+    ASSERT_TRUE(comp->step()) << "seed=" << seed << " compiled engine stopped"
+                              << " (deadlocked model?) at cycle " << cycle;
+    ASSERT_EQ(interp->clock(), comp->clock()) << "seed=" << seed;
+    ASSERT_EQ(interp->engine().tokens_in_flight(), comp->engine().tokens_in_flight())
+        << "seed=" << seed << " cycle=" << cycle;
+    ASSERT_EQ(interp->stats().retired, comp->stats().retired)
+        << "seed=" << seed << " cycle=" << cycle;
+    ASSERT_EQ(interp->stats().firings, comp->stats().firings)
+        << "seed=" << seed << " cycle=" << cycle;
+  }
+  ASSERT_LT(cycle, kMaxCycles) << "seed=" << seed << ": model did not drain "
+                               << "(emitted=" << interp->machine().emitted << "/"
+                               << interp->machine().to_emit << ", in flight "
+                               << interp->engine().tokens_in_flight() << ")";
+
+  // Full end-state comparison: every retirement and squash, cycle-stamped and
+  // in order; all statistics; all machine-side counters.
+  EXPECT_EQ(ti.retired, tc.retired) << "seed=" << seed;
+  EXPECT_EQ(ti.squashed, tc.squashed) << "seed=" << seed;
+  expect_stats_equal(seed, interp->stats(), comp->stats());
+  EXPECT_EQ(interp->machine().emitted, comp->machine().emitted) << "seed=" << seed;
+  EXPECT_EQ(interp->machine().actions_run, comp->machine().actions_run)
+      << "seed=" << seed;
+  EXPECT_EQ(interp->machine().flushes, comp->machine().flushes) << "seed=" << seed;
+  // Conservation: every fetched token either retired or was squashed.
+  EXPECT_EQ(interp->stats().fetched,
+            interp->stats().retired + interp->stats().squashed)
+      << "seed=" << seed;
+
+  cov.retired += interp->stats().retired;
+  cov.squashed += interp->stats().squashed;
+  cov.reservations += interp->stats().reservations;
+  for (std::uint64_t s : interp->stats().place_stalls) cov.stalls += s;
+  for (unsigned s = 0; s < interp->net().num_stages(); ++s)
+    if (interp->engine().stage_is_two_list(static_cast<core::StageId>(s))) {
+      ++cov.models_with_two_list;
+      break;
+    }
+}
+
+Coverage run_seed_range(unsigned first, unsigned last) {
+  Coverage cov;
+  for (unsigned seed = first; seed <= last; ++seed) run_seed(seed, cov);
+  // Each ~40-seed shard must have exercised every fuzzed mechanism.
+  EXPECT_GT(cov.retired, 1000u);
+  EXPECT_GT(cov.squashed, 0u) << "no flush ever squashed an instruction";
+  EXPECT_GT(cov.reservations, 0u) << "no reservation token was ever emitted";
+  EXPECT_GT(cov.stalls, 0u) << "no guard or capacity stall ever happened";
+  EXPECT_GT(cov.models_with_two_list, 0u) << "no model used a two-list stage";
+  return cov;
+}
+
+// 128 seeds ≥ the 100 the acceptance bar asks for; three shards keep any
+// failure's scope (and ctest's parallelism) reasonable.
+TEST(FuzzLockstep, Seeds1To48) { run_seed_range(1, 48); }
+
+TEST(FuzzLockstep, Seeds49To88) { run_seed_range(49, 88); }
+
+TEST(FuzzLockstep, Seeds89To128) { run_seed_range(89, 128); }
+
+}  // namespace
+}  // namespace rcpn

@@ -236,6 +236,41 @@ TEST(CompiledModelLowering, SimpleShapePrecomputed) {
   }
 }
 
+TEST(CompiledModelLowering, PoolSizingAndPreResolvedStages) {
+  machines::Fig5Processor comp(compiled_opts());
+  auto* ce = dynamic_cast<gen::CompiledEngine*>(&comp.engine());
+  ASSERT_NE(ce, nullptr);
+  const gen::CompiledModel& cm = ce->compiled();
+  const core::Net& net = comp.net();
+
+  // SoA pool sizing: bounded stages reserve exactly their capacity (they can
+  // never hold more), unlimited stages a non-zero batch; the arena hints
+  // cover every bounded slot.
+  ASSERT_EQ(cm.stage_reserve.size(), net.num_stages());
+  std::uint64_t bounded = 0;
+  for (unsigned s = 0; s < net.num_stages(); ++s) {
+    const core::PipelineStage& st = net.stage(static_cast<core::StageId>(s));
+    if (st.unlimited()) {
+      EXPECT_GT(cm.stage_reserve[s], 0u) << "stage " << s;
+    } else {
+      EXPECT_EQ(cm.stage_reserve[s], st.capacity()) << "stage " << s;
+      bounded += st.capacity();
+    }
+  }
+  EXPECT_EQ(cm.instr_pool_hint, bounded);
+  EXPECT_EQ(cm.res_pool_hint, bounded);
+
+  // Pre-resolved stage pointers agree with the net's id mapping everywhere.
+  ASSERT_EQ(cm.order_stage.size(), cm.order.size());
+  for (std::size_t i = 0; i < cm.order.size(); ++i)
+    EXPECT_EQ(cm.order_stage[i], &net.stage_of(cm.order[i])) << "order slot " << i;
+  ASSERT_EQ(cm.two_list_stage_ptrs.size(), cm.two_list_stages.size());
+  for (std::size_t i = 0; i < cm.two_list_stages.size(); ++i)
+    EXPECT_EQ(cm.two_list_stage_ptrs[i], &net.stage(cm.two_list_stages[i]));
+  for (const gen::CompiledOutArc& a : cm.out_arcs)
+    EXPECT_EQ(a.stage, &net.stage_of(a.place));
+}
+
 // ---------------------------------------------------------------------------
 // Exporters
 // ---------------------------------------------------------------------------
@@ -253,6 +288,8 @@ TEST(Exporters, EmitCppContainsScheduleTables) {
   EXPECT_NE(src.find("kTwoListStages"), std::string::npos);
   EXPECT_NE(src.find("kCell["), std::string::npos);
   EXPECT_NE(src.find("kBody["), std::string::npos);
+  EXPECT_NE(src.find("kStageReserve"), std::string::npos);
+  EXPECT_NE(src.find("kInstrPoolHint"), std::string::npos);
   // Names travel along as comments.
   EXPECT_NE(src.find("FD"), std::string::npos);
   EXPECT_NE(src.find("constexpr"), std::string::npos);

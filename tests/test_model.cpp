@@ -65,6 +65,57 @@ TEST(ModelValidation, ZeroDelayPlace) {
   expect_build_error(b, "zero delay");
 }
 
+TEST(ModelValidation, UnreachableStage) {
+  ModelBuilder<> b("m");
+  const StageHandle s1 = b.add_stage("S1", 1);
+  b.add_stage("ORPHAN", 2);  // no place ever binds to it
+  b.add_place("P", s1);
+  expect_build_error(b, "stage 'ORPHAN' is unreachable: no place binds to it");
+}
+
+TEST(ModelValidation, ReadsStateWithDanglingHandle) {
+  ModelBuilder<> b("m");
+  const TypeHandle ty = b.add_type("T");
+  const StageHandle s = b.add_stage("S", 1);
+  const PlaceHandle p = b.add_place("P", s);
+  b.add_transition("t", ty).from(p).reads_state(PlaceHandle{}).to(b.end());
+  expect_build_error(b, "reads_state: dangling place handle");
+}
+
+TEST(ModelValidation, ForceTwoListOnForeignStage) {
+  ModelBuilder<> other("other");
+  const StageHandle foreign = other.add_stage("S", 1);
+  ModelBuilder<> b("m");
+  try {
+    b.force_two_list(foreign, true);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("belongs to a different model"),
+              std::string::npos)
+        << "actual message: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("force_two_list()"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(ModelValidation, ErrorMessagesNameTheModelAndEntity) {
+  // The message contract the other tests rely on: "model '<name>':" prefix
+  // and the offending entity named in the body.
+  ModelBuilder<> b("xscale-variant");
+  b.add_stage("F1", 1);
+  b.add_stage("F1", 1);
+  try {
+    b.build();
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("model 'xscale-variant':"), std::string::npos)
+        << "actual message: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicate stage name 'F1'"),
+              std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
 TEST(ModelValidation, TransitionFromDanglingPlaceHandle) {
   ModelBuilder<> b("m");
   const TypeHandle ty = b.add_type("T");
@@ -378,7 +429,9 @@ TEST(SimulatorFacade, HooksFire) {
 // ---------------------------------------------------------------------------
 
 /// The Figure 2 pipeline exactly as machines::SimplePipeline wired it before
-/// the model API existed: raw core::Net ids, lambdas boxed directly.
+/// the model API existed: raw core::Net ids, raw GuardFn/ActionFn delegates
+/// with `this` as the environment (the only registration form the core layer
+/// keeps; closures belong to the model layer).
 class LegacyFig2 {
  public:
   explicit LegacyFig2(std::uint64_t to_generate)
@@ -395,13 +448,21 @@ class LegacyFig2 {
     u4_ = net_.add_transition("U4", type_b_).from(l1_).to(net_.end_place()).id();
 
     net_.add_independent_transition("U1")
-        .guard([this](FireCtx&) { return generated_ < to_generate_; })
-        .action([this](FireCtx& ctx) {
-          core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
-          t->type = (generated_ % 2 == 0) ? type_a_ : type_b_;
-          ++generated_;
-          ctx.engine->emit_instruction(t, l1_);
-        })
+        .guard(
+            [](void* env, FireCtx&) {
+              auto* self = static_cast<LegacyFig2*>(env);
+              return self->generated_ < self->to_generate_;
+            },
+            this)
+        .action(
+            [](void* env, FireCtx& ctx) {
+              auto* self = static_cast<LegacyFig2*>(env);
+              core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
+              t->type = (self->generated_ % 2 == 0) ? self->type_a_ : self->type_b_;
+              ++self->generated_;
+              ctx.engine->emit_instruction(t, self->l1_);
+            },
+            this)
         .to(l1_);
 
     eng_.build();

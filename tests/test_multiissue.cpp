@@ -5,8 +5,7 @@
 //
 // The machines are described through the declarative model API
 // (max_fires_per_cycle on an independent transition) and run on both
-// backends; one raw-net machine is kept at the bottom as a legacy guard for
-// the core::Net wiring path.
+// backends, with a cycle-for-cycle backend-equivalence check at the bottom.
 #include <gtest/gtest.h>
 
 #include "core/engine.hpp"
@@ -114,37 +113,32 @@ INSTANTIATE_TEST_SUITE_P(BothBackends, MultiIssueBackends,
                          });
 
 // ---------------------------------------------------------------------------
-// Legacy guard: the same 2-wide machine wired directly on core::Net. The raw
-// wiring path (TransitionBuilder on the net, std::function guards) must keep
-// working for models that bypass the declarative API.
+// The 2-wide machine that used to live here as a hand-wired core::Net (the
+// last raw-net user of std::function guards — a wiring path the core layer
+// no longer has: closures are the model layer's job). Ported to the model
+// API, it now also pins backend equivalence: the interpreted and compiled
+// engines must agree on the whole statistics vector, not just on IPC.
 // ---------------------------------------------------------------------------
 
-TEST(MultiIssueLegacyNet, TwoWideRawNetStillWorks) {
-  core::Net net("vliw2-raw");
-  const core::StageId s1 = net.add_stage("ISSUE", 2);
-  const core::StageId s2 = net.add_stage("EX", 2);
-  const core::PlaceId issue = net.add_place("ISSUE", s1);
-  const core::PlaceId ex = net.add_place("EX", s2);
-  const core::TypeId op = net.add_type("op");
-  net.add_transition("lane", op).from(issue).to(ex);
-  net.add_transition("wb", op).from(ex).to(net.end_place());
-  std::uint64_t emitted = 0;
-  core::Engine eng(net);
-  net.add_independent_transition("fetch2")
-      .guard([&](core::FireCtx&) { return emitted < 2000; })
-      .action([&](core::FireCtx& ctx) {
-        core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
-        t->type = op;
-        ++emitted;
-        ctx.engine->emit_instruction(t, issue);
-      })
-      .max_fires_per_cycle(2)
-      .to(issue);
-  eng.build();
-  while (emitted < 2000 || eng.tokens_in_flight() > 0) eng.step();
+TEST(MultiIssueModelApi, TwoWideBackendsAgreeCycleForCycle) {
+  MultiIssue interp(2000, /*width=*/2, /*ex_slots=*/2);
+  core::EngineOptions copts;
+  copts.backend = core::Backend::compiled;
+  MultiIssue comp(2000, /*width=*/2, /*ex_slots=*/2, copts);
+  interp.run();
+  comp.run();
 
-  EXPECT_EQ(eng.stats().retired, 2000u);
-  const double ipc = 2000.0 / static_cast<double>(eng.stats().cycles);
+  const core::Stats& is = interp.sim().stats();
+  const core::Stats& cs = comp.sim().stats();
+  EXPECT_EQ(is.retired, 2000u);
+  EXPECT_EQ(is.cycles, cs.cycles);
+  EXPECT_EQ(is.retired, cs.retired);
+  EXPECT_EQ(is.fetched, cs.fetched);
+  EXPECT_EQ(is.firings, cs.firings);
+  EXPECT_EQ(is.transition_fires, cs.transition_fires);
+  EXPECT_EQ(is.place_stalls, cs.place_stalls);
+
+  const double ipc = 2000.0 / static_cast<double>(is.cycles);
   EXPECT_GT(ipc, 1.8);
   EXPECT_LE(ipc, 2.0);
 }
