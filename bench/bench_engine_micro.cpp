@@ -83,6 +83,34 @@ static void BM_TokenStoreScan(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenStoreScan)->Arg(4)->Arg(16)->Arg(64);
 
+static void BM_TokenStoreRemove(benchmark::State& state) {
+  // The compiled/generated firing path's token removal. arg0: pool
+  // population; arg1 = 1: the same-index hint the scan loop carries
+  // (remove_visible_at — O(1) when the hint holds), 0: the plain pointer
+  // search (remove_visible — O(n) find). Removal targets walk the pool
+  // front-to-back, the scan order of Process(place).
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const bool hinted = state.range(1) == 1;
+  core::TokenStore store;
+  std::vector<core::InstructionToken> tokens(n);
+  for (unsigned i = 0; i < n; ++i) {
+    tokens[i].place = core::PlaceId{1};
+    store.insert_visible(&tokens[i]);
+  }
+  unsigned next = 0;
+  for (auto _ : state) {
+    core::Token* victim = store.at(next % store.size());
+    const std::size_t hint = next % store.size();
+    const bool removed =
+        hinted ? store.remove_visible_at(hint, victim) : store.remove_visible(victim);
+    benchmark::DoNotOptimize(removed);
+    store.insert_visible(victim);  // refill so the population stays at n
+    ++next;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TokenStoreRemove)->Args({16, 0})->Args({16, 1})->Args({64, 0})->Args({64, 1});
+
 static void BM_DecodeCacheHit(benchmark::State& state) {
   machines::ArmMachine::Config cfg;
   machines::ArmMachine m(cfg);

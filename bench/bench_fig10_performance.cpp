@@ -8,17 +8,23 @@
 // simpler) and the RCPN-vs-SimpleScalar gap (see EXPERIMENTS.md for the
 // honest discussion of the measured factor vs the paper's ~15x).
 //
-// Both RCPN models additionally run on both engine backends — interpreted
-// (core::Engine) and compiled (gen::CompiledEngine, the flattened tables of
-// §4-5's generated simulator) — and the compiled-vs-interpreted ratio is
-// recorded in BENCH_fig10.json so the perf trajectory across PRs tracks the
-// devirtualization win. CI fails if the compiled backend regresses below the
-// interpreted one (aggregate over all benchmarks).
+// Both RCPN models run on every available engine backend:
+//  * interpreted — core::Engine walking the net;
+//  * compiled (c) — gen::CompiledEngine over the flattened tables;
+//  * generated (g) — the standalone gen::emit_simulator artifact, present
+//    when the build linked the emitted no-main TUs in (RCPN_GENERATED_SIMS).
+// BENCH_fig10.json records compiled_vs_interpreted and, when available,
+// generated_vs_compiled ratios so the perf trajectory across PRs tracks both
+// devirtualization steps. CI fails if the compiled backend regresses below
+// the interpreted one (aggregate over all workloads).
 #include <cstdio>
+#include <memory>
+#include <tuple>
 #include <vector>
 
 #include "baseline/simplescalar_sim.hpp"
 #include "bench/bench_util.hpp"
+#include "gen/generated.hpp"
 #include "machines/strongarm.hpp"
 #include "machines/xscale.hpp"
 #include "util/table.hpp"
@@ -26,14 +32,22 @@
 using namespace rcpn;
 
 int main() {
-  std::printf("Figure 10: simulation performance (Million cycles/second)\n");
-  std::printf("host-dependent; REPRO_SCALE=%.2f; (gen) = compiled backend\n\n",
-              bench::repro_scale());
+  const bool has_gen_sa = gen::find_generated_engine("StrongArm") != nullptr;
+  const bool has_gen_xs = gen::find_generated_engine("XScale") != nullptr;
 
-  util::Table table({"benchmark", "SimpleScalar", "XScale", "XScale(gen)",
-                     "StrongArm", "StrongArm(gen)", "SA(gen)/SS", "gen/int"});
+  std::printf("Figure 10: simulation performance (Million cycles/second)\n");
+  std::printf("host-dependent; REPRO_SCALE=%.2f; (c) = compiled, (g) = generated\n",
+              bench::repro_scale());
+  if (!has_gen_sa || !has_gen_xs)
+    std::printf("generated backend not linked in — (g) columns skipped\n");
+  std::printf("\n");
+
+  util::Table table({"benchmark", "SimpleScalar", "XScale", "XScale(c)", "XScale(g)",
+                     "StrongArm", "StrongArm(c)", "StrongArm(g)", "SA(c)/SS", "c/int",
+                     "SAg/c", "XSg/c"});
 
   double sum_ss = 0, sum_xs = 0, sum_xc = 0, sum_sa = 0, sum_sc = 0;
+  double sum_xg = 0, sum_sg = 0;
   unsigned n = 0;
   std::vector<std::string> json_rows;
   baseline::SimpleScalarSim ss;
@@ -45,6 +59,18 @@ int main() {
   machines::StrongArmConfig sc_cfg;
   sc_cfg.engine.backend = core::Backend::compiled;
   machines::StrongArmSim sc(sc_cfg);
+  std::unique_ptr<machines::XScaleSim> xg;
+  std::unique_ptr<machines::StrongArmSim> sg;
+  if (has_gen_xs) {
+    machines::XScaleConfig cfg;
+    cfg.engine.backend = core::Backend::generated;
+    xg = std::make_unique<machines::XScaleSim>(cfg);
+  }
+  if (has_gen_sa) {
+    machines::StrongArmConfig cfg;
+    cfg.engine.backend = core::Backend::generated;
+    sg = std::make_unique<machines::StrongArmSim>(cfg);
+  }
 
   // Untimed warm-up: the first run of each simulator pays one-off costs
   // (page faults on freshly-allocated pools, branch-predictor and frequency
@@ -57,6 +83,8 @@ int main() {
     xc.run(warm);
     sa.run(warm);
     sc.run(warm);
+    if (xg) xg->run(warm);
+    if (sg) sg->run(warm);
   }
 
   for (const workloads::Workload& w : workloads::all()) {
@@ -67,15 +95,22 @@ int main() {
     const auto [rxc, txc] = bench::timed([&] { return xc.run(prog); });
     const auto [rsa, tsa] = bench::timed([&] { return sa.run(prog); });
     const auto [rsc, tsc] = bench::timed([&] { return sc.run(prog); });
+    machines::RunResult rxg, rsg;
+    double txg = 0, tsg = 0;
+    if (xg) std::tie(rxg, txg) = bench::timed([&] { return xg->run(prog); });
+    if (sg) std::tie(rsg, tsg) = bench::timed([&] { return sg->run(prog); });
 
     // All runs must agree architecturally; a mismatch voids the row. The
-    // compiled backends must also match their interpreted twins cycle-exactly.
+    // compiled/generated backends must also match their interpreted twins
+    // cycle-exactly.
     if (rss.output != rxs.output || rss.output != rsa.output ||
-        rss.output != rxc.output || rss.output != rsc.output) {
+        rss.output != rxc.output || rss.output != rsc.output ||
+        (xg && rss.output != rxg.output) || (sg && rss.output != rsg.output)) {
       std::fprintf(stderr, "output mismatch on %s!\n", w.name.c_str());
       return 1;
     }
-    if (rsc.cycles != rsa.cycles || rxc.cycles != rxs.cycles) {
+    if (rsc.cycles != rsa.cycles || rxc.cycles != rxs.cycles ||
+        (sg && rsg.cycles != rsa.cycles) || (xg && rxg.cycles != rxs.cycles)) {
       std::fprintf(stderr, "backend cycle mismatch on %s!\n", w.name.c_str());
       return 1;
     }
@@ -85,51 +120,102 @@ int main() {
     const double mxc = static_cast<double>(rxc.cycles) / txc / 1e6;
     const double msa = static_cast<double>(rsa.cycles) / tsa / 1e6;
     const double msc = static_cast<double>(rsc.cycles) / tsc / 1e6;
+    const double mxg = xg ? static_cast<double>(rxg.cycles) / txg / 1e6 : 0.0;
+    const double msg = sg ? static_cast<double>(rsg.cycles) / tsg / 1e6 : 0.0;
     sum_ss += mss;
     sum_xs += mxs;
     sum_xc += mxc;
     sum_sa += msa;
     sum_sc += msc;
+    sum_xg += mxg;
+    sum_sg += msg;
     ++n;
 
-    char speedup[16], ratio[16];
+    char speedup[16], ratio[16], gsa[16], gxs[16];
     std::snprintf(speedup, sizeof(speedup), "%.1fx", msc / mss);
     std::snprintf(ratio, sizeof(ratio), "%.2fx", msc / msa);
+    if (sg)
+      std::snprintf(gsa, sizeof(gsa), "%.2fx", msg / msc);
+    else
+      std::snprintf(gsa, sizeof(gsa), "-");
+    if (xg)
+      std::snprintf(gxs, sizeof(gxs), "%.2fx", mxg / mxc);
+    else
+      std::snprintf(gxs, sizeof(gxs), "-");
     table.add_row({w.name, util::Table::fmt(mss), util::Table::fmt(mxs),
-                   util::Table::fmt(mxc), util::Table::fmt(msa),
-                   util::Table::fmt(msc), speedup, ratio});
+                   util::Table::fmt(mxc), xg ? util::Table::fmt(mxg) : "-",
+                   util::Table::fmt(msa), util::Table::fmt(msc),
+                   sg ? util::Table::fmt(msg) : "-", speedup, ratio, gsa, gxs});
 
-    json_rows.push_back(bench::JsonObj()
-                            .str("name", w.name)
-                            .num("cycles_strongarm", rsa.cycles)
-                            .num("cycles_xscale", rxs.cycles)
-                            .num("cycles_simplescalar", rss.cycles)
-                            .num("mcps_simplescalar", mss)
-                            .num("mcps_xscale", mxs)
-                            .num("mcps_xscale_compiled", mxc)
-                            .num("mcps_strongarm", msa)
-                            .num("mcps_strongarm_compiled", msc)
-                            .num("ns_per_cycle_strongarm", 1e3 / msa)
-                            .num("ns_per_cycle_strongarm_compiled", 1e3 / msc)
-                            // Keep the PR-1 meaning (interpreted vs baseline) so
-                            // the perf trajectory stays comparable across runs;
-                            // the compiled backend gets its own key.
-                            .num("speedup_strongarm_vs_simplescalar", msa / mss)
-                            .num("speedup_strongarm_compiled_vs_simplescalar", msc / mss)
-                            .num("compiled_vs_interpreted_strongarm", msc / msa)
-                            .num("compiled_vs_interpreted_xscale", mxc / mxs)
-                            .render());
+    bench::JsonObj row;
+    row.str("name", w.name)
+        .num("cycles_strongarm", rsa.cycles)
+        .num("cycles_xscale", rxs.cycles)
+        .num("cycles_simplescalar", rss.cycles)
+        .num("mcps_simplescalar", mss)
+        .num("mcps_xscale", mxs)
+        .num("mcps_xscale_compiled", mxc)
+        .num("mcps_strongarm", msa)
+        .num("mcps_strongarm_compiled", msc)
+        .num("ns_per_cycle_strongarm", 1e3 / msa)
+        .num("ns_per_cycle_strongarm_compiled", 1e3 / msc)
+        // Keep the PR-1 meaning (interpreted vs baseline) so the perf
+        // trajectory stays comparable across runs; each backend gets its
+        // own key.
+        .num("speedup_strongarm_vs_simplescalar", msa / mss)
+        .num("speedup_strongarm_compiled_vs_simplescalar", msc / mss)
+        .num("compiled_vs_interpreted_strongarm", msc / msa)
+        .num("compiled_vs_interpreted_xscale", mxc / mxs);
+    if (sg)
+      row.num("mcps_strongarm_generated", msg)
+          .num("generated_vs_compiled_strongarm", msg / msc);
+    if (xg)
+      row.num("mcps_xscale_generated", mxg)
+          .num("generated_vs_compiled_xscale", mxg / mxc);
+    json_rows.push_back(row.render());
   }
 
   const double ratio_sa = sum_sc / sum_sa;
   const double ratio_xs = sum_xc / sum_xs;
-  char speedup[16], ratio[16];
+  const double gratio_sa = sg ? sum_sg / sum_sc : 0.0;
+  const double gratio_xs = xg ? sum_xg / sum_xc : 0.0;
+  char speedup[16], ratio[16], gsa[16], gxs[16];
   std::snprintf(speedup, sizeof(speedup), "%.1fx", (sum_sc / n) / (sum_ss / n));
   std::snprintf(ratio, sizeof(ratio), "%.2fx", ratio_sa);
+  if (sg)
+    std::snprintf(gsa, sizeof(gsa), "%.2fx", gratio_sa);
+  else
+    std::snprintf(gsa, sizeof(gsa), "-");
+  if (xg)
+    std::snprintf(gxs, sizeof(gxs), "%.2fx", gratio_xs);
+  else
+    std::snprintf(gxs, sizeof(gxs), "-");
   table.add_row({"Average", util::Table::fmt(sum_ss / n), util::Table::fmt(sum_xs / n),
-                 util::Table::fmt(sum_xc / n), util::Table::fmt(sum_sa / n),
-                 util::Table::fmt(sum_sc / n), speedup, ratio});
+                 util::Table::fmt(sum_xc / n), xg ? util::Table::fmt(sum_xg / n) : "-",
+                 util::Table::fmt(sum_sa / n), util::Table::fmt(sum_sc / n),
+                 sg ? util::Table::fmt(sum_sg / n) : "-", speedup, ratio, gsa, gxs});
   table.print();
+
+  bench::JsonObj avg;
+  avg.num("mcps_simplescalar", sum_ss / n)
+      .num("mcps_xscale", sum_xs / n)
+      .num("mcps_xscale_compiled", sum_xc / n)
+      .num("mcps_strongarm", sum_sa / n)
+      .num("mcps_strongarm_compiled", sum_sc / n)
+      .num("ns_per_cycle_strongarm", 1e3 * n / sum_sa)
+      .num("ns_per_cycle_strongarm_compiled", 1e3 * n / sum_sc)
+      .num("speedup_strongarm_vs_simplescalar", (sum_sa / n) / (sum_ss / n))
+      .num("speedup_strongarm_compiled_vs_simplescalar", (sum_sc / n) / (sum_ss / n))
+      .num("compiled_vs_interpreted_strongarm", ratio_sa)
+      .num("compiled_vs_interpreted_xscale", ratio_xs);
+  if (sg)
+    avg.num("mcps_strongarm_generated", sum_sg / n)
+        .num("generated_vs_compiled_strongarm", gratio_sa)
+        .num("speedup_strongarm_generated_vs_simplescalar",
+             (sum_sg / n) / (sum_ss / n));
+  if (xg)
+    avg.num("mcps_xscale_generated", sum_xg / n)
+        .num("generated_vs_compiled_xscale", gratio_xs);
 
   const std::string json =
       bench::JsonObj()
@@ -137,22 +223,7 @@ int main() {
           .str("metric", "simulation speed (million cycles/second)")
           .num("repro_scale", bench::repro_scale())
           .raw("benchmarks", bench::json_array(json_rows))
-          .raw("average",
-               bench::JsonObj()
-                   .num("mcps_simplescalar", sum_ss / n)
-                   .num("mcps_xscale", sum_xs / n)
-                   .num("mcps_xscale_compiled", sum_xc / n)
-                   .num("mcps_strongarm", sum_sa / n)
-                   .num("mcps_strongarm_compiled", sum_sc / n)
-                   .num("ns_per_cycle_strongarm", 1e3 * n / sum_sa)
-                   .num("ns_per_cycle_strongarm_compiled", 1e3 * n / sum_sc)
-                   .num("speedup_strongarm_vs_simplescalar",
-                        (sum_sa / n) / (sum_ss / n))
-                   .num("speedup_strongarm_compiled_vs_simplescalar",
-                        (sum_sc / n) / (sum_ss / n))
-                   .num("compiled_vs_interpreted_strongarm", ratio_sa)
-                   .num("compiled_vs_interpreted_xscale", ratio_xs)
-                   .render())
+          .raw("average", avg.render())
           .render();
   if (bench::write_file("BENCH_fig10.json", json + "\n"))
     std::printf("\nwrote BENCH_fig10.json\n");
@@ -164,5 +235,9 @@ int main() {
   std::printf("compiled vs interpreted: StrongArm %.2fx, XScale %.2fx (%s)\n",
               ratio_sa, ratio_xs,
               ratio_sa >= 1.0 ? "compiled not slower" : "COMPILED SLOWER");
+  if (sg)
+    std::printf("generated vs compiled: StrongArm %.2fx\n", gratio_sa);
+  if (xg)
+    std::printf("generated vs compiled: XScale %.2fx\n", gratio_xs);
   return 0;
 }

@@ -1,0 +1,100 @@
+// rcpn_emit: generate the standalone C++ simulator source for a machine.
+//
+// The generate→compile→verify workflow (see README "Generated simulators"):
+//
+//   ./rcpn_emit fig2 --out gen_fig2.cpp     # 1. generate
+//   g++ -O3 -flto -I src gen_fig2.cpp -lrcpn -o gen_fig2   # 2. compile
+//   ./gen_fig2 --golden tests/golden/fig2.trace            # 3. verify
+//
+// The build does this for all five machines automatically (gen_sim_* targets)
+// and CI gates every push on step 3. `--tables` and `--dot` expose the other
+// two exporters (the schedule dump and the graphviz structure).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gen/compiled_engine.hpp"
+#include "gen/emit.hpp"
+#include "gen/emit_simulator.hpp"
+#include "machines/golden_runner.hpp"
+
+using namespace rcpn;
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s <machine> [--out FILE] [--no-main] [--tables] [--dot]\n"
+               "  machine: one of", argv0);
+  for (const std::string& key : machines::golden_machine_keys())
+    std::fprintf(stderr, " %s", key.c_str());
+  std::fprintf(stderr,
+               "\n  default: emit the standalone generated simulator (with main)\n"
+               "  --no-main: emit engine + registrar only (link into another binary)\n"
+               "  --tables:  emit the static-schedule table dump (gen::emit_cpp)\n"
+               "  --dot:     emit the model structure for graphviz (gen::emit_dot)\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine, out_path;
+  bool with_main = true, tables = false, dot = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--no-main") {
+      with_main = false;
+    } else if (arg == "--tables") {
+      tables = true;
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0], 0);
+    } else if (machine.empty() && arg[0] != '-') {
+      machine = arg;
+    } else {
+      return usage(argv[0], 2);
+    }
+  }
+  if (machine.empty() || (tables && dot)) return usage(argv[0], 2);
+
+  core::EngineOptions options;
+  options.backend = core::Backend::compiled;  // the lowering pass lives there
+
+  std::string source;
+  try {
+    machines::inspect_golden_machine(
+        machine, options, [&](core::Net& net, core::Engine& eng) {
+          auto& ce = dynamic_cast<gen::CompiledEngine&>(eng);
+          if (dot) {
+            source = gen::emit_dot(net);
+          } else if (tables) {
+            source = gen::emit_cpp(ce.compiled(), net);
+          } else {
+            gen::EmitSimOptions emit_opts;
+            if (with_main) emit_opts.machine_key = machine;
+            source = gen::emit_simulator(ce.compiled(), net, emit_opts);
+          }
+        });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rcpn_emit: %s\n", e.what());
+    return 1;
+  }
+
+  if (out_path.empty()) {
+    std::fputs(source.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    out << source;
+    if (!out.good()) {
+      std::fprintf(stderr, "rcpn_emit: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "rcpn_emit: wrote %s (%zu bytes)\n", out_path.c_str(),
+                 source.size());
+  }
+  return 0;
+}

@@ -37,7 +37,13 @@ namespace rcpn::core {
 ///    Fig 6 candidate runs, pre-bound raw guard/action delegates, pre-resolved
 ///    stage pointers). model::Simulator<M> reads this option; the interpreted
 ///    Engine itself ignores it.
-enum class Backend : std::uint8_t { interpreted, compiled };
+///  * generated — a gen::StaticEngine specialization compiled from a source
+///    file that gen::emit_simulator() produced for this model (the paper's
+///    literal "generated C++ simulator": constexpr tables, direct guard/action
+///    calls, whole-program-optimizable). Requires the generated translation
+///    unit to be linked in and registered (gen/generated.hpp); Simulator<M>
+///    throws ModelError otherwise.
+enum class Backend : std::uint8_t { interpreted, compiled, generated };
 
 /// Options for the static analysis; the defaults follow the paper. The
 /// ablation benches flip them to quantify each optimization.

@@ -120,6 +120,20 @@ TransitionBuilder& TransitionBuilder::action(ActionFn fn, void* env) {
   return *this;
 }
 
+TransitionBuilder& TransitionBuilder::guard_symbol(std::string symbol,
+                                                   bool takes_machine) {
+  t_->guard_symbol_ = std::move(symbol);
+  t_->guard_symbol_machine_ = takes_machine;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::action_symbol(std::string symbol,
+                                                    bool takes_machine) {
+  t_->action_symbol_ = std::move(symbol);
+  t_->action_symbol_machine_ = takes_machine;
+  return *this;
+}
+
 TransitionBuilder& TransitionBuilder::reads_state(PlaceId p) {
   t_->state_refs_.push_back(p);
   return *this;

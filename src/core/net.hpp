@@ -34,6 +34,11 @@ class TransitionBuilder {
   /// signature when a model needs them.
   TransitionBuilder& guard(GuardFn fn, void* env);
   TransitionBuilder& action(ActionFn fn, void* env);
+  /// Record the fully-qualified symbol of the delegate just bound, when it is
+  /// a named function (feeds gen::emit_simulator; empty = anonymous closure).
+  /// `takes_machine` records its arity: (Machine&, FireCtx&) vs (FireCtx&).
+  TransitionBuilder& guard_symbol(std::string symbol, bool takes_machine = true);
+  TransitionBuilder& action_symbol(std::string symbol, bool takes_machine = true);
   /// Declare that the guard queries the state of place `p`
   /// (can_read_in(p) etc.); feeds the circular-reference analysis.
   TransitionBuilder& reads_state(PlaceId p);
@@ -110,6 +115,16 @@ class Net {
   };
   ModelStats model_stats() const;
 
+  // -- generation metadata ----------------------------------------------------
+  // What gen::emit_simulator() needs beyond the structure: the C++ type of
+  // the machine context the named delegates take, and the headers declaring
+  // them. Set by the model layer (ModelBuilder) at lowering time; empty for
+  // nets that never registered named delegates.
+  void set_emit_machine_type(std::string type) { emit_machine_type_ = std::move(type); }
+  const std::string& emit_machine_type() const { return emit_machine_type_; }
+  void add_emit_include(std::string header) { emit_includes_.push_back(std::move(header)); }
+  const std::vector<std::string>& emit_includes() const { return emit_includes_; }
+
  private:
   friend class TransitionBuilder;
 
@@ -119,6 +134,8 @@ class Net {
   std::vector<std::string> types_;
   std::vector<std::unique_ptr<Transition>> transitions_;
   std::vector<TransitionId> independent_;
+  std::string emit_machine_type_;
+  std::vector<std::string> emit_includes_;
 };
 
 }  // namespace rcpn::core

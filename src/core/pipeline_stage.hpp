@@ -74,6 +74,8 @@ class PipelineStage {
 
   /// Remove a (visible) token; returns false if absent.
   bool remove(Token* t) { return store_.remove_visible(t); }
+  /// Remove with a slot-index hint (see TokenStore::remove_visible_at).
+  bool remove_at(std::size_t hint, Token* t) { return store_.remove_visible_at(hint, t); }
 
   /// Remove a token from either list (flush path); returns false if absent.
   bool remove_any(Token* t) { return store_.remove_any(t); }

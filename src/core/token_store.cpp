@@ -39,6 +39,14 @@ bool TokenStore::remove_visible(Token* t) {
   return true;
 }
 
+bool TokenStore::remove_visible_at(std::size_t hint, Token* t) {
+  if (hint < ptrs_.size() && ptrs_[hint] == t) {
+    erase_slot(ptrs_, keys_, ready_, hint);
+    return true;
+  }
+  return remove_visible(t);
+}
+
 bool TokenStore::remove_any(Token* t) {
   if (remove_visible(t)) return true;
   auto it = std::find(in_ptrs_.begin(), in_ptrs_.end(), t);

@@ -72,6 +72,11 @@ class TokenStore {
 
   /// Remove a visible token, preserving age order; false if absent.
   bool remove_visible(Token* t);
+  /// Same, but with the caller's best guess of the slot index (the compiled
+  /// scan loop knows where it saw the token). A correct hint removes without
+  /// searching; a stale one (earlier removals, flush actions) falls back to
+  /// the linear find, so the hint is never trusted for correctness.
+  bool remove_visible_at(std::size_t hint, Token* t);
   /// Remove from either list (flush path); false if absent.
   bool remove_any(Token* t);
 

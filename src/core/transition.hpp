@@ -95,6 +95,17 @@ class Transition {
   ActionFn action_fn() const { return action_fn_; }
   void* action_env() const { return action_env_; }
 
+  /// Fully-qualified C++ symbol of the delegate, when the model registered a
+  /// *named* function (ModelBuilder::guard_named/action_named). Empty for
+  /// anonymous closures. gen::emit_simulator() turns these into direct calls
+  /// in the generated translation unit — a delegate without a symbol cannot
+  /// be emitted. The *_takes_machine flags record the named function's
+  /// arity: (Machine&, FireCtx&) or just (FireCtx&).
+  const std::string& guard_symbol() const { return guard_symbol_; }
+  const std::string& action_symbol() const { return action_symbol_; }
+  bool guard_symbol_takes_machine() const { return guard_symbol_machine_; }
+  bool action_symbol_takes_machine() const { return action_symbol_machine_; }
+
   /// Execution delay of the transition's functionality; added to the
   /// residence of the moved token at its next place.
   std::uint32_t delay() const { return delay_; }
@@ -118,6 +129,10 @@ class Transition {
   void* guard_env_ = nullptr;
   ActionFn action_fn_ = nullptr;
   void* action_env_ = nullptr;
+  std::string guard_symbol_;
+  std::string action_symbol_;
+  bool guard_symbol_machine_ = true;
+  bool action_symbol_machine_ = true;
   std::uint32_t delay_ = 0;
   int max_fires_ = 1;
   std::vector<InArc> in_;

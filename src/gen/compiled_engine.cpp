@@ -20,17 +20,19 @@ void CompiledEngine::build() {
     net_.stage(static_cast<StageId>(s)).reserve_store(cm_.stage_reserve[s]);
   reserve_token_pools(cm_.instr_pool_hint, cm_.res_pool_hint);
   scratch_.reserve(cm_.instr_pool_hint);
+  scratch_idx_.reserve(cm_.instr_pool_hint);
 }
 
 bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
-                                       InstructionToken* tok, PipelineStage& from) {
+                                       InstructionToken* tok, PipelineStage& from,
+                                       std::size_t hint) {
   if (ct.simple) {
     // Latch-to-latch: shape and destination stage were resolved at lowering.
     PipelineStage& to = *ct.move_stage;
     if (&to != &from && !to.has_room(1, 0)) return false;
     FireCtx ctx{this, tok};
     if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
-    const bool removed = from.remove(tok);
+    const bool removed = from.remove_at(hint, tok);
     assert(removed && "trigger token not visible in its place");
     (void)removed;
     tok->place = core::kNoPlace;
@@ -80,7 +82,7 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
   if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
 
   // ---- fire ----
-  const bool removed = from.remove(tok);
+  const bool removed = from.remove_at(hint, tok);
   assert(removed && "trigger token not visible in its place");
   (void)removed;
   tok->place = core::kNoPlace;
@@ -119,24 +121,34 @@ void CompiledEngine::process_place_compiled(PlaceId p, PipelineStage& st) {
       core::TokenStore::key(p, core::TokenKind::instruction);
   const core::TokenStore::Key* keys = ts.keys();
   const core::Cycle* ready = ts.ready();
-  // Snapshot: firing mutates the pool.
+  // Snapshot: firing mutates the pool. Slot indices ride along so each
+  // firing can hand remove_visible a same-index hint (snapshot position
+  // minus the removals already performed this pass) instead of searching.
   scratch_.clear();
+  scratch_idx_.clear();
   for (std::size_t i = 0; i < n; ++i)
-    if (keys[i] == want && ready[i] <= clock_)
+    if (keys[i] == want && ready[i] <= clock_) {
       scratch_.push_back(static_cast<InstructionToken*>(ts.at(i)));
+      scratch_idx_.push_back(static_cast<std::uint32_t>(i));
+    }
   if (scratch_.empty()) return;
 
   const CompiledTransition* body = cm_.body.data();
-  for (InstructionToken* tok : scratch_) {
+  std::size_t removed_here = 0;
+  for (std::size_t k = 0; k < scratch_.size(); ++k) {
+    InstructionToken* tok = scratch_[k];
     // Re-check: an earlier firing in this cycle may have consumed, flushed or
     // even recycled-and-reinjected this token.
     if (tok->place != p || tok->squashed || tok->ready > clock_) continue;
+    const std::size_t hint =
+        scratch_idx_[k] >= removed_here ? scratch_idx_[k] - removed_here : 0;
     const CandRange r = cm_.cell[static_cast<std::size_t>(p) * cm_.num_types +
                                  static_cast<unsigned>(tok->type)];
     bool fired = false;
     for (std::uint32_t i = r.begin; i < r.begin + r.count; ++i) {
-      if (try_fire_compiled(body[i], tok, st)) {
+      if (try_fire_compiled(body[i], tok, st, hint)) {
         fired = true;
+        ++removed_here;
         break;
       }
     }

@@ -65,13 +65,18 @@ CompiledModel CompiledModel::lower(core::Engine& eng) {
       CandRange& r = cm.cell[static_cast<std::size_t>(p) * cm.num_types + ty];
       r.begin = static_cast<std::uint32_t>(cm.body.size());
       r.count = static_cast<std::uint32_t>(cands.size());
-      for (const core::Transition* t : cands)
+      for (const core::Transition* t : cands) {
         cm.body.push_back(compile_one(cm, net, *t));
+        cm.body_syms.push_back({t->guard_symbol(), t->action_symbol()});
+      }
     }
   }
 
-  for (core::TransitionId tid : net.independent_transitions())
-    cm.independent.push_back(compile_one(cm, net, net.transition(tid)));
+  for (core::TransitionId tid : net.independent_transitions()) {
+    const core::Transition& t = net.transition(tid);
+    cm.independent.push_back(compile_one(cm, net, t));
+    cm.independent_syms.push_back({t.guard_symbol(), t.action_symbol()});
+  }
 
   cm.order.assign(eng.process_order().begin(), eng.process_order().end());
   for (core::PlaceId p : cm.order) cm.order_stage.push_back(&net.stage_of(p));

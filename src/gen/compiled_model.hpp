@@ -86,6 +86,16 @@ struct CompiledModel {
   /// Instruction-independent sub-net, declaration order (Fig 8 tail).
   std::vector<CompiledTransition> independent;
 
+  /// Which named delegate each entry binds (same index as body/independent;
+  /// empty string = anonymous closure or no delegate). Cold emission
+  /// metadata, kept out of the hot CompiledTransition rows —
+  /// gen::emit_simulator() turns these into direct calls.
+  struct DelegateSyms {
+    std::string guard, action;
+  };
+  std::vector<DelegateSyms> body_syms;
+  std::vector<DelegateSyms> independent_syms;
+
   /// Flat reservation-input places (CompiledTransition::res_in_begin).
   std::vector<core::PlaceId> res_in;
   /// Flat output arcs in declaration order (CompiledTransition::out_begin).

@@ -1,0 +1,47 @@
+// emit_simulator: print a *complete, standalone* generated C++ simulator for
+// a lowered model — the paper's headline artifact made literal.
+//
+// Where emit_cpp() documents the static schedule as a table dump, this
+// emitter produces a compilable translation unit:
+//
+//  * the CompiledModel tables as `static constexpr` data inside a Traits
+//    struct (candidate runs, arc arrays, process order, stage reserves,
+//    pool hints);
+//  * guard/action dispatch as two switch functions whose cases call the
+//    model's *named* delegates directly, specialized against the typed
+//    machine context — no void* environments, no function pointers;
+//  * a gen::StaticEngine<Traits> instantiation (the whole hot loop visible
+//    to the compiler in one TU — eligible for whole-program/LTO
+//    optimization);
+//  * a static registrar so Backend::generated resolves to this engine when
+//    the TU is linked in, and optionally a main() that runs the machine's
+//    golden workload and diffs the retire trace (the CI gate).
+//
+// Requirements on the model: every guard/action registered through
+// ModelBuilder's guard_named/action_named (anonymous closures cannot be
+// emitted — emit_simulator throws listing the offenders), plus
+// emit_machine_type()/emit_include() so the generated TU can name the
+// context type and include its declarations. Emission is deterministic:
+// byte-identical output for the same model (tests/test_emit.cpp pins this).
+#pragma once
+
+#include <string>
+
+#include "core/net.hpp"
+#include "gen/compiled_model.hpp"
+
+namespace rcpn::gen {
+
+struct EmitSimOptions {
+  /// Emit a main() that runs this golden-runner machine key (see
+  /// machines/golden_runner.hpp) and prints/diffs the retire trace. Empty:
+  /// emit only the engine + registrar (for linking into another binary).
+  std::string machine_key;
+};
+
+/// Render the standalone simulator source. Throws std::runtime_error if the
+/// model is not emittable (anonymous delegates, missing machine type).
+std::string emit_simulator(const CompiledModel& cm, const core::Net& net,
+                           const EmitSimOptions& options = {});
+
+}  // namespace rcpn::gen

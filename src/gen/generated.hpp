@@ -1,0 +1,37 @@
+// Registry of generated simulator engines (Backend::generated).
+//
+// A translation unit produced by gen::emit_simulator() defines a
+// StaticEngine specialization for one model and registers a factory for it
+// here from a static initializer. model::Simulator<M> resolves
+// EngineOptions::backend == Backend::generated through this registry by the
+// model's net name, so a model runs on its generated simulator simply by
+// linking the emitted source into the binary — no model code changes.
+//
+// The registry is deliberately tiny: name -> plain function pointer. It is
+// the only runtime coupling between a generated artifact and the library;
+// everything else in the emitted file is constexpr data and direct calls.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace rcpn::gen {
+
+using GeneratedFactory = std::unique_ptr<core::Engine> (*)(core::Net&,
+                                                           core::EngineOptions);
+
+/// Register the generated engine for model `model` (the net name). Called
+/// from the emitted TU's static initializer; re-registration replaces (the
+/// same generated source linked twice is harmless).
+void register_generated_engine(const std::string& model, GeneratedFactory factory);
+
+/// The factory for `model`, or nullptr if no generated TU is linked in.
+GeneratedFactory find_generated_engine(const std::string& model);
+
+/// Names of all models with a registered generated engine (diagnostics).
+std::vector<std::string> registered_generated_models();
+
+}  // namespace rcpn::gen

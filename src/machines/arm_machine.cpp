@@ -532,4 +532,30 @@ void fetch_action(const PipeEnv& env, FireCtx& ctx) {
   ctx.engine->emit_instruction(t, env.fetch_into);
 }
 
+// -- named delegates over ArmPipeMachine --------------------------------------
+
+bool pipe_issue_guard(ArmPipeMachine& m, FireCtx& ctx) {
+  return issue_guard(m.env, ctx);
+}
+
+void pipe_issue_action(ArmPipeMachine& m, FireCtx& ctx) { issue_action(m.env, ctx); }
+
+void pipe_execute_action(ArmPipeMachine& m, FireCtx& ctx) { execute_action(m.env, ctx); }
+
+void pipe_mem_publish_action(ArmPipeMachine& m, FireCtx& ctx) {
+  mem_action(m.env, ctx, /*publish=*/true);
+}
+
+void pipe_mem_action(ArmPipeMachine& m, FireCtx& ctx) {
+  mem_action(m.env, ctx, /*publish=*/false);
+}
+
+void pipe_publish_action(ArmPipeMachine& m, FireCtx& ctx) { publish_action(m.env, ctx); }
+
+void pipe_wb_action(ArmPipeMachine& m, FireCtx& ctx) { wb_action(m.env, ctx); }
+
+bool pipe_fetch_guard(ArmPipeMachine& m, FireCtx&) { return !m.m.sys.exited(); }
+
+void pipe_fetch_action(ArmPipeMachine& m, FireCtx& ctx) { fetch_action(m.env, ctx); }
+
 }  // namespace rcpn::machines

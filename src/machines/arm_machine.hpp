@@ -164,4 +164,21 @@ void fetch_action(const PipeEnv& env, core::FireCtx& ctx);
 /// out of one of the `fwd` places.
 bool operand_ready(const regfile::Operand* op, std::span<const core::PlaceId> fwd);
 
+// -- named delegates over the typed ArmPipeMachine context --------------------
+// The emittable registration form the StrongArm and XScale models use: each
+// wraps one shared per-class behaviour above, with the pipeline-shape
+// environment taken from the machine context. gen::emit_simulator references
+// them by symbol and calls them directly in the generated simulator.
+bool pipe_issue_guard(ArmPipeMachine& m, core::FireCtx& ctx);
+void pipe_issue_action(ArmPipeMachine& m, core::FireCtx& ctx);
+void pipe_execute_action(ArmPipeMachine& m, core::FireCtx& ctx);
+/// Memory access that also publishes the result (StrongArm's single M stage).
+void pipe_mem_publish_action(ArmPipeMachine& m, core::FireCtx& ctx);
+/// Memory access only; pipe_publish_action exposes the value later (XScale).
+void pipe_mem_action(ArmPipeMachine& m, core::FireCtx& ctx);
+void pipe_publish_action(ArmPipeMachine& m, core::FireCtx& ctx);
+void pipe_wb_action(ArmPipeMachine& m, core::FireCtx& ctx);
+bool pipe_fetch_guard(ArmPipeMachine& m, core::FireCtx& ctx);
+void pipe_fetch_action(ArmPipeMachine& m, core::FireCtx& ctx);
+
 }  // namespace rcpn::machines

@@ -141,6 +141,107 @@ void Fig5Machine::bind(isa::DecodeCache::Entry& e) {
   e.payload = std::move(pl);
 }
 
+// -- named delegates ---------------------------------------------------------------
+// Each transition's functionality as a free function over the typed machine
+// context: the emittable registration form (gen::emit_simulator references
+// these by symbol and calls them directly in the generated simulator).
+
+// priority 0: [t.s1.canRead(), t.s2.canRead(), t.d.canWrite()]
+bool fig5_d0_guard(Fig5Machine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  return t.ops[kSlotSrc1]->can_read() && t.ops[kSlotSrc2]->can_read() &&
+         t.ops[kSlotDst]->can_write();
+}
+
+void fig5_d0_action(Fig5Machine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  t.ops[kSlotSrc1]->read();
+  t.ops[kSlotSrc2]->read();
+  t.ops[kSlotDst]->reserve_write();
+}
+
+// priority 1: [t.s1.canRead(L3), ...] — the feedback path, s1 only (§3.2).
+bool fig5_d1_guard(Fig5Machine& m, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  return t.ops[kSlotSrc1]->can_read_in(m.fwd_from) && t.ops[kSlotSrc2]->can_read() &&
+         t.ops[kSlotDst]->can_write();
+}
+
+void fig5_d1_action(Fig5Machine& m, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  t.ops[kSlotSrc1]->read_in(m.fwd_from);
+  t.ops[kSlotSrc2]->read();
+  t.ops[kSlotDst]->reserve_write();
+}
+
+void fig5_alu_e_action(Fig5Machine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  const Fig5Instr& i = instr_of(t);
+  t.ops[kSlotDst]->set_value(
+      alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
+}
+
+void fig5_alu_we_action(Fig5Machine&, FireCtx& ctx) {
+  ctx.token->ops[kSlotDst]->writeback();
+}
+
+bool fig5_ls_d_guard(Fig5Machine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  const Fig5Instr& i = instr_of(t);
+  // [!t.L || t.r.canWrite(), t.L || t.r.canRead(), t.addr.canRead()]
+  if (!t.ops[kSlotSrc1]->can_read()) return false;
+  return i.is_load ? t.ops[kSlotDst]->can_write() : t.ops[kSlotDst]->can_read();
+}
+
+void fig5_ls_d_action(Fig5Machine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  const Fig5Instr& i = instr_of(t);
+  t.ops[kSlotSrc1]->read();
+  if (i.is_load)
+    t.ops[kSlotDst]->reserve_write();
+  else
+    t.ops[kSlotDst]->read();
+}
+
+void fig5_ls_m_action(Fig5Machine& m, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  const Fig5Instr& i = instr_of(t);
+  const std::uint32_t addr = t.ops[kSlotSrc1]->value();
+  // if (t.L) t.r = mem[addr]; else mem[addr] = t.r;
+  if (i.is_load)
+    t.ops[kSlotDst]->set_value(m.mem.read32(addr));
+  else
+    m.mem.write32(addr, t.ops[kSlotDst]->value());
+  // t.delay = mem.delay(addr);
+  t.next_delay = m.cache.access(addr, !i.is_load);
+}
+
+void fig5_ls_wm_action(Fig5Machine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  if (instr_of(t).is_load) t.ops[kSlotDst]->writeback();
+}
+
+bool fig5_br_d_guard(Fig5Machine&, FireCtx& ctx) {
+  return ctx.token->ops[kSlotSrc1]->can_read();
+}
+
+void fig5_br_d_action(Fig5Machine&, FireCtx& ctx) { ctx.token->ops[kSlotSrc1]->read(); }
+
+void fig5_br_b_action(Fig5Machine& m, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  // pc = pc + offset (relative to the branch's own index).
+  m.pc = static_cast<std::uint32_t>(static_cast<std::int64_t>(t.pc) +
+                                    static_cast<std::int32_t>(t.ops[kSlotSrc1]->value()));
+}
+
+bool fig5_fetch_guard(Fig5Machine& m, FireCtx&) { return m.pc < m.program.size(); }
+
+void fig5_fetch_action(Fig5Machine& m, FireCtx& ctx) {
+  InstructionToken* t = m.dcache.get(m.pc, /*raw=*/0);
+  ++m.pc;
+  ctx.engine->emit_instruction(t, m.fetch_into);
+}
+
 // -- model description -------------------------------------------------------------
 
 Fig5Processor::Fig5Processor(core::EngineOptions options)
@@ -150,6 +251,8 @@ Fig5Processor::Fig5Processor(core::EngineOptions options)
            }) {}
 
 void Fig5Processor::describe(model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m) {
+  b.emit_machine_type("rcpn::machines::Fig5Machine");
+  b.emit_include("machines/fig5_processor.hpp");
   const model::StageHandle s1 = b.add_stage("L1", 1);
   const model::StageHandle s2 = b.add_stage("L2", 1);
   const model::StageHandle s3 = b.add_stage("L3", 1);
@@ -169,125 +272,61 @@ void Fig5Processor::describe(model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m
   m.ty_ls = ty_ls;
   m.ty_br = ty_br;
   m.fetch_into = l1_;
-  const core::PlaceId l3 = l3_;
+  m.fwd_from = l3_;
 
   // ---- ALU sub-net (two prioritized issue transitions, Fig 5 left) ---------
-  // priority 0: [t.s1.canRead(), t.s2.canRead(), t.d.canWrite()]
   d0_ = b.add_transition("ALU.D0", ty_alu)
             .from(l1_, /*priority=*/0)
-            .guard([](FireCtx& ctx) {
-              InstructionToken& t = *ctx.token;
-              return t.ops[kSlotSrc1]->can_read() && t.ops[kSlotSrc2]->can_read() &&
-                     t.ops[kSlotDst]->can_write();
-            })
-            .action([](FireCtx& ctx) {
-              InstructionToken& t = *ctx.token;
-              t.ops[kSlotSrc1]->read();
-              t.ops[kSlotSrc2]->read();
-              t.ops[kSlotDst]->reserve_write();
-            })
+            .guard_named<&fig5_d0_guard>("rcpn::machines::fig5_d0_guard")
+            .action_named<&fig5_d0_action>("rcpn::machines::fig5_d0_action")
             .to(l2_);
-  // priority 1: [t.s1.canRead(L3), ...] — the feedback path, s1 only (§3.2).
   d1_ = b.add_transition("ALU.D1", ty_alu)
             .from(l1_, /*priority=*/1)
-            .guard([l3](FireCtx& ctx) {
-              InstructionToken& t = *ctx.token;
-              return t.ops[kSlotSrc1]->can_read_in(l3) &&
-                     t.ops[kSlotSrc2]->can_read() && t.ops[kSlotDst]->can_write();
-            })
-            .action([l3](FireCtx& ctx) {
-              InstructionToken& t = *ctx.token;
-              t.ops[kSlotSrc1]->read_in(l3);
-              t.ops[kSlotSrc2]->read();
-              t.ops[kSlotDst]->reserve_write();
-            })
+            .guard_named<&fig5_d1_guard>("rcpn::machines::fig5_d1_guard")
+            .action_named<&fig5_d1_action>("rcpn::machines::fig5_d1_action")
             .to(l2_)
             .reads_state(l3_);
   b.add_transition("ALU.E", ty_alu)
       .from(l2_)
-      .action([](FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = instr_of(t);
-        t.ops[kSlotDst]->set_value(
-            alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
-      })
+      .action_named<&fig5_alu_e_action>("rcpn::machines::fig5_alu_e_action")
       .to(l3_);
   b.add_transition("ALU.We", ty_alu)
       .from(l3_)
-      .action([](FireCtx& ctx) { ctx.token->ops[kSlotDst]->writeback(); })
+      .action_named<&fig5_alu_we_action>("rcpn::machines::fig5_alu_we_action")
       .to(b.end());
 
   // ---- LoadStore sub-net (variable memory delay, Fig 5 bottom) -------------
   b.add_transition("LS.D", ty_ls)
       .from(l1_)
-      .guard([](FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = instr_of(t);
-        // [!t.L || t.r.canWrite(), t.L || t.r.canRead(), t.addr.canRead()]
-        if (!t.ops[kSlotSrc1]->can_read()) return false;
-        return i.is_load ? t.ops[kSlotDst]->can_write()
-                         : t.ops[kSlotDst]->can_read();
-      })
-      .action([](FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = instr_of(t);
-        t.ops[kSlotSrc1]->read();
-        if (i.is_load)
-          t.ops[kSlotDst]->reserve_write();
-        else
-          t.ops[kSlotDst]->read();
-      })
+      .guard_named<&fig5_ls_d_guard>("rcpn::machines::fig5_ls_d_guard")
+      .action_named<&fig5_ls_d_action>("rcpn::machines::fig5_ls_d_action")
       .to(l2_);
   b.add_transition("LS.M", ty_ls)
       .from(l2_)
-      .action([](Fig5Machine& m, FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = instr_of(t);
-        const std::uint32_t addr = t.ops[kSlotSrc1]->value();
-        // if (t.L) t.r = mem[addr]; else mem[addr] = t.r;
-        if (i.is_load)
-          t.ops[kSlotDst]->set_value(m.mem.read32(addr));
-        else
-          m.mem.write32(addr, t.ops[kSlotDst]->value());
-        // t.delay = mem.delay(addr);
-        t.next_delay = m.cache.access(addr, !i.is_load);
-      })
+      .action_named<&fig5_ls_m_action>("rcpn::machines::fig5_ls_m_action")
       .to(l4_);
   b.add_transition("LS.Wm", ty_ls)
       .from(l4_)
-      .action([](FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        if (instr_of(t).is_load) t.ops[kSlotDst]->writeback();
-      })
+      .action_named<&fig5_ls_wm_action>("rcpn::machines::fig5_ls_wm_action")
       .to(b.end());
 
   // ---- Branch sub-net (reservation-token fetch stall, Fig 5 right) ---------
   b.add_transition("BR.D", ty_br)
       .from(l1_)
-      .guard([](FireCtx& ctx) { return ctx.token->ops[kSlotSrc1]->can_read(); })
-      .action([](FireCtx& ctx) { ctx.token->ops[kSlotSrc1]->read(); })
+      .guard_named<&fig5_br_d_guard>("rcpn::machines::fig5_br_d_guard")
+      .action_named<&fig5_br_d_action>("rcpn::machines::fig5_br_d_action")
       .to(l2_)
       .emit_reservation(l1_);
   b.add_transition("BR.B", ty_br)
       .from(l2_)
       .consume_reservation(l1_)
-      .action([](Fig5Machine& m, FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        // pc = pc + offset (relative to the branch's own index).
-        m.pc = static_cast<std::uint32_t>(
-            static_cast<std::int64_t>(t.pc) +
-            static_cast<std::int32_t>(t.ops[kSlotSrc1]->value()));
-      })
+      .action_named<&fig5_br_b_action>("rcpn::machines::fig5_br_b_action")
       .to(b.end());
 
   // ---- instruction-independent sub-net (F) ----------------------------------
   b.add_independent_transition("F")
-      .guard([](Fig5Machine& m, FireCtx&) { return m.pc < m.program.size(); })
-      .action([](Fig5Machine& m, FireCtx& ctx) {
-        InstructionToken* t = m.dcache.get(m.pc, /*raw=*/0);
-        ++m.pc;
-        ctx.engine->emit_instruction(t, m.fetch_into);
-      })
+      .guard_named<&fig5_fetch_guard>("rcpn::machines::fig5_fetch_guard")
+      .action_named<&fig5_fetch_action>("rcpn::machines::fig5_fetch_action")
       .to(l1_);
 }
 

@@ -80,15 +80,36 @@ struct Fig5Machine {
   std::vector<Fig5Instr> program;
   std::uint32_t pc = 0;
 
-  // Filled by the model description, consumed by the decode binding.
+  // Filled by the model description, consumed by the decode binding and the
+  // named delegates (declaration order is deterministic, so the ids are the
+  // same on every construction — which makes the delegates emittable).
   core::TypeId ty_alu = core::kNoType, ty_ls = core::kNoType, ty_br = core::kNoType;
   core::PlaceId fetch_into = core::kNoPlace;
+  /// The L3 result latch the priority-1 issue path forwards from (§3.2).
+  core::PlaceId fwd_from = core::kNoPlace;
 
   struct Payload;
 
  private:
   void bind(isa::DecodeCache::Entry& e);
 };
+
+// -- named delegates (referenced by symbol in generated simulator sources) ----
+bool fig5_d0_guard(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_d0_action(Fig5Machine& m, core::FireCtx& ctx);
+bool fig5_d1_guard(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_d1_action(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_alu_e_action(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_alu_we_action(Fig5Machine& m, core::FireCtx& ctx);
+bool fig5_ls_d_guard(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_ls_d_action(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_ls_m_action(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_ls_wm_action(Fig5Machine& m, core::FireCtx& ctx);
+bool fig5_br_d_guard(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_br_d_action(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_br_b_action(Fig5Machine& m, core::FireCtx& ctx);
+bool fig5_fetch_guard(Fig5Machine& m, core::FireCtx& ctx);
+void fig5_fetch_action(Fig5Machine& m, core::FireCtx& ctx);
 
 class Fig5Processor {
  public:

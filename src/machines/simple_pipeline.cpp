@@ -4,37 +4,44 @@ namespace rcpn::machines {
 
 using core::FireCtx;
 
+bool fig2_u1_guard(Fig2Machine& m, FireCtx&) { return m.generated < m.to_generate; }
+
+void fig2_u1_action(Fig2Machine& m, FireCtx& ctx) {
+  core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
+  t->type = (m.generated % 2 == 0) ? m.ty_a : m.ty_b;
+  ++m.generated;
+  ctx.engine->emit_instruction(t, m.l1);
+}
+
 SimplePipeline::SimplePipeline(std::uint64_t to_generate, core::EngineOptions options)
     : sim_(
           "Fig2", options,
-          [this](model::ModelBuilder<Machine>& b, Machine&) {
+          [this](model::ModelBuilder<Fig2Machine>& b, Fig2Machine& m) {
+            b.emit_machine_type("rcpn::machines::Fig2Machine");
+            b.emit_include("machines/simple_pipeline.hpp");
             const model::StageHandle s1 = b.add_stage("L1", 1);
             const model::StageHandle s2 = b.add_stage("L2", 1);
             l1_ = b.add_place("L1", s1);
             l2_ = b.add_place("L2", s2);
             type_a_ = b.add_type("A");
             type_b_ = b.add_type("B");
+            m.ty_a = type_a_;
+            m.ty_b = type_b_;
+            m.l1 = l1_;
 
             u2_ = b.add_transition("U2", type_a_).from(l1_).to(l2_);
             u3_ = b.add_transition("U3", type_a_).from(l2_).to(b.end());
             u4_ = b.add_transition("U4", type_b_).from(l1_).to(b.end());
 
-            const core::TypeId ta = type_a_, tb = type_b_;
-            const core::PlaceId l1 = l1_;
             b.add_independent_transition("U1")
-                .guard([](Machine& m, FireCtx&) { return m.generated < m.to_generate; })
-                .action([ta, tb, l1](Machine& m, FireCtx& ctx) {
-                  core::InstructionToken* t = ctx.engine->acquire_pooled_instruction();
-                  t->type = (m.generated % 2 == 0) ? ta : tb;
-                  ++m.generated;
-                  ctx.engine->emit_instruction(t, l1);
-                })
+                .guard_named<&fig2_u1_guard>("rcpn::machines::fig2_u1_guard")
+                .action_named<&fig2_u1_action>("rcpn::machines::fig2_u1_action")
                 .to(l1_);
           },
-          Machine{to_generate, 0}) {}
+          Fig2Machine{to_generate, 0, core::kNoType, core::kNoType, core::kNoPlace}) {}
 
 std::uint64_t SimplePipeline::run(std::uint64_t max_cycles) {
-  return sim_.drain([](const Machine& m) { return m.generated >= m.to_generate; },
+  return sim_.drain([](const Fig2Machine& m) { return m.generated >= m.to_generate; },
                     max_cycles);
 }
 

@@ -6,12 +6,31 @@
 //
 // Described with the declarative model API: the machine context is a plain
 // counter struct, the net is declared through ModelBuilder, and
-// model::Simulator owns all three layers.
+// model::Simulator owns all three layers. The U1 delegates are *named* free
+// functions registered with guard_named/action_named, so the model is fully
+// emittable as a standalone generated simulator (gen::emit_simulator).
 #pragma once
 
 #include "model/simulator.hpp"
 
 namespace rcpn::machines {
+
+/// Machine context of the Fig 2 model: the generator counters plus the ids
+/// the named delegates read. The id fields are filled by the model
+/// description (declaration order is deterministic, so they are the same on
+/// every construction — which is what makes the delegates emittable).
+struct Fig2Machine {
+  std::uint64_t to_generate = 0;
+  std::uint64_t generated = 0;
+  core::TypeId ty_a = core::kNoType;
+  core::TypeId ty_b = core::kNoType;
+  core::PlaceId l1 = core::kNoPlace;
+};
+
+/// Named delegates of the Fig 2 model (referenced by symbol in generated
+/// simulator sources).
+bool fig2_u1_guard(Fig2Machine& m, core::FireCtx& ctx);
+void fig2_u1_action(Fig2Machine& m, core::FireCtx& ctx);
 
 class SimplePipeline {
  public:
@@ -34,17 +53,12 @@ class SimplePipeline {
   core::PlaceId l2() const { return l2_.id(); }
 
  private:
-  struct Machine {
-    std::uint64_t to_generate = 0;
-    std::uint64_t generated = 0;
-  };
-
   // Handles are assigned by the describe callback before sim_ finishes
   // constructing, so they are declared first.
   model::PlaceHandle l1_, l2_;
   model::TypeHandle type_a_, type_b_;
   model::TransitionHandle u2_, u3_, u4_;
-  model::Simulator<Machine> sim_;
+  model::Simulator<Fig2Machine> sim_;
 };
 
 }  // namespace rcpn::machines

@@ -28,6 +28,8 @@ StrongArmSim::StrongArmSim(StrongArmConfig config)
           ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {}
 
 void StrongArmSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc) {
+  b.emit_machine_type("rcpn::machines::ArmPipeMachine");
+  b.emit_include("machines/arm_machine.hpp");
   const model::StageHandle sFD = b.add_stage("FD", 1);
   const model::StageHandle sDE = b.add_stage("DE", 1);
   const model::StageHandle sEM = b.add_stage("EM", 1);
@@ -49,18 +51,9 @@ void StrongArmSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachi
   mc.env.fetch_into = fd.id();
   mc.env.use_predictor = false;
 
-  // The per-class behaviours are shared free functions; the typed machine
-  // context replaces the old raw-delegate void* environment.
-  const auto g_issue = [](ArmPipeMachine& m, FireCtx& ctx) {
-    return issue_guard(m.env, ctx);
-  };
-  const auto a_issue = [](ArmPipeMachine& m, FireCtx& ctx) { issue_action(m.env, ctx); };
-  const auto a_exec = [](ArmPipeMachine& m, FireCtx& ctx) { execute_action(m.env, ctx); };
-  const auto a_mem = [](ArmPipeMachine& m, FireCtx& ctx) {
-    mem_action(m.env, ctx, /*publish=*/true);
-  };
-  const auto a_wb = [](ArmPipeMachine& m, FireCtx& ctx) { wb_action(m.env, ctx); };
-
+  // The per-class behaviours are shared *named* free functions over the typed
+  // machine context (arm_machine.hpp), registered with their symbols so the
+  // model is emittable as a standalone generated simulator.
   for (unsigned c = 0; c < arm::kNumOpClasses; ++c) {
     const auto cls = static_cast<OpClass>(c);
     const std::string name = arm::op_class_name(cls);
@@ -70,19 +63,28 @@ void StrongArmSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachi
 
     b.add_transition("D." + name, ty)
         .from(fd)
-        .guard(g_issue)
-        .action(a_issue)
+        .guard_named<&pipe_issue_guard>("rcpn::machines::pipe_issue_guard")
+        .action_named<&pipe_issue_action>("rcpn::machines::pipe_issue_action")
         .to(de)
         .reads_state(em)
         .reads_state(mw);
-    b.add_transition("E." + name, ty).from(de).action(a_exec).to(em);
-    b.add_transition("M." + name, ty).from(em).action(a_mem).to(mw);
-    b.add_transition("W." + name, ty).from(mw).action(a_wb).to(b.end());
+    b.add_transition("E." + name, ty)
+        .from(de)
+        .action_named<&pipe_execute_action>("rcpn::machines::pipe_execute_action")
+        .to(em);
+    b.add_transition("M." + name, ty)
+        .from(em)
+        .action_named<&pipe_mem_publish_action>("rcpn::machines::pipe_mem_publish_action")
+        .to(mw);
+    b.add_transition("W." + name, ty)
+        .from(mw)
+        .action_named<&pipe_wb_action>("rcpn::machines::pipe_wb_action")
+        .to(b.end());
   }
 
   b.add_independent_transition("F")
-      .guard([](ArmPipeMachine& m, FireCtx&) { return !m.m.sys.exited(); })
-      .action([](ArmPipeMachine& m, FireCtx& ctx) { fetch_action(m.env, ctx); })
+      .guard_named<&pipe_fetch_guard>("rcpn::machines::pipe_fetch_guard")
+      .action_named<&pipe_fetch_action>("rcpn::machines::pipe_fetch_action")
       .to(fd);
 }
 

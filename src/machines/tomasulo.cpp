@@ -98,6 +98,61 @@ void TomasuloMachine::bind(isa::DecodeCache::Entry& e) {
   e.payload = std::move(pl);
 }
 
+// -- named delegates ---------------------------------------------------------------
+// The per-transition functionality as free functions over the typed machine
+// context: the emittable registration form (gen::emit_simulator references
+// these by symbol and calls them directly in the generated simulator).
+
+bool tomasulo_issue_guard(TomasuloMachine&, FireCtx& ctx) {
+  return ctx.token->ops[kSlotDst]->can_write();
+}
+
+// Issue: read available sources (Vj/Vk), capture the producer tag of pending
+// ones (Qj/Qk), and rename the destination (reserve_write on a multi-writer
+// file == allocate a new name).
+void tomasulo_issue_action(TomasuloMachine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  src_capture(t.ops[kSlotSrc1]);
+  src_capture(t.ops[kSlotSrc2]);
+  t.ops[kSlotDst]->reserve_write();
+}
+
+bool tomasulo_exec_guard(TomasuloMachine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  return src_ready(t.ops[kSlotSrc1]) && src_ready(t.ops[kSlotSrc2]);
+}
+
+void tomasulo_exec_action(TomasuloMachine& m, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  src_fetch(t.ops[kSlotSrc1]);
+  src_fetch(t.ops[kSlotSrc2]);
+  // FU latency: multiplies occupy the unit longer.
+  t.next_delay = instr_of(t).op == Fig5Instr::AluOp::mul ? 3 : 1;
+  if (t.seq < m.last_exec_seq) m.observed_ooo = true;
+  if (t.seq > m.last_exec_seq) m.last_exec_seq = t.seq;
+}
+
+void tomasulo_bcast_action(TomasuloMachine&, FireCtx& ctx) {
+  InstructionToken& t = *ctx.token;
+  const Fig5Instr& i = instr_of(t);
+  t.ops[kSlotDst]->set_value(
+      alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
+}
+
+void tomasulo_wb_action(TomasuloMachine&, FireCtx& ctx) {
+  ctx.token->ops[kSlotDst]->writeback();
+}
+
+bool tomasulo_fetch_guard(TomasuloMachine& m, FireCtx&) {
+  return m.pc < m.program.size();
+}
+
+void tomasulo_fetch_action(TomasuloMachine& m, FireCtx& ctx) {
+  InstructionToken* t = m.dcache.get(m.pc, 0);
+  ++m.pc;
+  ctx.engine->emit_instruction(t, m.fetch_into);
+}
+
 TomasuloCore::TomasuloCore(unsigned rs_entries, unsigned num_fus,
                            core::EngineOptions options)
     : sim_("Tomasulo", options,
@@ -108,6 +163,8 @@ TomasuloCore::TomasuloCore(unsigned rs_entries, unsigned num_fus,
 
 void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMachine& m,
                             unsigned rs_entries, unsigned num_fus) {
+  b.emit_machine_type("rcpn::machines::TomasuloMachine");
+  b.emit_include("machines/tomasulo.hpp");
   const model::StageHandle sDisp = b.add_stage("DISP", 1);
   const model::StageHandle sRs = b.add_stage("RS", rs_entries);
   const model::StageHandle sEx = b.add_stage("EX", num_fus);
@@ -120,18 +177,11 @@ void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMac
   m.ty_alu = ty_alu;
   m.fetch_into = disp;
 
-  // Issue: claim an RS entry, read available sources (Vj/Vk), capture the
-  // producer tag of pending ones (Qj/Qk), and rename the destination
-  // (reserve_write on a multi-writer file == allocate a new name).
+  // Issue: claim an RS entry; see tomasulo_issue_action.
   b.add_transition("Issue", ty_alu)
       .from(disp)
-      .guard([](FireCtx& ctx) { return ctx.token->ops[kSlotDst]->can_write(); })
-      .action([](FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        src_capture(t.ops[kSlotSrc1]);
-        src_capture(t.ops[kSlotSrc2]);
-        t.ops[kSlotDst]->reserve_write();
-      })
+      .guard_named<&tomasulo_issue_guard>("rcpn::machines::tomasulo_issue_guard")
+      .action_named<&tomasulo_issue_action>("rcpn::machines::tomasulo_issue_action")
       .to(rs);
 
   // Dispatch-to-execute: fires for ANY token in the reservation station whose
@@ -140,46 +190,26 @@ void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMac
   // capacity>1 stage.
   b.add_transition("Exec", ty_alu)
       .from(rs)
-      .guard([](FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        return src_ready(t.ops[kSlotSrc1]) && src_ready(t.ops[kSlotSrc2]);
-      })
-      .action([](TomasuloMachine& m, FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        src_fetch(t.ops[kSlotSrc1]);
-        src_fetch(t.ops[kSlotSrc2]);
-        // FU latency: multiplies occupy the unit longer.
-        t.next_delay = instr_of(t).op == Fig5Instr::AluOp::mul ? 3 : 1;
-        if (t.seq < m.last_exec_seq) m.observed_ooo = true;
-        if (t.seq > m.last_exec_seq) m.last_exec_seq = t.seq;
-      })
+      .guard_named<&tomasulo_exec_guard>("rcpn::machines::tomasulo_exec_guard")
+      .action_named<&tomasulo_exec_action>("rcpn::machines::tomasulo_exec_action")
       .to(ex)
       .reads_state(cdb);
 
   // Broadcast: one result per cycle crosses the common data bus.
   b.add_transition("Bcast", ty_alu)
       .from(ex)
-      .action([](FireCtx& ctx) {
-        InstructionToken& t = *ctx.token;
-        const Fig5Instr& i = instr_of(t);
-        t.ops[kSlotDst]->set_value(
-            alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
-      })
+      .action_named<&tomasulo_bcast_action>("rcpn::machines::tomasulo_bcast_action")
       .to(cdb);
 
   // Writeback/retire.
   b.add_transition("Wb", ty_alu)
       .from(cdb)
-      .action([](FireCtx& ctx) { ctx.token->ops[kSlotDst]->writeback(); })
+      .action_named<&tomasulo_wb_action>("rcpn::machines::tomasulo_wb_action")
       .to(b.end());
 
   b.add_independent_transition("Fetch")
-      .guard([](TomasuloMachine& m, FireCtx&) { return m.pc < m.program.size(); })
-      .action([](TomasuloMachine& m, FireCtx& ctx) {
-        InstructionToken* t = m.dcache.get(m.pc, 0);
-        ++m.pc;
-        ctx.engine->emit_instruction(t, m.fetch_into);
-      })
+      .guard_named<&tomasulo_fetch_guard>("rcpn::machines::tomasulo_fetch_guard")
+      .action_named<&tomasulo_fetch_action>("rcpn::machines::tomasulo_fetch_action")
       .to(disp);
 }
 

@@ -52,6 +52,16 @@ struct TomasuloMachine {
   void bind(isa::DecodeCache::Entry& e);
 };
 
+// -- named delegates (referenced by symbol in generated simulator sources) ----
+bool tomasulo_issue_guard(TomasuloMachine& m, core::FireCtx& ctx);
+void tomasulo_issue_action(TomasuloMachine& m, core::FireCtx& ctx);
+bool tomasulo_exec_guard(TomasuloMachine& m, core::FireCtx& ctx);
+void tomasulo_exec_action(TomasuloMachine& m, core::FireCtx& ctx);
+void tomasulo_bcast_action(TomasuloMachine& m, core::FireCtx& ctx);
+void tomasulo_wb_action(TomasuloMachine& m, core::FireCtx& ctx);
+bool tomasulo_fetch_guard(TomasuloMachine& m, core::FireCtx& ctx);
+void tomasulo_fetch_action(TomasuloMachine& m, core::FireCtx& ctx);
+
 class TomasuloCore {
  public:
   static constexpr unsigned kNumRegs = TomasuloMachine::kNumRegs;

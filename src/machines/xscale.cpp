@@ -25,6 +25,8 @@ XScaleSim::XScaleSim(XScaleConfig config)
           ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {}
 
 void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc) {
+  b.emit_machine_type("rcpn::machines::ArmPipeMachine");
+  b.emit_include("machines/arm_machine.hpp");
   const model::StageHandle sF1 = b.add_stage("F1", 1);
   const model::StageHandle sF2 = b.add_stage("F2", 1);
   const model::StageHandle sID = b.add_stage("ID", 1);
@@ -58,17 +60,9 @@ void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&
   mc.env.fetch_into = f1.id();
   mc.env.use_predictor = true;
 
-  const auto g_issue = [](ArmPipeMachine& m, FireCtx& ctx) {
-    return issue_guard(m.env, ctx);
-  };
-  const auto a_issue = [](ArmPipeMachine& m, FireCtx& ctx) { issue_action(m.env, ctx); };
-  const auto a_exec = [](ArmPipeMachine& m, FireCtx& ctx) { execute_action(m.env, ctx); };
-  const auto a_access = [](ArmPipeMachine& m, FireCtx& ctx) {
-    mem_action(m.env, ctx, /*publish=*/false);
-  };
-  const auto a_publish = [](ArmPipeMachine& m, FireCtx& ctx) { publish_action(m.env, ctx); };
-  const auto a_wb = [](ArmPipeMachine& m, FireCtx& ctx) { wb_action(m.env, ctx); };
-
+  // The per-class behaviours are shared *named* free functions over the typed
+  // machine context (arm_machine.hpp), registered with their symbols so the
+  // model is emittable as a standalone generated simulator.
   for (unsigned c = 0; c < arm::kNumOpClasses; ++c) {
     const auto cls = static_cast<OpClass>(c);
     const std::string name = arm::op_class_name(cls);
@@ -82,8 +76,8 @@ void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&
     b.add_transition("ID." + name, ty).from(f2).to(id);
     b.add_transition("RF." + name, ty)
         .from(id)
-        .guard(g_issue)
-        .action(a_issue)
+        .guard_named<&pipe_issue_guard>("rcpn::machines::pipe_issue_guard")
+        .action_named<&pipe_issue_action>("rcpn::machines::pipe_issue_action")
         .to(rf)
         .reads_state(x1)
         .reads_state(x2)
@@ -94,29 +88,53 @@ void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&
       case OpClass::load_store:
       case OpClass::load_store_multiple:
         // Memory pipe: access (with cache delay) in D1, publish in D2.
-        b.add_transition("D1." + name, ty).from(rf).action(a_access).to(d1);
-        b.add_transition("D2." + name, ty).from(d1).action(a_publish).to(d2);
-        b.add_transition("DWB." + name, ty).from(d2).action(a_wb).to(b.end());
+        b.add_transition("D1." + name, ty)
+            .from(rf)
+            .action_named<&pipe_mem_action>("rcpn::machines::pipe_mem_action")
+            .to(d1);
+        b.add_transition("D2." + name, ty)
+            .from(d1)
+            .action_named<&pipe_publish_action>("rcpn::machines::pipe_publish_action")
+            .to(d2);
+        b.add_transition("DWB." + name, ty)
+            .from(d2)
+            .action_named<&pipe_wb_action>("rcpn::machines::pipe_wb_action")
+            .to(b.end());
         break;
       case OpClass::multiply:
         // MAC pipe: M1 computes (iterating for wide multiplicands), M2
         // publishes for forwarding.
-        b.add_transition("M1." + name, ty).from(rf).action(a_exec).to(m1);
-        b.add_transition("M2." + name, ty).from(m1).action(a_publish).to(m2);
-        b.add_transition("MWB." + name, ty).from(m2).action(a_wb).to(b.end());
+        b.add_transition("M1." + name, ty)
+            .from(rf)
+            .action_named<&pipe_execute_action>("rcpn::machines::pipe_execute_action")
+            .to(m1);
+        b.add_transition("M2." + name, ty)
+            .from(m1)
+            .action_named<&pipe_publish_action>("rcpn::machines::pipe_publish_action")
+            .to(m2);
+        b.add_transition("MWB." + name, ty)
+            .from(m2)
+            .action_named<&pipe_wb_action>("rcpn::machines::pipe_wb_action")
+            .to(b.end());
         break;
       default:
         // Main pipe (data-processing, branches, SWI): X1 executes/resolves.
-        b.add_transition("X1." + name, ty).from(rf).action(a_exec).to(x1);
+        b.add_transition("X1." + name, ty)
+            .from(rf)
+            .action_named<&pipe_execute_action>("rcpn::machines::pipe_execute_action")
+            .to(x1);
         b.add_transition("X2." + name, ty).from(x1).to(x2);
-        b.add_transition("XWB." + name, ty).from(x2).action(a_wb).to(b.end());
+        b.add_transition("XWB." + name, ty)
+            .from(x2)
+            .action_named<&pipe_wb_action>("rcpn::machines::pipe_wb_action")
+            .to(b.end());
         break;
     }
   }
 
   b.add_independent_transition("F1")
-      .guard([](ArmPipeMachine& m, FireCtx&) { return !m.m.sys.exited(); })
-      .action([](ArmPipeMachine& m, FireCtx& ctx) { fetch_action(m.env, ctx); })
+      .guard_named<&pipe_fetch_guard>("rcpn::machines::pipe_fetch_guard")
+      .action_named<&pipe_fetch_action>("rcpn::machines::pipe_fetch_action")
       .to(f1);
 }
 

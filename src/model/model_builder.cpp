@@ -165,6 +165,8 @@ void ModelBuilderBase::validate() const {
 }
 
 void ModelBuilderBase::lower_structure_into(core::Net& net) const {
+  net.set_emit_machine_type(emit_machine_type_);
+  for (const std::string& inc : emit_includes_) net.add_emit_include(inc);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const StageDef& s = stages_[i];
     const core::StageId id = net.add_stage(s.name, s.capacity);
@@ -235,6 +237,10 @@ core::Net& ModelBuilderBase::build_erased(void* machine) {
     // Stateless callables: single raw-delegate call, env = machine pointer.
     if (def.fast_guard != nullptr) tb.guard(def.fast_guard, machine);
     if (def.fast_action != nullptr) tb.action(def.fast_action, machine);
+    if (!def.guard_symbol.empty())
+      tb.guard_symbol(def.guard_symbol, def.guard_symbol_machine);
+    if (!def.action_symbol.empty())
+      tb.action_symbol(def.action_symbol, def.action_symbol_machine);
 
     if (def.guard || def.action) {
       bound_.push_back(Bound{std::move(def.guard), std::move(def.action), machine});

@@ -64,6 +64,15 @@ class ModelBuilderBase {
   /// The virtual end place every instruction token retires into.
   PlaceHandle end() const { return PlaceHandle(tag_, core::PlaceId{0}); }
 
+  // -- generation metadata ------------------------------------------------------
+  // For gen::emit_simulator(): the fully-qualified C++ type of the machine
+  // context the named delegates take, and the header(s) declaring that type
+  // and those functions. A model that registers every guard/action with
+  // guard_named/action_named plus these two calls is fully emittable as a
+  // standalone generated simulator.
+  void emit_machine_type(std::string type) { emit_machine_type_ = std::move(type); }
+  void emit_include(std::string header) { emit_includes_.push_back(std::move(header)); }
+
   /// Pin the two-list (master/slave) flag of a stage, overriding the engine's
   /// circular-reference analysis (e.g. a combinational forwarding latch).
   void force_two_list(StageHandle stage, bool value);
@@ -116,6 +125,14 @@ class ModelBuilderBase {
     /// guard/action when the callable is empty.
     core::GuardFn fast_guard = nullptr;
     core::ActionFn fast_action = nullptr;
+    /// Fully-qualified symbols of named delegates (guard_named/action_named);
+    /// empty for anonymous closures. Lowered onto the core transition for
+    /// gen::emit_simulator, together with the arity the call must be emitted
+    /// with ((Machine&, FireCtx&) vs (FireCtx&)).
+    std::string guard_symbol;
+    std::string action_symbol;
+    bool guard_symbol_machine = true;
+    bool action_symbol_machine = true;
     /// Any callable was registered in the typed (Machine&) form, so
     /// build(nullptr) must be rejected.
     bool needs_machine = false;
@@ -158,6 +175,8 @@ class ModelBuilderBase {
   std::vector<PlaceDef> places_;
   std::vector<std::string> types_;
   std::deque<TransitionDef> transitions_;
+  std::string emit_machine_type_;
+  std::vector<std::string> emit_includes_;
 
   std::optional<core::Net> net_;
   // Bound callables the lowered net points into (stable addresses).
@@ -250,6 +269,7 @@ class ModelBuilder : public ModelBuilderBase {
       // Last writer wins regardless of which storage the callable lands in.
       def_->guard = nullptr;
       def_->fast_guard = nullptr;
+      def_->guard_symbol.clear();
       constexpr bool stateless = std::is_empty_v<G> && std::is_default_constructible_v<G>;
       if constexpr (!std::is_void_v<Machine> &&
                     std::is_invocable_r_v<bool, G&, Ctx&, core::FireCtx&>) {
@@ -279,12 +299,68 @@ class ModelBuilder : public ModelBuilderBase {
       return *this;
     }
 
+    /// Guard bound to a *named* free function — the emittable registration
+    /// form. `Fn` is the function itself (compile-time, so the trampoline is
+    /// a direct call the optimizer sees through); `symbol` is its
+    /// fully-qualified spelling, recorded so gen::emit_simulator() can emit
+    /// the call into the generated translation unit. The function takes
+    /// (Machine&, FireCtx&) or just (FireCtx&), like guard().
+    ///
+    ///   .guard_named<&fig2_u1_guard>("rcpn::machines::fig2_u1_guard")
+    template <auto Fn>
+    TransitionBuilder& guard_named(const char* symbol) {
+      def_->guard = nullptr;
+      def_->fast_guard = nullptr;
+      def_->guard_symbol = symbol;
+      if constexpr (!std::is_void_v<Machine> &&
+                    std::is_invocable_r_v<bool, decltype(Fn), Ctx&, core::FireCtx&>) {
+        def_->needs_machine = true;
+        def_->guard_symbol_machine = true;
+        def_->fast_guard = [](void* env, core::FireCtx& ctx) {
+          return static_cast<bool>(Fn(*static_cast<Ctx*>(env), ctx));
+        };
+      } else {
+        static_assert(std::is_invocable_r_v<bool, decltype(Fn), core::FireCtx&>,
+                      "guard_named function must be callable as "
+                      "bool(Machine&, FireCtx&) or bool(FireCtx&)");
+        def_->guard_symbol_machine = false;
+        def_->fast_guard = [](void*, core::FireCtx& ctx) {
+          return static_cast<bool>(Fn(ctx));
+        };
+      }
+      return *this;
+    }
+
+    /// Action counterpart of guard_named().
+    template <auto Fn>
+    TransitionBuilder& action_named(const char* symbol) {
+      def_->action = nullptr;
+      def_->fast_action = nullptr;
+      def_->action_symbol = symbol;
+      if constexpr (!std::is_void_v<Machine> &&
+                    std::is_invocable_v<decltype(Fn), Ctx&, core::FireCtx&>) {
+        def_->needs_machine = true;
+        def_->action_symbol_machine = true;
+        def_->fast_action = [](void* env, core::FireCtx& ctx) {
+          Fn(*static_cast<Ctx*>(env), ctx);
+        };
+      } else {
+        static_assert(std::is_invocable_v<decltype(Fn), core::FireCtx&>,
+                      "action_named function must be callable as "
+                      "void(Machine&, FireCtx&) or void(FireCtx&)");
+        def_->action_symbol_machine = false;
+        def_->fast_action = [](void*, core::FireCtx& ctx) { Fn(ctx); };
+      }
+      return *this;
+    }
+
     /// Action: void(Machine&, FireCtx&) — or void(FireCtx&). Same stateless
     /// fast path as guard().
     template <typename A>
     TransitionBuilder& action(A a) {
       def_->action = nullptr;
       def_->fast_action = nullptr;
+      def_->action_symbol.clear();
       constexpr bool stateless = std::is_empty_v<A> && std::is_default_constructible_v<A>;
       if constexpr (!std::is_void_v<Machine> &&
                     std::is_invocable_v<A&, Ctx&, core::FireCtx&>) {

@@ -6,11 +6,12 @@
 //   2. the ModelBuilder<Machine> holding the declarative description and the
 //      bound guard/action closures;
 //   3. the lowered core::Net and the engine "generated" from it — the
-//      interpreted core::Engine or, with EngineOptions::backend ==
-//      core::Backend::compiled, the gen::CompiledEngine running the
-//      flattened tables of gen::CompiledModel. Both engines store tokens in
+//      interpreted core::Engine, the gen::CompiledEngine running the
+//      flattened tables of gen::CompiledModel (Backend::compiled), or the
+//      model's registered gen::StaticEngine specialization from an emitted
+//      simulator TU (Backend::generated). All engines store tokens in
 //      the same per-stage SoA pools (core::TokenStore), so guards, actions,
-//      hooks and stats observe identical token semantics on either backend;
+//      hooks and stats observe identical token semantics on every backend;
 //      tests/test_fuzz_lockstep.cpp pins that equivalence on randomized
 //      generated models, tests/test_golden_traces.cpp on checked-in traces.
 //
@@ -47,6 +48,7 @@
 
 #include "core/engine.hpp"
 #include "gen/compiled_engine.hpp"
+#include "gen/generated.hpp"
 #include "model/model_builder.hpp"
 
 namespace rcpn::model {
@@ -56,8 +58,10 @@ class Simulator {
  public:
   /// Construct the machine from `margs`, run `describe(builder, machine)` to
   /// record the model, then validate, lower and generate the engine.
-  /// `options.backend` selects the engine: core::Engine (interpreted) or
-  /// gen::CompiledEngine (the flattened, devirtualized tables) — both are
+  /// `options.backend` selects it: core::Engine (interpreted),
+  /// gen::CompiledEngine (the flattened, devirtualized tables), or the
+  /// model's registered gen::StaticEngine specialization (generated — the
+  /// emitted simulator TU must be linked in, else ModelError). All three are
   /// cycle-for-cycle equivalent, so models and callers never branch on it.
   /// Throws ModelError if the description is invalid.
   template <typename Describe, typename... MArgs>
@@ -68,6 +72,16 @@ class Simulator {
     core::Net& net = builder_.build(&machine_);
     if (options.backend == core::Backend::compiled) {
       eng_ = std::make_unique<gen::CompiledEngine>(net, options);
+    } else if (options.backend == core::Backend::generated) {
+      // A simulator source emitted by gen::emit_simulator() and linked into
+      // this binary registers its engine factory under the model name.
+      gen::GeneratedFactory factory = gen::find_generated_engine(net.name());
+      if (factory == nullptr)
+        throw ModelError("model '" + net.name() +
+                         "': Backend::generated requires the generated simulator "
+                         "translation unit (gen::emit_simulator output) to be "
+                         "linked in and registered");
+      eng_ = factory(net, options);
     } else {
       eng_ = std::make_unique<core::Engine>(net, options);
     }

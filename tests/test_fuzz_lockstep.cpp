@@ -6,10 +6,13 @@
 // varying stage counts and capacities, place delays, fork/join edges,
 // multi-issue fetch widths, guard mixes (periodic stalls, clock windows,
 // state-referencing backpressure), token delay overrides, reservation
-// emit/consume pairs and age-based flushes — and runs the interpreted and
-// compiled engines in lockstep, comparing the clock, in-flight counts and
-// aggregate stats after every cycle, and the full cycle-stamped retire and
-// squash traces plus per-transition/per-place statistics at the end.
+// emit/consume pairs, age-based flushes and *looping* topologies (Fig 5-style
+// feedback arcs that send a token back to an earlier place a bounded number
+// of times, forcing real token cycles through the SCC/two-list analysis) —
+// and runs the interpreted and compiled engines in lockstep, comparing the
+// clock, in-flight counts and aggregate stats after every cycle, and the full
+// cycle-stamped retire and squash traces plus per-transition/per-place
+// statistics at the end.
 //
 // Every seed is a different machine; a divergence report names the seed, so
 // any future backend change that breaks token semantics reproduces with
@@ -39,6 +42,8 @@ struct FuzzMachine {
   /// happen to agree.
   std::uint64_t actions_run = 0;
   std::uint64_t flushes = 0;
+  /// Backward (feedback) arc traversals: per-shard loop-coverage evidence.
+  std::uint64_t loops_taken = 0;
 };
 
 struct TraceEvent {
@@ -178,25 +183,46 @@ void describe_random_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
   };
 
   // The sub-nets: for every (type, place) a forward edge (1-2 places ahead,
-  // falling off the end retires), plus occasional lower-priority forks. This
-  // guarantees every token always has a candidate transition wherever it
-  // sits, so generated models cannot wedge on missing structure.
+  // falling off the end retires), plus occasional lower-priority forks and
+  // occasional *feedback* arcs ahead of the forward edge. This guarantees
+  // every token always has a candidate transition wherever it sits, so
+  // generated models cannot wedge on missing structure.
   for (unsigned t = 0; t < num_types; ++t) {
     for (unsigned i = 0; i < num_places; ++i) {
       const unsigned jump = pick(1, 2);
       const model::PlaceHandle target =
           (i + jump < num_places) ? places[i + jump] : b.end();
       const bool consume_here = res_consume_at[t] == static_cast<int>(i);
-      const std::uint8_t main_prio = consume_here ? 1 : 0;
+      std::uint8_t prio = 0;
 
       if (consume_here) {
-        // Priority-0 consuming edge; the plain edge below is the fallback.
+        // Highest-priority consuming edge; the plain edge below is the
+        // fallback.
         auto tb = b.add_transition("c" + std::to_string(t) + "_" + std::to_string(i),
                                    types[t]);
-        tb.from(places[i], 0).consume_reservation(res_place).to(target);
+        tb.from(places[i], prio++).consume_reservation(res_place).to(target);
         add_action(tb, pick(0, 2), i);
       }
 
+      // Feedback arc (Fig 5's L1 loop shape): send the token back to an
+      // earlier place, at most `trips` times per token (token->raw is the
+      // trip counter, reset at fetch), tried *before* the forward edge so it
+      // actually fires. The enclosed places form a real token cycle, so the
+      // engine's SCC analysis puts their stages on the two-list algorithm.
+      if (i >= 1 && pick(0, 4) == 0) {
+        const unsigned back = pick(0, i - 1);
+        const std::uint32_t trips = pick(1, 2);
+        auto lb = b.add_transition("l" + std::to_string(t) + "_" + std::to_string(i),
+                                   types[t]);
+        lb.from(places[i], prio++).to(places[back]);
+        lb.guard([trips](FireCtx& ctx) { return ctx.token->raw < trips; });
+        lb.action([](FuzzMachine& fm, FireCtx& ctx) {
+          ++fm.loops_taken;
+          ++ctx.token->raw;
+        });
+      }
+
+      const std::uint8_t main_prio = prio;
       auto tb = b.add_transition("t" + std::to_string(t) + "_" + std::to_string(i),
                                  types[t]);
       tb.from(places[i], main_prio).to(target);
@@ -233,6 +259,7 @@ void describe_random_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
         core::InstructionToken* tok = ctx.engine->acquire_pooled_instruction();
         tok->type = type_ids[(fm.emitted * 2654435761u >> 8) % type_count];
         tok->pc = 0x1000 + fm.emitted * 4;
+        tok->raw = 0;  // feedback-arc trip counter (recycled tokens keep raw)
         ++fm.emitted;
         ctx.engine->emit_instruction(tok, entry);
       })
@@ -271,6 +298,7 @@ struct Coverage {
   std::uint64_t squashed = 0;
   std::uint64_t reservations = 0;
   std::uint64_t stalls = 0;
+  std::uint64_t loops_taken = 0;
   unsigned models_with_two_list = 0;
 };
 
@@ -330,6 +358,8 @@ void run_seed(unsigned seed, Coverage& cov) {
   EXPECT_EQ(interp->machine().actions_run, comp->machine().actions_run)
       << "seed=" << seed;
   EXPECT_EQ(interp->machine().flushes, comp->machine().flushes) << "seed=" << seed;
+  EXPECT_EQ(interp->machine().loops_taken, comp->machine().loops_taken)
+      << "seed=" << seed;
   // Conservation: every fetched token either retired or was squashed.
   EXPECT_EQ(interp->stats().fetched,
             interp->stats().retired + interp->stats().squashed)
@@ -338,6 +368,7 @@ void run_seed(unsigned seed, Coverage& cov) {
   cov.retired += interp->stats().retired;
   cov.squashed += interp->stats().squashed;
   cov.reservations += interp->stats().reservations;
+  cov.loops_taken += interp->machine().loops_taken;
   for (std::uint64_t s : interp->stats().place_stalls) cov.stalls += s;
   for (unsigned s = 0; s < interp->net().num_stages(); ++s)
     if (interp->engine().stage_is_two_list(static_cast<core::StageId>(s))) {
@@ -355,6 +386,8 @@ Coverage run_seed_range(unsigned first, unsigned last) {
   EXPECT_GT(cov.reservations, 0u) << "no reservation token was ever emitted";
   EXPECT_GT(cov.stalls, 0u) << "no guard or capacity stall ever happened";
   EXPECT_GT(cov.models_with_two_list, 0u) << "no model used a two-list stage";
+  EXPECT_GT(cov.loops_taken, 0u)
+      << "no token ever traversed a feedback arc — looping topologies uncovered";
   return cov;
 }
 

@@ -2,11 +2,14 @@
 //
 // Each trace file under tests/golden/ records, for a small fixed workload,
 // every retirement as `cycle pc seq` in retire order — the full observable
-// timing behaviour of the model, captured once and checked in. Both backends
-// are diffed against the same file, so an equivalence regression (or an
-// accidental timing change in a model or in either engine) fails by naming
-// the machine, the backend and the *first diverging cycle*, instead of a
-// distant aggregate mismatch.
+// timing behaviour of the model, captured once and checked in. Both library
+// backends are diffed against the same file, so an equivalence regression
+// (or an accidental timing change in a model or in either engine) fails by
+// naming the machine, the backend and the *first diverging cycle*, instead
+// of a distant aggregate mismatch. The workload/trace machinery itself lives
+// in machines/golden_runner.{hpp,cpp}, shared with the generated-simulator
+// binaries (gen_sim_*) that CI diffs against the same files — three engines,
+// one reference.
 //
 // Regenerate after an intentional timing change with:
 //   RCPN_REGEN_GOLDEN=1 ./test_golden_traces
@@ -16,157 +19,47 @@
 
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "machines/fig5_processor.hpp"
-#include "machines/simple_pipeline.hpp"
-#include "machines/strongarm.hpp"
-#include "machines/tomasulo.hpp"
-#include "machines/xscale.hpp"
-#include "workloads/workloads.hpp"
+#include "machines/golden_runner.hpp"
 
 namespace rcpn {
 namespace {
 
-struct RetireEvent {
-  core::Cycle cycle = 0;
-  std::uint64_t pc = 0;
-  std::uint32_t seq = 0;
-  bool operator==(const RetireEvent&) const = default;
-};
+using machines::GoldenRetireEvent;
 
-void record_retires(core::Engine& eng, std::vector<RetireEvent>& out) {
-  eng.hooks().on_retire = [&eng, &out](core::InstructionToken* t) {
-    out.push_back(RetireEvent{eng.clock(), t->pc, t->seq});
-  };
-}
-
-std::vector<machines::Fig5Instr> fig5_workload() {
-  using I = machines::Fig5Instr;
-  return {
-      I::alui(I::AluOp::add, 1, 0, 7),
-      I::alui(I::AluOp::add, 2, 1, 1),   // RAW hazard
-      I::store(2, 0x100),
-      I::load(3, 0x100),
-      I::branch(2),
-      I::alui(I::AluOp::add, 4, 0, 99),  // squashed by the branch
-      I::alu(I::AluOp::mul, 5, 2, 3),
-      I::alu(I::AluOp::xor_op, 6, 5, 1),
-  };
-}
-
-std::vector<machines::Fig5Instr> tomasulo_workload() {
-  using I = machines::Fig5Instr;
-  return {
-      I::alui(I::AluOp::add, 1, 0, 3),
-      I::alu(I::AluOp::mul, 2, 1, 1),   // dependent chain
-      I::alu(I::AluOp::mul, 3, 2, 2),
-      I::alui(I::AluOp::add, 4, 0, 5),  // independent — issues out of order
-      I::alui(I::AluOp::add, 5, 4, 1),
-      I::alu(I::AluOp::xor_op, 6, 3, 5),
-  };
-}
-
-/// Run machine `name` (fixed small workload) on `backend`; return its trace.
-std::vector<RetireEvent> run_machine(const std::string& name, core::Backend backend) {
+std::vector<GoldenRetireEvent> run_machine(const std::string& name,
+                                           core::Backend backend) {
   core::EngineOptions opts;
   opts.backend = backend;
-  std::vector<RetireEvent> trace;
-
-  if (name == "fig2") {
-    machines::SimplePipeline sim(64, opts);
-    record_retires(sim.engine(), trace);
-    sim.run();
-  } else if (name == "fig5") {
-    machines::Fig5Processor sim(opts);
-    record_retires(sim.engine(), trace);
-    sim.load(fig5_workload());
-    sim.run();
-  } else if (name == "tomasulo") {
-    machines::TomasuloCore sim(4, 2, opts);
-    record_retires(sim.engine(), trace);
-    sim.load(tomasulo_workload());
-    sim.run();
-  } else if (name == "strongarm_crc") {
-    // A fixed 1500-cycle window of the crc kernel: long enough to cover
-    // icache/dcache misses, hazards and branches, small enough to check in.
-    machines::StrongArmConfig cfg;
-    cfg.engine.backend = backend;
-    machines::StrongArmSim sim(cfg);
-    record_retires(sim.engine(), trace);
-    sim.run(workloads::build(*workloads::find("crc"), /*scale=*/1), /*max_cycles=*/1500);
-  } else if (name == "xscale_adpcm") {
-    machines::XScaleConfig cfg;
-    cfg.engine.backend = backend;
-    machines::XScaleSim sim(cfg);
-    record_retires(sim.engine(), trace);
-    sim.run(workloads::build(*workloads::find("adpcm"), /*scale=*/1),
-            /*max_cycles=*/1500);
-  } else {
-    ADD_FAILURE() << "unknown machine " << name;
-  }
-  return trace;
+  return machines::run_golden_machine(name, opts);
 }
 
 std::string golden_path(const std::string& name) {
   return std::string(RCPN_GOLDEN_DIR) + "/" + name + ".trace";
 }
 
-std::vector<RetireEvent> load_golden(const std::string& name, bool& ok) {
-  std::vector<RetireEvent> trace;
-  std::ifstream in(golden_path(name));
-  ok = in.good();
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
-    RetireEvent e;
-    fields >> e.cycle >> std::hex >> e.pc >> std::dec >> e.seq;
-    ok = ok && !fields.fail();
-    trace.push_back(e);
-  }
-  return trace;
-}
-
-void write_golden(const std::string& name, const std::vector<RetireEvent>& trace) {
+void write_golden(const std::string& name, const std::vector<GoldenRetireEvent>& trace) {
   std::ofstream out(golden_path(name));
   ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
-  out << "# " << name << " golden cycle-stamped retire trace: cycle pc(hex) seq\n";
-  for (const RetireEvent& e : trace)
-    out << e.cycle << " " << std::hex << e.pc << std::dec << " " << e.seq << "\n";
+  out << machines::format_golden_trace(name, trace);
 }
 
-/// Diff `trace` against `golden`, naming the first diverging retirement and
-/// the cycle it happened in.
 void expect_matches_golden(const std::string& name, const char* backend,
-                           const std::vector<RetireEvent>& golden,
-                           const std::vector<RetireEvent>& trace) {
-  const std::size_t n = std::min(golden.size(), trace.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if (golden[i] == trace[i]) continue;
-    FAIL() << name << " (" << backend << "): first divergence at retirement #" << i
-           << ": golden {cycle " << golden[i].cycle << ", pc 0x" << std::hex
-           << golden[i].pc << std::dec << ", seq " << golden[i].seq << "} vs got {cycle "
-           << trace[i].cycle << ", pc 0x" << std::hex << trace[i].pc << std::dec
-           << ", seq " << trace[i].seq << "}";
-  }
-  EXPECT_EQ(golden.size(), trace.size())
-      << name << " (" << backend << "): trace length differs; first "
-      << (golden.size() < trace.size() ? "extra" : "missing") << " retirement is #" << n
-      << (n < trace.size() ? " at cycle " + std::to_string(trace[n].cycle)
-                           : n < golden.size()
-                                 ? " at golden cycle " + std::to_string(golden[n].cycle)
-                                 : "");
+                           const std::vector<GoldenRetireEvent>& golden,
+                           const std::vector<GoldenRetireEvent>& trace) {
+  const std::string diff = machines::diff_golden_traces(golden, trace);
+  EXPECT_TRUE(diff.empty()) << name << " (" << backend << "): " << diff;
 }
 
 class GoldenTrace : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(GoldenTrace, BothBackendsMatchCheckedInTrace) {
   const std::string name = GetParam();
-  const std::vector<RetireEvent> interp = run_machine(name, core::Backend::interpreted);
-  const std::vector<RetireEvent> comp = run_machine(name, core::Backend::compiled);
+  const std::vector<GoldenRetireEvent> interp =
+      run_machine(name, core::Backend::interpreted);
+  const std::vector<GoldenRetireEvent> comp = run_machine(name, core::Backend::compiled);
   ASSERT_FALSE(interp.empty()) << name << ": workload retired nothing";
 
   if (std::getenv("RCPN_REGEN_GOLDEN") != nullptr) {
@@ -177,10 +70,10 @@ TEST_P(GoldenTrace, BothBackendsMatchCheckedInTrace) {
     return;
   }
 
-  bool ok = false;
-  const std::vector<RetireEvent> golden = load_golden(name, ok);
-  ASSERT_TRUE(ok) << "missing or malformed golden file " << golden_path(name)
-                  << " — regenerate with RCPN_REGEN_GOLDEN=1 ./test_golden_traces";
+  std::vector<GoldenRetireEvent> golden;
+  ASSERT_TRUE(machines::load_golden_trace(golden_path(name), golden))
+      << "missing or malformed golden file " << golden_path(name)
+      << " — regenerate with RCPN_REGEN_GOLDEN=1 ./test_golden_traces";
   expect_matches_golden(name, "interpreted", golden, interp);
   expect_matches_golden(name, "compiled", golden, comp);
 }
@@ -189,6 +82,14 @@ INSTANTIATE_TEST_SUITE_P(AllMachines, GoldenTrace,
                          ::testing::Values("fig2", "fig5", "tomasulo", "strongarm_crc",
                                            "xscale_adpcm"),
                          [](const auto& info) { return std::string(info.param); });
+
+// The trace keys and the golden runner's canonical key list must agree (the
+// gen_sim_* CI jobs iterate the runner's list).
+TEST(GoldenTrace, KeysMatchRunner) {
+  const std::vector<std::string> expected = {"fig2", "fig5", "tomasulo",
+                                             "strongarm_crc", "xscale_adpcm"};
+  EXPECT_EQ(machines::golden_machine_keys(), expected);
+}
 
 }  // namespace
 }  // namespace rcpn
