@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "gen/generated.hpp"
 #include "machines/strongarm.hpp"
 #include "util/table.hpp"
 
@@ -20,9 +21,10 @@ struct Row {
   unsigned two_list_stages = 0;
 };
 
-Row measure(bool force_all, const sys::Program& prog) {
+Row measure(bool force_all, core::Backend backend, const sys::Program& prog) {
   machines::StrongArmConfig cfg;
   cfg.engine.force_two_list_all = force_all;
+  cfg.engine.backend = backend;
   machines::StrongArmSim sim(cfg);
   const auto [r, secs] = bench::timed([&] { return sim.run(prog); });
   Row row;
@@ -44,17 +46,41 @@ int main() {
   util::Table table({"workload", "strategy", "two-list stages", "Mcyc/s",
                      "cycles", "program ms"});
 
+  // The generated backend runs the ablation too when both emitted schedule
+  // variants (default + two-list-everywhere, each registered under its own
+  // options key) are linked into this binary.
+  core::EngineOptions all_opts;
+  all_opts.force_two_list_all = true;
+  const bool has_gen = gen::find_generated_engine("StrongArm") != nullptr &&
+                       gen::find_generated_engine("StrongArm", all_opts) != nullptr;
+  if (!has_gen)
+    std::printf("generated schedule variants not linked in - interpreted only\n\n");
+
   for (const char* name : {"crc", "go"}) {
     const workloads::Workload* w = workloads::find(name);
     const sys::Program prog = workloads::build(*w, bench::scaled(*w));
-    const Row sel = measure(false, prog);
-    const Row all = measure(true, prog);
+    const Row sel = measure(false, core::Backend::interpreted, prog);
+    const Row all = measure(true, core::Backend::interpreted, prog);
     table.add_row({name, "selective (paper)", std::to_string(sel.two_list_stages),
                    util::Table::fmt(sel.mcps), std::to_string(sel.cycles),
                    util::Table::fmt(sel.secs * 1e3)});
     table.add_row({name, "two-list everywhere", std::to_string(all.two_list_stages),
                    util::Table::fmt(all.mcps), std::to_string(all.cycles),
                    util::Table::fmt(all.secs * 1e3)});
+    if (has_gen) {
+      const Row gsel = measure(false, core::Backend::generated, prog);
+      const Row gall = measure(true, core::Backend::generated, prog);
+      if (gsel.cycles != sel.cycles || gall.cycles != all.cycles) {
+        std::fprintf(stderr, "generated/interpreted cycle mismatch on %s!\n", name);
+        return 1;
+      }
+      table.add_row({name, "selective (generated)",
+                     std::to_string(gsel.two_list_stages), util::Table::fmt(gsel.mcps),
+                     std::to_string(gsel.cycles), util::Table::fmt(gsel.secs * 1e3)});
+      table.add_row({name, "two-list everywhere (generated)",
+                     std::to_string(gall.two_list_stages), util::Table::fmt(gall.mcps),
+                     std::to_string(gall.cycles), util::Table::fmt(gall.secs * 1e3)});
+    }
   }
   table.print();
 

@@ -6,9 +6,16 @@
 //   g++ -O3 -flto -I src gen_fig2.cpp -lrcpn -o gen_fig2   # 2. compile
 //   ./gen_fig2 --golden tests/golden/fig2.trace            # 3. verify
 //
-// The build does this for all five machines automatically (gen_sim_* targets)
-// and CI gates every push on step 3. `--tables` and `--dot` expose the other
-// two exporters (the schedule dump and the graphviz structure).
+// With --freestanding the emitted file inlines the runtime subset and needs
+// no -I and no library at all:
+//
+//   ./rcpn_emit fig2 --freestanding | c++ -std=c++20 -O3 -x c++ - && ./a.out
+//
+// The build does this for all five machines automatically (gen_sim_* /
+// gen_fs_* targets) and CI gates every push on the trace diff. `--tables`
+// and `--dot` expose the other two exporters; the --force-two-list-all /
+// --no-two-list-state-refs / --linear-search flags emit ablation-variant
+// schedules (stamped into the artifact and verified at build()).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -24,13 +31,21 @@ namespace {
 
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
-               "usage: %s <machine> [--out FILE] [--no-main] [--tables] [--dot]\n"
+               "usage: %s <machine> [--out FILE] [--no-main] [--freestanding]\n"
+               "       [--force-two-list-all] [--no-two-list-state-refs]\n"
+               "       [--linear-search] [--tables] [--dot]\n"
                "  machine: one of", argv0);
   for (const std::string& key : machines::golden_machine_keys())
     std::fprintf(stderr, " %s", key.c_str());
   std::fprintf(stderr,
                "\n  default: emit the standalone generated simulator (with main)\n"
                "  --no-main: emit engine + registrar only (link into another binary)\n"
+               "  --freestanding: inline the runtime subset — the emitted file\n"
+               "                  compiles with no repo includes and links against\n"
+               "                  nothing but the C++ standard library\n"
+               "  --force-two-list-all / --no-two-list-state-refs / --linear-search:\n"
+               "                  emit an ablation-variant schedule (stamped and\n"
+               "                  verified at build())\n"
                "  --tables:  emit the static-schedule table dump (gen::emit_cpp)\n"
                "  --dot:     emit the model structure for graphviz (gen::emit_dot)\n");
   return code;
@@ -40,13 +55,23 @@ int usage(const char* argv0, int code) {
 
 int main(int argc, char** argv) {
   std::string machine, out_path;
-  bool with_main = true, tables = false, dot = false;
+  bool with_main = true, tables = false, dot = false, freestanding = false;
+  core::EngineOptions options;
+  options.backend = core::Backend::compiled;  // the lowering pass lives there
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--no-main") {
       with_main = false;
+    } else if (arg == "--freestanding") {
+      freestanding = true;
+    } else if (arg == "--force-two-list-all") {
+      options.force_two_list_all = true;
+    } else if (arg == "--no-two-list-state-refs") {
+      options.two_list_state_refs = false;
+    } else if (arg == "--linear-search") {
+      options.linear_search = true;
     } else if (arg == "--tables") {
       tables = true;
     } else if (arg == "--dot") {
@@ -60,9 +85,10 @@ int main(int argc, char** argv) {
     }
   }
   if (machine.empty() || (tables && dot)) return usage(argv[0], 2);
-
-  core::EngineOptions options;
-  options.backend = core::Backend::compiled;  // the lowering pass lives there
+  if (freestanding && (tables || dot)) {
+    std::fprintf(stderr, "--freestanding applies to simulator emission only\n");
+    return usage(argv[0], 2);
+  }
 
   std::string source;
   try {
@@ -75,6 +101,12 @@ int main(int argc, char** argv) {
             source = gen::emit_cpp(ce.compiled(), net);
           } else {
             gen::EmitSimOptions emit_opts;
+            emit_opts.engine_options = options;
+            if (freestanding) {
+              emit_opts.mode = gen::EmitMode::freestanding;
+              emit_opts.extra_roots.push_back(machines::golden_run_header(machine));
+              if (with_main) emit_opts.run_expr = machines::golden_run_expr(machine);
+            }
             if (with_main) emit_opts.machine_key = machine;
             source = gen::emit_simulator(ce.compiled(), net, emit_opts);
           }

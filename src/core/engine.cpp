@@ -390,7 +390,7 @@ bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
     PipelineStage& to =
         *place_stage_[static_cast<unsigned>(t.outputs()[0].place)];
     if (&to != &from && !to.has_room(1, 0)) return false;
-    FireCtx ctx{this, tok};
+    FireCtx ctx{this, tok, t.id()};
     if (t.has_guard() && !t.eval_guard(ctx)) return false;
     const bool removed = from.remove(tok);
     assert(removed && "trigger token not visible in its place");
@@ -442,7 +442,7 @@ bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
   }
 
   // 3. Guard.
-  FireCtx ctx{this, tok};
+  FireCtx ctx{this, tok, t.id()};
   if (t.has_guard() && !t.eval_guard(ctx)) return false;
 
   // ---- fire ----
@@ -532,7 +532,7 @@ bool Engine::independent_enabled(const Transition& t) {
   }
   for (const OutArc& a : t.outputs())
     if (!place_has_room(a.place, 1)) return false;
-  FireCtx ctx{this, nullptr};
+  FireCtx ctx{this, nullptr, t.id()};
   if (t.has_guard() && !t.eval_guard(ctx)) return false;
   return true;
 }
@@ -544,7 +544,7 @@ void Engine::fire_independent(const Transition& t) {
     rs.remove(r);
     recycle(r);
   }
-  FireCtx ctx{this, nullptr};
+  FireCtx ctx{this, nullptr, t.id()};
   if (t.has_action()) t.run_action(ctx);
   for (const OutArc& a : t.outputs()) {
     if (a.emit == ArcEmit::reservation) {

@@ -24,9 +24,15 @@ class Engine;
 
 /// Context handed to guards and actions. `token` is the triggering
 /// instruction token (nullptr inside instruction-independent transitions).
+/// `transition` is the id of the transition being evaluated/fired: named
+/// delegates shared between several transitions key per-transition
+/// parameters off it (machines/fuzz_model.hpp is the canonical example) —
+/// this is what keeps such models emittable by gen::emit_simulator, whose
+/// dispatch calls one named function per case with no closure environment.
 struct FireCtx {
   Engine* engine = nullptr;
   InstructionToken* token = nullptr;
+  TransitionId transition = TransitionId{-1};
 };
 
 /// Raw delegates: one indirect call, no std::function overhead. This is the

@@ -30,7 +30,7 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
     // Latch-to-latch: shape and destination stage were resolved at lowering.
     PipelineStage& to = *ct.move_stage;
     if (&to != &from && !to.has_room(1, 0)) return false;
-    FireCtx ctx{this, tok};
+    FireCtx ctx{this, tok, ct.id};
     if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
     const bool removed = from.remove_at(hint, tok);
     assert(removed && "trigger token not visible in its place");
@@ -78,7 +78,7 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
       return false;
   }
 
-  FireCtx ctx{this, tok};
+  FireCtx ctx{this, tok, ct.id};
   if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
 
   // ---- fire ----
@@ -161,7 +161,7 @@ bool CompiledEngine::independent_enabled_compiled(const CompiledTransition& ct) 
     if (find_ready_reservation(cm_.res_in[ct.res_in_begin + i]) == nullptr) return false;
   for (unsigned i = 0; i < ct.n_out; ++i)
     if (!place_has_room(cm_.out_arcs[ct.out_begin + i].place, 1)) return false;
-  FireCtx ctx{this, nullptr};
+  FireCtx ctx{this, nullptr, ct.id};
   if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
   return true;
 }
@@ -174,7 +174,7 @@ void CompiledEngine::fire_independent_compiled(const CompiledTransition& ct) {
     rs.remove(r);
     recycle(r);
   }
-  FireCtx ctx{this, nullptr};
+  FireCtx ctx{this, nullptr, ct.id};
   if (ct.action != nullptr) ct.action(ct.action_env, ctx);
   for (unsigned i = 0; i < ct.n_out; ++i) {
     const CompiledOutArc& a = cm_.out_arcs[ct.out_begin + i];

@@ -7,25 +7,54 @@ namespace rcpn::gen {
 namespace {
 // Function-local static: emitted TUs register from static initializers, so
 // the map must be constructed on first use, not in link order.
-std::map<std::string, GeneratedFactory>& registry() {
-  static std::map<std::string, GeneratedFactory> r;
+std::map<std::pair<std::string, std::uint32_t>, GeneratedFactory>& registry() {
+  static std::map<std::pair<std::string, std::uint32_t>, GeneratedFactory> r;
   return r;
 }
 }  // namespace
 
-void register_generated_engine(const std::string& model, GeneratedFactory factory) {
-  registry()[model] = factory;
+std::uint32_t generated_options_key(const core::EngineOptions& options) {
+  return generated_options_key(options.two_list_state_refs,
+                               options.force_two_list_all, options.linear_search);
+}
+
+std::string generated_options_desc(std::uint32_t options_key) {
+  std::string desc;
+  const auto add = [&desc](const char* name) {
+    if (!desc.empty()) desc += ",";
+    desc += name;
+  };
+  if (options_key & 1u) add("two_list_state_refs");
+  if (options_key & 2u) add("force_two_list_all");
+  if (options_key & 4u) add("linear_search");
+  return desc.empty() ? "(none)" : desc;
+}
+
+void register_generated_engine(const std::string& model, std::uint32_t options_key,
+                               GeneratedFactory factory) {
+  registry()[{model, options_key}] = factory;
+}
+
+GeneratedFactory find_generated_engine(const std::string& model,
+                                       std::uint32_t options_key) {
+  const auto& r = registry();
+  const auto it = r.find({model, options_key});
+  return it == r.end() ? nullptr : it->second;
+}
+
+GeneratedFactory find_generated_engine(const std::string& model,
+                                       const core::EngineOptions& options) {
+  return find_generated_engine(model, generated_options_key(options));
 }
 
 GeneratedFactory find_generated_engine(const std::string& model) {
-  const auto& r = registry();
-  const auto it = r.find(model);
-  return it == r.end() ? nullptr : it->second;
+  return find_generated_engine(model, generated_options_key(core::EngineOptions{}));
 }
 
 std::vector<std::string> registered_generated_models() {
   std::vector<std::string> names;
-  for (const auto& [name, _] : registry()) names.push_back(name);
+  for (const auto& [key, _] : registry())
+    if (names.empty() || names.back() != key.first) names.push_back(key.first);
   return names;
 }
 

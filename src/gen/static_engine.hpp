@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "gen/generated.hpp"
 
 namespace rcpn::gen {
 
@@ -127,7 +128,7 @@ class StaticEngine final : public core::Engine {
       // Latch-to-latch: shape and destination were resolved at emission.
       core::PipelineStage& to = *place_stage_[static_cast<unsigned>(ct.move_place)];
       if (&to != &from && !to.has_room(1, 0)) return false;
-      core::FireCtx ctx{this, tok};
+      core::FireCtx ctx{this, tok, ct.id};
       if (!run_guard(ct.id, ctx)) return false;
       const bool removed = from.remove_at(hint, tok);
       assert(removed && "trigger token not visible in its place");
@@ -177,7 +178,7 @@ class StaticEngine final : public core::Engine {
         return false;
     }
 
-    core::FireCtx ctx{this, tok};
+    core::FireCtx ctx{this, tok, ct.id};
     if (!run_guard(ct.id, ctx)) return false;
 
     // ---- fire ----
@@ -260,7 +261,7 @@ class StaticEngine final : public core::Engine {
         return false;
     for (unsigned i = 0; i < ct.n_out; ++i)
       if (!place_has_room(Traits::kOutArcs[ct.out_begin + i].place, 1)) return false;
-    core::FireCtx ctx{this, nullptr};
+    core::FireCtx ctx{this, nullptr, ct.id};
     return run_guard(ct.id, ctx);
   }
 
@@ -272,7 +273,7 @@ class StaticEngine final : public core::Engine {
       rs.remove(r);
       recycle(r);
     }
-    core::FireCtx ctx{this, nullptr};
+    core::FireCtx ctx{this, nullptr, ct.id};
     run_action(ct.id, ctx);
     for (unsigned i = 0; i < ct.n_out; ++i) {
       const StaticOutArc a = Traits::kOutArcs[ct.out_begin + i];
@@ -300,6 +301,19 @@ class StaticEngine final : public core::Engine {
   }
 
   void verify_tables() {
+    // The schedule-affecting options first: a binary built for one ablation
+    // variant must refuse to run under another *before* the table diffs
+    // produce a confusing structural message (satisfying the contract that a
+    // wrong-ablation artifact throws instead of silently diverging).
+    const std::uint32_t stamped = generated_options_key(
+        Traits::kOptTwoListStateRefs, Traits::kOptForceTwoListAll,
+        Traits::kOptLinearSearch);
+    const std::uint32_t live = generated_options_key(options_);
+    if (stamped != live)
+      stale("EngineOptions: tables were emitted for [" +
+            generated_options_desc(stamped) + "] but the engine runs with [" +
+            generated_options_desc(live) + "]");
+
     if (Traits::kNumStages != net_.num_stages()) stale("stage count");
     if (Traits::kNumPlaces != net_.num_places()) stale("place count");
     if (Traits::kNumTypes != net_.num_types()) stale("type count");

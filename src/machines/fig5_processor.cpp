@@ -335,4 +335,37 @@ std::uint64_t Fig5Processor::run(std::uint64_t max_cycles) {
       [](const Fig5Machine& m) { return m.pc >= m.program.size(); }, max_cycles);
 }
 
+namespace {
+
+std::vector<Fig5Instr> fig5_golden_workload() {
+  using I = Fig5Instr;
+  return {
+      I::alui(I::AluOp::add, 1, 0, 7),
+      I::alui(I::AluOp::add, 2, 1, 1),   // RAW hazard
+      I::store(2, 0x100),
+      I::load(3, 0x100),
+      I::branch(2),
+      I::alui(I::AluOp::add, 4, 0, 99),  // squashed by the branch
+      I::alu(I::AluOp::mul, 5, 2, 3),
+      I::alu(I::AluOp::xor_op, 6, 5, 1),
+  };
+}
+
+}  // namespace
+
+GoldenRunResult golden_run_fig5(core::EngineOptions options) {
+  Fig5Processor sim(options);
+  GoldenRunResult r;
+  record_golden_retires(sim.engine(), r.trace);
+  sim.load(fig5_golden_workload());
+  sim.run();
+  r.stats = sim.engine().stats();
+  return r;
+}
+
+void golden_inspect_fig5(core::EngineOptions options, const GoldenInspectFn& fn) {
+  Fig5Processor sim(options);
+  fn(sim.net(), sim.engine());
+}
+
 }  // namespace rcpn::machines

@@ -20,6 +20,7 @@
 #pragma once
 
 #include "isa/decoder.hpp"
+#include "machines/golden_trace.hpp"
 #include "mem/cache.hpp"
 #include "mem/memory.hpp"
 #include "model/simulator.hpp"
@@ -110,6 +111,11 @@ void fig5_br_d_action(Fig5Machine& m, core::FireCtx& ctx);
 void fig5_br_b_action(Fig5Machine& m, core::FireCtx& ctx);
 bool fig5_fetch_guard(Fig5Machine& m, core::FireCtx& ctx);
 void fig5_fetch_action(Fig5Machine& m, core::FireCtx& ctx);
+
+/// Golden-workload runner/inspector (key "fig5"): the fixed eight-instruction
+/// hazard/branch/memory mix of tests/golden/fig5.trace.
+GoldenRunResult golden_run_fig5(core::EngineOptions options);
+void golden_inspect_fig5(core::EngineOptions options, const GoldenInspectFn& fn);
 
 class Fig5Processor {
  public:

@@ -1,0 +1,83 @@
+// Seeded random pipeline models — the fuzz generator as a library machine.
+//
+// A mt19937 seeded with `seed` drives every decision, so two constructions
+// (or a construction in another process) produce byte-identical model
+// descriptions: varying stage counts and capacities, place delays, fork/join
+// edges, multi-issue fetch widths, guard mixes (periodic stalls, clock
+// windows, state-referencing backpressure), token delay overrides,
+// reservation emit/consume pairs, age-based flushes and looping topologies
+// (bounded feedback arcs that force real token cycles through the SCC /
+// two-list analysis).
+//
+// Every delegate is a *named* free function — the per-transition parameters
+// the old closure captures carried (watched place, loop trip bound, flush
+// victim) live in FuzzMachine arrays indexed by core::FireCtx::transition —
+// so any seeded topology is fully emittable by gen::emit_simulator,
+// including EmitMode::freestanding. That is the point: the lockstep fuzz
+// suite (tests/test_fuzz_lockstep.cpp) reaches the emitter with randomized
+// models, not just the five curated machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machines/golden_trace.hpp"
+#include "model/model_builder.hpp"
+
+namespace rcpn::machines {
+
+struct FuzzMachine {
+  std::uint64_t to_emit = 0;
+  std::uint64_t emitted = 0;
+  /// Counters mutated by generated actions; compared across backends at the
+  /// end, so action *execution order* differences surface even when traces
+  /// happen to agree.
+  std::uint64_t actions_run = 0;
+  std::uint64_t flushes = 0;
+  /// Backward (feedback) arc traversals: per-shard loop-coverage evidence.
+  std::uint64_t loops_taken = 0;
+
+  /// Fetch parameters (filled by the model description).
+  core::PlaceId entry = core::kNoPlace;
+  std::vector<core::TypeId> fetch_types;
+
+  /// Per-transition delegate parameters, indexed by the transition id the
+  /// dispatch hands over in FireCtx::transition (watched place for
+  /// backpressure guards, trip bound for loop guards, victim stage for flush
+  /// actions). This is what replaces closure captures and keeps the model
+  /// emittable.
+  std::vector<std::int32_t> guard_param;
+  std::vector<std::int32_t> action_param;
+};
+
+// -- named delegates (referenced by symbol in generated simulator sources) ----
+bool fuzz_guard_periodic(core::FireCtx& ctx);
+bool fuzz_guard_window(core::FireCtx& ctx);
+bool fuzz_guard_backpressure(FuzzMachine& m, core::FireCtx& ctx);
+bool fuzz_guard_loop(FuzzMachine& m, core::FireCtx& ctx);
+bool fuzz_fetch_guard(FuzzMachine& m, core::FireCtx& ctx);
+void fuzz_action_count(FuzzMachine& m, core::FireCtx& ctx);
+void fuzz_action_delay(core::FireCtx& ctx);
+void fuzz_action_flush(FuzzMachine& m, core::FireCtx& ctx);
+void fuzz_action_loop(FuzzMachine& m, core::FireCtx& ctx);
+void fuzz_fetch_action(FuzzMachine& m, core::FireCtx& ctx);
+
+/// Build the random pipeline model of `seed` into `b`, recording the
+/// delegate parameters into `m`.
+void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
+                         FuzzMachine& m);
+
+/// The option mix a seed runs under (some seeds double-buffer every stage,
+/// some drop the state-reference rule — both engines of a lockstep pair get
+/// identical options).
+core::EngineOptions fuzz_options_for(unsigned seed, core::Backend backend);
+
+/// Model (net) name of a seed, e.g. "fuzz-7".
+std::string fuzz_model_name(unsigned seed);
+
+/// Golden-style runner: construct the seed's model under `options`, run it
+/// until every token drained, return the retire trace + stats. Throws
+/// std::runtime_error if the model wedges (deadlock watchdog / cycle cap).
+GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options);
+
+}  // namespace rcpn::machines

@@ -1,8 +1,5 @@
 #include "machines/golden_runner.hpp"
 
-#include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "machines/fig5_processor.hpp"
@@ -10,230 +7,83 @@
 #include "machines/strongarm.hpp"
 #include "machines/tomasulo.hpp"
 #include "machines/xscale.hpp"
-#include "workloads/workloads.hpp"
 
 namespace rcpn::machines {
 
 namespace {
 
-void record_retires(core::Engine& eng, std::vector<GoldenRetireEvent>& out) {
-  eng.hooks().on_retire = [&eng, &out](core::InstructionToken* t) {
-    out.push_back(GoldenRetireEvent{eng.clock(), t->pc, t->seq});
-  };
-}
+/// One golden machine: the key-indexed dispatch row tying the per-machine
+/// runner (defined next to its machine, so it is freestanding-emittable) to
+/// the metadata the emitter needs to call it from a generated main().
+struct GoldenMachine {
+  const char* key;
+  const char* model;
+  GoldenRunResult (*run)(core::EngineOptions);
+  void (*inspect)(core::EngineOptions, const GoldenInspectFn&);
+  const char* run_symbol;
+  const char* header;
+};
 
-std::vector<Fig5Instr> fig5_workload() {
-  using I = Fig5Instr;
-  return {
-      I::alui(I::AluOp::add, 1, 0, 7),
-      I::alui(I::AluOp::add, 2, 1, 1),   // RAW hazard
-      I::store(2, 0x100),
-      I::load(3, 0x100),
-      I::branch(2),
-      I::alui(I::AluOp::add, 4, 0, 99),  // squashed by the branch
-      I::alu(I::AluOp::mul, 5, 2, 3),
-      I::alu(I::AluOp::xor_op, 6, 5, 1),
-  };
-}
+constexpr GoldenMachine kGoldenMachines[] = {
+    {"fig2", "Fig2", &golden_run_fig2, &golden_inspect_fig2,
+     "rcpn::machines::golden_run_fig2", "machines/simple_pipeline.hpp"},
+    {"fig5", "Fig5", &golden_run_fig5, &golden_inspect_fig5,
+     "rcpn::machines::golden_run_fig5", "machines/fig5_processor.hpp"},
+    {"tomasulo", "Tomasulo", &golden_run_tomasulo, &golden_inspect_tomasulo,
+     "rcpn::machines::golden_run_tomasulo", "machines/tomasulo.hpp"},
+    {"strongarm_crc", "StrongArm", &golden_run_strongarm_crc,
+     &golden_inspect_strongarm_crc, "rcpn::machines::golden_run_strongarm_crc",
+     "machines/strongarm.hpp"},
+    {"xscale_adpcm", "XScale", &golden_run_xscale_adpcm, &golden_inspect_xscale_adpcm,
+     "rcpn::machines::golden_run_xscale_adpcm", "machines/xscale.hpp"},
+};
 
-std::vector<Fig5Instr> tomasulo_workload() {
-  using I = Fig5Instr;
-  return {
-      I::alui(I::AluOp::add, 1, 0, 3),
-      I::alu(I::AluOp::mul, 2, 1, 1),   // dependent chain
-      I::alu(I::AluOp::mul, 3, 2, 2),
-      I::alui(I::AluOp::add, 4, 0, 5),  // independent — issues out of order
-      I::alui(I::AluOp::add, 5, 4, 1),
-      I::alu(I::AluOp::xor_op, 6, 3, 5),
-  };
-}
-
-/// Construct machine `key`; run its workload when `trace` is non-null,
-/// otherwise stop after construction and call `inspect`.
-void with_golden_machine(const std::string& key, core::EngineOptions options,
-                         std::vector<GoldenRetireEvent>* trace,
-                         const std::function<void(core::Net&, core::Engine&)>& inspect) {
-  if (key == "fig2") {
-    SimplePipeline sim(64, options);
-    if (trace == nullptr) return inspect(sim.net(), sim.engine());
-    record_retires(sim.engine(), *trace);
-    sim.run();
-  } else if (key == "fig5") {
-    Fig5Processor sim(options);
-    if (trace == nullptr) return inspect(sim.net(), sim.engine());
-    record_retires(sim.engine(), *trace);
-    sim.load(fig5_workload());
-    sim.run();
-  } else if (key == "tomasulo") {
-    TomasuloCore sim(4, 2, options);
-    if (trace == nullptr) return inspect(sim.net(), sim.engine());
-    record_retires(sim.engine(), *trace);
-    sim.load(tomasulo_workload());
-    sim.run();
-  } else if (key == "strongarm_crc") {
-    // A fixed 1500-cycle window of the crc kernel: long enough to cover
-    // icache/dcache misses, hazards and branches, small enough to check in.
-    StrongArmConfig cfg;
-    cfg.engine = options;
-    StrongArmSim sim(cfg);
-    if (trace == nullptr) return inspect(sim.net(), sim.engine());
-    record_retires(sim.engine(), *trace);
-    sim.run(workloads::build(*workloads::find("crc"), /*scale=*/1), /*max_cycles=*/1500);
-  } else if (key == "xscale_adpcm") {
-    XScaleConfig cfg;
-    cfg.engine = options;
-    XScaleSim sim(cfg);
-    if (trace == nullptr) return inspect(sim.net(), sim.engine());
-    record_retires(sim.engine(), *trace);
-    sim.run(workloads::build(*workloads::find("adpcm"), /*scale=*/1),
-            /*max_cycles=*/1500);
-  } else {
-    throw std::invalid_argument("unknown golden machine key '" + key + "'");
-  }
+const GoldenMachine& find_machine(const std::string& key) {
+  for (const GoldenMachine& m : kGoldenMachines)
+    if (key == m.key) return m;
+  throw std::invalid_argument("unknown golden machine key '" + key + "'");
 }
 
 }  // namespace
 
 const std::vector<std::string>& golden_machine_keys() {
-  static const std::vector<std::string> keys = {"fig2", "fig5", "tomasulo",
-                                                "strongarm_crc", "xscale_adpcm"};
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> k;
+    for (const GoldenMachine& m : kGoldenMachines) k.push_back(m.key);
+    return k;
+  }();
   return keys;
 }
 
-std::string golden_model_name(const std::string& key) {
-  if (key == "fig2") return "Fig2";
-  if (key == "fig5") return "Fig5";
-  if (key == "tomasulo") return "Tomasulo";
-  if (key == "strongarm_crc") return "StrongArm";
-  if (key == "xscale_adpcm") return "XScale";
-  throw std::invalid_argument("unknown golden machine key '" + key + "'");
-}
+std::string golden_model_name(const std::string& key) { return find_machine(key).model; }
 
 std::vector<GoldenRetireEvent> run_golden_machine(const std::string& key,
                                                   core::EngineOptions options) {
-  std::vector<GoldenRetireEvent> trace;
-  with_golden_machine(key, options, &trace, {});
-  return trace;
+  return run_golden_machine_full(key, options).trace;
+}
+
+GoldenRunResult run_golden_machine_full(const std::string& key,
+                                        core::EngineOptions options) {
+  return find_machine(key).run(options);
 }
 
 void inspect_golden_machine(const std::string& key, core::EngineOptions options,
-                            const std::function<void(core::Net&, core::Engine&)>& fn) {
-  with_golden_machine(key, options, nullptr, fn);
+                            const GoldenInspectFn& fn) {
+  find_machine(key).inspect(options, fn);
 }
 
-std::string format_golden_trace(const std::string& name,
-                                const std::vector<GoldenRetireEvent>& trace) {
-  std::ostringstream out;
-  out << "# " << name << " golden cycle-stamped retire trace: cycle pc(hex) seq\n";
-  for (const GoldenRetireEvent& e : trace)
-    out << e.cycle << " " << std::hex << e.pc << std::dec << " " << e.seq << "\n";
-  return out.str();
+std::string golden_run_expr(const std::string& key) {
+  return std::string(find_machine(key).run_symbol) + "(options)";
 }
 
-bool load_golden_trace(const std::string& path, std::vector<GoldenRetireEvent>& out) {
-  std::ifstream in(path);
-  bool ok = in.good();
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
-    GoldenRetireEvent e;
-    fields >> e.cycle >> std::hex >> e.pc >> std::dec >> e.seq;
-    ok = ok && !fields.fail();
-    out.push_back(e);
-  }
-  return ok;
-}
-
-std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
-                               const std::vector<GoldenRetireEvent>& got) {
-  const std::size_t n = std::min(golden.size(), got.size());
-  std::ostringstream msg;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (golden[i] == got[i]) continue;
-    msg << "first divergence at retirement #" << i << ": golden {cycle "
-        << golden[i].cycle << ", pc 0x" << std::hex << golden[i].pc << std::dec
-        << ", seq " << golden[i].seq << "} vs got {cycle " << got[i].cycle << ", pc 0x"
-        << std::hex << got[i].pc << std::dec << ", seq " << got[i].seq << "}";
-    return msg.str();
-  }
-  if (golden.size() != got.size()) {
-    msg << "trace length differs (golden " << golden.size() << ", got " << got.size()
-        << "); first " << (golden.size() < got.size() ? "extra" : "missing")
-        << " retirement is #" << n;
-    if (n < got.size())
-      msg << " at cycle " << got[n].cycle;
-    else if (n < golden.size())
-      msg << " at golden cycle " << golden[n].cycle;
-    return msg.str();
-  }
-  return {};
+std::string golden_run_header(const std::string& key) {
+  return find_machine(key).header;
 }
 
 int generated_main(int argc, char** argv, const std::string& machine_key) {
-  std::string golden_path;
-  core::EngineOptions options;
-  options.backend = core::Backend::generated;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--golden" && i + 1 < argc) {
-      golden_path = argv[++i];
-    } else if (arg == "--backend" && i + 1 < argc) {
-      const std::string b = argv[++i];
-      if (b == "interpreted") {
-        options.backend = core::Backend::interpreted;
-      } else if (b == "compiled") {
-        options.backend = core::Backend::compiled;
-      } else if (b != "generated") {
-        std::fprintf(stderr, "unknown backend '%s'\n", b.c_str());
-        return 2;
-      }
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "usage: %s [--golden FILE] [--backend generated|compiled|interpreted]\n"
-          "Runs the %s golden workload on the generated simulator engine.\n"
-          "Default: print the cycle-stamped retire trace to stdout.\n"
-          "--golden FILE: diff the trace against FILE; exit 1 on the first\n"
-          "divergence, naming its cycle.\n",
-          argv[0], machine_key.c_str());
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
-      return 2;
-    }
-  }
-
-  std::vector<GoldenRetireEvent> trace;
-  try {
-    trace = run_golden_machine(machine_key, options);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s: %s\n", machine_key.c_str(), e.what());
-    return 2;
-  }
-  if (trace.empty()) {
-    std::fprintf(stderr, "%s: workload retired nothing\n", machine_key.c_str());
-    return 1;
-  }
-
-  if (golden_path.empty()) {
-    std::fputs(format_golden_trace(machine_key, trace).c_str(), stdout);
-    return 0;
-  }
-
-  std::vector<GoldenRetireEvent> golden;
-  if (!load_golden_trace(golden_path, golden)) {
-    std::fprintf(stderr, "%s: missing or malformed golden file %s\n",
-                 machine_key.c_str(), golden_path.c_str());
-    return 2;
-  }
-  const std::string diff = diff_golden_traces(golden, trace);
-  if (!diff.empty()) {
-    std::fprintf(stderr, "%s (generated): %s\n", machine_key.c_str(), diff.c_str());
-    return 1;
-  }
-  std::printf("%s: %zu retirements match %s\n", machine_key.c_str(), trace.size(),
-              golden_path.c_str());
-  return 0;
+  const GoldenMachine& m = find_machine(machine_key);
+  return golden_cli_main(argc, argv, machine_key,
+                         [&m](core::EngineOptions options) { return m.run(options); });
 }
 
 }  // namespace rcpn::machines

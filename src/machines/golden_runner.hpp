@@ -1,35 +1,28 @@
 // Golden-workload runner: the ONE definition of "run machine X on its small
 // fixed workload and record the cycle-stamped retire trace".
 //
-// Three consumers share it so they can never drift apart:
-//  * tests/test_golden_traces.cpp — diffs both library backends against the
-//    checked-in tests/golden/*.trace files;
+// The trace format, diff and CLI live in machines/golden_trace.hpp; the
+// per-machine runners (golden_run_fig2, golden_run_strongarm_crc, ...) live
+// next to their machines so a freestanding generated simulator can inline
+// exactly one of them. This header adds the key-indexed dispatch the
+// machine-generic consumers share:
+//  * tests/test_golden_traces.cpp / tests/test_freestanding.cpp — diff the
+//    library backends against the checked-in tests/golden/*.trace files;
 //  * the rcpn_emit tool (examples/generated/) — builds the machine to lower
 //    and emit its standalone generated simulator;
-//  * generated_main() — the entry point emitted into every generated
-//    simulator: runs the same workload on Backend::generated and prints or
-//    diffs the same trace format (the CI generate→compile→verify gate).
+//  * generated_main() — the entry point emitted into every *linked-mode*
+//    generated simulator (freestanding artifacts call golden_cli_main with
+//    their machine's runner directly and never touch this dispatch).
 //
 // Machine keys: fig2, fig5, tomasulo, strongarm_crc, xscale_adpcm.
 #pragma once
 
-#include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "core/engine.hpp"
+#include "machines/golden_trace.hpp"
 
 namespace rcpn::machines {
-
-/// One retirement: the cycle it happened in, the instruction's pc and its
-/// dynamic sequence number — the full observable timing behaviour.
-struct GoldenRetireEvent {
-  core::Cycle cycle = 0;
-  std::uint64_t pc = 0;
-  std::uint32_t seq = 0;
-  bool operator==(const GoldenRetireEvent&) const = default;
-};
 
 /// The five machine keys, in canonical order.
 const std::vector<std::string>& golden_machine_keys();
@@ -43,33 +36,30 @@ std::string golden_model_name(const std::string& key);
 std::vector<GoldenRetireEvent> run_golden_machine(const std::string& key,
                                                   core::EngineOptions options);
 
+/// Same, returning the trace together with the engine's end-of-run
+/// statistics (the four-way differential harness compares both).
+GoldenRunResult run_golden_machine_full(const std::string& key,
+                                        core::EngineOptions options);
+
 /// Construct machine `key` (engine built, workload NOT run) and hand its net
 /// and engine to `fn` — the emitter's hook for lowering a model without
 /// simulating it.
 void inspect_golden_machine(const std::string& key, core::EngineOptions options,
-                            const std::function<void(core::Net&, core::Engine&)>& fn);
+                            const GoldenInspectFn& fn);
 
-// -- trace file format (tests/golden/*.trace) ---------------------------------
+// -- emission metadata (rcpn_emit --freestanding) -----------------------------
 
-/// Render a trace in golden format: a `# name ...` header line, then one
-/// `cycle pc(hex) seq` line per retirement.
-std::string format_golden_trace(const std::string& name,
-                                const std::vector<GoldenRetireEvent>& trace);
+/// C++ expression calling machine `key`'s golden runner with an
+/// `options` variable in scope, e.g. "rcpn::machines::golden_run_fig2(options)".
+std::string golden_run_expr(const std::string& key);
 
-/// Parse a golden file; false on a missing or malformed file.
-bool load_golden_trace(const std::string& path, std::vector<GoldenRetireEvent>& out);
+/// Repo-relative header declaring that runner (and the machine it
+/// constructs), e.g. "machines/simple_pipeline.hpp".
+std::string golden_run_header(const std::string& key);
 
-/// Empty string if equal; otherwise a message naming the first diverging
-/// retirement and the cycle it happened in.
-std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
-                               const std::vector<GoldenRetireEvent>& got);
-
-/// Entry point of a generated simulator binary (gen::emit_simulator emits a
-/// main() forwarding here). Runs `machine_key`'s golden workload on
-/// Backend::generated. Default: print the trace (golden format) to stdout.
-/// `--golden FILE`: diff against FILE instead; exit 1 naming the first
-/// diverging cycle. `--backend compiled|interpreted`: run a library backend
-/// instead (escape hatch for A/B timing).
+/// Entry point of a linked-mode generated simulator binary
+/// (gen::emit_simulator emits a main() forwarding here). Thin wrapper over
+/// golden_cli_main with machine `key`'s runner and default options.
 int generated_main(int argc, char** argv, const std::string& machine_key);
 
 }  // namespace rcpn::machines

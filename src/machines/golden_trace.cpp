@@ -1,0 +1,221 @@
+#include "machines/golden_trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rcpn::machines {
+
+void record_golden_retires(core::Engine& eng, std::vector<GoldenRetireEvent>& out) {
+  eng.hooks().on_retire = [&eng, &out](core::InstructionToken* t) {
+    out.push_back(GoldenRetireEvent{eng.clock(), t->pc, t->seq});
+  };
+}
+
+std::string format_golden_trace(const std::string& name,
+                                const std::vector<GoldenRetireEvent>& trace) {
+  std::ostringstream out;
+  out << "# " << name << " golden cycle-stamped retire trace: cycle pc(hex) seq\n";
+  for (const GoldenRetireEvent& e : trace)
+    out << e.cycle << " " << std::hex << e.pc << std::dec << " " << e.seq << "\n";
+  return out.str();
+}
+
+std::string format_golden_stats(const core::Stats& stats) {
+  std::ostringstream out;
+  out << "# stats cycles=" << stats.cycles << " retired=" << stats.retired
+      << " fetched=" << stats.fetched << " squashed=" << stats.squashed
+      << " reservations=" << stats.reservations << " firings=" << stats.firings
+      << "\n";
+  return out.str();
+}
+
+bool parse_golden_stats(const std::string& text, core::Stats& out) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# stats ", 0) != 0) continue;
+    unsigned long long cycles = 0, retired = 0, fetched = 0, squashed = 0,
+                       reservations = 0, firings = 0;
+    if (std::sscanf(line.c_str(),
+                    "# stats cycles=%llu retired=%llu fetched=%llu squashed=%llu "
+                    "reservations=%llu firings=%llu",
+                    &cycles, &retired, &fetched, &squashed, &reservations,
+                    &firings) != 6)
+      return false;
+    out.cycles = cycles;
+    out.retired = retired;
+    out.fetched = fetched;
+    out.squashed = squashed;
+    out.reservations = reservations;
+    out.firings = firings;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool parse_golden_stream(std::istream& in, std::vector<GoldenRetireEvent>& out) {
+  bool ok = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    GoldenRetireEvent e;
+    fields >> e.cycle >> std::hex >> e.pc >> std::dec >> e.seq;
+    ok = ok && !fields.fail();
+    out.push_back(e);
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool parse_golden_trace(const std::string& text, std::vector<GoldenRetireEvent>& out) {
+  std::istringstream in(text);
+  return parse_golden_stream(in, out);
+}
+
+bool load_golden_trace(const std::string& path, std::vector<GoldenRetireEvent>& out) {
+  std::ifstream in(path);
+  return in.good() && parse_golden_stream(in, out);
+}
+
+std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
+                               const std::vector<GoldenRetireEvent>& got) {
+  const std::size_t n = std::min(golden.size(), got.size());
+  std::ostringstream msg;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (golden[i] == got[i]) continue;
+    msg << "first divergence at retirement #" << i << ": golden {cycle "
+        << golden[i].cycle << ", pc 0x" << std::hex << golden[i].pc << std::dec
+        << ", seq " << golden[i].seq << "} vs got {cycle " << got[i].cycle << ", pc 0x"
+        << std::hex << got[i].pc << std::dec << ", seq " << got[i].seq << "}";
+    return msg.str();
+  }
+  if (golden.size() != got.size()) {
+    msg << "trace length differs (golden " << golden.size() << ", got " << got.size()
+        << "); first " << (golden.size() < got.size() ? "extra" : "missing")
+        << " retirement is #" << n;
+    if (n < got.size())
+      msg << " at cycle " << got[n].cycle;
+    else if (n < golden.size())
+      msg << " at golden cycle " << golden[n].cycle;
+    return msg.str();
+  }
+  return {};
+}
+
+int golden_cli_main(int argc, char** argv, const std::string& name,
+                    const GoldenRunFn& run, core::EngineOptions base) {
+  std::string golden_path;
+  bool print_stats = false;
+  long reps = 0;
+  core::EngineOptions options = base;
+  options.backend = core::Backend::generated;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--golden" && i + 1 < argc) {
+      golden_path = argv[++i];
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--time" && i + 1 < argc) {
+      reps = std::atol(argv[++i]);
+      if (reps <= 0) {
+        std::fprintf(stderr, "--time expects a positive repetition count\n");
+        return 2;
+      }
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const std::string b = argv[++i];
+      if (b == "interpreted") {
+        options.backend = core::Backend::interpreted;
+      } else if (b == "compiled") {
+        options.backend = core::Backend::compiled;
+      } else if (b != "generated") {
+        std::fprintf(stderr, "unknown backend '%s'\n", b.c_str());
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--golden FILE] [--stats] [--time N]\n"
+          "       [--backend generated|compiled|interpreted]\n"
+          "Runs the %s golden workload on the generated simulator engine.\n"
+          "Default: print the cycle-stamped retire trace to stdout.\n"
+          "--golden FILE: diff the trace against FILE; exit 1 on the first\n"
+          "divergence, naming its cycle.\n"
+          "--stats: also print the aggregate `# stats ...` line.\n"
+          "--time N: run the workload N times (plus a warm-up) and print one\n"
+          "`time ... secs=...` line instead of the trace.\n",
+          argv[0], name.c_str());
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (reps > 0) {
+    try {
+      run(options);  // warm-up: pools, page faults, branch predictors
+      std::uint64_t cycles = 0, retired = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (long i = 0; i < reps; ++i) {
+        const GoldenRunResult r = run(options);
+        cycles += r.stats.cycles;
+        retired += r.trace.size();
+      }
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      std::printf("time model=%s reps=%ld cycles=%llu retired=%llu secs=%.6f "
+                  "mcps=%.3f\n",
+                  name.c_str(), reps, static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(retired), secs,
+                  secs > 0 ? static_cast<double>(cycles) / secs / 1e6 : 0.0);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
+      return 2;
+    }
+    return 0;
+  }
+
+  GoldenRunResult result;
+  try {
+    result = run(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
+    return 2;
+  }
+  if (result.trace.empty()) {
+    std::fprintf(stderr, "%s: workload retired nothing\n", name.c_str());
+    return 1;
+  }
+
+  if (golden_path.empty()) {
+    std::fputs(format_golden_trace(name, result.trace).c_str(), stdout);
+    if (print_stats) std::fputs(format_golden_stats(result.stats).c_str(), stdout);
+    return 0;
+  }
+
+  if (print_stats) std::fputs(format_golden_stats(result.stats).c_str(), stdout);
+  std::vector<GoldenRetireEvent> golden;
+  if (!load_golden_trace(golden_path, golden)) {
+    std::fprintf(stderr, "%s: missing or malformed golden file %s\n", name.c_str(),
+                 golden_path.c_str());
+    return 2;
+  }
+  const std::string diff = diff_golden_traces(golden, result.trace);
+  if (!diff.empty()) {
+    std::fprintf(stderr, "%s (generated): %s\n", name.c_str(), diff.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu retirements match %s\n", name.c_str(), result.trace.size(),
+              golden_path.c_str());
+  return 0;
+}
+
+}  // namespace rcpn::machines

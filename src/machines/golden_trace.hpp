@@ -1,0 +1,93 @@
+// Golden-trace plumbing: the cycle-stamped retire-trace format of
+// tests/golden/*.trace, the first-diverging-cycle diff, and the generic CLI
+// main every golden-workload binary fronts.
+//
+// This file is deliberately free of machine includes so that a *freestanding*
+// generated simulator (gen::emit_simulator, EmitMode::freestanding) can inline
+// it next to one machine without dragging the other four in: the five
+// per-machine runners (golden_run_fig2, ... — declared in their machines'
+// own headers) and machines/golden_runner.hpp's key-dispatch both build on
+// exactly this module, so the library build and every emitted artifact share
+// one definition of "run the golden workload and diff the trace".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace rcpn::machines {
+
+/// One retirement: the cycle it happened in, the instruction's pc and its
+/// dynamic sequence number — the full observable timing behaviour.
+struct GoldenRetireEvent {
+  core::Cycle cycle = 0;
+  std::uint64_t pc = 0;
+  std::uint32_t seq = 0;
+  bool operator==(const GoldenRetireEvent&) const = default;
+};
+
+/// Everything one golden-workload run observes: the retire trace plus the
+/// engine's end-of-run statistics (the four-way differential harness compares
+/// both across backends and across process boundaries).
+struct GoldenRunResult {
+  std::vector<GoldenRetireEvent> trace;
+  core::Stats stats;
+};
+
+/// Run the machine's fixed golden workload under `options`; per-machine
+/// implementations live next to their machines (golden_run_fig2, ...).
+using GoldenRunFn = std::function<GoldenRunResult(core::EngineOptions)>;
+/// Hand a constructed-but-not-run machine's net and engine to the caller
+/// (the emitter's hook for lowering a model without simulating it).
+using GoldenInspectFn = std::function<void(core::Net&, core::Engine&)>;
+
+/// Install an on_retire hook appending to `out` (shared by every runner).
+void record_golden_retires(core::Engine& eng, std::vector<GoldenRetireEvent>& out);
+
+// -- trace file format (tests/golden/*.trace) ---------------------------------
+
+/// Render a trace in golden format: a `# name ...` header line, then one
+/// `cycle pc(hex) seq` line per retirement.
+std::string format_golden_trace(const std::string& name,
+                                const std::vector<GoldenRetireEvent>& trace);
+
+/// Aggregate statistics as one golden-format comment line
+/// (`# stats cycles=... retired=...`); trace parsers skip it, the four-way
+/// harness reads it back with parse_golden_stats.
+std::string format_golden_stats(const core::Stats& stats);
+
+/// Parse a trace in golden format; false on malformed content.
+bool parse_golden_trace(const std::string& text, std::vector<GoldenRetireEvent>& out);
+
+/// Recover the aggregate counters from a `# stats ...` line inside `text`;
+/// false if no such line exists or it is malformed.
+bool parse_golden_stats(const std::string& text, core::Stats& out);
+
+/// Parse a golden file; false on a missing or malformed file.
+bool load_golden_trace(const std::string& path, std::vector<GoldenRetireEvent>& out);
+
+/// Empty string if equal; otherwise a message naming the first diverging
+/// retirement and the cycle it happened in.
+std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
+                               const std::vector<GoldenRetireEvent>& got);
+
+/// Entry point of a golden-workload simulator binary. Runs `run` on
+/// Backend::generated over `base` options (the options the artifact was
+/// emitted for — schedule-affecting flags must match the generated tables or
+/// the engine's build() verification throws). Default: print the trace
+/// (golden format) to stdout. Flags:
+///   --golden FILE                     diff against FILE; exit 1 naming the
+///                                     first diverging cycle
+///   --stats                           also print the `# stats ...` line
+///   --time N                          timing mode: run the workload N times
+///                                     (plus one warm-up) and print one
+///                                     `time ... secs=...` line
+///   --backend generated|compiled|interpreted
+///                                     escape hatch for A/B timing
+int golden_cli_main(int argc, char** argv, const std::string& name,
+                    const GoldenRunFn& run, core::EngineOptions base = {});
+
+}  // namespace rcpn::machines

@@ -11,6 +11,7 @@
 // emittable as a standalone generated simulator (gen::emit_simulator).
 #pragma once
 
+#include "machines/golden_trace.hpp"
 #include "model/simulator.hpp"
 
 namespace rcpn::machines {
@@ -31,6 +32,12 @@ struct Fig2Machine {
 /// simulator sources).
 bool fig2_u1_guard(Fig2Machine& m, core::FireCtx& ctx);
 void fig2_u1_action(Fig2Machine& m, core::FireCtx& ctx);
+
+/// Golden-workload runner/inspector (key "fig2" in machines/golden_runner.hpp
+/// and in every generated simulator emitted for this model): 64 tokens
+/// through the Fig 2 pipeline.
+GoldenRunResult golden_run_fig2(core::EngineOptions options);
+void golden_inspect_fig2(core::EngineOptions options, const GoldenInspectFn& fn);
 
 class SimplePipeline {
  public:

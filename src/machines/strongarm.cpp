@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "workloads/workloads.hpp"
+
 namespace rcpn::machines {
 
 using arm::OpClass;
@@ -111,6 +113,25 @@ RunResult collect_result(const core::Engine& eng, const ArmMachine& m) {
   r.dcache_hit_ratio = m.mem.dcache().stats().hit_ratio();
   r.mispredicts = m.mispredicts;
   return r;
+}
+
+GoldenRunResult golden_run_strongarm_crc(core::EngineOptions options) {
+  StrongArmConfig cfg;
+  cfg.engine = options;
+  StrongArmSim sim(cfg);
+  GoldenRunResult r;
+  record_golden_retires(sim.engine(), r.trace);
+  sim.run(workloads::build(*workloads::find("crc"), /*scale=*/1), /*max_cycles=*/1500);
+  r.stats = sim.engine().stats();
+  return r;
+}
+
+void golden_inspect_strongarm_crc(core::EngineOptions options,
+                                  const GoldenInspectFn& fn) {
+  StrongArmConfig cfg;
+  cfg.engine = options;
+  StrongArmSim sim(cfg);
+  fn(sim.net(), sim.engine());
 }
 
 }  // namespace rcpn::machines

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "machines/arm_machine.hpp"
+#include "machines/golden_trace.hpp"
 #include "model/simulator.hpp"
 
 namespace rcpn::machines {
@@ -54,5 +55,12 @@ class StrongArmSim {
 
 /// Collect a RunResult from an engine + machine after a run.
 RunResult collect_result(const core::Engine& eng, const ArmMachine& m);
+
+/// Golden-workload runner/inspector (key "strongarm_crc"): a fixed 1500-cycle
+/// window of the crc kernel — long enough to cover icache/dcache misses,
+/// hazards and branches, small enough to check in.
+GoldenRunResult golden_run_strongarm_crc(core::EngineOptions options);
+void golden_inspect_strongarm_crc(core::EngineOptions options,
+                                  const GoldenInspectFn& fn);
 
 }  // namespace rcpn::machines

@@ -18,7 +18,7 @@ struct TomasuloMachine::Payload final : isa::Payload {
 };
 
 namespace {
-std::uint32_t alu_eval(Fig5Instr::AluOp op, std::uint32_t a, std::uint32_t b) {
+std::uint32_t tomasulo_alu_eval(Fig5Instr::AluOp op, std::uint32_t a, std::uint32_t b) {
   switch (op) {
     case Fig5Instr::AluOp::add: return a + b;
     case Fig5Instr::AluOp::sub: return a - b;
@@ -28,7 +28,7 @@ std::uint32_t alu_eval(Fig5Instr::AluOp op, std::uint32_t a, std::uint32_t b) {
   return 0;
 }
 
-const Fig5Instr& instr_of(const InstructionToken& t) {
+const Fig5Instr& tomasulo_instr_of(const InstructionToken& t) {
   return static_cast<TomasuloMachine::Payload*>(t.payload)->instr;
 }
 
@@ -127,16 +127,16 @@ void tomasulo_exec_action(TomasuloMachine& m, FireCtx& ctx) {
   src_fetch(t.ops[kSlotSrc1]);
   src_fetch(t.ops[kSlotSrc2]);
   // FU latency: multiplies occupy the unit longer.
-  t.next_delay = instr_of(t).op == Fig5Instr::AluOp::mul ? 3 : 1;
+  t.next_delay = tomasulo_instr_of(t).op == Fig5Instr::AluOp::mul ? 3 : 1;
   if (t.seq < m.last_exec_seq) m.observed_ooo = true;
   if (t.seq > m.last_exec_seq) m.last_exec_seq = t.seq;
 }
 
 void tomasulo_bcast_action(TomasuloMachine&, FireCtx& ctx) {
   InstructionToken& t = *ctx.token;
-  const Fig5Instr& i = instr_of(t);
+  const Fig5Instr& i = tomasulo_instr_of(t);
   t.ops[kSlotDst]->set_value(
-      alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
+      tomasulo_alu_eval(i.op, t.ops[kSlotSrc1]->value(), t.ops[kSlotSrc2]->value()));
 }
 
 void tomasulo_wb_action(TomasuloMachine&, FireCtx& ctx) {
@@ -216,6 +216,37 @@ void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMac
 std::uint64_t TomasuloCore::run(std::uint64_t max_cycles) {
   return sim_.drain(
       [](const TomasuloMachine& m) { return m.pc >= m.program.size(); }, max_cycles);
+}
+
+namespace {
+
+std::vector<Fig5Instr> tomasulo_golden_workload() {
+  using I = Fig5Instr;
+  return {
+      I::alui(I::AluOp::add, 1, 0, 3),
+      I::alu(I::AluOp::mul, 2, 1, 1),   // dependent chain
+      I::alu(I::AluOp::mul, 3, 2, 2),
+      I::alui(I::AluOp::add, 4, 0, 5),  // independent — issues out of order
+      I::alui(I::AluOp::add, 5, 4, 1),
+      I::alu(I::AluOp::xor_op, 6, 3, 5),
+  };
+}
+
+}  // namespace
+
+GoldenRunResult golden_run_tomasulo(core::EngineOptions options) {
+  TomasuloCore sim(4, 2, options);
+  GoldenRunResult r;
+  record_golden_retires(sim.engine(), r.trace);
+  sim.load(tomasulo_golden_workload());
+  sim.run();
+  r.stats = sim.engine().stats();
+  return r;
+}
+
+void golden_inspect_tomasulo(core::EngineOptions options, const GoldenInspectFn& fn) {
+  TomasuloCore sim(4, 2, options);
+  fn(sim.net(), sim.engine());
 }
 
 }  // namespace rcpn::machines

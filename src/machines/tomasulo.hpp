@@ -19,6 +19,7 @@
 
 #include "isa/decoder.hpp"
 #include "machines/fig5_processor.hpp"  // Fig5Instr
+#include "machines/golden_trace.hpp"
 #include "model/simulator.hpp"
 #include "regfile/reg_ref.hpp"
 
@@ -61,6 +62,11 @@ void tomasulo_bcast_action(TomasuloMachine& m, core::FireCtx& ctx);
 void tomasulo_wb_action(TomasuloMachine& m, core::FireCtx& ctx);
 bool tomasulo_fetch_guard(TomasuloMachine& m, core::FireCtx& ctx);
 void tomasulo_fetch_action(TomasuloMachine& m, core::FireCtx& ctx);
+
+/// Golden-workload runner/inspector (key "tomasulo"): the fixed
+/// six-instruction dependent/independent mix of tests/golden/tomasulo.trace.
+GoldenRunResult golden_run_tomasulo(core::EngineOptions options);
+void golden_inspect_tomasulo(core::EngineOptions options, const GoldenInspectFn& fn);
 
 class TomasuloCore {
  public:

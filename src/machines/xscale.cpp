@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "workloads/workloads.hpp"
+
 namespace rcpn::machines {
 
 using arm::OpClass;
@@ -145,6 +147,26 @@ RunResult XScaleSim::run(const sys::Program& program, std::uint64_t max_cycles) 
   machine().dcache.set_bypass(cfg_.decode_cache_bypass);
   sim_.run(max_cycles);
   return collect_result(sim_.engine(), machine());
+}
+
+GoldenRunResult golden_run_xscale_adpcm(core::EngineOptions options) {
+  XScaleConfig cfg;
+  cfg.engine = options;
+  XScaleSim sim(cfg);
+  GoldenRunResult r;
+  record_golden_retires(sim.engine(), r.trace);
+  sim.run(workloads::build(*workloads::find("adpcm"), /*scale=*/1),
+          /*max_cycles=*/1500);
+  r.stats = sim.engine().stats();
+  return r;
+}
+
+void golden_inspect_xscale_adpcm(core::EngineOptions options,
+                                 const GoldenInspectFn& fn) {
+  XScaleConfig cfg;
+  cfg.engine = options;
+  XScaleSim sim(cfg);
+  fn(sim.net(), sim.engine());
 }
 
 }  // namespace rcpn::machines

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "machines/arm_machine.hpp"
+#include "machines/golden_trace.hpp"
 #include "machines/strongarm.hpp"  // RunResult / collect_result
 #include "model/simulator.hpp"
 
@@ -44,5 +45,11 @@ class XScaleSim {
   XScaleConfig cfg_;
   model::Simulator<ArmPipeMachine> sim_;
 };
+
+/// Golden-workload runner/inspector (key "xscale_adpcm"): a fixed 1500-cycle
+/// window of the adpcm kernel.
+GoldenRunResult golden_run_xscale_adpcm(core::EngineOptions options);
+void golden_inspect_xscale_adpcm(core::EngineOptions options,
+                                 const GoldenInspectFn& fn);
 
 }  // namespace rcpn::machines

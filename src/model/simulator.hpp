@@ -74,13 +74,17 @@ class Simulator {
       eng_ = std::make_unique<gen::CompiledEngine>(net, options);
     } else if (options.backend == core::Backend::generated) {
       // A simulator source emitted by gen::emit_simulator() and linked into
-      // this binary registers its engine factory under the model name.
-      gen::GeneratedFactory factory = gen::find_generated_engine(net.name());
+      // this binary registers its engine factory under the model name plus
+      // the schedule-affecting options it was emitted for; ablation variants
+      // need their own emitted TU.
+      gen::GeneratedFactory factory = gen::find_generated_engine(net.name(), options);
       if (factory == nullptr)
-        throw ModelError("model '" + net.name() +
-                         "': Backend::generated requires the generated simulator "
-                         "translation unit (gen::emit_simulator output) to be "
-                         "linked in and registered");
+        throw ModelError(
+            "model '" + net.name() + "': Backend::generated with options [" +
+            gen::generated_options_desc(gen::generated_options_key(options)) +
+            "] requires the generated simulator translation unit "
+            "(gen::emit_simulator output for exactly these options) to be "
+            "linked in and registered");
       eng_ = factory(net, options);
     } else {
       eng_ = std::make_unique<core::Engine>(net, options);

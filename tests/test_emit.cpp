@@ -35,10 +35,10 @@ struct Emitted {
   std::string tables;
   std::string simulator;
   std::string simulator_no_main;
+  std::string freestanding;
 };
 
-Emitted emit_machine(const std::string& key) {
-  core::EngineOptions opts;
+Emitted emit_machine(const std::string& key, core::EngineOptions opts = {}) {
   opts.backend = core::Backend::compiled;
   Emitted out;
   machines::inspect_golden_machine(key, opts, [&](core::Net& net, core::Engine& eng) {
@@ -46,8 +46,18 @@ Emitted emit_machine(const std::string& key) {
     out.tables = gen::emit_cpp(ce.compiled(), net);
     gen::EmitSimOptions main_opts;
     main_opts.machine_key = key;
+    main_opts.engine_options = opts;
     out.simulator = gen::emit_simulator(ce.compiled(), net, main_opts);
-    out.simulator_no_main = gen::emit_simulator(ce.compiled(), net, {});
+    gen::EmitSimOptions no_main;
+    no_main.engine_options = opts;
+    out.simulator_no_main = gen::emit_simulator(ce.compiled(), net, no_main);
+    gen::EmitSimOptions fs;
+    fs.mode = gen::EmitMode::freestanding;
+    fs.engine_options = opts;
+    fs.machine_key = key;
+    fs.run_expr = machines::golden_run_expr(key);
+    fs.extra_roots.push_back(machines::golden_run_header(key));
+    out.freestanding = gen::emit_simulator(ce.compiled(), net, fs);
   });
   return out;
 }
@@ -62,6 +72,61 @@ TEST_P(Emitter, DeterministicByteIdenticalAcrossConstructions) {
   EXPECT_EQ(first.simulator, second.simulator)
       << key << ": emit_simulator not deterministic";
   EXPECT_EQ(first.simulator_no_main, second.simulator_no_main);
+  EXPECT_EQ(first.freestanding, second.freestanding)
+      << key << ": freestanding emission not deterministic";
+}
+
+TEST_P(Emitter, FreestandingInlinesTheRuntimeWithZeroRepoIncludes) {
+  const std::string key = GetParam();
+  const Emitted e = emit_machine(key);
+
+  // Zero quoted includes anywhere: the whole runtime subset is inlined.
+  EXPECT_EQ(e.freestanding.find("#include \""), std::string::npos);
+  // The inlined pieces the tentpole names: token storage + arena, the static
+  // engine, the model layer, and the golden-runner trace IO + CLI.
+  EXPECT_NE(e.freestanding.find("class TokenStore"), std::string::npos);
+  EXPECT_NE(e.freestanding.find("class TokenArena"), std::string::npos);
+  EXPECT_NE(e.freestanding.find("class StaticEngine"), std::string::npos);
+  EXPECT_NE(e.freestanding.find("class ModelBuilderBase"), std::string::npos);
+  EXPECT_NE(e.freestanding.find("golden_cli_main"), std::string::npos);
+  // The same Traits/dispatch/registrar structure as the linked emission.
+  EXPECT_NE(e.freestanding.find("struct Traits"), std::string::npos);
+  EXPECT_NE(e.freestanding.find("register_generated_engine"), std::string::npos);
+  EXPECT_NE(e.freestanding.find("int main(int argc, char** argv)"), std::string::npos);
+  // The default-schedule options stamp.
+  EXPECT_NE(e.freestanding.find("kOptTwoListStateRefs = true"), std::string::npos);
+  EXPECT_NE(e.freestanding.find("kOptForceTwoListAll = false"), std::string::npos);
+  EXPECT_NE(e.freestanding.find("kOptLinearSearch = false"), std::string::npos);
+}
+
+// Every ablation-variant schedule is emittable per machine: the stamped
+// options flip, the registrar key follows, and emission stays deterministic.
+TEST_P(Emitter, EmitsAblationVariantSchedules) {
+  const std::string key = GetParam();
+  const Emitted def = emit_machine(key);
+
+  core::EngineOptions two_list_all;
+  two_list_all.force_two_list_all = true;
+  const Emitted all = emit_machine(key, two_list_all);
+  EXPECT_NE(all.simulator_no_main.find("kOptForceTwoListAll = true"),
+            std::string::npos);
+  EXPECT_NE(all.freestanding.find("kOptForceTwoListAll = true"), std::string::npos);
+  EXPECT_NE(all.simulator_no_main, def.simulator_no_main)
+      << key << ": variant schedule emitted identical to the default";
+  EXPECT_EQ(all.simulator_no_main, emit_machine(key, two_list_all).simulator_no_main)
+      << key << ": variant emission not deterministic";
+
+  core::EngineOptions no_refs;
+  no_refs.two_list_state_refs = false;
+  EXPECT_NE(emit_machine(key, no_refs).simulator_no_main.find(
+                "kOptTwoListStateRefs = false"),
+            std::string::npos);
+
+  core::EngineOptions linear;
+  linear.linear_search = true;
+  EXPECT_NE(emit_machine(key, linear).simulator_no_main.find(
+                "kOptLinearSearch = true"),
+            std::string::npos);
 }
 
 TEST_P(Emitter, EmitsCompleteStandaloneSimulator) {
@@ -72,7 +137,9 @@ TEST_P(Emitter, EmitsCompleteStandaloneSimulator) {
   // The standalone pieces: traits over the machine type, registrar, main.
   EXPECT_NE(e.simulator.find("struct Traits"), std::string::npos);
   EXPECT_NE(e.simulator.find("rcpn::gen::StaticEngine<Traits>"), std::string::npos);
-  EXPECT_NE(e.simulator.find("register_generated_engine(\"" + model + "\""),
+  EXPECT_NE(e.simulator.find("register_generated_engine("), std::string::npos);
+  EXPECT_NE(e.simulator.find("\"" + model + "\","), std::string::npos);
+  EXPECT_NE(e.simulator.find("generated_options_key(Traits::kOptTwoListStateRefs"),
             std::string::npos);
   EXPECT_NE(e.simulator.find("int main(int argc, char** argv)"), std::string::npos);
   EXPECT_NE(e.simulator.find("generated_main(argc, argv, \"" + key + "\")"),
@@ -200,13 +267,80 @@ TEST(GeneratedBackend, UnregisteredModelThrowsModelError) {
                model::ModelError);
 }
 
-TEST(GeneratedBackend, RegistryRoundTrip) {
+TEST(GeneratedBackend, RegistryRoundTripKeyedByOptions) {
   const auto factory = [](core::Net& net, core::EngineOptions o)
       -> std::unique_ptr<core::Engine> { return std::make_unique<core::Engine>(net, o); };
-  gen::register_generated_engine("test-registry-model", factory);
+  const std::uint32_t default_key = gen::generated_options_key(core::EngineOptions{});
+  gen::register_generated_engine("test-registry-model", default_key, factory);
   EXPECT_NE(gen::find_generated_engine("test-registry-model"), nullptr);
+  // A variant key is a different registration slot.
+  core::EngineOptions variant;
+  variant.force_two_list_all = true;
+  EXPECT_EQ(gen::find_generated_engine("test-registry-model", variant), nullptr);
+  gen::register_generated_engine("test-registry-model",
+                                 gen::generated_options_key(variant), factory);
+  EXPECT_NE(gen::find_generated_engine("test-registry-model", variant), nullptr);
   const std::vector<std::string> names = gen::registered_generated_models();
-  EXPECT_NE(std::find(names.begin(), names.end(), "test-registry-model"), names.end());
+  EXPECT_EQ(std::count(names.begin(), names.end(), "test-registry-model"), 1)
+      << "variant registrations must not duplicate the model listing";
+}
+
+// Freestanding refusal: anonymous closures are rejected exactly as in linked
+// mode, and a model whose emit_include() is outside the embedded source set
+// is rejected naming the offending path.
+TEST(Emitter, FreestandingRejectsAnonymousClosures) {
+  core::EngineOptions opts;
+  opts.backend = core::Backend::compiled;
+  model::Simulator<ClosureMachine> sim(
+      "closures-fs", opts,
+      [](model::ModelBuilder<ClosureMachine>& b, ClosureMachine&) {
+        b.emit_machine_type("rcpn::ClosureMachine");
+        const model::StageHandle s = b.add_stage("S", 1);
+        const model::PlaceHandle p = b.add_place("P", s);
+        const model::TypeHandle ty = b.add_type("T");
+        int captured = 7;  // forces a boxed closure
+        b.add_transition("boxed", ty)
+            .from(p)
+            .guard([captured](core::FireCtx&) { return captured > 0; })
+            .to(b.end());
+      },
+      ClosureMachine{});
+  auto& ce = dynamic_cast<gen::CompiledEngine&>(sim.engine());
+  gen::EmitSimOptions fs;
+  fs.mode = gen::EmitMode::freestanding;
+  try {
+    gen::emit_simulator(ce.compiled(), sim.net(), fs);
+    FAIL() << "freestanding emission accepted an anonymous closure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("guard of 'boxed'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Emitter, FreestandingRejectsIncludesOutsideTheEmbeddedSet) {
+  core::EngineOptions opts;
+  opts.backend = core::Backend::compiled;
+  model::Simulator<ClosureMachine> sim(
+      "foreign-include", opts,
+      [](model::ModelBuilder<ClosureMachine>& b, ClosureMachine&) {
+        b.emit_machine_type("rcpn::ClosureMachine");
+        b.emit_include("not/embedded.hpp");
+        const model::StageHandle s = b.add_stage("S", 1);
+        const model::PlaceHandle p = b.add_place("P", s);
+        const model::TypeHandle ty = b.add_type("T");
+        b.add_transition("t", ty).from(p).to(b.end());
+      },
+      ClosureMachine{});
+  auto& ce = dynamic_cast<gen::CompiledEngine&>(sim.engine());
+  gen::EmitSimOptions fs;
+  fs.mode = gen::EmitMode::freestanding;
+  try {
+    gen::emit_simulator(ce.compiled(), sim.net(), fs);
+    FAIL() << "freestanding emission accepted a non-embedded include";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not/embedded.hpp"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

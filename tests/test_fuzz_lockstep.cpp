@@ -21,30 +21,23 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
-#include <random>
 #include <string>
+#include <sys/wait.h>
 #include <vector>
 
 #include "gen/compiled_engine.hpp"
+#include "gen/emit_simulator.hpp"
+#include "machines/fuzz_model.hpp"
 #include "model/simulator.hpp"
 
 namespace rcpn {
 namespace {
 
-using core::FireCtx;
-
-struct FuzzMachine {
-  std::uint64_t to_emit = 0;
-  std::uint64_t emitted = 0;
-  /// Counters mutated by generated actions; compared across backends at the
-  /// end, so action *execution order* differences surface even when traces
-  /// happen to agree.
-  std::uint64_t actions_run = 0;
-  std::uint64_t flushes = 0;
-  /// Backward (feedback) arc traversals: per-shard loop-coverage evidence.
-  std::uint64_t loops_taken = 0;
-};
+using machines::FuzzMachine;
 
 struct TraceEvent {
   core::Cycle cycle = 0;
@@ -67,216 +60,6 @@ void record(core::Engine& eng, Traces& out) {
   };
 }
 
-/// Build one random pipeline model. The generator draws every decision from
-/// a mt19937 seeded with `seed`, so the two Simulator instances (interpreted
-/// and compiled) construct byte-identical descriptions.
-void describe_random_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
-                           FuzzMachine& m) {
-  std::mt19937 rng(seed);
-  auto pick = [&rng](unsigned lo, unsigned hi) {  // inclusive range
-    return lo + static_cast<unsigned>(rng() % (hi - lo + 1));
-  };
-
-  const unsigned num_stages = pick(2, 6);
-  const unsigned num_places = num_stages + pick(0, 2);
-  const unsigned num_types = pick(1, 3);
-  const unsigned width = pick(1, 3);
-  m.to_emit = 80 + pick(0, 120);
-
-  // Stages with small random capacities; the fetch stage must hold a full
-  // issue group.
-  std::vector<model::StageHandle> stages;
-  std::vector<unsigned> caps;
-  for (unsigned s = 0; s < num_stages; ++s) {
-    unsigned cap = pick(1, 3);
-    if (s == 0 && cap < width) cap = width;
-    caps.push_back(cap);
-    stages.push_back(b.add_stage("S" + std::to_string(s), cap));
-  }
-  // Occasionally pin a middle stage to two-list (conservative forwarding
-  // timing), exercising the master/slave promotion path.
-  if (num_stages > 2 && pick(0, 2) == 0)
-    b.force_two_list(stages[1 + pick(0, num_stages - 3)], true);
-
-  // Places in pipeline order, distributed over the stages (several places may
-  // share one stage and its capacity).
-  std::vector<model::PlaceHandle> places;
-  std::vector<unsigned> place_stage;
-  for (unsigned i = 0; i < num_places; ++i) {
-    const unsigned s = i * num_stages / num_places;
-    place_stage.push_back(s);
-    places.push_back(
-        b.add_place("P" + std::to_string(i), stages[s], /*delay=*/pick(1, 2)));
-  }
-
-  // A roomy side stage for reservation tokens (orphans from flushes may
-  // accumulate; the stage must never backpressure the net into deadlock).
-  const model::StageHandle res_stage =
-      b.add_stage("RES", static_cast<std::uint32_t>(m.to_emit + 8));
-  const model::PlaceHandle res_place = b.add_place("RES", res_stage);
-
-  std::vector<model::TypeHandle> types;
-  for (unsigned t = 0; t < num_types; ++t)
-    types.push_back(b.add_type("T" + std::to_string(t)));
-
-  // Per type: an emit/consume reservation pair on the chain (consume sites
-  // get a fallback edge so a missing reservation stalls but never deadlocks).
-  std::vector<int> res_emit_at(num_types, -1), res_consume_at(num_types, -1);
-  for (unsigned t = 0; t < num_types; ++t) {
-    if (num_places >= 2 && pick(0, 1) == 0) {
-      const unsigned i = pick(0, num_places - 2);
-      res_emit_at[t] = static_cast<int>(i);
-      res_consume_at[t] = static_cast<int>(pick(i + 1, num_places - 1));
-    }
-  }
-
-  // Guard mixes. Everything is a deterministic function of token fields,
-  // the clock and machine counters, so both backends evaluate identically.
-  auto add_guard = [&](auto& tb, unsigned kind, unsigned backpressure_place) {
-    switch (kind) {
-      case 1:  // periodic stall keyed on token age and time
-        tb.guard([](FireCtx& ctx) {
-          return (ctx.token->seq + ctx.engine->clock()) % 3 != 0;
-        });
-        break;
-      case 2:  // coarse clock window
-        tb.guard([](FireCtx& ctx) { return (ctx.engine->clock() >> 2) % 2 == 0; });
-        break;
-      case 3: {  // state-referencing backpressure (declared via reads_state)
-        const core::PlaceId watched = places[backpressure_place];
-        tb.guard([watched](FireCtx& ctx) {
-          return ctx.engine->tokens_in_place(watched) < 2;
-        });
-        tb.reads_state(places[backpressure_place]);
-        break;
-      }
-      default:
-        break;
-    }
-  };
-  auto add_action = [&](auto& tb, unsigned kind, unsigned from_place) {
-    switch (kind) {
-      case 1:
-        tb.action([](FuzzMachine& fm, FireCtx&) { ++fm.actions_run; });
-        break;
-      case 2:  // token delay override for the next place entry
-        tb.action([](FireCtx& ctx) {
-          ctx.token->next_delay = 1 + ctx.token->seq % 3;
-        });
-        break;
-      case 3: {  // age-based flush of an earlier stage every 11th instruction
-        const core::StageId victim = stages[place_stage[pick(0, from_place)]];
-        tb.action([victim](FuzzMachine& fm, FireCtx& ctx) {
-          if (ctx.token->seq % 11 != 0) return;
-          ++fm.flushes;
-          const std::uint32_t older_than = ctx.token->seq;
-          ctx.engine->flush_stage_if(victim, [older_than](const core::Token& t) {
-            return t.kind == core::TokenKind::instruction &&
-                   static_cast<const core::InstructionToken&>(t).seq > older_than;
-          });
-        });
-        break;
-      }
-      default:
-        break;
-    }
-  };
-
-  // The sub-nets: for every (type, place) a forward edge (1-2 places ahead,
-  // falling off the end retires), plus occasional lower-priority forks and
-  // occasional *feedback* arcs ahead of the forward edge. This guarantees
-  // every token always has a candidate transition wherever it sits, so
-  // generated models cannot wedge on missing structure.
-  for (unsigned t = 0; t < num_types; ++t) {
-    for (unsigned i = 0; i < num_places; ++i) {
-      const unsigned jump = pick(1, 2);
-      const model::PlaceHandle target =
-          (i + jump < num_places) ? places[i + jump] : b.end();
-      const bool consume_here = res_consume_at[t] == static_cast<int>(i);
-      std::uint8_t prio = 0;
-
-      if (consume_here) {
-        // Highest-priority consuming edge; the plain edge below is the
-        // fallback.
-        auto tb = b.add_transition("c" + std::to_string(t) + "_" + std::to_string(i),
-                                   types[t]);
-        tb.from(places[i], prio++).consume_reservation(res_place).to(target);
-        add_action(tb, pick(0, 2), i);
-      }
-
-      // Feedback arc (Fig 5's L1 loop shape): send the token back to an
-      // earlier place, at most `trips` times per token (token->raw is the
-      // trip counter, reset at fetch), tried *before* the forward edge so it
-      // actually fires. The enclosed places form a real token cycle, so the
-      // engine's SCC analysis puts their stages on the two-list algorithm.
-      if (i >= 1 && pick(0, 4) == 0) {
-        const unsigned back = pick(0, i - 1);
-        const std::uint32_t trips = pick(1, 2);
-        auto lb = b.add_transition("l" + std::to_string(t) + "_" + std::to_string(i),
-                                   types[t]);
-        lb.from(places[i], prio++).to(places[back]);
-        lb.guard([trips](FireCtx& ctx) { return ctx.token->raw < trips; });
-        lb.action([](FuzzMachine& fm, FireCtx& ctx) {
-          ++fm.loops_taken;
-          ++ctx.token->raw;
-        });
-      }
-
-      const std::uint8_t main_prio = prio;
-      auto tb = b.add_transition("t" + std::to_string(t) + "_" + std::to_string(i),
-                                 types[t]);
-      tb.from(places[i], main_prio).to(target);
-      if (res_emit_at[t] == static_cast<int>(i)) tb.emit_reservation(res_place);
-      // Backpressure guards must watch a strictly *later* place: watching your
-      // own (or an earlier) place can deadlock once it fills, and liveness of
-      // the generated model is proven by induction from the last place back.
-      unsigned guard_kind = pick(0, 3) == 1 ? pick(1, 3) : 0;
-      if (guard_kind == 3 && i + 1 >= num_places) guard_kind = 1;
-      add_guard(tb, guard_kind, i + 1 < num_places ? pick(i + 1, num_places - 1) : i);
-      add_action(tb, pick(0, 4) == 0 ? 3 : pick(0, 2), i);
-
-      if (pick(0, 3) == 0) {  // fork: alternative route at lower priority
-        const unsigned fjump = pick(1, 3);
-        const model::PlaceHandle ftarget =
-            (i + fjump < num_places) ? places[i + fjump] : b.end();
-        auto fb = b.add_transition("f" + std::to_string(t) + "_" + std::to_string(i),
-                                   types[t]);
-        fb.from(places[i], static_cast<std::uint8_t>(main_prio + 1)).to(ftarget);
-        add_action(fb, pick(0, 2), i);
-      }
-    }
-  }
-
-  // Multi-issue fetch: up to `width` fresh tokens per cycle, type and pc a
-  // deterministic hash of the emission index.
-  const core::PlaceId entry = places[0];
-  const unsigned type_count = num_types;
-  std::vector<core::TypeId> type_ids;
-  for (auto th : types) type_ids.push_back(th);
-  b.add_independent_transition("fetch")
-      .guard([](FuzzMachine& fm, FireCtx&) { return fm.emitted < fm.to_emit; })
-      .action([entry, type_count, type_ids](FuzzMachine& fm, FireCtx& ctx) {
-        core::InstructionToken* tok = ctx.engine->acquire_pooled_instruction();
-        tok->type = type_ids[(fm.emitted * 2654435761u >> 8) % type_count];
-        tok->pc = 0x1000 + fm.emitted * 4;
-        tok->raw = 0;  // feedback-arc trip counter (recycled tokens keep raw)
-        ++fm.emitted;
-        ctx.engine->emit_instruction(tok, entry);
-      })
-      .max_fires_per_cycle(static_cast<int>(width))
-      .to(places[0]);
-}
-
-core::EngineOptions options_for(unsigned seed, core::Backend backend) {
-  core::EngineOptions o;
-  o.backend = backend;
-  // Exercise the ablation analyses too: some seeds double-buffer every stage,
-  // some drop the state-reference rule. Both engines get identical options.
-  o.force_two_list_all = seed % 7 == 3;
-  o.two_list_state_refs = seed % 5 != 4;
-  o.deadlock_limit = 20000;
-  return o;
-}
 
 void expect_stats_equal(unsigned seed, const core::Stats& i, const core::Stats& c) {
   EXPECT_EQ(i.cycles, c.cycles) << "seed=" << seed;
@@ -306,9 +89,9 @@ void run_seed(unsigned seed, Coverage& cov) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
   auto make = [seed](core::Backend backend) {
     return std::make_unique<model::Simulator<FuzzMachine>>(
-        "fuzz-" + std::to_string(seed), options_for(seed, backend),
+        machines::fuzz_model_name(seed), machines::fuzz_options_for(seed, backend),
         [seed](model::ModelBuilder<FuzzMachine>& b, FuzzMachine& m) {
-          describe_random_model(seed, b, m);
+          machines::describe_fuzz_model(seed, b, m);
         },
         FuzzMachine{});
   };
@@ -398,6 +181,90 @@ TEST(FuzzLockstep, Seeds1To48) { run_seed_range(1, 48); }
 TEST(FuzzLockstep, Seeds49To88) { run_seed_range(49, 88); }
 
 TEST(FuzzLockstep, Seeds89To128) { run_seed_range(89, 128); }
+
+// ---------------------------------------------------------------------------
+// Freestanding shard: fuzz coverage reaches the *emitter*, not just the
+// in-process backends. A small CI-budgeted set of seeded topologies is
+// emitted as freestanding single-file simulators (gen::emit_simulator,
+// EmitMode::freestanding), compiled at test time with the configured host
+// compiler — zero repo includes, no library objects on the link line — run,
+// and trace-diffed against the interpreted backend through the emitted
+// binary's own --golden first-diverging-cycle reporting. The seeds cross the
+// option mix of fuzz_options_for, so ablation-variant emission is fuzzed too.
+// ---------------------------------------------------------------------------
+
+int run_command(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  if (status < 0 || !WIFEXITED(status)) return -1;  // signal death != exit 0
+  return WEXITSTATUS(status);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TEST(FuzzFreestanding, EmittedShardMatchesInterpretedTraces) {
+#ifndef RCPN_CXX_COMPILER
+  GTEST_SKIP() << "host compiler not configured (RCPN_CXX_COMPILER)";
+#else
+  const std::string dir = ::testing::TempDir() + "fuzz_freestanding";
+  ASSERT_EQ(run_command("mkdir -p " + dir), 0);
+
+  unsigned emitted_variants = 0;
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const std::string name = machines::fuzz_model_name(seed);
+    const core::EngineOptions opts =
+        machines::fuzz_options_for(seed, core::Backend::compiled);
+    if (opts.force_two_list_all || !opts.two_list_state_refs) ++emitted_variants;
+
+    // Emit the freestanding TU from a lowered in-process construction.
+    model::Simulator<FuzzMachine> sim(
+        name, opts,
+        [seed](model::ModelBuilder<FuzzMachine>& b, FuzzMachine& m) {
+          machines::describe_fuzz_model(seed, b, m);
+        },
+        FuzzMachine{});
+    auto& ce = dynamic_cast<gen::CompiledEngine&>(sim.engine());
+    gen::EmitSimOptions fs;
+    fs.mode = gen::EmitMode::freestanding;
+    fs.engine_options = opts;
+    fs.machine_key = name;
+    fs.run_expr =
+        "rcpn::machines::golden_run_fuzz(" + std::to_string(seed) + "u, options)";
+    fs.extra_roots.push_back("machines/fuzz_model.hpp");
+    const std::string src = gen::emit_simulator(ce.compiled(), sim.net(), fs);
+    ASSERT_EQ(src.find("#include \""), std::string::npos)
+        << "freestanding TU pulled a repo include";
+    ASSERT_NE(src.find("fuzz_"), std::string::npos)
+        << "dispatch lost the fuzz delegates";
+
+    const std::string base = dir + "/" + name;
+    { std::ofstream(base + ".cpp") << src; }
+
+    // The interpreted backend's trace is the reference the binary diffs.
+    const machines::GoldenRunResult interp = machines::golden_run_fuzz(
+        seed, machines::fuzz_options_for(seed, core::Backend::interpreted));
+    ASSERT_FALSE(interp.trace.empty());
+    { std::ofstream(base + ".trace") << machines::format_golden_trace(name, interp.trace); }
+
+    // Compile standalone: no include dirs, no library objects.
+    const std::string compile = std::string(RCPN_CXX_COMPILER) + " -std=c++20 -O0 -o " +
+                                base + " " + base + ".cpp 2> " + base + ".err";
+    ASSERT_EQ(run_command(compile), 0)
+        << "freestanding TU failed to compile:\n" << slurp(base + ".err");
+
+    const std::string run = base + " --golden " + base + ".trace > " + base +
+                            ".out 2>&1";
+    EXPECT_EQ(run_command(run), 0)
+        << "freestanding binary diverged from the interpreted backend:\n"
+        << slurp(base + ".out");
+  }
+  EXPECT_GT(emitted_variants, 0u)
+      << "the shard never emitted an ablation-variant schedule";
+#endif
+}
 
 }  // namespace
 }  // namespace rcpn
