@@ -17,13 +17,16 @@
 // --no-two-list-state-refs / --linear-search flags emit ablation-variant
 // schedules (stamped into the artifact and verified at build()).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
 #include "gen/compiled_engine.hpp"
 #include "gen/emit.hpp"
 #include "gen/emit_simulator.hpp"
+#include "machines/fuzz_model.hpp"
 #include "machines/golden_runner.hpp"
+#include "model/simulator.hpp"
 
 using namespace rcpn;
 
@@ -38,7 +41,8 @@ int usage(const char* argv0, int code) {
   for (const std::string& key : machines::golden_machine_keys())
     std::fprintf(stderr, " %s", key.c_str());
   std::fprintf(stderr,
-               "\n  default: emit the standalone generated simulator (with main)\n"
+               ", or fuzz-<seed> (seeded random model, generic main)\n"
+               "  default: emit the standalone generated simulator (with main)\n"
                "  --no-main: emit engine + registrar only (link into another binary)\n"
                "  --freestanding: inline the runtime subset — the emitted file\n"
                "                  compiles with no repo includes and links against\n"
@@ -47,8 +51,46 @@ int usage(const char* argv0, int code) {
                "                  emit an ablation-variant schedule (stamped and\n"
                "                  verified at build())\n"
                "  --tables:  emit the static-schedule table dump (gen::emit_cpp)\n"
-               "  --dot:     emit the model structure for graphviz (gen::emit_dot)\n");
+               "  --dot:     emit the model structure for graphviz (gen::emit_dot)\n"
+               "A fuzz-<seed> artifact's main is the *generic* CLI\n"
+               "(machines/generic_main.hpp): positional arg = emit count,\n"
+               "--cycles N = cycle budget.\n");
   return code;
+}
+
+/// Build machine `key` — a golden key or "fuzz-<seed>" — and hand its net and
+/// (compiled) engine to `fn`, like inspect_golden_machine but fuzz-aware.
+void inspect_machine(const std::string& key, core::EngineOptions options,
+                     const machines::GoldenInspectFn& fn) {
+  if (key.rfind("fuzz-", 0) == 0) {
+    const unsigned seed =
+        static_cast<unsigned>(std::strtoul(key.c_str() + 5, nullptr, 10));
+    model::Simulator<machines::FuzzMachine> sim(
+        machines::fuzz_model_name(seed), options,
+        [seed](model::ModelBuilder<machines::FuzzMachine>& b,
+               machines::FuzzMachine& m) { machines::describe_fuzz_model(seed, b, m); },
+        machines::FuzzMachine{});
+    fn(sim.net(), sim.engine());
+    return;
+  }
+  machines::inspect_golden_machine(key, options, fn);
+}
+
+/// The generic-main expressions for a fuzz-<seed> model: re-create the seed's
+/// description, take the emit count from argv, drain when it is reached.
+void fill_fuzz_generic_main(const std::string& key, gen::EmitSimOptions& emit_opts) {
+  const std::string seed = key.substr(5);
+  const std::string m = "rcpn::machines::FuzzMachine";
+  emit_opts.generic_describe_expr =
+      "[](rcpn::model::ModelBuilder<" + m + ">& b, " + m +
+      "& m) { rcpn::machines::describe_fuzz_model(" + seed + "u, b, m); }";
+  emit_opts.generic_workload_expr =
+      "[](" + m +
+      "& m, const std::vector<std::string>& args) {\n"
+      "        if (!args.empty()) m.to_emit = std::strtoull(args[0].c_str(), nullptr, "
+      "10);\n"
+      "      }";
+  emit_opts.generic_done_expr = "[](const " + m + "& m) { return m.emitted >= m.to_emit; }";
 }
 
 }  // namespace
@@ -90,9 +132,10 @@ int main(int argc, char** argv) {
     return usage(argv[0], 2);
   }
 
+  const bool fuzz = machine.rfind("fuzz-", 0) == 0;
   std::string source;
   try {
-    machines::inspect_golden_machine(
+    inspect_machine(
         machine, options, [&](core::Net& net, core::Engine& eng) {
           auto& ce = dynamic_cast<gen::CompiledEngine&>(eng);
           if (dot) {
@@ -104,10 +147,17 @@ int main(int argc, char** argv) {
             emit_opts.engine_options = options;
             if (freestanding) {
               emit_opts.mode = gen::EmitMode::freestanding;
-              emit_opts.extra_roots.push_back(machines::golden_run_header(machine));
-              if (with_main) emit_opts.run_expr = machines::golden_run_expr(machine);
+              emit_opts.extra_roots.push_back(
+                  fuzz ? "machines/fuzz_model.hpp" : machines::golden_run_header(machine));
+              if (with_main && !fuzz)
+                emit_opts.run_expr = machines::golden_run_expr(machine);
             }
-            if (with_main) emit_opts.machine_key = machine;
+            if (with_main) {
+              if (fuzz)
+                fill_fuzz_generic_main(machine, emit_opts);
+              else
+                emit_opts.machine_key = machine;
+            }
             source = gen::emit_simulator(ce.compiled(), net, emit_opts);
           }
         });

@@ -1,0 +1,244 @@
+#include "farm/executor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "machines/fuzz_model.hpp"
+#include "machines/golden_runner.hpp"
+
+namespace rcpn::farm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+JobResult ok_result(const machines::GoldenRunResult& run) {
+  JobResult r;
+  r.status = JobStatus::ok;
+  r.stats = run.stats;
+  r.retired = run.trace.size();
+  r.digest = trace_digest(run.trace);
+  return r;
+}
+
+JobResult failed_result(std::string why) {
+  JobResult r;
+  r.status = JobStatus::failed;
+  r.error = std::move(why);
+  return r;
+}
+
+/// "fuzz" (seed from spec.seed) or "fuzz-<n>" (explicit). Returns true and
+/// fills `seed` if `machine` names a fuzz model.
+bool parse_fuzz_machine(const JobSpec& spec, unsigned& seed) {
+  if (spec.machine == "fuzz") {
+    seed = static_cast<unsigned>(spec.seed);
+    return true;
+  }
+  if (spec.machine.rfind("fuzz-", 0) == 0) {
+    seed = static_cast<unsigned>(std::strtoul(spec.machine.c_str() + 5, nullptr, 10));
+    return true;
+  }
+  return false;
+}
+
+/// Tail of `out` for error messages: enough to show the child's complaint
+/// without dumping a whole trace into the report.
+std::string output_tail(const std::string& out, std::size_t max = 400) {
+  const std::string trimmed =
+      out.size() <= max ? out : "..." + out.substr(out.size() - max);
+  std::string flat = trimmed;
+  for (char& c : flat)
+    if (c == '\n') c = ' ';
+  return flat;
+}
+
+}  // namespace
+
+JobResult InProcessExecutor::execute(const JobSpec& spec, std::uint64_t timeout_ms,
+                                     const CancelToken& cancel) {
+  (void)timeout_ms;  // cooperative only — the farm's monitor owns the clock
+  const auto t0 = Clock::now();
+  JobResult result;
+  try {
+    if (spec.machine == kThrowJobKey) {
+      throw std::runtime_error("injected failure (" + std::string(kThrowJobKey) + ")");
+    } else if (spec.machine == kHangJobKey) {
+      // Spin until the monitor cancels us; the timeout result is committed by
+      // the monitor, this return value is discarded by the abandoned worker.
+      while (!cancel.cancelled())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      result = failed_result("hung job cancelled");
+    } else {
+      unsigned fuzz_seed = 0;
+      if (parse_fuzz_machine(spec, fuzz_seed)) {
+        result = ok_result(
+            machines::golden_run_fuzz(fuzz_seed, spec.options, spec.cycle_budget));
+      } else {
+        // Unknown keys throw std::invalid_argument here — captured below.
+        result = ok_result(machines::run_golden_machine_full(spec.machine, spec.options));
+      }
+    }
+  } catch (const std::exception& e) {
+    result = failed_result(e.what());
+  } catch (...) {
+    result = failed_result("unknown exception");
+  }
+  result.wall_seconds = seconds_since(t0);
+  return result;
+}
+
+namespace {
+
+enum class SpawnOutcome { exited, timed_out, spawn_failed };
+
+/// fork/exec `argv`, capture stdout+stderr, enforce `deadline` with SIGKILL.
+/// `cancel` is polled alongside the deadline so a cancelled farm reaps its
+/// children promptly.
+SpawnOutcome spawn_with_deadline(const std::vector<std::string>& argv,
+                                 Clock::time_point deadline,
+                                 const CancelToken& cancel, std::string& out,
+                                 int& exit_code) {
+  out.clear();
+  exit_code = -1;
+
+  int fds[2];
+  if (::pipe(fds) != 0) return SpawnOutcome::spawn_failed;
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return SpawnOutcome::spawn_failed;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed (missing binary): a distinctive exit code
+  }
+
+  ::close(fds[1]);
+  bool killed = false;
+  char buf[4096];
+  for (;;) {
+    const auto now = Clock::now();
+    if (!killed && (now >= deadline || cancel.cancelled())) {
+      ::kill(pid, SIGKILL);
+      killed = true;
+    }
+    const auto budget = killed ? Clock::duration(std::chrono::milliseconds(100))
+                               : deadline - now;
+    const int wait_ms = static_cast<int>(std::max<long long>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(budget).count()));
+    struct pollfd pfd{fds[0], POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, std::min(wait_ms, 50));
+    if (pr > 0) {
+      const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+      if (n > 0) {
+        out.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      break;  // EOF (or read error): child closed its end
+    }
+    // pr == 0: poll slice elapsed — loop to re-check deadline/cancellation.
+    if (pr < 0 && errno != EINTR) break;
+  }
+  ::close(fds[0]);
+
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return SpawnOutcome::spawn_failed;
+  if (killed) return SpawnOutcome::timed_out;
+  if (WIFEXITED(status)) {
+    exit_code = WEXITSTATUS(status);
+    return SpawnOutcome::exited;
+  }
+  exit_code = WIFSIGNALED(status) ? 128 + WTERMSIG(status) : -1;
+  return SpawnOutcome::exited;
+}
+
+}  // namespace
+
+JobResult SubprocessExecutor::execute(const JobSpec& spec, std::uint64_t timeout_ms,
+                                      const CancelToken& cancel) {
+  const auto t0 = Clock::now();
+  const auto deadline = t0 + std::chrono::milliseconds(timeout_ms);
+
+  std::vector<std::string> argv;
+  argv.push_back(config_.bin_dir + "/" + config_.bin_prefix + spec.machine);
+  argv.push_back("--stats");
+  // The freestanding binary's generated tables are stamped with the options
+  // it was emitted under; other backends/schedules go through its CLI flags
+  // (a generated-backend run under mismatched options fails verification in
+  // the child and surfaces here as a nonzero exit).
+  if (spec.options.backend != core::Backend::generated) {
+    argv.push_back("--backend");
+    argv.push_back(backend_name(spec.options.backend));
+  }
+  if (spec.options.force_two_list_all) argv.push_back("--force-two-list-all");
+  if (!spec.options.two_list_state_refs) argv.push_back("--no-two-list-state-refs");
+  if (spec.options.linear_search) argv.push_back("--linear-search");
+
+  std::string out;
+  int exit_code = -1;
+  const SpawnOutcome outcome =
+      spawn_with_deadline(argv, deadline, cancel, out, exit_code);
+
+  JobResult result;
+  result.wall_seconds = seconds_since(t0);
+  result.exit_code = exit_code;
+  switch (outcome) {
+    case SpawnOutcome::spawn_failed:
+      result.status = JobStatus::failed;
+      result.error = "failed to spawn " + argv[0];
+      return result;
+    case SpawnOutcome::timed_out:
+      result.status = JobStatus::timeout;
+      result.error = "timed out after " + std::to_string(timeout_ms) + "ms (SIGKILL)";
+      return result;
+    case SpawnOutcome::exited:
+      break;
+  }
+  if (exit_code != 0) {
+    result.status = JobStatus::failed;
+    result.error = argv[0] + " exited with " + std::to_string(exit_code) + ": " +
+                   output_tail(out);
+    return result;
+  }
+
+  std::vector<machines::GoldenRetireEvent> trace;
+  core::Stats stats;
+  if (!machines::parse_golden_trace(out, trace) ||
+      !machines::parse_golden_stats(out, stats)) {
+    result.status = JobStatus::failed;
+    result.error = "unparseable simulator output: " + output_tail(out);
+    return result;
+  }
+  result.status = JobStatus::ok;
+  result.stats = stats;
+  result.retired = trace.size();
+  result.digest = trace_digest(trace);
+  return result;
+}
+
+}  // namespace rcpn::farm

@@ -1,0 +1,79 @@
+// The two ways SimFarm hosts a job, behind one interface.
+//
+// InProcessExecutor constructs and runs the model inside the worker thread —
+// fastest (no process spawn, shared code pages), but a thread cannot be
+// killed: its timeouts are *cooperative* (the farm's monitor cancels the
+// job's CancelToken and abandons the thread; well-behaved long jobs poll the
+// token, and the engine's own deadlock watchdog bounds wedged nets).
+// SubprocessExecutor spawns the machine's freestanding gen_fs_<machine>
+// binary and parses its golden-format stdout — one fork/exec per job, but
+// hard isolation: a crash is an exit code, a hang is a SIGKILL, and the
+// simulation cannot corrupt farm memory.
+//
+// execute() never throws: every failure mode (model exception, unknown key,
+// spawn failure, nonzero exit, unparseable output) becomes a JobResult with
+// status failed/timeout and a human-readable reason.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "farm/job.hpp"
+
+namespace rcpn::farm {
+
+/// Cooperative cancellation flag shared between a worker and the farm's
+/// timeout monitor. Executors (and the fault-injection hang job) poll it.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+class JobExecutor {
+ public:
+  virtual ~JobExecutor() = default;
+
+  /// Run `spec` to completion (or failure). Must not throw; must not block
+  /// past `timeout_ms` if enforces_timeout(), and should return early with a
+  /// failed result once `cancel` fires otherwise.
+  virtual JobResult execute(const JobSpec& spec, std::uint64_t timeout_ms,
+                            const CancelToken& cancel) = 0;
+
+  /// True if execute() itself guarantees return within the timeout (the
+  /// subprocess executor kills its child); false if the farm's monitor must
+  /// supervise the job (in-process threads are only cooperatively bounded).
+  virtual bool enforces_timeout() const = 0;
+};
+
+class InProcessExecutor final : public JobExecutor {
+ public:
+  JobResult execute(const JobSpec& spec, std::uint64_t timeout_ms,
+                    const CancelToken& cancel) override;
+  bool enforces_timeout() const override { return false; }
+};
+
+class SubprocessExecutor final : public JobExecutor {
+ public:
+  struct Config {
+    std::string bin_dir;                 // where the gen_fs_* binaries live
+    std::string bin_prefix = "gen_fs_";  // binary name = prefix + spec.machine
+  };
+
+  explicit SubprocessExecutor(Config config) : config_(std::move(config)) {}
+
+  JobResult execute(const JobSpec& spec, std::uint64_t timeout_ms,
+                    const CancelToken& cancel) override;
+  bool enforces_timeout() const override { return true; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace rcpn::farm

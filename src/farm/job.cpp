@@ -1,0 +1,89 @@
+#include "farm/job.hpp"
+
+#include <sstream>
+
+#include "gen/generated.hpp"
+
+namespace rcpn::farm {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  // Mix fixed-width little-endian bytes so the digest is layout-independent.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* executor_name(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::in_process: return "in-process";
+    case ExecutorKind::subprocess: return "subprocess";
+  }
+  return "?";
+}
+
+const char* backend_name(core::Backend backend) {
+  switch (backend) {
+    case core::Backend::interpreted: return "interpreted";
+    case core::Backend::compiled: return "compiled";
+    case core::Backend::generated: return "generated";
+  }
+  return "?";
+}
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::ok: return "ok";
+    case JobStatus::failed: return "failed";
+    case JobStatus::timeout: return "timeout";
+  }
+  return "?";
+}
+
+std::string job_key(const JobSpec& spec) {
+  // One canonical field order; every identity-defining field spelled by a
+  // stable name (enum values never leak as raw integers). timeout_ms is a
+  // patience knob, not an identity — see the header.
+  std::ostringstream key;
+  key << "machine=" << spec.machine
+      << ";backend=" << backend_name(spec.options.backend)
+      << ";options=" << gen::generated_options_key(spec.options)
+      << ";deadlock=" << spec.options.deadlock_limit
+      << ";seed=" << spec.seed
+      << ";cycles=" << spec.cycle_budget
+      << ";executor=" << executor_name(spec.executor);
+  return key.str();
+}
+
+std::uint64_t job_hash(const JobSpec& spec) {
+  const std::string key = job_key(spec);
+  return fnv1a_bytes(kFnvOffset, key.data(), key.size());
+}
+
+std::uint64_t trace_digest(const std::vector<machines::GoldenRetireEvent>& trace) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& e : trace) {
+    h = fnv1a_u64(h, e.cycle);
+    h = fnv1a_u64(h, e.pc);
+    h = fnv1a_u64(h, e.seq);
+  }
+  return h;
+}
+
+}  // namespace rcpn::farm

@@ -1,0 +1,38 @@
+#include "farm/result_cache.hpp"
+
+namespace rcpn::farm {
+
+bool ResultCache::lookup(std::uint64_t hash, JobResult& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  out = it->second->second;
+  out.cached = true;
+  out.wall_seconds = 0.0;
+  return true;
+}
+
+void ResultCache::insert(std::uint64_t hash, const JobResult& result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    it->second->second = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(hash, result);
+  index_[hash] = lru_.begin();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace rcpn::farm

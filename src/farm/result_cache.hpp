@@ -1,0 +1,47 @@
+// Bounded, thread-safe LRU cache of job results, keyed by job_hash().
+//
+// The farm consults it before executing a job and inserts successful results
+// after: re-running an identical sweep grid (same canonical job keys) does
+// zero simulation work. Only status == ok results are cached — a failure or
+// timeout may be transient (load spike, missing binary just built), so it is
+// retried on the next submission. Capacity is a hard bound on retained
+// results; eviction is least-recently-used (lookups refresh recency).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "farm/job.hpp"
+
+namespace rcpn::farm {
+
+class ResultCache {
+ public:
+  /// `capacity` == 0 disables the cache (lookup always misses, insert drops).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// If `hash` is cached, copy its result into `out` with `cached` set and
+  /// the wall clock zeroed (the simulation did not run) and return true.
+  bool lookup(std::uint64_t hash, JobResult& out);
+
+  /// Retain `result` for `hash` (intended for status == ok only; the farm
+  /// enforces that policy). Overwrites an existing entry; evicts the least
+  /// recently used entry when full.
+  void insert(std::uint64_t hash, const JobResult& result);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, JobResult>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+};
+
+}  // namespace rcpn::farm

@@ -1,0 +1,323 @@
+#include "farm/sim_farm.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "farm/executor.hpp"
+#include "farm/result_cache.hpp"
+
+namespace rcpn::farm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::string default_bin_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  const std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+struct SimFarm::Impl {
+  // All mutable state a worker touches after abandonment lives either in the
+  // shared RunState (kept alive by the worker's shared_ptr) or in this Impl
+  // (kept alive until ~Impl has joined the zombies) — an abandoned thread
+  // never dereferences freed farm memory.
+  struct Slot {
+    std::mutex mu;
+    std::size_t job = kNoJob;
+    Clock::time_point deadline{};
+    bool supervised = false;
+    std::shared_ptr<CancelToken> token;
+    /// Bumped when the monitor abandons this slot's thread; a worker whose
+    /// generation no longer matches must exit without committing anything.
+    std::uint64_t generation = 0;
+  };
+
+  struct WorkDeque {
+    std::mutex mu;
+    std::deque<std::size_t> q;
+  };
+
+  struct RunState {
+    std::vector<JobSpec> jobs;
+    std::vector<std::uint64_t> hashes;
+    std::vector<JobResult> results;
+    std::unique_ptr<std::atomic<bool>[]> claimed;  // exactly-once commit guard
+    std::atomic<std::size_t> done{0};
+    std::vector<std::unique_ptr<WorkDeque>> deques;  // one per worker slot
+    std::vector<std::unique_ptr<Slot>> slots;
+    std::mutex threads_mu;
+    std::vector<std::thread> threads;  // slot-indexed current worker thread
+    std::atomic<bool> monitor_stop{false};
+    std::mutex progress_mu;
+  };
+
+  FarmOptions opts;
+  InProcessExecutor in_process;
+  SubprocessExecutor subprocess;
+  ResultCache cache;
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::mutex zombies_mu;
+  std::vector<std::thread> zombies;  // abandoned workers, joined at teardown
+
+  explicit Impl(FarmOptions o)
+      : opts(std::move(o)),
+        subprocess(SubprocessExecutor::Config{
+            opts.bin_dir.empty() ? default_bin_dir() : opts.bin_dir}),
+        cache(opts.cache_entries) {}
+
+  ~Impl() {
+    // Zombies exit once their job's CancelToken fired (cancelled at the
+    // moment of abandonment) and the job code cooperates; see the hard-hang
+    // caveat in the header.
+    std::lock_guard<std::mutex> lock(zombies_mu);
+    for (std::thread& t : zombies)
+      if (t.joinable()) t.join();
+  }
+
+  JobExecutor& executor_for(const JobSpec& spec) {
+    return spec.executor == ExecutorKind::subprocess
+               ? static_cast<JobExecutor&>(subprocess)
+               : static_cast<JobExecutor&>(in_process);
+  }
+
+  void commit(RunState& rs, std::size_t j, const JobResult& r) {
+    if (rs.claimed[j].exchange(true)) return;  // the monitor already timed it out
+    rs.results[j] = r;
+    const std::size_t done = rs.done.fetch_add(1) + 1;
+    if (opts.on_job_done) {
+      std::lock_guard<std::mutex> lock(rs.progress_mu);
+      opts.on_job_done(done, rs.jobs.size(), j, r);
+    }
+  }
+
+  /// Pop the next job: own deque from the back (LIFO keeps a worker on the
+  /// jobs it was dealt), then steal from the fronts of the others. All jobs
+  /// are enqueued before the workers start, so a full empty scan means the
+  /// grid is drained and the worker may exit.
+  std::size_t next_job(RunState& rs, std::size_t wi) {
+    {
+      WorkDeque& d = *rs.deques[wi];
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (!d.q.empty()) {
+        const std::size_t j = d.q.back();
+        d.q.pop_back();
+        return j;
+      }
+    }
+    for (std::size_t off = 1; off < rs.deques.size(); ++off) {
+      WorkDeque& d = *rs.deques[(wi + off) % rs.deques.size()];
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (!d.q.empty()) {
+        const std::size_t j = d.q.front();
+        d.q.pop_front();
+        return j;
+      }
+    }
+    return kNoJob;
+  }
+
+  void worker_loop(std::shared_ptr<RunState> rs, std::size_t wi, std::uint64_t my_gen) {
+    for (;;) {
+      const std::size_t j = next_job(*rs, wi);
+      if (j == kNoJob) return;
+
+      // Copy the spec so the executor never aliases the shared jobs vector,
+      // even from a thread the monitor has abandoned.
+      const JobSpec spec = rs->jobs[j];
+      JobResult result;
+      if (cache.lookup(rs->hashes[j], result)) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        commit(*rs, j, result);
+        continue;
+      }
+
+      JobExecutor& ex = executor_for(spec);
+      const std::uint64_t timeout_ms =
+          spec.timeout_ms != 0 ? spec.timeout_ms : opts.default_timeout_ms;
+      auto token = std::make_shared<CancelToken>();
+      Slot& slot = *rs->slots[wi];
+      {
+        std::lock_guard<std::mutex> lock(slot.mu);
+        if (slot.generation != my_gen) return;
+        slot.job = j;
+        slot.deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+        slot.supervised = !ex.enforces_timeout();
+        slot.token = token;
+      }
+
+      result = ex.execute(spec, timeout_ms, *token);
+      executed.fetch_add(1, std::memory_order_relaxed);
+
+      bool still_mine = false;
+      {
+        std::lock_guard<std::mutex> lock(slot.mu);
+        still_mine = slot.generation == my_gen;
+        if (still_mine) {
+          slot.job = kNoJob;
+          slot.token.reset();
+        }
+      }
+      if (!still_mine) return;  // timed out and replaced: result discarded
+
+      if (result.status == JobStatus::ok) cache.insert(rs->hashes[j], result);
+      commit(*rs, j, result);
+    }
+  }
+
+  /// Fail every job still queued in deque `wi` (last-resort path when a
+  /// replacement worker cannot be spawned and no other worker exists to
+  /// steal the leftovers).
+  void drain_deque_as_failed(RunState& rs, std::size_t wi, const std::string& why) {
+    for (;;) {
+      std::size_t j = kNoJob;
+      {
+        WorkDeque& d = *rs.deques[wi];
+        std::lock_guard<std::mutex> lock(d.mu);
+        if (d.q.empty()) break;
+        j = d.q.back();
+        d.q.pop_back();
+      }
+      JobResult r;
+      r.status = JobStatus::failed;
+      r.error = why;
+      commit(rs, j, r);
+    }
+  }
+
+  void monitor_loop(std::shared_ptr<RunState> rs) {
+    while (!rs->monitor_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const auto now = Clock::now();
+      for (std::size_t wi = 0; wi < rs->slots.size(); ++wi) {
+        Slot& slot = *rs->slots[wi];
+        std::size_t j = kNoJob;
+        std::uint64_t newgen = 0;
+        {
+          std::lock_guard<std::mutex> lock(slot.mu);
+          if (slot.job == kNoJob || !slot.supervised || now < slot.deadline) continue;
+          if (rs->claimed[slot.job].exchange(true)) continue;  // worker just won
+          j = slot.job;
+          slot.token->cancel();
+          slot.job = kNoJob;
+          slot.token.reset();
+          newgen = ++slot.generation;
+        }
+
+        const JobSpec& spec = rs->jobs[j];
+        const std::uint64_t timeout_ms =
+            spec.timeout_ms != 0 ? spec.timeout_ms : opts.default_timeout_ms;
+        JobResult r;
+        r.status = JobStatus::timeout;
+        r.error = "timed out after " + std::to_string(timeout_ms) +
+                  "ms (in-process worker abandoned, replacement spawned)";
+        rs->results[j] = r;
+        const std::size_t done = rs->done.fetch_add(1) + 1;
+
+        {
+          std::lock_guard<std::mutex> lock(rs->threads_mu);
+          {
+            std::lock_guard<std::mutex> zlock(zombies_mu);
+            zombies.push_back(std::move(rs->threads[wi]));
+          }
+          try {
+            rs->threads[wi] = std::thread(&Impl::worker_loop, this, rs, wi, newgen);
+          } catch (const std::exception& e) {
+            // No replacement thread: other workers will steal this deque; if
+            // this was the only worker, fail the leftovers rather than hang.
+            std::fprintf(stderr, "rcpn-farm: worker replacement failed: %s\n", e.what());
+            if (rs->slots.size() == 1)
+              drain_deque_as_failed(*rs, wi, "worker replacement failed");
+          }
+        }
+
+        if (opts.on_job_done) {
+          std::lock_guard<std::mutex> lock(rs->progress_mu);
+          opts.on_job_done(done, rs->jobs.size(), j, r);
+        }
+      }
+    }
+  }
+
+  FarmReport run(std::vector<JobSpec> jobs) {
+    const auto t0 = Clock::now();
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned nw =
+        std::max(1u, opts.workers != 0 ? opts.workers : (hw != 0 ? hw : 4u));
+
+    auto rs = std::make_shared<RunState>();
+    rs->jobs = std::move(jobs);
+    const std::size_t n = rs->jobs.size();
+    rs->hashes.resize(n);
+    rs->results.resize(n);
+    rs->claimed = std::make_unique<std::atomic<bool>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rs->hashes[i] = job_hash(rs->jobs[i]);
+      rs->claimed[i].store(false, std::memory_order_relaxed);
+    }
+    for (unsigned w = 0; w < nw; ++w) {
+      rs->deques.push_back(std::make_unique<WorkDeque>());
+      rs->slots.push_back(std::make_unique<Slot>());
+    }
+    for (std::size_t i = 0; i < n; ++i) rs->deques[i % nw]->q.push_back(i);
+
+    std::thread monitor;
+    if (n != 0) {
+      rs->threads.reserve(nw);
+      for (unsigned w = 0; w < nw; ++w)
+        rs->threads.emplace_back(&Impl::worker_loop, this, rs, w, 0);
+      monitor = std::thread(&Impl::monitor_loop, this, rs);
+      while (rs->done.load(std::memory_order_acquire) < n)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      rs->monitor_stop.store(true, std::memory_order_relaxed);
+      monitor.join();
+      std::lock_guard<std::mutex> lock(rs->threads_mu);
+      for (std::thread& t : rs->threads)
+        if (t.joinable()) t.join();
+      rs->threads.clear();
+    }
+
+    FarmReport report;
+    report.workers = nw;
+    report.wall_seconds = seconds_since(t0);
+    report.jobs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      report.jobs.push_back(JobRecord{rs->jobs[i], rs->hashes[i], rs->results[i]});
+    return report;
+  }
+};
+
+SimFarm::SimFarm(FarmOptions options) : impl_(std::make_unique<Impl>(std::move(options))) {}
+SimFarm::~SimFarm() = default;
+
+FarmReport SimFarm::run(std::vector<JobSpec> jobs) { return impl_->run(std::move(jobs)); }
+
+std::uint64_t SimFarm::executed() const {
+  return impl_->executed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SimFarm::cache_hits() const {
+  return impl_->hits.load(std::memory_order_relaxed);
+}
+
+}  // namespace rcpn::farm

@@ -1,0 +1,79 @@
+// SimFarm: the sharded batch-simulation engine.
+//
+// run(jobs) distributes the jobs round-robin over per-worker work-stealing
+// deques (each worker pops its own deque from the back and steals from the
+// fronts of the others when empty), executes every job through its spec's
+// executor, and returns a FarmReport in submission order. Invariants:
+//
+//  * A failing job never fails the farm. Executors convert exceptions into
+//    failed results; an in-process job that outlives its wall-clock timeout
+//    is claimed as `timeout` by the monitor thread, its CancelToken is
+//    cancelled, and the stuck worker thread is abandoned (parked until it
+//    cooperates) while a replacement thread takes over its deque — the rest
+//    of the grid always completes. Subprocess jobs enforce their own
+//    timeout with SIGKILL and need no supervision.
+//  * Each job's result is committed exactly once (worker/monitor races are
+//    resolved by an atomic claim), and the report lists jobs in submission
+//    order regardless of which worker ran them when.
+//  * Successful results enter a bounded LRU cache keyed by job_hash(); the
+//    cache persists across run() calls on the same farm, so re-running an
+//    identical grid does zero simulation work.
+//
+// Hard-hang caveat: an in-process job that never polls its CancelToken and
+// never trips the engine's deadlock watchdog cannot be killed — its thread
+// is abandoned and joined in ~SimFarm, which then blocks. Use the
+// subprocess executor when jobs are untrusted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "farm/job.hpp"
+#include "farm/report.hpp"
+
+namespace rcpn::farm {
+
+struct FarmOptions {
+  /// Worker thread count; 0 = std::thread::hardware_concurrency().
+  unsigned workers = 0;
+  /// Timeout for jobs whose spec leaves timeout_ms at 0.
+  std::uint64_t default_timeout_ms = 30000;
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_entries = 256;
+  /// Directory holding the gen_fs_<machine> binaries for the subprocess
+  /// executor; empty = directory of the current executable.
+  std::string bin_dir;
+  /// Progress callback, invoked with the farm-wide progress lock held (calls
+  /// are serialized): (completed count, total, job index, its result).
+  std::function<void(std::size_t, std::size_t, std::size_t, const JobResult&)>
+      on_job_done;
+};
+
+class SimFarm {
+ public:
+  explicit SimFarm(FarmOptions options = {});
+  ~SimFarm();  // joins abandoned (timed-out) worker threads
+  SimFarm(const SimFarm&) = delete;
+  SimFarm& operator=(const SimFarm&) = delete;
+
+  /// Run the grid to completion. Not reentrant: one run() at a time.
+  FarmReport run(std::vector<JobSpec> jobs);
+
+  /// Jobs actually simulated (cache misses), cumulative over run() calls.
+  std::uint64_t executed() const;
+  /// Jobs served from the result cache, cumulative over run() calls.
+  std::uint64_t cache_hits() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Directory of the running executable (via /proc/self/exe) — the default
+/// search path for sibling gen_fs_* binaries.
+std::string default_bin_dir();
+
+}  // namespace rcpn::farm

@@ -81,6 +81,27 @@ struct EmitSimOptions {
   /// emit_include()s — typically the header declaring run_expr's runner
   /// (golden_run_header()).
   std::vector<std::string> extra_roots;
+
+  /// Generic main() (machines/generic_main.hpp) for models *without* a
+  /// golden-runner key — mutually exclusive with machine_key. A C++ lambda
+  /// expression of type void(model::ModelBuilder<M>&, M&) re-creating the
+  /// model description, e.g.
+  ///   "[](rcpn::model::ModelBuilder<rcpn::machines::FuzzMachine>& b,
+  ///       rcpn::machines::FuzzMachine& m) {
+  ///      rcpn::machines::describe_fuzz_model(7u, b, m); }"
+  /// The emitted main() supports --cycles N and workload-from-argv, so the
+  /// artifact is farm-runnable. Works in both emission modes.
+  std::string generic_describe_expr;
+
+  /// Optional with generic_describe_expr: a lambda expression of type
+  /// void(M&, const std::vector<std::string>&) applying the positional CLI
+  /// arguments to the machine before the run (default: ignore them).
+  std::string generic_workload_expr;
+
+  /// Optional with generic_describe_expr: a lambda expression of type
+  /// bool(const M&) — the completion predicate (default: run to the
+  /// --cycles cap).
+  std::string generic_done_expr;
 };
 
 /// Render the standalone simulator source. Throws std::runtime_error if the

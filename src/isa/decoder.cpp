@@ -6,6 +6,7 @@ DecodeCache::Entry* DecodeCache::build_entry(Entry* e, std::uint32_t pc,
                                              std::uint32_t raw) {
   e->pc = pc;
   e->raw = raw;
+  e->stale = false;
   e->operands.clear();
   e->token = core::InstructionToken{};
   e->token.pc = pc;
@@ -42,8 +43,9 @@ core::InstructionToken* DecodeCache::get_slow(std::uint32_t pc, std::uint32_t ra
   }
 
   Entry* e = it->second.get();
-  if (e->raw != raw) {
-    // Self-modifying code: rebuild in place.
+  if (e->raw != raw || e->stale) {
+    // Self-modifying code, or a token left in flight by an interrupted
+    // previous run (reset_runtime): rebuild in place.
     ++stats_.rebuilds;
     return &build_entry(e, pc, raw)->token;
   }
@@ -71,6 +73,20 @@ void DecodeCache::clear() {
   bypass_graveyard_.clear();
   fast_.assign(fast_.size(), FastSlot{});
   stats_ = Stats{};
+}
+
+void DecodeCache::reset_runtime() {
+  for (auto& [pc, e] : entries_) {
+    // Clones exist only for in-flight collisions; after an engine reset no
+    // token is legitimately in flight, so the chains are dead weight.
+    e->clone.reset();
+    if (e->token.in_flight) e->stale = true;
+    e->token.reset_dynamic();
+  }
+  bypass_graveyard_.clear();
+  // The fast index may point at freed clones; get_slow repopulates it (and
+  // filters stale entries) on first touch per pc.
+  fast_.assign(fast_.size(), FastSlot{});
 }
 
 }  // namespace rcpn::isa

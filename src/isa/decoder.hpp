@@ -33,6 +33,11 @@ class DecodeCache {
     std::unique_ptr<Payload> payload;
     std::uint32_t pc = 0;
     std::uint32_t raw = 0;
+    /// Set by reset_runtime() for entries whose token was in flight when the
+    /// previous run stopped: their operands may hold reservations into
+    /// machine state that was since torn down, so the entry is rebuilt on its
+    /// next lookup instead of reused.
+    bool stale = false;
     /// Next clone for in-flight collisions.
     std::unique_ptr<Entry> clone;
   };
@@ -74,6 +79,13 @@ class DecodeCache {
   const Stats& stats() const { return stats_; }
   std::size_t size() const { return entries_.size(); }
   void clear();
+
+  /// Program-reload reset that *keeps* the decoded entries (clear() throws
+  /// all decode work away): drops the clone chains and the bypass graveyard,
+  /// resets every token's dynamic state and invalidates the fast index.
+  /// Entries whose token was still in flight are marked stale and rebuilt on
+  /// next use — see Entry::stale. Stats are preserved (they span reloads).
+  void reset_runtime();
 
  private:
   Entry* build_entry(Entry* e, std::uint32_t pc, std::uint32_t raw);

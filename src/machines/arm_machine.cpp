@@ -101,7 +101,11 @@ void ArmMachine::load_program(const sys::Program& program) {
   rf.write_cell(arm::kRegSp, program.initial_sp);
   pc = program.entry;
   sys.reset();
-  dcache.clear();
+  // Keep decoded entries across reloads (paper §5: decode once, cache the
+  // token): a changed encoding at a pc rebuilds via the raw check, and
+  // entries whose token was mid-flight when the previous run stopped are
+  // rebuilt via the stale flag. Only the dynamic state resets here.
+  dcache.reset_runtime();
   if (bp) bp->reset();
   nullified_count = mispredicts = taken_branches = 0;
 }

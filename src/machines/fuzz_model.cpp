@@ -284,7 +284,8 @@ core::EngineOptions fuzz_options_for(unsigned seed, core::Backend backend) {
 
 std::string fuzz_model_name(unsigned seed) { return "fuzz-" + std::to_string(seed); }
 
-GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options) {
+GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options,
+                                std::uint64_t max_cycles) {
   model::Simulator<FuzzMachine> sim(
       fuzz_model_name(seed), options,
       [seed](model::ModelBuilder<FuzzMachine>& b, FuzzMachine& m) {
@@ -293,7 +294,7 @@ GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options) {
       FuzzMachine{});
   GoldenRunResult r;
   record_golden_retires(sim.engine(), r.trace);
-  constexpr std::uint64_t kMaxCycles = 25000;
+  const std::uint64_t kMaxCycles = max_cycles != 0 ? max_cycles : 25000;
   std::uint64_t cycle = 0;
   for (; cycle < kMaxCycles; ++cycle) {
     if (sim.machine().emitted >= sim.machine().to_emit &&

@@ -78,6 +78,9 @@ std::string fuzz_model_name(unsigned seed);
 /// Golden-style runner: construct the seed's model under `options`, run it
 /// until every token drained, return the retire trace + stats. Throws
 /// std::runtime_error if the model wedges (deadlock watchdog / cycle cap).
-GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options);
+/// `max_cycles` overrides the drain cap (0 = the default 25000) — the farm's
+/// per-job cycle budget.
+GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options,
+                                std::uint64_t max_cycles = 0);
 
 }  // namespace rcpn::machines

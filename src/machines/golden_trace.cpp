@@ -139,17 +139,28 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
         std::fprintf(stderr, "unknown backend '%s'\n", b.c_str());
         return 2;
       }
+    } else if (arg == "--force-two-list-all") {
+      options.force_two_list_all = true;
+    } else if (arg == "--no-two-list-state-refs") {
+      options.two_list_state_refs = false;
+    } else if (arg == "--linear-search") {
+      options.linear_search = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--golden FILE] [--stats] [--time N]\n"
           "       [--backend generated|compiled|interpreted]\n"
+          "       [--force-two-list-all] [--no-two-list-state-refs]\n"
+          "       [--linear-search]\n"
           "Runs the %s golden workload on the generated simulator engine.\n"
           "Default: print the cycle-stamped retire trace to stdout.\n"
           "--golden FILE: diff the trace against FILE; exit 1 on the first\n"
           "divergence, naming its cycle.\n"
           "--stats: also print the aggregate `# stats ...` line.\n"
           "--time N: run the workload N times (plus a warm-up) and print one\n"
-          "`time ... secs=...` line instead of the trace.\n",
+          "`time ... secs=...` line instead of the trace.\n"
+          "The schedule flags select ablation variants; the generated backend\n"
+          "only accepts the options its tables were emitted for (use\n"
+          "--backend compiled to run other schedules from this binary).\n",
           argv[0], name.c_str());
       return 0;
     } else {

@@ -87,6 +87,11 @@ std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
 ///                                     `time ... secs=...` line
 ///   --backend generated|compiled|interpreted
 ///                                     escape hatch for A/B timing
+///   --force-two-list-all, --no-two-list-state-refs, --linear-search
+///                                     schedule-ablation variants (the
+///                                     generated backend rejects options its
+///                                     tables were not emitted for — combine
+///                                     with --backend compiled)
 int golden_cli_main(int argc, char** argv, const std::string& name,
                     const GoldenRunFn& run, core::EngineOptions base = {});
 

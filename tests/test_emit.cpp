@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gen/compiled_engine.hpp"
+#include "gen/embed.hpp"
 #include "gen/emit.hpp"
 #include "gen/emit_simulator.hpp"
 #include "gen/generated.hpp"
@@ -51,13 +52,17 @@ Emitted emit_machine(const std::string& key, core::EngineOptions opts = {}) {
     gen::EmitSimOptions no_main;
     no_main.engine_options = opts;
     out.simulator_no_main = gen::emit_simulator(ce.compiled(), net, no_main);
-    gen::EmitSimOptions fs;
-    fs.mode = gen::EmitMode::freestanding;
-    fs.engine_options = opts;
-    fs.machine_key = key;
-    fs.run_expr = machines::golden_run_expr(key);
-    fs.extra_roots.push_back(machines::golden_run_header(key));
-    out.freestanding = gen::emit_simulator(ce.compiled(), net, fs);
+    // Freestanding emission needs the embedded source table; builds with
+    // RCPN_NO_EMBED=ON leave out.freestanding empty and skip its assertions.
+    if (!gen::embedded_file_paths().empty()) {
+      gen::EmitSimOptions fs;
+      fs.mode = gen::EmitMode::freestanding;
+      fs.engine_options = opts;
+      fs.machine_key = key;
+      fs.run_expr = machines::golden_run_expr(key);
+      fs.extra_roots.push_back(machines::golden_run_header(key));
+      out.freestanding = gen::emit_simulator(ce.compiled(), net, fs);
+    }
   });
   return out;
 }
@@ -77,6 +82,8 @@ TEST_P(Emitter, DeterministicByteIdenticalAcrossConstructions) {
 }
 
 TEST_P(Emitter, FreestandingInlinesTheRuntimeWithZeroRepoIncludes) {
+  if (gen::embedded_file_paths().empty())
+    GTEST_SKIP() << "embedded source table stripped (RCPN_NO_EMBED=ON)";
   const std::string key = GetParam();
   const Emitted e = emit_machine(key);
 
@@ -110,7 +117,8 @@ TEST_P(Emitter, EmitsAblationVariantSchedules) {
   const Emitted all = emit_machine(key, two_list_all);
   EXPECT_NE(all.simulator_no_main.find("kOptForceTwoListAll = true"),
             std::string::npos);
-  EXPECT_NE(all.freestanding.find("kOptForceTwoListAll = true"), std::string::npos);
+  if (!all.freestanding.empty())
+    EXPECT_NE(all.freestanding.find("kOptForceTwoListAll = true"), std::string::npos);
   EXPECT_NE(all.simulator_no_main, def.simulator_no_main)
       << key << ": variant schedule emitted identical to the default";
   EXPECT_EQ(all.simulator_no_main, emit_machine(key, two_list_all).simulator_no_main)
@@ -289,6 +297,8 @@ TEST(GeneratedBackend, RegistryRoundTripKeyedByOptions) {
 // mode, and a model whose emit_include() is outside the embedded source set
 // is rejected naming the offending path.
 TEST(Emitter, FreestandingRejectsAnonymousClosures) {
+  if (gen::embedded_file_paths().empty())
+    GTEST_SKIP() << "embedded source table stripped (RCPN_NO_EMBED=ON)";
   core::EngineOptions opts;
   opts.backend = core::Backend::compiled;
   model::Simulator<ClosureMachine> sim(
@@ -318,6 +328,8 @@ TEST(Emitter, FreestandingRejectsAnonymousClosures) {
 }
 
 TEST(Emitter, FreestandingRejectsIncludesOutsideTheEmbeddedSet) {
+  if (gen::embedded_file_paths().empty())
+    GTEST_SKIP() << "embedded source table stripped (RCPN_NO_EMBED=ON)";
   core::EngineOptions opts;
   opts.backend = core::Backend::compiled;
   model::Simulator<ClosureMachine> sim(

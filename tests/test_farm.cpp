@@ -1,0 +1,287 @@
+// SimFarm: job identity hashing, scheduling-independent determinism, fault
+// injection (throwing and hanging jobs), the result cache, and subprocess
+// executor parity with in-process runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "farm/job.hpp"
+#include "farm/sim_farm.hpp"
+#include "machines/golden_runner.hpp"
+
+using namespace rcpn;
+
+namespace {
+
+farm::JobSpec golden_spec(const std::string& machine, std::uint64_t seed = 0) {
+  farm::JobSpec spec;
+  spec.machine = machine;
+  spec.options.backend = core::Backend::compiled;
+  spec.seed = seed;
+  return spec;
+}
+
+farm::JobSpec fuzz_spec(std::uint64_t seed, std::uint64_t budget = 4000) {
+  farm::JobSpec spec;
+  spec.machine = "fuzz";
+  spec.options.backend = core::Backend::compiled;
+  spec.seed = seed;
+  spec.cycle_budget = budget;
+  return spec;
+}
+
+/// The mixed in-process grid the determinism and cache tests share: every
+/// golden machine plus two fuzz topologies, under two schedule variants.
+std::vector<farm::JobSpec> mixed_grid() {
+  std::vector<farm::JobSpec> jobs;
+  for (const std::string& key : machines::golden_machine_keys()) {
+    jobs.push_back(golden_spec(key));
+    farm::JobSpec ablated = golden_spec(key, 1);
+    ablated.options.force_two_list_all = true;
+    jobs.push_back(ablated);
+  }
+  jobs.push_back(fuzz_spec(7));
+  jobs.push_back(fuzz_spec(11));
+  return jobs;
+}
+
+farm::FarmReport run_fresh(const std::vector<farm::JobSpec>& jobs, unsigned workers,
+                           std::uint64_t timeout_ms = 30000) {
+  farm::FarmOptions fo;
+  fo.workers = workers;
+  fo.default_timeout_ms = timeout_ms;
+  farm::SimFarm sim_farm(std::move(fo));
+  return sim_farm.run(jobs);
+}
+
+}  // namespace
+
+// -- job identity -------------------------------------------------------------
+
+TEST(FarmJob, KeyCoversIdentityFieldsOnly) {
+  const farm::JobSpec base = golden_spec("fig2");
+  const std::uint64_t h = farm::job_hash(base);
+
+  // timeout_ms is a runtime knob, not identity: same hash.
+  farm::JobSpec timed = base;
+  timed.timeout_ms = 1234;
+  EXPECT_EQ(farm::job_hash(timed), h);
+
+  // Every identity field changes the hash.
+  farm::JobSpec other = base;
+  other.machine = "fig5";
+  EXPECT_NE(farm::job_hash(other), h);
+  other = base;
+  other.seed = 1;
+  EXPECT_NE(farm::job_hash(other), h);
+  other = base;
+  other.executor = farm::ExecutorKind::subprocess;
+  EXPECT_NE(farm::job_hash(other), h);
+  other = base;
+  other.options.backend = core::Backend::interpreted;
+  EXPECT_NE(farm::job_hash(other), h);
+  other = base;
+  other.options.force_two_list_all = true;
+  EXPECT_NE(farm::job_hash(other), h);
+  other = base;
+  other.cycle_budget = 999;
+  EXPECT_NE(farm::job_hash(other), h);
+  other = base;
+  other.options.deadlock_limit = 5;
+  EXPECT_NE(farm::job_hash(other), h);
+}
+
+TEST(FarmJob, KeyIsStableAcrossCalls) {
+  const farm::JobSpec spec = fuzz_spec(42);
+  EXPECT_EQ(farm::job_key(spec), farm::job_key(spec));
+  EXPECT_EQ(farm::job_hash(spec), farm::job_hash(spec));
+  EXPECT_NE(farm::job_key(spec).find("machine=fuzz"), std::string::npos);
+  EXPECT_NE(farm::job_key(spec).find("seed=42"), std::string::npos);
+}
+
+// -- determinism --------------------------------------------------------------
+
+TEST(FarmDeterminism, OneWorkerAndFourWorkersProduceIdenticalStableReports) {
+  const std::vector<farm::JobSpec> jobs = mixed_grid();
+  const farm::FarmReport serial = run_fresh(jobs, 1);
+  const farm::FarmReport parallel = run_fresh(jobs, 4);
+
+  ASSERT_EQ(serial.jobs.size(), jobs.size());
+  EXPECT_EQ(serial.count(farm::JobStatus::ok), jobs.size());
+  EXPECT_EQ(parallel.count(farm::JobStatus::ok), jobs.size());
+  EXPECT_EQ(serial.stable_json(), parallel.stable_json());
+
+  // Submission order is preserved regardless of which worker ran what.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(parallel.jobs[i].spec.machine, jobs[i].machine) << "job " << i;
+    EXPECT_EQ(parallel.jobs[i].hash, farm::job_hash(jobs[i])) << "job " << i;
+  }
+}
+
+// -- fault injection ----------------------------------------------------------
+
+TEST(FarmFaults, ThrowingJobFailsWithoutFailingTheFarm) {
+  std::vector<farm::JobSpec> jobs = {golden_spec("fig2")};
+  farm::JobSpec thrower;
+  thrower.machine = farm::kThrowJobKey;
+  jobs.push_back(thrower);
+  jobs.push_back(golden_spec("fig5"));
+
+  const farm::FarmReport report = run_fresh(jobs, 2);
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_EQ(report.jobs[0].result.status, farm::JobStatus::ok);
+  EXPECT_EQ(report.jobs[1].result.status, farm::JobStatus::failed);
+  EXPECT_NE(report.jobs[1].result.error.find("injected"), std::string::npos)
+      << report.jobs[1].result.error;
+  EXPECT_EQ(report.jobs[2].result.status, farm::JobStatus::ok);
+}
+
+TEST(FarmFaults, HangingJobTimesOutWhileTheRestOfTheGridCompletes) {
+  std::vector<farm::JobSpec> jobs;
+  farm::JobSpec hang;
+  hang.machine = farm::kHangJobKey;
+  hang.timeout_ms = 200;
+  jobs.push_back(hang);
+  for (const std::string& key : machines::golden_machine_keys())
+    jobs.push_back(golden_spec(key));
+
+  const farm::FarmReport report = run_fresh(jobs, 2);
+  ASSERT_EQ(report.jobs.size(), 6u);
+  EXPECT_EQ(report.jobs[0].result.status, farm::JobStatus::timeout);
+  EXPECT_NE(report.jobs[0].result.error.find("timed out"), std::string::npos)
+      << report.jobs[0].result.error;
+  for (std::size_t i = 1; i < report.jobs.size(); ++i)
+    EXPECT_EQ(report.jobs[i].result.status, farm::JobStatus::ok)
+        << report.jobs[i].spec.machine;
+}
+
+TEST(FarmFaults, UnknownMachineKeyFailsTheJobNotTheFarm) {
+  const farm::FarmReport report =
+      run_fresh({golden_spec("no_such_machine"), golden_spec("fig2")}, 2);
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_EQ(report.jobs[0].result.status, farm::JobStatus::failed);
+  EXPECT_FALSE(report.jobs[0].result.error.empty());
+  EXPECT_EQ(report.jobs[1].result.status, farm::JobStatus::ok);
+}
+
+// -- result cache -------------------------------------------------------------
+
+TEST(FarmCache, RerunningTheSameGridDoesZeroSimulationWork) {
+  const std::vector<farm::JobSpec> jobs = mixed_grid();
+  farm::SimFarm sim_farm;
+  const farm::FarmReport first = sim_farm.run(jobs);
+  ASSERT_EQ(first.count(farm::JobStatus::ok), jobs.size());
+  const std::uint64_t executed_after_first = sim_farm.executed();
+  EXPECT_EQ(executed_after_first, jobs.size());
+  EXPECT_EQ(sim_farm.cache_hits(), 0u);
+
+  const farm::FarmReport second = sim_farm.run(jobs);
+  EXPECT_EQ(sim_farm.executed(), executed_after_first);  // zero new work
+  EXPECT_EQ(sim_farm.cache_hits(), jobs.size());
+  for (const farm::JobRecord& job : second.jobs) {
+    EXPECT_TRUE(job.result.cached) << job.spec.machine;
+    EXPECT_EQ(job.result.status, farm::JobStatus::ok) << job.spec.machine;
+  }
+  EXPECT_EQ(first.stable_json(), second.stable_json());
+}
+
+TEST(FarmCache, FailedJobsAreNotCached) {
+  farm::JobSpec thrower;
+  thrower.machine = farm::kThrowJobKey;
+  farm::SimFarm sim_farm;
+  sim_farm.run({thrower});
+  const farm::FarmReport again = sim_farm.run({thrower});
+  ASSERT_EQ(again.jobs.size(), 1u);
+  EXPECT_FALSE(again.jobs[0].result.cached);
+  EXPECT_EQ(sim_farm.executed(), 2u);
+  EXPECT_EQ(sim_farm.cache_hits(), 0u);
+}
+
+// -- report JSON --------------------------------------------------------------
+
+TEST(FarmReportJson, CarriesSchemaAndPerJobIdentity) {
+  const farm::FarmReport report = run_fresh({golden_spec("fig2")}, 1);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("rcpn-farm-report/1"), std::string::npos);
+  EXPECT_NE(json.find("\"machine\": \"fig2\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"digest\""), std::string::npos);
+  // The stable subset must not leak timing fields.
+  const std::string stable = report.stable_json();
+  EXPECT_EQ(stable.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(stable.find("\"workers\""), std::string::npos);
+  EXPECT_EQ(stable.find("\"cached\""), std::string::npos);
+}
+
+// -- progress callback --------------------------------------------------------
+
+TEST(FarmProgress, CallbackSeesEveryJobExactlyOnce) {
+  const std::vector<farm::JobSpec> jobs = mixed_grid();
+  std::vector<int> seen(jobs.size(), 0);
+  std::atomic<std::size_t> calls{0};
+  farm::FarmOptions fo;
+  fo.workers = 4;
+  fo.on_job_done = [&](std::size_t done, std::size_t total, std::size_t index,
+                       const farm::JobResult&) {
+    ASSERT_LT(index, seen.size());
+    ++seen[index];
+    EXPECT_LE(done, total);
+    ++calls;
+  };
+  farm::SimFarm sim_farm(std::move(fo));
+  sim_farm.run(jobs);
+  EXPECT_EQ(calls.load(), jobs.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 1) << "job " << i;
+}
+
+// -- subprocess executor ------------------------------------------------------
+
+#ifdef RCPN_HAVE_FS_BINARIES
+
+TEST(FarmSubprocess, FreestandingDigestsMatchInProcessForEveryMachine) {
+  std::vector<farm::JobSpec> jobs;
+  for (const std::string& key : machines::golden_machine_keys()) {
+    jobs.push_back(golden_spec(key));  // in-process, compiled backend
+    farm::JobSpec sub = golden_spec(key);
+    sub.executor = farm::ExecutorKind::subprocess;
+    sub.options.backend = core::Backend::generated;  // the stamped fast path
+    jobs.push_back(sub);
+  }
+
+  farm::FarmOptions fo;
+  fo.workers = 4;
+  fo.bin_dir = RCPN_BIN_DIR;
+  farm::SimFarm sim_farm(std::move(fo));
+  const farm::FarmReport report = sim_farm.run(jobs);
+
+  ASSERT_EQ(report.jobs.size(), jobs.size());
+  for (std::size_t i = 0; i + 1 < report.jobs.size(); i += 2) {
+    const farm::JobRecord& in_proc = report.jobs[i];
+    const farm::JobRecord& sub = report.jobs[i + 1];
+    ASSERT_EQ(in_proc.result.status, farm::JobStatus::ok)
+        << in_proc.spec.machine << ": " << in_proc.result.error;
+    ASSERT_EQ(sub.result.status, farm::JobStatus::ok)
+        << sub.spec.machine << ": " << sub.result.error;
+    EXPECT_EQ(sub.result.digest, in_proc.result.digest) << sub.spec.machine;
+    EXPECT_EQ(sub.result.retired, in_proc.result.retired) << sub.spec.machine;
+    EXPECT_EQ(sub.result.stats.cycles, in_proc.result.stats.cycles)
+        << sub.spec.machine;
+  }
+}
+
+TEST(FarmSubprocess, MissingBinaryFailsTheJobWithExitCode127) {
+  farm::JobSpec spec = golden_spec("no_such_binary");
+  spec.executor = farm::ExecutorKind::subprocess;
+  spec.options.backend = core::Backend::generated;
+  farm::FarmOptions fo;
+  fo.bin_dir = RCPN_BIN_DIR;
+  farm::SimFarm sim_farm(std::move(fo));
+  const farm::FarmReport report = sim_farm.run({spec});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].result.status, farm::JobStatus::failed);
+  EXPECT_EQ(report.jobs[0].result.exit_code, 127);
+}
+
+#endif  // RCPN_HAVE_FS_BINARIES

@@ -16,8 +16,10 @@
 // particular the freestanding artifact, whose whole runtime is an inlined
 // copy — can drift from the others.
 //
-// Legs 3 and 4 need the generated TUs; builds with RCPN_GENERATED_SIMS=OFF
-// compile this test without RCPN_HAVE_GENERATED and run only legs 1-2.
+// Leg 3 needs the generated TUs (RCPN_GENERATED_SIMS=ON defines
+// RCPN_HAVE_GENERATED); leg 4 additionally needs the emitted gen_fs_*
+// binaries, which require the embedded source table (RCPN_NO_EMBED=OFF
+// defines RCPN_HAVE_FS_BINARIES). Builds without either run only legs 1-2.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -60,7 +62,7 @@ void expect_stats_equal(const std::string& key, const std::string& what,
   EXPECT_EQ(a.place_stalls, b.place_stalls) << key << " " << what;
 }
 
-#ifdef RCPN_HAVE_GENERATED
+#ifdef RCPN_HAVE_FS_BINARIES
 /// Run `cmd`, capture stdout+stderr (a failing binary's verification or
 /// divergence message must reach the assertion output); returns the process
 /// exit code (-1 on spawn failure).
@@ -110,8 +112,9 @@ TEST_P(FourWay, InProcessBackendsAndGoldenAgree) {
 }
 
 TEST_P(FourWay, FreestandingBinaryMatchesInProcess) {
-#ifndef RCPN_HAVE_GENERATED
-  GTEST_SKIP() << "built with RCPN_GENERATED_SIMS=OFF";
+#ifndef RCPN_HAVE_FS_BINARIES
+  GTEST_SKIP() << "no freestanding binaries in this build "
+                  "(RCPN_GENERATED_SIMS=OFF or RCPN_NO_EMBED=ON)";
 #else
   const std::string key = GetParam();
   const std::string bin = std::string(RCPN_BIN_DIR) + "/gen_fs_" + key;
