@@ -10,6 +10,7 @@
 #include "bench/bench_util.hpp"
 #include "cpn/rcpn_to_cpn.hpp"
 #include "machines/fig5_processor.hpp"
+#include "machines/golden_runner.hpp"
 #include "machines/simple_pipeline.hpp"
 #include "machines/strongarm.hpp"
 #include "machines/tomasulo.hpp"
@@ -69,10 +70,42 @@ int main() {
 
   table.print();
 
+  // Dynamic stall attribution: run each machine's golden workload (compiled
+  // backend) and roll the always-on per-place stall-cause counters up per
+  // cause — the same breakdown Stats::report() prints per place, tracked
+  // across PRs as aggregate behaviour of the fixed workloads.
+  std::printf("\nGolden-workload stall causes (compiled backend)\n\n");
+  util::Table stall_table(
+      {"machine", "stalls", "no_ready_token", "guard_rejected", "capacity"});
+  std::vector<std::string> stall_rows;
+  for (const std::string& key : machines::golden_machine_keys()) {
+    core::EngineOptions options;
+    options.backend = core::Backend::compiled;
+    const machines::GoldenRunResult r = machines::run_golden_machine_full(key, options);
+    std::uint64_t causes[core::kNumStallCauses] = {0, 0, 0};
+    std::uint64_t total = 0;
+    const std::size_t np = r.stats.place_stall_causes.size() / core::kNumStallCauses;
+    for (std::size_t p = 0; p < np; ++p)
+      for (unsigned c = 0; c < core::kNumStallCauses; ++c)
+        causes[c] += r.stats.place_stall_causes[p * core::kNumStallCauses + c];
+    for (const std::uint64_t s : r.stats.place_stalls) total += s;
+    stall_table.add_row({key, std::to_string(total), std::to_string(causes[0]),
+                         std::to_string(causes[1]), std::to_string(causes[2])});
+    stall_rows.push_back(bench::JsonObj()
+                             .str("machine", key)
+                             .num("stalls", total)
+                             .num("no_ready_token", causes[0])
+                             .num("guard_rejected", causes[1])
+                             .num("capacity_backpressure", causes[2])
+                             .render());
+  }
+  stall_table.print();
+
   const std::string json = bench::JsonObj()
                                .str("figure", "model_stats")
                                .str("metric", "RCPN model complexity vs converted CPN")
                                .raw("models", bench::json_array(json_rows))
+                               .raw("golden_stall_causes", bench::json_array(stall_rows))
                                .render();
   if (bench::write_file("BENCH_model_stats.json", json + "\n"))
     std::printf("\nwrote BENCH_model_stats.json\n");

@@ -1,0 +1,112 @@
+// Observability overhead bench: the "zero-cost when compiled out" contract.
+//
+// Runs the StrongArm golden workload on the compiled backend twice per trial
+// — once with no hub attached ("base") and once with EngineOptions::obs set
+// ("obs") — interleaved, min-of-N. What that measures depends on the build:
+//
+//  * RCPN_OBS=OFF (default): the probe call sites do not exist in the binary
+//    and the obs pointer is dead weight in EngineOptions, so the two legs
+//    must time identically. The bench FAILS (exit 1) if obs/base exceeds
+//    1.02 — the <=2% ratchet CI runs on every push.
+//  * RCPN_OBS=ON: the ratio is the real probe cost (profile aggregation +
+//    ring writes). Reported for the record, never failed on: recording
+//    being visibly non-free is expected and documented.
+//
+// Emits BENCH_obs_overhead.json. REPRO_SCALE scales the per-trial rep count.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "machines/golden_runner.hpp"
+#include "obs/probe.hpp"
+
+using namespace rcpn;
+
+namespace {
+
+constexpr double kMaxCompiledOutRatio = 1.02;
+
+double run_leg(const core::EngineOptions& options, unsigned reps,
+               std::uint64_t& cycles_out) {
+  const auto [cycles, secs] = bench::timed([&]() {
+    std::uint64_t cycles = 0;
+    for (unsigned i = 0; i < reps; ++i)
+      cycles +=
+          machines::run_golden_machine_full("strongarm_crc", options).stats.cycles;
+    return cycles;
+  });
+  cycles_out = cycles;
+  return secs;
+}
+
+}  // namespace
+
+int main() {
+  // Keep each timed leg well above timer granularity even at low
+  // REPRO_SCALE — a 2% ratchet on a sub-millisecond leg is pure noise.
+  const unsigned reps = std::max(8u, static_cast<unsigned>(40 * bench::repro_scale()));
+  constexpr int kTrials = 5;
+
+  core::EngineOptions base;
+  base.backend = core::Backend::compiled;
+
+  obs::Hub hub;
+  core::EngineOptions with_obs = base;
+  with_obs.obs = &hub;
+
+#if RCPN_OBS
+  const bool probes_compiled_in = true;
+#else
+  const bool probes_compiled_in = false;
+#endif
+
+  std::printf("Observability overhead: StrongArm golden workload, compiled "
+              "backend, probes %s\n"
+              "%d trials x %u reps, interleaved, min-of-trials\n\n",
+              probes_compiled_in ? "COMPILED IN (RCPN_OBS=ON)" : "compiled out",
+              kTrials, reps);
+
+  double best_base = 1e300, best_obs = 1e300;
+  std::uint64_t cycles = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t c1 = 0, c2 = 0;
+    const double sb = run_leg(base, reps, c1);
+    const double so = run_leg(with_obs, reps, c2);
+    best_base = std::min(best_base, sb);
+    best_obs = std::min(best_obs, so);
+    cycles = c1;
+    std::printf("  trial %d: base %.4fs  obs %.4fs\n", t + 1, sb, so);
+  }
+
+  const double ratio = best_base > 0.0 ? best_obs / best_base : 0.0;
+  std::printf("\nbase %.4fs (%s Mcps)  obs %.4fs  ratio %.4f\n", best_base,
+              bench::mcps(cycles, best_base).c_str(), best_obs, ratio);
+
+  const std::string json =
+      bench::JsonObj()
+          .str("figure", "obs_overhead")
+          .str("metric",
+               "attached-hub vs no-hub wall time, StrongArm golden workload")
+          .num("probes_compiled_in", std::uint64_t{probes_compiled_in ? 1u : 0u})
+          .num("reps", std::uint64_t{reps})
+          .num("base_secs", best_base)
+          .num("obs_secs", best_obs)
+          .num("ratio", ratio)
+          .num("max_ratio_compiled_out", kMaxCompiledOutRatio)
+          .render();
+  if (bench::write_file("BENCH_obs_overhead.json", json + "\n"))
+    std::printf("wrote BENCH_obs_overhead.json\n");
+
+  if (!probes_compiled_in && ratio > kMaxCompiledOutRatio) {
+    std::fprintf(stderr,
+                 "FAIL: probes are compiled out but the obs leg ran %.2f%% "
+                 "slower than base (ceiling %.0f%%) — the gating leaks into "
+                 "the hot loop\n",
+                 (ratio - 1.0) * 100.0, (kMaxCompiledOutRatio - 1.0) * 100.0);
+    return 1;
+  }
+  if (probes_compiled_in)
+    std::printf("probes compiled in: recording cost %.1f%% (informational)\n",
+                (ratio - 1.0) * 100.0);
+  return 0;
+}

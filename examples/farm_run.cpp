@@ -18,17 +18,25 @@
 // --seeds N  --executors in_process,subprocess  --cycles N (fuzz budget)
 // --workers N  --timeout-ms N  --bin-dir DIR  --quiet
 //
+// --progress prints a once-per-second heartbeat line to stderr (done/total,
+// percentage, elapsed) — the machine-parseable liveness signal for CI logs
+// that would otherwise sit silent for the whole sweep. Combines with --quiet
+// (heartbeat only, no per-job lines).
+//
 // The default seed count honours REPRO_SCALE (the repo-wide CI scaling knob):
 // seeds = max(1, round(4 * REPRO_SCALE)).
 //
 // Exit status: 0 iff every non-injected job is ok, every injected job failed
 // the way it was meant to (hang -> timeout, throw -> failed), and --verify
 // (if given) found the serial and parallel reports identical.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "farm/sim_farm.hpp"
@@ -52,6 +60,7 @@ struct CliOptions {
   bool inject_throw = false;
   bool verify = false;
   bool quiet = false;
+  bool progress = false;
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -88,7 +97,7 @@ std::size_t scaled_default_seeds() {
                "                 [--workers N] [--timeout-ms N] [--bin-dir DIR] "
                "[--json FILE]\n"
                "                 [--inject-hang] [--inject-throw] [--verify] "
-               "[--quiet]\n",
+               "[--quiet] [--progress]\n",
                msg);
   std::exit(2);
 }
@@ -115,6 +124,7 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (a == "--inject-throw") cli.inject_throw = true;
     else if (a == "--verify") cli.verify = true;
     else if (a == "--quiet") cli.quiet = true;
+    else if (a == "--progress") cli.progress = true;
     else usage_error(("unknown flag '" + a + "'").c_str());
   }
   if (cli.machines.empty()) cli.machines = machines::golden_machine_keys();
@@ -185,9 +195,14 @@ farm::FarmReport run_grid(const CliOptions& cli, const std::vector<farm::JobSpec
   fo.workers = workers;
   fo.default_timeout_ms = cli.timeout_ms;
   fo.bin_dir = cli.bin_dir;
-  if (!cli.quiet) {
-    fo.on_job_done = [&jobs](std::size_t done, std::size_t total, std::size_t index,
-                             const farm::JobResult& result) {
+  auto done_count = std::make_shared<std::atomic<std::size_t>>(0);
+  if (!cli.quiet || cli.progress) {
+    const bool per_job = !cli.quiet;
+    fo.on_job_done = [&jobs, done_count, per_job](std::size_t done, std::size_t total,
+                                                  std::size_t index,
+                                                  const farm::JobResult& result) {
+      done_count->store(done, std::memory_order_relaxed);
+      if (!per_job) return;
       const farm::JobSpec& spec = jobs[index];
       std::printf("[%3zu/%zu] %-7s %-14s %-11s seed=%llu %s%.1fms%s%s\n", done, total,
                   farm::job_status_name(result.status), spec.machine.c_str(),
@@ -199,7 +214,37 @@ farm::FarmReport run_grid(const CliOptions& cli, const std::vector<farm::JobSpec
     };
   }
   farm::SimFarm sim_farm(std::move(fo));
-  return sim_farm.run(jobs);
+
+  // --progress: a once-per-second heartbeat on stderr, independent of the
+  // per-job lines — CI liveness without per-job log volume.
+  std::atomic<bool> heartbeat_stop{false};
+  std::thread heartbeat;
+  if (cli.progress) {
+    const std::size_t total = jobs.size();
+    heartbeat = std::thread([&heartbeat_stop, done_count, total]() {
+      const auto t0 = std::chrono::steady_clock::now();
+      while (!heartbeat_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+        const std::size_t done = done_count->load(std::memory_order_relaxed);
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        std::fprintf(stderr, "progress: %zu/%zu jobs (%.0f%%) elapsed=%.1fs\n",
+                     done, total,
+                     total == 0 ? 100.0 : 100.0 * static_cast<double>(done) /
+                                              static_cast<double>(total),
+                     elapsed);
+      }
+    });
+  }
+  farm::FarmReport report = sim_farm.run(jobs);
+  if (heartbeat.joinable()) {
+    heartbeat_stop.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+    std::fprintf(stderr, "progress: %zu/%zu jobs (100%%) done\n", jobs.size(),
+                 jobs.size());
+  }
+  return report;
 }
 
 void print_aggregate(const farm::FarmReport& report) {
@@ -208,11 +253,24 @@ void print_aggregate(const farm::FarmReport& report) {
       "\n%zu jobs on %u workers in %.2fs: %zu ok, %zu failed, %zu timeout, "
       "%zu cached\n"
       "total simulated: %llu cycles, %llu retired; per-job wall ms "
-      "p50=%.1f p90=%.1f max=%.1f\n",
+      "p50=%.1f p95=%.1f max=%.1f (%zu samples)\n",
       a.jobs, report.workers, report.wall_seconds, a.ok, a.failed, a.timeout, a.cached,
       static_cast<unsigned long long>(a.total_cycles),
-      static_cast<unsigned long long>(a.total_retired), a.wall_ms_p50, a.wall_ms_p90,
-      a.wall_ms_max);
+      static_cast<unsigned long long>(a.total_retired), a.wall_ms_p50, a.wall_ms_p95,
+      a.wall_ms_max, a.wall_samples);
+
+  const farm::FarmTelemetry& t = report.telemetry;
+  double busy = 0.0;
+  for (const farm::WorkerTelemetry& w : t.workers) busy += w.busy_seconds;
+  const double capacity = report.wall_seconds * static_cast<double>(t.workers.size());
+  std::printf(
+      "telemetry: %zu executed, %zu cache hits, %zu timeouts, %zu replacements, "
+      "%zu steals\n"
+      "           utilization %.0f%% (busy %.2fs / capacity %.2fs), queue wait "
+      "mean=%.1fms max=%.1fms\n",
+      t.executed, t.cache_hits, t.timeouts, t.replacements, t.steals,
+      capacity > 0.0 ? 100.0 * busy / capacity : 0.0, busy, capacity,
+      t.queue_wait_ms_mean, t.queue_wait_ms_max);
 }
 
 /// First line where the two texts differ, for the --verify failure message.

@@ -185,6 +185,32 @@ void Engine::build() {
     place_delay_[p] = net_.place(static_cast<PlaceId>(p)).delay;
   }
   stats_.reset(net_.num_transitions(), net_.num_places());
+#if RCPN_OBS
+  if (options_.obs != nullptr) {
+    // Capture the model identity the exporters need, so a hub outlives the
+    // engine and exporting never touches the Net.
+    obs::Meta meta;
+    meta.model = net_.name();
+    meta.stage_names.reserve(net_.num_stages());
+    for (unsigned s = 0; s < net_.num_stages(); ++s)
+      meta.stage_names.push_back(net_.stage(static_cast<StageId>(s)).name());
+    meta.place_names.reserve(net_.num_places());
+    meta.place_stage.reserve(net_.num_places());
+    for (unsigned p = 0; p < net_.num_places(); ++p) {
+      meta.place_names.push_back(net_.place(static_cast<PlaceId>(p)).name);
+      meta.place_stage.push_back(net_.place(static_cast<PlaceId>(p)).stage);
+    }
+    meta.transition_names.reserve(net_.num_transitions());
+    meta.transition_place.reserve(net_.num_transitions());
+    for (unsigned t = 0; t < net_.num_transitions(); ++t) {
+      const Transition& tr = net_.transition(static_cast<TransitionId>(t));
+      meta.transition_names.push_back(tr.name());
+      meta.transition_place.push_back(tr.independent() ? kNoPlace
+                                                       : tr.trigger_place());
+    }
+    options_.obs->bind(std::move(meta));
+  }
+#endif
   built_ = true;
 }
 
@@ -313,10 +339,19 @@ void Engine::enter_place_in(Token* tok, PlaceId p, PipelineStage& st,
     // Visible state lags insertion for two-list stages (promoted next cycle).
     it->state = st.two_list() ? kNoPlace : p;
   }
+#if RCPN_OBS
+  if (options_.obs != nullptr && tok->kind == TokenKind::instruction) {
+    auto* it = static_cast<InstructionToken*>(tok);
+    options_.obs->on_token_enter(clock_, p, it->seq, it->pc);
+  }
+#endif
   st.insert(tok);
 }
 
 void Engine::retire(InstructionToken* tok) {
+#if RCPN_OBS
+  if (options_.obs != nullptr) options_.obs->on_retire(clock_, tok->seq, tok->pc);
+#endif
   ++stats_.retired;
   assert(in_flight_ > 0);
   --in_flight_;
@@ -329,6 +364,9 @@ void Engine::retire(InstructionToken* tok) {
 void Engine::squash_token(Token* t) {
   if (t->kind == TokenKind::instruction) {
     auto* it = static_cast<InstructionToken*>(t);
+#if RCPN_OBS
+    if (options_.obs != nullptr) options_.obs->on_squash(clock_, it->seq, it->pc);
+#endif
     it->squash_release();
     ++stats_.squashed;
     assert(in_flight_ > 0);
@@ -382,6 +420,7 @@ Token* Engine::find_ready_reservation(PlaceId p) const {
 }
 
 bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
+  count_attempt(t.id());
   // Fast path for the overwhelmingly common shape: one trigger arc, one
   // move arc (a plain pipeline-latch-to-latch transition).
   if (t.inputs().size() == 1 && t.outputs().size() == 1 &&
@@ -389,9 +428,15 @@ bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
     PipelineStage& from = *place_stage_[static_cast<unsigned>(tok->place)];
     PipelineStage& to =
         *place_stage_[static_cast<unsigned>(t.outputs()[0].place)];
-    if (&to != &from && !to.has_room(1, 0)) return false;
+    if (&to != &from && !to.has_room(1, 0)) {
+      reject_cause_ = StallCause::capacity_backpressure;
+      return false;
+    }
     FireCtx ctx{this, tok, t.id()};
-    if (t.has_guard() && !t.eval_guard(ctx)) return false;
+    if (t.has_guard() && !t.eval_guard(ctx)) {
+      reject_cause_ = StallCause::guard_rejected;
+      return false;
+    }
     const bool removed = from.remove(tok);
     assert(removed && "trigger token not visible in its place");
     (void)removed;
@@ -399,8 +444,7 @@ bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
     tok->state = kNoPlace;
     if (t.has_action()) t.run_action(ctx);
     enter_place(tok, t.outputs()[0].place, t.delay());
-    ++stats_.firings;
-    ++stats_.transition_fires[static_cast<unsigned>(t.id())];
+    count_fire(t.id());
     return true;
   }
 
@@ -411,7 +455,10 @@ bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
   for (const InArc& a : t.inputs()) {
     if (a.need == ArcNeed::trigger) continue;
     Token* r = find_ready_reservation(a.place);
-    if (r == nullptr) return false;
+    if (r == nullptr) {
+      reject_cause_ = StallCause::no_ready_token;
+      return false;
+    }
     assert(nres < 4);
     reservations[nres++] = r;
   }
@@ -437,13 +484,18 @@ bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
   for (unsigned i = 0; i < nd; ++i) {
     const PipelineStage& st = net_.stage(deltas[i].stage);
     if (!st.has_room(static_cast<std::uint32_t>(deltas[i].additions),
-                     static_cast<std::uint32_t>(deltas[i].removals)))
+                     static_cast<std::uint32_t>(deltas[i].removals))) {
+      reject_cause_ = StallCause::capacity_backpressure;
       return false;
+    }
   }
 
   // 3. Guard.
   FireCtx ctx{this, tok, t.id()};
-  if (t.has_guard() && !t.eval_guard(ctx)) return false;
+  if (t.has_guard() && !t.eval_guard(ctx)) {
+    reject_cause_ = StallCause::guard_rejected;
+    return false;
+  }
 
   // ---- fire ----
   PipelineStage& from = net_.stage(net_.place(tok->place).stage);
@@ -470,8 +522,7 @@ bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
     }
   }
 
-  ++stats_.firings;
-  ++stats_.transition_fires[static_cast<unsigned>(t.id())];
+  count_fire(t.id());
   return true;
 }
 
@@ -490,6 +541,11 @@ void Engine::process_place(PlaceId p) {
     // Re-check: an earlier firing in this cycle may have consumed, flushed or
     // even recycled-and-reinjected this token.
     if (tok->place != p || tok->squashed || tok->ready > clock_) continue;
+    // Default attribution: a token with zero candidate transitions stalls
+    // because nothing is ready for it. Each failed candidate overwrites this,
+    // so the *last* candidate's failure reason wins — same scan order in
+    // every backend, so the breakdown is backend-identical.
+    reject_cause_ = StallCause::no_ready_token;
     bool fired = false;
     if (!options_.linear_search) {
       const auto& cands =
@@ -520,11 +576,12 @@ void Engine::process_place(PlaceId p) {
         }
       }
     }
-    if (!fired) ++stats_.place_stalls[static_cast<unsigned>(p)];
+    if (!fired) count_stall(p, tok);
   }
 }
 
 bool Engine::independent_enabled(const Transition& t) {
+  count_attempt(t.id());
   for (const InArc& a : t.inputs()) {
     assert(a.need == ArcNeed::reservation &&
            "independent transitions cannot have trigger arcs");
@@ -555,8 +612,7 @@ void Engine::fire_independent(const Transition& t) {
     // ArcEmit::move targets declare capacity intent only; the action emits
     // instruction tokens itself via emit_instruction().
   }
-  ++stats_.firings;
-  ++stats_.transition_fires[static_cast<unsigned>(t.id())];
+  count_fire(t.id());
 }
 
 void Engine::run_independent() {
@@ -570,6 +626,15 @@ void Engine::run_independent() {
 }
 
 bool Engine::finish_cycle() {
+#if RCPN_OBS
+  if (options_.obs != nullptr) {
+    obs::Hub* hub = options_.obs;
+    for (unsigned s = 0; s < net_.num_stages(); ++s)
+      hub->sample_stage(clock_, static_cast<StageId>(s),
+                        net_.stage(static_cast<StageId>(s)).occupancy());
+    hub->on_cycle_end(clock_);
+  }
+#endif
   ++clock_;
   ++stats_.cycles;
 

@@ -25,6 +25,7 @@
 #include "core/net.hpp"
 #include "core/stats.hpp"
 #include "core/token_store.hpp"
+#include "obs/probe.hpp"
 
 namespace rcpn::core {
 
@@ -63,6 +64,12 @@ struct EngineOptions {
   /// Stop with an error after this many cycles without any firing while
   /// tokens are still in flight (model deadlock watchdog).
   std::uint64_t deadlock_limit = 100000;
+  /// Optional observability hub (src/obs/): when attached, the engine binds
+  /// the model meta at build() and streams probe events into it. Runtime-only
+  /// — excluded from farm job identity and the generated-artifact options
+  /// key, and completely ignored unless the library was built with RCPN_OBS
+  /// (the probe call sites are compiled out otherwise).
+  obs::Hub* obs = nullptr;
 };
 
 class Engine {
@@ -207,6 +214,45 @@ class Engine {
   /// of Fig 8's main loop, shared by both backends). Returns !stopped_.
   bool finish_cycle();
 
+  // -- shared fire/stall accounting -------------------------------------------
+  // ONE definition of the hot-loop bookkeeping (and, under RCPN_OBS, of the
+  // probe points), inlined into every backend's firing code, so the four
+  // backends emit identical statistics and event streams by construction.
+
+  /// A transition fired (the common `++firings; ++transition_fires[id]`).
+  inline void count_fire(TransitionId id) {
+    ++stats_.firings;
+    ++stats_.transition_fires[static_cast<unsigned>(id)];
+#if RCPN_OBS
+    if (options_.obs != nullptr) options_.obs->on_fire(clock_, id);
+#endif
+  }
+
+  /// A candidate transition was evaluated for firing (try_fire entry /
+  /// independent enable check). Feeds the attempts-vs-fires scan-cost
+  /// counters of obs::StageProfile; free when RCPN_OBS is off.
+  inline void count_attempt(TransitionId id) {
+#if RCPN_OBS
+    if (options_.obs != nullptr) options_.obs->on_attempt(id);
+#else
+    (void)id;
+#endif
+  }
+
+  /// A ready token fired nothing this cycle; reject_cause_ holds why the
+  /// last candidate refused (set by the try_fire implementations).
+  inline void count_stall(PlaceId p, const InstructionToken* tok) {
+    ++stats_.place_stalls[static_cast<unsigned>(p)];
+    ++stats_.place_stall_causes[static_cast<unsigned>(p) * kNumStallCauses +
+                                static_cast<unsigned>(reject_cause_)];
+#if RCPN_OBS
+    if (options_.obs != nullptr)
+      options_.obs->on_stall(clock_, p, reject_cause_, tok->seq, tok->pc);
+#else
+    (void)tok;
+#endif
+  }
+
   Net& net_;
   void* machine_ = nullptr;
   std::optional<std::type_index> machine_type_;
@@ -220,6 +266,10 @@ class Engine {
   std::uint32_t seq_counter_ = 0;
   std::uint64_t last_activity_clock_ = 0;
   std::uint64_t activity_snapshot_ = 0;
+  /// Why the most recent candidate evaluation refused to fire; read by
+  /// count_stall(). Always maintained (the stall-cause stats are not gated),
+  /// one byte-store per failed candidate.
+  StallCause reject_cause_ = StallCause::no_ready_token;
 
   /// Fig 6 table: [place * num_types + type] -> sorted candidate list.
   std::vector<std::vector<const Transition*>> sorted_;

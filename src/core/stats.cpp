@@ -6,10 +6,20 @@
 
 namespace rcpn::core {
 
+const char* stall_cause_name(StallCause c) {
+  switch (c) {
+    case StallCause::no_ready_token: return "no_ready_token";
+    case StallCause::guard_rejected: return "guard_rejected";
+    case StallCause::capacity_backpressure: return "capacity_backpressure";
+  }
+  return "?";
+}
+
 void Stats::reset(unsigned num_transitions, unsigned num_places) {
   cycles = retired = fetched = squashed = reservations = firings = 0;
   transition_fires.assign(num_transitions, 0);
   place_stalls.assign(num_places, 0);
+  place_stall_causes.assign(static_cast<std::size_t>(num_places) * kNumStallCauses, 0);
 }
 
 std::string Stats::report(const Net& net) const {
@@ -26,11 +36,15 @@ std::string Stats::report(const Net& net) const {
     out << "  " << net.transition(static_cast<TransitionId>(i)).name() << ": "
         << transition_fires[i] << '\n';
   }
-  out << "place stalls:\n";
+  out << "place stalls (no_ready/guard/capacity):\n";
   for (unsigned i = 0; i < place_stalls.size(); ++i) {
     if (place_stalls[i] == 0) continue;
-    out << "  " << net.place(static_cast<PlaceId>(i)).name << ": " << place_stalls[i]
-        << '\n';
+    out << "  " << net.place(static_cast<PlaceId>(i)).name << ": " << place_stalls[i];
+    if (place_stall_causes.size() >= (i + 1) * kNumStallCauses) {
+      const std::uint64_t* c = &place_stall_causes[i * kNumStallCauses];
+      out << " (" << c[0] << "/" << c[1] << "/" << c[2] << ")";
+    }
+    out << '\n';
   }
   return out.str();
 }

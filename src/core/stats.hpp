@@ -3,6 +3,7 @@
 // counts. These feed the Fig 10 / Fig 11 benchmark harnesses directly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -10,6 +11,24 @@
 namespace rcpn::core {
 
 class Net;
+
+/// Why a ready token failed to fire any of its candidate transitions this
+/// cycle. Attribution follows the candidate scan: the *last* candidate's
+/// failure reason wins (a token with zero candidates counts as
+/// no_ready_token), identically in every backend — the lockstep tests compare
+/// the per-place breakdown across engines.
+enum class StallCause : std::uint8_t {
+  /// No candidate matched, or a reservation-input token was missing/not ready.
+  no_ready_token = 0,
+  /// The transition's guard evaluated to false.
+  guard_rejected = 1,
+  /// An output stage lacked capacity (pipeline backpressure).
+  capacity_backpressure = 2,
+};
+
+inline constexpr unsigned kNumStallCauses = 3;
+
+const char* stall_cause_name(StallCause c);
 
 struct Stats {
   std::uint64_t cycles = 0;
@@ -26,6 +45,9 @@ struct Stats {
 
   std::vector<std::uint64_t> transition_fires;  // indexed by TransitionId
   std::vector<std::uint64_t> place_stalls;      // token present, nothing fired
+  /// Stall attribution: [place * kNumStallCauses + cause]. The per-place sum
+  /// always equals place_stalls[place].
+  std::vector<std::uint64_t> place_stall_causes;
 
   double cpi() const {
     return retired == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(retired);

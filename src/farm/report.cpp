@@ -74,12 +74,17 @@ FarmAggregate FarmReport::aggregate() const {
     if (j.result.status == JobStatus::ok) {
       a.total_cycles += j.result.stats.cycles;
       a.total_retired += j.result.retired;
+      // Percentiles over executed-and-successful jobs only: cached results
+      // carry no wall time, and failure/timeout latencies are not simulation
+      // cost. An empty sample set (all cached, all failed, no jobs) yields
+      // 0.0 percentiles with wall_samples == 0 flagging the degenerate case.
+      if (!j.result.cached) wall_ms.push_back(j.result.wall_seconds * 1e3);
     }
-    if (!j.result.cached) wall_ms.push_back(j.result.wall_seconds * 1e3);
   }
   std::sort(wall_ms.begin(), wall_ms.end());
+  a.wall_samples = wall_ms.size();
   a.wall_ms_p50 = percentile(wall_ms, 0.50);
-  a.wall_ms_p90 = percentile(wall_ms, 0.90);
+  a.wall_ms_p95 = percentile(wall_ms, 0.95);
   a.wall_ms_max = wall_ms.empty() ? 0.0 : wall_ms.back();
   return a;
 }
@@ -87,7 +92,7 @@ FarmAggregate FarmReport::aggregate() const {
 std::string FarmReport::render_json(bool include_timing) const {
   const FarmAggregate a = aggregate();
   std::ostringstream out;
-  out << "{\n  \"schema\": \"rcpn-farm-report/1\",\n";
+  out << "{\n  \"schema\": \"rcpn-farm-report/2\",\n";
   if (include_timing) {
     out << "  \"workers\": " << workers << ",\n";
     out << "  \"wall_seconds\": " << wall_seconds << ",\n";
@@ -97,11 +102,29 @@ std::string FarmReport::render_json(bool include_timing) const {
   out << ", \"total_cycles\": " << a.total_cycles
       << ", \"total_retired\": " << a.total_retired;
   if (include_timing) {
-    out << ", \"cached\": " << a.cached << ", \"wall_ms_p50\": " << fmt3(a.wall_ms_p50)
-        << ", \"wall_ms_p90\": " << fmt3(a.wall_ms_p90)
+    out << ", \"cached\": " << a.cached << ", \"wall_samples\": " << a.wall_samples
+        << ", \"wall_ms_p50\": " << fmt3(a.wall_ms_p50)
+        << ", \"wall_ms_p95\": " << fmt3(a.wall_ms_p95)
         << ", \"wall_ms_max\": " << fmt3(a.wall_ms_max);
   }
-  out << "},\n  \"jobs\": [";
+  out << "},\n";
+  if (include_timing) {
+    const FarmTelemetry& t = telemetry;
+    out << "  \"telemetry\": {\"executed\": " << t.executed
+        << ", \"cache_hits\": " << t.cache_hits << ", \"timeouts\": " << t.timeouts
+        << ", \"replacements\": " << t.replacements << ", \"steals\": " << t.steals
+        << ", \"queue_wait_ms_mean\": " << fmt3(t.queue_wait_ms_mean)
+        << ", \"queue_wait_ms_max\": " << fmt3(t.queue_wait_ms_max)
+        << ", \"workers\": [";
+    for (std::size_t i = 0; i < t.workers.size(); ++i) {
+      const WorkerTelemetry& w = t.workers[i];
+      out << (i == 0 ? "" : ", ") << "{\"jobs\": " << w.jobs
+          << ", \"steals\": " << w.steals
+          << ", \"busy_seconds\": " << fmt3(w.busy_seconds) << "}";
+    }
+    out << "]},\n";
+  }
+  out << "  \"jobs\": [";
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const JobRecord& j = jobs[i];
     const JobSpec& s = j.spec;

@@ -34,27 +34,58 @@ struct FarmAggregate {
   std::size_t cached = 0;
   std::uint64_t total_cycles = 0;   // over ok jobs
   std::uint64_t total_retired = 0;  // over ok jobs
-  double wall_ms_p50 = 0.0;         // over executed (non-cached) jobs
-  double wall_ms_p90 = 0.0;
+  /// Wall-time percentiles over *executed, successful* jobs only: cached
+  /// results have no wall time of their own, and failed/timed-out jobs would
+  /// skew the distribution with abort latencies. wall_samples says how many
+  /// jobs the percentiles summarize — 0 means every percentile is 0.0 by
+  /// definition (empty grid, all-cached or all-failed), not "instant".
+  std::size_t wall_samples = 0;
+  double wall_ms_p50 = 0.0;
+  double wall_ms_p95 = 0.0;
   double wall_ms_max = 0.0;
+};
+
+/// Per-worker-slot execution counters (a replacement worker inherits its
+/// predecessor's slot, so the slot's numbers survive timeout abandonment).
+struct WorkerTelemetry {
+  std::size_t jobs = 0;    // jobs this slot completed (including abandoned)
+  std::size_t steals = 0;  // jobs taken from another worker's deque
+  double busy_seconds = 0.0;
+};
+
+/// Run-wide scheduling telemetry: additive observability (schema bump to
+/// rcpn-farm-report/2), emitted only in the timing report — stable_json()
+/// stays byte-identical across worker counts and machine load.
+struct FarmTelemetry {
+  std::size_t executed = 0;    // jobs that actually ran (non-cached)
+  std::size_t cache_hits = 0;  // jobs satisfied from the result cache
+  std::size_t timeouts = 0;    // jobs abandoned by the monitor
+  std::size_t replacements = 0;  // workers spawned to replace stuck ones
+  std::size_t steals = 0;        // sum of WorkerTelemetry::steals
+  /// Queue wait: submission (run start) -> job pickup, over executed jobs.
+  double queue_wait_ms_mean = 0.0;
+  double queue_wait_ms_max = 0.0;
+  std::vector<WorkerTelemetry> workers;  // indexed by worker slot
 };
 
 struct FarmReport {
   std::vector<JobRecord> jobs;  // submission order, independent of scheduling
   unsigned workers = 1;
   double wall_seconds = 0.0;
+  FarmTelemetry telemetry;
 
   FarmAggregate aggregate() const;
   std::size_t count(JobStatus status) const;
 
-  /// Full JSON report (schema "rcpn-farm-report/1"): metadata, aggregate,
-  /// one object per job. Hashes and digests are 16-digit hex strings.
+  /// Full JSON report (schema "rcpn-farm-report/2"): metadata, aggregate,
+  /// telemetry, one object per job. Hashes and digests are 16-digit hex
+  /// strings.
   std::string to_json() const { return render_json(true); }
 
   /// Timing-independent subset: drops wall times/percentiles, the worker
-  /// count and per-job cached flags (which depend on scheduling when
-  /// duplicate-hash jobs race the cache). Equal stable_json() == identical
-  /// simulation outcomes.
+  /// count, the telemetry block and per-job cached flags (which depend on
+  /// scheduling when duplicate-hash jobs race the cache). Equal
+  /// stable_json() == identical simulation outcomes.
   std::string stable_json() const { return render_json(false); }
 
  private:

@@ -57,6 +57,15 @@ struct SimFarm::Impl {
     std::deque<std::size_t> q;
   };
 
+  /// Per-worker-slot execution counters (FarmTelemetry source). Slot-indexed
+  /// like Slot itself, so a replacement worker keeps accumulating into its
+  /// predecessor's numbers — the slot's telemetry survives abandonment.
+  struct WorkerStats {
+    std::atomic<std::size_t> jobs{0};
+    std::atomic<std::size_t> steals{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
   struct RunState {
     std::vector<JobSpec> jobs;
     std::vector<std::uint64_t> hashes;
@@ -69,6 +78,24 @@ struct SimFarm::Impl {
     std::vector<std::thread> threads;  // slot-indexed current worker thread
     std::atomic<bool> monitor_stop{false};
     std::mutex progress_mu;
+    // Run-scoped telemetry (FarmReport::telemetry). Lives in RunState, not
+    // Impl, so abandoned workers of a *previous* run can never race it.
+    Clock::time_point start{};
+    std::vector<std::unique_ptr<WorkerStats>> wstats;  // one per worker slot
+    std::atomic<std::size_t> run_executed{0};
+    std::atomic<std::size_t> run_hits{0};
+    std::atomic<std::size_t> run_timeouts{0};
+    std::atomic<std::size_t> run_replacements{0};
+    std::atomic<std::uint64_t> queue_wait_ns_total{0};
+    std::atomic<std::uint64_t> queue_wait_ns_max{0};
+
+    void record_queue_wait(std::uint64_t ns) {
+      queue_wait_ns_total.fetch_add(ns, std::memory_order_relaxed);
+      std::uint64_t prev = queue_wait_ns_max.load(std::memory_order_relaxed);
+      while (prev < ns && !queue_wait_ns_max.compare_exchange_weak(
+                              prev, ns, std::memory_order_relaxed)) {
+      }
+    }
   };
 
   FarmOptions opts;
@@ -114,8 +141,10 @@ struct SimFarm::Impl {
   /// Pop the next job: own deque from the back (LIFO keeps a worker on the
   /// jobs it was dealt), then steal from the fronts of the others. All jobs
   /// are enqueued before the workers start, so a full empty scan means the
-  /// grid is drained and the worker may exit.
-  std::size_t next_job(RunState& rs, std::size_t wi) {
+  /// grid is drained and the worker may exit. `stolen` reports whether the
+  /// job came from another worker's deque (telemetry).
+  std::size_t next_job(RunState& rs, std::size_t wi, bool& stolen) {
+    stolen = false;
     {
       WorkDeque& d = *rs.deques[wi];
       std::lock_guard<std::mutex> lock(d.mu);
@@ -131,6 +160,7 @@ struct SimFarm::Impl {
       if (!d.q.empty()) {
         const std::size_t j = d.q.front();
         d.q.pop_front();
+        stolen = true;
         return j;
       }
     }
@@ -138,9 +168,18 @@ struct SimFarm::Impl {
   }
 
   void worker_loop(std::shared_ptr<RunState> rs, std::size_t wi, std::uint64_t my_gen) {
+    WorkerStats& ws = *rs->wstats[wi];
     for (;;) {
-      const std::size_t j = next_job(*rs, wi);
+      bool stolen = false;
+      const std::size_t j = next_job(*rs, wi, stolen);
       if (j == kNoJob) return;
+      if (stolen) ws.steals.fetch_add(1, std::memory_order_relaxed);
+      // Queue wait: run start -> pickup. All jobs are enqueued up front, so
+      // this is exactly how long the job sat in a deque.
+      rs->record_queue_wait(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               rs->start)
+              .count()));
 
       // Copy the spec so the executor never aliases the shared jobs vector,
       // even from a thread the monitor has abandoned.
@@ -148,6 +187,7 @@ struct SimFarm::Impl {
       JobResult result;
       if (cache.lookup(rs->hashes[j], result)) {
         hits.fetch_add(1, std::memory_order_relaxed);
+        rs->run_hits.fetch_add(1, std::memory_order_relaxed);
         commit(*rs, j, result);
         continue;
       }
@@ -166,8 +206,17 @@ struct SimFarm::Impl {
         slot.token = token;
       }
 
+      const auto exec_t0 = Clock::now();
       result = ex.execute(spec, timeout_ms, *token);
       executed.fetch_add(1, std::memory_order_relaxed);
+      rs->run_executed.fetch_add(1, std::memory_order_relaxed);
+      ws.jobs.fetch_add(1, std::memory_order_relaxed);
+      ws.busy_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                   exec_t0)
+                  .count()),
+          std::memory_order_relaxed);
 
       bool still_mine = false;
       {
@@ -232,6 +281,7 @@ struct SimFarm::Impl {
         r.error = "timed out after " + std::to_string(timeout_ms) +
                   "ms (in-process worker abandoned, replacement spawned)";
         rs->results[j] = r;
+        rs->run_timeouts.fetch_add(1, std::memory_order_relaxed);
         const std::size_t done = rs->done.fetch_add(1) + 1;
 
         {
@@ -242,6 +292,7 @@ struct SimFarm::Impl {
           }
           try {
             rs->threads[wi] = std::thread(&Impl::worker_loop, this, rs, wi, newgen);
+            rs->run_replacements.fetch_add(1, std::memory_order_relaxed);
           } catch (const std::exception& e) {
             // No replacement thread: other workers will steal this deque; if
             // this was the only worker, fail the leftovers rather than hang.
@@ -266,6 +317,7 @@ struct SimFarm::Impl {
         std::max(1u, opts.workers != 0 ? opts.workers : (hw != 0 ? hw : 4u));
 
     auto rs = std::make_shared<RunState>();
+    rs->start = t0;
     rs->jobs = std::move(jobs);
     const std::size_t n = rs->jobs.size();
     rs->hashes.resize(n);
@@ -278,6 +330,7 @@ struct SimFarm::Impl {
     for (unsigned w = 0; w < nw; ++w) {
       rs->deques.push_back(std::make_unique<WorkDeque>());
       rs->slots.push_back(std::make_unique<Slot>());
+      rs->wstats.push_back(std::make_unique<WorkerStats>());
     }
     for (std::size_t i = 0; i < n; ++i) rs->deques[i % nw]->q.push_back(i);
 
@@ -303,6 +356,36 @@ struct SimFarm::Impl {
     report.jobs.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
       report.jobs.push_back(JobRecord{rs->jobs[i], rs->hashes[i], rs->results[i]});
+
+    // Telemetry snapshot. Live workers and the monitor are joined; an
+    // abandoned zombie may still tick a counter after this point (it keeps
+    // RunState alive via its shared_ptr, so that is safe), but its job was
+    // already reported as a timeout — the snapshot is consistent.
+    FarmTelemetry& t = report.telemetry;
+    t.executed = rs->run_executed.load(std::memory_order_relaxed);
+    t.cache_hits = rs->run_hits.load(std::memory_order_relaxed);
+    t.timeouts = rs->run_timeouts.load(std::memory_order_relaxed);
+    t.replacements = rs->run_replacements.load(std::memory_order_relaxed);
+    const std::size_t picked = t.executed + t.cache_hits;
+    t.queue_wait_ms_mean =
+        picked == 0 ? 0.0
+                    : static_cast<double>(rs->queue_wait_ns_total.load(
+                          std::memory_order_relaxed)) /
+                          static_cast<double>(picked) / 1e6;
+    t.queue_wait_ms_max = static_cast<double>(rs->queue_wait_ns_max.load(
+                              std::memory_order_relaxed)) /
+                          1e6;
+    t.workers.reserve(nw);
+    for (unsigned w = 0; w < nw; ++w) {
+      const WorkerStats& ws = *rs->wstats[w];
+      WorkerTelemetry wt;
+      wt.jobs = ws.jobs.load(std::memory_order_relaxed);
+      wt.steals = ws.steals.load(std::memory_order_relaxed);
+      wt.busy_seconds =
+          static_cast<double>(ws.busy_ns.load(std::memory_order_relaxed)) / 1e9;
+      t.steals += wt.steals;
+      t.workers.push_back(wt);
+    }
     return report;
   }
 };

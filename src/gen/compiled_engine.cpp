@@ -26,12 +26,19 @@ void CompiledEngine::build() {
 bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
                                        InstructionToken* tok, PipelineStage& from,
                                        std::size_t hint) {
+  count_attempt(ct.id);
   if (ct.simple) {
     // Latch-to-latch: shape and destination stage were resolved at lowering.
     PipelineStage& to = *ct.move_stage;
-    if (&to != &from && !to.has_room(1, 0)) return false;
+    if (&to != &from && !to.has_room(1, 0)) {
+      reject_cause_ = core::StallCause::capacity_backpressure;
+      return false;
+    }
     FireCtx ctx{this, tok, ct.id};
-    if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
+    if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) {
+      reject_cause_ = core::StallCause::guard_rejected;
+      return false;
+    }
     const bool removed = from.remove_at(hint, tok);
     assert(removed && "trigger token not visible in its place");
     (void)removed;
@@ -39,8 +46,7 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
     tok->state = core::kNoPlace;
     if (ct.action != nullptr) ct.action(ct.action_env, ctx);
     enter_place_in(tok, ct.move_place, to, ct.delay);
-    ++stats_.firings;
-    ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+    count_fire(ct.id);
     return true;
   }
 
@@ -49,7 +55,10 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
   unsigned nres = 0;
   for (unsigned i = 0; i < ct.n_res_in; ++i) {
     Token* r = find_ready_reservation(cm_.res_in[ct.res_in_begin + i]);
-    if (r == nullptr) return false;
+    if (r == nullptr) {
+      reject_cause_ = core::StallCause::no_ready_token;
+      return false;
+    }
     assert(nres < 4);
     reservations[nres++] = r;
   }
@@ -74,12 +83,17 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
   for (unsigned i = 0; i < nd; ++i) {
     const PipelineStage& st = net_.stage(deltas[i].stage);
     if (!st.has_room(static_cast<std::uint32_t>(deltas[i].additions),
-                     static_cast<std::uint32_t>(deltas[i].removals)))
+                     static_cast<std::uint32_t>(deltas[i].removals))) {
+      reject_cause_ = core::StallCause::capacity_backpressure;
       return false;
+    }
   }
 
   FireCtx ctx{this, tok, ct.id};
-  if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) return false;
+  if (ct.guard != nullptr && !ct.guard(ct.guard_env, ctx)) {
+    reject_cause_ = core::StallCause::guard_rejected;
+    return false;
+  }
 
   // ---- fire ----
   const bool removed = from.remove_at(hint, tok);
@@ -106,8 +120,7 @@ bool CompiledEngine::try_fire_compiled(const CompiledTransition& ct,
     }
   }
 
-  ++stats_.firings;
-  ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+  count_fire(ct.id);
   return true;
 }
 
@@ -140,6 +153,8 @@ void CompiledEngine::process_place_compiled(PlaceId p, PipelineStage& st) {
     // Re-check: an earlier firing in this cycle may have consumed, flushed or
     // even recycled-and-reinjected this token.
     if (tok->place != p || tok->squashed || tok->ready > clock_) continue;
+    // Same last-candidate-wins attribution as Engine::process_place.
+    reject_cause_ = core::StallCause::no_ready_token;
     const std::size_t hint =
         scratch_idx_[k] >= removed_here ? scratch_idx_[k] - removed_here : 0;
     const CandRange r = cm_.cell[static_cast<std::size_t>(p) * cm_.num_types +
@@ -152,11 +167,12 @@ void CompiledEngine::process_place_compiled(PlaceId p, PipelineStage& st) {
         break;
       }
     }
-    if (!fired) ++stats_.place_stalls[static_cast<unsigned>(p)];
+    if (!fired) count_stall(p, tok);
   }
 }
 
 bool CompiledEngine::independent_enabled_compiled(const CompiledTransition& ct) {
+  count_attempt(ct.id);
   for (unsigned i = 0; i < ct.n_res_in; ++i)
     if (find_ready_reservation(cm_.res_in[ct.res_in_begin + i]) == nullptr) return false;
   for (unsigned i = 0; i < ct.n_out; ++i)
@@ -186,8 +202,7 @@ void CompiledEngine::fire_independent_compiled(const CompiledTransition& ct) {
     // Move targets declare capacity intent only; the action emits instruction
     // tokens itself via emit_instruction().
   }
-  ++stats_.firings;
-  ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+  count_fire(ct.id);
 }
 
 bool CompiledEngine::step() {

@@ -124,12 +124,19 @@ class StaticEngine final : public core::Engine {
 
   bool try_fire_static(const StaticTx& ct, core::InstructionToken* tok,
                        core::PipelineStage& from, std::size_t hint) {
+    count_attempt(ct.id);
     if (ct.simple) {
       // Latch-to-latch: shape and destination were resolved at emission.
       core::PipelineStage& to = *place_stage_[static_cast<unsigned>(ct.move_place)];
-      if (&to != &from && !to.has_room(1, 0)) return false;
+      if (&to != &from && !to.has_room(1, 0)) {
+        reject_cause_ = core::StallCause::capacity_backpressure;
+        return false;
+      }
       core::FireCtx ctx{this, tok, ct.id};
-      if (!run_guard(ct.id, ctx)) return false;
+      if (!run_guard(ct.id, ctx)) {
+        reject_cause_ = core::StallCause::guard_rejected;
+        return false;
+      }
       const bool removed = from.remove_at(hint, tok);
       assert(removed && "trigger token not visible in its place");
       (void)removed;
@@ -137,8 +144,7 @@ class StaticEngine final : public core::Engine {
       tok->state = core::kNoPlace;
       run_action(ct.id, ctx);
       enter_place_in(tok, ct.move_place, to, ct.delay);
-      ++stats_.firings;
-      ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+      count_fire(ct.id);
       return true;
     }
 
@@ -147,7 +153,10 @@ class StaticEngine final : public core::Engine {
     unsigned nres = 0;
     for (unsigned i = 0; i < ct.n_res_in; ++i) {
       core::Token* r = find_ready_reservation(Traits::kResIn[ct.res_in_begin + i]);
-      if (r == nullptr) return false;
+      if (r == nullptr) {
+        reject_cause_ = core::StallCause::no_ready_token;
+        return false;
+      }
       assert(nres < 4);
       reservations[nres++] = r;
     }
@@ -174,12 +183,17 @@ class StaticEngine final : public core::Engine {
     for (unsigned i = 0; i < nd; ++i) {
       const core::PipelineStage& st = net_.stage(deltas[i].stage);
       if (!st.has_room(static_cast<std::uint32_t>(deltas[i].additions),
-                       static_cast<std::uint32_t>(deltas[i].removals)))
+                       static_cast<std::uint32_t>(deltas[i].removals))) {
+        reject_cause_ = core::StallCause::capacity_backpressure;
         return false;
+      }
     }
 
     core::FireCtx ctx{this, tok, ct.id};
-    if (!run_guard(ct.id, ctx)) return false;
+    if (!run_guard(ct.id, ctx)) {
+      reject_cause_ = core::StallCause::guard_rejected;
+      return false;
+    }
 
     // ---- fire ----
     const bool removed = from.remove_at(hint, tok);
@@ -208,8 +222,7 @@ class StaticEngine final : public core::Engine {
       }
     }
 
-    ++stats_.firings;
-    ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+    count_fire(ct.id);
     return true;
   }
 
@@ -238,6 +251,8 @@ class StaticEngine final : public core::Engine {
       // Re-check: an earlier firing in this cycle may have consumed, flushed
       // or even recycled-and-reinjected this token.
       if (tok->place != p || tok->squashed || tok->ready > clock_) continue;
+      // Same last-candidate-wins attribution as Engine::process_place.
+      reject_cause_ = core::StallCause::no_ready_token;
       const std::size_t hint =
           scratch_idx_[k] >= removed_here ? scratch_idx_[k] - removed_here : 0;
       const StaticCandRange r =
@@ -251,11 +266,12 @@ class StaticEngine final : public core::Engine {
           break;
         }
       }
-      if (!fired) ++stats_.place_stalls[static_cast<unsigned>(p)];
+      if (!fired) count_stall(p, tok);
     }
   }
 
   bool independent_enabled_static(const StaticTx& ct) {
+    count_attempt(ct.id);
     for (unsigned i = 0; i < ct.n_res_in; ++i)
       if (find_ready_reservation(Traits::kResIn[ct.res_in_begin + i]) == nullptr)
         return false;
@@ -286,8 +302,7 @@ class StaticEngine final : public core::Engine {
       // Move targets declare capacity intent only; the action emits
       // instruction tokens itself via emit_instruction().
     }
-    ++stats_.firings;
-    ++stats_.transition_fires[static_cast<unsigned>(ct.id)];
+    count_fire(ct.id);
   }
 
   // -- staleness verification -------------------------------------------------

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/export.hpp"
+
 namespace rcpn::machines {
 
 void record_golden_retires(core::Engine& eng, std::vector<GoldenRetireEvent>& out) {
@@ -113,7 +115,9 @@ std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
 int golden_cli_main(int argc, char** argv, const std::string& name,
                     const GoldenRunFn& run, core::EngineOptions base) {
   std::string golden_path;
+  std::string trace_json_path;
   bool print_stats = false;
+  bool print_profile = false;
   long reps = 0;
   core::EngineOptions options = base;
   options.backend = core::Backend::generated;
@@ -123,6 +127,10 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
       golden_path = argv[++i];
     } else if (arg == "--stats") {
       print_stats = true;
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      trace_json_path = argv[++i];
+    } else if (arg == "--profile") {
+      print_profile = true;
     } else if (arg == "--time" && i + 1 < argc) {
       reps = std::atol(argv[++i]);
       if (reps <= 0) {
@@ -148,6 +156,7 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--golden FILE] [--stats] [--time N]\n"
+          "       [--trace-json FILE] [--profile]\n"
           "       [--backend generated|compiled|interpreted]\n"
           "       [--force-two-list-all] [--no-two-list-state-refs]\n"
           "       [--linear-search]\n"
@@ -158,6 +167,10 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
           "--stats: also print the aggregate `# stats ...` line.\n"
           "--time N: run the workload N times (plus a warm-up) and print one\n"
           "`time ... secs=...` line instead of the trace.\n"
+          "--trace-json FILE: write a Chrome-trace-event/Perfetto JSON of the\n"
+          "run (needs a build with RCPN_OBS=ON; load in ui.perfetto.dev).\n"
+          "--profile: print the aggregate observability profile (occupancy\n"
+          "histograms, stall causes, candidate-scan hit rates; RCPN_OBS=ON).\n"
           "The schedule flags select ablation variants; the generated backend\n"
           "only accepts the options its tables were emitted for (use\n"
           "--backend compiled to run other schedules from this binary).\n",
@@ -168,6 +181,25 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
       return 2;
     }
   }
+
+  const bool want_obs = !trace_json_path.empty() || print_profile;
+  if (want_obs && reps > 0) {
+    std::fprintf(stderr,
+                 "--trace-json/--profile cannot be combined with --time: probe "
+                 "recording would distort the measurement\n");
+    return 2;
+  }
+#if !RCPN_OBS
+  if (want_obs) {
+    std::fprintf(stderr,
+                 "--trace-json/--profile need a build with RCPN_OBS=ON (this "
+                 "binary was compiled without the probe layer)\n");
+    return 2;
+  }
+#else
+  obs::Hub obs_hub;
+  if (want_obs) options.obs = &obs_hub;
+#endif
 
   if (reps > 0) {
     try {
@@ -205,6 +237,20 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
     std::fprintf(stderr, "%s: workload retired nothing\n", name.c_str());
     return 1;
   }
+
+#if RCPN_OBS
+  if (!trace_json_path.empty()) {
+    std::ofstream out(trace_json_path, std::ios::binary);
+    if (!out.good()) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name.c_str(),
+                   trace_json_path.c_str());
+      return 2;
+    }
+    out << obs::export_chrome_trace(obs_hub);
+    std::fprintf(stderr, "%s: wrote %s\n", name.c_str(), trace_json_path.c_str());
+  }
+  if (print_profile) std::fputs(obs::format_profile(obs_hub).c_str(), stdout);
+#endif
 
   if (golden_path.empty()) {
     std::fputs(format_golden_trace(name, result.trace).c_str(), stdout);

@@ -85,6 +85,11 @@ std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
 ///   --time N                          timing mode: run the workload N times
 ///                                     (plus one warm-up) and print one
 ///                                     `time ... secs=...` line
+///   --trace-json FILE                 write a Chrome-trace-event/Perfetto
+///                                     JSON of the run (RCPN_OBS=ON builds;
+///                                     exit 2 otherwise or with --time)
+///   --profile                         print the aggregate observability
+///                                     profile (RCPN_OBS=ON builds)
 ///   --backend generated|compiled|interpreted
 ///                                     escape hatch for A/B timing
 ///   --force-two-list-all, --no-two-list-state-refs, --linear-search

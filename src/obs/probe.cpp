@@ -1,0 +1,17 @@
+#include "obs/probe.hpp"
+
+namespace rcpn::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::token_enter: return "token_enter";
+    case EventKind::retire: return "retire";
+    case EventKind::squash: return "squash";
+    case EventKind::fire: return "fire";
+    case EventKind::stall: return "stall";
+    case EventKind::occupancy: return "occupancy";
+  }
+  return "?";
+}
+
+}  // namespace rcpn::obs

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "farm/job.hpp"
+#include "farm/report.hpp"
 #include "farm/sim_farm.hpp"
 #include "machines/golden_runner.hpp"
 
@@ -204,15 +205,113 @@ TEST(FarmCache, FailedJobsAreNotCached) {
 TEST(FarmReportJson, CarriesSchemaAndPerJobIdentity) {
   const farm::FarmReport report = run_fresh({golden_spec("fig2")}, 1);
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("rcpn-farm-report/1"), std::string::npos);
+  EXPECT_NE(json.find("rcpn-farm-report/2"), std::string::npos);
   EXPECT_NE(json.find("\"machine\": \"fig2\""), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(json.find("\"digest\""), std::string::npos);
-  // The stable subset must not leak timing fields.
+  // Timing-dependent blocks ride in to_json() only; the stable subset used
+  // for N-vs-1-worker determinism comparison must not leak any of them.
+  EXPECT_NE(json.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_ms_mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms_p95\""), std::string::npos);
   const std::string stable = report.stable_json();
   EXPECT_EQ(stable.find("wall_ms"), std::string::npos);
   EXPECT_EQ(stable.find("\"workers\""), std::string::npos);
   EXPECT_EQ(stable.find("\"cached\""), std::string::npos);
+  EXPECT_EQ(stable.find("\"telemetry\""), std::string::npos);
+}
+
+// -- aggregate percentiles ----------------------------------------------------
+
+namespace {
+
+/// A hand-built ok record with a pinned wall time, for percentile pinning.
+farm::JobRecord ok_record(double wall_ms, bool cached = false) {
+  farm::JobRecord rec;
+  rec.spec = golden_spec("fig2");
+  rec.result.status = farm::JobStatus::ok;
+  rec.result.cached = cached;
+  rec.result.wall_seconds = wall_ms * 1e-3;
+  return rec;
+}
+
+}  // namespace
+
+TEST(FarmAggregate, EmptyReportHasZeroSamplesAndZeroPercentiles) {
+  const farm::FarmReport report;
+  const farm::FarmAggregate a = report.aggregate();
+  EXPECT_EQ(a.jobs, 0u);
+  EXPECT_EQ(a.wall_samples, 0u);
+  EXPECT_EQ(a.wall_ms_p50, 0.0);
+  EXPECT_EQ(a.wall_ms_p95, 0.0);
+  EXPECT_EQ(a.wall_ms_max, 0.0);
+}
+
+TEST(FarmAggregate, FailedAndCachedJobsContributeNoWallSamples) {
+  farm::FarmReport report;
+  farm::JobRecord failed;
+  failed.spec = golden_spec("fig2");
+  failed.result.status = farm::JobStatus::failed;
+  failed.result.wall_seconds = 5.0;  // failure latency is not simulation cost
+  report.jobs.push_back(failed);
+  farm::JobRecord timed_out = failed;
+  timed_out.result.status = farm::JobStatus::timeout;
+  report.jobs.push_back(timed_out);
+  report.jobs.push_back(ok_record(7.0, /*cached=*/true));
+
+  const farm::FarmAggregate a = report.aggregate();
+  EXPECT_EQ(a.jobs, 3u);
+  EXPECT_EQ(a.failed, 1u);
+  EXPECT_EQ(a.timeout, 1u);
+  EXPECT_EQ(a.cached, 1u);
+  EXPECT_EQ(a.wall_samples, 0u);
+  EXPECT_EQ(a.wall_ms_p50, 0.0);
+  EXPECT_EQ(a.wall_ms_p95, 0.0);
+  EXPECT_EQ(a.wall_ms_max, 0.0);
+}
+
+TEST(FarmAggregate, NearestRankPercentilesArePinned) {
+  farm::FarmReport report;
+  for (int ms = 10; ms >= 1; --ms)  // reverse order: aggregate() must sort
+    report.jobs.push_back(ok_record(static_cast<double>(ms)));
+  const farm::FarmAggregate a = report.aggregate();
+  EXPECT_EQ(a.wall_samples, 10u);
+  // Nearest-rank over sorted {1..10}: p50 -> index 5 (6ms), p95 -> index 9.
+  EXPECT_DOUBLE_EQ(a.wall_ms_p50, 6.0);
+  EXPECT_DOUBLE_EQ(a.wall_ms_p95, 10.0);
+  EXPECT_DOUBLE_EQ(a.wall_ms_max, 10.0);
+}
+
+// -- telemetry ----------------------------------------------------------------
+
+TEST(FarmTelemetry, CountsExecutionsStealsAndWorkerSlots) {
+  const std::vector<farm::JobSpec> jobs = mixed_grid();
+  const farm::FarmReport report = run_fresh(jobs, 3);
+  const farm::FarmTelemetry& t = report.telemetry;
+  EXPECT_EQ(t.executed + t.cache_hits, jobs.size());
+  EXPECT_EQ(t.cache_hits, 0u);  // fresh farm, nothing cached
+  EXPECT_EQ(t.timeouts, 0u);
+  ASSERT_EQ(t.workers.size(), 3u);
+  std::size_t per_worker_jobs = 0, per_worker_steals = 0;
+  for (const farm::WorkerTelemetry& w : t.workers) {
+    per_worker_jobs += w.jobs;
+    per_worker_steals += w.steals;
+    EXPECT_GE(w.busy_seconds, 0.0);
+  }
+  EXPECT_EQ(per_worker_jobs, t.executed);
+  EXPECT_EQ(per_worker_steals, t.steals);
+  EXPECT_GE(t.queue_wait_ms_max, t.queue_wait_ms_mean);
+}
+
+TEST(FarmTelemetry, CacheHitsAreCountedPerRun) {
+  const std::vector<farm::JobSpec> jobs = mixed_grid();
+  farm::SimFarm sim_farm;
+  const farm::FarmReport first = sim_farm.run(jobs);
+  EXPECT_EQ(first.telemetry.executed, jobs.size());
+  EXPECT_EQ(first.telemetry.cache_hits, 0u);
+  const farm::FarmReport second = sim_farm.run(jobs);
+  EXPECT_EQ(second.telemetry.executed, 0u);
+  EXPECT_EQ(second.telemetry.cache_hits, jobs.size());
 }
 
 // -- progress callback --------------------------------------------------------

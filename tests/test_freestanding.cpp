@@ -60,6 +60,7 @@ void expect_stats_equal(const std::string& key, const std::string& what,
   EXPECT_EQ(a.firings, b.firings) << key << " " << what;
   EXPECT_EQ(a.transition_fires, b.transition_fires) << key << " " << what;
   EXPECT_EQ(a.place_stalls, b.place_stalls) << key << " " << what;
+  EXPECT_EQ(a.place_stall_causes, b.place_stall_causes) << key << " " << what;
 }
 
 #ifdef RCPN_HAVE_FS_BINARIES

@@ -72,6 +72,7 @@ void expect_stats_equal(unsigned seed, const core::Stats& i, const core::Stats& 
   EXPECT_EQ(i.firings, c.firings) << "seed=" << seed;
   EXPECT_EQ(i.transition_fires, c.transition_fires) << "seed=" << seed;
   EXPECT_EQ(i.place_stalls, c.place_stalls) << "seed=" << seed;
+  EXPECT_EQ(i.place_stall_causes, c.place_stall_causes) << "seed=" << seed;
 }
 
 /// Aggregate workload exercised by a seed range: guards that the corpus

@@ -53,6 +53,7 @@ void expect_stats_equal(const core::Stats& interp, const core::Stats& comp) {
   EXPECT_EQ(interp.firings, comp.firings);
   EXPECT_EQ(interp.transition_fires, comp.transition_fires);
   EXPECT_EQ(interp.place_stalls, comp.place_stalls);
+  EXPECT_EQ(interp.place_stall_causes, comp.place_stall_causes);
 }
 
 // ---------------------------------------------------------------------------

@@ -137,6 +137,7 @@ TEST(MultiIssueModelApi, TwoWideBackendsAgreeCycleForCycle) {
   EXPECT_EQ(is.firings, cs.firings);
   EXPECT_EQ(is.transition_fires, cs.transition_fires);
   EXPECT_EQ(is.place_stalls, cs.place_stalls);
+  EXPECT_EQ(is.place_stall_causes, cs.place_stall_causes);
 
   const double ipc = 2000.0 / static_cast<double>(is.cycles);
   EXPECT_GT(ipc, 1.8);

@@ -1,0 +1,470 @@
+// Observability layer: the zero-interference contract and the exporters.
+//
+// Three layers of pinning:
+//  * Zero interference — attaching a Hub must leave golden retire traces and
+//    engine statistics byte-identical for every machine and backend, in BOTH
+//    build configurations (RCPN_OBS=OFF ignores the hub entirely; RCPN_OBS=ON
+//    records but must not perturb timing-visible behaviour). An 8-seed fuzz
+//    shard extends the same contract to generated topologies.
+//  * Backend-identical event streams — with probes compiled in, interpreted,
+//    compiled and generated(linked) backends must fill the ring and the
+//    StageProfile identically for the same run (the probes live in shared
+//    engine code; this catches a backend growing a private call site).
+//  * Exporters — export_chrome_trace() and format_profile() are exercised on
+//    hand-built hubs so they are covered in every build config: JSON
+//    validity, one named track per stage, balanced b/e token spans,
+//    monotonic timestamps, drop-oldest ring truncation flagged not hidden.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/net.hpp"
+#include "core/stats.hpp"
+#include "machines/fuzz_model.hpp"
+#include "machines/golden_runner.hpp"
+#include "obs/export.hpp"
+#include "obs/probe.hpp"
+
+namespace rcpn {
+namespace {
+
+// -- minimal JSON syntax checker ----------------------------------------------
+// Enough of RFC 8259 to reject unbalanced/truncated output; no DOM, no deps.
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse() {
+    if (!value()) return false;
+    ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+                              s_[i_] == '\r'))
+      ++i_;
+  }
+  bool lit(const char* t) {
+    const std::size_t n = std::strlen(t);
+    if (s_.compare(i_, n, t) != 0) return false;
+    i_ += n;
+    return true;
+  }
+  bool string_lit() {
+    if (i_ >= s_.size() || s_[i_] != '"') return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+      }
+      ++i_;
+    }
+    if (i_ >= s_.size()) return false;
+    ++i_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    bool digits = false;
+    while (i_ < s_.size() && ((s_[i_] >= '0' && s_[i_] <= '9') || s_[i_] == '.' ||
+                              s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' ||
+                              s_[i_] == '-')) {
+      if (s_[i_] >= '0' && s_[i_] <= '9') digits = true;
+      ++i_;
+    }
+    return digits && i_ > start;
+  }
+  bool object() {
+    ++i_;  // '{'
+    ws();
+    if (i_ < s_.size() && s_[i_] == '}') return ++i_, true;
+    while (true) {
+      ws();
+      if (!string_lit()) return false;
+      ws();
+      if (i_ >= s_.size() || s_[i_] != ':') return false;
+      ++i_;
+      if (!value()) return false;
+      ws();
+      if (i_ >= s_.size()) return false;
+      if (s_[i_] == ',') {
+        ++i_;
+        continue;
+      }
+      if (s_[i_] == '}') return ++i_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    ws();
+    if (i_ < s_.size() && s_[i_] == ']') return ++i_, true;
+    while (true) {
+      if (!value()) return false;
+      ws();
+      if (i_ >= s_.size()) return false;
+      if (s_[i_] == ',') {
+        ++i_;
+        continue;
+      }
+      if (s_[i_] == ']') return ++i_, true;
+      return false;
+    }
+  }
+  bool value() {
+    ws();
+    if (i_ >= s_.size()) return false;
+    const char c = s_[i_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_lit();
+    if (lit("true") || lit("false") || lit("null")) return true;
+    return number();
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+bool valid_json(const std::string& text) { return JsonParser(text).parse(); }
+
+std::size_t count_substr(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+/// Every "ts": value, in emission order.
+std::vector<std::uint64_t> extract_ts(const std::string& s) {
+  std::vector<std::uint64_t> out;
+  const std::string key = "\"ts\":";
+  for (std::size_t pos = s.find(key); pos != std::string::npos;
+       pos = s.find(key, pos + key.size())) {
+    std::uint64_t v = 0;
+    for (std::size_t i = pos + key.size(); i < s.size() && s[i] >= '0' && s[i] <= '9';
+         ++i)
+      v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// The in-process backends available to this binary. Backend::generated
+/// needs the emitted no-main TUs linked in (CMake defines
+/// RCPN_HAVE_GENERATED when it adds them, mirroring test_freestanding).
+std::vector<core::Backend> in_process_backends() {
+  return {
+      core::Backend::interpreted,
+      core::Backend::compiled,
+#ifdef RCPN_HAVE_GENERATED
+      core::Backend::generated,
+#endif
+  };
+}
+
+/// A two-stage toy model binding for the exporter tests (no engine needed).
+obs::Meta toy_meta() {
+  obs::Meta m;
+  m.model = "toy";
+  m.stage_names = {"fetch", "exec"};
+  m.place_names = {"p_fetch", "p_exec"};
+  m.place_stage = {0, 1};
+  m.transition_names = {"t_fetch", "t_exec"};
+  m.transition_place = {0, 1};
+  return m;
+}
+
+}  // namespace
+
+// -- ring buffer --------------------------------------------------------------
+
+TEST(ObsRing, DropsOldestAndCountsEvictions) {
+  obs::HubOptions ho;
+  ho.ring_capacity = 4;
+  obs::Hub hub(ho);
+  hub.bind(toy_meta());
+  for (std::uint64_t cycle = 0; cycle < 10; ++cycle)
+    hub.on_token_enter(cycle, 0, static_cast<std::uint32_t>(cycle), 0x100 + cycle);
+
+  EXPECT_EQ(hub.sink().size(), 4u);
+  EXPECT_EQ(hub.sink().dropped(), 6u);
+  const std::vector<obs::Event> kept = hub.sink().snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    EXPECT_EQ(kept[i].cycle, 6 + i) << "snapshot must be oldest-first";
+}
+
+TEST(ObsRing, ClearResetsEventsCountersAndProfile) {
+  obs::Hub hub;
+  hub.bind(toy_meta());
+  hub.on_token_enter(0, 0, 1, 0x8000);
+  hub.on_fire(0, 0);
+  hub.on_cycle_end(0);
+  ASSERT_GT(hub.sink().size(), 0u);
+  ASSERT_EQ(hub.profile().cycles, 1u);
+  hub.clear();
+  EXPECT_EQ(hub.sink().size(), 0u);
+  EXPECT_EQ(hub.sink().dropped(), 0u);
+  EXPECT_EQ(hub.profile().cycles, 0u);
+  EXPECT_EQ(hub.profile().fires, std::vector<std::uint64_t>({0, 0}));
+  EXPECT_TRUE(hub.bound());  // the binding survives
+}
+
+// -- Chrome-trace exporter ----------------------------------------------------
+
+namespace {
+
+/// A tiny scripted run: two instructions through two stages, one stall, one
+/// squash — every event kind appears at least once.
+void scripted_run(obs::Hub& hub) {
+  hub.bind(toy_meta());
+  // cycle 0: seq 0 enters fetch and the fetch transition fires.
+  hub.on_attempt(0);
+  hub.on_fire(0, 0);
+  hub.on_token_enter(0, 0, 0, 0x8000);
+  hub.sample_stage(0, 0, 1);
+  hub.sample_stage(0, 1, 0);
+  hub.on_cycle_end(0);
+  // cycle 1: seq 0 advances to exec, seq 1 enters fetch and stalls on a guard.
+  hub.on_attempt(1);
+  hub.on_fire(1, 1);
+  hub.on_token_enter(1, 1, 0, 0x8000);
+  hub.on_token_enter(1, 0, 1, 0x8004);
+  hub.on_attempt(0);
+  hub.on_stall(1, 0, core::StallCause::guard_rejected, 1, 0x8004);
+  hub.sample_stage(1, 0, 1);
+  hub.sample_stage(1, 1, 1);
+  hub.on_cycle_end(1);
+  // cycle 2: seq 0 retires, seq 1 is squashed by a flush.
+  hub.on_retire(2, 0, 0x8000);
+  hub.on_squash(2, 1, 0x8004);
+  hub.sample_stage(2, 0, 0);
+  hub.sample_stage(2, 1, 0);
+  hub.on_cycle_end(2);
+}
+
+}  // namespace
+
+TEST(ObsExport, ChromeTraceIsValidJsonWithOneTrackPerStage) {
+  obs::Hub hub;
+  scripted_run(hub);
+  const std::string json = obs::export_chrome_trace(hub);
+  EXPECT_TRUE(valid_json(json)) << json;
+
+  // One thread_name per stage plus the tid-0 independent/engine track.
+  EXPECT_EQ(count_substr(json, "\"thread_name\""), 3u);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"independent\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"fetch\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"exec\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+
+  // Every token residency "b" has a matching "e" (the squash closes seq 1).
+  EXPECT_EQ(count_substr(json, "\"ph\":\"b\""), count_substr(json, "\"ph\":\"e\""));
+  EXPECT_EQ(count_substr(json, "\"ph\":\"b\""), 3u);  // 2 fetch entries + 1 exec
+
+  // Instants and counters made it through with their payloads.
+  EXPECT_NE(json.find("\"name\":\"retire\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"squash\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fire t_fetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stall guard_rejected\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"occ fetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+
+  // Timestamps are cycle numbers and never run backwards in emission order.
+  const std::vector<std::uint64_t> ts = extract_ts(json);
+  ASSERT_GT(ts.size(), 4u);
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    EXPECT_LE(ts[i - 1], ts[i]) << "ts index " << i;
+}
+
+TEST(ObsExport, RingEvictedBeginNeverEmitsUnbalancedEnd) {
+  obs::HubOptions ho;
+  ho.ring_capacity = 2;
+  obs::Hub hub(ho);
+  hub.bind(toy_meta());
+  hub.on_token_enter(0, 0, 0, 0x8000);  // evicted below
+  hub.on_token_enter(0, 0, 1, 0x8004);  // evicted below
+  hub.on_token_enter(1, 0, 2, 0x8008);
+  hub.on_retire(2, 0, 0x8000);  // begin of seq 0 is gone from the ring
+
+  const std::string json = obs::export_chrome_trace(hub);
+  EXPECT_TRUE(valid_json(json)) << json;
+  // seq 2's begin is closed at end-of-recording; seq 0's retire must NOT
+  // synthesize an "e" for a begin the ring no longer holds.
+  EXPECT_EQ(count_substr(json, "\"ph\":\"b\""), 1u);
+  EXPECT_EQ(count_substr(json, "\"ph\":\"e\""), 1u);
+  EXPECT_NE(json.find("\"dropped_events\":2"), std::string::npos);
+}
+
+TEST(ObsExport, FormatProfileReportsOccupancyStallsAndScanCosts) {
+  obs::Hub hub;
+  scripted_run(hub);
+  const std::string text = obs::format_profile(hub);
+  EXPECT_NE(text.find("profile: toy  (cycles: 3)"), std::string::npos) << text;
+  EXPECT_NE(text.find("stage occupancy"), std::string::npos);
+  EXPECT_NE(text.find("stall causes (no_ready/guard/capacity):"), std::string::npos);
+  EXPECT_NE(text.find("p_fetch: 1 (0/1/0)"), std::string::npos) << text;
+  // t_fetch: 1 fire / 2 attempts (the cycle-1 attempt was guard-rejected).
+  EXPECT_NE(text.find("t_fetch: 1/2 (50%)"), std::string::npos) << text;
+}
+
+// -- zero interference: golden machines ---------------------------------------
+
+TEST(ObsGolden, AttachedHubLeavesGoldenTracesByteIdentical) {
+  for (const std::string& key : machines::golden_machine_keys()) {
+    for (const core::Backend backend : in_process_backends()) {
+      core::EngineOptions base;
+      base.backend = backend;
+      const machines::GoldenRunResult plain =
+          machines::run_golden_machine_full(key, base);
+
+      obs::Hub hub;
+      core::EngineOptions observed_opts = base;
+      observed_opts.obs = &hub;
+      const machines::GoldenRunResult observed =
+          machines::run_golden_machine_full(key, observed_opts);
+
+      const std::string label = key + " backend=" +
+                                std::to_string(static_cast<int>(backend));
+      EXPECT_EQ(machines::format_golden_trace(key, plain.trace),
+                machines::format_golden_trace(key, observed.trace))
+          << label;
+      EXPECT_EQ(plain.stats.cycles, observed.stats.cycles) << label;
+      EXPECT_EQ(plain.stats.retired, observed.stats.retired) << label;
+      EXPECT_EQ(plain.stats.place_stalls, observed.stats.place_stalls) << label;
+      EXPECT_EQ(plain.stats.place_stall_causes, observed.stats.place_stall_causes)
+          << label;
+
+#if RCPN_OBS
+      // Probes compiled in: the hub really recorded the run...
+      EXPECT_TRUE(hub.bound()) << label;
+      EXPECT_GT(hub.sink().size(), 0u) << label;
+      EXPECT_EQ(hub.profile().cycles, observed.stats.cycles) << label;
+#else
+      // ...and compiled out: the pointer is inert, the hub untouched.
+      EXPECT_FALSE(hub.bound()) << label;
+      EXPECT_EQ(hub.sink().size(), 0u) << label;
+#endif
+    }
+  }
+}
+
+// -- zero interference + lockstep: fuzz shard ---------------------------------
+
+// Eight generated topologies with hubs attached to BOTH engines of each
+// lockstep pair: traces and stats must agree with each other (and, with
+// probes compiled in, so must the recorded event streams and profiles —
+// the cross-backend stream contract on machines nobody curated).
+TEST(ObsFuzz, EightSeedShardRunsLockstepWithProbesAttached) {
+  for (unsigned seed = 9100; seed < 9108; ++seed) {
+    obs::Hub hub_i, hub_c;
+    core::EngineOptions oi = machines::fuzz_options_for(seed, core::Backend::interpreted);
+    core::EngineOptions oc = machines::fuzz_options_for(seed, core::Backend::compiled);
+    oi.obs = &hub_i;
+    oc.obs = &hub_c;
+    const machines::GoldenRunResult ri = machines::golden_run_fuzz(seed, oi);
+    const machines::GoldenRunResult rc = machines::golden_run_fuzz(seed, oc);
+
+    ASSERT_FALSE(ri.trace.empty()) << "seed=" << seed;
+    EXPECT_EQ(ri.trace, rc.trace) << "seed=" << seed;
+    EXPECT_EQ(ri.stats.cycles, rc.stats.cycles) << "seed=" << seed;
+    EXPECT_EQ(ri.stats.place_stalls, rc.stats.place_stalls) << "seed=" << seed;
+    EXPECT_EQ(ri.stats.place_stall_causes, rc.stats.place_stall_causes)
+        << "seed=" << seed;
+
+#if RCPN_OBS
+    const std::vector<obs::Event> ei = hub_i.sink().snapshot();
+    const std::vector<obs::Event> ec = hub_c.sink().snapshot();
+    ASSERT_EQ(ei.size(), ec.size()) << "seed=" << seed;
+    EXPECT_TRUE(ei == ec) << "seed=" << seed << ": event streams diverge";
+    EXPECT_TRUE(hub_i.profile() == hub_c.profile())
+        << "seed=" << seed << ": profiles diverge";
+    EXPECT_EQ(hub_i.profile().cycles, ri.stats.cycles) << "seed=" << seed;
+#endif
+  }
+}
+
+// -- cross-backend event streams (probes compiled in only) --------------------
+
+#if RCPN_OBS
+
+TEST(ObsStreams, AllInProcessBackendsEmitIdenticalEventStreams) {
+  for (const std::string& key : machines::golden_machine_keys()) {
+    std::vector<obs::Event> ref_events;
+    obs::StageProfile ref_profile;
+    bool have_ref = false;
+    for (const core::Backend backend : in_process_backends()) {
+      obs::Hub hub;
+      core::EngineOptions options;
+      options.backend = backend;
+      options.obs = &hub;
+      machines::run_golden_machine_full(key, options);
+      const std::vector<obs::Event> events = hub.sink().snapshot();
+      ASSERT_GT(events.size(), 0u) << key;
+      if (!have_ref) {
+        ref_events = events;
+        ref_profile = hub.profile();
+        have_ref = true;
+        continue;
+      }
+      const std::string label =
+          key + " backend=" + std::to_string(static_cast<int>(backend));
+      ASSERT_EQ(events.size(), ref_events.size()) << label;
+      // Name the first diverging event instead of dumping both streams.
+      for (std::size_t i = 0; i < events.size(); ++i)
+        ASSERT_TRUE(events[i] == ref_events[i])
+            << label << ": first divergence at event " << i << " (cycle "
+            << events[i].cycle << ", kind "
+            << obs::event_kind_name(events[i].kind) << " vs cycle "
+            << ref_events[i].cycle << ", kind "
+            << obs::event_kind_name(ref_events[i].kind) << ")";
+      EXPECT_TRUE(hub.profile() == ref_profile) << label << ": profiles diverge";
+    }
+  }
+}
+
+TEST(ObsStreams, ExportedGoldenTraceIsValidJson) {
+  obs::Hub hub;
+  core::EngineOptions options;
+  options.backend = core::Backend::compiled;
+  options.obs = &hub;
+  machines::run_golden_machine_full("strongarm_crc", options);
+  const std::string json = obs::export_chrome_trace(hub);
+  EXPECT_TRUE(valid_json(json));
+  EXPECT_EQ(count_substr(json, "\"thread_name\""),
+            hub.meta().stage_names.size() + 1);
+  EXPECT_EQ(count_substr(json, "\"ph\":\"b\""), count_substr(json, "\"ph\":\"e\""));
+}
+
+#endif  // RCPN_OBS
+
+// -- stall-cause attribution in Stats::report() -------------------------------
+
+TEST(ObsStallReport, StatsReportBreaksStallsDownByCause) {
+  machines::inspect_golden_machine(
+      "fig2", core::EngineOptions{}, [](core::Net& net, core::Engine&) {
+        core::Stats st;
+        st.reset(net.num_transitions(), net.num_places());
+        ASSERT_GE(net.num_places(), 2u);
+        st.place_stalls[1] = 3;
+        st.place_stall_causes[1 * core::kNumStallCauses + 0] = 1;
+        st.place_stall_causes[1 * core::kNumStallCauses + 1] = 2;
+        const std::string rep = st.report(net);
+        EXPECT_NE(rep.find("place stalls (no_ready/guard/capacity):"),
+                  std::string::npos)
+            << rep;
+        EXPECT_NE(rep.find(": 3 (1/2/0)"), std::string::npos) << rep;
+      });
+}
+
+}  // namespace rcpn
