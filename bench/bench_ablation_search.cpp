@@ -38,8 +38,7 @@ int main() {
   // Part 2: generic CPN engine on the converted Fig 2 net vs the RCPN engine
   // on the original — firings per second through the same structure.
   std::printf("\nFig 2 pipeline, tokens through the net:\n");
-  const std::uint64_t kTokens =
-      static_cast<std::uint64_t>(400'000 * bench::repro_scale());
+  const std::uint64_t kTokens = bench::scaled_count(400'000);
 
   machines::SimplePipeline pipe(kTokens);
   const auto [cycles_rcpn, secs_rcpn] =

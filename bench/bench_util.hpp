@@ -7,6 +7,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,16 +18,37 @@
 namespace bench {
 
 inline double repro_scale() {
-  if (const char* env = std::getenv("REPRO_SCALE")) {
-    const double v = std::atof(env);
-    if (v > 0) return v;
-  }
-  return 1.0;
+  // Parsed once: a malformed value must be rejected loudly — atof's silent 0
+  // used to mean "run full-scale despite the user asking for a smoke run",
+  // and a negative/zero scale would shrink workloads to empty traces (NaN
+  // mcps, degenerate percentiles).
+  static const double cached = [] {
+    const char* env = std::getenv("REPRO_SCALE");
+    if (env == nullptr || *env == '\0') return 1.0;
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(v > 0.0) || v != v) {
+      std::fprintf(stderr,
+                   "bench: invalid REPRO_SCALE='%s' (expected a positive "
+                   "number, e.g. REPRO_SCALE=0.02)\n",
+                   env);
+      std::exit(2);
+    }
+    return v;
+  }();
+  return cached;
 }
 
 inline unsigned scaled(const rcpn::workloads::Workload& w) {
   const double s = static_cast<double>(w.default_scale) * repro_scale();
   return s < 1.0 ? 1u : static_cast<unsigned>(s);
+}
+
+/// Scale an arbitrary iteration count by REPRO_SCALE, clamped to >= 1 so a
+/// tiny scale can never produce a zero-length run.
+inline std::uint64_t scaled_count(std::uint64_t base) {
+  const double s = static_cast<double>(base) * repro_scale();
+  return s < 1.0 ? 1ull : static_cast<std::uint64_t>(s);
 }
 
 /// Run `fn` once and return (result, seconds).

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "gen/compiled_engine.hpp"
 #include "gen/emit.hpp"
@@ -36,7 +37,8 @@ int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s <machine> [--out FILE] [--no-main] [--freestanding]\n"
                "       [--force-two-list-all] [--no-two-list-state-refs]\n"
-               "       [--linear-search] [--tables] [--dot]\n"
+               "       [--linear-search] [--quiescence] [--profile]\n"
+               "       [--tables] [--dot]\n"
                "  machine: one of", argv0);
   for (const std::string& key : machines::golden_machine_keys())
     std::fprintf(stderr, " %s", key.c_str());
@@ -47,9 +49,14 @@ int usage(const char* argv0, int code) {
                "  --freestanding: inline the runtime subset — the emitted file\n"
                "                  compiles with no repo includes and links against\n"
                "                  nothing but the C++ standard library\n"
-               "  --force-two-list-all / --no-two-list-state-refs / --linear-search:\n"
-               "                  emit an ablation-variant schedule (stamped and\n"
-               "                  verified at build())\n"
+               "  --force-two-list-all / --no-two-list-state-refs / --linear-search /\n"
+               "  --quiescence:   emit an ablation-variant schedule (stamped and\n"
+               "                  verified at build()); --quiescence enables the\n"
+               "                  idle-cycle fast-forward in the emitted engine\n"
+               "  --profile: run the machine's golden workload first and order the\n"
+               "             emitted candidate runs and dispatch switches by the\n"
+               "             measured per-transition firing counts (bit-identical\n"
+               "             simulation; layout only)\n"
                "  --tables:  emit the static-schedule table dump (gen::emit_cpp)\n"
                "  --dot:     emit the model structure for graphviz (gen::emit_dot)\n"
                "A fuzz-<seed> artifact's main is the *generic* CLI\n"
@@ -98,6 +105,7 @@ void fill_fuzz_generic_main(const std::string& key, gen::EmitSimOptions& emit_op
 int main(int argc, char** argv) {
   std::string machine, out_path;
   bool with_main = true, tables = false, dot = false, freestanding = false;
+  bool profile = false;
   core::EngineOptions options;
   options.backend = core::Backend::compiled;  // the lowering pass lives there
   for (int i = 1; i < argc; ++i) {
@@ -114,6 +122,10 @@ int main(int argc, char** argv) {
       options.two_list_state_refs = false;
     } else if (arg == "--linear-search") {
       options.linear_search = true;
+    } else if (arg == "--quiescence") {
+      options.quiescence_skip = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--tables") {
       tables = true;
     } else if (arg == "--dot") {
@@ -135,6 +147,17 @@ int main(int argc, char** argv) {
   const bool fuzz = machine.rfind("fuzz-", 0) == 0;
   std::string source;
   try {
+    // --profile: run the golden workload once on the compiled backend and
+    // collect the per-transition firing counts the emitter orders by.
+    std::vector<std::uint64_t> profile_fires;
+    if (profile && !tables && !dot) {
+      const machines::GoldenRunResult r =
+          fuzz ? machines::golden_run_fuzz(
+                     static_cast<unsigned>(std::strtoul(machine.c_str() + 5, nullptr, 10)),
+                     options)
+               : machines::run_golden_machine_full(machine, options);
+      profile_fires = r.stats.transition_fires;
+    }
     inspect_machine(
         machine, options, [&](core::Net& net, core::Engine& eng) {
           auto& ce = dynamic_cast<gen::CompiledEngine&>(eng);
@@ -145,6 +168,7 @@ int main(int argc, char** argv) {
           } else {
             gen::EmitSimOptions emit_opts;
             emit_opts.engine_options = options;
+            emit_opts.profile_fires = profile_fires;
             if (freestanding) {
               emit_opts.mode = gen::EmitMode::freestanding;
               emit_opts.extra_roots.push_back(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/soa_scan.hpp"
 #include "util/logging.hpp"
 
 namespace rcpn::core {
@@ -233,6 +234,8 @@ void Engine::reset() {
   seq_counter_ = 0;
   last_activity_clock_ = 0;
   activity_snapshot_ = 0;
+  run_horizon_ = ~Cycle{0};
+  quiesce_blocked_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -305,12 +308,7 @@ unsigned Engine::tokens_in_place(PlaceId p) const {
   // tokens themselves.
   const TokenStore& ts = place_stage_[static_cast<unsigned>(p)]->store();
   const TokenStore::Key want = TokenStore::key(p, TokenKind::instruction);
-  const TokenStore::Key* keys = ts.keys();
-  const std::size_t n = ts.size();
-  unsigned count = 0;
-  for (std::size_t i = 0; i < n; ++i)
-    if (keys[i] == want) ++count;
-  return count;
+  return soa::count_matches(ts.keys(), ts.size(), want);
 }
 
 void Engine::enter_place(Token* tok, PlaceId p, std::uint32_t transition_delay) {
@@ -411,12 +409,9 @@ Token* Engine::find_ready_reservation(PlaceId p) const {
   // to touch the token until it is returned.
   const TokenStore& ts = place_stage_[static_cast<unsigned>(p)]->store();
   const TokenStore::Key want = TokenStore::key(p, TokenKind::reservation);
-  const TokenStore::Key* keys = ts.keys();
-  const Cycle* ready = ts.ready();
   const std::size_t n = ts.size();
-  for (std::size_t i = 0; i < n; ++i)
-    if (keys[i] == want && ready[i] <= clock_) return ts.at(i);
-  return nullptr;
+  const std::size_t i = soa::find_match_ready(ts.keys(), ts.ready(), n, want, clock_);
+  return i < n ? ts.at(i) : nullptr;
 }
 
 bool Engine::try_fire(const Transition& t, InstructionToken* tok) {
@@ -643,14 +638,56 @@ bool Engine::finish_cycle() {
   if (activity != activity_snapshot_) {
     activity_snapshot_ = activity;
     last_activity_clock_ = clock_;
-  } else if (in_flight_ > 0 && clock_ - last_activity_clock_ > options_.deadlock_limit) {
-    util::log_line(util::LogLevel::error,
-                   "engine: no activity for " + std::to_string(options_.deadlock_limit) +
-                       " cycles with tokens in flight — model deadlock in net '" +
-                       net_.name() + "'");
-    stopped_ = true;
+    quiesce_blocked_ = false;
+  } else {
+    if (options_.quiescence_skip && !quiesce_blocked_) maybe_skip_quiescent();
+    if (in_flight_ > 0 && clock_ - last_activity_clock_ > options_.deadlock_limit) {
+      util::log_line(
+          util::LogLevel::error,
+          "engine: no activity for " + std::to_string(options_.deadlock_limit) +
+              " cycles with tokens in flight — model deadlock in net '" +
+              net_.name() + "'");
+      stopped_ = true;
+    }
   }
   return !stopped_;
+}
+
+void Engine::maybe_skip_quiescent() {
+  // Nothing fired this cycle. If every stage is fully idle — no incoming
+  // tokens awaiting promotion and no visible token ready at the next cycle —
+  // the steps between here and the earliest ready cycle would each process
+  // nothing (guards and capacities only get re-evaluated for *ready* tokens,
+  // and independent transitions that could fire during idle cycles would
+  // have fired this cycle already). Jump straight there. The skipped cycles
+  // still count: clock_ and stats_.cycles advance together, so traces,
+  // stats and the CPI math are identical to the unskipped run.
+  Cycle earliest = ~Cycle{0};
+  for (unsigned s = 0; s < net_.num_stages(); ++s) {
+    const PipelineStage& st = net_.stage(static_cast<StageId>(s));
+    if (!st.incoming().empty()) return;
+    const TokenStore& ts = st.store();
+    earliest = std::min(earliest, soa::min_ready(ts.ready(), ts.size()));
+  }
+  if (earliest == ~Cycle{0}) return;  // no visible tokens: nothing to jump to
+  if (earliest <= clock_) {
+    // A visible token is ready right now but blocked on a guard or on
+    // capacity. Ready times are absolute, so it stays ready (and the scan
+    // keeps failing) until something fires; latch the scan off rather than
+    // paying it again on every idle cycle of the stall window.
+    quiesce_blocked_ = true;
+    return;
+  }
+  Cycle target = std::min(earliest, run_horizon_);
+  // Never jump past the point where the deadlock watchdog would have stopped
+  // an unskipped run.
+  if (in_flight_ > 0)
+    target = std::min(target, last_activity_clock_ + options_.deadlock_limit + 1);
+  if (target <= clock_) return;
+  const std::uint64_t skipped = target - clock_;
+  clock_ = target;
+  stats_.cycles += skipped;
+  stats_.quiesced_cycles += skipped;
 }
 
 bool Engine::step() {
@@ -669,7 +706,11 @@ bool Engine::step() {
 
 std::uint64_t Engine::run(std::uint64_t max_cycles) {
   const Cycle start = clock_;
+  // Bound the quiescence skip so this call executes exactly `max_cycles`
+  // cycles (no more), as an unskipped run would.
+  run_horizon_ = max_cycles > ~Cycle{0} - start ? ~Cycle{0} : start + max_cycles;
   while (!stopped_ && clock_ - start < max_cycles) step();
+  run_horizon_ = ~Cycle{0};
   return clock_ - start;
 }
 

@@ -61,6 +61,17 @@ struct EngineOptions {
   /// Ablation: ignore the Fig 6 sorted-transition table and search all
   /// transitions of the net for every token (CPN-style global search).
   bool linear_search = false;
+  /// Quiescence cycle-skipping: after a cycle in which nothing fired, if
+  /// every stage's incoming buffer is empty and every visible token's ready
+  /// cycle lies strictly in the future, fast-forward the clock (and the cycle
+  /// counter) to the minimum ready cycle instead of idling through the gap
+  /// one step() at a time. Off by default: it is only sound for models whose
+  /// guards do not read the engine clock (the curated machines qualify; the
+  /// fuzz models' clock-window guards do not). Schedule-affecting like the
+  /// flags above — stamped into generated Traits and part of the artifact
+  /// options key. Deadlock-watchdog and run(max_cycles) behavior are
+  /// preserved exactly (the skip never jumps past either horizon).
+  bool quiescence_skip = false;
   /// Stop with an error after this many cycles without any firing while
   /// tokens are still in flight (model deadlock watchdog).
   std::uint64_t deadlock_limit = 100000;
@@ -213,6 +224,11 @@ class Engine {
   /// Advance the clock, update stats and run the deadlock watchdog (the tail
   /// of Fig 8's main loop, shared by both backends). Returns !stopped_.
   bool finish_cycle();
+  /// The quiescence fast-forward (options_.quiescence_skip): called by
+  /// finish_cycle() after a zero-activity cycle; jumps clock_ and
+  /// stats_.cycles to the earliest cycle at which any token becomes ready,
+  /// capped by the deadlock and run(max_cycles) horizons.
+  void maybe_skip_quiescent();
 
   // -- shared fire/stall accounting -------------------------------------------
   // ONE definition of the hot-loop bookkeeping (and, under RCPN_OBS, of the
@@ -266,6 +282,16 @@ class Engine {
   std::uint32_t seq_counter_ = 0;
   std::uint64_t last_activity_clock_ = 0;
   std::uint64_t activity_snapshot_ = 0;
+  /// Absolute clock value the current run(max_cycles) call must not pass;
+  /// ~0ull outside run(). Caps the quiescence skip so run() executes exactly
+  /// as many cycles as without the knob.
+  Cycle run_horizon_ = ~Cycle{0};
+  /// Latched by maybe_skip_quiescent() when a visible token is ready *now*
+  /// but blocked on a guard or capacity: ready tokens never become un-ready
+  /// without a firing, so the skip scan would keep failing identically every
+  /// idle cycle — stop rescanning until activity resumes. Pure scheduling
+  /// state; never affects results.
+  bool quiesce_blocked_ = false;
   /// Why the most recent candidate evaluation refused to fire; read by
   /// count_stall(). Always maintained (the stall-cause stats are not gated),
   /// one byte-store per failed candidate.

@@ -17,6 +17,7 @@ const char* stall_cause_name(StallCause c) {
 
 void Stats::reset(unsigned num_transitions, unsigned num_places) {
   cycles = retired = fetched = squashed = reservations = firings = 0;
+  quiesced_cycles = 0;
   transition_fires.assign(num_transitions, 0);
   place_stalls.assign(num_places, 0);
   place_stall_causes.assign(static_cast<std::size_t>(num_places) * kNumStallCauses, 0);

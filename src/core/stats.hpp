@@ -42,6 +42,9 @@ struct Stats {
   std::uint64_t reservations = 0;
   /// Total transition firings (instruction + independent).
   std::uint64_t firings = 0;
+  /// Cycles covered by the quiescence fast-forward instead of being stepped
+  /// (included in `cycles`; always 0 unless EngineOptions::quiescence_skip).
+  std::uint64_t quiesced_cycles = 0;
 
   std::vector<std::uint64_t> transition_fires;  // indexed by TransitionId
   std::vector<std::uint64_t> place_stalls;      // token present, nothing fired

@@ -1,6 +1,7 @@
 #include "core/token_store.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace rcpn::core {
 
@@ -41,6 +42,11 @@ bool TokenStore::remove_visible(Token* t) {
 
 bool TokenStore::remove_visible_at(std::size_t hint, Token* t) {
   if (hint < ptrs_.size() && ptrs_[hint] == t) {
+    // Pointer equality is only a sufficient check if `t` occupies a single
+    // slot: a double insertion would make a stale hint erase the *wrong age*
+    // copy, silently reordering the store. Engine semantics forbid double
+    // residency, so enforce it where the hint shortcut relies on it.
+    assert(std::count(ptrs_.begin(), ptrs_.end(), t) == 1);
     erase_slot(ptrs_, keys_, ready_, hint);
     return true;
   }

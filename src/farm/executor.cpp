@@ -159,15 +159,26 @@ SpawnOutcome spawn_with_deadline(const std::vector<std::string>& argv,
         out.append(buf, static_cast<std::size_t>(n));
         continue;
       }
-      break;  // EOF (or read error): child closed its end
+      // A signal (SIGCHLD from another worker's child, a profiler tick)
+      // landing mid-read must not be mistaken for EOF: that would abort the
+      // capture and report a truncated output tail. Retry the poll/read.
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF (or real read error): child closed its end
     }
     // pr == 0: poll slice elapsed — loop to re-check deadline/cancellation.
     if (pr < 0 && errno != EINTR) break;
   }
   ::close(fds[0]);
 
+  // waitpid blocks until the child exits, which is exactly when SIGCHLD
+  // arrives — without SA_RESTART the call returns EINTR instead of the pid.
+  // Retry: the child is still ours to reap.
   int status = 0;
-  if (::waitpid(pid, &status, 0) != pid) return SpawnOutcome::spawn_failed;
+  pid_t waited;
+  do {
+    waited = ::waitpid(pid, &status, 0);
+  } while (waited < 0 && errno == EINTR);
+  if (waited != pid) return SpawnOutcome::spawn_failed;
   if (killed) return SpawnOutcome::timed_out;
   if (WIFEXITED(status)) {
     exit_code = WEXITSTATUS(status);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/soa_scan.hpp"
+
 namespace rcpn::gen {
 
 using core::FireCtx;
@@ -139,11 +141,10 @@ void CompiledEngine::process_place_compiled(PlaceId p, PipelineStage& st) {
   // minus the removals already performed this pass) instead of searching.
   scratch_.clear();
   scratch_idx_.clear();
-  for (std::size_t i = 0; i < n; ++i)
-    if (keys[i] == want && ready[i] <= clock_) {
-      scratch_.push_back(static_cast<InstructionToken*>(ts.at(i)));
-      scratch_idx_.push_back(static_cast<std::uint32_t>(i));
-    }
+  core::soa::for_each_match_ready(keys, ready, n, want, clock_, [&](std::size_t i) {
+    scratch_.push_back(static_cast<InstructionToken*>(ts.at(i)));
+    scratch_idx_.push_back(static_cast<std::uint32_t>(i));
+  });
   if (scratch_.empty()) return;
 
   const CompiledTransition* body = cm_.body.data();

@@ -15,7 +15,8 @@ std::map<std::pair<std::string, std::uint32_t>, GeneratedFactory>& registry() {
 
 std::uint32_t generated_options_key(const core::EngineOptions& options) {
   return generated_options_key(options.two_list_state_refs,
-                               options.force_two_list_all, options.linear_search);
+                               options.force_two_list_all, options.linear_search,
+                               options.quiescence_skip);
 }
 
 std::string generated_options_desc(std::uint32_t options_key) {
@@ -27,6 +28,7 @@ std::string generated_options_desc(std::uint32_t options_key) {
   if (options_key & 1u) add("two_list_state_refs");
   if (options_key & 2u) add("force_two_list_all");
   if (options_key & 4u) add("linear_search");
+  if (options_key & 8u) add("quiescence_skip");
   return desc.empty() ? "(none)" : desc;
 }
 

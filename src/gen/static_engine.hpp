@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/soa_scan.hpp"
 #include "gen/generated.hpp"
 
 namespace rcpn::gen {
@@ -238,11 +239,10 @@ class StaticEngine final : public core::Engine {
     const core::Cycle* ready = ts.ready();
     scratch_.clear();
     scratch_idx_.clear();
-    for (std::size_t i = 0; i < n; ++i)
-      if (keys[i] == want && ready[i] <= clock_) {
-        scratch_.push_back(static_cast<core::InstructionToken*>(ts.at(i)));
-        scratch_idx_.push_back(static_cast<std::uint32_t>(i));
-      }
+    core::soa::for_each_match_ready(keys, ready, n, want, clock_, [&](std::size_t i) {
+      scratch_.push_back(static_cast<core::InstructionToken*>(ts.at(i)));
+      scratch_idx_.push_back(static_cast<std::uint32_t>(i));
+    });
     if (scratch_.empty()) return;
 
     std::size_t removed_here = 0;
@@ -322,7 +322,7 @@ class StaticEngine final : public core::Engine {
     // wrong-ablation artifact throws instead of silently diverging).
     const std::uint32_t stamped = generated_options_key(
         Traits::kOptTwoListStateRefs, Traits::kOptForceTwoListAll,
-        Traits::kOptLinearSearch);
+        Traits::kOptLinearSearch, Traits::kOptQuiescenceSkip);
     const std::uint32_t live = generated_options_key(options_);
     if (stamped != live)
       stale("EngineOptions: tables were emitted for [" +

@@ -38,7 +38,7 @@ core::InstructionToken* DecodeCache::get_slow(std::uint32_t pc, std::uint32_t ra
     ++stats_.misses;
     it->second = std::make_unique<Entry>();
     Entry* e = build_entry(it->second.get(), pc, raw);
-    fast_[fast_index(pc)] = FastSlot{pc, e};
+    fast_[fast_index(pc)] = FastSlot{pc, e->raw, e};
     return &e->token;
   }
 
@@ -49,7 +49,7 @@ core::InstructionToken* DecodeCache::get_slow(std::uint32_t pc, std::uint32_t ra
     ++stats_.rebuilds;
     return &build_entry(e, pc, raw)->token;
   }
-  fast_[fast_index(pc)] = FastSlot{pc, e};
+  fast_[fast_index(pc)] = FastSlot{pc, e->raw, e};
 
   // Walk the clone chain for a token that is not in flight.
   for (Entry* cur = e; cur != nullptr; cur = cur->clone.get()) {

@@ -60,9 +60,11 @@ class DecodeCache {
   /// index makes the steady-state (loop) lookup a couple of loads.
   core::InstructionToken* get(std::uint32_t pc, std::uint32_t raw) {
     if (!bypass_) {
+      // The SMC raw-check compares against the slot's own copy of the
+      // encoding, so the steady-state hit touches the Entry exactly once
+      // (the in-flight check) instead of chasing the pointer twice.
       const FastSlot& slot = fast_[fast_index(pc)];
-      if (slot.pc == pc && slot.entry->raw == raw &&
-          !slot.entry->token.in_flight) {
+      if (slot.pc == pc && slot.raw == raw && !slot.entry->token.in_flight) {
         ++stats_.hits;
         slot.entry->token.reset_dynamic();
         slot.entry->token.pc = pc;
@@ -94,6 +96,10 @@ class DecodeCache {
   static constexpr unsigned kFastBits = 12;  // 4096-slot direct-mapped index
   struct FastSlot {
     std::uint32_t pc = 0xffff'ffff;
+    /// Copy of entry->raw at publication time: the fast path's SMC check
+    /// without dereferencing the entry. A memory write at `pc` makes the
+    /// freshly fetched raw differ, falling through to get_slow's rebuild.
+    std::uint32_t raw = 0;
     Entry* entry = nullptr;
   };
   static unsigned fast_index(std::uint32_t pc) {

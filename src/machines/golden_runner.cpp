@@ -4,6 +4,7 @@
 
 #include "machines/fig5_processor.hpp"
 #include "machines/simple_pipeline.hpp"
+#include "machines/stallcause.hpp"
 #include "machines/strongarm.hpp"
 #include "machines/tomasulo.hpp"
 #include "machines/xscale.hpp"
@@ -36,6 +37,8 @@ constexpr GoldenMachine kGoldenMachines[] = {
      "machines/strongarm.hpp"},
     {"xscale_adpcm", "XScale", &golden_run_xscale_adpcm, &golden_inspect_xscale_adpcm,
      "rcpn::machines::golden_run_xscale_adpcm", "machines/xscale.hpp"},
+    {"stallcause", "StallCause", &golden_run_stallcause, &golden_inspect_stallcause,
+     "rcpn::machines::golden_run_stallcause", "machines/stallcause.hpp"},
 };
 
 const GoldenMachine& find_machine(const std::string& key) {

@@ -14,7 +14,7 @@
 //    generated simulator (freestanding artifacts call golden_cli_main with
 //    their machine's runner directly and never touch this dispatch).
 //
-// Machine keys: fig2, fig5, tomasulo, strongarm_crc, xscale_adpcm.
+// Machine keys: fig2, fig5, tomasulo, strongarm_crc, xscale_adpcm, stallcause.
 #pragma once
 
 #include <string>
@@ -24,7 +24,7 @@
 
 namespace rcpn::machines {
 
-/// The five machine keys, in canonical order.
+/// The golden machine keys, in canonical order.
 const std::vector<std::string>& golden_machine_keys();
 
 /// Model (net) name for a machine key, e.g. "fig2" -> "Fig2". Throws on an

@@ -35,6 +35,48 @@ std::string format_golden_stats(const core::Stats& stats) {
   return out.str();
 }
 
+std::string format_stall_causes(const core::Stats& stats) {
+  std::ostringstream out;
+  const std::size_t places = stats.place_stalls.size();
+  for (std::size_t p = 0; p < places; ++p)
+    for (unsigned c = 0; c < core::kNumStallCauses; ++c) {
+      const std::uint64_t n =
+          stats.place_stall_causes[p * core::kNumStallCauses + c];
+      if (n == 0) continue;
+      out << "# stallcause place=" << p << " cause="
+          << core::stall_cause_name(static_cast<core::StallCause>(c))
+          << " count=" << n << "\n";
+    }
+  return out.str();
+}
+
+bool parse_stall_causes(const std::string& text, unsigned num_places,
+                        std::vector<std::uint64_t>& out) {
+  out.assign(static_cast<std::size_t>(num_places) * core::kNumStallCauses, 0);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Anchor on `place=`, not just the tag: a machine literally named
+    // "stallcause" puts the tag in its trace header line too.
+    if (line.rfind("# stallcause place=", 0) != 0) continue;
+    unsigned long long place = 0, count = 0;
+    char cause[64] = {0};
+    if (std::sscanf(line.c_str(), "# stallcause place=%llu cause=%63s count=%llu",
+                    &place, cause, &count) != 3)
+      return false;
+    if (place >= num_places) return false;
+    int ci = -1;
+    for (unsigned c = 0; c < core::kNumStallCauses; ++c)
+      if (std::string(cause) ==
+          core::stall_cause_name(static_cast<core::StallCause>(c)))
+        ci = static_cast<int>(c);
+    if (ci < 0) return false;
+    out[static_cast<std::size_t>(place) * core::kNumStallCauses +
+        static_cast<unsigned>(ci)] = count;
+  }
+  return true;
+}
+
 bool parse_golden_stats(const std::string& text, core::Stats& out) {
   std::istringstream in(text);
   std::string line;
@@ -153,13 +195,15 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
       options.two_list_state_refs = false;
     } else if (arg == "--linear-search") {
       options.linear_search = true;
+    } else if (arg == "--quiescence") {
+      options.quiescence_skip = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--golden FILE] [--stats] [--time N]\n"
           "       [--trace-json FILE] [--profile]\n"
           "       [--backend generated|compiled|interpreted]\n"
           "       [--force-two-list-all] [--no-two-list-state-refs]\n"
-          "       [--linear-search]\n"
+          "       [--linear-search] [--quiescence]\n"
           "Runs the %s golden workload on the generated simulator engine.\n"
           "Default: print the cycle-stamped retire trace to stdout.\n"
           "--golden FILE: diff the trace against FILE; exit 1 on the first\n"
@@ -254,11 +298,17 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
 
   if (golden_path.empty()) {
     std::fputs(format_golden_trace(name, result.trace).c_str(), stdout);
-    if (print_stats) std::fputs(format_golden_stats(result.stats).c_str(), stdout);
+    if (print_stats) {
+      std::fputs(format_golden_stats(result.stats).c_str(), stdout);
+      std::fputs(format_stall_causes(result.stats).c_str(), stdout);
+    }
     return 0;
   }
 
-  if (print_stats) std::fputs(format_golden_stats(result.stats).c_str(), stdout);
+  if (print_stats) {
+      std::fputs(format_golden_stats(result.stats).c_str(), stdout);
+      std::fputs(format_stall_causes(result.stats).c_str(), stdout);
+    }
   std::vector<GoldenRetireEvent> golden;
   if (!load_golden_trace(golden_path, golden)) {
     std::fprintf(stderr, "%s: missing or malformed golden file %s\n", name.c_str(),

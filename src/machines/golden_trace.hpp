@@ -59,6 +59,19 @@ std::string format_golden_trace(const std::string& name,
 /// harness reads it back with parse_golden_stats.
 std::string format_golden_stats(const core::Stats& stats);
 
+/// Per-place stall attribution as golden-format comment lines, one
+/// `# stallcause place=P cause=NAME count=N` per nonzero counter. Printed by
+/// golden_cli_main under --stats so the four-way harness can compare the
+/// last-candidate-wins attribution across a process boundary; trace parsers
+/// skip the lines like any other comment.
+std::string format_stall_causes(const core::Stats& stats);
+
+/// Read `# stallcause ...` lines back into a dense
+/// [place * kNumStallCauses + cause] vector of `num_places` places.
+/// False on a malformed line or an out-of-range place/cause.
+bool parse_stall_causes(const std::string& text, unsigned num_places,
+                        std::vector<std::uint64_t>& out);
+
 /// Parse a trace in golden format; false on malformed content.
 bool parse_golden_trace(const std::string& text, std::vector<GoldenRetireEvent>& out);
 

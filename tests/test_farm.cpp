@@ -3,10 +3,19 @@
 // executor parity with in-process runs.
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "farm/executor.hpp"
 #include "farm/job.hpp"
 #include "farm/report.hpp"
 #include "farm/sim_farm.hpp"
@@ -149,7 +158,7 @@ TEST(FarmFaults, HangingJobTimesOutWhileTheRestOfTheGridCompletes) {
     jobs.push_back(golden_spec(key));
 
   const farm::FarmReport report = run_fresh(jobs, 2);
-  ASSERT_EQ(report.jobs.size(), 6u);
+  ASSERT_EQ(report.jobs.size(), machines::golden_machine_keys().size() + 1);
   EXPECT_EQ(report.jobs[0].result.status, farm::JobStatus::timeout);
   EXPECT_NE(report.jobs[0].result.error.find("timed out"), std::string::npos)
       << report.jobs[0].result.error;
@@ -336,6 +345,72 @@ TEST(FarmProgress, CallbackSeesEveryJobExactlyOnce) {
 }
 
 // -- subprocess executor ------------------------------------------------------
+
+namespace {
+void noop_signal_handler(int) {}
+}  // namespace
+
+// Regression: the capture loop's blocking syscalls (poll/read, and the
+// post-EOF waitpid — which by construction blocks until the exact moment the
+// child's SIGCHLD arrives) must retry on EINTR. A no-SA_RESTART handler plus
+// a 1ms interval timer keeps interrupting them; before the retry fix, a
+// perfectly healthy child was reported as spawn_failed (waitpid EINTR) or
+// with a truncated capture (read EINTR treated as EOF).
+TEST(FarmSubprocess, CaptureSurvivesSignalInterruptions) {
+  char tmpl[] = "/tmp/rcpn_eintr_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string script = dir + "/gen_fs_eintrtest";
+  {
+    // A fake gen_fs_* binary: dribbles a valid golden trace (so reads happen
+    // mid-run), closes stdout, then lingers so the parent sits in waitpid
+    // while timer signals land.
+    std::ofstream out(script);
+    out << "#!/bin/sh\n"
+           "printf '# eintrtest golden cycle-stamped retire trace: cycle pc(hex) seq\\n'\n"
+           "i=0\n"
+           "while [ $i -lt 40 ]; do\n"
+           "  printf '%d 0 %d\\n' $((i+1)) $i\n"
+           "  i=$((i+1))\n"
+           "  if [ $((i % 10)) -eq 0 ]; then sleep 0.02; fi\n"
+           "done\n"
+           "printf '# stats cycles=50 retired=40 fetched=40 squashed=0 "
+           "reservations=0 firings=80\\n'\n"
+           "exec >&- 2>&-\n"
+           "sleep 0.25\n";
+  }
+  ASSERT_EQ(::chmod(script.c_str(), 0755), 0);
+
+  struct sigaction sa{}, old_alrm{}, old_chld{};
+  sa.sa_handler = &noop_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(::sigaction(SIGALRM, &sa, &old_alrm), 0);
+  ASSERT_EQ(::sigaction(SIGCHLD, &sa, &old_chld), 0);
+  itimerval timer{};
+  timer.it_interval.tv_usec = 1000;
+  timer.it_value.tv_usec = 1000;
+  itimerval old_timer{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &timer, &old_timer), 0);
+
+  farm::SubprocessExecutor executor({dir, "gen_fs_"});
+  farm::JobSpec spec;
+  spec.machine = "eintrtest";
+  spec.options.backend = core::Backend::generated;  // no extra CLI flags
+  farm::CancelToken cancel;
+  const farm::JobResult result = executor.execute(spec, 10000, cancel);
+
+  ::setitimer(ITIMER_REAL, &old_timer, nullptr);
+  ::sigaction(SIGALRM, &old_alrm, nullptr);
+  ::sigaction(SIGCHLD, &old_chld, nullptr);
+  std::remove(script.c_str());
+  ::rmdir(dir.c_str());
+
+  ASSERT_EQ(result.status, farm::JobStatus::ok) << result.error;
+  EXPECT_EQ(result.retired, 40u);
+  EXPECT_EQ(result.stats.cycles, 50u);
+  EXPECT_EQ(result.exit_code, 0);
+}
 
 #ifdef RCPN_HAVE_FS_BINARIES
 

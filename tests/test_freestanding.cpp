@@ -31,6 +31,7 @@
 #include "gen/generated.hpp"
 #include "machines/golden_runner.hpp"
 #include "machines/simple_pipeline.hpp"
+#include "machines/stallcause.hpp"
 #include "model/simulator.hpp"
 
 namespace rcpn {
@@ -58,6 +59,7 @@ void expect_stats_equal(const std::string& key, const std::string& what,
   EXPECT_EQ(a.squashed, b.squashed) << key << " " << what;
   EXPECT_EQ(a.reservations, b.reservations) << key << " " << what;
   EXPECT_EQ(a.firings, b.firings) << key << " " << what;
+  EXPECT_EQ(a.quiesced_cycles, b.quiesced_cycles) << key << " " << what;
   EXPECT_EQ(a.transition_fires, b.transition_fires) << key << " " << what;
   EXPECT_EQ(a.place_stalls, b.place_stalls) << key << " " << what;
   EXPECT_EQ(a.place_stall_causes, b.place_stall_causes) << key << " " << what;
@@ -142,13 +144,80 @@ TEST_P(FourWay, FreestandingBinaryMatchesInProcess) {
   EXPECT_EQ(interp.stats.squashed, fs_stats.squashed) << key;
   EXPECT_EQ(interp.stats.reservations, fs_stats.reservations) << key;
   EXPECT_EQ(interp.stats.firings, fs_stats.firings) << key;
+
+  // The freestanding binary prints its stall-cause breakdown as
+  // `# stallcause ...` comment lines; it must match the in-process
+  // attribution counter for counter.
+  std::vector<std::uint64_t> fs_causes;
+  ASSERT_TRUE(machines::parse_stall_causes(
+      out, static_cast<unsigned>(interp.stats.place_stalls.size()), fs_causes))
+      << out;
+  EXPECT_EQ(interp.stats.place_stall_causes, fs_causes)
+      << key << " interpreted vs freestanding stall causes";
 #endif
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMachines, FourWay,
                          ::testing::Values("fig2", "fig5", "tomasulo", "strongarm_crc",
-                                           "xscale_adpcm"),
+                                           "xscale_adpcm", "stallcause"),
                          [](const auto& info) { return std::string(info.param); });
+
+// The stallcause workload is built so that a worker token in PA is rejected
+// by BOTH of its candidates in the same cycle for different causes: the
+// priority-0 move is capacity-blocked by the parked token in PB, then the
+// priority-1 escape is guard-rejected. The attribution contract is
+// last-candidate-wins, so PA must show only guard_rejected — an
+// implementation that recorded the first candidate's cause would show the
+// exact opposite split. (The FourWay stats comparison above already pins
+// that every backend agrees on these numbers.)
+TEST(StallCauseAttribution, LastCandidateWinsOnDualRejection) {
+  const GoldenRunResult r = machines::run_golden_machine_full(
+      "stallcause", options_for(core::Backend::interpreted));
+  core::EngineOptions opts = options_for(core::Backend::interpreted);
+  machines::StallCauseModel probe(0, opts);
+  const unsigned pa = static_cast<unsigned>(probe.pa());
+  const unsigned pb = static_cast<unsigned>(probe.pb());
+  const auto cause = [&](unsigned place, core::StallCause c) {
+    return r.stats.place_stall_causes[place * core::kNumStallCauses +
+                                      static_cast<unsigned>(c)];
+  };
+  // PA: both candidates rejected each stall cycle; the guard (last) wins.
+  EXPECT_GT(cause(pa, core::StallCause::guard_rejected), 0u);
+  EXPECT_EQ(cause(pa, core::StallCause::capacity_backpressure), 0u);
+  EXPECT_EQ(cause(pa, core::StallCause::no_ready_token), 0u);
+  // PB: the parker's only candidate is its guarded exit.
+  EXPECT_GT(cause(pb, core::StallCause::guard_rejected), 0u);
+}
+
+// Quiescence skipping is an execution shortcut, not a semantic change: with
+// the knob on, every backend must produce the identical retire trace and the
+// identical cycle count (skipped cycles are accounted, not elided from the
+// stats). The generated leg runs from the quiesce-variant TU linked into
+// this binary (its own options key in the registry).
+TEST(QuiescenceSkip, TraceAndStatsInvariantAcrossBackends) {
+  const std::string key = "strongarm_crc";
+  const GoldenRunResult base =
+      machines::run_golden_machine_full(key, options_for(core::Backend::interpreted));
+
+  std::vector<core::Backend> backends = {core::Backend::interpreted,
+                                         core::Backend::compiled};
+#ifdef RCPN_HAVE_GENERATED
+  backends.push_back(core::Backend::generated);
+#endif
+  for (const core::Backend b : backends) {
+    core::EngineOptions opts = options_for(b);
+    opts.quiescence_skip = true;
+    const GoldenRunResult r = machines::run_golden_machine_full(key, opts);
+    const std::string what = "quiescence-on backend " +
+                             std::to_string(static_cast<int>(b)) + " vs baseline";
+    expect_traces_equal(key, what, base, r);
+    EXPECT_EQ(base.stats.cycles, r.stats.cycles) << key << " " << what;
+    EXPECT_EQ(base.stats.retired, r.stats.retired) << key << " " << what;
+    EXPECT_EQ(base.stats.firings, r.stats.firings) << key << " " << what;
+    EXPECT_EQ(base.stats.transition_fires, r.stats.transition_fires)
+        << key << " " << what;
+  }
+}
 
 #ifdef RCPN_HAVE_GENERATED
 

@@ -1,4 +1,4 @@
-// Golden cycle-stamped retire traces for the five machine models.
+// Golden cycle-stamped retire traces for the golden machine models.
 //
 // Each trace file under tests/golden/ records, for a small fixed workload,
 // every retirement as `cycle pc seq` in retire order — the full observable
@@ -80,14 +80,14 @@ TEST_P(GoldenTrace, BothBackendsMatchCheckedInTrace) {
 
 INSTANTIATE_TEST_SUITE_P(AllMachines, GoldenTrace,
                          ::testing::Values("fig2", "fig5", "tomasulo", "strongarm_crc",
-                                           "xscale_adpcm"),
+                                           "xscale_adpcm", "stallcause"),
                          [](const auto& info) { return std::string(info.param); });
 
 // The trace keys and the golden runner's canonical key list must agree (the
 // gen_sim_* CI jobs iterate the runner's list).
 TEST(GoldenTrace, KeysMatchRunner) {
-  const std::vector<std::string> expected = {"fig2", "fig5", "tomasulo",
-                                             "strongarm_crc", "xscale_adpcm"};
+  const std::vector<std::string> expected = {
+      "fig2", "fig5", "tomasulo", "strongarm_crc", "xscale_adpcm", "stallcause"};
   EXPECT_EQ(machines::golden_machine_keys(), expected);
 }
 
