@@ -204,17 +204,24 @@ int main() {
   // Each hot-loop optimization timed against its own off-switch, interleaved
   // best-of-k (ab_ratio). Workloads are chosen to exercise the regime each
   // optimization targets; >= 1.0 means the switch pays for itself there.
-  const auto find_workload = [](const char* name) -> const workloads::Workload& {
+  // Returns nullptr when the name is unknown so a renamed workload skips the
+  // ablation loudly (0.0 = not measured) instead of silently measuring
+  // whatever workload happens to be first.
+  const auto find_workload = [](const char* name) -> const workloads::Workload* {
     for (const workloads::Workload& w : workloads::all())
-      if (w.name == name) return w;
-    return workloads::all().front();
+      if (w.name == name) return &w;
+    std::fprintf(stderr,
+                 "fig10: workload '%s' not found - skipping ablation "
+                 "(reported as 0.0 / not measured)\n",
+                 name);
+    return nullptr;
   };
 
   // (1) Decoded-uop cache — StrongArm compiled on the crc kernel; the off
   // switch re-decodes and re-binds operands on every fetch.
   double abl_decode = 0.0;
-  {
-    const workloads::Workload& w = find_workload("crc");
+  if (const workloads::Workload* wp = find_workload("crc")) {
+    const workloads::Workload& w = *wp;
     const sys::Program prog = workloads::build(w, bench::scaled(w));
     machines::StrongArmConfig on_cfg;
     on_cfg.engine.backend = core::Backend::compiled;
@@ -280,8 +287,8 @@ int main() {
   // default caches hit >99% on these kernels and leave nothing to skip, so
   // measuring there would only measure noise.
   double abl_quiesce = 0.0, quiesce_frac = 0.0;
-  {
-    const workloads::Workload& w = find_workload("go");
+  if (const workloads::Workload* wp = find_workload("go")) {
+    const workloads::Workload& w = *wp;
     const sys::Program prog = workloads::build(w, bench::scaled(w));
     machines::StrongArmConfig on_cfg;
     on_cfg.engine.backend = core::Backend::compiled;

@@ -661,7 +661,9 @@ void Engine::maybe_skip_quiescent() {
   // and independent transitions that could fire during idle cycles would
   // have fired this cycle already). Jump straight there. The skipped cycles
   // still count: clock_ and stats_.cycles advance together, so traces,
-  // stats and the CPI math are identical to the unskipped run.
+  // stats and the CPI math are identical to the unskipped run. (Under
+  // RCPN_OBS the per-cycle occupancy samples for the skipped window are
+  // elided — see the EngineOptions::quiescence_skip comment.)
   Cycle earliest = ~Cycle{0};
   for (unsigned s = 0; s < net_.num_stages(); ++s) {
     const PipelineStage& st = net_.stage(static_cast<StageId>(s));

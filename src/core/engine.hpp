@@ -71,6 +71,13 @@ struct EngineOptions {
   /// flags above — stamped into generated Traits and part of the artifact
   /// options key. Deadlock-watchdog and run(max_cycles) behavior are
   /// preserved exactly (the skip never jumps past either horizon).
+  /// Observability interaction (RCPN_OBS + `obs` below): the skipped idle
+  /// cycles never reach finish_cycle's per-cycle probes, so obs::Hub
+  /// occupancy histograms and StageProfile::cycles count *executed* cycles
+  /// only and will total fewer cycles than Stats::cycles by exactly
+  /// Stats::quiesced_cycles. Trace consumers see the gap as a jump in event
+  /// timestamps; nothing can fire inside it by construction, so no events
+  /// are lost — only idle-window occupancy samples are elided.
   bool quiescence_skip = false;
   /// Stop with an error after this many cycles without any firing while
   /// tokens are still in flight (model deadlock watchdog).

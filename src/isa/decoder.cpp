@@ -45,9 +45,14 @@ core::InstructionToken* DecodeCache::get_slow(std::uint32_t pc, std::uint32_t ra
   Entry* e = it->second.get();
   if (e->raw != raw || e->stale) {
     // Self-modifying code, or a token left in flight by an interrupted
-    // previous run (reset_runtime): rebuild in place.
+    // previous run (reset_runtime): rebuild in place. Republish the fast
+    // slot too — it may still hold the pre-rebuild raw snapshot, and an SMC
+    // write restoring that old encoding would otherwise fast-hit the stale
+    // slot and return the token decoded for the *new* encoding.
     ++stats_.rebuilds;
-    return &build_entry(e, pc, raw)->token;
+    build_entry(e, pc, raw);
+    fast_[fast_index(pc)] = FastSlot{pc, e->raw, e};
+    return &e->token;
   }
   fast_[fast_index(pc)] = FastSlot{pc, e->raw, e};
 

@@ -1,0 +1,91 @@
+// DecodeCache unit tests: fast-path/slow-path coherence under self-modifying
+// code, in-flight clone chaining, and the reset_runtime staleness protocol.
+#include <gtest/gtest.h>
+
+#include "isa/decoder.hpp"
+
+namespace rcpn::isa {
+namespace {
+
+// Factory that stamps the encoding into token.type so a returned token
+// proves which raw it was decoded from (build_entry pre-sets pc/raw).
+DecodeCache make_cache() {
+  return DecodeCache([](DecodeCache::Entry& e) {
+    e.token.type = static_cast<core::TypeId>(e.raw & 0x7fff);
+  });
+}
+
+TEST(DecodeCache, HitReusesEntryAndResetsDynamicState) {
+  DecodeCache dc = make_cache();
+  core::InstructionToken* t0 = dc.get(0x100, 0xaa);
+  t0->in_flight = true;
+  t0->ready = 99;
+  t0->in_flight = false;
+  core::InstructionToken* t1 = dc.get(0x100, 0xaa);
+  EXPECT_EQ(t0, t1);
+  EXPECT_EQ(t1->ready, 0u);
+  EXPECT_EQ(dc.stats().hits, 1u);
+  EXPECT_EQ(dc.stats().misses, 1u);
+}
+
+TEST(DecodeCache, SmcRebuildDecodesNewEncoding) {
+  DecodeCache dc = make_cache();
+  EXPECT_EQ(dc.get(0x100, 0xaa)->type, 0xaa);
+  core::InstructionToken* t = dc.get(0x100, 0xbb);
+  EXPECT_EQ(t->type, 0xbb);
+  EXPECT_EQ(t->raw, 0xbbu);
+  EXPECT_EQ(dc.stats().rebuilds, 1u);
+}
+
+// Regression: an SMC write sequence A -> B -> A. The B rebuild reuses the
+// Entry in place; if the direct-mapped fast slot keeps its old {pc, A}
+// snapshot paired with that entry, the final get(pc, A) fast-hits the stale
+// slot and returns the token decoded for B.
+TEST(DecodeCache, SmcToggleBackToOldEncodingReturnsCorrectDecode) {
+  DecodeCache dc = make_cache();
+  EXPECT_EQ(dc.get(0x100, 0xaa)->type, 0xaa);
+  EXPECT_EQ(dc.get(0x100, 0xbb)->type, 0xbb);  // rebuild A -> B
+  core::InstructionToken* t = dc.get(0x100, 0xaa);  // restore A
+  EXPECT_EQ(t->type, 0xaa);
+  EXPECT_EQ(t->raw, 0xaau);
+  EXPECT_EQ(dc.stats().rebuilds, 2u);
+}
+
+TEST(DecodeCache, InFlightCollisionChainsClone) {
+  DecodeCache dc = make_cache();
+  core::InstructionToken* t0 = dc.get(0x100, 0xaa);
+  t0->in_flight = true;  // tight loop: same static instruction fetched again
+  core::InstructionToken* t1 = dc.get(0x100, 0xaa);
+  EXPECT_NE(t0, t1);
+  EXPECT_EQ(t1->type, 0xaa);
+  EXPECT_EQ(dc.stats().clones, 1u);
+  t0->in_flight = false;
+  EXPECT_EQ(dc.get(0x100, 0xaa), t0);  // head free again
+}
+
+TEST(DecodeCache, ResetRuntimeRebuildsFormerlyInFlightEntry) {
+  DecodeCache dc = make_cache();
+  core::InstructionToken* t0 = dc.get(0x100, 0xaa);
+  t0->in_flight = true;  // run interrupted with the token in flight
+  dc.reset_runtime();
+  core::InstructionToken* t1 = dc.get(0x100, 0xaa);
+  EXPECT_EQ(t1->type, 0xaa);
+  EXPECT_FALSE(t1->in_flight);
+  EXPECT_EQ(dc.stats().rebuilds, 1u);
+  // The republished fast slot must serve the rebuilt entry, not re-rebuild.
+  EXPECT_EQ(dc.get(0x100, 0xaa), t1);
+  EXPECT_EQ(dc.stats().rebuilds, 1u);
+}
+
+TEST(DecodeCache, BypassDecodesFreshEveryTime) {
+  DecodeCache dc = make_cache();
+  dc.set_bypass(true);
+  core::InstructionToken* t0 = dc.get(0x100, 0xaa);
+  core::InstructionToken* t1 = dc.get(0x100, 0xaa);
+  EXPECT_NE(t0, t1);
+  EXPECT_EQ(dc.stats().misses, 2u);
+  EXPECT_EQ(dc.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace rcpn::isa
