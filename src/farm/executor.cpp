@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "desc/description.hpp"
+#include "machines/desc_machines.hpp"
 #include "machines/fuzz_model.hpp"
 #include "machines/golden_runner.hpp"
 
@@ -85,7 +87,15 @@ JobResult InProcessExecutor::execute(const JobSpec& spec, std::uint64_t timeout_
       result = failed_result("hung job cancelled");
     } else {
       unsigned fuzz_seed = 0;
-      if (parse_fuzz_machine(spec, fuzz_seed)) {
+      if (is_description_job(spec)) {
+        // Serialized-model job: the .rcpn file IS the model. Its recorded
+        // schedule flags govern (they are part of the described model); the
+        // spec still picks everything else — backend, obs — so one sweep can
+        // run a description across backends.
+        const desc::Description d = desc::read_file(spec.machine);
+        result = ok_result(machines::run_description(
+            d, desc::engine_options(d, spec.options), spec.cycle_budget));
+      } else if (parse_fuzz_machine(spec, fuzz_seed)) {
         result = ok_result(
             machines::golden_run_fuzz(fuzz_seed, spec.options, spec.cycle_budget));
       } else {
@@ -194,6 +204,17 @@ JobResult SubprocessExecutor::execute(const JobSpec& spec, std::uint64_t timeout
                                       const CancelToken& cancel) {
   const auto t0 = Clock::now();
   const auto deadline = t0 + std::chrono::milliseconds(timeout_ms);
+
+  if (is_description_job(spec)) {
+    // Description jobs resolve delegates through the in-process registries;
+    // there is no pre-built per-description binary to exec. Fail loudly
+    // instead of exec'ing a nonsense path.
+    JobResult r = failed_result(
+        "description job '" + spec.machine +
+        "' requires the in-process executor (no per-.rcpn binary to spawn)");
+    r.wall_seconds = seconds_since(t0);
+    return r;
+  }
 
   std::vector<std::string> argv;
   argv.push_back(config_.bin_dir + "/" + config_.bin_prefix + spec.machine);

@@ -1,8 +1,9 @@
 #include "farm/job.hpp"
 
+#include <fstream>
 #include <sstream>
 
-#include "gen/generated.hpp"
+#include "core/options_signature.hpp"
 
 namespace rcpn::farm {
 namespace {
@@ -56,6 +57,10 @@ const char* job_status_name(JobStatus status) {
   return "?";
 }
 
+bool is_description_job(const JobSpec& spec) {
+  return spec.machine.size() > 5 && spec.machine.ends_with(".rcpn");
+}
+
 std::string job_key(const JobSpec& spec) {
   // One canonical field order; every identity-defining field spelled by a
   // stable name (enum values never leak as raw integers). timeout_ms is a
@@ -63,11 +68,25 @@ std::string job_key(const JobSpec& spec) {
   std::ostringstream key;
   key << "machine=" << spec.machine
       << ";backend=" << backend_name(spec.options.backend)
-      << ";options=" << gen::generated_options_key(spec.options)
+      << ";options=" << core::options_signature(spec.options)
       << ";deadlock=" << spec.options.deadlock_limit
       << ";seed=" << spec.seed
       << ";cycles=" << spec.cycle_budget
       << ";executor=" << executor_name(spec.executor);
+  if (is_description_job(spec)) {
+    // A description job's identity is the described model, not the path: fold
+    // the file content in so an edited description misses the result cache.
+    std::ifstream in(spec.machine, std::ios::binary);
+    if (!in) {
+      key << ";desc=missing";
+    } else {
+      std::ostringstream content;
+      content << in.rdbuf();
+      const std::string text = content.str();
+      key << ";desc=" << std::hex
+          << fnv1a_bytes(kFnvOffset, text.data(), text.size());
+    }
+  }
   return key.str();
 }
 

@@ -42,7 +42,11 @@ inline constexpr const char* kHangJobKey = "__hang__";
 
 struct JobSpec {
   /// Golden machine key ("fig2", ... "xscale_adpcm"), "fuzz" (seeded by
-  /// `seed`), "fuzz-<n>" (explicit seed), or a fault-injection key above.
+  /// `seed`), "fuzz-<n>" (explicit seed), a fault-injection key above, or a
+  /// path to a serialized model description (ends with ".rcpn" — the
+  /// in-process executor loads and runs the described model; the file's
+  /// *content* is folded into job_key/job_hash so editing a description
+  /// invalidates cached results).
   std::string machine;
   core::EngineOptions options;
   ExecutorKind executor = ExecutorKind::in_process;
@@ -54,9 +58,15 @@ struct JobSpec {
   std::uint64_t timeout_ms = 0;
 };
 
+/// True when spec.machine names a serialized model description file
+/// (a ".rcpn" path) rather than a compiled-in machine key.
+bool is_description_job(const JobSpec& spec);
+
 /// Canonical identity string: machine, backend, schedule-affecting options
-/// key, deadlock limit, seed, cycle budget, executor — stable across
-/// processes and library versions that agree on those semantics.
+/// signature (core::options_signature), deadlock limit, seed, cycle budget,
+/// executor — stable across processes and library versions that agree on
+/// those semantics. Description jobs append `;desc=<fnv1a of file content>`
+/// (or `;desc=missing` for an unreadable file).
 std::string job_key(const JobSpec& spec);
 
 /// 64-bit FNV-1a of job_key(spec): the result-cache key and the per-job

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/options_signature.hpp"
 #include "gen/embed.hpp"
 #include "gen/generated.hpp"
 
@@ -29,6 +30,15 @@ void appendf(std::string& out, const char* fmt, ...) {
   std::vsnprintf(buf, sizeof(buf), fmt, ap);
   va_end(ap);
   out += buf;
+}
+
+/// Emit one `base.<flag> = true|false;` line per schedule-affecting option
+/// (core::options_signature table), reproducing the stamped variant in the
+/// emitted main()'s base EngineOptions.
+void emit_base_option_lines(std::string& out, const core::EngineOptions& eo) {
+  for (unsigned i = 0; i < core::num_schedule_options(); ++i)
+    appendf(out, "  base.%s = %s;\n", core::schedule_option_name(i),
+            core::schedule_option_get(i, eo) ? "true" : "false");
 }
 
 void emit_tx(std::string& out, const CompiledTransition& ct, const core::Net& net) {
@@ -173,11 +183,10 @@ std::string emit_simulator(const CompiledModel& cm, const core::Net& net,
       "// refuses to run a stale artifact.\n"
       "//\n";
   appendf(out,
-          "// EngineOptions stamp: two_list_state_refs=%d force_two_list_all=%d\n"
-          "// linear_search=%d quiescence_skip=%d — schedule variant [%s];\n"
-          "// build() throws when run under any other ablation.\n",
-          eo.two_list_state_refs ? 1 : 0, eo.force_two_list_all ? 1 : 0,
-          eo.linear_search ? 1 : 0, eo.quiescence_skip ? 1 : 0,
+          "// EngineOptions stamp: %s\n"
+          "// — schedule variant [%s]; build() throws when run under any other\n"
+          "// ablation.\n",
+          core::options_signature(eo).c_str(),
           generated_options_desc(opt_key).c_str());
   if (profiled)
     appendf(out,
@@ -246,16 +255,10 @@ std::string emit_simulator(const CompiledModel& cm, const core::Net& net,
       "  static constexpr const char* kModelName = \"" +
       net.name() + "\";\n\n"
       "  // schedule-affecting EngineOptions the tables were lowered under\n"
-      "  // (StaticEngine::build() verifies them against the live options)\n";
-  appendf(out,
-          "  static constexpr bool kOptTwoListStateRefs = %s;\n"
-          "  static constexpr bool kOptForceTwoListAll = %s;\n"
-          "  static constexpr bool kOptLinearSearch = %s;\n"
-          "  static constexpr bool kOptQuiescenceSkip = %s;\n\n",
-          eo.two_list_state_refs ? "true" : "false",
-          eo.force_two_list_all ? "true" : "false",
-          eo.linear_search ? "true" : "false",
-          eo.quiescence_skip ? "true" : "false");
+      "  // (core::options_bits; StaticEngine::build() verifies the key\n"
+      "  // against the live options)\n";
+  appendf(out, "  static constexpr std::uint32_t kOptionsKey = %uu;  // %s\n\n",
+          opt_key, core::options_signature(eo).c_str());
 
   appendf(out, "  static constexpr unsigned kNumStages = %u;\n", cm.num_stages);
   appendf(out, "  static constexpr unsigned kNumPlaces = %u;\n", cm.num_places);
@@ -404,10 +407,7 @@ std::string emit_simulator(const CompiledModel& cm, const core::Net& net,
       "         \"" +
       net.name() +
       "\",\n"
-      "         rcpn::gen::generated_options_key(Traits::kOptTwoListStateRefs,\n"
-      "                                          Traits::kOptForceTwoListAll,\n"
-      "                                          Traits::kOptLinearSearch,\n"
-      "                                          Traits::kOptQuiescenceSkip),\n"
+      "         Traits::kOptionsKey,\n"
       "         &make_engine),\n"
       "     true);\n"
       "\n"
@@ -426,15 +426,7 @@ std::string emit_simulator(const CompiledModel& cm, const core::Net& net,
           "// The base options reproduce the stamped emission variant.\n"
           "int main(int argc, char** argv) {\n"
           "  rcpn::core::EngineOptions base;\n";
-      appendf(out,
-              "  base.two_list_state_refs = %s;\n"
-              "  base.force_two_list_all = %s;\n"
-              "  base.linear_search = %s;\n"
-              "  base.quiescence_skip = %s;\n",
-              eo.two_list_state_refs ? "true" : "false",
-              eo.force_two_list_all ? "true" : "false",
-              eo.linear_search ? "true" : "false",
-              eo.quiescence_skip ? "true" : "false");
+      emit_base_option_lines(out, eo);
       out +=
           "  return rcpn::machines::golden_cli_main(\n"
           "      argc, argv, \"" +
@@ -474,15 +466,7 @@ std::string emit_simulator(const CompiledModel& cm, const core::Net& net,
         "// reproduce the stamped emission variant.\n"
         "int main(int argc, char** argv) {\n"
         "  rcpn::core::EngineOptions base;\n";
-    appendf(out,
-            "  base.two_list_state_refs = %s;\n"
-            "  base.force_two_list_all = %s;\n"
-            "  base.linear_search = %s;\n"
-            "  base.quiescence_skip = %s;\n",
-            eo.two_list_state_refs ? "true" : "false",
-            eo.force_two_list_all ? "true" : "false",
-            eo.linear_search ? "true" : "false",
-            eo.quiescence_skip ? "true" : "false");
+    emit_base_option_lines(out, eo);
     out += "  return rcpn::machines::generic_cli_main<" + mtype +
            ">(\n"
            "      argc, argv, \"" +

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "core/options_signature.hpp"
+
 namespace rcpn::gen {
 
 namespace {
@@ -14,22 +16,11 @@ std::map<std::pair<std::string, std::uint32_t>, GeneratedFactory>& registry() {
 }  // namespace
 
 std::uint32_t generated_options_key(const core::EngineOptions& options) {
-  return generated_options_key(options.two_list_state_refs,
-                               options.force_two_list_all, options.linear_search,
-                               options.quiescence_skip);
+  return core::options_bits(options);
 }
 
 std::string generated_options_desc(std::uint32_t options_key) {
-  std::string desc;
-  const auto add = [&desc](const char* name) {
-    if (!desc.empty()) desc += ",";
-    desc += name;
-  };
-  if (options_key & 1u) add("two_list_state_refs");
-  if (options_key & 2u) add("force_two_list_all");
-  if (options_key & 4u) add("linear_search");
-  if (options_key & 8u) add("quiescence_skip");
-  return desc.empty() ? "(none)" : desc;
+  return core::options_bits_desc(options_key);
 }
 
 void register_generated_engine(const std::string& model, std::uint32_t options_key,

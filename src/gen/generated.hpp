@@ -31,8 +31,11 @@ using GeneratedFactory = std::unique_ptr<core::Engine> (*)(core::Net&,
 /// The schedule-affecting option bits a generated artifact is emitted under
 /// (two-list analysis, candidate-search strategy and the quiescence-skip
 /// main-loop variant; backend and runtime knobs like deadlock_limit do not
-/// change the tables). The emitted TU calls the constexpr form with its
-/// stamped flags; lookups derive the same key from live EngineOptions.
+/// change the tables). Emitted TUs stamp the key as Traits::kOptionsKey;
+/// lookups derive the same key from live EngineOptions. Both sides come
+/// from the core::options_bits table (core/options_signature.hpp) — the
+/// constexpr form is kept for compatibility and must agree with that table
+/// (tests assert it).
 constexpr std::uint32_t generated_options_key(bool two_list_state_refs,
                                               bool force_two_list_all,
                                               bool linear_search,

@@ -320,9 +320,7 @@ class StaticEngine final : public core::Engine {
     // variant must refuse to run under another *before* the table diffs
     // produce a confusing structural message (satisfying the contract that a
     // wrong-ablation artifact throws instead of silently diverging).
-    const std::uint32_t stamped = generated_options_key(
-        Traits::kOptTwoListStateRefs, Traits::kOptForceTwoListAll,
-        Traits::kOptLinearSearch, Traits::kOptQuiescenceSkip);
+    const std::uint32_t stamped = Traits::kOptionsKey;
     const std::uint32_t live = generated_options_key(options_);
     if (stamped != live)
       stale("EngineOptions: tables were emitted for [" +

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "desc/delegate_registry.hpp"
+
 namespace rcpn::machines {
 
 using arm::Cond;
@@ -561,5 +563,24 @@ void pipe_wb_action(ArmPipeMachine& m, FireCtx& ctx) { wb_action(m.env, ctx); }
 bool pipe_fetch_guard(ArmPipeMachine& m, FireCtx&) { return !m.m.sys.exited(); }
 
 void pipe_fetch_action(ArmPipeMachine& m, FireCtx& ctx) { fetch_action(m.env, ctx); }
+
+const desc::DelegateRegistry& arm_pipe_delegates() {
+  static const desc::DelegateRegistry reg = [] {
+    desc::DelegateRegistry r("rcpn::machines::ArmPipeMachine",
+                             {"machines/arm_machine.hpp"});
+    auto d = r.bind<ArmPipeMachine>();
+    d.guard<&pipe_issue_guard>("rcpn::machines::pipe_issue_guard");
+    d.action<&pipe_issue_action>("rcpn::machines::pipe_issue_action");
+    d.action<&pipe_execute_action>("rcpn::machines::pipe_execute_action");
+    d.action<&pipe_mem_publish_action>("rcpn::machines::pipe_mem_publish_action");
+    d.action<&pipe_mem_action>("rcpn::machines::pipe_mem_action");
+    d.action<&pipe_publish_action>("rcpn::machines::pipe_publish_action");
+    d.action<&pipe_wb_action>("rcpn::machines::pipe_wb_action");
+    d.guard<&pipe_fetch_guard>("rcpn::machines::pipe_fetch_guard");
+    d.action<&pipe_fetch_action>("rcpn::machines::pipe_fetch_action");
+    return r;
+  }();
+  return reg;
+}
 
 }  // namespace rcpn::machines

@@ -182,3 +182,16 @@ bool pipe_fetch_guard(ArmPipeMachine& m, core::FireCtx& ctx);
 void pipe_fetch_action(ArmPipeMachine& m, core::FireCtx& ctx);
 
 }  // namespace rcpn::machines
+
+namespace rcpn::desc {
+class DelegateRegistry;
+}
+
+namespace rcpn::machines {
+
+/// The shared ArmPipeMachine DelegateRegistry used by both the StrongArm and
+/// XScale models: symbol -> typed binding for every pipe_* delegate above,
+/// plus the emission metadata (machine type, header).
+const desc::DelegateRegistry& arm_pipe_delegates();
+
+}  // namespace rcpn::machines

@@ -1,0 +1,221 @@
+#include "machines/desc_machines.hpp"
+
+#include <stdexcept>
+
+#include "desc/delegate_registry.hpp"
+#include "machines/fig5_processor.hpp"
+#include "machines/fuzz_model.hpp"
+#include "machines/golden_runner.hpp"
+#include "machines/simple_pipeline.hpp"
+#include "machines/stallcause.hpp"
+#include "machines/strongarm.hpp"
+#include "machines/tomasulo.hpp"
+#include "machines/xscale.hpp"
+#include "model/simulator.hpp"
+
+namespace rcpn::machines {
+
+namespace {
+
+/// "fuzz-N" -> N; -1 when `model` is not a fuzz model name.
+int fuzz_seed_of(const std::string& model) {
+  if (model.rfind("fuzz-", 0) != 0 || model.size() == 5) return -1;
+  int seed = 0;
+  for (std::size_t i = 5; i < model.size(); ++i) {
+    const char c = model[i];
+    if (c < '0' || c > '9') return -1;
+    seed = seed * 10 + (c - '0');
+    if (seed > 1'000'000) return -1;
+  }
+  return seed;
+}
+
+/// Restore a loaded fuzz simulator's per-transition delegate parameters:
+/// replay describe_fuzz_model(seed) into a throwaway builder against the
+/// *live* machine. Declaration order is deterministic, so the throwaway ids
+/// equal the loaded ids and the guard_param/action_param arrays line up.
+void restore_fuzz_params(const desc::Description& d, int seed, FuzzMachine& m) {
+  model::ModelBuilder<FuzzMachine> throwaway(d.model);
+  describe_fuzz_model(static_cast<unsigned>(seed), throwaway, m);
+}
+
+}  // namespace
+
+const desc::DelegateRegistry& delegates_for(const desc::Description& d) {
+  if (d.machine_type == "rcpn::machines::Fig2Machine") return fig2_delegates();
+  if (d.machine_type == "rcpn::machines::Fig5Machine") return fig5_delegates();
+  if (d.machine_type == "rcpn::machines::TomasuloMachine") return tomasulo_delegates();
+  if (d.machine_type == "rcpn::machines::StallCauseMachine")
+    return stallcause_delegates();
+  if (d.machine_type == "rcpn::machines::ArmPipeMachine") return arm_pipe_delegates();
+  if (d.machine_type == "rcpn::machines::FuzzMachine") return fuzz_delegates();
+  throw model::ModelError("description '" + d.model + "': no shipped DelegateRegistry " +
+                          "for machine type '" + d.machine_type + "'");
+}
+
+desc::Description describe_machine(const std::string& key,
+                                   core::EngineOptions options) {
+  const int seed = fuzz_seed_of(key);
+  if (seed >= 0) {
+    model::Simulator<FuzzMachine> sim(
+        key, options,
+        [seed](model::ModelBuilder<FuzzMachine>& b, FuzzMachine& m) {
+          describe_fuzz_model(static_cast<unsigned>(seed), b, m);
+        },
+        FuzzMachine{});
+    return desc::describe_net(sim.net(), options);
+  }
+  desc::Description d;
+  inspect_golden_machine(key, options, [&](core::Net& net, core::Engine&) {
+    d = desc::describe_net(net, options);
+  });
+  return d;
+}
+
+GoldenRunResult run_description(const desc::Description& d, core::EngineOptions options,
+                                std::uint64_t max_cycles) {
+  const desc::DelegateRegistry& reg = delegates_for(d);
+  if (d.model == "Fig2") {
+    SimplePipeline sim(d, reg, options, 64);
+    return golden_finish_fig2(sim);
+  }
+  if (d.model == "Fig5") {
+    Fig5Processor sim(d, reg, options);
+    return golden_finish_fig5(sim);
+  }
+  if (d.model == "Tomasulo") {
+    TomasuloCore sim(d, reg, options);
+    return golden_finish_tomasulo(sim);
+  }
+  if (d.model == "StallCause") {
+    StallCauseModel sim(d, reg, options, 4);
+    return golden_finish_stallcause(sim);
+  }
+  if (d.model == "StrongArm") {
+    StrongArmConfig cfg;
+    cfg.engine = options;
+    StrongArmSim sim(d, reg, cfg);
+    return golden_finish_strongarm_crc(sim);
+  }
+  if (d.model == "XScale") {
+    XScaleConfig cfg;
+    cfg.engine = options;
+    XScaleSim sim(d, reg, cfg);
+    return golden_finish_xscale_adpcm(sim);
+  }
+  const int seed = fuzz_seed_of(d.model);
+  if (seed >= 0) {
+    model::Simulator<FuzzMachine> sim(d, reg, options, FuzzMachine{});
+    restore_fuzz_params(d, seed, sim.machine());
+    return golden_finish_fuzz(sim, d.model, max_cycles);
+  }
+  throw model::ModelError("description model '" + d.model +
+                          "' names no machine family shipped with this library");
+}
+
+void inspect_description(const desc::Description& d, core::EngineOptions options,
+                         const GoldenInspectFn& fn) {
+  const desc::DelegateRegistry& reg = delegates_for(d);
+  if (d.model == "Fig2") {
+    SimplePipeline sim(d, reg, options, 64);
+    fn(sim.net(), sim.engine());
+    return;
+  }
+  if (d.model == "Fig5") {
+    Fig5Processor sim(d, reg, options);
+    fn(sim.net(), sim.engine());
+    return;
+  }
+  if (d.model == "Tomasulo") {
+    TomasuloCore sim(d, reg, options);
+    fn(sim.net(), sim.engine());
+    return;
+  }
+  if (d.model == "StallCause") {
+    StallCauseModel sim(d, reg, options, 4);
+    fn(sim.net(), sim.engine());
+    return;
+  }
+  if (d.model == "StrongArm") {
+    StrongArmConfig cfg;
+    cfg.engine = options;
+    StrongArmSim sim(d, reg, cfg);
+    fn(sim.net(), sim.engine());
+    return;
+  }
+  if (d.model == "XScale") {
+    XScaleConfig cfg;
+    cfg.engine = options;
+    XScaleSim sim(d, reg, cfg);
+    fn(sim.net(), sim.engine());
+    return;
+  }
+  const int seed = fuzz_seed_of(d.model);
+  if (seed >= 0) {
+    model::Simulator<FuzzMachine> sim(d, reg, options, FuzzMachine{});
+    restore_fuzz_params(d, seed, sim.machine());
+    fn(sim.net(), sim.engine());
+    return;
+  }
+  throw model::ModelError("description model '" + d.model +
+                          "' names no machine family shipped with this library");
+}
+
+std::string description_machine_key(const desc::Description& d) {
+  for (const std::string& key : golden_machine_keys())
+    if (golden_model_name(key) == d.model) return key;
+  return "";
+}
+
+// -- description constructors of the wrapper classes --------------------------
+// Defined here (not in the machine cpps) so freestanding amalgamations, which
+// embed the machine cpps, never reference the description layer.
+
+SimplePipeline::SimplePipeline(const desc::Description& d,
+                               const desc::DelegateRegistry& registry,
+                               core::EngineOptions options, std::uint64_t to_generate)
+    : sim_(d, registry, options,
+           Fig2Machine{to_generate, 0, core::kNoType, core::kNoType, core::kNoPlace}) {
+  bind_fig2_context(sim_.net(), sim_.machine());
+}
+
+Fig5Processor::Fig5Processor(const desc::Description& d,
+                             const desc::DelegateRegistry& registry,
+                             core::EngineOptions options)
+    : sim_(d, registry, options) {
+  bind_fig5_context(sim_.net(), sim_.machine());
+}
+
+TomasuloCore::TomasuloCore(const desc::Description& d,
+                           const desc::DelegateRegistry& registry,
+                           core::EngineOptions options)
+    : sim_(d, registry, options) {
+  bind_tomasulo_context(sim_.net(), sim_.machine());
+}
+
+StallCauseModel::StallCauseModel(const desc::Description& d,
+                                 const desc::DelegateRegistry& registry,
+                                 core::EngineOptions options, std::uint64_t to_emit)
+    : sim_(d, registry, options, StallCauseMachine{to_emit}) {
+  bind_stallcause_context(sim_.net(), sim_.machine());
+}
+
+StrongArmSim::StrongArmSim(const desc::Description& d,
+                           const desc::DelegateRegistry& registry,
+                           StrongArmConfig config)
+    : cfg_(std::move(config)),
+      sim_(d, registry, cfg_.engine,
+           ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {
+  bind_strongarm_context(sim_.net(), sim_.machine());
+}
+
+XScaleSim::XScaleSim(const desc::Description& d, const desc::DelegateRegistry& registry,
+                     XScaleConfig config)
+    : cfg_(std::move(config)),
+      sim_(d, registry, cfg_.engine,
+           ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {
+  sim_.machine().m.bp = std::make_unique<predictor::Btb>(cfg_.btb_entries);
+  bind_xscale_context(sim_.net(), sim_.machine());
+}
+
+}  // namespace rcpn::machines

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "desc/delegate_registry.hpp"
 #include "isa/operation_class.hpp"
 
 namespace rcpn::machines {
@@ -242,17 +243,53 @@ void fig5_fetch_action(Fig5Machine& m, FireCtx& ctx) {
   ctx.engine->emit_instruction(t, m.fetch_into);
 }
 
+// -- delegate registry --------------------------------------------------------------
+
+const desc::DelegateRegistry& fig5_delegates() {
+  static const desc::DelegateRegistry reg = [] {
+    desc::DelegateRegistry r("rcpn::machines::Fig5Machine",
+                             {"machines/fig5_processor.hpp"});
+    auto d = r.bind<Fig5Machine>();
+    d.guard<&fig5_d0_guard>("rcpn::machines::fig5_d0_guard");
+    d.action<&fig5_d0_action>("rcpn::machines::fig5_d0_action");
+    d.guard<&fig5_d1_guard>("rcpn::machines::fig5_d1_guard");
+    d.action<&fig5_d1_action>("rcpn::machines::fig5_d1_action");
+    d.action<&fig5_alu_e_action>("rcpn::machines::fig5_alu_e_action");
+    d.action<&fig5_alu_we_action>("rcpn::machines::fig5_alu_we_action");
+    d.guard<&fig5_ls_d_guard>("rcpn::machines::fig5_ls_d_guard");
+    d.action<&fig5_ls_d_action>("rcpn::machines::fig5_ls_d_action");
+    d.action<&fig5_ls_m_action>("rcpn::machines::fig5_ls_m_action");
+    d.action<&fig5_ls_wm_action>("rcpn::machines::fig5_ls_wm_action");
+    d.guard<&fig5_br_d_guard>("rcpn::machines::fig5_br_d_guard");
+    d.action<&fig5_br_d_action>("rcpn::machines::fig5_br_d_action");
+    d.action<&fig5_br_b_action>("rcpn::machines::fig5_br_b_action");
+    d.guard<&fig5_fetch_guard>("rcpn::machines::fig5_fetch_guard");
+    d.action<&fig5_fetch_action>("rcpn::machines::fig5_fetch_action");
+    return r;
+  }();
+  return reg;
+}
+
+void bind_fig5_context(const core::Net& net, Fig5Machine& m) {
+  m.ty_alu = net.find_type("ALU");
+  m.ty_ls = net.find_type("LoadStore");
+  m.ty_br = net.find_type("Branch");
+  m.fetch_into = net.find_place("L1");
+  m.fwd_from = net.find_place("L3");
+}
+
 // -- model description -------------------------------------------------------------
 
 Fig5Processor::Fig5Processor(core::EngineOptions options)
     : sim_("Fig5", options,
            [this](model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m) {
              describe(b, m);
-           }) {}
+           }) {
+  bind_fig5_context(sim_.net(), sim_.machine());
+}
 
-void Fig5Processor::describe(model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m) {
-  b.emit_machine_type("rcpn::machines::Fig5Machine");
-  b.emit_include("machines/fig5_processor.hpp");
+void Fig5Processor::describe(model::ModelBuilder<Fig5Machine>& b, Fig5Machine&) {
+  b.use_delegates(fig5_delegates());
   const model::StageHandle s1 = b.add_stage("L1", 1);
   const model::StageHandle s2 = b.add_stage("L2", 1);
   const model::StageHandle s3 = b.add_stage("L3", 1);
@@ -268,65 +305,60 @@ void Fig5Processor::describe(model::ModelBuilder<Fig5Machine>& b, Fig5Machine& m
   const model::TypeHandle ty_alu = b.add_type("ALU");
   const model::TypeHandle ty_ls = b.add_type("LoadStore");
   const model::TypeHandle ty_br = b.add_type("Branch");
-  m.ty_alu = ty_alu;
-  m.ty_ls = ty_ls;
-  m.ty_br = ty_br;
-  m.fetch_into = l1_;
-  m.fwd_from = l3_;
 
   // ---- ALU sub-net (two prioritized issue transitions, Fig 5 left) ---------
   d0_ = b.add_transition("ALU.D0", ty_alu)
             .from(l1_, /*priority=*/0)
-            .guard_named<&fig5_d0_guard>("rcpn::machines::fig5_d0_guard")
-            .action_named<&fig5_d0_action>("rcpn::machines::fig5_d0_action")
+            .guard_ref("rcpn::machines::fig5_d0_guard")
+            .action_ref("rcpn::machines::fig5_d0_action")
             .to(l2_);
   d1_ = b.add_transition("ALU.D1", ty_alu)
             .from(l1_, /*priority=*/1)
-            .guard_named<&fig5_d1_guard>("rcpn::machines::fig5_d1_guard")
-            .action_named<&fig5_d1_action>("rcpn::machines::fig5_d1_action")
+            .guard_ref("rcpn::machines::fig5_d1_guard")
+            .action_ref("rcpn::machines::fig5_d1_action")
             .to(l2_)
             .reads_state(l3_);
   b.add_transition("ALU.E", ty_alu)
       .from(l2_)
-      .action_named<&fig5_alu_e_action>("rcpn::machines::fig5_alu_e_action")
+      .action_ref("rcpn::machines::fig5_alu_e_action")
       .to(l3_);
   b.add_transition("ALU.We", ty_alu)
       .from(l3_)
-      .action_named<&fig5_alu_we_action>("rcpn::machines::fig5_alu_we_action")
+      .action_ref("rcpn::machines::fig5_alu_we_action")
       .to(b.end());
 
   // ---- LoadStore sub-net (variable memory delay, Fig 5 bottom) -------------
   b.add_transition("LS.D", ty_ls)
       .from(l1_)
-      .guard_named<&fig5_ls_d_guard>("rcpn::machines::fig5_ls_d_guard")
-      .action_named<&fig5_ls_d_action>("rcpn::machines::fig5_ls_d_action")
+      .guard_ref("rcpn::machines::fig5_ls_d_guard")
+      .action_ref("rcpn::machines::fig5_ls_d_action")
       .to(l2_);
   b.add_transition("LS.M", ty_ls)
       .from(l2_)
-      .action_named<&fig5_ls_m_action>("rcpn::machines::fig5_ls_m_action")
+      .action_ref("rcpn::machines::fig5_ls_m_action")
       .to(l4_);
   b.add_transition("LS.Wm", ty_ls)
       .from(l4_)
-      .action_named<&fig5_ls_wm_action>("rcpn::machines::fig5_ls_wm_action")
+      .action_ref("rcpn::machines::fig5_ls_wm_action")
       .to(b.end());
 
   // ---- Branch sub-net (reservation-token fetch stall, Fig 5 right) ---------
   b.add_transition("BR.D", ty_br)
       .from(l1_)
-      .guard_named<&fig5_br_d_guard>("rcpn::machines::fig5_br_d_guard")
-      .action_named<&fig5_br_d_action>("rcpn::machines::fig5_br_d_action")
+      .guard_ref("rcpn::machines::fig5_br_d_guard")
+      .action_ref("rcpn::machines::fig5_br_d_action")
       .to(l2_)
       .emit_reservation(l1_);
   b.add_transition("BR.B", ty_br)
       .from(l2_)
       .consume_reservation(l1_)
-      .action_named<&fig5_br_b_action>("rcpn::machines::fig5_br_b_action")
+      .action_ref("rcpn::machines::fig5_br_b_action")
       .to(b.end());
 
   // ---- instruction-independent sub-net (F) ----------------------------------
   b.add_independent_transition("F")
-      .guard_named<&fig5_fetch_guard>("rcpn::machines::fig5_fetch_guard")
-      .action_named<&fig5_fetch_action>("rcpn::machines::fig5_fetch_action")
+      .guard_ref("rcpn::machines::fig5_fetch_guard")
+      .action_ref("rcpn::machines::fig5_fetch_action")
       .to(l1_);
 }
 
@@ -353,14 +385,18 @@ std::vector<Fig5Instr> fig5_golden_workload() {
 
 }  // namespace
 
-GoldenRunResult golden_run_fig5(core::EngineOptions options) {
-  Fig5Processor sim(options);
+GoldenRunResult golden_finish_fig5(Fig5Processor& sim) {
   GoldenRunResult r;
   record_golden_retires(sim.engine(), r.trace);
   sim.load(fig5_golden_workload());
   sim.run();
   r.stats = sim.engine().stats();
   return r;
+}
+
+GoldenRunResult golden_run_fig5(core::EngineOptions options) {
+  Fig5Processor sim(options);
+  return golden_finish_fig5(sim);
 }
 
 void golden_inspect_fig5(core::EngineOptions options, const GoldenInspectFn& fn) {

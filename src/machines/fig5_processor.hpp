@@ -112,16 +112,38 @@ void fig5_br_b_action(Fig5Machine& m, core::FireCtx& ctx);
 bool fig5_fetch_guard(Fig5Machine& m, core::FireCtx& ctx);
 void fig5_fetch_action(Fig5Machine& m, core::FireCtx& ctx);
 
+/// The Fig 5 DelegateRegistry: symbol -> typed binding for every delegate
+/// above, plus the emission metadata (machine type, header).
+const desc::DelegateRegistry& fig5_delegates();
+
+/// Fill the machine-context fields the delegates and the decode binding read
+/// (operation-class ids, fetch latch, forward latch) by name from the
+/// lowered net — shared by both construction paths.
+void bind_fig5_context(const core::Net& net, Fig5Machine& m);
+
 /// Golden-workload runner/inspector (key "fig5"): the fixed eight-instruction
 /// hazard/branch/memory mix of tests/golden/fig5.trace.
 GoldenRunResult golden_run_fig5(core::EngineOptions options);
 void golden_inspect_fig5(core::EngineOptions options, const GoldenInspectFn& fn);
+
+class Fig5Processor;
+
+/// The golden workload itself (trace recording + load + run + stats),
+/// factored out so the describe-callback and description-loaded construction
+/// paths run byte-identical work.
+GoldenRunResult golden_finish_fig5(Fig5Processor& sim);
 
 class Fig5Processor {
  public:
   static constexpr unsigned kNumRegs = Fig5Machine::kNumRegs;
 
   explicit Fig5Processor(core::EngineOptions options = {});
+
+  /// Model-as-data construction: the same machine, loaded from a serialized
+  /// description (the fluent-handle accessors alu_issues_direct()/l1()/...
+  /// are not available on this path). Defined in machines/desc_machines.cpp.
+  Fig5Processor(const desc::Description& d, const desc::DelegateRegistry& registry,
+                core::EngineOptions options);
 
   void load(std::vector<Fig5Instr> program) { sim_.load(std::move(program)); }
   /// Run until all tokens drain and fetch passes the end of the program.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "desc/delegate_registry.hpp"
 #include "model/simulator.hpp"
 
 namespace rcpn::machines {
@@ -86,14 +87,47 @@ void fuzz_fetch_action(FuzzMachine& m, core::FireCtx& ctx) {
   ctx.engine->emit_instruction(tok, m.entry);
 }
 
+const desc::DelegateRegistry& fuzz_delegates() {
+  static const desc::DelegateRegistry reg = [] {
+    desc::DelegateRegistry r("rcpn::machines::FuzzMachine",
+                             {"machines/fuzz_model.hpp"});
+    auto d = r.bind<FuzzMachine>();
+    d.guard<&fuzz_guard_periodic>("rcpn::machines::fuzz_guard_periodic");
+    d.guard<&fuzz_guard_window>("rcpn::machines::fuzz_guard_window");
+    d.guard<&fuzz_guard_backpressure>("rcpn::machines::fuzz_guard_backpressure");
+    d.guard<&fuzz_guard_loop>("rcpn::machines::fuzz_guard_loop");
+    d.guard<&fuzz_fetch_guard>("rcpn::machines::fuzz_fetch_guard");
+    d.action<&fuzz_action_count>("rcpn::machines::fuzz_action_count");
+    d.action<&fuzz_action_delay>("rcpn::machines::fuzz_action_delay");
+    d.action<&fuzz_action_flush>("rcpn::machines::fuzz_action_flush");
+    d.action<&fuzz_action_loop>("rcpn::machines::fuzz_action_loop");
+    d.action<&fuzz_fetch_action>("rcpn::machines::fuzz_fetch_action");
+    return r;
+  }();
+  return reg;
+}
+
 void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
                          FuzzMachine& m) {
-  b.emit_machine_type("rcpn::machines::FuzzMachine");
-  b.emit_include("machines/fuzz_model.hpp");
+  b.use_delegates(fuzz_delegates());
 
   std::mt19937 rng(seed);
   auto pick = [&rng](unsigned lo, unsigned hi) {  // inclusive range
     return lo + static_cast<unsigned>(rng() % (hi - lo + 1));
+  };
+  // Built without operator+(const char*, string&&) to sidestep a GCC 12
+  // -Wrestrict false positive (PR105651) in the inlined insert path.
+  auto tx_name = [](char kind, unsigned t, unsigned i) {
+    std::string s(1, kind);
+    s += std::to_string(t);
+    s += '_';
+    s += std::to_string(i);
+    return s;
+  };
+  auto id_name = [](char kind, unsigned i) {
+    std::string s(1, kind);
+    s += std::to_string(i);
+    return s;
   };
 
   const unsigned num_stages = pick(2, 6);
@@ -108,7 +142,7 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
   for (unsigned s = 0; s < num_stages; ++s) {
     unsigned cap = pick(1, 3);
     if (s == 0 && cap < width) cap = width;
-    stages.push_back(b.add_stage("S" + std::to_string(s), cap));
+    stages.push_back(b.add_stage(id_name('S', s), cap));
   }
   // Occasionally pin a middle stage to two-list (conservative forwarding
   // timing), exercising the master/slave promotion path.
@@ -122,8 +156,7 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
   for (unsigned i = 0; i < num_places; ++i) {
     const unsigned s = i * num_stages / num_places;
     place_stage.push_back(s);
-    places.push_back(
-        b.add_place("P" + std::to_string(i), stages[s], /*delay=*/pick(1, 2)));
+    places.push_back(b.add_place(id_name('P', i), stages[s], /*delay=*/pick(1, 2)));
   }
 
   // A roomy side stage for reservation tokens (orphans from flushes may
@@ -134,7 +167,7 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
 
   std::vector<model::TypeHandle> types;
   for (unsigned t = 0; t < num_types; ++t)
-    types.push_back(b.add_type("T" + std::to_string(t)));
+    types.push_back(b.add_type(id_name('T', t)));
 
   // Per type: an emit/consume reservation pair on the chain (consume sites
   // get a fallback edge so a missing reservation stalls but never deadlocks).
@@ -153,16 +186,13 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
   auto add_guard = [&](auto& tb, unsigned kind, unsigned backpressure_place) {
     switch (kind) {
       case 1:
-        tb.template guard_named<&fuzz_guard_periodic>(
-            "rcpn::machines::fuzz_guard_periodic");
+        tb.guard_ref("rcpn::machines::fuzz_guard_periodic");
         break;
       case 2:
-        tb.template guard_named<&fuzz_guard_window>(
-            "rcpn::machines::fuzz_guard_window");
+        tb.guard_ref("rcpn::machines::fuzz_guard_window");
         break;
       case 3: {
-        tb.template guard_named<&fuzz_guard_backpressure>(
-            "rcpn::machines::fuzz_guard_backpressure");
+        tb.guard_ref("rcpn::machines::fuzz_guard_backpressure");
         fuzz_set_param(m.guard_param, tb.handle().id(),
                        places[backpressure_place].id());
         tb.reads_state(places[backpressure_place]);
@@ -175,16 +205,13 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
   auto add_action = [&](auto& tb, unsigned kind, unsigned from_place) {
     switch (kind) {
       case 1:
-        tb.template action_named<&fuzz_action_count>(
-            "rcpn::machines::fuzz_action_count");
+        tb.action_ref("rcpn::machines::fuzz_action_count");
         break;
       case 2:  // token delay override for the next place entry
-        tb.template action_named<&fuzz_action_delay>(
-            "rcpn::machines::fuzz_action_delay");
+        tb.action_ref("rcpn::machines::fuzz_action_delay");
         break;
       case 3: {  // age-based flush of an earlier stage every 11th instruction
-        tb.template action_named<&fuzz_action_flush>(
-            "rcpn::machines::fuzz_action_flush");
+        tb.action_ref("rcpn::machines::fuzz_action_flush");
         fuzz_set_param(m.action_param, tb.handle().id(),
                        stages[place_stage[pick(0, from_place)]].id());
         break;
@@ -210,8 +237,7 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
       if (consume_here) {
         // Highest-priority consuming edge; the plain edge below is the
         // fallback.
-        auto tb = b.add_transition("c" + std::to_string(t) + "_" + std::to_string(i),
-                                   types[t]);
+        auto tb = b.add_transition(tx_name('c', t, i), types[t]);
         tb.from(places[i], prio++).consume_reservation(res_place).to(target);
         add_action(tb, pick(0, 2), i);
       }
@@ -224,19 +250,16 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
       if (i >= 1 && pick(0, 4) == 0) {
         const unsigned back = pick(0, i - 1);
         const std::uint32_t trips = pick(1, 2);
-        auto lb = b.add_transition("l" + std::to_string(t) + "_" + std::to_string(i),
-                                   types[t]);
+        auto lb = b.add_transition(tx_name('l', t, i), types[t]);
         lb.from(places[i], prio++).to(places[back]);
-        lb.template guard_named<&fuzz_guard_loop>("rcpn::machines::fuzz_guard_loop");
+        lb.guard_ref("rcpn::machines::fuzz_guard_loop");
         fuzz_set_param(m.guard_param, lb.handle().id(),
                        static_cast<std::int32_t>(trips));
-        lb.template action_named<&fuzz_action_loop>(
-            "rcpn::machines::fuzz_action_loop");
+        lb.action_ref("rcpn::machines::fuzz_action_loop");
       }
 
       const std::uint8_t main_prio = prio;
-      auto tb = b.add_transition("t" + std::to_string(t) + "_" + std::to_string(i),
-                                 types[t]);
+      auto tb = b.add_transition(tx_name('t', t, i), types[t]);
       tb.from(places[i], main_prio).to(target);
       if (res_emit_at[t] == static_cast<int>(i)) tb.emit_reservation(res_place);
       // Backpressure guards must watch a strictly *later* place: watching your
@@ -251,8 +274,7 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
         const unsigned fjump = pick(1, 3);
         const model::PlaceHandle ftarget =
             (i + fjump < num_places) ? places[i + fjump] : b.end();
-        auto fb = b.add_transition("f" + std::to_string(t) + "_" + std::to_string(i),
-                                   types[t]);
+        auto fb = b.add_transition(tx_name('f', t, i), types[t]);
         fb.from(places[i], static_cast<std::uint8_t>(main_prio + 1)).to(ftarget);
         add_action(fb, pick(0, 2), i);
       }
@@ -264,8 +286,8 @@ void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
   m.fetch_types.clear();
   for (auto th : types) m.fetch_types.push_back(th.id());
   b.add_independent_transition("fetch")
-      .guard_named<&fuzz_fetch_guard>("rcpn::machines::fuzz_fetch_guard")
-      .action_named<&fuzz_fetch_action>("rcpn::machines::fuzz_fetch_action")
+      .guard_ref("rcpn::machines::fuzz_fetch_guard")
+      .action_ref("rcpn::machines::fuzz_fetch_action")
       .max_fires_per_cycle(static_cast<int>(width))
       .to(places[0]);
 }
@@ -284,14 +306,9 @@ core::EngineOptions fuzz_options_for(unsigned seed, core::Backend backend) {
 
 std::string fuzz_model_name(unsigned seed) { return "fuzz-" + std::to_string(seed); }
 
-GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options,
-                                std::uint64_t max_cycles) {
-  model::Simulator<FuzzMachine> sim(
-      fuzz_model_name(seed), options,
-      [seed](model::ModelBuilder<FuzzMachine>& b, FuzzMachine& m) {
-        describe_fuzz_model(seed, b, m);
-      },
-      FuzzMachine{});
+GoldenRunResult golden_finish_fuzz(model::Simulator<FuzzMachine>& sim,
+                                   const std::string& name,
+                                   std::uint64_t max_cycles) {
   GoldenRunResult r;
   record_golden_retires(sim.engine(), r.trace);
   const std::uint64_t kMaxCycles = max_cycles != 0 ? max_cycles : 25000;
@@ -301,14 +318,24 @@ GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options,
         sim.engine().tokens_in_flight() == 0)
       break;
     if (!sim.step())
-      throw std::runtime_error(fuzz_model_name(seed) +
+      throw std::runtime_error(name +
                                ": engine stopped (deadlocked model?) at cycle " +
                                std::to_string(cycle));
   }
-  if (cycle >= kMaxCycles)
-    throw std::runtime_error(fuzz_model_name(seed) + ": model did not drain");
+  if (cycle >= kMaxCycles) throw std::runtime_error(name + ": model did not drain");
   r.stats = sim.engine().stats();
   return r;
+}
+
+GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options,
+                                std::uint64_t max_cycles) {
+  model::Simulator<FuzzMachine> sim(
+      fuzz_model_name(seed), options,
+      [seed](model::ModelBuilder<FuzzMachine>& b, FuzzMachine& m) {
+        describe_fuzz_model(seed, b, m);
+      },
+      FuzzMachine{});
+  return golden_finish_fuzz(sim, fuzz_model_name(seed), max_cycles);
 }
 
 }  // namespace rcpn::machines

@@ -24,6 +24,11 @@
 #include "machines/golden_trace.hpp"
 #include "model/model_builder.hpp"
 
+namespace rcpn::model {
+template <typename Machine>
+class Simulator;
+}
+
 namespace rcpn::machines {
 
 struct FuzzMachine {
@@ -62,6 +67,10 @@ void fuzz_action_flush(FuzzMachine& m, core::FireCtx& ctx);
 void fuzz_action_loop(FuzzMachine& m, core::FireCtx& ctx);
 void fuzz_fetch_action(FuzzMachine& m, core::FireCtx& ctx);
 
+/// The fuzz DelegateRegistry: symbol -> typed binding for every delegate
+/// above (mixed machine/ctx arities), plus the emission metadata.
+const desc::DelegateRegistry& fuzz_delegates();
+
 /// Build the random pipeline model of `seed` into `b`, recording the
 /// delegate parameters into `m`.
 void describe_fuzz_model(unsigned seed, model::ModelBuilder<FuzzMachine>& b,
@@ -82,5 +91,12 @@ std::string fuzz_model_name(unsigned seed);
 /// per-job cycle budget.
 GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options,
                                 std::uint64_t max_cycles = 0);
+
+/// The fuzz workload itself (trace recording + manual drain loop + stats),
+/// factored out so the describe-callback and description-loaded construction
+/// paths run byte-identical work. `name` labels the error messages.
+GoldenRunResult golden_finish_fuzz(model::Simulator<FuzzMachine>& sim,
+                                   const std::string& name,
+                                   std::uint64_t max_cycles = 0);
 
 }  // namespace rcpn::machines

@@ -33,17 +33,39 @@ struct Fig2Machine {
 bool fig2_u1_guard(Fig2Machine& m, core::FireCtx& ctx);
 void fig2_u1_action(Fig2Machine& m, core::FireCtx& ctx);
 
+/// The Fig 2 DelegateRegistry: symbol -> typed binding for the delegates
+/// above, plus the emission metadata (machine type, header).
+const desc::DelegateRegistry& fig2_delegates();
+
+/// Fill the machine-context fields the delegates read (type ids, entry
+/// place) by name from the lowered net — shared by the describe-callback and
+/// description-loading construction paths.
+void bind_fig2_context(const core::Net& net, Fig2Machine& m);
+
 /// Golden-workload runner/inspector (key "fig2" in machines/golden_runner.hpp
 /// and in every generated simulator emitted for this model): 64 tokens
 /// through the Fig 2 pipeline.
 GoldenRunResult golden_run_fig2(core::EngineOptions options);
 void golden_inspect_fig2(core::EngineOptions options, const GoldenInspectFn& fn);
 
+class SimplePipeline;
+
+/// The golden workload itself (trace recording + run + stats), factored out
+/// so the describe-callback and description-loaded construction paths run
+/// byte-identical work.
+GoldenRunResult golden_finish_fig2(SimplePipeline& sim);
+
 class SimplePipeline {
  public:
   /// `to_generate` tokens are produced by U1, alternating type A / type B.
   /// `options` selects the backend and analysis knobs.
   explicit SimplePipeline(std::uint64_t to_generate, core::EngineOptions options = {});
+
+  /// Model-as-data construction: the same machine, loaded from a serialized
+  /// description (the fluent-handle accessors u2_fires()/l1()/... are not
+  /// available on this path). Defined in machines/desc_machines.cpp.
+  SimplePipeline(const desc::Description& d, const desc::DelegateRegistry& registry,
+                 core::EngineOptions options, std::uint64_t to_generate);
 
   /// Run until every token drained (or `max_cycles`); returns cycles used.
   std::uint64_t run(std::uint64_t max_cycles = 1u << 20);

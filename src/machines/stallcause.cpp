@@ -1,5 +1,7 @@
 #include "machines/stallcause.hpp"
 
+#include "desc/delegate_registry.hpp"
+
 namespace rcpn::machines {
 
 using core::FireCtx;
@@ -27,12 +29,32 @@ bool stallcause_escape_guard(StallCauseMachine& m, FireCtx&) {
   return m.counter >= StallCauseMachine::kEscapeAt;
 }
 
+const desc::DelegateRegistry& stallcause_delegates() {
+  static const desc::DelegateRegistry reg = [] {
+    desc::DelegateRegistry r("rcpn::machines::StallCauseMachine",
+                             {"machines/stallcause.hpp"});
+    auto d = r.bind<StallCauseMachine>();
+    d.action<&stallcause_tick_action>("rcpn::machines::stallcause_tick_action");
+    d.guard<&stallcause_fetch_guard>("rcpn::machines::stallcause_fetch_guard");
+    d.action<&stallcause_fetch_action>("rcpn::machines::stallcause_fetch_action");
+    d.guard<&stallcause_park_exit_guard>("rcpn::machines::stallcause_park_exit_guard");
+    d.guard<&stallcause_escape_guard>("rcpn::machines::stallcause_escape_guard");
+    return r;
+  }();
+  return reg;
+}
+
+void bind_stallcause_context(const core::Net& net, StallCauseMachine& m) {
+  m.ty_parker = net.find_type("Parker");
+  m.ty_worker = net.find_type("Worker");
+  m.into = net.find_place("PA");
+}
+
 StallCauseModel::StallCauseModel(std::uint64_t to_emit, core::EngineOptions options)
     : sim_(
           "StallCause", options,
-          [this](model::ModelBuilder<StallCauseMachine>& b, StallCauseMachine& m) {
-            b.emit_machine_type("rcpn::machines::StallCauseMachine");
-            b.emit_include("machines/stallcause.hpp");
+          [this](model::ModelBuilder<StallCauseMachine>& b, StallCauseMachine&) {
+            b.use_delegates(stallcause_delegates());
             const model::StageHandle sa = b.add_stage("PA", 1);
             const model::StageHandle sb = b.add_stage("PB", 1);
             const model::StageHandle sc = b.add_stage("PC", 1);
@@ -41,17 +63,13 @@ StallCauseModel::StallCauseModel(std::uint64_t to_emit, core::EngineOptions opti
             pc_ = b.add_place("PC", sc);
             const model::TypeHandle parker = b.add_type("Parker");
             const model::TypeHandle worker = b.add_type("Worker");
-            m.ty_parker = parker;
-            m.ty_worker = worker;
-            m.into = pa_;
 
             // Parker: straight into PB, then parked there until the ticker
             // releases it — the capacity pressure every worker sees.
             b.add_transition("PK.move", parker).from(pa_).to(pb_);
             b.add_transition("PK.exit", parker)
                 .from(pb_)
-                .guard_named<&stallcause_park_exit_guard>(
-                    "rcpn::machines::stallcause_park_exit_guard")
+                .guard_ref("rcpn::machines::stallcause_park_exit_guard")
                 .to(b.end());
 
             // Worker in PA: candidate 0 is capacity-rejected (PB full),
@@ -60,44 +78,46 @@ StallCauseModel::StallCauseModel(std::uint64_t to_emit, core::EngineOptions opti
             b.add_transition("W.block", worker).from(pa_, /*priority=*/0).to(pb_);
             b.add_transition("W.escape", worker)
                 .from(pa_, /*priority=*/1)
-                .guard_named<&stallcause_escape_guard>(
-                    "rcpn::machines::stallcause_escape_guard")
+                .guard_ref("rcpn::machines::stallcause_escape_guard")
                 .to(pc_);
             // Safety drain for a worker that ever does land in PB (never in
             // the golden workload: all workers escape before the parker
             // leaves) — keeps the net deadlock-free under other schedules.
             b.add_transition("W.drain", worker)
                 .from(pb_)
-                .guard_named<&stallcause_park_exit_guard>(
-                    "rcpn::machines::stallcause_park_exit_guard")
+                .guard_ref("rcpn::machines::stallcause_park_exit_guard")
                 .to(b.end());
             b.add_transition("W.retire", worker).from(pc_).to(b.end());
 
             // Instruction-independent sub-net: the per-cycle ticker and the
             // one-token-per-cycle fetch.
-            b.add_independent_transition("tick").action_named<&stallcause_tick_action>(
+            b.add_independent_transition("tick").action_ref(
                 "rcpn::machines::stallcause_tick_action");
             b.add_independent_transition("fetch")
-                .guard_named<&stallcause_fetch_guard>(
-                    "rcpn::machines::stallcause_fetch_guard")
-                .action_named<&stallcause_fetch_action>(
-                    "rcpn::machines::stallcause_fetch_action")
+                .guard_ref("rcpn::machines::stallcause_fetch_guard")
+                .action_ref("rcpn::machines::stallcause_fetch_action")
                 .to(pa_);
           },
-          StallCauseMachine{to_emit}) {}
+          StallCauseMachine{to_emit}) {
+  bind_stallcause_context(sim_.net(), sim_.machine());
+}
 
 std::uint64_t StallCauseModel::run(std::uint64_t max_cycles) {
   return sim_.drain(
       [](const StallCauseMachine& m) { return m.emitted >= m.to_emit; }, max_cycles);
 }
 
-GoldenRunResult golden_run_stallcause(core::EngineOptions options) {
-  StallCauseModel sim(4, options);
+GoldenRunResult golden_finish_stallcause(StallCauseModel& sim) {
   GoldenRunResult r;
   record_golden_retires(sim.engine(), r.trace);
   sim.run();
   r.stats = sim.engine().stats();
   return r;
+}
+
+GoldenRunResult golden_run_stallcause(core::EngineOptions options) {
+  StallCauseModel sim(4, options);
+  return golden_finish_stallcause(sim);
 }
 
 void golden_inspect_stallcause(core::EngineOptions options, const GoldenInspectFn& fn) {

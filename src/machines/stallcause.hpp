@@ -51,14 +51,34 @@ void stallcause_fetch_action(StallCauseMachine& m, core::FireCtx& ctx);
 bool stallcause_park_exit_guard(StallCauseMachine& m, core::FireCtx& ctx);
 bool stallcause_escape_guard(StallCauseMachine& m, core::FireCtx& ctx);
 
+/// The StallCause DelegateRegistry: symbol -> typed binding for every
+/// delegate above, plus the emission metadata (machine type, header).
+const desc::DelegateRegistry& stallcause_delegates();
+
+/// Fill the machine-context fields the delegates read (type ids, fetch
+/// place) by name from the lowered net — shared by both construction paths.
+void bind_stallcause_context(const core::Net& net, StallCauseMachine& m);
+
 /// Golden-workload runner/inspector (key "stallcause"): one parker plus three
 /// workers through the PA/PB/PC net of tests/golden/stallcause.trace.
 GoldenRunResult golden_run_stallcause(core::EngineOptions options);
 void golden_inspect_stallcause(core::EngineOptions options, const GoldenInspectFn& fn);
 
+class StallCauseModel;
+
+/// The golden workload itself (trace recording + run + stats), factored out
+/// so the describe-callback and description-loaded construction paths run
+/// byte-identical work.
+GoldenRunResult golden_finish_stallcause(StallCauseModel& sim);
+
 class StallCauseModel {
  public:
   explicit StallCauseModel(std::uint64_t to_emit, core::EngineOptions options = {});
+
+  /// Model-as-data construction: the same machine, loaded from a serialized
+  /// description. Defined in machines/desc_machines.cpp.
+  StallCauseModel(const desc::Description& d, const desc::DelegateRegistry& registry,
+                  core::EngineOptions options, std::uint64_t to_emit);
 
   /// Run until everything emitted and drained (or `max_cycles`).
   std::uint64_t run(std::uint64_t max_cycles = 1u << 20);

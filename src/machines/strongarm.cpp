@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "desc/delegate_registry.hpp"
 #include "workloads/workloads.hpp"
 
 namespace rcpn::machines {
@@ -27,11 +28,20 @@ StrongArmSim::StrongArmSim(StrongArmConfig config)
           // same register (most importantly consecutive CPSR setters in
           // compare/branch loops) do not stall — a single-writer scoreboard
           // would over-serialize them by the full pipeline depth.
-          ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {}
+          ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {
+  bind_strongarm_context(sim_.net(), sim_.machine());
+}
 
-void StrongArmSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc) {
-  b.emit_machine_type("rcpn::machines::ArmPipeMachine");
-  b.emit_include("machines/arm_machine.hpp");
+void bind_strongarm_context(const core::Net& net, ArmPipeMachine& mc) {
+  mc.env.fwd = {net.find_place("EM"), net.find_place("MW")};
+  mc.env.flush_on_redirect = {net.find_stage("FD")};
+  mc.env.drain = {net.find_place("DE"), net.find_place("EM"), net.find_place("MW")};
+  mc.env.fetch_into = net.find_place("FD");
+  mc.env.use_predictor = false;
+}
+
+void StrongArmSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&) {
+  b.use_delegates(arm_pipe_delegates());
   const model::StageHandle sFD = b.add_stage("FD", 1);
   const model::StageHandle sDE = b.add_stage("DE", 1);
   const model::StageHandle sEM = b.add_stage("EM", 1);
@@ -47,15 +57,10 @@ void StrongArmSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachi
   // the SA-110's one-cycle load-use penalty.
   b.force_two_list(sEM, false);
 
-  mc.env.fwd = {em.id(), mw.id()};
-  mc.env.flush_on_redirect = {sFD.id()};
-  mc.env.drain = {de.id(), em.id(), mw.id()};
-  mc.env.fetch_into = fd.id();
-  mc.env.use_predictor = false;
-
   // The per-class behaviours are shared *named* free functions over the typed
-  // machine context (arm_machine.hpp), registered with their symbols so the
-  // model is emittable as a standalone generated simulator.
+  // machine context (arm_machine.hpp), resolved through the shared
+  // DelegateRegistry so the model is emittable as a standalone generated
+  // simulator and loadable from a serialized description.
   for (unsigned c = 0; c < arm::kNumOpClasses; ++c) {
     const auto cls = static_cast<OpClass>(c);
     const std::string name = arm::op_class_name(cls);
@@ -65,28 +70,28 @@ void StrongArmSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachi
 
     b.add_transition("D." + name, ty)
         .from(fd)
-        .guard_named<&pipe_issue_guard>("rcpn::machines::pipe_issue_guard")
-        .action_named<&pipe_issue_action>("rcpn::machines::pipe_issue_action")
+        .guard_ref("rcpn::machines::pipe_issue_guard")
+        .action_ref("rcpn::machines::pipe_issue_action")
         .to(de)
         .reads_state(em)
         .reads_state(mw);
     b.add_transition("E." + name, ty)
         .from(de)
-        .action_named<&pipe_execute_action>("rcpn::machines::pipe_execute_action")
+        .action_ref("rcpn::machines::pipe_execute_action")
         .to(em);
     b.add_transition("M." + name, ty)
         .from(em)
-        .action_named<&pipe_mem_publish_action>("rcpn::machines::pipe_mem_publish_action")
+        .action_ref("rcpn::machines::pipe_mem_publish_action")
         .to(mw);
     b.add_transition("W." + name, ty)
         .from(mw)
-        .action_named<&pipe_wb_action>("rcpn::machines::pipe_wb_action")
+        .action_ref("rcpn::machines::pipe_wb_action")
         .to(b.end());
   }
 
   b.add_independent_transition("F")
-      .guard_named<&pipe_fetch_guard>("rcpn::machines::pipe_fetch_guard")
-      .action_named<&pipe_fetch_action>("rcpn::machines::pipe_fetch_action")
+      .guard_ref("rcpn::machines::pipe_fetch_guard")
+      .action_ref("rcpn::machines::pipe_fetch_action")
       .to(fd);
 }
 
@@ -115,15 +120,19 @@ RunResult collect_result(const core::Engine& eng, const ArmMachine& m) {
   return r;
 }
 
-GoldenRunResult golden_run_strongarm_crc(core::EngineOptions options) {
-  StrongArmConfig cfg;
-  cfg.engine = options;
-  StrongArmSim sim(cfg);
+GoldenRunResult golden_finish_strongarm_crc(StrongArmSim& sim) {
   GoldenRunResult r;
   record_golden_retires(sim.engine(), r.trace);
   sim.run(workloads::build(*workloads::find("crc"), /*scale=*/1), /*max_cycles=*/1500);
   r.stats = sim.engine().stats();
   return r;
+}
+
+GoldenRunResult golden_run_strongarm_crc(core::EngineOptions options) {
+  StrongArmConfig cfg;
+  cfg.engine = options;
+  StrongArmSim sim(cfg);
+  return golden_finish_strongarm_crc(sim);
 }
 
 void golden_inspect_strongarm_crc(core::EngineOptions options,

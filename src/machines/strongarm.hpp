@@ -39,6 +39,13 @@ class StrongArmSim {
  public:
   explicit StrongArmSim(StrongArmConfig config = StrongArmConfig());
 
+  /// Model-as-data construction: the same pipeline, loaded from a serialized
+  /// description. `config.engine` selects the backend/schedule knobs (fold
+  /// the description's own options in with desc::engine_options first).
+  /// Defined in machines/desc_machines.cpp.
+  StrongArmSim(const desc::Description& d, const desc::DelegateRegistry& registry,
+               StrongArmConfig config);
+
   /// Run `program` to completion (SWI exit) or `max_cycles`.
   RunResult run(const sys::Program& program, std::uint64_t max_cycles = ~0ull);
 
@@ -56,11 +63,20 @@ class StrongArmSim {
 /// Collect a RunResult from an engine + machine after a run.
 RunResult collect_result(const core::Engine& eng, const ArmMachine& m);
 
+/// Fill the pipeline-shape environment (forwarding sources, flush/drain
+/// sets, fetch place) by name from the lowered net — shared by the
+/// describe-callback and description-loaded construction paths.
+void bind_strongarm_context(const core::Net& net, ArmPipeMachine& mc);
+
 /// Golden-workload runner/inspector (key "strongarm_crc"): a fixed 1500-cycle
 /// window of the crc kernel — long enough to cover icache/dcache misses,
 /// hazards and branches, small enough to check in.
 GoldenRunResult golden_run_strongarm_crc(core::EngineOptions options);
 void golden_inspect_strongarm_crc(core::EngineOptions options,
                                   const GoldenInspectFn& fn);
+
+/// The golden workload itself (trace recording + crc window + stats),
+/// factored out so both construction paths run byte-identical work.
+GoldenRunResult golden_finish_strongarm_crc(StrongArmSim& sim);
 
 }  // namespace rcpn::machines

@@ -1,5 +1,6 @@
 #include "machines/tomasulo.hpp"
 
+#include "desc/delegate_registry.hpp"
 #include "isa/operation_class.hpp"
 
 namespace rcpn::machines {
@@ -153,18 +154,42 @@ void tomasulo_fetch_action(TomasuloMachine& m, FireCtx& ctx) {
   ctx.engine->emit_instruction(t, m.fetch_into);
 }
 
+const desc::DelegateRegistry& tomasulo_delegates() {
+  static const desc::DelegateRegistry reg = [] {
+    desc::DelegateRegistry r("rcpn::machines::TomasuloMachine",
+                             {"machines/tomasulo.hpp"});
+    auto d = r.bind<TomasuloMachine>();
+    d.guard<&tomasulo_issue_guard>("rcpn::machines::tomasulo_issue_guard");
+    d.action<&tomasulo_issue_action>("rcpn::machines::tomasulo_issue_action");
+    d.guard<&tomasulo_exec_guard>("rcpn::machines::tomasulo_exec_guard");
+    d.action<&tomasulo_exec_action>("rcpn::machines::tomasulo_exec_action");
+    d.action<&tomasulo_bcast_action>("rcpn::machines::tomasulo_bcast_action");
+    d.action<&tomasulo_wb_action>("rcpn::machines::tomasulo_wb_action");
+    d.guard<&tomasulo_fetch_guard>("rcpn::machines::tomasulo_fetch_guard");
+    d.action<&tomasulo_fetch_action>("rcpn::machines::tomasulo_fetch_action");
+    return r;
+  }();
+  return reg;
+}
+
+void bind_tomasulo_context(const core::Net& net, TomasuloMachine& m) {
+  m.ty_alu = net.find_type("ALU");
+  m.fetch_into = net.find_place("DISP");
+}
+
 TomasuloCore::TomasuloCore(unsigned rs_entries, unsigned num_fus,
                            core::EngineOptions options)
     : sim_("Tomasulo", options,
            [this, rs_entries, num_fus](model::ModelBuilder<TomasuloMachine>& b,
                                        TomasuloMachine& m) {
              describe(b, m, rs_entries, num_fus);
-           }) {}
+           }) {
+  bind_tomasulo_context(sim_.net(), sim_.machine());
+}
 
-void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMachine& m,
+void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMachine&,
                             unsigned rs_entries, unsigned num_fus) {
-  b.emit_machine_type("rcpn::machines::TomasuloMachine");
-  b.emit_include("machines/tomasulo.hpp");
+  b.use_delegates(tomasulo_delegates());
   const model::StageHandle sDisp = b.add_stage("DISP", 1);
   const model::StageHandle sRs = b.add_stage("RS", rs_entries);
   const model::StageHandle sEx = b.add_stage("EX", num_fus);
@@ -174,14 +199,12 @@ void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMac
   const model::PlaceHandle ex = b.add_place("EX", sEx);
   const model::PlaceHandle cdb = b.add_place("CDB", sCdb);
   const model::TypeHandle ty_alu = b.add_type("ALU");
-  m.ty_alu = ty_alu;
-  m.fetch_into = disp;
 
   // Issue: claim an RS entry; see tomasulo_issue_action.
   b.add_transition("Issue", ty_alu)
       .from(disp)
-      .guard_named<&tomasulo_issue_guard>("rcpn::machines::tomasulo_issue_guard")
-      .action_named<&tomasulo_issue_action>("rcpn::machines::tomasulo_issue_action")
+      .guard_ref("rcpn::machines::tomasulo_issue_guard")
+      .action_ref("rcpn::machines::tomasulo_issue_action")
       .to(rs);
 
   // Dispatch-to-execute: fires for ANY token in the reservation station whose
@@ -190,26 +213,26 @@ void TomasuloCore::describe(model::ModelBuilder<TomasuloMachine>& b, TomasuloMac
   // capacity>1 stage.
   b.add_transition("Exec", ty_alu)
       .from(rs)
-      .guard_named<&tomasulo_exec_guard>("rcpn::machines::tomasulo_exec_guard")
-      .action_named<&tomasulo_exec_action>("rcpn::machines::tomasulo_exec_action")
+      .guard_ref("rcpn::machines::tomasulo_exec_guard")
+      .action_ref("rcpn::machines::tomasulo_exec_action")
       .to(ex)
       .reads_state(cdb);
 
   // Broadcast: one result per cycle crosses the common data bus.
   b.add_transition("Bcast", ty_alu)
       .from(ex)
-      .action_named<&tomasulo_bcast_action>("rcpn::machines::tomasulo_bcast_action")
+      .action_ref("rcpn::machines::tomasulo_bcast_action")
       .to(cdb);
 
   // Writeback/retire.
   b.add_transition("Wb", ty_alu)
       .from(cdb)
-      .action_named<&tomasulo_wb_action>("rcpn::machines::tomasulo_wb_action")
+      .action_ref("rcpn::machines::tomasulo_wb_action")
       .to(b.end());
 
   b.add_independent_transition("Fetch")
-      .guard_named<&tomasulo_fetch_guard>("rcpn::machines::tomasulo_fetch_guard")
-      .action_named<&tomasulo_fetch_action>("rcpn::machines::tomasulo_fetch_action")
+      .guard_ref("rcpn::machines::tomasulo_fetch_guard")
+      .action_ref("rcpn::machines::tomasulo_fetch_action")
       .to(disp);
 }
 
@@ -234,14 +257,18 @@ std::vector<Fig5Instr> tomasulo_golden_workload() {
 
 }  // namespace
 
-GoldenRunResult golden_run_tomasulo(core::EngineOptions options) {
-  TomasuloCore sim(4, 2, options);
+GoldenRunResult golden_finish_tomasulo(TomasuloCore& sim) {
   GoldenRunResult r;
   record_golden_retires(sim.engine(), r.trace);
   sim.load(tomasulo_golden_workload());
   sim.run();
   r.stats = sim.engine().stats();
   return r;
+}
+
+GoldenRunResult golden_run_tomasulo(core::EngineOptions options) {
+  TomasuloCore sim(4, 2, options);
+  return golden_finish_tomasulo(sim);
 }
 
 void golden_inspect_tomasulo(core::EngineOptions options, const GoldenInspectFn& fn) {

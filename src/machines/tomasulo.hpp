@@ -63,10 +63,25 @@ void tomasulo_wb_action(TomasuloMachine& m, core::FireCtx& ctx);
 bool tomasulo_fetch_guard(TomasuloMachine& m, core::FireCtx& ctx);
 void tomasulo_fetch_action(TomasuloMachine& m, core::FireCtx& ctx);
 
+/// The Tomasulo DelegateRegistry: symbol -> typed binding for every delegate
+/// above, plus the emission metadata (machine type, header).
+const desc::DelegateRegistry& tomasulo_delegates();
+
+/// Fill the machine-context fields the decode binding reads by name from the
+/// lowered net — shared by both construction paths.
+void bind_tomasulo_context(const core::Net& net, TomasuloMachine& m);
+
 /// Golden-workload runner/inspector (key "tomasulo"): the fixed
 /// six-instruction dependent/independent mix of tests/golden/tomasulo.trace.
 GoldenRunResult golden_run_tomasulo(core::EngineOptions options);
 void golden_inspect_tomasulo(core::EngineOptions options, const GoldenInspectFn& fn);
+
+class TomasuloCore;
+
+/// The golden workload itself (trace recording + load + run + stats),
+/// factored out so the describe-callback and description-loaded construction
+/// paths run byte-identical work.
+GoldenRunResult golden_finish_tomasulo(TomasuloCore& sim);
 
 class TomasuloCore {
  public:
@@ -75,6 +90,12 @@ class TomasuloCore {
   /// `rs_entries`: reservation-station capacity; `num_fus`: execute slots.
   explicit TomasuloCore(unsigned rs_entries = 4, unsigned num_fus = 2,
                         core::EngineOptions options = {});
+
+  /// Model-as-data construction: the same machine, loaded from a serialized
+  /// description (RS/FU capacities come from the description's stages).
+  /// Defined in machines/desc_machines.cpp.
+  TomasuloCore(const desc::Description& d, const desc::DelegateRegistry& registry,
+               core::EngineOptions options);
 
   void load(std::vector<Fig5Instr> program) { sim_.load(std::move(program)); }
   std::uint64_t run(std::uint64_t max_cycles = 1u << 20);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "desc/delegate_registry.hpp"
 #include "workloads/workloads.hpp"
 
 namespace rcpn::machines {
@@ -24,11 +25,24 @@ XScaleSim::XScaleSim(XScaleConfig config)
             mc.m.bp = std::make_unique<predictor::Btb>(cfg_.btb_entries);
             describe(b, mc);
           },
-          ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {}
+          ArmMachine::Config{cfg_.mem, regfile::WritePolicy::multi_writer}) {
+  bind_xscale_context(sim_.net(), sim_.machine());
+}
 
-void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc) {
-  b.emit_machine_type("rcpn::machines::ArmPipeMachine");
-  b.emit_include("machines/arm_machine.hpp");
+void bind_xscale_context(const core::Net& net, ArmPipeMachine& mc) {
+  mc.env.fwd = {net.find_place("X1"), net.find_place("X2"), net.find_place("D2"),
+                net.find_place("M2")};
+  mc.env.flush_on_redirect = {net.find_stage("F1"), net.find_stage("F2"),
+                              net.find_stage("ID")};
+  mc.env.drain = {net.find_place("RF"), net.find_place("X1"), net.find_place("X2"),
+                  net.find_place("D1"), net.find_place("D2"), net.find_place("M1"),
+                  net.find_place("M2")};
+  mc.env.fetch_into = net.find_place("F1");
+  mc.env.use_predictor = true;
+}
+
+void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&) {
+  b.use_delegates(arm_pipe_delegates());
   const model::StageHandle sF1 = b.add_stage("F1", 1);
   const model::StageHandle sF2 = b.add_stage("F2", 1);
   const model::StageHandle sID = b.add_stage("ID", 1);
@@ -56,15 +70,10 @@ void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&
   b.force_two_list(sD2, false);
   b.force_two_list(sM2, false);
 
-  mc.env.fwd = {x1.id(), x2.id(), d2.id(), m2.id()};
-  mc.env.flush_on_redirect = {sF1.id(), sF2.id(), sID.id()};
-  mc.env.drain = {rf.id(), x1.id(), x2.id(), d1.id(), d2.id(), m1.id(), m2.id()};
-  mc.env.fetch_into = f1.id();
-  mc.env.use_predictor = true;
-
   // The per-class behaviours are shared *named* free functions over the typed
-  // machine context (arm_machine.hpp), registered with their symbols so the
-  // model is emittable as a standalone generated simulator.
+  // machine context (arm_machine.hpp), resolved through the shared
+  // DelegateRegistry so the model is emittable as a standalone generated
+  // simulator and loadable from a serialized description.
   for (unsigned c = 0; c < arm::kNumOpClasses; ++c) {
     const auto cls = static_cast<OpClass>(c);
     const std::string name = arm::op_class_name(cls);
@@ -78,8 +87,8 @@ void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&
     b.add_transition("ID." + name, ty).from(f2).to(id);
     b.add_transition("RF." + name, ty)
         .from(id)
-        .guard_named<&pipe_issue_guard>("rcpn::machines::pipe_issue_guard")
-        .action_named<&pipe_issue_action>("rcpn::machines::pipe_issue_action")
+        .guard_ref("rcpn::machines::pipe_issue_guard")
+        .action_ref("rcpn::machines::pipe_issue_action")
         .to(rf)
         .reads_state(x1)
         .reads_state(x2)
@@ -92,15 +101,15 @@ void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&
         // Memory pipe: access (with cache delay) in D1, publish in D2.
         b.add_transition("D1." + name, ty)
             .from(rf)
-            .action_named<&pipe_mem_action>("rcpn::machines::pipe_mem_action")
+            .action_ref("rcpn::machines::pipe_mem_action")
             .to(d1);
         b.add_transition("D2." + name, ty)
             .from(d1)
-            .action_named<&pipe_publish_action>("rcpn::machines::pipe_publish_action")
+            .action_ref("rcpn::machines::pipe_publish_action")
             .to(d2);
         b.add_transition("DWB." + name, ty)
             .from(d2)
-            .action_named<&pipe_wb_action>("rcpn::machines::pipe_wb_action")
+            .action_ref("rcpn::machines::pipe_wb_action")
             .to(b.end());
         break;
       case OpClass::multiply:
@@ -108,35 +117,35 @@ void XScaleSim::describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine&
         // publishes for forwarding.
         b.add_transition("M1." + name, ty)
             .from(rf)
-            .action_named<&pipe_execute_action>("rcpn::machines::pipe_execute_action")
+            .action_ref("rcpn::machines::pipe_execute_action")
             .to(m1);
         b.add_transition("M2." + name, ty)
             .from(m1)
-            .action_named<&pipe_publish_action>("rcpn::machines::pipe_publish_action")
+            .action_ref("rcpn::machines::pipe_publish_action")
             .to(m2);
         b.add_transition("MWB." + name, ty)
             .from(m2)
-            .action_named<&pipe_wb_action>("rcpn::machines::pipe_wb_action")
+            .action_ref("rcpn::machines::pipe_wb_action")
             .to(b.end());
         break;
       default:
         // Main pipe (data-processing, branches, SWI): X1 executes/resolves.
         b.add_transition("X1." + name, ty)
             .from(rf)
-            .action_named<&pipe_execute_action>("rcpn::machines::pipe_execute_action")
+            .action_ref("rcpn::machines::pipe_execute_action")
             .to(x1);
         b.add_transition("X2." + name, ty).from(x1).to(x2);
         b.add_transition("XWB." + name, ty)
             .from(x2)
-            .action_named<&pipe_wb_action>("rcpn::machines::pipe_wb_action")
+            .action_ref("rcpn::machines::pipe_wb_action")
             .to(b.end());
         break;
     }
   }
 
   b.add_independent_transition("F1")
-      .guard_named<&pipe_fetch_guard>("rcpn::machines::pipe_fetch_guard")
-      .action_named<&pipe_fetch_action>("rcpn::machines::pipe_fetch_action")
+      .guard_ref("rcpn::machines::pipe_fetch_guard")
+      .action_ref("rcpn::machines::pipe_fetch_action")
       .to(f1);
 }
 
@@ -149,16 +158,20 @@ RunResult XScaleSim::run(const sys::Program& program, std::uint64_t max_cycles) 
   return collect_result(sim_.engine(), machine());
 }
 
-GoldenRunResult golden_run_xscale_adpcm(core::EngineOptions options) {
-  XScaleConfig cfg;
-  cfg.engine = options;
-  XScaleSim sim(cfg);
+GoldenRunResult golden_finish_xscale_adpcm(XScaleSim& sim) {
   GoldenRunResult r;
   record_golden_retires(sim.engine(), r.trace);
   sim.run(workloads::build(*workloads::find("adpcm"), /*scale=*/1),
           /*max_cycles=*/1500);
   r.stats = sim.engine().stats();
   return r;
+}
+
+GoldenRunResult golden_run_xscale_adpcm(core::EngineOptions options) {
+  XScaleConfig cfg;
+  cfg.engine = options;
+  XScaleSim sim(cfg);
+  return golden_finish_xscale_adpcm(sim);
 }
 
 void golden_inspect_xscale_adpcm(core::EngineOptions options,

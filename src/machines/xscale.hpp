@@ -33,6 +33,13 @@ class XScaleSim {
  public:
   explicit XScaleSim(XScaleConfig config = XScaleConfig());
 
+  /// Model-as-data construction: the same pipeline, loaded from a serialized
+  /// description. `config.engine` selects the backend/schedule knobs (fold
+  /// the description's own options in with desc::engine_options first).
+  /// Defined in machines/desc_machines.cpp.
+  XScaleSim(const desc::Description& d, const desc::DelegateRegistry& registry,
+            XScaleConfig config);
+
   RunResult run(const sys::Program& program, std::uint64_t max_cycles = ~0ull);
 
   core::Net& net() { return sim_.net(); }
@@ -46,10 +53,19 @@ class XScaleSim {
   model::Simulator<ArmPipeMachine> sim_;
 };
 
+/// Fill the pipeline-shape environment (forwarding sources, flush/drain
+/// sets, fetch place) by name from the lowered net — shared by the
+/// describe-callback and description-loaded construction paths.
+void bind_xscale_context(const core::Net& net, ArmPipeMachine& mc);
+
 /// Golden-workload runner/inspector (key "xscale_adpcm"): a fixed 1500-cycle
 /// window of the adpcm kernel.
 GoldenRunResult golden_run_xscale_adpcm(core::EngineOptions options);
 void golden_inspect_xscale_adpcm(core::EngineOptions options,
                                  const GoldenInspectFn& fn);
+
+/// The golden workload itself (trace recording + adpcm window + stats),
+/// factored out so both construction paths run byte-identical work.
+GoldenRunResult golden_finish_xscale_adpcm(XScaleSim& sim);
 
 }  // namespace rcpn::machines

@@ -29,10 +29,24 @@
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <typeindex>
 #include <vector>
 
 #include "core/net.hpp"
 #include "model/handles.hpp"
+
+namespace rcpn::core {
+struct EngineOptions;
+}  // namespace rcpn::core
+
+namespace rcpn::desc {
+// Serialized model descriptions (src/desc/): the versioned model-as-data
+// form of a builder description, and the symbol -> typed delegate registry
+// that binds its named guards/actions. Only forward-declared here — the
+// builder header stays independent of the serialization layer.
+class Description;
+class DelegateRegistry;
+}  // namespace rcpn::desc
 
 namespace rcpn::model {
 
@@ -72,6 +86,36 @@ class ModelBuilderBase {
   // standalone generated simulator.
   void emit_machine_type(std::string type) { emit_machine_type_ = std::move(type); }
   void emit_include(std::string header) { emit_includes_.push_back(std::move(header)); }
+
+  // -- serialized descriptions (src/desc/) --------------------------------------
+
+  /// Export the built model as a versioned serialized description
+  /// (desc::kDescVersion): stages, places, types, transitions with arcs and
+  /// named delegate symbol refs, emission metadata, and the
+  /// schedule-affecting subset of `options`. Requires built(); throws
+  /// ModelError if any bound delegate is anonymous (unnamed closures cannot
+  /// be serialized as data). Defined in desc/description.cpp.
+  desc::Description describe(const core::EngineOptions& options) const;
+
+  /// Load a serialized description into this (empty, un-built) builder:
+  /// declarations are replayed in description order, and every guard/action
+  /// symbol is resolved through `registry` — an unknown symbol or a
+  /// description with an unsupported version is a ModelError naming it.
+  /// After loading, build() lowers the model exactly as if the declarations
+  /// had been made by hand. Defined in desc/description.cpp.
+  void from_description(const desc::Description& description,
+                        const desc::DelegateRegistry& registry);
+
+  /// Attach the model's DelegateRegistry: installs its machine type +
+  /// includes as the emission metadata and enables guard_ref/action_ref
+  /// symbol binding. The typed overload on ModelBuilder<M> verifies the
+  /// registry's context type against M.
+  void use_delegates(const desc::DelegateRegistry& registry) {
+    use_delegates_checked(registry, std::type_index(typeid(void)));
+  }
+
+  /// The attached registry, or nullptr.
+  const desc::DelegateRegistry* delegates() const { return delegates_; }
 
   /// Pin the two-list (master/slave) flag of a stage, overriding the engine's
   /// circular-reference analysis (e.g. a combinational forwarding latch).
@@ -145,6 +189,14 @@ class ModelBuilderBase {
   /// whose guard/action closures receive `machine`. Throws ModelError.
   core::Net& build_erased(void* machine);
 
+  // Registry-backed symbol binding (guard_ref/action_ref and the description
+  // loader); defined in desc/delegate_registry.cpp. Throws ModelError when no
+  // registry is attached or the symbol is unknown.
+  void use_delegates_checked(const desc::DelegateRegistry& registry,
+                             std::type_index machine);
+  void bind_guard_ref(TransitionDef& def, const std::string& symbol);
+  void bind_action_ref(TransitionDef& def, const std::string& symbol);
+
   detail::ModelTag tag() const { return tag_; }
 
  private:
@@ -159,6 +211,9 @@ class ModelBuilderBase {
     std::uint32_t delay = 1;
     bool end = false;
   };
+
+  const desc::DelegateRegistry& require_delegates(const char* what,
+                                                  const std::string& symbol) const;
 
   [[noreturn]] void fail(const std::string& what) const;
   void check_handle_base(detail::ModelTag model, const char* kind, int id, std::size_t limit,
@@ -177,6 +232,7 @@ class ModelBuilderBase {
   std::deque<TransitionDef> transitions_;
   std::string emit_machine_type_;
   std::vector<std::string> emit_includes_;
+  const desc::DelegateRegistry* delegates_ = nullptr;
 
   std::optional<core::Net> net_;
   // Bound callables the lowered net points into (stable addresses).
@@ -331,6 +387,22 @@ class ModelBuilder : public ModelBuilderBase {
       return *this;
     }
 
+    /// Guard bound by *symbol* through the model's DelegateRegistry
+    /// (use_delegates must have been called). The registry supplies the
+    /// function pointer and arity, so the symbol string is the only thing
+    /// spelled at the call site — same emitted form as guard_named, one
+    /// source of truth. Throws ModelError on an unknown symbol.
+    TransitionBuilder& guard_ref(const std::string& symbol) {
+      owner_->bind_guard_ref(*def_, symbol);
+      return *this;
+    }
+
+    /// Action counterpart of guard_ref().
+    TransitionBuilder& action_ref(const std::string& symbol) {
+      owner_->bind_action_ref(*def_, symbol);
+      return *this;
+    }
+
     /// Action counterpart of guard_named().
     template <auto Fn>
     TransitionBuilder& action_named(const char* symbol) {
@@ -391,16 +463,24 @@ class ModelBuilder : public ModelBuilderBase {
 
    private:
     friend class ModelBuilder;
-    TransitionBuilder(TransitionDef* def, TransitionHandle h) : def_(def), h_(h) {}
+    TransitionBuilder(ModelBuilder* owner, TransitionDef* def, TransitionHandle h)
+        : owner_(owner), def_(def), h_(h) {}
+    ModelBuilder* owner_;
     TransitionDef* def_;
     TransitionHandle h_;
   };
+
+  /// Attach the model's DelegateRegistry (see ModelBuilderBase): verifies the
+  /// registry's delegates take this builder's Machine as context.
+  void use_delegates(const desc::DelegateRegistry& registry) {
+    use_delegates_checked(registry, std::type_index(typeid(Ctx)));
+  }
 
   /// Declare a transition in operation class `type`'s sub-net.
   TransitionBuilder add_transition(std::string name, TypeHandle type) {
     TransitionHandle h;
     TransitionDef& def = add_transition_def(std::move(name), type, /*independent=*/false, &h);
-    return TransitionBuilder(&def, h);
+    return TransitionBuilder(this, &def, h);
   }
   /// Declare an instruction-independent transition (fetch, µ-op expansion);
   /// runs at the end of every cycle in declaration order.
@@ -408,7 +488,7 @@ class ModelBuilder : public ModelBuilderBase {
     TransitionHandle h;
     TransitionDef& def =
         add_transition_def(std::move(name), TypeHandle{}, /*independent=*/true, &h);
-    return TransitionBuilder(&def, h);
+    return TransitionBuilder(this, &def, h);
   }
 
   /// Validate and lower to a core::Net whose guards/actions receive

@@ -69,34 +69,30 @@ class Simulator {
             MArgs&&... margs)
       : machine_(std::forward<MArgs>(margs)...), builder_(std::move(name)) {
     describe(builder_, machine_);
-    core::Net& net = builder_.build(&machine_);
-    if (options.backend == core::Backend::compiled) {
-      eng_ = std::make_unique<gen::CompiledEngine>(net, options);
-    } else if (options.backend == core::Backend::generated) {
-      // A simulator source emitted by gen::emit_simulator() and linked into
-      // this binary registers its engine factory under the model name plus
-      // the schedule-affecting options it was emitted for; ablation variants
-      // need their own emitted TU.
-      gen::GeneratedFactory factory = gen::find_generated_engine(net.name(), options);
-      if (factory == nullptr)
-        throw ModelError(
-            "model '" + net.name() + "': Backend::generated with options [" +
-            gen::generated_options_desc(gen::generated_options_key(options)) +
-            "] requires the generated simulator translation unit "
-            "(gen::emit_simulator output for exactly these options) to be "
-            "linked in and registered");
-      eng_ = factory(net, options);
-    } else {
-      eng_ = std::make_unique<core::Engine>(net, options);
-    }
-    eng_->set_machine(&machine_);
-    eng_->build();
+    init_engine(options);
   }
 
   template <typename Describe, typename... MArgs>
   explicit Simulator(std::string name, Describe&& describe, MArgs&&... margs)
       : Simulator(std::move(name), core::EngineOptions{}, std::forward<Describe>(describe),
                   std::forward<MArgs>(margs)...) {}
+
+  /// Model-as-data construction: replay a serialized description
+  /// (desc::read_file / desc::parse) into the builder, resolving every named
+  /// delegate through `registry`, then lower and generate the engine exactly
+  /// like the describe-callback constructor. Only the *structure* comes from
+  /// the description — machine-context fields the describe callback would
+  /// have set from handles (type ids, entry places, ...) must be bound after
+  /// construction, by name, against net(). Instantiated only in translation
+  /// units that include desc/description.hpp.
+  template <typename... MArgs>
+  Simulator(const desc::Description& description,
+            const desc::DelegateRegistry& registry, core::EngineOptions options,
+            MArgs&&... margs)
+      : machine_(std::forward<MArgs>(margs)...), builder_("desc") {
+    builder_.from_description(description, registry);
+    init_engine(options);
+  }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -155,6 +151,37 @@ class Simulator {
   std::string report() const { return eng_->stats().report(net()); }
 
  private:
+  /// Lower the recorded description and generate the engine `options.backend`
+  /// selects: core::Engine (interpreted), gen::CompiledEngine (flattened,
+  /// devirtualized tables), or the model's registered gen::StaticEngine
+  /// specialization (generated — the emitted simulator TU must be linked in,
+  /// else ModelError). All three are cycle-for-cycle equivalent, so models
+  /// and callers never branch on it.
+  void init_engine(core::EngineOptions options) {
+    core::Net& net = builder_.build(&machine_);
+    if (options.backend == core::Backend::compiled) {
+      eng_ = std::make_unique<gen::CompiledEngine>(net, options);
+    } else if (options.backend == core::Backend::generated) {
+      // A simulator source emitted by gen::emit_simulator() and linked into
+      // this binary registers its engine factory under the model name plus
+      // the schedule-affecting options it was emitted for; ablation variants
+      // need their own emitted TU.
+      gen::GeneratedFactory factory = gen::find_generated_engine(net.name(), options);
+      if (factory == nullptr)
+        throw ModelError(
+            "model '" + net.name() + "': Backend::generated with options [" +
+            gen::generated_options_desc(gen::generated_options_key(options)) +
+            "] requires the generated simulator translation unit "
+            "(gen::emit_simulator output for exactly these options) to be "
+            "linked in and registered");
+      eng_ = factory(net, options);
+    } else {
+      eng_ = std::make_unique<core::Engine>(net, options);
+    }
+    eng_->set_machine(&machine_);
+    eng_->build();
+  }
+
   Machine machine_;
   ModelBuilder<Machine> builder_;
   std::unique_ptr<core::Engine> eng_;

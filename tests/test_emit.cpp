@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/options_signature.hpp"
 #include "gen/compiled_engine.hpp"
 #include "gen/embed.hpp"
 #include "gen/emit.hpp"
@@ -100,10 +101,13 @@ TEST_P(Emitter, FreestandingInlinesTheRuntimeWithZeroRepoIncludes) {
   EXPECT_NE(e.freestanding.find("struct Traits"), std::string::npos);
   EXPECT_NE(e.freestanding.find("register_generated_engine"), std::string::npos);
   EXPECT_NE(e.freestanding.find("int main(int argc, char** argv)"), std::string::npos);
-  // The default-schedule options stamp.
-  EXPECT_NE(e.freestanding.find("kOptTwoListStateRefs = true"), std::string::npos);
-  EXPECT_NE(e.freestanding.find("kOptForceTwoListAll = false"), std::string::npos);
-  EXPECT_NE(e.freestanding.find("kOptLinearSearch = false"), std::string::npos);
+  // The default-schedule options stamp: the registry key plus the canonical
+  // core::options_signature rendering as a comment.
+  const std::uint32_t def_key = core::options_bits(core::EngineOptions{});
+  EXPECT_NE(e.freestanding.find("kOptionsKey = " + std::to_string(def_key) + "u"),
+            std::string::npos);
+  EXPECT_NE(e.freestanding.find(core::options_signature(core::EngineOptions{})),
+            std::string::npos);
 }
 
 // Every ablation-variant schedule is emittable per machine: the stamped
@@ -112,13 +116,17 @@ TEST_P(Emitter, EmitsAblationVariantSchedules) {
   const std::string key = GetParam();
   const Emitted def = emit_machine(key);
 
+  const auto key_stamp = [](const core::EngineOptions& o) {
+    return "kOptionsKey = " + std::to_string(core::options_bits(o)) + "u";
+  };
+
   core::EngineOptions two_list_all;
   two_list_all.force_two_list_all = true;
   const Emitted all = emit_machine(key, two_list_all);
-  EXPECT_NE(all.simulator_no_main.find("kOptForceTwoListAll = true"),
-            std::string::npos);
+  EXPECT_NE(all.simulator_no_main.find(key_stamp(two_list_all)), std::string::npos);
+  EXPECT_NE(all.simulator_no_main.find("force_two_list_all=1"), std::string::npos);
   if (!all.freestanding.empty())
-    EXPECT_NE(all.freestanding.find("kOptForceTwoListAll = true"), std::string::npos);
+    EXPECT_NE(all.freestanding.find(key_stamp(two_list_all)), std::string::npos);
   EXPECT_NE(all.simulator_no_main, def.simulator_no_main)
       << key << ": variant schedule emitted identical to the default";
   EXPECT_EQ(all.simulator_no_main, emit_machine(key, two_list_all).simulator_no_main)
@@ -126,14 +134,12 @@ TEST_P(Emitter, EmitsAblationVariantSchedules) {
 
   core::EngineOptions no_refs;
   no_refs.two_list_state_refs = false;
-  EXPECT_NE(emit_machine(key, no_refs).simulator_no_main.find(
-                "kOptTwoListStateRefs = false"),
+  EXPECT_NE(emit_machine(key, no_refs).simulator_no_main.find(key_stamp(no_refs)),
             std::string::npos);
 
   core::EngineOptions linear;
   linear.linear_search = true;
-  EXPECT_NE(emit_machine(key, linear).simulator_no_main.find(
-                "kOptLinearSearch = true"),
+  EXPECT_NE(emit_machine(key, linear).simulator_no_main.find(key_stamp(linear)),
             std::string::npos);
 }
 
@@ -147,8 +153,7 @@ TEST_P(Emitter, EmitsCompleteStandaloneSimulator) {
   EXPECT_NE(e.simulator.find("rcpn::gen::StaticEngine<Traits>"), std::string::npos);
   EXPECT_NE(e.simulator.find("register_generated_engine("), std::string::npos);
   EXPECT_NE(e.simulator.find("\"" + model + "\","), std::string::npos);
-  EXPECT_NE(e.simulator.find("generated_options_key(Traits::kOptTwoListStateRefs"),
-            std::string::npos);
+  EXPECT_NE(e.simulator.find("Traits::kOptionsKey,"), std::string::npos);
   EXPECT_NE(e.simulator.find("int main(int argc, char** argv)"), std::string::npos);
   EXPECT_NE(e.simulator.find("generated_main(argc, argv, \"" + key + "\")"),
             std::string::npos);

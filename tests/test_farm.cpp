@@ -459,3 +459,46 @@ TEST(FarmSubprocess, MissingBinaryFailsTheJobWithExitCode127) {
 }
 
 #endif  // RCPN_HAVE_FS_BINARIES
+
+// -- serialized model descriptions (.rcpn jobs) -------------------------------
+
+#ifdef RCPN_MODELS_DIR
+TEST(FarmDescription, RcpnJobRunsInProcessAndMatchesTheDirectRun) {
+  const farm::JobSpec spec = golden_spec(std::string(RCPN_MODELS_DIR) + "/fig5.rcpn");
+  farm::InProcessExecutor exec;
+  farm::CancelToken cancel;
+  const farm::JobResult r = exec.execute(spec, 30000, cancel);
+  ASSERT_EQ(r.status, farm::JobStatus::ok) << r.error;
+  const machines::GoldenRunResult direct =
+      machines::run_golden_machine_full("fig5", spec.options);
+  EXPECT_EQ(r.digest, farm::trace_digest(direct.trace));
+  EXPECT_EQ(r.retired, direct.trace.size());
+}
+
+TEST(FarmDescription, JobKeyFoldsTheFileContentNotJustThePath) {
+  const std::string path = "/tmp/rcpn_farm_desc_test.rcpn";
+  const farm::JobSpec spec = golden_spec(path);
+
+  std::ofstream(path) << "rcpn-model/1\nmodel A\n";
+  const std::uint64_t h1 = farm::job_hash(spec);
+  // Same path, different content: editing a description must miss the cache.
+  std::ofstream(path) << "rcpn-model/1\nmodel B\n";
+  const std::uint64_t h2 = farm::job_hash(spec);
+  EXPECT_NE(h1, h2);
+
+  std::remove(path.c_str());
+  const std::uint64_t h3 = farm::job_hash(spec);
+  EXPECT_NE(h3, h1);
+  EXPECT_NE(h3, h2);
+  EXPECT_NE(farm::job_key(spec).find("desc=missing"), std::string::npos);
+}
+
+TEST(FarmDescription, SubprocessExecutorRejectsDescriptionJobs) {
+  const farm::JobSpec spec = golden_spec(std::string(RCPN_MODELS_DIR) + "/fig2.rcpn");
+  farm::SubprocessExecutor exec(farm::SubprocessExecutor::Config{"/nonexistent"});
+  farm::CancelToken cancel;
+  const farm::JobResult r = exec.execute(spec, 1000, cancel);
+  EXPECT_EQ(r.status, farm::JobStatus::failed);
+  EXPECT_NE(r.error.find("in-process"), std::string::npos) << r.error;
+}
+#endif  // RCPN_MODELS_DIR
