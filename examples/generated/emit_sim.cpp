@@ -287,7 +287,10 @@ int cmd_emit(const char* argv0, const std::vector<std::string>& args) {
           emit_opts.mode = gen::EmitMode::freestanding;
           emit_opts.extra_roots.push_back(
               fuzz ? "machines/fuzz_model.hpp" : machines::golden_run_header(key));
-          if (with_main && !fuzz) emit_opts.run_expr = machines::golden_run_expr(key);
+          if (with_main && !fuzz) {
+            emit_opts.run_expr = machines::golden_run_expr(key);
+            emit_opts.session_expr = machines::golden_session_expr(key);
+          }
         }
         if (with_main) {
           if (fuzz)

@@ -1,0 +1,273 @@
+#include "ckpt/components.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rcpn::ckpt {
+
+namespace {
+
+constexpr char kHex[] = "0123456789abcdef";
+
+std::string to_hex(const std::uint8_t* bytes, std::size_t n) {
+  std::string out;
+  out.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kHex[bytes[i] >> 4]);
+    out.push_back(kHex[bytes[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string to_hex(std::string_view s) {
+  return to_hex(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view s, const StateReader& r) {
+  if (s.size() % 2 != 0) r.fail("hex payload has odd length");
+  std::vector<std::uint8_t> out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const int hi = hex_nibble(s[i]);
+    const int lo = hex_nibble(s[i + 1]);
+    if (hi < 0 || lo < 0) r.fail("hex payload contains a non-hex character");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_register_file(StateWriter& w, const regfile::RegisterFile& rf,
+                        const RefCoder& refs) {
+  w.begin("regfile").field("cells", static_cast<std::uint64_t>(rf.num_cells())).end();
+  for (unsigned c = 0; c < rf.num_cells(); ++c) {
+    const auto cell = static_cast<regfile::CellId>(c);
+    w.begin("cell")
+        .field("data", static_cast<std::uint64_t>(rf.read_cell(cell)))
+        .field("rseq", static_cast<std::uint64_t>(rf.reserve_seq(cell)))
+        .field("cseq", static_cast<std::uint64_t>(rf.committed_seq(cell)))
+        .field("writers", static_cast<std::uint64_t>(rf.num_writers(cell)));
+    for (unsigned i = 0; i < rf.num_writers(cell); ++i)
+      w.token(refs.encode(rf.writer(cell, i)));
+    w.end();
+  }
+}
+
+void restore_register_file(StateReader& r, regfile::RegisterFile& rf,
+                           const RefCoder& refs) {
+  r.next("regfile");
+  const std::uint64_t n = r.get_u64("cells");
+  if (n != rf.num_cells())
+    r.fail("register file has " + std::to_string(rf.num_cells()) +
+           " cells, snapshot carries " + std::to_string(n));
+  rf.clear_writers();
+  for (unsigned c = 0; c < rf.num_cells(); ++c) {
+    const auto cell = static_cast<regfile::CellId>(c);
+    r.next("cell");
+    rf.write_cell(cell, static_cast<regfile::Word>(r.get_u64("data")));
+    rf.set_reserve_seq(cell, static_cast<std::uint32_t>(r.get_u64("rseq")));
+    rf.set_committed_seq(cell, static_cast<std::uint32_t>(r.get_u64("cseq")));
+    const std::uint64_t writers = r.get_u64("writers");
+    // Writer refs are the trailing bare tokens of the record (after the 4
+    // key=value fields), in reservation-age order.
+    const auto& toks = r.tokens();
+    if (toks.size() != 4 + writers) r.fail("cell writer list is malformed");
+    for (std::uint64_t i = 0; i < writers; ++i)
+      rf.push_writer(cell, refs.decode(toks[4 + i], r));
+  }
+}
+
+void save_cache(StateWriter& w, const mem::Cache& c) {
+  const mem::CacheStats& st = c.stats();
+  w.begin("cache")
+      .field("name", c.name())
+      .field("lines", static_cast<std::uint64_t>(c.num_lines()))
+      .field("lru_clock", c.lru_clock())
+      .field("accesses", st.accesses)
+      .field("hits", st.hits)
+      .field("misses", st.misses)
+      .field("evictions", st.evictions)
+      .field("writebacks", st.writebacks)
+      .end();
+  for (std::size_t i = 0; i < c.num_lines(); ++i) {
+    const mem::Cache::CkptLine l = c.ckpt_line(i);
+    // Cold lines dominate in short runs; elide them.
+    if (!l.valid && l.lru == 0 && !l.dirty && l.tag == 0) continue;
+    w.begin("line")
+        .field("i", static_cast<std::uint64_t>(i))
+        .field("tag", static_cast<std::uint64_t>(l.tag))
+        .field("lru", l.lru)
+        .field("valid", l.valid)
+        .field("dirty", l.dirty)
+        .end();
+  }
+  w.line("endcache", "");
+}
+
+void restore_cache(StateReader& r, mem::Cache& c) {
+  r.next("cache");
+  if (r.get_u64("lines") != c.num_lines())
+    r.fail("cache '" + std::string(r.get("name")) + "' geometry mismatch");
+  mem::CacheStats st;
+  st.accesses = r.get_u64("accesses");
+  st.hits = r.get_u64("hits");
+  st.misses = r.get_u64("misses");
+  st.evictions = r.get_u64("evictions");
+  st.writebacks = r.get_u64("writebacks");
+  const std::uint64_t lru_clock = r.get_u64("lru_clock");
+  for (std::size_t i = 0; i < c.num_lines(); ++i)
+    c.ckpt_set_line(i, mem::Cache::CkptLine{});
+  while (r.peek_kind() == "line") {
+    r.next("line");
+    mem::Cache::CkptLine l;
+    l.tag = static_cast<std::uint32_t>(r.get_u64("tag"));
+    l.lru = r.get_u64("lru");
+    l.valid = r.get_bool("valid");
+    l.dirty = r.get_bool("dirty");
+    const std::uint64_t i = r.get_u64("i");
+    if (i >= c.num_lines()) r.fail("cache line index out of range");
+    c.ckpt_set_line(i, l);
+  }
+  r.next("endcache");
+  c.ckpt_restore_meta(lru_clock, st);
+}
+
+void save_memory(StateWriter& w, const mem::Memory& m) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(m.pages().size());
+  for (const auto& [id, _] : m.pages()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.begin("memory").field("pages", static_cast<std::uint64_t>(ids.size())).end();
+  for (const std::uint32_t id : ids) {
+    const std::uint8_t* bytes = m.pages().at(id).get();
+    w.begin("page")
+        .field("id", static_cast<std::uint64_t>(id))
+        .field("bytes", to_hex(bytes, mem::Memory::kPageSize))
+        .end();
+  }
+}
+
+void restore_memory(StateReader& r, mem::Memory& m) {
+  r.next("memory");
+  const std::uint64_t n = r.get_u64("pages");
+  m.clear();
+  for (std::uint64_t k = 0; k < n; ++k) {
+    r.next("page");
+    const auto id = static_cast<std::uint32_t>(r.get_u64("id"));
+    const std::vector<std::uint8_t> bytes = from_hex(r.get("bytes"), r);
+    if (bytes.size() != mem::Memory::kPageSize) r.fail("memory page has wrong size");
+    m.ckpt_set_page(id, bytes.data());
+  }
+}
+
+void save_predictor(StateWriter& w, const predictor::BranchPredictor& p) {
+  const predictor::PredictorStats& st = p.stats();
+  const char* kind = "static";
+  if (dynamic_cast<const predictor::Bimodal*>(&p) != nullptr) kind = "bimodal";
+  if (dynamic_cast<const predictor::Btb*>(&p) != nullptr) kind = "btb";
+  w.begin("predictor")
+      .field("kind", std::string_view(kind))
+      .field("lookups", st.lookups)
+      .field("predicted_taken", st.predicted_taken)
+      .field("updates", st.updates)
+      .field("mispredicts", st.mispredicts)
+      .end();
+  if (const auto* bi = dynamic_cast<const predictor::Bimodal*>(&p)) {
+    std::string joined;
+    for (std::size_t i = 0; i < bi->counters().size(); ++i) {
+      if (i) joined.push_back(',');
+      joined += std::to_string(bi->counters()[i]);
+    }
+    w.begin("counters")
+        .field("n", static_cast<std::uint64_t>(bi->counters().size()))
+        .field("v", joined)
+        .end();
+  } else if (const auto* btb = dynamic_cast<const predictor::Btb*>(&p)) {
+    w.begin("btb").field("n", static_cast<std::uint64_t>(btb->num_entries())).end();
+    for (std::uint32_t i = 0; i < btb->num_entries(); ++i) {
+      const predictor::Btb::CkptEntry e = btb->ckpt_entry(i);
+      if (!e.valid && e.tag == 0 && e.target == 0 && e.counter == 0) continue;
+      w.begin("btbent")
+          .field("i", static_cast<std::uint64_t>(i))
+          .field("tag", static_cast<std::uint64_t>(e.tag))
+          .field("target", static_cast<std::uint64_t>(e.target))
+          .field("counter", static_cast<std::uint64_t>(e.counter))
+          .field("valid", e.valid)
+          .end();
+    }
+    w.line("endbtb", "");
+  }
+}
+
+void restore_predictor(StateReader& r, predictor::BranchPredictor& p) {
+  r.next("predictor");
+  predictor::PredictorStats st;
+  st.lookups = r.get_u64("lookups");
+  st.predicted_taken = r.get_u64("predicted_taken");
+  st.updates = r.get_u64("updates");
+  st.mispredicts = r.get_u64("mispredicts");
+  const std::string kind = r.get_str("kind");
+  p.ckpt_set_stats(st);
+  if (kind == "bimodal") {
+    auto* bi = dynamic_cast<predictor::Bimodal*>(&p);
+    r.next("counters");
+    const std::uint64_t n = r.get_u64("n");
+    if (bi == nullptr || n != bi->counters().size())
+      r.fail("bimodal predictor table mismatch");
+    std::string_view v = r.has("v") ? r.get("v") : std::string_view{};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::size_t comma = v.find(',');
+      const std::string_view tok =
+          comma == std::string_view::npos ? v : v.substr(0, comma);
+      v = comma == std::string_view::npos ? std::string_view{} : v.substr(comma + 1);
+      bi->ckpt_set_counter(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint8_t>(r.parse_u64(tok, "counter")));
+    }
+  } else if (kind == "btb") {
+    auto* btb = dynamic_cast<predictor::Btb*>(&p);
+    r.next("btb");
+    if (btb == nullptr || r.get_u64("n") != btb->num_entries())
+      r.fail("btb predictor table mismatch");
+    for (std::uint32_t i = 0; i < btb->num_entries(); ++i)
+      btb->ckpt_set_entry(i, predictor::Btb::CkptEntry{});
+    while (r.peek_kind() == "btbent") {
+      r.next("btbent");
+      predictor::Btb::CkptEntry e;
+      e.tag = static_cast<std::uint32_t>(r.get_u64("tag"));
+      e.target = static_cast<std::uint32_t>(r.get_u64("target"));
+      e.counter = static_cast<std::uint8_t>(r.get_u64("counter"));
+      e.valid = r.get_bool("valid");
+      const std::uint64_t i = r.get_u64("i");
+      if (i >= btb->num_entries()) r.fail("btb entry index out of range");
+      btb->ckpt_set_entry(static_cast<std::uint32_t>(i), e);
+    }
+    r.next("endbtb");
+  }
+}
+
+void save_syscalls(StateWriter& w, const sys::SyscallHandler& s) {
+  w.begin("syscalls")
+      .field("exit_code", static_cast<std::int64_t>(s.exit_code()))
+      .field("exited", s.exited())
+      .field("calls", s.calls())
+      .field("output", to_hex(s.output()))
+      .end();
+}
+
+void restore_syscalls(StateReader& r, sys::SyscallHandler& s) {
+  r.next("syscalls");
+  const std::vector<std::uint8_t> out = from_hex(r.get("output"), r);
+  s.ckpt_restore(std::string(out.begin(), out.end()),
+                 static_cast<int>(r.get_i64("exit_code")), r.get_bool("exited"),
+                 r.get_u64("calls"));
+}
+
+}  // namespace rcpn::ckpt

@@ -1,0 +1,39 @@
+// Shared machine-component serializers: every machine family owns some mix of
+// register files, functional memory, timing caches, branch predictors and the
+// syscall layer. MachineIO::save_machine/restore_machine implementations
+// compose these helpers so each component's state is captured in exactly one
+// place, for every machine and every backend.
+#pragma once
+
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state_io.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+#include "predictor/predictor.hpp"
+#include "regfile/register_file.hpp"
+#include "sys/syscalls.hpp"
+
+namespace rcpn::ckpt {
+
+/// Cell data + reservation/commit sequencing + the in-flight writer stacks
+/// (writers are serialized as RegRef cross-references, so token records must
+/// precede the machine section — snapshot.cpp guarantees that order).
+void save_register_file(StateWriter& w, const regfile::RegisterFile& rf,
+                        const RefCoder& refs);
+void restore_register_file(StateReader& r, regfile::RegisterFile& rf,
+                           const RefCoder& refs);
+
+void save_cache(StateWriter& w, const mem::Cache& c);
+void restore_cache(StateReader& r, mem::Cache& c);
+
+/// Resident pages, dumped whole in ascending page-id order (hex bytes).
+void save_memory(StateWriter& w, const mem::Memory& m);
+void restore_memory(StateReader& r, mem::Memory& m);
+
+void save_predictor(StateWriter& w, const predictor::BranchPredictor& p);
+void restore_predictor(StateReader& r, predictor::BranchPredictor& p);
+
+void save_syscalls(StateWriter& w, const sys::SyscallHandler& s);
+void restore_syscalls(StateReader& r, sys::SyscallHandler& s);
+
+}  // namespace rcpn::ckpt

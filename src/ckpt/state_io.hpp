@@ -1,0 +1,103 @@
+// Checkpoint state I/O: the line-oriented text format rcpn-ckpt snapshots are
+// written in, plus the strict sequential reader that parses them back.
+//
+// The format is deliberately shaped like src/desc/'s serialized models: a
+// version tag on the first line, then whitespace-separated records of
+// `kind key=value ...` fields. Errors mirror the desc:: style — every parse
+// failure names the line number and the offending token, so a truncated or
+// hand-edited snapshot fails loudly instead of resuming a half-restored run.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcpn::ckpt {
+
+/// Thrown for every malformed, mismatched or unusable snapshot.
+class CkptError : public std::runtime_error {
+ public:
+  explicit CkptError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only writer: records are lines of whitespace-separated fields.
+class StateWriter {
+ public:
+  /// Start a new record line with a kind tag, e.g. begin("token").
+  StateWriter& begin(std::string_view kind);
+  /// Append one `key=value` field to the current record.
+  StateWriter& field(std::string_view key, std::string_view value);
+  StateWriter& field(std::string_view key, std::uint64_t value);
+  StateWriter& field(std::string_view key, std::int64_t value);
+  StateWriter& field(std::string_view key, bool value);
+  /// Append a bare token (no key), e.g. a comma-joined counter vector.
+  StateWriter& token(std::string_view value);
+  /// Terminate the current record.
+  StateWriter& end();
+
+  /// Convenience: a whole `kind key=value` record in one call.
+  void line(std::string_view kind, std::string_view rest);
+
+  const std::string& text() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+  bool open_ = false;
+};
+
+/// Strict sequential reader. Each next() consumes one non-blank line and
+/// verifies its kind tag; field accessors look keys up inside that record and
+/// throw CkptError (naming line and key) when absent or malformed.
+class StateReader {
+ public:
+  explicit StateReader(std::string_view text);
+
+  /// True if any unconsumed record remains.
+  bool more() const { return pos_ < lines_.size(); }
+  /// Kind tag of the next record without consuming it ("" at end).
+  std::string_view peek_kind() const;
+  /// Consume the next record; throws unless its kind tag is `kind`.
+  void next(std::string_view kind);
+
+  // -- field access within the current record ---------------------------------
+  /// The record's bare tokens after the kind tag (key=value fields included,
+  /// verbatim), for list-shaped records.
+  const std::vector<std::string_view>& tokens() const { return fields_; }
+  std::string_view get(std::string_view key) const;
+  std::string get_str(std::string_view key) const { return std::string(get(key)); }
+  std::uint64_t get_u64(std::string_view key) const;
+  std::int64_t get_i64(std::string_view key) const;
+  bool get_bool(std::string_view key) const;
+  bool has(std::string_view key) const;
+
+  /// 1-based line number of the current record (error reporting).
+  std::size_t line_number() const { return line_no_; }
+  /// Build a CkptError message prefixed with the current position.
+  [[noreturn]] void fail(const std::string& what) const;
+
+  /// Parse helpers shared with record-level consumers.
+  std::uint64_t parse_u64(std::string_view tok, std::string_view what) const;
+
+ private:
+  struct Line {
+    std::string_view kind;
+    std::vector<std::string_view> fields;
+    std::size_t number = 0;
+  };
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+  std::vector<std::string_view> fields_;
+  std::size_t line_no_ = 0;
+};
+
+/// FNV-1a over a byte string — the digest primitive the checkpoint layer
+/// uses for model-structure and file-content fingerprints.
+std::uint64_t fnv1a(std::string_view bytes);
+/// 16-hex-digit rendering of fnv1a(bytes).
+std::string fnv1a_hex(std::string_view bytes);
+
+}  // namespace rcpn::ckpt

@@ -193,6 +193,48 @@ class Engine {
   /// steady state allocates nothing.
   void reserve_token_pools(std::size_t instructions, std::size_t reservations);
 
+  // -- checkpoint support (src/ckpt/) ------------------------------------------
+  // The snapshot layer reads and rebuilds the engine's dynamic state through
+  // these narrow entry points. They are not part of the modeling API: restore
+  // reproduces the recorded per-stage token lists and counters verbatim, so a
+  // restored run continues cycle-for-cycle identically to the original.
+
+  /// Every dynamic engine scalar a snapshot must carry (run_horizon_ is
+  /// excluded: snapshots are only taken between run()/step() calls, where it
+  /// is always ~0).
+  struct CkptScalars {
+    Cycle clock = 0;
+    std::uint64_t in_flight = 0;
+    std::uint32_t seq_counter = 0;
+    std::uint64_t last_activity_clock = 0;
+    std::uint64_t activity_snapshot = 0;
+    bool stopped = false;
+    bool quiesce_blocked = false;
+  };
+  CkptScalars ckpt_scalars() const {
+    return CkptScalars{clock_,  in_flight_, seq_counter_,   last_activity_clock_,
+                       activity_snapshot_, stopped_,       quiesce_blocked_};
+  }
+  void ckpt_restore_scalars(const CkptScalars& s) {
+    clock_ = s.clock;
+    in_flight_ = s.in_flight;
+    seq_counter_ = s.seq_counter;
+    last_activity_clock_ = s.last_activity_clock;
+    activity_snapshot_ = s.activity_snapshot;
+    stopped_ = s.stopped;
+    quiesce_blocked_ = s.quiesce_blocked;
+  }
+  /// Pooled reservation token for snapshot restore (the caller sets its
+  /// fields and re-inserts it with ckpt_insert_token).
+  Token* ckpt_acquire_reservation() { return acquire_reservation(); }
+  /// Insert `t` (fields already set) directly into stage `s`'s visible or
+  /// incoming list, bypassing the two-list routing: restore reproduces the
+  /// recorded lists — including tokens parked in an incoming buffer at the
+  /// snapshot boundary — exactly as they were.
+  void ckpt_insert_token(Token* t, StageId s, bool incoming) {
+    net_.stage(s).insert_restored(t, incoming);
+  }
+
   // -- introspection (tests, benches, CPN conversion) --------------------------
   const std::vector<PlaceId>& process_order() const { return order_; }
   const std::vector<const Transition*>& candidates(PlaceId p, TypeId type) const;

@@ -72,6 +72,18 @@ class PipelineStage {
     }
   }
 
+  /// Checkpoint restore: place `t` directly into the recorded list (visible
+  /// or incoming), bypassing the two-list routing — a snapshot taken at a
+  /// cycle boundary may hold not-yet-promoted tokens, and restore must
+  /// reproduce both lists verbatim, not re-route.
+  void insert_restored(Token* t, bool incoming) {
+    if (incoming) {
+      store_.insert_incoming(t);
+    } else {
+      store_.insert_visible(t);
+    }
+  }
+
   /// Remove a (visible) token; returns false if absent.
   bool remove(Token* t) { return store_.remove_visible(t); }
   /// Remove with a slot-index hint (see TokenStore::remove_visible_at).

@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -44,18 +46,24 @@ JobResult failed_result(std::string why) {
   return r;
 }
 
-/// "fuzz" (seed from spec.seed) or "fuzz-<n>" (explicit). Returns true and
-/// fills `seed` if `machine` names a fuzz model.
-bool parse_fuzz_machine(const JobSpec& spec, unsigned& seed) {
-  if (spec.machine == "fuzz") {
-    seed = static_cast<unsigned>(spec.seed);
-    return true;
-  }
-  if (spec.machine.rfind("fuzz-", 0) == 0) {
-    seed = static_cast<unsigned>(std::strtoul(spec.machine.c_str() + 5, nullptr, 10));
-    return true;
-  }
-  return false;
+/// Resume path of the in-process executor: construct `spec`'s machine as a
+/// golden session, restore the checkpoint into it, run the remainder.
+/// Throws (captured by execute()'s handler) on an unreadable file or any
+/// checkpoint mismatch — the ckpt layer's errors name the offender.
+machines::GoldenRunResult run_from_checkpoint(const JobSpec& spec) {
+  std::ifstream in(spec.resume_checkpoint, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("cannot read checkpoint '" + spec.resume_checkpoint +
+                             "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  unsigned fuzz_seed = 0;
+  std::unique_ptr<machines::GoldenSession> session =
+      is_fuzz_job(spec, fuzz_seed)
+          ? machines::make_fuzz_session(fuzz_seed, spec.options, spec.cycle_budget)
+          : machines::make_golden_session(spec.machine, spec.options);
+  machines::read_checkpoint(*session, buf.str());
+  return machines::finish_session(*session);
 }
 
 /// Tail of `out` for error messages: enough to show the child's complaint
@@ -88,6 +96,10 @@ JobResult InProcessExecutor::execute(const JobSpec& spec, std::uint64_t timeout_
     } else {
       unsigned fuzz_seed = 0;
       if (is_description_job(spec)) {
+        if (!spec.resume_checkpoint.empty())
+          throw std::runtime_error("description job '" + spec.machine +
+                                   "' cannot resume from a checkpoint (no "
+                                   "session for described models yet)");
         // Serialized-model job: the .rcpn file IS the model. Its recorded
         // schedule flags govern (they are part of the described model); the
         // spec still picks everything else — backend, obs — so one sweep can
@@ -95,7 +107,9 @@ JobResult InProcessExecutor::execute(const JobSpec& spec, std::uint64_t timeout_
         const desc::Description d = desc::read_file(spec.machine);
         result = ok_result(machines::run_description(
             d, desc::engine_options(d, spec.options), spec.cycle_budget));
-      } else if (parse_fuzz_machine(spec, fuzz_seed)) {
+      } else if (!spec.resume_checkpoint.empty()) {
+        result = ok_result(run_from_checkpoint(spec));
+      } else if (is_fuzz_job(spec, fuzz_seed)) {
         result = ok_result(
             machines::golden_run_fuzz(fuzz_seed, spec.options, spec.cycle_budget));
       } else {
@@ -203,74 +217,115 @@ SpawnOutcome spawn_with_deadline(const std::vector<std::string>& argv,
 JobResult SubprocessExecutor::execute(const JobSpec& spec, std::uint64_t timeout_ms,
                                       const CancelToken& cancel) {
   const auto t0 = Clock::now();
-  const auto deadline = t0 + std::chrono::milliseconds(timeout_ms);
+  // execute() must not throw (the contract in executor.hpp): a worker thread
+  // has no handler above this frame, so a stray exception — bad_alloc while
+  // buffering a huge child output, a parse helper's surprise — would
+  // std::terminate the whole grid instead of failing this one job. A child
+  // killed mid-fprintf (partial final trace line) must come back as a failed
+  // JobResult carrying the output tail, nothing worse.
+  try {
+    const auto deadline = t0 + std::chrono::milliseconds(timeout_ms);
 
-  if (is_description_job(spec)) {
-    // Description jobs resolve delegates through the in-process registries;
-    // there is no pre-built per-description binary to exec. Fail loudly
-    // instead of exec'ing a nonsense path.
-    JobResult r = failed_result(
-        "description job '" + spec.machine +
-        "' requires the in-process executor (no per-.rcpn binary to spawn)");
+    if (is_description_job(spec)) {
+      // Description jobs resolve delegates through the in-process registries;
+      // there is no pre-built per-description binary to exec. Fail loudly
+      // instead of exec'ing a nonsense path.
+      JobResult r = failed_result(
+          "description job '" + spec.machine +
+          "' requires the in-process executor (no per-.rcpn binary to spawn)");
+      r.wall_seconds = seconds_since(t0);
+      return r;
+    }
+
+    std::vector<std::string> argv;
+    argv.push_back(config_.bin_dir + "/" + config_.bin_prefix + spec.machine);
+    argv.push_back("--stats");
+    // The freestanding binary's generated tables are stamped with the options
+    // it was emitted under; other backends/schedules go through its CLI flags
+    // (a generated-backend run under mismatched options fails verification in
+    // the child and surfaces here as a nonzero exit).
+    if (spec.options.backend != core::Backend::generated) {
+      argv.push_back("--backend");
+      argv.push_back(backend_name(spec.options.backend));
+    }
+    if (spec.options.force_two_list_all) argv.push_back("--force-two-list-all");
+    if (!spec.options.two_list_state_refs) argv.push_back("--no-two-list-state-refs");
+    if (spec.options.linear_search) argv.push_back("--linear-search");
+    unsigned fuzz_seed = 0;
+    const bool fuzz = is_fuzz_job(spec, fuzz_seed);
+    if (fuzz) {
+      // Fuzz artifacts carry the generic --cycles cap. Without this the child
+      // would run its own default regardless of spec.cycle_budget — and the
+      // result cache, keyed on the budget, would retain a result the spec's
+      // truncation never produced.
+      argv.push_back("--cycles");
+      argv.push_back(std::to_string(effective_cycle_budget(spec)));
+    }
+    if (!spec.resume_checkpoint.empty()) {
+      if (fuzz) {
+        // The generic artifact CLI treats unknown arguments as workload
+        // positionals — silently ignoring the checkpoint would run (and
+        // cache) the wrong simulation. Refuse instead.
+        JobResult r = failed_result(
+            "fuzz job '" + spec.machine +
+            "' cannot resume from a checkpoint under the subprocess executor "
+            "(generic artifact CLI has no --restore); use in-process");
+        r.wall_seconds = seconds_since(t0);
+        return r;
+      }
+      argv.push_back("--restore");
+      argv.push_back(spec.resume_checkpoint);
+    }
+
+    std::string out;
+    int exit_code = -1;
+    const SpawnOutcome outcome =
+        spawn_with_deadline(argv, deadline, cancel, out, exit_code);
+
+    JobResult result;
+    result.wall_seconds = seconds_since(t0);
+    result.exit_code = exit_code;
+    switch (outcome) {
+      case SpawnOutcome::spawn_failed:
+        result.status = JobStatus::failed;
+        result.error = "failed to spawn " + argv[0];
+        return result;
+      case SpawnOutcome::timed_out:
+        result.status = JobStatus::timeout;
+        result.error = "timed out after " + std::to_string(timeout_ms) + "ms (SIGKILL)";
+        return result;
+      case SpawnOutcome::exited:
+        break;
+    }
+    if (exit_code != 0) {
+      result.status = JobStatus::failed;
+      result.error = argv[0] + " exited with " + std::to_string(exit_code) + ": " +
+                     output_tail(out);
+      return result;
+    }
+
+    std::vector<machines::GoldenRetireEvent> trace;
+    core::Stats stats;
+    if (!machines::parse_golden_trace(out, trace) ||
+        !machines::parse_golden_stats(out, stats)) {
+      result.status = JobStatus::failed;
+      result.error = "unparseable simulator output: " + output_tail(out);
+      return result;
+    }
+    result.status = JobStatus::ok;
+    result.stats = stats;
+    result.retired = trace.size();
+    result.digest = trace_digest(trace);
+    return result;
+  } catch (const std::exception& e) {
+    JobResult r = failed_result(e.what());
+    r.wall_seconds = seconds_since(t0);
+    return r;
+  } catch (...) {
+    JobResult r = failed_result("unknown exception in subprocess executor");
     r.wall_seconds = seconds_since(t0);
     return r;
   }
-
-  std::vector<std::string> argv;
-  argv.push_back(config_.bin_dir + "/" + config_.bin_prefix + spec.machine);
-  argv.push_back("--stats");
-  // The freestanding binary's generated tables are stamped with the options
-  // it was emitted under; other backends/schedules go through its CLI flags
-  // (a generated-backend run under mismatched options fails verification in
-  // the child and surfaces here as a nonzero exit).
-  if (spec.options.backend != core::Backend::generated) {
-    argv.push_back("--backend");
-    argv.push_back(backend_name(spec.options.backend));
-  }
-  if (spec.options.force_two_list_all) argv.push_back("--force-two-list-all");
-  if (!spec.options.two_list_state_refs) argv.push_back("--no-two-list-state-refs");
-  if (spec.options.linear_search) argv.push_back("--linear-search");
-
-  std::string out;
-  int exit_code = -1;
-  const SpawnOutcome outcome =
-      spawn_with_deadline(argv, deadline, cancel, out, exit_code);
-
-  JobResult result;
-  result.wall_seconds = seconds_since(t0);
-  result.exit_code = exit_code;
-  switch (outcome) {
-    case SpawnOutcome::spawn_failed:
-      result.status = JobStatus::failed;
-      result.error = "failed to spawn " + argv[0];
-      return result;
-    case SpawnOutcome::timed_out:
-      result.status = JobStatus::timeout;
-      result.error = "timed out after " + std::to_string(timeout_ms) + "ms (SIGKILL)";
-      return result;
-    case SpawnOutcome::exited:
-      break;
-  }
-  if (exit_code != 0) {
-    result.status = JobStatus::failed;
-    result.error = argv[0] + " exited with " + std::to_string(exit_code) + ": " +
-                   output_tail(out);
-    return result;
-  }
-
-  std::vector<machines::GoldenRetireEvent> trace;
-  core::Stats stats;
-  if (!machines::parse_golden_trace(out, trace) ||
-      !machines::parse_golden_stats(out, stats)) {
-    result.status = JobStatus::failed;
-    result.error = "unparseable simulator output: " + output_tail(out);
-    return result;
-  }
-  result.status = JobStatus::ok;
-  result.stats = stats;
-  result.retired = trace.size();
-  result.digest = trace_digest(trace);
-  return result;
 }
 
 }  // namespace rcpn::farm

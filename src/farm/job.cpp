@@ -1,9 +1,11 @@
 #include "farm/job.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "core/options_signature.hpp"
+#include "machines/fuzz_model.hpp"
 
 namespace rcpn::farm {
 namespace {
@@ -61,32 +63,67 @@ bool is_description_job(const JobSpec& spec) {
   return spec.machine.size() > 5 && spec.machine.ends_with(".rcpn");
 }
 
+bool is_fuzz_job(const JobSpec& spec, unsigned& seed) {
+  if (spec.machine == "fuzz") {
+    seed = static_cast<unsigned>(spec.seed);
+    return true;
+  }
+  if (spec.machine.rfind("fuzz-", 0) == 0) {
+    seed = static_cast<unsigned>(std::strtoul(spec.machine.c_str() + 5, nullptr, 10));
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t effective_cycle_budget(const JobSpec& spec) {
+  unsigned seed = 0;
+  if (is_fuzz_job(spec, seed))
+    return spec.cycle_budget != 0 ? spec.cycle_budget : machines::kFuzzDrainCap;
+  if (is_description_job(spec)) return spec.cycle_budget;
+  // Golden machine keys (and the fault-injection keys) run their fixed
+  // workload to completion — no executor honors a budget for them, so the
+  // budget must not distinguish (or unify) their identities.
+  return 0;
+}
+
+namespace {
+
+/// `;name=<fnv1a of file content>` (or `;name=missing`): the identity of a
+/// file-backed job input is its content, not its path — editing the file
+/// must miss the result cache.
+void append_file_digest(std::ostringstream& key, const char* name,
+                        const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    key << ";" << name << "=missing";
+    return;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  key << ";" << name << "=" << std::hex
+      << fnv1a_bytes(kFnvOffset, text.data(), text.size()) << std::dec;
+}
+
+}  // namespace
+
 std::string job_key(const JobSpec& spec) {
   // One canonical field order; every identity-defining field spelled by a
   // stable name (enum values never leak as raw integers). timeout_ms is a
-  // patience knob, not an identity — see the header.
+  // patience knob, not an identity — see the header. The cycle budget is
+  // canonicalized to what the executors enforce (effective_cycle_budget), so
+  // budget values the execution would ignore cannot split or alias identities.
   std::ostringstream key;
   key << "machine=" << spec.machine
       << ";backend=" << backend_name(spec.options.backend)
       << ";options=" << core::options_signature(spec.options)
       << ";deadlock=" << spec.options.deadlock_limit
       << ";seed=" << spec.seed
-      << ";cycles=" << spec.cycle_budget
+      << ";cycles=" << effective_cycle_budget(spec)
       << ";executor=" << executor_name(spec.executor);
-  if (is_description_job(spec)) {
-    // A description job's identity is the described model, not the path: fold
-    // the file content in so an edited description misses the result cache.
-    std::ifstream in(spec.machine, std::ios::binary);
-    if (!in) {
-      key << ";desc=missing";
-    } else {
-      std::ostringstream content;
-      content << in.rdbuf();
-      const std::string text = content.str();
-      key << ";desc=" << std::hex
-          << fnv1a_bytes(kFnvOffset, text.data(), text.size());
-    }
-  }
+  if (is_description_job(spec)) append_file_digest(key, "desc", spec.machine);
+  if (!spec.resume_checkpoint.empty())
+    append_file_digest(key, "ckpt", spec.resume_checkpoint);
   return key.str();
 }
 

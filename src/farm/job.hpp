@@ -56,17 +56,37 @@ struct JobSpec {
   std::uint64_t cycle_budget = 0;
   /// Per-job wall-clock timeout; 0 = the farm's default_timeout_ms.
   std::uint64_t timeout_ms = 0;
+  /// Optional rcpn-ckpt/1 checkpoint file to resume from instead of starting
+  /// the workload at cycle 0 (golden machine keys and fuzz models). The
+  /// file's *content* digest is folded into job_key/job_hash — the restored
+  /// state is part of the simulation's identity, so editing or regenerating
+  /// the checkpoint invalidates cached results.
+  std::string resume_checkpoint;
 };
 
 /// True when spec.machine names a serialized model description file
 /// (a ".rcpn" path) rather than a compiled-in machine key.
 bool is_description_job(const JobSpec& spec);
 
+/// True when spec.machine names a seeded fuzz model ("fuzz" seeded by
+/// spec.seed, or "fuzz-<n>"); fills `seed` accordingly.
+bool is_fuzz_job(const JobSpec& spec, unsigned& seed);
+
+/// The cycle budget the executors actually enforce for `spec` — the value
+/// job_key renders. Fuzz models resolve 0 to their default drain cap, and
+/// machines that ignore the budget (golden keys run a fixed workload to
+/// completion) canonicalize to 0, so two specs that simulate identically
+/// cannot hash apart — and, conversely, a budget the execution would not
+/// honor can never make two *different*-looking specs share a stale cached
+/// result.
+std::uint64_t effective_cycle_budget(const JobSpec& spec);
+
 /// Canonical identity string: machine, backend, schedule-affecting options
-/// signature (core::options_signature), deadlock limit, seed, cycle budget,
-/// executor — stable across processes and library versions that agree on
-/// those semantics. Description jobs append `;desc=<fnv1a of file content>`
-/// (or `;desc=missing` for an unreadable file).
+/// signature (core::options_signature), deadlock limit, seed, effective
+/// cycle budget, executor — stable across processes and library versions
+/// that agree on those semantics. Description jobs append `;desc=<fnv1a of
+/// file content>` (or `;desc=missing` for an unreadable file); jobs resuming
+/// from a checkpoint append `;ckpt=<fnv1a of file content>` the same way.
 std::string job_key(const JobSpec& spec);
 
 /// 64-bit FNV-1a of job_key(spec): the result-cache key and the per-job

@@ -207,7 +207,21 @@ struct SimFarm::Impl {
       }
 
       const auto exec_t0 = Clock::now();
-      result = ex.execute(spec, timeout_ms, *token);
+      // Executors promise not to throw, but a worker thread has no handler
+      // above this frame — one escaped exception would std::terminate the
+      // process and take the whole grid down. Last-resort containment: the
+      // job fails, the farm lives.
+      try {
+        result = ex.execute(spec, timeout_ms, *token);
+      } catch (const std::exception& e) {
+        result = JobResult{};
+        result.status = JobStatus::failed;
+        result.error = std::string("executor threw: ") + e.what();
+      } catch (...) {
+        result = JobResult{};
+        result.status = JobStatus::failed;
+        result.error = "executor threw an unknown exception";
+      }
       executed.fetch_add(1, std::memory_order_relaxed);
       rs->run_executed.fetch_add(1, std::memory_order_relaxed);
       ws.jobs.fetch_add(1, std::memory_order_relaxed);

@@ -437,8 +437,17 @@ std::string emit_simulator(const CompiledModel& cm, const core::Net& net,
           options.run_expr +
           ";\n"
           "      },\n"
-          "      base);\n"
-          "}\n";
+          "      base";
+      if (!options.session_expr.empty()) {
+        out +=
+            ",\n"
+            "      [](rcpn::core::EngineOptions options) {\n"
+            "        return " +
+            options.session_expr +
+            ";\n"
+            "      }";
+      }
+      out += ");\n}\n";
     } else {
       out +=
           "\n"

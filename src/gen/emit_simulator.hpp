@@ -77,6 +77,13 @@ struct EmitSimOptions {
   /// "rcpn::machines::golden_run_fig2(options)" (golden_run_expr()).
   std::string run_expr;
 
+  /// Freestanding main() only, optional: C++ expression (same `options`
+  /// variable in scope) constructing the machine's checkpointable
+  /// machines::GoldenSession, e.g.
+  /// "rcpn::machines::golden_session_fig2(options)" (golden_session_expr()).
+  /// When set, the emitted binary supports --checkpoint-*/--restore.
+  std::string session_expr;
+
   /// Freestanding only: extra amalgamation root headers beyond the net's
   /// emit_include()s — typically the header declaring run_expr's runner
   /// (golden_run_header()).

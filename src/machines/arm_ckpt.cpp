@@ -1,0 +1,95 @@
+// Checkpoint serialization shared by the StrongArm and XScale sessions: the
+// ArmMachine context (registers, memory, caches, predictor, syscalls, fetch
+// cursor) plus the ArmPayload per-instance scratch carried by in-flight
+// tokens. The static half of ArmPayload (decode result, partially-evaluated
+// issue plan, list_refs) is rebuilt by the decode cache when the restoring run
+// re-materializes the token, so only the dynamic fields travel.
+// The first include names the owning header (machines/arm_machine.hpp
+// declares these helpers): gen/embed.cpp keys companion-source selection on
+// it, so this TU rides into freestanding builds exactly when the ARM machine
+// context does.
+#include "machines/arm_machine.hpp"
+
+#include "ckpt/components.hpp"
+
+namespace rcpn::machines {
+
+void save_arm_machine(ckpt::StateWriter& w, const ArmMachine& m,
+                      const ckpt::RefCoder& refs) {
+  w.begin("arm_machine")
+      .field("pc", static_cast<std::uint64_t>(m.pc))
+      .field("nullified", m.nullified_count)
+      .field("mispredicts", m.mispredicts)
+      .field("taken_branches", m.taken_branches)
+      .field("predictor", m.bp != nullptr)
+      .end();
+  ckpt::save_register_file(w, m.rf, refs);
+  ckpt::save_memory(w, m.mem.memory());
+  ckpt::save_cache(w, m.mem.icache());
+  ckpt::save_cache(w, m.mem.dcache());
+  ckpt::save_syscalls(w, m.sys);
+  if (m.bp != nullptr) ckpt::save_predictor(w, *m.bp);
+}
+
+void restore_arm_machine(ckpt::StateReader& r, ArmMachine& m,
+                         const ckpt::RefCoder& refs) {
+  r.next("arm_machine");
+  m.pc = static_cast<std::uint32_t>(r.get_u64("pc"));
+  m.nullified_count = r.get_u64("nullified");
+  m.mispredicts = r.get_u64("mispredicts");
+  m.taken_branches = r.get_u64("taken_branches");
+  const bool had_predictor = r.get_bool("predictor");
+  if (had_predictor != (m.bp != nullptr))
+    r.fail(std::string("checkpoint predictor mismatch: snapshot was taken ") +
+           (had_predictor ? "with" : "without") +
+           " a branch predictor, the restoring machine runs " +
+           (m.bp != nullptr ? "with" : "without") + " one");
+  ckpt::restore_register_file(r, m.rf, refs);
+  ckpt::restore_memory(r, m.mem.memory());
+  ckpt::restore_cache(r, m.mem.icache());
+  ckpt::restore_cache(r, m.mem.dcache());
+  ckpt::restore_syscalls(r, m.sys);
+  if (m.bp != nullptr) ckpt::restore_predictor(r, *m.bp);
+}
+
+void save_arm_token_extra(ckpt::StateWriter& w, const core::InstructionToken& t) {
+  const ArmPayload& p = *static_cast<const ArmPayload*>(t.payload);
+  w.begin("arm_extra")
+      .field("nullified", p.nullified)
+      .field("resolved", p.resolved)
+      .field("ea", static_cast<std::uint64_t>(p.ea))
+      .field("result", static_cast<std::uint64_t>(p.result))
+      .field("pred_next", static_cast<std::uint64_t>(p.pred_next))
+      .field("base_after", static_cast<std::uint64_t>(p.base_after))
+      .field("base_wb", p.base_wb)
+      .field("loaded_pc", static_cast<std::uint64_t>(p.loaded_pc))
+      .end();
+}
+
+void restore_arm_token_extra(ckpt::StateReader& r, core::InstructionToken& t) {
+  ArmPayload& p = ArmMachine::payload(t);
+  r.next("arm_extra");
+  p.nullified = r.get_bool("nullified");
+  p.resolved = r.get_bool("resolved");
+  p.ea = static_cast<std::uint32_t>(r.get_u64("ea"));
+  p.result = static_cast<std::uint32_t>(r.get_u64("result"));
+  p.pred_next = static_cast<std::uint32_t>(r.get_u64("pred_next"));
+  p.base_after = static_cast<std::uint32_t>(r.get_u64("base_after"));
+  p.base_wb = r.get_bool("base_wb");
+  p.loaded_pc = static_cast<std::uint32_t>(r.get_u64("loaded_pc"));
+}
+
+unsigned arm_num_reg_refs(const core::InstructionToken& t) {
+  if (t.payload == nullptr) return core::InstructionToken::kMaxOps;
+  const ArmPayload& p = *static_cast<const ArmPayload*>(t.payload);
+  return core::InstructionToken::kMaxOps + static_cast<unsigned>(p.list_refs.size());
+}
+
+regfile::RegRef* arm_reg_ref(const core::InstructionToken& t, unsigned i) {
+  if (i < core::InstructionToken::kMaxOps)
+    return dynamic_cast<regfile::RegRef*>(t.ops[i]);
+  const ArmPayload& p = *static_cast<const ArmPayload*>(t.payload);
+  return p.list_refs[i - core::InstructionToken::kMaxOps];
+}
+
+}  // namespace rcpn::machines

@@ -187,11 +187,37 @@ namespace rcpn::desc {
 class DelegateRegistry;
 }
 
+namespace rcpn::ckpt {
+class StateWriter;
+class StateReader;
+class RefCoder;
+}
+
 namespace rcpn::machines {
 
 /// The shared ArmPipeMachine DelegateRegistry used by both the StrongArm and
 /// XScale models: symbol -> typed binding for every pipe_* delegate above,
 /// plus the emission metadata (machine type, header).
 const desc::DelegateRegistry& arm_pipe_delegates();
+
+// -- checkpoint support (shared by the StrongArm and XScale sessions) ---------
+
+/// ArmMachine context serialization: architectural registers, memory pages,
+/// both timing caches, the syscall capture, the predictor (when installed)
+/// and the fetch cursor/statistics. Defined in machines/arm_ckpt.cpp.
+void save_arm_machine(ckpt::StateWriter& w, const ArmMachine& m,
+                      const ckpt::RefCoder& refs);
+void restore_arm_machine(ckpt::StateReader& r, ArmMachine& m,
+                         const ckpt::RefCoder& refs);
+
+/// ArmPayload per-instance state beyond the core token fields (issue/resolve
+/// latches, effective address, deferred result, predicted next-pc, ...).
+void save_arm_token_extra(ckpt::StateWriter& w, const core::InstructionToken& t);
+void restore_arm_token_extra(ckpt::StateReader& r, core::InstructionToken& t);
+
+/// RegRef enumeration covering the fixed operand slots plus the out-of-band
+/// load/store-multiple register-list refs.
+unsigned arm_num_reg_refs(const core::InstructionToken& t);
+regfile::RegRef* arm_reg_ref(const core::InstructionToken& t, unsigned i);
 
 }  // namespace rcpn::machines

@@ -4,6 +4,7 @@
 
 #include "desc/delegate_registry.hpp"
 #include "isa/operation_class.hpp"
+#include "machines/golden_session.hpp"
 
 namespace rcpn::machines {
 
@@ -402,6 +403,63 @@ GoldenRunResult golden_run_fig5(core::EngineOptions options) {
 void golden_inspect_fig5(core::EngineOptions options, const GoldenInspectFn& fn) {
   Fig5Processor sim(options);
   fn(sim.net(), sim.engine());
+}
+
+namespace {
+
+class Fig5Session final : public SessionBase {
+ public:
+  explicit Fig5Session(core::EngineOptions options) : sim_(options) {
+    record_golden_retires(sim_.engine(), trace_);
+    sim_.load(fig5_golden_workload());
+  }
+
+  core::Engine& engine() override { return sim_.engine(); }
+
+  bool advance(std::uint64_t cycles) override {
+    if (finished()) return false;
+    sim_.run(cycles);
+    return !finished();
+  }
+
+  std::string machine_key() const override { return "fig5"; }
+  std::string workload_id() const override { return "golden-8"; }
+
+  void save_machine(ckpt::StateWriter& w, const ckpt::RefCoder& refs) const override {
+    const Fig5Machine& m = sim_.machine();
+    w.begin("fig5").field("pc", static_cast<std::uint64_t>(m.pc)).end();
+    ckpt::save_register_file(w, m.rf, refs);
+    ckpt::save_memory(w, m.mem);
+    ckpt::save_cache(w, m.cache);
+  }
+
+  void restore_machine(ckpt::StateReader& r, const ckpt::RefCoder& refs) override {
+    Fig5Machine& m = sim_.machine();
+    r.next("fig5");
+    m.pc = static_cast<std::uint32_t>(r.get_u64("pc"));
+    ckpt::restore_register_file(r, m.rf, refs);
+    ckpt::restore_memory(r, m.mem);
+    ckpt::restore_cache(r, m.cache);
+  }
+
+  core::InstructionToken* materialize(std::uint64_t pc, std::uint32_t raw) override {
+    return sim_.machine().dcache.get(static_cast<std::uint32_t>(pc), raw);
+  }
+
+ private:
+  bool finished() {
+    return sim_.engine().stopped() ||
+           (sim_.machine().pc >= sim_.machine().program.size() &&
+            sim_.engine().tokens_in_flight() == 0);
+  }
+
+  Fig5Processor sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<GoldenSession> golden_session_fig5(core::EngineOptions options) {
+  return std::make_unique<Fig5Session>(options);
 }
 
 }  // namespace rcpn::machines

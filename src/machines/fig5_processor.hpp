@@ -126,6 +126,10 @@ void bind_fig5_context(const core::Net& net, Fig5Machine& m);
 GoldenRunResult golden_run_fig5(core::EngineOptions options);
 void golden_inspect_fig5(core::EngineOptions options, const GoldenInspectFn& fn);
 
+/// Checkpointable golden session (same eight-instruction workload,
+/// advanceable in cycle chunks; see machines/golden_trace.hpp).
+std::unique_ptr<GoldenSession> golden_session_fig5(core::EngineOptions options);
+
 class Fig5Processor;
 
 /// The golden workload itself (trace recording + load + run + stats),
@@ -156,6 +160,8 @@ class Fig5Processor {
 
   core::Net& net() { return sim_.net(); }
   core::Engine& engine() { return sim_.engine(); }
+  Fig5Machine& machine() { return sim_.machine(); }
+  const Fig5Machine& machine() const { return sim_.machine(); }
 
   /// Paper-behaviour counters for tests: how often the feedback path
   /// (priority-1 issue) fired vs the register-file path.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "desc/delegate_registry.hpp"
+#include "machines/golden_session.hpp"
 #include "model/simulator.hpp"
 
 namespace rcpn::machines {
@@ -311,7 +312,7 @@ GoldenRunResult golden_finish_fuzz(model::Simulator<FuzzMachine>& sim,
                                    std::uint64_t max_cycles) {
   GoldenRunResult r;
   record_golden_retires(sim.engine(), r.trace);
-  const std::uint64_t kMaxCycles = max_cycles != 0 ? max_cycles : 25000;
+  const std::uint64_t kMaxCycles = max_cycles != 0 ? max_cycles : kFuzzDrainCap;
   std::uint64_t cycle = 0;
   for (; cycle < kMaxCycles; ++cycle) {
     if (sim.machine().emitted >= sim.machine().to_emit &&
@@ -336,6 +337,82 @@ GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options,
       },
       FuzzMachine{});
   return golden_finish_fuzz(sim, fuzz_model_name(seed), max_cycles);
+}
+
+namespace {
+
+class FuzzSession final : public SessionBase {
+ public:
+  FuzzSession(unsigned seed, core::EngineOptions options, std::uint64_t max_cycles)
+      : name_(fuzz_model_name(seed)),
+        cap_(max_cycles != 0 ? max_cycles : kFuzzDrainCap),
+        sim_(
+            name_, options,
+            [seed](model::ModelBuilder<FuzzMachine>& b, FuzzMachine& m) {
+              describe_fuzz_model(seed, b, m);
+            },
+            FuzzMachine{}) {
+    record_golden_retires(sim_.engine(), trace_);
+  }
+
+  core::Engine& engine() override { return sim_.engine(); }
+
+  bool advance(std::uint64_t cycles) override {
+    // Same loop shape (and error behaviour) as golden_finish_fuzz: done is
+    // checked *before* each step, and the iteration counter equals the engine
+    // clock because the straight run steps exactly once per iteration from
+    // cycle 0 — so a resumed session picks the count up from the clock.
+    std::uint64_t cycle = sim_.engine().clock();
+    for (std::uint64_t k = 0; k < cycles; ++k, ++cycle) {
+      if (cycle >= cap_) throw std::runtime_error(name_ + ": model did not drain");
+      if (done()) return false;
+      if (!sim_.step())
+        throw std::runtime_error(name_ +
+                                 ": engine stopped (deadlocked model?) at cycle " +
+                                 std::to_string(cycle));
+    }
+    return true;
+  }
+
+  std::string machine_key() const override { return name_; }
+  std::string workload_id() const override { return "golden"; }
+
+  void save_machine(ckpt::StateWriter& w, const ckpt::RefCoder&) const override {
+    const FuzzMachine& m = sim_.machine();
+    w.begin("fuzz")
+        .field("emitted", m.emitted)
+        .field("actions_run", m.actions_run)
+        .field("flushes", m.flushes)
+        .field("loops_taken", m.loops_taken)
+        .end();
+  }
+
+  void restore_machine(ckpt::StateReader& r, const ckpt::RefCoder&) override {
+    FuzzMachine& m = sim_.machine();
+    r.next("fuzz");
+    m.emitted = r.get_u64("emitted");
+    m.actions_run = r.get_u64("actions_run");
+    m.flushes = r.get_u64("flushes");
+    m.loops_taken = r.get_u64("loops_taken");
+  }
+
+ private:
+  bool done() {
+    return sim_.machine().emitted >= sim_.machine().to_emit &&
+           sim_.engine().tokens_in_flight() == 0;
+  }
+
+  std::string name_;
+  std::uint64_t cap_;
+  model::Simulator<FuzzMachine> sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<GoldenSession> make_fuzz_session(unsigned seed,
+                                                 core::EngineOptions options,
+                                                 std::uint64_t max_cycles) {
+  return std::make_unique<FuzzSession>(seed, options, max_cycles);
 }
 
 }  // namespace rcpn::machines

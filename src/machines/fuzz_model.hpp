@@ -31,6 +31,11 @@ class Simulator;
 
 namespace rcpn::machines {
 
+/// Default drain cap of a fuzz run when no explicit cycle budget is given —
+/// shared with farm::effective_cycle_budget so a budget of 0 and an explicit
+/// budget of this value describe (and hash as) the same simulation.
+inline constexpr std::uint64_t kFuzzDrainCap = 25000;
+
 struct FuzzMachine {
   std::uint64_t to_emit = 0;
   std::uint64_t emitted = 0;
@@ -98,5 +103,12 @@ GoldenRunResult golden_run_fuzz(unsigned seed, core::EngineOptions options,
 GoldenRunResult golden_finish_fuzz(model::Simulator<FuzzMachine>& sim,
                                    const std::string& name,
                                    std::uint64_t max_cycles = 0);
+
+/// Checkpointable session of a seed's model (machine key "fuzz-<seed>"):
+/// the same manual drain loop as golden_run_fuzz, advanceable in cycle
+/// chunks. `max_cycles` overrides the drain cap (0 = the default 25000).
+std::unique_ptr<GoldenSession> make_fuzz_session(unsigned seed,
+                                                 core::EngineOptions options,
+                                                 std::uint64_t max_cycles = 0);
 
 }  // namespace rcpn::machines

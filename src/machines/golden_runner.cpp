@@ -23,22 +23,30 @@ struct GoldenMachine {
   void (*inspect)(core::EngineOptions, const GoldenInspectFn&);
   const char* run_symbol;
   const char* header;
+  std::unique_ptr<GoldenSession> (*session)(core::EngineOptions);
+  const char* session_symbol;
 };
 
 constexpr GoldenMachine kGoldenMachines[] = {
     {"fig2", "Fig2", &golden_run_fig2, &golden_inspect_fig2,
-     "rcpn::machines::golden_run_fig2", "machines/simple_pipeline.hpp"},
+     "rcpn::machines::golden_run_fig2", "machines/simple_pipeline.hpp",
+     &golden_session_fig2, "rcpn::machines::golden_session_fig2"},
     {"fig5", "Fig5", &golden_run_fig5, &golden_inspect_fig5,
-     "rcpn::machines::golden_run_fig5", "machines/fig5_processor.hpp"},
+     "rcpn::machines::golden_run_fig5", "machines/fig5_processor.hpp",
+     &golden_session_fig5, "rcpn::machines::golden_session_fig5"},
     {"tomasulo", "Tomasulo", &golden_run_tomasulo, &golden_inspect_tomasulo,
-     "rcpn::machines::golden_run_tomasulo", "machines/tomasulo.hpp"},
+     "rcpn::machines::golden_run_tomasulo", "machines/tomasulo.hpp",
+     &golden_session_tomasulo, "rcpn::machines::golden_session_tomasulo"},
     {"strongarm_crc", "StrongArm", &golden_run_strongarm_crc,
      &golden_inspect_strongarm_crc, "rcpn::machines::golden_run_strongarm_crc",
-     "machines/strongarm.hpp"},
+     "machines/strongarm.hpp", &golden_session_strongarm_crc,
+     "rcpn::machines::golden_session_strongarm_crc"},
     {"xscale_adpcm", "XScale", &golden_run_xscale_adpcm, &golden_inspect_xscale_adpcm,
-     "rcpn::machines::golden_run_xscale_adpcm", "machines/xscale.hpp"},
+     "rcpn::machines::golden_run_xscale_adpcm", "machines/xscale.hpp",
+     &golden_session_xscale_adpcm, "rcpn::machines::golden_session_xscale_adpcm"},
     {"stallcause", "StallCause", &golden_run_stallcause, &golden_inspect_stallcause,
-     "rcpn::machines::golden_run_stallcause", "machines/stallcause.hpp"},
+     "rcpn::machines::golden_run_stallcause", "machines/stallcause.hpp",
+     &golden_session_stallcause, "rcpn::machines::golden_session_stallcause"},
 };
 
 const GoldenMachine& find_machine(const std::string& key) {
@@ -75,8 +83,17 @@ void inspect_golden_machine(const std::string& key, core::EngineOptions options,
   find_machine(key).inspect(options, fn);
 }
 
+std::unique_ptr<GoldenSession> make_golden_session(const std::string& key,
+                                                   core::EngineOptions options) {
+  return find_machine(key).session(options);
+}
+
 std::string golden_run_expr(const std::string& key) {
   return std::string(find_machine(key).run_symbol) + "(options)";
+}
+
+std::string golden_session_expr(const std::string& key) {
+  return std::string(find_machine(key).session_symbol) + "(options)";
 }
 
 std::string golden_run_header(const std::string& key) {
@@ -85,8 +102,11 @@ std::string golden_run_header(const std::string& key) {
 
 int generated_main(int argc, char** argv, const std::string& machine_key) {
   const GoldenMachine& m = find_machine(machine_key);
-  return golden_cli_main(argc, argv, machine_key,
-                         [&m](core::EngineOptions options) { return m.run(options); });
+  return golden_cli_main(
+      argc, argv, machine_key,
+      [&m](core::EngineOptions options) { return m.run(options); },
+      /*base=*/{},
+      [&m](core::EngineOptions options) { return m.session(options); });
 }
 
 }  // namespace rcpn::machines

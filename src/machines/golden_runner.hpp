@@ -47,11 +47,22 @@ GoldenRunResult run_golden_machine_full(const std::string& key,
 void inspect_golden_machine(const std::string& key, core::EngineOptions options,
                             const GoldenInspectFn& fn);
 
+/// Construct machine `key` as a checkpointable golden session (workload
+/// loaded, nothing run) — the snapshot/restore entry point for the golden
+/// machines. Throws on an unknown key.
+std::unique_ptr<GoldenSession> make_golden_session(const std::string& key,
+                                                   core::EngineOptions options);
+
 // -- emission metadata (rcpn_emit --freestanding) -----------------------------
 
 /// C++ expression calling machine `key`'s golden runner with an
 /// `options` variable in scope, e.g. "rcpn::machines::golden_run_fig2(options)".
 std::string golden_run_expr(const std::string& key);
+
+/// C++ expression constructing machine `key`'s golden session with an
+/// `options` variable in scope — stamped into freestanding mains so emitted
+/// binaries support --checkpoint-*/--restore too.
+std::string golden_session_expr(const std::string& key);
 
 /// Repo-relative header declaring that runner (and the machine it
 /// constructs), e.g. "machines/simple_pipeline.hpp".

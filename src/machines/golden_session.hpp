@@ -1,0 +1,23 @@
+// Shared plumbing of the per-machine golden sessions (golden_session_fig2,
+// ...): every session owns its retire trace (hooked into the engine at
+// construction, repopulated by read_checkpoint) and doubles as the machine's
+// ckpt::MachineIO. Machine .cpp files include this next to their model and
+// implement the per-machine pieces: the workload, the advance loop (exactly
+// the golden runner's loop shape) and the machine-context serialization.
+#pragma once
+
+#include "ckpt/components.hpp"
+#include "machines/golden_trace.hpp"
+
+namespace rcpn::machines {
+
+class SessionBase : public GoldenSession, public ckpt::MachineIO {
+ public:
+  ckpt::MachineIO& io() override { return *this; }
+  std::vector<GoldenRetireEvent>& trace() override { return trace_; }
+
+ protected:
+  std::vector<GoldenRetireEvent> trace_;
+};
+
+}  // namespace rcpn::machines

@@ -154,10 +154,50 @@ std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
   return {};
 }
 
+std::string write_checkpoint(GoldenSession& s) {
+  std::vector<ckpt::TraceEvent> prefix;
+  prefix.reserve(s.trace().size());
+  for (const GoldenRetireEvent& e : s.trace())
+    prefix.push_back(ckpt::TraceEvent{e.cycle, e.pc, e.seq});
+  return ckpt::save_snapshot(s.engine(), s.io(), prefix);
+}
+
+void read_checkpoint(GoldenSession& s, const std::string& text) {
+  std::vector<ckpt::TraceEvent> prefix;
+  ckpt::restore_snapshot(text, s.engine(), s.io(), prefix);
+  std::vector<GoldenRetireEvent>& tr = s.trace();
+  tr.clear();
+  tr.reserve(prefix.size());
+  for (const ckpt::TraceEvent& e : prefix)
+    tr.push_back(GoldenRetireEvent{e.cycle, e.pc, e.seq});
+}
+
+GoldenRunResult finish_session(GoldenSession& s) {
+  while (s.advance(std::uint64_t(1) << 62)) {
+  }
+  return s.result();
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return out.good();
+}
+
+}  // namespace
+
 int golden_cli_main(int argc, char** argv, const std::string& name,
-                    const GoldenRunFn& run, core::EngineOptions base) {
+                    const GoldenRunFn& run, core::EngineOptions base,
+                    const GoldenSessionFn& session) {
   std::string golden_path;
   std::string trace_json_path;
+  std::string ckpt_out;
+  std::string restore_path;
+  std::uint64_t ckpt_at = 0;
+  bool have_ckpt_at = false;
+  std::uint64_t ckpt_every = 0;
   bool print_stats = false;
   bool print_profile = false;
   long reps = 0;
@@ -189,6 +229,19 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
         std::fprintf(stderr, "unknown backend '%s'\n", b.c_str());
         return 2;
       }
+    } else if (arg == "--checkpoint-at" && i + 1 < argc) {
+      ckpt_at = std::strtoull(argv[++i], nullptr, 10);
+      have_ckpt_at = true;
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      ckpt_every = std::strtoull(argv[++i], nullptr, 10);
+      if (ckpt_every == 0) {
+        std::fprintf(stderr, "--checkpoint-every expects a positive cycle count\n");
+        return 2;
+      }
+    } else if (arg == "--checkpoint-out" && i + 1 < argc) {
+      ckpt_out = argv[++i];
+    } else if (arg == "--restore" && i + 1 < argc) {
+      restore_path = argv[++i];
     } else if (arg == "--force-two-list-all") {
       options.force_two_list_all = true;
     } else if (arg == "--no-two-list-state-refs") {
@@ -204,6 +257,9 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
           "       [--backend generated|compiled|interpreted]\n"
           "       [--force-two-list-all] [--no-two-list-state-refs]\n"
           "       [--linear-search] [--quiescence]\n"
+          "       [--checkpoint-at T --checkpoint-out FILE]\n"
+          "       [--checkpoint-every K --checkpoint-out FILE]\n"
+          "       [--restore FILE]\n"
           "Runs the %s golden workload on the generated simulator engine.\n"
           "Default: print the cycle-stamped retire trace to stdout.\n"
           "--golden FILE: diff the trace against FILE; exit 1 on the first\n"
@@ -217,11 +273,45 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
           "histograms, stall causes, candidate-scan hit rates; RCPN_OBS=ON).\n"
           "The schedule flags select ablation variants; the generated backend\n"
           "only accepts the options its tables were emitted for (use\n"
-          "--backend compiled to run other schedules from this binary).\n",
+          "--backend compiled to run other schedules from this binary).\n"
+          "--checkpoint-at T: run to cycle T, write the rcpn-ckpt/1 snapshot\n"
+          "to --checkpoint-out FILE and exit. --checkpoint-every K: run to\n"
+          "completion, alternating FILE.0/FILE.1 every K cycles. --restore\n"
+          "FILE: resume from a snapshot and run to completion; the printed\n"
+          "trace and stats are byte-identical to the straight run.\n",
           argv[0], name.c_str());
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const bool want_ckpt = have_ckpt_at || ckpt_every > 0 || !restore_path.empty();
+  if (want_ckpt) {
+    if (!session) {
+      std::fprintf(stderr,
+                   "%s: this binary was built without a checkpoint session for "
+                   "its machine (re-emit it to pick one up)\n",
+                   name.c_str());
+      return 2;
+    }
+    if (reps > 0) {
+      std::fprintf(stderr,
+                   "--checkpoint-at/--checkpoint-every/--restore cannot be "
+                   "combined with --time\n");
+      return 2;
+    }
+    if ((have_ckpt_at || ckpt_every > 0) && ckpt_out.empty()) {
+      std::fprintf(stderr,
+                   "--checkpoint-at/--checkpoint-every need --checkpoint-out "
+                   "FILE\n");
+      return 2;
+    }
+    if (have_ckpt_at && ckpt_every > 0) {
+      std::fprintf(stderr,
+                   "--checkpoint-at and --checkpoint-every are mutually "
+                   "exclusive\n");
       return 2;
     }
   }
@@ -272,7 +362,53 @@ int golden_cli_main(int argc, char** argv, const std::string& name,
 
   GoldenRunResult result;
   try {
-    result = run(options);
+    if (want_ckpt) {
+      std::unique_ptr<GoldenSession> s = session(options);
+      if (!restore_path.empty()) {
+        std::ifstream in(restore_path, std::ios::binary);
+        if (!in.good()) {
+          std::fprintf(stderr, "%s: cannot read checkpoint %s\n", name.c_str(),
+                       restore_path.c_str());
+          return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        read_checkpoint(*s, buf.str());
+      }
+      if (have_ckpt_at) {
+        const core::Cycle now = s->engine().clock();
+        if (ckpt_at > now) s->advance(ckpt_at - now);
+        if (!write_file(ckpt_out, write_checkpoint(*s))) {
+          std::fprintf(stderr, "%s: cannot write %s\n", name.c_str(),
+                       ckpt_out.c_str());
+          return 2;
+        }
+        std::fprintf(stderr, "%s: wrote checkpoint at cycle %llu to %s\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(s->engine().clock()),
+                     ckpt_out.c_str());
+        return 0;
+      }
+      if (ckpt_every > 0) {
+        // Two-slot ring: the last two periodic snapshots survive, so a crash
+        // while writing one slot always leaves the other intact.
+        unsigned slot = 0;
+        while (s->advance(ckpt_every)) {
+          const std::string path = ckpt_out + "." + std::to_string(slot % 2);
+          if (!write_file(path, write_checkpoint(*s))) {
+            std::fprintf(stderr, "%s: cannot write %s\n", name.c_str(),
+                         path.c_str());
+            return 2;
+          }
+          ++slot;
+        }
+        result = s->result();
+      } else {
+        result = finish_session(*s);
+      }
+    } else {
+      result = run(options);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
     return 2;

@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "core/engine.hpp"
 
 namespace rcpn::machines {
@@ -87,6 +89,54 @@ bool load_golden_trace(const std::string& path, std::vector<GoldenRetireEvent>& 
 std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
                                const std::vector<GoldenRetireEvent>& got);
 
+// -- checkpointable golden sessions -------------------------------------------
+
+/// An in-progress golden-workload run that can be advanced in cycle chunks
+/// and snapshotted between chunks. One implementation per machine, defined
+/// next to the machine (golden_session_fig2, ...) so a freestanding generated
+/// simulator inlines exactly one of them; each implementation replicates its
+/// golden runner's exact loop shape, which is what makes
+///   advance(T) + write_checkpoint + [new process] read_checkpoint + finish
+/// byte-identical — trace, stats, obs stream — to the straight run.
+class GoldenSession {
+ public:
+  virtual ~GoldenSession() = default;
+
+  virtual core::Engine& engine() = 0;
+  /// The machine's checkpoint serializer (usually the session itself).
+  virtual ckpt::MachineIO& io() = 0;
+  /// Run up to `cycles` more cycles of the workload. Returns false once the
+  /// workload is complete (calling again runs nothing). Must be called at
+  /// cycle boundaries only — which is the only way this API can call it.
+  virtual bool advance(std::uint64_t cycles) = 0;
+  /// The session-owned retire trace: the restored prefix plus everything
+  /// retired since.
+  virtual std::vector<GoldenRetireEvent>& trace() = 0;
+
+  /// The run's observable result so far (trace + engine stats).
+  GoldenRunResult result() {
+    GoldenRunResult r;
+    r.trace = trace();
+    r.stats = engine().stats();
+    return r;
+  }
+};
+
+/// Construct machine `key`'s golden session under `options` (workload loaded,
+/// nothing run). Per-machine factories live next to their machines.
+using GoldenSessionFn =
+    std::function<std::unique_ptr<GoldenSession>(core::EngineOptions)>;
+
+/// Serialize the session's complete dynamic state (rcpn-ckpt/1).
+std::string write_checkpoint(GoldenSession& s);
+
+/// Restore `text` into a *freshly constructed* session (workload loaded,
+/// never advanced). Throws ckpt::CkptError on any identity mismatch.
+void read_checkpoint(GoldenSession& s, const std::string& text);
+
+/// Advance the session to completion and return its result.
+GoldenRunResult finish_session(GoldenSession& s);
+
 /// Entry point of a golden-workload simulator binary. Runs `run` on
 /// Backend::generated over `base` options (the options the artifact was
 /// emitted for — schedule-affecting flags must match the generated tables or
@@ -110,7 +160,20 @@ std::string diff_golden_traces(const std::vector<GoldenRetireEvent>& golden,
 ///                                     generated backend rejects options its
 ///                                     tables were not emitted for — combine
 ///                                     with --backend compiled)
+///
+/// Checkpoint/restore flags (need a `session` factory; exit 2 otherwise):
+///   --checkpoint-at T --checkpoint-out FILE
+///                                     run to cycle T, write the snapshot to
+///                                     FILE and exit without finishing
+///   --checkpoint-every K --checkpoint-out FILE
+///                                     run to completion, writing a two-slot
+///                                     checkpoint ring (FILE.0 / FILE.1,
+///                                     alternating) every K cycles
+///   --restore FILE                    restore FILE into a fresh session and
+///                                     run to completion; stdout is
+///                                     byte-identical to the straight run
 int golden_cli_main(int argc, char** argv, const std::string& name,
-                    const GoldenRunFn& run, core::EngineOptions base = {});
+                    const GoldenRunFn& run, core::EngineOptions base = {},
+                    const GoldenSessionFn& session = {});
 
 }  // namespace rcpn::machines

@@ -1,6 +1,7 @@
 #include "machines/simple_pipeline.hpp"
 
 #include "desc/delegate_registry.hpp"
+#include "machines/golden_session.hpp"
 
 namespace rcpn::machines {
 
@@ -79,6 +80,50 @@ GoldenRunResult golden_run_fig2(core::EngineOptions options) {
 void golden_inspect_fig2(core::EngineOptions options, const GoldenInspectFn& fn) {
   SimplePipeline sim(64, options);
   fn(sim.net(), sim.engine());
+}
+
+namespace {
+
+class Fig2Session final : public SessionBase {
+ public:
+  explicit Fig2Session(core::EngineOptions options) : sim_(64, options) {
+    record_golden_retires(sim_.engine(), trace_);
+  }
+
+  core::Engine& engine() override { return sim_.engine(); }
+
+  bool advance(std::uint64_t cycles) override {
+    if (finished()) return false;
+    sim_.run(cycles);
+    return !finished();
+  }
+
+  std::string machine_key() const override { return "fig2"; }
+  std::string workload_id() const override { return "golden-64"; }
+
+  void save_machine(ckpt::StateWriter& w, const ckpt::RefCoder&) const override {
+    w.begin("fig2").field("generated", sim_.machine().generated).end();
+  }
+
+  void restore_machine(ckpt::StateReader& r, const ckpt::RefCoder&) override {
+    r.next("fig2");
+    sim_.machine().generated = r.get_u64("generated");
+  }
+
+ private:
+  bool finished() {
+    return sim_.engine().stopped() ||
+           (sim_.machine().generated >= sim_.machine().to_generate &&
+            sim_.engine().tokens_in_flight() == 0);
+  }
+
+  SimplePipeline sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<GoldenSession> golden_session_fig2(core::EngineOptions options) {
+  return std::make_unique<Fig2Session>(options);
 }
 
 }  // namespace rcpn::machines

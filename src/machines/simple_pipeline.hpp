@@ -48,6 +48,10 @@ void bind_fig2_context(const core::Net& net, Fig2Machine& m);
 GoldenRunResult golden_run_fig2(core::EngineOptions options);
 void golden_inspect_fig2(core::EngineOptions options, const GoldenInspectFn& fn);
 
+/// Checkpointable golden session (same 64-token workload, advanceable in
+/// cycle chunks; see machines/golden_trace.hpp).
+std::unique_ptr<GoldenSession> golden_session_fig2(core::EngineOptions options);
+
 class SimplePipeline;
 
 /// The golden workload itself (trace recording + run + stats), factored out
@@ -72,6 +76,8 @@ class SimplePipeline {
 
   core::Net& net() { return sim_.net(); }
   core::Engine& engine() { return sim_.engine(); }
+  Fig2Machine& machine() { return sim_.machine(); }
+  const Fig2Machine& machine() const { return sim_.machine(); }
 
   std::uint64_t generated() const { return sim_.machine().generated; }
   std::uint64_t u2_fires() const { return sim_.fires(u2_); }

@@ -1,6 +1,7 @@
 #include "machines/stallcause.hpp"
 
 #include "desc/delegate_registry.hpp"
+#include "machines/golden_session.hpp"
 
 namespace rcpn::machines {
 
@@ -123,6 +124,56 @@ GoldenRunResult golden_run_stallcause(core::EngineOptions options) {
 void golden_inspect_stallcause(core::EngineOptions options, const GoldenInspectFn& fn) {
   StallCauseModel sim(4, options);
   fn(sim.net(), sim.engine());
+}
+
+namespace {
+
+class StallCauseSession final : public SessionBase {
+ public:
+  explicit StallCauseSession(core::EngineOptions options) : sim_(4, options) {
+    record_golden_retires(sim_.engine(), trace_);
+  }
+
+  core::Engine& engine() override { return sim_.engine(); }
+
+  bool advance(std::uint64_t cycles) override {
+    if (finished()) return false;
+    sim_.run(cycles);
+    return !finished();
+  }
+
+  std::string machine_key() const override { return "stallcause"; }
+  std::string workload_id() const override { return "golden-4"; }
+
+  void save_machine(ckpt::StateWriter& w, const ckpt::RefCoder&) const override {
+    const StallCauseMachine& m = sim_.machine();
+    w.begin("stallcause")
+        .field("emitted", m.emitted)
+        .field("counter", m.counter)
+        .end();
+  }
+
+  void restore_machine(ckpt::StateReader& r, const ckpt::RefCoder&) override {
+    StallCauseMachine& m = sim_.machine();
+    r.next("stallcause");
+    m.emitted = r.get_u64("emitted");
+    m.counter = r.get_u64("counter");
+  }
+
+ private:
+  bool finished() {
+    return sim_.engine().stopped() ||
+           (sim_.machine().emitted >= sim_.machine().to_emit &&
+            sim_.engine().tokens_in_flight() == 0);
+  }
+
+  StallCauseModel sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<GoldenSession> golden_session_stallcause(core::EngineOptions options) {
+  return std::make_unique<StallCauseSession>(options);
 }
 
 }  // namespace rcpn::machines

@@ -64,6 +64,10 @@ void bind_stallcause_context(const core::Net& net, StallCauseMachine& m);
 GoldenRunResult golden_run_stallcause(core::EngineOptions options);
 void golden_inspect_stallcause(core::EngineOptions options, const GoldenInspectFn& fn);
 
+/// Checkpointable golden session (same parker+workers workload, advanceable
+/// in cycle chunks; see machines/golden_trace.hpp).
+std::unique_ptr<GoldenSession> golden_session_stallcause(core::EngineOptions options);
+
 class StallCauseModel;
 
 /// The golden workload itself (trace recording + run + stats), factored out
@@ -85,6 +89,8 @@ class StallCauseModel {
 
   core::Net& net() { return sim_.net(); }
   core::Engine& engine() { return sim_.engine(); }
+  StallCauseMachine& machine() { return sim_.machine(); }
+  const StallCauseMachine& machine() const { return sim_.machine(); }
 
   core::PlaceId pa() const { return pa_.id(); }
   core::PlaceId pb() const { return pb_.id(); }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "desc/delegate_registry.hpp"
+#include "machines/golden_session.hpp"
 #include "workloads/workloads.hpp"
 
 namespace rcpn::machines {
@@ -104,6 +105,13 @@ RunResult StrongArmSim::run(const sys::Program& program, std::uint64_t max_cycle
   return collect_result(sim_.engine(), machine());
 }
 
+void StrongArmSim::begin(const sys::Program& program) {
+  // Same ordering as run(): load() drains leftover tokens before load_program
+  // clears the decode cache that owns them.
+  sim_.load(program);
+  machine().dcache.set_bypass(cfg_.decode_cache_bypass);
+}
+
 RunResult collect_result(const core::Engine& eng, const ArmMachine& m) {
   RunResult r;
   r.cycles = eng.stats().cycles;
@@ -141,6 +149,73 @@ void golden_inspect_strongarm_crc(core::EngineOptions options,
   cfg.engine = options;
   StrongArmSim sim(cfg);
   fn(sim.net(), sim.engine());
+}
+
+namespace {
+
+class StrongArmCrcSession final : public SessionBase {
+ public:
+  explicit StrongArmCrcSession(core::EngineOptions options) : sim_(cfg_for(options)) {
+    record_golden_retires(sim_.engine(), trace_);
+    sim_.begin(workloads::build(*workloads::find("crc"), /*scale=*/1));
+  }
+
+  core::Engine& engine() override { return sim_.engine(); }
+
+  bool advance(std::uint64_t cycles) override {
+    if (finished()) return false;
+    const std::uint64_t left = kBudget - sim_.engine().clock();
+    sim_.advance(cycles < left ? cycles : left);
+    return !finished();
+  }
+
+  std::string machine_key() const override { return "strongarm_crc"; }
+  std::string workload_id() const override { return "crc-x1-1500"; }
+
+  void save_machine(ckpt::StateWriter& w, const ckpt::RefCoder& refs) const override {
+    save_arm_machine(w, sim_.machine(), refs);
+  }
+  void restore_machine(ckpt::StateReader& r, const ckpt::RefCoder& refs) override {
+    restore_arm_machine(r, sim_.machine(), refs);
+  }
+  core::InstructionToken* materialize(std::uint64_t pc, std::uint32_t raw) override {
+    return sim_.machine().dcache.get(static_cast<std::uint32_t>(pc), raw);
+  }
+  void save_token_extra(ckpt::StateWriter& w,
+                        const core::InstructionToken& t) const override {
+    save_arm_token_extra(w, t);
+  }
+  void restore_token_extra(ckpt::StateReader& r, core::InstructionToken& t) override {
+    restore_arm_token_extra(r, t);
+  }
+  unsigned num_reg_refs(const core::InstructionToken& t) const override {
+    return arm_num_reg_refs(t);
+  }
+  regfile::RegRef* reg_ref(const core::InstructionToken& t, unsigned i) const override {
+    return arm_reg_ref(t, i);
+  }
+
+ private:
+  static constexpr std::uint64_t kBudget = 1500;  // golden_finish max_cycles
+
+  static StrongArmConfig cfg_for(core::EngineOptions options) {
+    StrongArmConfig cfg;
+    cfg.engine = options;
+    return cfg;
+  }
+
+  bool finished() {
+    return sim_.engine().stopped() || sim_.engine().clock() >= kBudget;
+  }
+
+  StrongArmSim sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<GoldenSession> golden_session_strongarm_crc(
+    core::EngineOptions options) {
+  return std::make_unique<StrongArmCrcSession>(options);
 }
 
 }  // namespace rcpn::machines

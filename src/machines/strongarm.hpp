@@ -49,9 +49,16 @@ class StrongArmSim {
   /// Run `program` to completion (SWI exit) or `max_cycles`.
   RunResult run(const sys::Program& program, std::uint64_t max_cycles = ~0ull);
 
+  /// Checkpoint-session support: load `program` (same ordering as run())
+  /// without running anything.
+  void begin(const sys::Program& program);
+  /// Continue an in-progress run for up to `cycles` more cycles.
+  void advance(std::uint64_t cycles) { sim_.run(cycles); }
+
   core::Net& net() { return sim_.net(); }
   core::Engine& engine() { return sim_.engine(); }
   ArmMachine& machine() { return sim_.machine().m; }
+  const ArmMachine& machine() const { return sim_.machine().m; }
 
  private:
   void describe(model::ModelBuilder<ArmPipeMachine>& b, ArmPipeMachine& mc);
@@ -74,6 +81,11 @@ void bind_strongarm_context(const core::Net& net, ArmPipeMachine& mc);
 GoldenRunResult golden_run_strongarm_crc(core::EngineOptions options);
 void golden_inspect_strongarm_crc(core::EngineOptions options,
                                   const GoldenInspectFn& fn);
+
+/// Checkpointable golden session (same crc ×1 workload under the same
+/// 1500-cycle budget; see machines/golden_trace.hpp).
+std::unique_ptr<GoldenSession> golden_session_strongarm_crc(
+    core::EngineOptions options);
 
 /// The golden workload itself (trace recording + crc window + stats),
 /// factored out so both construction paths run byte-identical work.

@@ -2,6 +2,7 @@
 
 #include "desc/delegate_registry.hpp"
 #include "isa/operation_class.hpp"
+#include "machines/golden_session.hpp"
 
 namespace rcpn::machines {
 
@@ -274,6 +275,65 @@ GoldenRunResult golden_run_tomasulo(core::EngineOptions options) {
 void golden_inspect_tomasulo(core::EngineOptions options, const GoldenInspectFn& fn) {
   TomasuloCore sim(4, 2, options);
   fn(sim.net(), sim.engine());
+}
+
+namespace {
+
+class TomasuloSession final : public SessionBase {
+ public:
+  explicit TomasuloSession(core::EngineOptions options) : sim_(4, 2, options) {
+    record_golden_retires(sim_.engine(), trace_);
+    sim_.load(tomasulo_golden_workload());
+  }
+
+  core::Engine& engine() override { return sim_.engine(); }
+
+  bool advance(std::uint64_t cycles) override {
+    if (finished()) return false;
+    sim_.run(cycles);
+    return !finished();
+  }
+
+  std::string machine_key() const override { return "tomasulo"; }
+  std::string workload_id() const override { return "golden-6"; }
+
+  void save_machine(ckpt::StateWriter& w, const ckpt::RefCoder& refs) const override {
+    const TomasuloMachine& m = sim_.machine();
+    w.begin("tomasulo")
+        .field("pc", static_cast<std::uint64_t>(m.pc))
+        .field("last_exec_seq", static_cast<std::uint64_t>(m.last_exec_seq))
+        .field("observed_ooo", m.observed_ooo)
+        .end();
+    ckpt::save_register_file(w, m.rf, refs);
+  }
+
+  void restore_machine(ckpt::StateReader& r, const ckpt::RefCoder& refs) override {
+    TomasuloMachine& m = sim_.machine();
+    r.next("tomasulo");
+    m.pc = static_cast<std::uint32_t>(r.get_u64("pc"));
+    m.last_exec_seq = static_cast<std::uint32_t>(r.get_u64("last_exec_seq"));
+    m.observed_ooo = r.get_bool("observed_ooo");
+    ckpt::restore_register_file(r, m.rf, refs);
+  }
+
+  core::InstructionToken* materialize(std::uint64_t pc, std::uint32_t raw) override {
+    return sim_.machine().dcache.get(static_cast<std::uint32_t>(pc), raw);
+  }
+
+ private:
+  bool finished() {
+    return sim_.engine().stopped() ||
+           (sim_.machine().pc >= sim_.machine().program.size() &&
+            sim_.engine().tokens_in_flight() == 0);
+  }
+
+  TomasuloCore sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<GoldenSession> golden_session_tomasulo(core::EngineOptions options) {
+  return std::make_unique<TomasuloSession>(options);
 }
 
 }  // namespace rcpn::machines

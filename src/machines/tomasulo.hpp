@@ -76,6 +76,10 @@ void bind_tomasulo_context(const core::Net& net, TomasuloMachine& m);
 GoldenRunResult golden_run_tomasulo(core::EngineOptions options);
 void golden_inspect_tomasulo(core::EngineOptions options, const GoldenInspectFn& fn);
 
+/// Checkpointable golden session (same six-instruction workload, advanceable
+/// in cycle chunks; see machines/golden_trace.hpp).
+std::unique_ptr<GoldenSession> golden_session_tomasulo(core::EngineOptions options);
+
 class TomasuloCore;
 
 /// The golden workload itself (trace recording + load + run + stats),
@@ -105,6 +109,8 @@ class TomasuloCore {
 
   core::Net& net() { return sim_.net(); }
   core::Engine& engine() { return sim_.engine(); }
+  TomasuloMachine& machine() { return sim_.machine(); }
+  const TomasuloMachine& machine() const { return sim_.machine(); }
 
   /// Did any instruction begin execution before an older one? (proof of
   /// out-of-order issue for the tests)

@@ -66,6 +66,33 @@ class Cache {
 
   void reset();
 
+  // -- checkpoint support (src/ckpt/) -----------------------------------------
+  // Tag/LRU/dirty state is timing state: a restored run replays the same
+  // hit/miss latencies. The last-block filter is NOT serialized — it is a
+  // pure lookup shortcut whose slow-path fallback updates LRU and stats
+  // identically, so restore just clears it.
+  struct CkptLine {
+    std::uint32_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+  std::size_t num_lines() const { return lines_.size(); }
+  CkptLine ckpt_line(std::size_t i) const {
+    const Line& l = lines_[i];
+    return CkptLine{l.tag, l.lru, l.valid, l.dirty};
+  }
+  void ckpt_set_line(std::size_t i, const CkptLine& l) {
+    lines_[i] = Line{l.tag, l.lru, l.valid, l.dirty};
+  }
+  std::uint64_t lru_clock() const { return lru_clock_; }
+  void ckpt_restore_meta(std::uint64_t lru_clock, const CacheStats& stats) {
+    lru_clock_ = lru_clock;
+    stats_ = stats;
+    last_block_ = 0xffff'ffff;
+    last_line_ = nullptr;
+  }
+
  private:
   struct Line {
     std::uint32_t tag = 0;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -35,6 +36,22 @@ class Memory {
 
   void clear() {
     pages_.clear();
+    last_page_id_ = 0xffff'ffff;
+    last_page_ = nullptr;
+  }
+
+  // -- checkpoint support (src/ckpt/) -----------------------------------------
+  // The snapshot layer dumps resident pages (in sorted page-id order — the
+  // map itself is unordered) and restores them as whole-page images. The
+  // one-entry translation cache is a pure shortcut and is just invalidated.
+  const std::unordered_map<std::uint32_t, std::unique_ptr<std::uint8_t[]>>& pages()
+      const {
+    return pages_;
+  }
+  void ckpt_set_page(std::uint32_t page_id, const std::uint8_t* bytes) {
+    auto& slot = pages_[page_id];
+    if (!slot) slot = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memcpy(slot.get(), bytes, kPageSize);
     last_page_id_ = 0xffff'ffff;
     last_page_ = nullptr;
   }

@@ -107,6 +107,11 @@ class EventSink {
     dropped_ = 0;
   }
 
+  /// Checkpoint support (src/ckpt/): restore replays the retained events via
+  /// push() and then reinstates the eviction counter, so a resumed run's
+  /// stream (retained events + dropped count) matches the straight run's.
+  void ckpt_set_dropped(std::uint64_t d) { dropped_ = d; }
+
  private:
   std::vector<Event> buf_;
   std::size_t head_ = 0;
@@ -262,6 +267,16 @@ class Hub {
   }
 
   void on_cycle_end(std::uint64_t /*cycle*/) { ++profile_.cycles; }
+
+  // -- checkpoint support (src/ckpt/) -----------------------------------------
+  // The ring contents, the aggregate profile and the occupancy
+  // change-detection latch are all run state: restoring them makes the
+  // resumed run's event stream byte-identical to the straight run's.
+  StageProfile& ckpt_profile() { return profile_; }
+  const std::vector<std::uint32_t>& last_occ() const { return last_occ_; }
+  void ckpt_set_last_occ(std::size_t stage, std::uint32_t occ) {
+    if (stage < last_occ_.size()) last_occ_[stage] = occ;
+  }
 
  private:
   HubOptions options_;

@@ -41,6 +41,9 @@ class BranchPredictor {
                       bool mispredicted) = 0;
   const PredictorStats& stats() const { return stats_; }
   virtual void reset() { stats_ = PredictorStats{}; }
+  /// Checkpoint support (src/ckpt/): predictor counters are timing state and
+  /// must survive a snapshot/restore round trip verbatim.
+  void ckpt_set_stats(const PredictorStats& s) { stats_ = s; }
 
  protected:
   PredictorStats stats_;
@@ -61,6 +64,10 @@ class Bimodal final : public BranchPredictor {
               bool mispredicted) override;
   void reset() override;
 
+  // Checkpoint support: the 2-bit counter table, raw.
+  const std::vector<std::uint8_t>& counters() const { return counters_; }
+  void ckpt_set_counter(std::uint32_t i, std::uint8_t v) { counters_[i] = v; }
+
  private:
   std::uint32_t index(std::uint32_t pc) const { return (pc >> 2) & (entries_ - 1); }
   std::uint32_t entries_;
@@ -74,6 +81,22 @@ class Btb final : public BranchPredictor {
   void update(std::uint32_t pc, bool taken, std::uint32_t target,
               bool mispredicted) override;
   void reset() override;
+
+  // Checkpoint support: tagged entries, raw.
+  struct CkptEntry {
+    std::uint32_t tag = 0;
+    std::uint32_t target = 0;
+    std::uint8_t counter = 0;
+    bool valid = false;
+  };
+  std::uint32_t num_entries() const { return entries_; }
+  CkptEntry ckpt_entry(std::uint32_t i) const {
+    const Entry& e = table_[i];
+    return CkptEntry{e.tag, e.target, e.counter, e.valid};
+  }
+  void ckpt_set_entry(std::uint32_t i, const CkptEntry& e) {
+    table_[i] = Entry{e.tag, e.target, e.counter, e.valid};
+  }
 
  private:
   struct Entry {

@@ -70,6 +70,23 @@ class RegRef final : public Operand {
     writer_tag_ = nullptr;
   }
 
+  // -- checkpoint support (src/ckpt/) ----------------------------------------
+  //    Snapshot restore rebuilds the full dynamic state of a RegRef whose
+  //    owning instruction was re-materialized: the latch value, the live
+  //    reservation and the captured producer tag. The writer *list* of the
+  //    cell is restored separately through RegisterFile::push_writer, so this
+  //    setter only flips the local flag.
+  std::uint32_t reserve_seq() const { return reserve_seq_; }
+  RegRef* writer_tag() const { return writer_tag_; }
+  void ckpt_restore(Word value, bool value_ready, bool reserved,
+                    std::uint32_t reserve_seq) {
+    value_ = value;
+    value_ready_ = value_ready;
+    reserved_ = reserved;
+    reserve_seq_ = reserve_seq;
+  }
+  void ckpt_set_writer_tag(RegRef* w) { writer_tag_ = w; }
+
  private:
   /// Newest in-flight writer of our cell that currently sits in place `s`
   /// with a ready value; nullptr if none.

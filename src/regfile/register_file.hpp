@@ -64,6 +64,11 @@ class RegisterFile {
   void remove_writer(CellId c, RegRef* w);
   /// Commit sequencing for multi_writer: returns the reservation sequence.
   std::uint32_t next_reserve_seq(CellId c) { return ++cells_[c].reserve_seq; }
+  /// Checkpoint support (src/ckpt/): the reservation-sequence counter is
+  /// dynamic state — restore sets it back verbatim so sequence numbers issued
+  /// after a resume match the original run's.
+  std::uint32_t reserve_seq(CellId c) const { return cells_[c].reserve_seq; }
+  void set_reserve_seq(CellId c, std::uint32_t s) { cells_[c].reserve_seq = s; }
   std::uint32_t committed_seq(CellId c) const { return cells_[c].committed_seq; }
   void set_committed_seq(CellId c, std::uint32_t s) { cells_[c].committed_seq = s; }
 

@@ -51,6 +51,18 @@ class SyscallHandler {
 
   void reset();
 
+  /// Checkpoint support (src/ckpt/): the captured output buffer and the
+  /// exit/call counters are run state — a restored run appends to the
+  /// original prefix, so end-of-run output is byte-identical. `echo_` is
+  /// host-side configuration and is deliberately not restored.
+  void ckpt_restore(std::string output, int exit_code, bool exited,
+                    std::uint64_t calls) {
+    output_ = std::move(output);
+    exit_code_ = exit_code;
+    exited_ = exited;
+    calls_ = calls;
+  }
+
  private:
   void emit(const std::string& s);
 

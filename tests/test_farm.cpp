@@ -19,6 +19,7 @@
 #include "farm/job.hpp"
 #include "farm/report.hpp"
 #include "farm/sim_farm.hpp"
+#include "machines/fuzz_model.hpp"
 #include "machines/golden_runner.hpp"
 
 using namespace rcpn;
@@ -96,11 +97,15 @@ TEST(FarmJob, KeyCoversIdentityFieldsOnly) {
   other.options.force_two_list_all = true;
   EXPECT_NE(farm::job_hash(other), h);
   other = base;
-  other.cycle_budget = 999;
-  EXPECT_NE(farm::job_hash(other), h);
-  other = base;
   other.options.deadlock_limit = 5;
   EXPECT_NE(farm::job_hash(other), h);
+
+  // Golden machines run their fixed workload to completion — no executor
+  // honors a cycle budget for them, so a budget must not split the identity
+  // of what is provably the same simulation.
+  other = base;
+  other.cycle_budget = 999;
+  EXPECT_EQ(farm::job_hash(other), h);
 }
 
 TEST(FarmJob, KeyIsStableAcrossCalls) {
@@ -207,6 +212,59 @@ TEST(FarmCache, FailedJobsAreNotCached) {
   EXPECT_FALSE(again.jobs[0].result.cached);
   EXPECT_EQ(sim_farm.executed(), 2u);
   EXPECT_EQ(sim_farm.cache_hits(), 0u);
+}
+
+// Regression: two fuzz jobs differing only in cycle-budget truncation are
+// different simulations and must never share a cache entry — before the
+// budget was canonicalized into the job key, the truncated job could be
+// served the cached full-run result.
+TEST(FarmCache, CycleBudgetTruncationIsPartOfTheCacheIdentity) {
+  const unsigned seed = 7;
+  core::EngineOptions opts;
+  opts.backend = core::Backend::compiled;
+  const machines::GoldenRunResult full = machines::golden_run_fuzz(seed, opts);
+  const std::uint64_t n = full.stats.cycles;
+  ASSERT_GT(n, 1u);
+
+  const farm::JobSpec full_spec = fuzz_spec(seed, 0);
+  const farm::JobSpec cut_spec = fuzz_spec(seed, n / 2);
+  EXPECT_NE(farm::job_hash(full_spec), farm::job_hash(cut_spec));
+
+  farm::SimFarm sim_farm;
+  const farm::FarmReport first = sim_farm.run({full_spec});
+  ASSERT_EQ(first.jobs[0].result.status, farm::JobStatus::ok)
+      << first.jobs[0].result.error;
+
+  // The truncated job must actually execute (no stale hit on the full-run
+  // entry) and must not reproduce the full run's result: halving the budget
+  // wedges the drain loop at the cap.
+  const farm::FarmReport second = sim_farm.run({cut_spec});
+  EXPECT_FALSE(second.jobs[0].result.cached);
+  EXPECT_EQ(sim_farm.cache_hits(), 0u);
+  EXPECT_EQ(second.jobs[0].result.status, farm::JobStatus::failed);
+  EXPECT_NE(second.jobs[0].result.error.find("did not drain"), std::string::npos)
+      << second.jobs[0].result.error;
+}
+
+// The flip side of budget canonicalization: budget values the execution
+// cannot distinguish map to one identity (and one cache entry).
+TEST(FarmCache, EquivalentBudgetsShareOneCacheEntry) {
+  // fuzz: budget 0 means "the default drain cap" — same simulation as
+  // spelling the cap out.
+  EXPECT_EQ(farm::job_hash(fuzz_spec(3, 0)),
+            farm::job_hash(fuzz_spec(3, machines::kFuzzDrainCap)));
+  // golden machines ignore budgets entirely.
+  farm::JobSpec budgeted = golden_spec("fig5");
+  budgeted.cycle_budget = 12345;
+  EXPECT_EQ(farm::job_hash(budgeted), farm::job_hash(golden_spec("fig5")));
+
+  farm::SimFarm sim_farm;
+  const farm::FarmReport first = sim_farm.run({fuzz_spec(3, 0)});
+  ASSERT_EQ(first.jobs[0].result.status, farm::JobStatus::ok)
+      << first.jobs[0].result.error;
+  const farm::FarmReport again = sim_farm.run({fuzz_spec(3, machines::kFuzzDrainCap)});
+  EXPECT_TRUE(again.jobs[0].result.cached);
+  EXPECT_EQ(sim_farm.cache_hits(), 1u);
 }
 
 // -- report JSON --------------------------------------------------------------
@@ -412,6 +470,142 @@ TEST(FarmSubprocess, CaptureSurvivesSignalInterruptions) {
   EXPECT_EQ(result.exit_code, 0);
 }
 
+// Regression: a child killed mid-fprintf — its final trace line cut off
+// without a newline — must degrade to a failed job carrying the output tail,
+// and the rest of the grid must keep running. Before SubprocessExecutor's
+// execute() was exception-contained, anything thrown past it would
+// std::terminate the whole farm.
+TEST(FarmSubprocess, ChildKilledMidLineFailsTheJobNotTheGrid) {
+  char tmpl[] = "/tmp/rcpn_midkill_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string script = dir + "/gen_fs_midkill";
+  {
+    // A fake gen_fs_* binary that dies by SIGKILL in the middle of writing a
+    // trace line (no newline, no stats record).
+    std::ofstream out(script);
+    out << "#!/bin/sh\n"
+           "printf '# midkill golden cycle-stamped retire trace: cycle pc(hex) seq\\n'\n"
+           "printf '1 0 0\\n2 4 1\\n'\n"
+           "printf '3 8 '\n"
+           "kill -9 $$\n";
+  }
+  ASSERT_EQ(::chmod(script.c_str(), 0755), 0);
+
+  farm::JobSpec victim;
+  victim.machine = "midkill";
+  victim.options.backend = core::Backend::generated;
+  victim.executor = farm::ExecutorKind::subprocess;
+
+  farm::FarmOptions fo;
+  fo.workers = 2;
+  fo.bin_dir = dir;
+  farm::SimFarm sim_farm(std::move(fo));
+  // The in-process fig2 job rides along: the farm must complete it normally
+  // around the dying child.
+  const farm::FarmReport report = sim_farm.run({victim, golden_spec("fig2")});
+
+  std::remove(script.c_str());
+  ::rmdir(dir.c_str());
+
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_EQ(report.jobs[0].result.status, farm::JobStatus::failed);
+  EXPECT_EQ(report.jobs[0].result.exit_code, 128 + SIGKILL);
+  // The failure carries the tail of what the child managed to write,
+  // including the torn final line.
+  EXPECT_NE(report.jobs[0].result.error.find("3 8"), std::string::npos)
+      << report.jobs[0].result.error;
+  EXPECT_EQ(report.jobs[1].result.status, farm::JobStatus::ok)
+      << report.jobs[1].result.error;
+}
+
+// -- resume-from-checkpoint jobs ----------------------------------------------
+
+// A JobSpec with resume_checkpoint set runs the tail of the checkpointed run;
+// the result (trace prefix + remainder) must carry the straight run's digest.
+// The snapshot is written by the interpreted engine and resumed under the
+// spec's compiled backend — backend is not checkpoint identity.
+TEST(FarmResume, InProcessResumeMatchesStraightRunDigest) {
+  const std::string path = "/tmp/rcpn_farm_resume_run.ckpt";
+  {
+    core::EngineOptions wo;
+    wo.backend = core::Backend::interpreted;
+    auto writer = machines::make_golden_session("fig5", wo);
+    writer->advance(7);
+    std::ofstream(path, std::ios::binary) << machines::write_checkpoint(*writer);
+  }
+
+  farm::JobSpec spec = golden_spec("fig5");
+  spec.resume_checkpoint = path;
+  farm::InProcessExecutor exec;
+  farm::CancelToken cancel;
+  const farm::JobResult r = exec.execute(spec, 30000, cancel);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(r.status, farm::JobStatus::ok) << r.error;
+  const machines::GoldenRunResult direct =
+      machines::run_golden_machine_full("fig5", spec.options);
+  EXPECT_EQ(r.digest, farm::trace_digest(direct.trace));
+  EXPECT_EQ(r.retired, direct.trace.size());
+  EXPECT_EQ(r.stats.cycles, direct.stats.cycles);
+}
+
+// The checkpoint's identity is its content (like .rcpn description jobs):
+// editing the file must miss the cache, and a job without a checkpoint has
+// no ckpt field at all.
+TEST(FarmResume, CheckpointContentIsPartOfTheJobIdentity) {
+  const std::string path = "/tmp/rcpn_farm_resume_key.ckpt";
+  farm::JobSpec spec = golden_spec("fig5");
+  spec.resume_checkpoint = path;
+
+  std::ofstream(path) << "rcpn-ckpt/1\nA\n";
+  const std::uint64_t h1 = farm::job_hash(spec);
+  EXPECT_NE(farm::job_key(spec).find(";ckpt="), std::string::npos);
+  std::ofstream(path) << "rcpn-ckpt/1\nB\n";
+  EXPECT_NE(farm::job_hash(spec), h1);
+
+  std::remove(path.c_str());
+  EXPECT_NE(farm::job_key(spec).find("ckpt=missing"), std::string::npos);
+  EXPECT_EQ(farm::job_key(golden_spec("fig5")).find(";ckpt="), std::string::npos);
+}
+
+TEST(FarmResume, UnreadableCheckpointFailsTheJobNotTheFarm) {
+  farm::JobSpec spec = golden_spec("fig5");
+  spec.resume_checkpoint = "/nonexistent/resume.ckpt";
+  const farm::FarmReport report = run_fresh({spec}, 1);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].result.status, farm::JobStatus::failed);
+  EXPECT_NE(report.jobs[0].result.error.find("cannot read checkpoint"),
+            std::string::npos)
+      << report.jobs[0].result.error;
+}
+
+// The generic fuzz artifact CLI has no --restore; silently dropping the flag
+// would run (and cache) the wrong simulation, so the subprocess executor
+// refuses fuzz resume jobs loudly.
+TEST(FarmResume, SubprocessFuzzResumeIsRefusedLoudly) {
+  farm::JobSpec spec = fuzz_spec(3);
+  spec.executor = farm::ExecutorKind::subprocess;
+  spec.resume_checkpoint = "/tmp/whatever.ckpt";
+  farm::SubprocessExecutor exec(farm::SubprocessExecutor::Config{"/nonexistent"});
+  farm::CancelToken cancel;
+  const farm::JobResult r = exec.execute(spec, 1000, cancel);
+  EXPECT_EQ(r.status, farm::JobStatus::failed);
+  EXPECT_NE(r.error.find("use in-process"), std::string::npos) << r.error;
+}
+
+// Described models have no session implementation yet: resuming one must be
+// a loud failure, not a silent straight run.
+TEST(FarmResume, DescriptionResumeIsRefused) {
+  farm::JobSpec spec = golden_spec("/tmp/any_model.rcpn");
+  spec.resume_checkpoint = "/tmp/whatever.ckpt";
+  farm::InProcessExecutor exec;
+  farm::CancelToken cancel;
+  const farm::JobResult r = exec.execute(spec, 1000, cancel);
+  EXPECT_EQ(r.status, farm::JobStatus::failed);
+  EXPECT_NE(r.error.find("cannot resume"), std::string::npos) << r.error;
+}
+
 #ifdef RCPN_HAVE_FS_BINARIES
 
 TEST(FarmSubprocess, FreestandingDigestsMatchInProcessForEveryMachine) {
@@ -443,6 +637,41 @@ TEST(FarmSubprocess, FreestandingDigestsMatchInProcessForEveryMachine) {
     EXPECT_EQ(sub.result.stats.cycles, in_proc.result.stats.cycles)
         << sub.spec.machine;
   }
+}
+
+// Golden resume jobs under the subprocess executor pass --restore to the
+// freestanding binary; the checkpoint written by this linked build's
+// interpreted engine restores in the child and the digest matches the
+// straight run.
+TEST(FarmResume, SubprocessGoldenResumeRestoresInTheFreestandingChild) {
+  const std::string path = "/tmp/rcpn_farm_resume_sub.ckpt";
+  {
+    core::EngineOptions wo;
+    wo.backend = core::Backend::interpreted;
+    auto writer = machines::make_golden_session("fig5", wo);
+    writer->advance(7);
+    std::ofstream(path, std::ios::binary) << machines::write_checkpoint(*writer);
+  }
+
+  farm::JobSpec spec = golden_spec("fig5");
+  spec.executor = farm::ExecutorKind::subprocess;
+  spec.options.backend = core::Backend::generated;
+  spec.resume_checkpoint = path;
+  farm::FarmOptions fo;
+  fo.bin_dir = RCPN_BIN_DIR;
+  farm::SimFarm sim_farm(std::move(fo));
+  const farm::FarmReport report = sim_farm.run({spec});
+  std::remove(path.c_str());
+
+  ASSERT_EQ(report.jobs.size(), 1u);
+  ASSERT_EQ(report.jobs[0].result.status, farm::JobStatus::ok)
+      << report.jobs[0].result.error;
+  core::EngineOptions direct_opts;
+  direct_opts.backend = core::Backend::compiled;
+  const machines::GoldenRunResult direct =
+      machines::run_golden_machine_full("fig5", direct_opts);
+  EXPECT_EQ(report.jobs[0].result.digest, farm::trace_digest(direct.trace));
+  EXPECT_EQ(report.jobs[0].result.retired, direct.trace.size());
 }
 
 TEST(FarmSubprocess, MissingBinaryFailsTheJobWithExitCode127) {
